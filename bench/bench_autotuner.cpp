@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces the §6.1 "Usability" experiment: HecateA, the auto-tuner
+ * that searches for the symbolic traversal itself, on the five Grafter
+ * benchmarks — compared against Hecate with the user-provided skeleton.
+ *
+ * Expected shape (paper): HecateA solves four of the five benchmarks
+ * about as fast as Hecate; the AST benchmark with its complex symbolic
+ * traversals costs substantially more.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "grammars/grammars.hpp"
+#include "synth/autotuner.hpp"
+
+int
+main()
+{
+    using namespace hecate;
+    using benchutil::row;
+    using benchutil::secs;
+
+    std::printf("HecateA auto-tuner vs Hecate with a user-provided "
+                "skeleton (Grafter suite)\n\n");
+    row({"Benchmark", "Hecate", "HecateA", "Skeletons", "WinningStyle"});
+    row({"---------", "------", "-------", "---------", "------------"});
+
+    for (const grammars::Benchmark* bench : grammars::grafterBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+
+        synth::SynthesisConfig config;
+        config.verify.maxDepth = 3;
+        config.verify.limit = 64;
+
+        sched::Skeleton skeleton = sched::Skeleton::resolve(
+            grammar,
+            synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
+        Timer hecate_timer;
+        synth::SynthesisResult direct =
+            synth::synthesize(skeleton, root, {}, config);
+        double hecate_seconds = hecate_timer.seconds();
+
+        synth::AutotuneResult tuned = synth::autotune(grammar, root,
+                                                      config);
+
+        row({bench->name,
+             direct.schedule.has_value() ? secs(hecate_seconds) : "FAILED",
+             tuned.schedule.has_value() ? secs(tuned.totalSeconds)
+                                        : "FAILED",
+             std::to_string(tuned.skeletonsTried),
+             tuned.schedule.has_value()
+                 ? synth::skeletonStyleName(tuned.style)
+                 : "-"});
+    }
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Reproduces Fig. 11: normalized running time of the RenderTree
+ * variants against the unfused baseline, across tree sizes.
+ *
+ * Series: Grafter (fused linked-list — identical schedule to HecateL,
+ * reported separately as in the paper), HecateL, HecateV (fused
+ * vector), HecateP (de-fused parallel vector). The host has a single
+ * hardware thread, so HecateP is reported twice: measured wall clock
+ * (1 worker, pays fork overhead) and the modeled 8-worker makespan
+ * from LPT scheduling of the spawn-frontier subtrees (the work/span
+ * substitution documented in DESIGN.md).
+ *
+ * Expected shape (paper): fused >= 50% reduction over unfused; vector
+ * ~70% reduction (~40% over Grafter); parallel adds ~23% over vector
+ * once trees are large enough to amortize fork overhead.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/rendertree.hpp"
+
+namespace {
+
+using namespace hecate;
+using namespace hecate::workloads::render;
+
+/** Subtree node counts of the spawn frontier (for the LPT model). */
+void
+frontierSizes(const BoxV* node, int depth, int spawn,
+              std::vector<size_t>& out, size_t& topNodes)
+{
+    if (depth >= spawn) {
+        return; // handled by subtreeSize below
+    }
+    ++topNodes;
+    for (const BoxV* child : node->cs) {
+        if (depth + 1 >= spawn) {
+            size_t size = 0;
+            // iterative subtree count
+            std::vector<const BoxV*> stack{child};
+            while (!stack.empty()) {
+                const BoxV* current = stack.back();
+                stack.pop_back();
+                ++size;
+                for (const BoxV* c : current->cs)
+                    stack.push_back(c);
+            }
+            out.push_back(size);
+        } else {
+            frontierSizes(child, depth + 1, spawn, out, topNodes);
+        }
+    }
+}
+
+/** LPT makespan of @p tasks on @p workers machines. */
+size_t
+lptMakespan(std::vector<size_t> tasks, unsigned workers)
+{
+    std::sort(tasks.rbegin(), tasks.rend());
+    std::vector<size_t> load(workers, 0);
+    for (size_t task : tasks)
+        *std::min_element(load.begin(), load.end()) += task;
+    return *std::max_element(load.begin(), load.end());
+}
+
+} // namespace
+
+int
+main()
+{
+    using benchutil::measure;
+    using benchutil::ratio;
+    using benchutil::row;
+    using benchutil::sink;
+
+    constexpr unsigned kModelWorkers = 8;
+    constexpr int kSpawnDepth = 2;
+    const size_t sizes[] = {1'000, 10'000, 100'000, 1'000'000};
+
+    std::printf("Fig. 11: RenderTree normalized running time vs the "
+                "unfused baseline\n");
+    std::printf("(HecateP-wall = measured on this 1-core host; "
+                "HecateP-model = LPT makespan with %u workers)\n\n",
+                kModelWorkers);
+    row({"TreeSize", "Unfused", "Grafter", "HecateL", "HecateV",
+         "HecateP-wall", "HecateP-model"});
+    row({"--------", "-------", "-------", "-------", "-------",
+         "------------", "-------------"});
+
+    for (size_t size : sizes) {
+        DocumentL doc_l = buildDocumentL(size, /*seed=*/42);
+        DocumentV doc_v = buildDocumentV(size, /*seed=*/42);
+        ThreadPool pool(kModelWorkers);
+
+        double unfused = measure([&] {
+            clearOutputs(doc_l);
+            runUnfused(doc_l);
+            sink(checksum(doc_l));
+        });
+        double fused_l = measure([&] {
+            clearOutputs(doc_l);
+            runFusedL(doc_l);
+            sink(checksum(doc_l));
+        });
+        double fused_v = measure([&] {
+            clearOutputs(doc_v);
+            runFusedV(doc_v);
+            sink(checksum(doc_v));
+        });
+        double parallel_wall = measure([&] {
+            clearOutputs(doc_v);
+            runParallelV(doc_v, pool, kSpawnDepth);
+            sink(checksum(doc_v));
+        });
+
+        // Modeled 8-worker makespan: sequential top region + LPT over
+        // frontier subtrees, in per-node cost units scaled by the
+        // measured vector per-node time, plus a per-task fork overhead.
+        std::vector<size_t> tasks;
+        size_t top_nodes = 0;
+        frontierSizes(doc_v.root, 0, kSpawnDepth, tasks, top_nodes);
+        size_t total_nodes = doc_v.size();
+        double per_node = fused_v / static_cast<double>(total_nodes);
+        double fork_overhead = 2e-6 * static_cast<double>(tasks.size());
+        double modeled =
+            per_node * (static_cast<double>(top_nodes) +
+                        static_cast<double>(
+                            lptMakespan(tasks, kModelWorkers))) +
+            fork_overhead;
+
+        row({std::to_string(doc_l.size()), ratio(1.0),
+             ratio(fused_l / unfused), ratio(fused_l / unfused),
+             ratio(fused_v / unfused), ratio(parallel_wall / unfused),
+             ratio(modeled / unfused)});
+    }
+
+    std::printf("\nSeries notes: Grafter and HecateL run the same fused "
+                "linked-list schedule (the paper reports them as "
+                "near-identical); values < 1.0 are reductions over the "
+                "unfused baseline.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reproduces Fig. 16 (Appendix A): normalized running time of the AST
+ * workload variants against the unfused six-pass baseline, across tree
+ * sizes. Same reporting conventions as bench_fig11_rendertree.
+ *
+ * Expected shape (paper): HecateL ~50% reduction (like Grafter);
+ * HecateV a further ~10%; HecateP over 75% reduction on large trees
+ * after amortizing spawn overhead.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/ast_workload.hpp"
+
+namespace {
+
+using namespace hecate;
+using namespace hecate::workloads::astw;
+
+void
+frontierSizes(const NodeV* node, int depth, int spawn,
+              std::vector<size_t>& out, size_t& topNodes)
+{
+    ++topNodes;
+    for (const NodeV* child : node->cs) {
+        if (depth + 1 >= spawn) {
+            size_t size = 0;
+            std::vector<const NodeV*> stack{child};
+            while (!stack.empty()) {
+                const NodeV* current = stack.back();
+                stack.pop_back();
+                ++size;
+                for (const NodeV* c : current->cs)
+                    stack.push_back(c);
+            }
+            out.push_back(size);
+        } else {
+            frontierSizes(child, depth + 1, spawn, out, topNodes);
+        }
+    }
+}
+
+size_t
+lptMakespan(std::vector<size_t> tasks, unsigned workers)
+{
+    std::sort(tasks.rbegin(), tasks.rend());
+    std::vector<size_t> load(workers, 0);
+    for (size_t task : tasks)
+        *std::min_element(load.begin(), load.end()) += task;
+    return *std::max_element(load.begin(), load.end());
+}
+
+} // namespace
+
+int
+main()
+{
+    using benchutil::measure;
+    using benchutil::ratio;
+    using benchutil::row;
+    using benchutil::sink;
+
+    constexpr unsigned kModelWorkers = 8;
+    constexpr int kSpawnDepth = 3;
+    const size_t sizes[] = {10'000, 100'000, 1'000'000, 4'000'000};
+
+    std::printf("Fig. 16: AST workload normalized running time vs the "
+                "unfused six-pass baseline\n");
+    std::printf("(HecateP-wall = measured on this 1-core host; "
+                "HecateP-model = LPT makespan with %u workers)\n\n",
+                kModelWorkers);
+    row({"TreeSize", "Unfused", "Grafter", "HecateL", "HecateV",
+         "HecateP-wall", "HecateP-model"});
+    row({"--------", "-------", "-------", "-------", "-------",
+         "------------", "-------------"});
+
+    for (size_t size : sizes) {
+        ProgramL prog_l = buildProgramL(size, /*seed=*/11);
+        ProgramV prog_v = buildProgramV(size, /*seed=*/11);
+        ThreadPool pool(kModelWorkers);
+
+        double unfused = measure([&] {
+            clearOutputs(prog_l);
+            runUnfused(prog_l);
+            sink(checksum(prog_l));
+        });
+        double fused_l = measure([&] {
+            clearOutputs(prog_l);
+            runFusedL(prog_l);
+            sink(checksum(prog_l));
+        });
+        double fused_v = measure([&] {
+            clearOutputs(prog_v);
+            runFusedV(prog_v);
+            sink(checksum(prog_v));
+        });
+        double parallel_wall = measure([&] {
+            clearOutputs(prog_v);
+            runParallelV(prog_v, pool, kSpawnDepth);
+            sink(checksum(prog_v));
+        });
+
+        std::vector<size_t> tasks;
+        size_t top_nodes = 0;
+        frontierSizes(prog_v.root, 0, kSpawnDepth, tasks, top_nodes);
+        double per_node =
+            fused_v / static_cast<double>(prog_v.size());
+        double fork_overhead = 2e-6 * static_cast<double>(tasks.size());
+        double modeled =
+            per_node * (static_cast<double>(top_nodes) +
+                        static_cast<double>(
+                            lptMakespan(tasks, kModelWorkers))) +
+            fork_overhead;
+
+        row({std::to_string(prog_l.size()), ratio(1.0),
+             ratio(fused_l / unfused), ratio(fused_l / unfused),
+             ratio(fused_v / unfused), ratio(parallel_wall / unfused),
+             ratio(modeled / unfused)});
+    }
+
+    std::printf("\nSeries notes: Grafter and HecateL run the same fused "
+                "schedule; values < 1.0 are reductions over the unfused "
+                "baseline.\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduces Table 2: total synthesis time (synthesis + verification)
+ * in seconds for the five Grafter benchmarks, comparing the Grafter
+ * baseline, Hecate (domain-specific ILP encoding), and HecateG
+ * (general-purpose SAT encoding).
+ *
+ * Expected shape (paper): Hecate fastest everywhere; HecateG ~3x
+ * slower than Hecate; Grafter degrades sharply on large grammars
+ * (AST). Absolute numbers differ from the paper (different machines
+ * and substrates — see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "baselines/grafter.hpp"
+#include "bench_util.hpp"
+#include "grammars/grammars.hpp"
+#include "synth/autotuner.hpp"
+
+namespace {
+
+using namespace hecate;
+
+struct Row {
+    std::string name;
+    size_t rules = 0;
+    double grafter = 0;
+    double hecate = 0;
+    double hecateG = 0;
+    bool grafterOk = false, hecateOk = false, hecateGOk = false;
+};
+
+Row
+runBenchmark(const grammars::Benchmark& bench)
+{
+    Row result;
+    result.name = bench.name;
+
+    sem::Grammar grammar = grammars::load(bench);
+    result.rules = grammar.ruleCount();
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+
+    tree::EnumConfig verify;
+    verify.maxDepth = 3;
+    verify.limit = 64;
+
+    // Grafter baseline.
+    {
+        baselines::GrafterResult r =
+            baselines::grafterSchedule(grammar, root, verify);
+        result.grafter = r.seconds;
+        result.grafterOk = r.ok;
+    }
+
+    // Hecate and HecateG share the same sandwich skeleton (the paper's
+    // user-provided symbolic traversal).
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
+
+    {
+        synth::SynthesisConfig config;
+        config.verify = verify;
+        Timer t;
+        synth::SynthesisResult r = synth::synthesize(skeleton, root, {},
+                                                     config);
+        result.hecate = t.seconds();
+        result.hecateOk = r.schedule.has_value();
+    }
+    {
+        synth::SynthesisConfig config;
+        config.verify = verify;
+        config.engine = synth::Engine::GeneralPurposeSat;
+        Timer t;
+        synth::SynthesisResult r = synth::synthesize(skeleton, root, {},
+                                                     config);
+        result.hecateG = t.seconds();
+        result.hecateGOk = r.schedule.has_value();
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    using benchutil::row;
+    using benchutil::secs;
+
+    std::printf("Table 2: synthesis time (seconds), Grafter benchmark "
+                "suite\n");
+    std::printf("(paper reference: BinaryTree 2.6/1.1/3.2  FMM 7.6/1.0/1.6"
+                "  Piecewise 12.6/2.1/3.1  AST 151.7/20.6/73.4  "
+                "RenderTree 62.0/4.1/10.1)\n\n");
+    row({"Benchmark", "# of Rules", "Grafter", "Hecate", "HecateG"});
+    row({"---------", "----------", "-------", "------", "-------"});
+
+    double speedup_g_sum = 0, speedup_grafter_sum = 0;
+    int count = 0;
+    for (const grammars::Benchmark* bench : grammars::grafterBenchmarks()) {
+        Row r = runBenchmark(*bench);
+        row({r.name, std::to_string(r.rules),
+             r.grafterOk ? secs(r.grafter) : "FAILED",
+             r.hecateOk ? secs(r.hecate) : "FAILED",
+             r.hecateGOk ? secs(r.hecateG) : "FAILED"});
+        if (r.grafterOk && r.hecateOk && r.hecateGOk) {
+            speedup_g_sum += r.hecateG / r.hecate;
+            speedup_grafter_sum += r.grafter / r.hecate;
+            ++count;
+        }
+    }
+    if (count > 0) {
+        std::printf("\nmean speedup of Hecate vs HecateG: %.1fx "
+                    "(paper: 3.1x)\n",
+                    speedup_g_sum / count);
+        std::printf("mean speedup of Hecate vs Grafter: %.1fx "
+                    "(paper: 8.0x)\n",
+                    speedup_grafter_sum / count);
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Small shared helpers for the paper-reproduction benchmark binaries:
+ * fixed-width table printing and adaptive wall-clock timing.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace hecate::benchutil {
+
+/** Print one table row of fixed-width columns. */
+inline void
+row(const std::vector<std::string>& cells, int width = 14)
+{
+    for (const std::string& cell : cells)
+        std::printf("%-*s", width, cell.c_str());
+    std::printf("\n");
+}
+
+/** Format seconds with 3 decimals. */
+inline std::string
+secs(double s)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", s);
+    return buffer;
+}
+
+/** Format a ratio with 2 decimals. */
+inline std::string
+ratio(double r)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f", r);
+    return buffer;
+}
+
+/**
+ * Measure @p fn adaptively: repeat until the accumulated time passes
+ * @p minSeconds (at least once, at most @p maxIters), return the mean
+ * seconds per run.
+ */
+inline double
+measure(const std::function<void()>& fn, double minSeconds = 0.2,
+        int maxIters = 50)
+{
+    Timer timer;
+    int iters = 0;
+    do {
+        fn();
+        ++iters;
+    } while (timer.seconds() < minSeconds && iters < maxIters);
+    return timer.seconds() / iters;
+}
+
+/** Sink to defeat dead-code elimination. */
+inline void
+sink(uint64_t value)
+{
+    static volatile uint64_t sinkhole = 0;
+    sinkhole = sinkhole ^ value;
+}
+
+} // namespace hecate::benchutil

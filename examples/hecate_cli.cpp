@@ -1,0 +1,134 @@
+/**
+ * @file
+ * `hecate` command-line driver: synthesize a traversal schedule for an
+ * L_a grammar file and print or emit the result.
+ *
+ * Usage:
+ *   hecate_cli GRAMMAR.hec [TRAVERSAL.hec] [--root IFACE] [--engine ilp|sat]
+ *              [--emit-cpp] [--depth K]
+ *
+ * With no traversal file, the HecateA auto-tuner searches for a
+ * skeleton. The synthesized concrete traversal is printed to stdout;
+ * --emit-cpp additionally prints the generated C++.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/cpp_emitter.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "synth/autotuner.hpp"
+
+using namespace hecate;
+
+namespace {
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        userError("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: hecate_cli GRAMMAR.hec [TRAVERSAL.hec]\n"
+                 "       [--root IFACE] [--engine ilp|sat] [--emit-cpp]\n"
+                 "       [--depth K]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string grammar_path, traversal_path, root_name, engine = "ilp";
+    bool emit_cpp = false;
+    uint32_t depth = 3;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root_name = argv[++i];
+        } else if (arg == "--engine" && i + 1 < argc) {
+            engine = argv[++i];
+        } else if (arg == "--depth" && i + 1 < argc) {
+            depth = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--emit-cpp") {
+            emit_cpp = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else if (grammar_path.empty()) {
+            grammar_path = arg;
+        } else if (traversal_path.empty()) {
+            traversal_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (grammar_path.empty())
+        return usage();
+
+    try {
+        sem::Grammar grammar =
+            sem::Grammar::analyze(lang::parseGrammar(readFile(grammar_path)));
+        sem::InterfaceId root =
+            root_name.empty() ? grammar.cls(0).iface
+                              : grammar.findInterface(root_name);
+        if (root == sem::kInvalidId)
+            userError("unknown root interface '" + root_name + "'");
+
+        synth::SynthesisConfig config;
+        config.verify.maxDepth = depth;
+        config.engine = engine == "sat" ? synth::Engine::GeneralPurposeSat
+                                        : synth::Engine::DomainSpecificIlp;
+
+        std::optional<sched::Skeleton> skeleton;
+        std::optional<sched::Schedule> schedule;
+        if (traversal_path.empty()) {
+            synth::AutotuneResult tuned =
+                synth::autotune(grammar, root, config);
+            if (!tuned.schedule.has_value())
+                userError("auto-tuning failed: " +
+                          tuned.lastSynthesis.failure);
+            std::fprintf(stderr, "auto-tuner: %s skeleton (%u tried)\n",
+                         synth::skeletonStyleName(tuned.style),
+                         tuned.skeletonsTried);
+            skeleton = std::move(tuned.skeleton);
+            schedule = std::move(tuned.schedule);
+        } else {
+            skeleton.emplace(sched::Skeleton::resolve(
+                grammar, lang::parseTraversal(readFile(traversal_path))));
+            synth::SynthesisResult result =
+                synth::synthesize(*skeleton, root, {}, config);
+            if (!result.schedule.has_value())
+                userError("synthesis failed: " + result.failure);
+            std::fprintf(stderr, "synthesized in %u CEGIS round(s), "
+                         "%zu trees verified\n",
+                         result.cegisIterations, result.verifiedTrees);
+            schedule = std::move(result.schedule);
+        }
+
+        std::printf("%s", lang::printTraversal(
+                              schedule->toConcreteTraversal(*skeleton))
+                              .c_str());
+        if (emit_cpp) {
+            std::printf("\n%s",
+                        codegen::emitCpp(*skeleton, *schedule).c_str());
+        }
+        return 0;
+    } catch (const UserError& error) {
+        std::fprintf(stderr, "hecate: %s\n", error.what());
+        return 1;
+    }
+}

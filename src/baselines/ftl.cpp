@@ -1,0 +1,310 @@
+#include "baselines/ftl.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sched/visit_plan.hpp"
+#include "support/timer.hpp"
+#include "synth/cegis.hpp"
+
+namespace hecate::baselines {
+
+namespace {
+
+/** Region a rule's evaluation is assigned to within its class's visit. */
+enum class Region : uint8_t { Unassigned, Pre, Post };
+
+/**
+ * FTL-style scheduler: chronological backtracking over the assignment
+ * rule -> {pre, post} (evaluate before or after the recursive child
+ * visits), with rules inside a region ordered by a stable topological
+ * sort of intra-node dependencies — the visit structure FTL's Prolog
+ * encoding searches over. Every partial assignment is re-tested by
+ * interpretation over example trees (generate-and-test, no conflict
+ * learning, no relational projection), and complete assignments are
+ * verified against the bounded tree space.
+ */
+class FtlSearch {
+  public:
+    FtlSearch(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+              const tree::EnumConfig& config, uint64_t budget,
+              FtlResult& result)
+        : grammar_(grammar), rootIface_(rootIface), config_(config),
+          budget_(budget), result_(result)
+    {
+        region_.assign(grammar_.rules().size(), Region::Unassigned);
+
+        // Ground the schedule constraints over the full bounded tree
+        // space — FTL's Prolog encoding quantifies over the whole
+        // specification (it is correct by construction, not CEGIS), so
+        // every propagation step pays spec-grade instantiation. This is
+        // where its cost lives and why it scales with grammar size.
+        tree::EnumConfig wide = config_;
+        wide.perSlotOptions = std::max<size_t>(wide.perSlotOptions, 48);
+        auto shapes = tree::enumerateShapes(grammar_, rootIface_, wide);
+        for (const tree::ShapePtr& shape : shapes)
+            examples_.push_back(tree::instantiate(grammar_, *shape));
+        // Grounding volume scales with the specification: keep adding
+        // sampled trees until the instantiated node count is
+        // proportional to the rule count (Prolog grounds one relation
+        // instance per rule per node).
+        Rng rng(0xF71);
+        tree::SampleConfig deep;
+        deep.maxDepth = config_.maxDepth + 4;
+        deep.optionalPresent = 0.65;
+        size_t total_nodes = 0;
+        size_t want = 60 * grammar_.rules().size();
+        while (total_nodes < want && examples_.size() < 4096) {
+            examples_.push_back(
+                tree::sampleTree(grammar_, rootIface_, deep, rng));
+            total_nodes += examples_.back().size();
+        }
+
+        // Structural potential-writer map per example tree.
+        writerRules_.resize(examples_.size());
+        for (size_t t = 0; t < examples_.size(); ++t) {
+            const tree::Tree& tr = examples_[t];
+            for (const tree::Node& node : tr.nodes()) {
+                for (sem::RuleId rid : grammar_.cls(node.cls).rules) {
+                    const sem::RuleInfo& rule = grammar_.rule(rid);
+                    tree::NodeId target = node.id;
+                    if (rule.lhsChild != sem::kInvalidId) {
+                        target = node.children[rule.lhsChild].node;
+                        if (target == tree::kNoNode)
+                            continue;
+                    }
+                    sched::Location loc{target, rule.lhs};
+                    writerRules_[t][loc.key()].push_back(rid);
+                }
+            }
+        }
+    }
+
+    bool run()
+    {
+        for (const sem::ClassInfo& cls : grammar_.classes()) {
+            for (const sem::ChildInfo& child : cls.children) {
+                if (child.collection)
+                    return false; // FTL handles layout chains only
+            }
+        }
+        return search(0);
+    }
+
+    ast::TraversalDecl concreteTraversal() const
+    {
+        return buildTraversal(/*assignedOnly=*/false);
+    }
+
+  private:
+    bool search(size_t index)
+    {
+        if (result_.assignmentsTried >= budget_) {
+            result_.budgetExhausted = true;
+            return false;
+        }
+        if (index == grammar_.rules().size())
+            return finalCheck();
+
+        sem::RuleId rule = static_cast<sem::RuleId>(index);
+        bool is_inherited =
+            grammar_.rule(rule).lhsChild != sem::kInvalidId;
+        // Natural first guesses: inherited rules before the recursion,
+        // synthesized rules after.
+        Region order[2] = {is_inherited ? Region::Pre : Region::Post,
+                           is_inherited ? Region::Post : Region::Pre};
+        for (Region choice : order) {
+            ++result_.assignmentsTried;
+            region_[rule] = choice;
+            if (partialConsistent() && search(index + 1))
+                return true;
+            region_[rule] = Region::Unassigned;
+            ++result_.backtracks;
+        }
+        return false;
+    }
+
+    bool finalCheck()
+    {
+        sched::Skeleton concrete = sched::Skeleton::resolve(
+            grammar_, buildTraversal(/*assignedOnly=*/false));
+        sched::Schedule empty;
+        empty.bySlot.assign(concrete.slotCount(), std::nullopt);
+        synth::VerifyResult verdict = synth::verifySchedule(
+            concrete, empty, rootIface_, config_);
+        if (!verdict.ok)
+            ++result_.backtracks;
+        return verdict.ok;
+    }
+
+    /**
+     * Build the traversal induced by the current region assignment:
+     * per class, pre-region rules (topologically ordered), the
+     * recursive visits, then post-region rules. Unassigned rules fall
+     * into the post region when @p assignedOnly is false (so the final
+     * traversal is complete) and are omitted otherwise.
+     */
+    ast::TraversalDecl buildTraversal(bool assignedOnly) const
+    {
+        ast::TraversalDecl decl;
+        decl.name = "ftl";
+        for (const sem::ClassInfo& cls : grammar_.classes()) {
+            ast::CaseDecl case_decl;
+            case_decl.className = cls.name;
+            appendRegion(case_decl, cls, Region::Pre, assignedOnly);
+            for (const sem::ChildInfo& child : cls.children) {
+                case_decl.stmts.push_back(
+                    ast::TStmt::makeRecur(child.name));
+            }
+            appendRegion(case_decl, cls, Region::Post, assignedOnly);
+            decl.cases.push_back(std::move(case_decl));
+        }
+        return decl;
+    }
+
+    void appendRegion(ast::CaseDecl& caseDecl, const sem::ClassInfo& cls,
+                      Region which, bool assignedOnly) const
+    {
+        std::vector<sem::RuleId> batch;
+        for (sem::RuleId rid : cls.rules) {
+            Region r = region_[rid];
+            if (r == which ||
+                (!assignedOnly && r == Region::Unassigned &&
+                 which == Region::Post)) {
+                batch.push_back(rid);
+            }
+        }
+        // Stable topological order by intra-node (self) dependencies.
+        std::vector<bool> emitted(grammar_.rules().size(), false);
+        size_t remaining = batch.size();
+        while (remaining > 0) {
+            bool progress = false;
+            for (sem::RuleId rid : batch) {
+                if (emitted[rid])
+                    continue;
+                bool ready = true;
+                for (const sem::ReadDep& dep : grammar_.rule(rid).reads) {
+                    if (dep.kind != sem::ReadDep::Kind::SelfAttr)
+                        continue;
+                    for (sem::RuleId other : batch) {
+                        if (other != rid && !emitted[other] &&
+                            grammar_.rule(other).lhsChild ==
+                                sem::kInvalidId &&
+                            grammar_.rule(other).lhs == dep.attr) {
+                            ready = false;
+                        }
+                    }
+                }
+                if (!ready)
+                    continue;
+                emitRule(caseDecl, cls, rid);
+                emitted[rid] = true;
+                --remaining;
+                progress = true;
+            }
+            if (!progress) {
+                // Intra-node cycle: emit in declaration order and let
+                // the dependence test reject the assignment.
+                for (sem::RuleId rid : batch) {
+                    if (!emitted[rid]) {
+                        emitRule(caseDecl, cls, rid);
+                        emitted[rid] = true;
+                        --remaining;
+                    }
+                }
+            }
+        }
+    }
+
+    void emitRule(ast::CaseDecl& caseDecl, const sem::ClassInfo& cls,
+                  sem::RuleId rid) const
+    {
+        const sem::RuleInfo& rule = grammar_.rule(rid);
+        if (rule.lhsChild != sem::kInvalidId) {
+            const sem::ChildInfo& child = cls.children[rule.lhsChild];
+            const sem::InterfaceInfo& child_iface =
+                grammar_.iface(child.iface);
+            caseDecl.stmts.push_back(ast::TStmt::makeEvalChild(
+                child.name, child_iface.attrs[rule.lhs].name));
+        } else {
+            const sem::InterfaceInfo& iface = grammar_.iface(cls.iface);
+            caseDecl.stmts.push_back(
+                ast::TStmt::makeEval(iface.attrs[rule.lhs].name));
+        }
+    }
+
+    /**
+     * Generate-and-test over the example trees: interpret the partial
+     * traversal (assigned rules only) and reject when some read can no
+     * longer be satisfied — every potential writer rule is assigned
+     * yet none of its write instances happens-before the read.
+     */
+    bool partialConsistent()
+    {
+        sched::Skeleton partial = sched::Skeleton::resolve(
+            grammar_, buildTraversal(/*assignedOnly=*/true));
+        for (size_t t = 0; t < examples_.size(); ++t) {
+            sched::VisitPlan plan(partial, examples_[t]);
+            for (const sched::Instance& inst : plan.instances()) {
+                for (sched::Location loc :
+                     plan.readsFor(inst, inst.rule)) {
+                    const tree::Node& target =
+                        examples_[t].node(loc.node);
+                    const sem::ClassInfo& cls =
+                        grammar_.cls(target.cls);
+                    if (grammar_.iface(cls.iface).isInput(loc.attr))
+                        continue;
+                    if (!readPossible(plan, t, inst, loc))
+                        return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    bool readPossible(const sched::VisitPlan& plan, size_t t,
+                      const sched::Instance& inst, sched::Location loc)
+    {
+        for (const sched::Writer& w : plan.writersOf(loc)) {
+            if (plan.happensBefore(w.inst, inst.id))
+                return true;
+        }
+        // No assigned writer precedes; a still-unassigned writer rule
+        // may yet land in a position that precedes the read.
+        auto it = writerRules_[t].find(loc.key());
+        if (it == writerRules_[t].end())
+            return false;
+        for (sem::RuleId rid : it->second) {
+            if (region_[rid] == Region::Unassigned)
+                return true;
+        }
+        return false;
+    }
+
+    const sem::Grammar& grammar_;
+    sem::InterfaceId rootIface_;
+    const tree::EnumConfig& config_;
+    uint64_t budget_;
+    FtlResult& result_;
+    std::vector<tree::Tree> examples_;
+    std::vector<std::unordered_map<uint64_t, std::vector<sem::RuleId>>>
+        writerRules_;
+    std::vector<Region> region_;
+};
+
+} // namespace
+
+FtlResult
+ftlSynthesize(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+              const tree::EnumConfig& config, uint64_t budget)
+{
+    Timer timer;
+    FtlResult result;
+    FtlSearch search(grammar, rootIface, config, budget, result);
+    if (search.run())
+        result.traversal = search.concreteTraversal();
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace hecate::baselines

@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * FTL baseline (Meyerovich et al., PPoPP 2013), reimplemented for the
+ * Fig. 15 comparison.
+ *
+ * FTL translates layout semantics into a Prolog program and lets the
+ * Prolog engine search for a schedule expressed as traversal visits
+ * with pre/post evaluation positions. We reproduce that search
+ * discipline: chronological backtracking over rule -> {pre, post}
+ * region assignments, generate-and-test consistency checking by
+ * re-interpreting the partial traversal over example trees after every
+ * assignment, and full bounded verification of complete assignments.
+ * No conflict learning and no relational projection — which is exactly
+ * why it scales the way Fig. 15 shows.
+ *
+ * Collection (vector) children are not supported, matching FTL's
+ * linked-chain layout grammars.
+ */
+
+#include <cstdint>
+#include <optional>
+
+#include "lang/ast.hpp"
+#include "sem/grammar.hpp"
+#include "tree/enumerate.hpp"
+
+namespace hecate::baselines {
+
+/** Outcome of the FTL-style search. */
+struct FtlResult {
+    /** The synthesized concrete traversal (empty when search failed). */
+    std::optional<ast::TraversalDecl> traversal;
+    uint64_t assignmentsTried = 0;
+    uint64_t backtracks = 0;
+    double seconds = 0.0;
+    bool budgetExhausted = false;
+};
+
+/**
+ * Search a complete pre/post schedule of @p grammar's rules with
+ * chronological backtracking. @p budget caps the number of partial
+ * assignments explored.
+ */
+FtlResult ftlSynthesize(const sem::Grammar& grammar,
+                        sem::InterfaceId rootIface,
+                        const tree::EnumConfig& config,
+                        uint64_t budget = 1'000'000);
+
+} // namespace hecate::baselines

@@ -1,0 +1,338 @@
+#include "baselines/grafter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sched/visit_plan.hpp"
+#include "support/timer.hpp"
+
+namespace hecate::baselines {
+
+namespace {
+
+/** Writer registry across a traversal sequence: (traversal, instance). */
+struct SeqWriter {
+    size_t traversal = 0;
+    sched::InstId inst = sem::kInvalidId;
+};
+
+/**
+ * Stable topological order of @p rules by intra-node (self-attribute)
+ * dependencies; cross-node dependencies are handled by the traversal
+ * structure, not the per-visit statement order.
+ */
+std::vector<sem::RuleId>
+orderRulesLocally(const sem::Grammar& grammar,
+                  const std::vector<sem::RuleId>& rules)
+{
+    std::vector<sem::RuleId> pending = rules;
+    std::vector<sem::RuleId> ordered;
+    std::vector<bool> emitted(grammar.rules().size(), false);
+
+    auto depsSatisfied = [&](sem::RuleId id) {
+        const sem::RuleInfo& rule = grammar.rule(id);
+        for (const sem::ReadDep& dep : rule.reads) {
+            if (dep.kind != sem::ReadDep::Kind::SelfAttr)
+                continue;
+            // Does another pending rule of this batch write dep.attr?
+            for (sem::RuleId other : pending) {
+                if (other != id && !emitted[other] &&
+                    grammar.rule(other).lhs == dep.attr) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    };
+
+    while (ordered.size() < rules.size()) {
+        bool progress = false;
+        for (sem::RuleId id : pending) {
+            if (emitted[id] || !depsSatisfied(id))
+                continue;
+            emitted[id] = true;
+            ordered.push_back(id);
+            progress = true;
+        }
+        if (!progress) {
+            // Intra-node cycle across the batch: fall back to the
+            // declaration order; the dependence check will reject it.
+            for (sem::RuleId id : pending) {
+                if (!emitted[id]) {
+                    emitted[id] = true;
+                    ordered.push_back(id);
+                }
+            }
+        }
+    }
+    return ordered;
+}
+
+/** Build the fused post-order traversal for @p passes. */
+ast::TraversalDecl
+buildFusedTraversal(const sem::Grammar& grammar,
+                    const std::vector<std::string>& passes,
+                    const std::string& name)
+{
+    ast::TraversalDecl decl;
+    decl.name = name;
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        ast::CaseDecl case_decl;
+        case_decl.className = cls.name;
+
+        std::vector<sem::RuleId> batch;
+        for (const std::string& pass : passes) {
+            for (sem::RuleId rule : cls.rules) {
+                if (grammar.rule(rule).pass == pass)
+                    batch.push_back(rule);
+            }
+        }
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        auto emitEval = [&](sem::RuleId rule_id) {
+            const sem::RuleInfo& rule = grammar.rule(rule_id);
+            if (rule.lhsChild != sem::kInvalidId) {
+                const sem::ChildInfo& child = cls.children[rule.lhsChild];
+                const sem::InterfaceInfo& child_iface =
+                    grammar.iface(child.iface);
+                case_decl.stmts.push_back(ast::TStmt::makeEvalChild(
+                    child.name, child_iface.attrs[rule.lhs].name));
+            } else {
+                case_decl.stmts.push_back(ast::TStmt::makeEval(
+                    iface.attrs[rule.lhs].name));
+            }
+        };
+
+        // Inherited (child-writing) rules run before the recursive
+        // visits, synthesized rules after — the standard pre/post
+        // split of a general recursive traversal.
+        std::vector<sem::RuleId> ordered = orderRulesLocally(grammar, batch);
+        for (sem::RuleId rule : ordered) {
+            if (grammar.rule(rule).lhsChild != sem::kInvalidId)
+                emitEval(rule);
+        }
+        for (const sem::ChildInfo& child : cls.children)
+            case_decl.stmts.push_back(ast::TStmt::makeRecur(child.name));
+        for (sem::RuleId rule : ordered) {
+            if (grammar.rule(rule).lhsChild == sem::kInvalidId)
+                emitEval(rule);
+        }
+        decl.cases.push_back(std::move(case_decl));
+    }
+    return decl;
+}
+
+} // namespace
+
+std::optional<std::string>
+checkSequenceOn(const sem::Grammar& grammar,
+                const std::vector<const sched::Skeleton*>& traversals,
+                const tree::Tree& tree, bool requireComplete)
+{
+    std::vector<sched::VisitPlan> plans;
+    plans.reserve(traversals.size());
+    for (const sched::Skeleton* skeleton : traversals)
+        plans.emplace_back(*skeleton, tree);
+
+    // Register every write.
+    std::unordered_map<uint64_t, SeqWriter> writer_of;
+    for (size_t t = 0; t < plans.size(); ++t) {
+        for (const sched::Instance& inst : plans[t].instances()) {
+            checkInvariant(inst.kind == sched::Instance::Kind::Eval,
+                           "checkSequenceOn: traversal is not concrete");
+            if (!inst.writesHere())
+                continue;
+            auto loc = plans[t].writeFor(inst, inst.rule);
+            if (!loc.has_value())
+                continue;
+            if (!writer_of.emplace(loc->key(), SeqWriter{t, inst.id})
+                     .second) {
+                return "location written more than once across the "
+                       "sequence";
+            }
+        }
+    }
+
+    // Completeness (skipped for pass-prefix checks during fusion,
+    // where later passes will supply the remaining attributes).
+    if (requireComplete && !plans.empty()) {
+        for (sched::Location loc : plans[0].outputLocations()) {
+            if (!writer_of.count(loc.key()))
+                return "an output location is never computed";
+        }
+    }
+
+    // Read ordering.
+    for (size_t t = 0; t < plans.size(); ++t) {
+        for (const sched::Instance& inst : plans[t].instances()) {
+            for (sched::Location loc :
+                 plans[t].readsFor(inst, inst.rule)) {
+                const tree::Node& target = tree.node(loc.node);
+                const sem::ClassInfo& cls = grammar.cls(target.cls);
+                if (grammar.iface(cls.iface).isInput(loc.attr))
+                    continue;
+                auto it = writer_of.find(loc.key());
+                if (it == writer_of.end())
+                    return "a read targets a never-computed location";
+                const SeqWriter& w = it->second;
+                bool ok = w.traversal < t ||
+                          (w.traversal == t &&
+                           plans[t].happensBefore(w.inst, inst.id));
+                if (!ok)
+                    return "a read happens before its write";
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+verifySequence(const sem::Grammar& grammar,
+               const std::vector<const sched::Skeleton*>& traversals,
+               sem::InterfaceId rootIface, const tree::EnumConfig& config,
+               size_t* checkedTrees, bool requireComplete)
+{
+    auto shapes = tree::enumerateShapes(grammar, rootIface, config);
+    for (const tree::ShapePtr& shape : shapes) {
+        tree::Tree candidate = tree::instantiate(grammar, *shape);
+        if (checkedTrees != nullptr)
+            ++*checkedTrees;
+        auto failure = checkSequenceOn(grammar, traversals, candidate,
+                                       requireComplete);
+        if (failure.has_value())
+            return failure;
+    }
+    return std::nullopt;
+}
+
+GrafterResult
+grafterSchedule(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+                const tree::EnumConfig& config)
+{
+    Timer timer;
+    GrafterResult result;
+
+    // Grafter's static analysis supports linked-list children only.
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        for (const sem::ChildInfo& child : cls.children) {
+            if (child.collection) {
+                result.error = "Grafter does not support vector-based "
+                               "(collection) children";
+                result.seconds = timer.seconds();
+                return result;
+            }
+        }
+    }
+
+    // Decision-procedure instance set. Grafter decides fusability with
+    // access-automata products whose size grows with the rule count;
+    // our bounded-product substitute reproduces that cost curve by
+    // instantiating the dependence check over a tree volume
+    // proportional to the rule count (see DESIGN.md).
+    std::vector<tree::Tree> instances;
+    for (const tree::ShapePtr& shape :
+         tree::enumerateShapes(grammar, rootIface, config)) {
+        instances.push_back(tree::instantiate(grammar, *shape));
+    }
+    {
+        Rng rng(0x67AF);
+        tree::SampleConfig deep;
+        deep.maxDepth = config.maxDepth + 4;
+        deep.optionalPresent = 0.65;
+        size_t total_nodes = 0;
+        size_t want = 800 * grammar.rules().size();
+        while (total_nodes < want && instances.size() < 8192) {
+            instances.push_back(
+                tree::sampleTree(grammar, rootIface, deep, rng));
+            total_nodes += instances.back().size();
+        }
+    }
+    auto checkOver = [&](const std::vector<const sched::Skeleton*>& seq,
+                         bool require_complete)
+        -> std::optional<std::string> {
+        for (const tree::Tree& candidate : instances) {
+            ++result.checkedTrees;
+            auto failure = checkSequenceOn(grammar, seq, candidate,
+                                           require_complete);
+            if (failure.has_value())
+                return failure;
+        }
+        return std::nullopt;
+    };
+
+    std::vector<std::string> passes = grammar.passNames();
+    std::vector<std::vector<std::string>> groups;
+    std::vector<std::string> current;
+
+    // Keep resolved skeletons of committed groups for sequence checks.
+    std::vector<sched::Skeleton> committed;
+    auto views = [&](const sched::Skeleton* extra) {
+        std::vector<const sched::Skeleton*> v;
+        for (const sched::Skeleton& skeleton : committed)
+            v.push_back(&skeleton);
+        if (extra != nullptr)
+            v.push_back(extra);
+        return v;
+    };
+
+    for (const std::string& pass : passes) {
+        std::vector<std::string> attempt = current;
+        attempt.push_back(pass);
+        sched::Skeleton fused = sched::Skeleton::resolve(
+            grammar, buildFusedTraversal(grammar, attempt, "fused"));
+        ++result.dependenceChecks;
+        auto failure = checkOver(views(&fused), /*require_complete=*/false);
+        if (!failure.has_value()) {
+            current = std::move(attempt);
+            continue;
+        }
+        if (current.empty()) {
+            result.error = "pass '" + pass +
+                           "' is not schedulable as its own traversal: " +
+                           *failure;
+            result.seconds = timer.seconds();
+            return result;
+        }
+        // Commit the current group, start a new one with this pass.
+        committed.push_back(sched::Skeleton::resolve(
+            grammar, buildFusedTraversal(grammar, current, "fused")));
+        groups.push_back(current);
+        current = {pass};
+        sched::Skeleton single = sched::Skeleton::resolve(
+            grammar, buildFusedTraversal(grammar, current, "fused"));
+        ++result.dependenceChecks;
+        auto single_failure =
+            checkOver(views(&single), /*require_complete=*/false);
+        if (single_failure.has_value()) {
+            result.error = "pass '" + pass +
+                           "' is not schedulable after fusion barrier: " +
+                           *single_failure;
+            result.seconds = timer.seconds();
+            return result;
+        }
+    }
+    if (!current.empty()) {
+        committed.push_back(sched::Skeleton::resolve(
+            grammar, buildFusedTraversal(grammar, current, "fused")));
+        groups.push_back(current);
+    }
+
+    // Final check: the full sequence must compute everything.
+    ++result.dependenceChecks;
+    auto final_failure = checkOver(views(nullptr), /*require_complete=*/true);
+    if (final_failure.has_value()) {
+        result.error = "fused sequence incomplete: " + *final_failure;
+        result.seconds = timer.seconds();
+        return result;
+    }
+
+    for (size_t g = 0; g < groups.size(); ++g) {
+        result.traversals.push_back(buildFusedTraversal(
+            grammar, groups[g], "fused" + std::to_string(g)));
+    }
+    result.fusedPasses = std::move(groups);
+    result.ok = true;
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace hecate::baselines

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Grafter baseline (Sakka et al., PLDI 2019), reimplemented from its
+ * published algorithm for the Table 2 / Fig. 11 / Fig. 16 comparisons.
+ *
+ * Grafter takes a set of tree-traversal *passes* (here: the pass tags
+ * on rule blocks) and fuses adjacent passes whenever its dependence
+ * analysis proves the fused traversal preserves all read-write
+ * dependencies, producing a deterministic sequence of fused
+ * traversals. Where the original uses access automata products as the
+ * decision procedure, we decide fusability with an exhaustive
+ * dependence check over all tree shapes up to depth k — the same
+ * verdicts on these benchmarks, with analysis cost that grows with
+ * rule count and shape count just as the automata product does (see
+ * DESIGN.md, substitution table).
+ *
+ * Unlike Hecate, Grafter (a) always fuses when legal — it cannot
+ * trade fusion for parallelism, and (b) only supports linked-list
+ * (scalar-child) traversals — grammars with collection children are
+ * rejected, matching the limitation §6.2 describes.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tree/enumerate.hpp"
+
+namespace hecate::baselines {
+
+/** Outcome of the Grafter scheduler. */
+struct GrafterResult {
+    bool ok = false;
+    std::string error;
+    /** Concrete traversals in execution order (one per fused group). */
+    std::vector<ast::TraversalDecl> traversals;
+    /** The pass names merged into each traversal. */
+    std::vector<std::vector<std::string>> fusedPasses;
+    uint64_t dependenceChecks = 0;
+    size_t checkedTrees = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Run the Grafter-style scheduler: one post-order traversal per pass,
+ * greedily fused left-to-right.
+ */
+GrafterResult grafterSchedule(const sem::Grammar& grammar,
+                              sem::InterfaceId rootIface,
+                              const tree::EnumConfig& config = {});
+
+/**
+ * Check a *sequence* of concrete traversals on one tree: traversal i
+ * completes before traversal i+1 starts; every location written
+ * exactly once across the sequence; every read happens after its
+ * write. Returns a failure description or nothing.
+ */
+std::optional<std::string>
+checkSequenceOn(const sem::Grammar& grammar,
+                const std::vector<const sched::Skeleton*>& traversals,
+                const tree::Tree& tree, bool requireComplete = true);
+
+/**
+ * Verify a traversal sequence on every shape up to the configured
+ * bound; returns a failure description or nothing.
+ */
+std::optional<std::string>
+verifySequence(const sem::Grammar& grammar,
+               const std::vector<const sched::Skeleton*>& traversals,
+               sem::InterfaceId rootIface, const tree::EnumConfig& config,
+               size_t* checkedTrees = nullptr, bool requireComplete = true);
+
+} // namespace hecate::baselines

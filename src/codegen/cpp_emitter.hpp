@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * C++ code generator: syntax-directed translation of a synthesized
+ * concrete traversal into compilable C++ classes, mirroring what the
+ * paper does to run Hecate schedules on the Grafter workloads (§6.1:
+ * "we also implement a code generator for converting concrete
+ * traversals synthesized by Hecate into corresponding C++ versions").
+ *
+ * The emitted style matches the paper's figures: one struct per
+ * interface holding the attributes, one struct per class holding the
+ * children (pointers for scalars, std::vector for collections), and
+ * one traversal method per class (Fig. 1 / Fig. 14). Fold rules
+ * scheduled inside `iterate` emit accumulator code fused into the
+ * child loop (Fig. 14(b)); `parallel` regions emit the paper's
+ * `// parallel` loop split (Fig. 14(c)).
+ */
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace hecate::codegen {
+
+/** Options for the emitter. */
+struct CodegenOptions {
+    std::string methodName = "fusedCalc"; ///< traversal method name
+    std::string guardMacro;               ///< optional include guard name
+};
+
+/**
+ * Emit a self-contained C++ translation unit implementing @p schedule
+ * over @p skeleton's grammar. The schedule must be complete
+ * (coversAllRules); throws UserError otherwise.
+ */
+std::string emitCpp(const sched::Skeleton& skeleton,
+                    const sched::Schedule& schedule,
+                    const CodegenOptions& options = {});
+
+} // namespace hecate::codegen

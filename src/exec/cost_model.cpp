@@ -1,0 +1,150 @@
+#include "exec/cost_model.hpp"
+
+namespace hecate::exec {
+
+namespace {
+
+/** (work, span) pair with fork-join composition helpers. */
+struct Cost {
+    double work = 0.0;
+    double span = 0.0;
+
+    void seq(const Cost& other)
+    {
+        work += other.work;
+        span += other.span;
+    }
+};
+
+class CostAnalyzer {
+  public:
+    CostAnalyzer(const sched::Skeleton& skeleton,
+                 const sched::Schedule& schedule, const tree::Tree& tree,
+                 const CostParams& params, CostReport& report)
+        : skeleton_(skeleton), schedule_(schedule), tree_(tree),
+          params_(params), report_(report)
+    {
+    }
+
+    Cost visit(tree::NodeId node_id)
+    {
+        ++report_.nodeVisits;
+        Cost cost{params_.visitOverhead, params_.visitOverhead};
+        const tree::Node& node = tree_.node(node_id);
+        const ast::CaseDecl& case_decl = skeleton_.caseFor(node.cls);
+        for (const auto& stmt : case_decl.stmts)
+            cost.seq(stmtCost(node_id, *stmt));
+        return cost;
+    }
+
+  private:
+    Cost ruleCost(sem::RuleId rule) const
+    {
+        double c = params_.ruleUnit *
+                   static_cast<double>(skeleton_.grammar().rule(rule).cost);
+        return {c, c};
+    }
+
+    Cost holeCost(const ast::TStmt& stmt) const
+    {
+        sched::SlotId slot = skeleton_.slotOf(&stmt);
+        if (skeleton_.slot(slot).candidates.empty())
+            return {};
+        const auto& assignment = schedule_.bySlot[slot];
+        return assignment.has_value() ? ruleCost(*assignment) : Cost{};
+    }
+
+    Cost stmtCost(tree::NodeId node_id, const ast::TStmt& stmt)
+    {
+        const tree::Node& node = tree_.node(node_id);
+        const sem::ClassInfo& cls = skeleton_.grammar().cls(node.cls);
+        switch (stmt.kind) {
+          case ast::TStmtKind::Hole:
+            return holeCost(stmt);
+          case ast::TStmtKind::Eval:
+            return ruleCost(skeleton_.evalRule(&stmt));
+          case ast::TStmtKind::Recur: {
+            tree::NodeId target =
+                node.children[cls.childByName.at(stmt.child)].node;
+            return target == tree::kNoNode ? Cost{} : visit(target);
+          }
+          case ast::TStmtKind::Iterate: {
+            sem::ChildId coll = cls.childByName.at(stmt.child);
+            Cost cost;
+            bool has_recur = false;
+            for (const auto& body_stmt : stmt.body)
+                has_recur |= body_stmt->kind == ast::TStmtKind::Recur;
+            if (has_recur) {
+                for (tree::NodeId elem : node.children[coll].elems)
+                    cost.seq(visit(elem));
+            }
+            for (const auto& body_stmt : stmt.body) {
+                if (body_stmt->kind == ast::TStmtKind::Hole) {
+                    Cost rc = holeCost(*body_stmt);
+                    // per-element accumulation cost
+                    rc.work *= std::max<size_t>(
+                        1, node.children[coll].elems.size());
+                    rc.span = rc.work;
+                    cost.seq(rc);
+                } else if (body_stmt->kind == ast::TStmtKind::Eval) {
+                    Cost rc = ruleCost(skeleton_.evalRule(body_stmt.get()));
+                    rc.work *= std::max<size_t>(
+                        1, node.children[coll].elems.size());
+                    rc.span = rc.work;
+                    cost.seq(rc);
+                }
+            }
+            return cost;
+          }
+          case ast::TStmtKind::Parallel: {
+            std::vector<Cost> branches;
+            if (!stmt.child.empty()) {
+                sem::ChildId coll = cls.childByName.at(stmt.child);
+                for (tree::NodeId elem : node.children[coll].elems)
+                    branches.push_back(visit(elem));
+            } else {
+                for (const auto& body_stmt : stmt.body) {
+                    if (body_stmt->kind != ast::TStmtKind::Recur)
+                        continue;
+                    tree::NodeId target =
+                        node.children[cls.childByName.at(body_stmt->child)]
+                            .node;
+                    if (target != tree::kNoNode)
+                        branches.push_back(visit(target));
+                }
+            }
+            Cost cost;
+            double max_span = 0.0;
+            for (const Cost& branch : branches) {
+                cost.work += branch.work + params_.forkOverhead;
+                max_span = std::max(max_span, branch.span);
+            }
+            cost.span = max_span + params_.forkOverhead;
+            return cost;
+          }
+        }
+        internalError("stmtCost: unknown statement kind");
+    }
+
+    const sched::Skeleton& skeleton_;
+    const sched::Schedule& schedule_;
+    const tree::Tree& tree_;
+    const CostParams& params_;
+    CostReport& report_;
+};
+
+} // namespace
+
+CostReport
+analyzeCost(const sched::Skeleton& skeleton, const sched::Schedule& schedule,
+            const tree::Tree& tree, const CostParams& params)
+{
+    CostReport report;
+    CostAnalyzer analyzer(skeleton, schedule, tree, params, report);
+    Cost total = analyzer.visit(tree.root());
+    report.work = total.work;
+    report.span = total.span;
+    return report;
+}
+
+} // namespace hecate::exec

@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Work/span cost model for traversal schedules.
+ *
+ * The evaluation host for this reproduction has a single hardware
+ * thread, so the parallel speedups of Figs. 11/16 cannot manifest as
+ * wall-clock time. This model computes them analytically instead:
+ * *work* is the total cost of all node visits and rule evaluations,
+ * *span* is the critical path through the fork-join structure, and the
+ * modeled makespan on w workers follows Brent's bound
+ * max(span, work/w) plus per-branch fork overhead. DESIGN.md documents
+ * this substitution; the Fig. 11/16 benchmarks report both wall-clock
+ * (1 thread) and modeled makespan.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sched/schedule.hpp"
+#include "tree/tree.hpp"
+
+namespace hecate::exec {
+
+/** Cost coefficients (arbitrary units; defaults chosen so one node
+ *  visit ~ a few rule evaluations, fork ~ several visits). */
+struct CostParams {
+    double visitOverhead = 1.0; ///< per node visit (dispatch, pointer chase)
+    double ruleUnit = 0.25;     ///< per unit of RuleInfo::cost
+    double forkOverhead = 4.0;  ///< per spawned parallel branch
+};
+
+/** Work/span totals for one schedule execution. */
+struct CostReport {
+    double work = 0.0;
+    double span = 0.0;
+    uint64_t nodeVisits = 0;
+
+    /** Brent's bound on makespan with @p workers workers. */
+    double makespan(uint32_t workers) const
+    {
+        if (workers == 0)
+            workers = 1;
+        return std::max(span, work / static_cast<double>(workers));
+    }
+
+    /** Modeled speedup over sequential execution. */
+    double speedup(uint32_t workers) const
+    {
+        double m = makespan(workers);
+        return m <= 0.0 ? 1.0 : work / m;
+    }
+};
+
+/** Analyze the fork-join cost of running @p schedule over @p tree. */
+CostReport analyzeCost(const sched::Skeleton& skeleton,
+                       const sched::Schedule& schedule,
+                       const tree::Tree& tree,
+                       const CostParams& params = {});
+
+} // namespace hecate::exec

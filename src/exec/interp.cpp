@@ -1,0 +1,421 @@
+#include "exec/interp.hpp"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "sched/visit_plan.hpp"
+
+namespace hecate::exec {
+
+namespace {
+
+/** Expression evaluator for one rule application. */
+class ExprEval {
+  public:
+    ExprEval(const tree::Tree& tree, tree::NodeId node) :
+        tree_(tree), node_(node)
+    {
+    }
+
+    int64_t eval(const ast::Expr& expr) const
+    {
+        switch (expr.kind) {
+          case ast::ExprKind::Const:
+            return expr.value;
+          case ast::ExprKind::Select:
+            return readSelect(expr.select);
+          case ast::ExprKind::Binary:
+            return evalBinary(expr);
+          case ast::ExprKind::Call:
+            return evalCall(expr);
+          case ast::ExprKind::If:
+            return eval(*expr.args[0]) != 0 ? eval(*expr.args[1])
+                                            : eval(*expr.args[2]);
+          case ast::ExprKind::Fold:
+            return evalFold(expr);
+        }
+        internalError("ExprEval: unknown expression kind");
+    }
+
+  private:
+    const sem::Grammar& grammar() const { return tree_.grammar(); }
+
+    int64_t readSelect(const ast::Select& sel) const
+    {
+        const tree::Node& node = tree_.node(node_);
+        const sem::ClassInfo& cls = grammar().cls(node.cls);
+        if (sel.isSelf()) {
+            const sem::InterfaceInfo& iface = grammar().iface(cls.iface);
+            return node.values[iface.attrByName.at(sel.attr)];
+        }
+        sem::ChildId child_id = cls.childByName.at(sel.base);
+        tree::NodeId target = node.children[child_id].node;
+        if (target == tree::kNoNode)
+            return 0; // absent optional child reads as 0
+        const tree::Node& child = tree_.node(target);
+        const sem::InterfaceInfo& iface =
+            grammar().iface(grammar().cls(child.cls).iface);
+        return child.values[iface.attrByName.at(sel.attr)];
+    }
+
+    int64_t evalBinary(const ast::Expr& expr) const
+    {
+        int64_t lhs = eval(*expr.args[0]);
+        int64_t rhs = eval(*expr.args[1]);
+        const std::string& op = expr.op;
+        if (op == "+") return lhs + rhs;
+        if (op == "-") return lhs - rhs;
+        if (op == "*") return lhs * rhs;
+        if (op == "/") return rhs == 0 ? 0 : lhs / rhs;
+        if (op == "%") return rhs == 0 ? 0 : lhs % rhs;
+        if (op == "<") return lhs < rhs ? 1 : 0;
+        if (op == "<=") return lhs <= rhs ? 1 : 0;
+        if (op == ">") return lhs > rhs ? 1 : 0;
+        if (op == ">=") return lhs >= rhs ? 1 : 0;
+        if (op == "==") return lhs == rhs ? 1 : 0;
+        if (op == "!=") return lhs != rhs ? 1 : 0;
+        internalError("ExprEval: unknown operator '" + op + "'");
+    }
+
+    int64_t evalCall(const ast::Expr& expr) const
+    {
+        if (expr.op == "abs") {
+            int64_t v = eval(*expr.args[0]);
+            return v < 0 ? -v : v;
+        }
+        int64_t lhs = eval(*expr.args[0]);
+        int64_t rhs = eval(*expr.args[1]);
+        if (expr.op == "max")
+            return lhs > rhs ? lhs : rhs;
+        if (expr.op == "min")
+            return lhs < rhs ? lhs : rhs;
+        internalError("ExprEval: unknown function '" + expr.op + "'");
+    }
+
+    static int64_t combine(const std::string& fn, int64_t acc, int64_t v)
+    {
+        if (fn == "add") return acc + v;
+        if (fn == "mul") return acc * v;
+        if (fn == "max") return acc > v ? acc : v;
+        if (fn == "min") return acc < v ? acc : v;
+        internalError("ExprEval: unknown fold function '" + fn + "'");
+    }
+
+    int64_t evalFold(const ast::Expr& expr) const
+    {
+        int64_t acc = eval(*expr.args[0]);
+        const tree::Node& node = tree_.node(node_);
+        const sem::ClassInfo& cls = grammar().cls(node.cls);
+        sem::ChildId coll = cls.childByName.at(expr.select.base);
+        for (tree::NodeId elem_id : node.children[coll].elems) {
+            const tree::Node& elem = tree_.node(elem_id);
+            const sem::InterfaceInfo& iface =
+                grammar().iface(grammar().cls(elem.cls).iface);
+            int64_t v = elem.values[iface.attrByName.at(expr.select.attr)];
+            acc = combine(expr.op, acc, v);
+        }
+        return acc;
+    }
+
+    const tree::Tree& tree_;
+    tree::NodeId node_;
+};
+
+/** Sequential/parallel traversal executor. */
+class Executor {
+  public:
+    Executor(const sched::Skeleton& skeleton,
+             const sched::Schedule& schedule, tree::Tree& tree,
+             ThreadPool* pool, ExecStats* stats)
+        : skeleton_(skeleton), schedule_(schedule), tree_(tree),
+          pool_(pool), stats_(stats)
+    {
+    }
+
+    void run() { visit(tree_.root()); }
+
+  private:
+    void bumpVisit()
+    {
+        if (stats_ != nullptr)
+            ++stats_->nodeVisits;
+    }
+
+    void applyRule(tree::NodeId node_id, sem::RuleId rule_id)
+    {
+        const sem::RuleInfo& rule = skeleton_.grammar().rule(rule_id);
+        tree::NodeId target = node_id;
+        if (rule.lhsChild != sem::kInvalidId) {
+            target = tree_.node(node_id).children[rule.lhsChild].node;
+            if (target == tree::kNoNode)
+                return; // vacuous write through an absent child
+        }
+        int64_t value = evalRule(tree_, node_id, rule);
+        tree_.node(target).values[rule.lhs] = value;
+        if (stats_ != nullptr)
+            ++stats_->rulesEvaluated;
+    }
+
+    void visit(tree::NodeId node_id)
+    {
+        bumpVisit();
+        const tree::Node& node = tree_.node(node_id);
+        const ast::CaseDecl& case_decl = skeleton_.caseFor(node.cls);
+        for (const auto& stmt : case_decl.stmts)
+            execStmt(node_id, *stmt);
+    }
+
+    void execStmt(tree::NodeId node_id, const ast::TStmt& stmt)
+    {
+        const tree::Node& node = tree_.node(node_id);
+        const sem::ClassInfo& cls = skeleton_.grammar().cls(node.cls);
+        switch (stmt.kind) {
+          case ast::TStmtKind::Hole: {
+            sched::SlotId slot = skeleton_.slotOf(&stmt);
+            if (skeleton_.slot(slot).candidates.empty())
+                return;
+            const auto& assignment = schedule_.bySlot[slot];
+            if (assignment.has_value() &&
+                skeleton_.slot(slot).context ==
+                    sched::SlotContext::TopLevel) {
+                applyRule(node_id, *assignment);
+            }
+            // In-loop assignments run at loop end (see expandBlock).
+            return;
+          }
+          case ast::TStmtKind::Eval:
+            applyRule(node_id, skeleton_.evalRule(&stmt));
+            return;
+          case ast::TStmtKind::Recur: {
+            tree::NodeId target =
+                node.children[cls.childByName.at(stmt.child)].node;
+            if (target != tree::kNoNode)
+                visit(target);
+            return;
+          }
+          case ast::TStmtKind::Iterate:
+            execIterate(node_id, stmt);
+            return;
+          case ast::TStmtKind::Parallel:
+            execParallel(node_id, stmt);
+            return;
+        }
+    }
+
+    /**
+     * Iterate: recur per element, then evaluate the block's scheduled
+     * folds in body order. Evaluating the fold once after the loop is
+     * value-equivalent to per-iteration accumulation because all
+     * element attributes are final after their visit.
+     */
+    void execIterate(tree::NodeId node_id, const ast::TStmt& stmt)
+    {
+        const tree::Node& node = tree_.node(node_id);
+        const sem::ClassInfo& cls = skeleton_.grammar().cls(node.cls);
+        sem::ChildId coll = cls.childByName.at(stmt.child);
+
+        bool has_recur = false;
+        for (const auto& body_stmt : stmt.body)
+            has_recur |= body_stmt->kind == ast::TStmtKind::Recur;
+        if (has_recur) {
+            for (tree::NodeId elem : node.children[coll].elems)
+                visit(elem);
+        }
+        for (const auto& body_stmt : stmt.body) {
+            if (body_stmt->kind == ast::TStmtKind::Hole) {
+                sched::SlotId slot = skeleton_.slotOf(body_stmt.get());
+                if (skeleton_.slot(slot).candidates.empty())
+                    continue;
+                const auto& assignment = schedule_.bySlot[slot];
+                if (assignment.has_value())
+                    applyRule(node_id, *assignment);
+            } else if (body_stmt->kind == ast::TStmtKind::Eval) {
+                applyRule(node_id, skeleton_.evalRule(body_stmt.get()));
+            }
+        }
+    }
+
+    void execParallel(tree::NodeId node_id, const ast::TStmt& stmt)
+    {
+        const tree::Node& node = tree_.node(node_id);
+        const sem::ClassInfo& cls = skeleton_.grammar().cls(node.cls);
+
+        std::vector<tree::NodeId> targets;
+        if (!stmt.child.empty()) {
+            sem::ChildId coll = cls.childByName.at(stmt.child);
+            targets = node.children[coll].elems;
+            if (pool_ != nullptr) {
+                forkJoinVisit(targets);
+            } else {
+                for (tree::NodeId elem : targets)
+                    visit(elem);
+            }
+            return;
+        }
+        // Statement form: each statement is a branch; only recurs can
+        // carry work (resolve bans evals, and holes are candidate-free).
+        for (const auto& body_stmt : stmt.body) {
+            if (body_stmt->kind != ast::TStmtKind::Recur)
+                continue;
+            tree::NodeId target =
+                node.children[cls.childByName.at(body_stmt->child)].node;
+            if (target != tree::kNoNode)
+                targets.push_back(target);
+        }
+        if (pool_ != nullptr) {
+            forkJoinVisit(targets);
+        } else {
+            for (tree::NodeId target : targets)
+                visit(target);
+        }
+    }
+
+    void forkJoinVisit(const std::vector<tree::NodeId>& targets)
+    {
+        // Count visits in a local executor per task; the subtrees are
+        // disjoint so tree mutation is race-free for valid schedules.
+        std::atomic<uint64_t> visits{0};
+        std::atomic<uint64_t> rules{0};
+        for (tree::NodeId target : targets) {
+            pool_->submit([this, target, &visits, &rules] {
+                ExecStats local;
+                Executor sub(skeleton_, schedule_, tree_, nullptr, &local);
+                sub.visit(target);
+                visits += local.nodeVisits;
+                rules += local.rulesEvaluated;
+            });
+        }
+        pool_->waitAll();
+        if (stats_ != nullptr) {
+            stats_->nodeVisits += visits.load();
+            stats_->rulesEvaluated += rules.load();
+        }
+    }
+
+    const sched::Skeleton& skeleton_;
+    const sched::Schedule& schedule_;
+    tree::Tree& tree_;
+    ThreadPool* pool_;
+    ExecStats* stats_;
+};
+
+} // namespace
+
+int64_t
+evalRule(const tree::Tree& tree, tree::NodeId node, const sem::RuleInfo& rule)
+{
+    ExprEval evaluator(tree, node);
+    return evaluator.eval(*rule.decl->rhs);
+}
+
+void
+execute(const sched::Skeleton& skeleton, const sched::Schedule& schedule,
+        tree::Tree& tree, ExecStats* stats)
+{
+    Executor executor(skeleton, schedule, tree, nullptr, stats);
+    executor.run();
+}
+
+void
+executeParallel(const sched::Skeleton& skeleton,
+                const sched::Schedule& schedule, tree::Tree& tree,
+                ThreadPool& pool, ExecStats* stats)
+{
+    Executor executor(skeleton, schedule, tree, &pool, stats);
+    executor.run();
+}
+
+void
+computeReference(tree::Tree& tree)
+{
+    const sem::Grammar& grammar = tree.grammar();
+
+    // Structural writer map: location -> (context node, rule). Self
+    // rules write their own node; child-LHS (inherited) rules write the
+    // child from the parent's context.
+    struct Ctx {
+        tree::NodeId node = tree::kNoNode;
+        sem::RuleId rule = sem::kInvalidId;
+    };
+    std::unordered_map<uint64_t, Ctx> writer_of;
+    for (const tree::Node& node : tree.nodes()) {
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        for (sem::RuleId rule_id : cls.rules) {
+            const sem::RuleInfo& rule = grammar.rule(rule_id);
+            tree::NodeId target = node.id;
+            if (rule.lhsChild != sem::kInvalidId) {
+                target = node.children[rule.lhsChild].node;
+                if (target == tree::kNoNode)
+                    continue;
+            }
+            sched::Location loc{target, rule.lhs};
+            if (!writer_of.emplace(loc.key(), Ctx{node.id, rule_id})
+                     .second) {
+                userError("reference evaluation: location written twice");
+            }
+        }
+    }
+
+    enum class Mark : uint8_t { White, Grey, Black };
+    std::unordered_map<uint64_t, Mark> marks;
+
+    // Recursive demand evaluation with cycle detection.
+    auto evalLoc = [&](auto&& self, tree::NodeId node_id,
+                       sem::AttrId attr) -> int64_t {
+        tree::Node& node = tree.node(node_id);
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        if (iface.isInput(attr))
+            return node.values[attr];
+        sched::Location loc{node_id, attr};
+        Mark& mark = marks[loc.key()];
+        if (mark == Mark::Black)
+            return node.values[attr];
+        if (mark == Mark::Grey) {
+            userError("cyclic attribute dependency at " + cls.name + "." +
+                      iface.attrs[attr].name);
+        }
+        mark = Mark::Grey;
+        auto writer_it = writer_of.find(loc.key());
+        if (writer_it == writer_of.end()) {
+            userError("reference evaluation: no rule computes " +
+                      cls.name + "." + iface.attrs[attr].name);
+        }
+        tree::NodeId ctx_id = writer_it->second.node;
+        const sem::RuleInfo& rule = grammar.rule(writer_it->second.rule);
+        const tree::Node& ctx = tree.node(ctx_id);
+        // Force dependencies first (relative to the rule's context).
+        for (const sem::ReadDep& dep : rule.reads) {
+            switch (dep.kind) {
+              case sem::ReadDep::Kind::SelfAttr:
+                self(self, ctx_id, dep.attr);
+                break;
+              case sem::ReadDep::Kind::ChildAttr: {
+                tree::NodeId target = ctx.children[dep.child].node;
+                if (target != tree::kNoNode)
+                    self(self, target, dep.attr);
+                break;
+              }
+              case sem::ReadDep::Kind::CollElem:
+                for (tree::NodeId elem : ctx.children[dep.child].elems)
+                    self(self, elem, dep.attr);
+                break;
+            }
+        }
+        int64_t value = evalRule(tree, ctx_id, rule);
+        tree.node(node_id).values[attr] = value;
+        marks[loc.key()] = Mark::Black;
+        return value;
+    };
+
+    for (const tree::Node& node : tree.nodes()) {
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < node.values.size(); ++attr) {
+            if (!iface.isInput(attr))
+                evalLoc(evalLoc, node.id, attr);
+        }
+    }
+}
+
+} // namespace hecate::exec

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Value interpreter: runs a concrete schedule over a tree with real
+ * integer semantics and fills in the output attributes.
+ *
+ * Two evaluation modes exist:
+ *  - execute(): follows the traversal skeleton + schedule (a valid
+ *    linear extension of the plan's happens-before order);
+ *  - computeReference(): demand-driven memoized evaluation straight
+ *    from the attribute grammar, independent of any schedule.
+ *
+ * "execute == computeReference on every tree" is the key semantic
+ * property tying synthesized schedules back to the grammar (tested in
+ * tests/test_exec.cpp).
+ *
+ * Value conventions (documented in README): reading an attribute
+ * through an absent optional child yields 0 (which makes the paper's
+ * sibling-fold rules like `self.h + nx.h1` behave as expected), and
+ * x/0 == x%0 == 0.
+ */
+
+#include <cstdint>
+
+#include "sched/schedule.hpp"
+#include "support/thread_pool.hpp"
+#include "tree/tree.hpp"
+
+namespace hecate::exec {
+
+/** Counters from one execution. */
+struct ExecStats {
+    uint64_t nodeVisits = 0;
+    uint64_t rulesEvaluated = 0;
+};
+
+/**
+ * Evaluate @p rule of @p node against the current tree values and
+ * return the RHS value (does not store it).
+ */
+int64_t evalRule(const tree::Tree& tree, tree::NodeId node,
+                 const sem::RuleInfo& rule);
+
+/**
+ * Execute the concrete traversal (@p skeleton completed by
+ * @p schedule) over @p tree sequentially, storing every computed
+ * attribute. The schedule must be valid (verify first); invalid
+ * schedules produce unspecified values but never UB.
+ */
+void execute(const sched::Skeleton& skeleton,
+             const sched::Schedule& schedule, tree::Tree& tree,
+             ExecStats* stats = nullptr);
+
+/**
+ * Like execute() but runs `parallel` regions on @p pool. Requires a
+ * verified schedule: parallel branches must be data-independent.
+ */
+void executeParallel(const sched::Skeleton& skeleton,
+                     const sched::Schedule& schedule, tree::Tree& tree,
+                     ThreadPool& pool, ExecStats* stats = nullptr);
+
+/**
+ * Demand-driven reference evaluation of every output attribute.
+ * Throws UserError when the grammar instance has a dependency cycle.
+ */
+void computeReference(tree::Tree& tree);
+
+} // namespace hecate::exec

@@ -1,0 +1,659 @@
+#include "grammars/grammars.hpp"
+
+#include <sstream>
+
+#include "lang/parser.hpp"
+
+namespace hecate::grammars {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hand-written grammars (BinaryTree, FMM, Piecewise, RenderTree)
+// ---------------------------------------------------------------------------
+
+/** BinaryTree: tree statistics in two fusable bottom-up passes. */
+const char* kBinaryTreeSrc = R"(
+interface BT {
+    input v0 : int;
+    output sum, cnt, hgt, mx, mn, avg, dev, ok : int;
+}
+class Node : BT {
+    children {
+        l : Optional[BT];
+        r : Optional[BT];
+    }
+    rules(aggregate) {
+        self.sum := self.v0 + l.sum + r.sum;
+        self.cnt := 1 + l.cnt + r.cnt;
+        self.hgt := 1 + max(l.hgt, r.hgt);
+        self.mx  := max(self.v0, max(l.mx, r.mx));
+    }
+    rules(analyze) {
+        self.mn  := min(self.v0, min(l.mn, r.mn));
+        self.avg := self.sum / self.cnt;
+        self.dev := abs(self.v0 - self.avg);
+        self.ok  := (self.mn <= self.v0) + (self.v0 <= self.mx);
+    }
+}
+class Tip : BT {
+    rules(aggregate) {
+        self.sum := self.v0;
+        self.cnt := 1;
+        self.hgt := 1;
+        self.mx  := self.v0;
+    }
+    rules(analyze) {
+        self.mn  := self.v0;
+        self.avg := self.sum / self.cnt;
+        self.dev := abs(self.v0 - self.avg);
+        self.ok  := 1;
+    }
+}
+)";
+
+/** FMM: upward multipole pass, downward field pass, evaluation pass. */
+const char* kFmmSrc = R"(
+interface Cell {
+    input q0, x0 : int;
+    output m, w, p, e, d : int;
+}
+interface Space {
+    input s0 : int;
+    output t1, t2, t3 : int;
+}
+class Box : Cell {
+    children {
+        l : Optional[Cell];
+        r : Optional[Cell];
+    }
+    rules(upward) {
+        self.m := self.q0 + l.m + r.m;
+        self.w := self.x0 * self.q0 + l.w + r.w;
+    }
+    rules(downward) {
+        l.d := self.d + self.x0;
+        r.d := self.d - self.x0;
+    }
+    rules(evaluate) {
+        self.p := self.d + self.m;
+        self.e := abs(self.w - self.m);
+    }
+}
+class Body : Cell {
+    rules(upward) {
+        self.m := self.q0;
+        self.w := self.x0 * self.q0;
+    }
+    rules(evaluate) {
+        self.p := self.d + self.m;
+        self.e := abs(self.w - self.m);
+    }
+}
+class Sim : Space {
+    children {
+        b : Optional[Cell];
+    }
+    rules(downward) {
+        b.d := self.s0;
+    }
+    rules(evaluate) {
+        self.t1 := b.p;
+        self.t2 := b.m + self.s0;
+        self.t3 := b.w;
+    }
+}
+)";
+
+/** Piecewise: piecewise-linear function measurement and evaluation. */
+const char* kPiecewiseSrc = R"(
+interface Seg {
+    input a0, b0, lo0, hi0 : int;
+    output len, val, mn, mx : int;
+}
+interface PF {
+    input x0 : int;
+    output y, n, s, m : int;
+}
+class Split : Seg {
+    children {
+        l : Optional[Seg];
+        r : Optional[Seg];
+    }
+    rules(measure) {
+        self.len := l.len + r.len;
+        self.mn  := min(l.mn, r.mn);
+        self.mx  := max(l.mx, r.mx);
+    }
+    rules(evaluate) {
+        self.val := l.val + r.val;
+    }
+}
+class Piece : Seg {
+    rules(measure) {
+        self.len := self.hi0 - self.lo0;
+        self.mn  := min(self.a0 * self.lo0 + self.b0,
+                        self.a0 * self.hi0 + self.b0);
+        self.mx  := max(self.a0 * self.lo0 + self.b0,
+                        self.a0 * self.hi0 + self.b0);
+    }
+    rules(evaluate) {
+        self.val := self.a0 * self.lo0 + self.b0;
+    }
+}
+class PFunc : PF {
+    children {
+        f : Optional[Seg];
+    }
+    rules(measure) {
+        self.n := f.len;
+        self.s := f.mx - f.mn;
+    }
+    rules(evaluate) {
+        self.y := f.val + self.x0;
+        self.m := f.mn + self.x0;
+    }
+}
+)";
+
+/**
+ * RenderTree: the five rendering passes of §6.2 over a first-child /
+ * next-sibling document tree: flex width resolution, relative widths,
+ * font propagation (inherited), heights (which consume the inherited
+ * font size), and position finalization (inherited).
+ */
+const char* kRenderTreeSrc = R"(
+interface Box {
+    input w0, h0, fs1 : int;
+    output wf, w, w1, h, h1, fs, ax, ay : int;
+}
+interface Doc {
+    input fs0 : int;
+    output total : int;
+}
+class Horiz : Box {
+    children {
+        nx : Optional[Box];
+        fc : Optional[Box];
+    }
+    rules(flexWidths) {
+        self.wf := max(self.w0, fc.wf);
+    }
+    rules(relWidths) {
+        self.w  := max(self.wf, fc.w1);
+        self.w1 := max(self.w, nx.w1);
+    }
+    rules(fonts) {
+        fc.fs := max(self.fs, self.fs1);
+        nx.fs := self.fs;
+    }
+    rules(heights) {
+        self.h  := max(self.h0, fc.h1) + self.fs;
+        self.h1 := max(self.h, nx.h1);
+    }
+    rules(positions) {
+        fc.ax := self.ax + 1;
+        nx.ax := self.ax + self.w0;
+        fc.ay := self.ay + 1;
+        nx.ay := self.ay;
+    }
+}
+class Vert : Box {
+    children {
+        nx : Optional[Box];
+        fc : Optional[Box];
+    }
+    rules(flexWidths) {
+        self.wf := self.w0 + fc.wf;
+    }
+    rules(relWidths) {
+        self.w  := max(self.wf, fc.w1);
+        self.w1 := max(self.w, nx.w1);
+    }
+    rules(fonts) {
+        fc.fs := self.fs + self.fs1;
+        nx.fs := self.fs;
+    }
+    rules(heights) {
+        self.h  := self.h0 + fc.h1 + self.fs;
+        self.h1 := self.h + nx.h1;
+    }
+    rules(positions) {
+        fc.ax := self.ax + 2;
+        nx.ax := self.ax;
+        fc.ay := self.ay + 2;
+        nx.ay := self.ay + self.h0;
+    }
+}
+class Text : Box {
+    children {
+        nx : Optional[Box];
+    }
+    rules(flexWidths) {
+        self.wf := self.w0;
+    }
+    rules(relWidths) {
+        self.w  := self.wf;
+        self.w1 := max(self.w, nx.w1);
+    }
+    rules(fonts) {
+        nx.fs := self.fs;
+    }
+    rules(heights) {
+        self.h  := self.h0 + self.fs;
+        self.h1 := self.h + nx.h1;
+    }
+    rules(positions) {
+        nx.ax := self.ax + self.w0;
+        nx.ay := self.ay;
+    }
+}
+class Image : Box {
+    children {
+        nx : Optional[Box];
+    }
+    rules(flexWidths) {
+        self.wf := self.w0 + 1;
+    }
+    rules(relWidths) {
+        self.w  := self.wf;
+        self.w1 := max(self.w, nx.w1);
+    }
+    rules(fonts) {
+        nx.fs := self.fs;
+    }
+    rules(heights) {
+        self.h  := self.h0 + 1;
+        self.h1 := self.h + nx.h1;
+    }
+    rules(positions) {
+        nx.ax := self.ax + self.w0;
+        nx.ay := self.ay;
+    }
+}
+class List : Box {
+    children {
+        nx : Optional[Box];
+    }
+    rules(flexWidths) {
+        self.wf := self.w0 + 2;
+    }
+    rules(relWidths) {
+        self.w  := self.wf;
+        self.w1 := max(self.w, nx.w1);
+    }
+    rules(fonts) {
+        nx.fs := self.fs;
+    }
+    rules(heights) {
+        self.h  := self.h0 + self.fs + 1;
+        self.h1 := self.h + nx.h1;
+    }
+    rules(positions) {
+        nx.ax := self.ax + self.w0;
+        nx.ay := self.ay;
+    }
+}
+class Document : Doc {
+    children {
+        b : Optional[Box];
+    }
+    rules(fonts) {
+        b.fs := self.fs0;
+    }
+    rules(heights) {
+        self.total := b.h1 + b.w1;
+    }
+    rules(positions) {
+        b.ax := 0;
+        b.ay := 0;
+    }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Generated grammar families (AST and the CSS layout grammars)
+// ---------------------------------------------------------------------------
+
+/** Parameterization of a generated pass grammar. */
+struct GenSpec {
+    std::string ifaceName;                 ///< node interface
+    std::string rootIface;                 ///< root interface
+    std::string rootClass;                 ///< root class name
+    std::vector<std::string> synthesized;  ///< attr names, pass-ordered
+    std::vector<std::string> inherited;    ///< attr names
+    std::vector<std::string> passes;       ///< pass names
+    /** (class name, child count) — children are Optional[ifaceName]. */
+    std::vector<std::pair<std::string, int>> classes;
+    int rootOutputs = 2;
+};
+
+/** Pass tag for synthesized attribute @p j: block-wise over passes. */
+std::string
+passFor(const GenSpec& spec, size_t j)
+{
+    size_t block = j * spec.passes.size() / spec.synthesized.size();
+    return spec.passes[std::min(block, spec.passes.size() - 1)];
+}
+
+/**
+ * Generate L_a source for @p spec. Dependency style: synthesized
+ * attribute j reads the same attribute of every child, plus the
+ * previous synthesized attribute (odd j) and an inherited attribute
+ * (j % 3 == 2) — a mix of bottom-up chains, intra-node chains, and
+ * top-down coupling like real layout grammars.
+ */
+std::string
+generateGrammar(const GenSpec& spec)
+{
+    std::ostringstream os;
+    const std::string& n = spec.ifaceName;
+
+    os << "interface " << n << " {\n    input x0, y0 : int;\n    output ";
+    for (size_t j = 0; j < spec.synthesized.size(); ++j) {
+        if (j > 0)
+            os << ", ";
+        os << spec.synthesized[j];
+    }
+    for (const std::string& attr : spec.inherited)
+        os << ", " << attr;
+    os << " : int;\n}\n";
+
+    os << "interface " << spec.rootIface << " {\n    input r0 : int;\n"
+       << "    output ";
+    for (int u = 0; u < spec.rootOutputs; ++u) {
+        if (u > 0)
+            os << ", ";
+        os << "out" << u;
+    }
+    os << " : int;\n}\n";
+
+    for (const auto& [cls_name, child_count] : spec.classes) {
+        os << "class " << cls_name << " : " << n << " {\n";
+        if (child_count > 0) {
+            os << "    children {\n";
+            for (int c = 0; c < child_count; ++c)
+                os << "        c" << c << " : Optional[" << n << "];\n";
+            os << "    }\n";
+        }
+        // Synthesized rules, one pass block at a time.
+        std::string open_pass;
+        for (size_t j = 0; j < spec.synthesized.size(); ++j) {
+            std::string pass = passFor(spec, j);
+            if (pass != open_pass) {
+                if (!open_pass.empty())
+                    os << "    }\n";
+                os << "    rules(" << pass << ") {\n";
+                open_pass = pass;
+            }
+            const std::string& attr = spec.synthesized[j];
+            os << "        self." << attr << " := self.x0";
+            for (int c = 0; c < child_count; ++c)
+                os << " + c" << c << "." << attr;
+            if (j > 0 && j % 2 == 1)
+                os << " + self." << spec.synthesized[j - 1];
+            if (j % 3 == 2 && !spec.inherited.empty())
+                os << " + self." << spec.inherited[j % spec.inherited.size()];
+            os << ";\n";
+        }
+        if (!open_pass.empty())
+            os << "    }\n";
+        // Inherited rules (tagged with the first pass so any later
+        // synthesized pass may read them).
+        if (child_count > 0 && !spec.inherited.empty()) {
+            os << "    rules(" << spec.passes.front() << ") {\n";
+            for (int c = 0; c < child_count; ++c) {
+                for (size_t t = 0; t < spec.inherited.size(); ++t) {
+                    os << "        c" << c << "." << spec.inherited[t]
+                       << " := self." << spec.inherited[t] << " + self.y0 + "
+                       << t << ";\n";
+                }
+            }
+            os << "    }\n";
+        }
+        os << "}\n";
+    }
+
+    // Root class: seeds the inherited attributes, consumes synthesized
+    // results in the final pass.
+    os << "class " << spec.rootClass << " : " << spec.rootIface << " {\n"
+       << "    children {\n        b : Optional[" << n << "];\n    }\n";
+    if (!spec.inherited.empty()) {
+        os << "    rules(" << spec.passes.front() << ") {\n";
+        for (size_t t = 0; t < spec.inherited.size(); ++t) {
+            os << "        b." << spec.inherited[t] << " := self.r0 + " << t
+               << ";\n";
+        }
+        os << "    }\n";
+    }
+    os << "    rules(" << spec.passes.back() << ") {\n";
+    for (int u = 0; u < spec.rootOutputs; ++u) {
+        os << "        self.out" << u << " := b."
+           << spec.synthesized[u % spec.synthesized.size()]
+           << " + self.r0;\n";
+    }
+    os << "    }\n}\n";
+    return os.str();
+}
+
+Benchmark
+makeGenerated(const std::string& name, const GenSpec& spec,
+              size_t expected_rules, const std::string& description)
+{
+    Benchmark bench;
+    bench.name = name;
+    bench.source = generateGrammar(spec);
+    bench.rootInterface = spec.rootIface;
+    bench.expectedRules = expected_rules;
+    bench.description = description;
+    return bench;
+}
+
+/** AST: six compiler passes over a 12-class imperative-language AST. */
+Benchmark
+makeAstBench()
+{
+    GenSpec spec;
+    spec.ifaceName = "N";
+    spec.rootIface = "P";
+    spec.rootClass = "Program";
+    spec.synthesized = {"dec", "inc", "cp", "vr", "cf", "db"};
+    spec.inherited = {"env", "dp"};
+    spec.passes = {"desugarDecr", "desugarIncr", "constProp",
+                   "varRefsToConst", "constFold", "deadBranch"};
+    spec.classes = {
+        {"If", 4},     {"For", 4},   {"While", 3}, {"Func", 3},
+        {"BinOp", 3},  {"Call", 3},  {"Assign", 2}, {"Decr", 2},
+        {"Incr", 2},   {"Block", 2}, {"Ret", 2},   {"Num", 0},
+    };
+    spec.rootOutputs = 2;
+    return makeGenerated(
+        "AST", spec, 136,
+        "12-class imperative AST with six de-sugaring/optimization "
+        "passes (decrement/increment desugaring, constant propagation, "
+        "variable-reference replacement, constant folding, unreachable-"
+        "branch elimination)");
+}
+
+Benchmark
+makeCssFloat()
+{
+    GenSpec spec;
+    spec.ifaceName = "E";
+    spec.rootIface = "V";
+    spec.rootClass = "Viewport";
+    spec.synthesized = {"minW", "prefW", "usedW", "innerW", "lineH",
+                        "usedH", "baseline", "floatLw", "floatRw",
+                        "clearY"};
+    spec.inherited = {"cbW", "availL", "availR", "fsz"};
+    spec.passes = {"intrinsic", "widths", "floats", "heights"};
+    spec.classes = {
+        {"BlockBox", 4}, {"InlineBox", 4}, {"FloatLBox", 3},
+        {"FloatRBox", 3}, {"AnonBox", 3},  {"LineBox", 3},
+        {"TextRun", 2},  {"Marker", 1},    {"Break", 1},
+    };
+    spec.rootOutputs = 2;
+    return makeGenerated(
+        "CSS-float", spec, 192,
+        "basic CSS box rules plus left/right float placement");
+}
+
+Benchmark
+makeCssMargin()
+{
+    GenSpec spec;
+    spec.ifaceName = "E";
+    spec.rootIface = "V";
+    spec.rootClass = "Viewport";
+    spec.synthesized = {"minW", "prefW", "usedW", "innerW", "marginT",
+                        "marginB", "collapsedT", "collapsedB", "usedH",
+                        "edgeY"};
+    spec.inherited = {"cbW", "inFlow", "collapseCtx", "fsz"};
+    spec.passes = {"intrinsic", "widths", "margins", "heights"};
+    spec.classes = {
+        {"BlockBox", 3}, {"InlineBox", 3}, {"AnonBox", 3},
+        {"LineBox", 2},  {"TextRun", 2},   {"EmptyBox", 2},
+        {"Spacer", 2},   {"Marker", 2},    {"Break", 1},
+    };
+    spec.rootOutputs = 4;
+    return makeGenerated(
+        "CSS-margin", spec, 178,
+        "basic CSS box rules plus vertical margin collapsing");
+}
+
+Benchmark
+makeCssFull()
+{
+    GenSpec spec;
+    spec.ifaceName = "E";
+    spec.rootIface = "V";
+    spec.rootClass = "Viewport";
+    spec.synthesized = {"minW", "prefW", "usedW", "innerW", "lineH",
+                        "usedH", "baseline", "floatLw", "floatRw",
+                        "clearY", "marginT", "marginB", "collapsedM"};
+    spec.inherited = {"cbW", "availL", "availR", "fsz", "absCtx"};
+    spec.passes = {"intrinsic", "widths", "floats", "margins",
+                   "heights", "absolutes"};
+    spec.classes = {
+        {"BlockBox", 3}, {"InlineBox", 3}, {"FloatLBox", 3},
+        {"FloatRBox", 2}, {"AbsBox", 2},   {"AnonBox", 2},
+        {"LineBox", 2},  {"TextRun", 2},   {"Marker", 1},
+        {"Break", 1},
+    };
+    spec.rootOutputs = 4;
+    return makeGenerated(
+        "CSS-full", spec, 244,
+        "superset of CSS-float and CSS-margin: floats, margin "
+        "collapsing, absolute positioning, and the remaining "
+        "challenging CSS features");
+}
+
+Benchmark
+makeHandWritten(const std::string& name, const char* source,
+                const std::string& root_iface, size_t expected,
+                const std::string& description)
+{
+    Benchmark bench;
+    bench.name = name;
+    bench.source = source;
+    bench.rootInterface = root_iface;
+    bench.expectedRules = expected;
+    bench.description = description;
+    return bench;
+}
+
+} // namespace
+
+const Benchmark&
+binaryTree()
+{
+    static const Benchmark bench = makeHandWritten(
+        "BinaryTree", kBinaryTreeSrc, "BT", 16,
+        "binary tree statistics in two bottom-up passes");
+    return bench;
+}
+
+const Benchmark&
+fmm()
+{
+    static const Benchmark bench = makeHandWritten(
+        "FMM", kFmmSrc, "Space", 14,
+        "fast-multipole style upward/downward/evaluate passes");
+    return bench;
+}
+
+const Benchmark&
+piecewise()
+{
+    static const Benchmark bench = makeHandWritten(
+        "Piecewise", kPiecewiseSrc, "PF", 12,
+        "piecewise-linear function measurement and evaluation");
+    return bench;
+}
+
+const Benchmark&
+astBench()
+{
+    static const Benchmark bench = makeAstBench();
+    return bench;
+}
+
+const Benchmark&
+renderTree()
+{
+    static const Benchmark bench = makeHandWritten(
+        "RenderTree", kRenderTreeSrc, "Doc", 50,
+        "five rendering passes over a first-child/next-sibling "
+        "document tree (§6.2)");
+    return bench;
+}
+
+const Benchmark&
+cssFloat()
+{
+    static const Benchmark bench = makeCssFloat();
+    return bench;
+}
+
+const Benchmark&
+cssMargin()
+{
+    static const Benchmark bench = makeCssMargin();
+    return bench;
+}
+
+const Benchmark&
+cssFull()
+{
+    static const Benchmark bench = makeCssFull();
+    return bench;
+}
+
+std::vector<const Benchmark*>
+grafterBenchmarks()
+{
+    return {&binaryTree(), &fmm(), &piecewise(), &astBench(),
+            &renderTree()};
+}
+
+std::vector<const Benchmark*>
+cssBenchmarks()
+{
+    return {&cssFloat(), &cssMargin(), &cssFull()};
+}
+
+sem::Grammar
+load(const Benchmark& benchmark)
+{
+    return sem::Grammar::analyze(lang::parseGrammar(benchmark.source));
+}
+
+sem::InterfaceId
+rootInterface(const sem::Grammar& grammar, const Benchmark& benchmark)
+{
+    sem::InterfaceId id = grammar.findInterface(benchmark.rootInterface);
+    checkInvariant(id != sem::kInvalidId, "benchmark root interface");
+    return id;
+}
+
+} // namespace hecate::grammars

@@ -1,0 +1,187 @@
+#include "lang/ast.hpp"
+
+#include <utility>
+
+namespace hecate::ast {
+
+ExprPtr
+Expr::makeConst(int64_t v, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Const;
+    e->value = v;
+    e->loc = loc;
+    return e;
+}
+
+ExprPtr
+Expr::makeSelect(Select sel, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Select;
+    e->select = std::move(sel);
+    e->loc = loc;
+    return e;
+}
+
+ExprPtr
+Expr::makeBinary(std::string op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->op = std::move(op);
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(rhs));
+    e->loc = loc;
+    return e;
+}
+
+ExprPtr
+Expr::makeCall(std::string fn, std::vector<ExprPtr> args, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Call;
+    e->op = std::move(fn);
+    e->args = std::move(args);
+    e->loc = loc;
+    return e;
+}
+
+ExprPtr
+Expr::makeFold(std::string fn, ExprPtr init, Select coll, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Fold;
+    e->op = std::move(fn);
+    e->args.push_back(std::move(init));
+    e->select = std::move(coll);
+    e->loc = loc;
+    return e;
+}
+
+ExprPtr
+Expr::makeIf(ExprPtr c, ExprPtr t, ExprPtr f, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::If;
+    e->args.push_back(std::move(c));
+    e->args.push_back(std::move(t));
+    e->args.push_back(std::move(f));
+    e->loc = loc;
+    return e;
+}
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->loc = loc;
+    e->value = value;
+    e->select = select;
+    e->op = op;
+    e->args.reserve(args.size());
+    for (const auto& a : args)
+        e->args.push_back(a->clone());
+    return e;
+}
+
+TStmtPtr
+TStmt::makeHole(SourceLoc loc)
+{
+    auto s = std::make_unique<TStmt>();
+    s->kind = TStmtKind::Hole;
+    s->loc = loc;
+    return s;
+}
+
+TStmtPtr
+TStmt::makeRecur(std::string child, SourceLoc loc)
+{
+    auto s = std::make_unique<TStmt>();
+    s->kind = TStmtKind::Recur;
+    s->child = std::move(child);
+    s->loc = loc;
+    return s;
+}
+
+TStmtPtr
+TStmt::makeIterate(std::string coll, std::vector<TStmtPtr> body, SourceLoc loc)
+{
+    auto s = std::make_unique<TStmt>();
+    s->kind = TStmtKind::Iterate;
+    s->child = std::move(coll);
+    s->body = std::move(body);
+    s->loc = loc;
+    return s;
+}
+
+TStmtPtr
+TStmt::makeParallel(std::string coll, std::vector<TStmtPtr> body, SourceLoc loc)
+{
+    auto s = std::make_unique<TStmt>();
+    s->kind = TStmtKind::Parallel;
+    s->child = std::move(coll);
+    s->body = std::move(body);
+    s->loc = loc;
+    return s;
+}
+
+TStmtPtr
+TStmt::makeEval(std::string attr, SourceLoc loc)
+{
+    auto s = std::make_unique<TStmt>();
+    s->kind = TStmtKind::Eval;
+    s->evalAttr = std::move(attr);
+    s->loc = loc;
+    return s;
+}
+
+TStmtPtr
+TStmt::makeEvalChild(std::string base, std::string attr, SourceLoc loc)
+{
+    auto s = makeEval(std::move(attr), loc);
+    s->evalBase = std::move(base);
+    return s;
+}
+
+TStmtPtr
+TStmt::clone() const
+{
+    auto s = std::make_unique<TStmt>();
+    s->kind = kind;
+    s->loc = loc;
+    s->child = child;
+    s->evalBase = evalBase;
+    s->evalAttr = evalAttr;
+    s->body.reserve(body.size());
+    for (const auto& b : body)
+        s->body.push_back(b->clone());
+    return s;
+}
+
+CaseDecl
+CaseDecl::clone() const
+{
+    CaseDecl c;
+    c.className = className;
+    c.loc = loc;
+    c.stmts.reserve(stmts.size());
+    for (const auto& s : stmts)
+        c.stmts.push_back(s->clone());
+    return c;
+}
+
+TraversalDecl
+TraversalDecl::clone() const
+{
+    TraversalDecl t;
+    t.name = name;
+    t.loc = loc;
+    t.cases.reserve(cases.size());
+    for (const auto& c : cases)
+        t.cases.push_back(c.clone());
+    return t;
+}
+
+} // namespace hecate::ast

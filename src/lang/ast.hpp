@@ -1,0 +1,188 @@
+#pragma once
+
+/**
+ * @file
+ * Abstract syntax trees for Hecate's two surface languages:
+ *
+ *  - L_a, the attribute-grammar visitor language (paper Fig. 6): interfaces,
+ *    classes with typed children, and single-assignment computation rules.
+ *  - L_t, the traversal skeleton language (paper Fig. 7): per-class cases
+ *    containing `recur`, `iterate`, `parallel`, `eval`, and holes (iota).
+ *
+ * The ASTs are produced by lang/parser and consumed by sem/analyzer; they
+ * deliberately stay "stringly" — name resolution happens in sem/.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::ast {
+
+// ---------------------------------------------------------------------------
+// L_a: attribute grammar
+// ---------------------------------------------------------------------------
+
+/**
+ * An access path <sel>: one or two identifiers ending in an attribute,
+ * e.g. `self.w`, `fc.w1`. The base is `self` or a child name.
+ */
+struct Select {
+    std::string base;
+    std::string attr;
+    SourceLoc loc;
+
+    bool isSelf() const { return base == "self"; }
+    std::string str() const { return base + "." + attr; }
+};
+
+/** Expression node kinds of L_a. */
+enum class ExprKind : uint8_t {
+    Const,  ///< integer literal
+    Select, ///< access path read
+    Binary, ///< lhs <op> rhs
+    Call,   ///< f(args...) — builtin function call (max, min, abs, ...)
+    Fold,   ///< fold(f, init, coll.attr) — aggregate over a collection child
+    If,     ///< if c then t else e
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/**
+ * A single expression tree node. Fields are populated according to
+ * `kind`; unused fields stay default-initialized.
+ */
+struct Expr {
+    ExprKind kind;
+    SourceLoc loc;
+
+    int64_t value = 0;               ///< Const
+    Select select;                   ///< Select; Fold's collection path
+    std::string op;                  ///< Binary operator or Call/Fold function
+    std::vector<ExprPtr> args;       ///< Binary(2), Call(n), Fold(init), If(3)
+
+    static ExprPtr makeConst(int64_t v, SourceLoc loc = {});
+    static ExprPtr makeSelect(Select sel, SourceLoc loc = {});
+    static ExprPtr makeBinary(std::string op, ExprPtr lhs, ExprPtr rhs,
+                              SourceLoc loc = {});
+    static ExprPtr makeCall(std::string fn, std::vector<ExprPtr> args,
+                            SourceLoc loc = {});
+    static ExprPtr makeFold(std::string fn, ExprPtr init, Select coll,
+                            SourceLoc loc = {});
+    static ExprPtr makeIf(ExprPtr c, ExprPtr t, ExprPtr e, SourceLoc loc = {});
+
+    /** Deep structural copy. */
+    ExprPtr clone() const;
+};
+
+/** One computation rule `<sel> := <expr>;`. */
+struct RuleDecl {
+    Select lhs;
+    ExprPtr rhs;
+    std::string pass; ///< optional pass tag (used by the Grafter baseline)
+    SourceLoc loc;
+};
+
+/** An attribute declaration inside an interface: input or output. */
+struct AttrDecl {
+    std::string name;
+    bool isInput = false;
+    SourceLoc loc;
+};
+
+/** `interface Box { input w0,h0: int; output w,h: int; }` */
+struct InterfaceDecl {
+    std::string name;
+    std::vector<AttrDecl> attrs;
+    SourceLoc loc;
+};
+
+/**
+ * A child declaration: `nx : Optional[Box];` (optional scalar),
+ * `fc : Box;` (required scalar), or `cs : [Box];` (collection).
+ */
+struct ChildDecl {
+    std::string name;
+    std::string type;        ///< interface or class name
+    bool optional = false;
+    bool collection = false;
+    SourceLoc loc;
+};
+
+/** `class Inner : Box { children {...} rules {...} }` */
+struct ClassDecl {
+    std::string name;
+    std::string interface;
+    std::vector<ChildDecl> children;
+    std::vector<RuleDecl> rules;
+    SourceLoc loc;
+};
+
+/** A parsed L_a compilation unit. */
+struct GrammarAst {
+    std::vector<InterfaceDecl> interfaces;
+    std::vector<ClassDecl> classes;
+};
+
+// ---------------------------------------------------------------------------
+// L_t: traversal skeletons
+// ---------------------------------------------------------------------------
+
+/** Statement kinds of L_t. */
+enum class TStmtKind : uint8_t {
+    Hole,     ///< iota — slot to be filled with at most one rule
+    Recur,    ///< recur <child>
+    Iterate,  ///< iterate <coll> { body } — sequential per-element
+    Parallel, ///< parallel { stmts } or parallel <coll> { body } — fork-join
+    Eval,     ///< eval <sel> — fixed rule (identified by its LHS attribute)
+};
+
+struct TStmt;
+using TStmtPtr = std::unique_ptr<TStmt>;
+
+/** One traversal statement. */
+struct TStmt {
+    TStmtKind kind;
+    SourceLoc loc;
+
+    std::string child;          ///< Recur target / Iterate/Parallel collection
+    std::string evalBase;       ///< Eval: LHS base; empty means self
+    std::string evalAttr;       ///< Eval: attribute name
+    std::vector<TStmtPtr> body; ///< Iterate/Parallel body
+
+    static TStmtPtr makeHole(SourceLoc loc = {});
+    static TStmtPtr makeRecur(std::string child, SourceLoc loc = {});
+    static TStmtPtr makeIterate(std::string coll, std::vector<TStmtPtr> body,
+                                SourceLoc loc = {});
+    static TStmtPtr makeParallel(std::string coll, std::vector<TStmtPtr> body,
+                                 SourceLoc loc = {});
+    static TStmtPtr makeEval(std::string attr, SourceLoc loc = {});
+    static TStmtPtr makeEvalChild(std::string base, std::string attr,
+                                  SourceLoc loc = {});
+
+    TStmtPtr clone() const;
+};
+
+/** `case Inner { ... }` */
+struct CaseDecl {
+    std::string className;
+    std::vector<TStmtPtr> stmts;
+    SourceLoc loc;
+
+    CaseDecl clone() const;
+};
+
+/** `traversal layout { case ... }` */
+struct TraversalDecl {
+    std::string name;
+    std::vector<CaseDecl> cases;
+    SourceLoc loc;
+
+    TraversalDecl clone() const;
+};
+
+} // namespace hecate::ast

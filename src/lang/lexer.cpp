@@ -1,0 +1,187 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+namespace hecate::lang {
+
+namespace {
+
+/** Cursor over the source buffer tracking line/column. */
+class Cursor {
+  public:
+    explicit Cursor(std::string_view src) : src_(src) {}
+
+    bool atEnd() const { return pos_ >= src_.size(); }
+    char peek() const { return atEnd() ? '\0' : src_[pos_]; }
+    char peek2() const
+    {
+        return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+    }
+
+    char advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    SourceLoc loc() const { return {line_, col_}; }
+
+  private:
+    std::string_view src_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view source)
+{
+    std::vector<Token> tokens;
+    Cursor cur(source);
+
+    auto push = [&](TokenKind kind, std::string text, SourceLoc loc) {
+        Token tok;
+        tok.kind = kind;
+        tok.text = std::move(text);
+        tok.loc = loc;
+        tokens.push_back(std::move(tok));
+    };
+
+    while (!cur.atEnd()) {
+        SourceLoc loc = cur.loc();
+        char c = cur.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        // comments
+        if (c == '/' && cur.peek2() == '/') {
+            while (!cur.atEnd() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek2() == '*') {
+            cur.advance();
+            cur.advance();
+            while (!cur.atEnd() &&
+                   !(cur.peek() == '*' && cur.peek2() == '/')) {
+                cur.advance();
+            }
+            if (cur.atEnd())
+                userError("unterminated block comment", loc);
+            cur.advance();
+            cur.advance();
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (!cur.atEnd() &&
+                   (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+                    cur.peek() == '_')) {
+                text.push_back(cur.advance());
+            }
+            push(TokenKind::Ident, std::move(text), loc);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string text;
+            while (!cur.atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+                text.push_back(cur.advance());
+            }
+            Token tok;
+            tok.kind = TokenKind::Integer;
+            tok.text = text;
+            tok.intValue = std::stoll(text);
+            tok.loc = loc;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        cur.advance();
+        switch (c) {
+          case '{': push(TokenKind::LBrace, "{", loc); break;
+          case '}': push(TokenKind::RBrace, "}", loc); break;
+          case '(': push(TokenKind::LParen, "(", loc); break;
+          case ')': push(TokenKind::RParen, ")", loc); break;
+          case '[': push(TokenKind::LBracket, "[", loc); break;
+          case ']': push(TokenKind::RBracket, "]", loc); break;
+          case ';': push(TokenKind::Semi, ";", loc); break;
+          case ',': push(TokenKind::Comma, ",", loc); break;
+          case '.': push(TokenKind::Dot, ".", loc); break;
+          case '+': push(TokenKind::Plus, "+", loc); break;
+          case '-': push(TokenKind::Minus, "-", loc); break;
+          case '*': push(TokenKind::Star, "*", loc); break;
+          case '/': push(TokenKind::Slash, "/", loc); break;
+          case '%': push(TokenKind::Percent, "%", loc); break;
+          case ':':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::Assign, ":=", loc);
+            } else {
+                push(TokenKind::Colon, ":", loc);
+            }
+            break;
+          case '<':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::Le, "<=", loc);
+            } else {
+                push(TokenKind::Lt, "<", loc);
+            }
+            break;
+          case '>':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::Ge, ">=", loc);
+            } else {
+                push(TokenKind::Gt, ">", loc);
+            }
+            break;
+          case '=':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::EqEq, "==", loc);
+            } else {
+                userError("unexpected '='; did you mean ':=' or '=='?", loc);
+            }
+            break;
+          case '!':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokenKind::NotEq, "!=", loc);
+            } else {
+                userError("unexpected '!'", loc);
+            }
+            break;
+          case '?':
+            if (cur.peek() == '?') {
+                cur.advance();
+                push(TokenKind::Question, "??", loc);
+            } else {
+                userError("unexpected '?'; holes are written with two "
+                          "question marks", loc);
+            }
+            break;
+          default:
+            userError(std::string("unexpected character '") + c + "'", loc);
+        }
+    }
+
+    Token end;
+    end.kind = TokenKind::End;
+    end.loc = cur.loc();
+    tokens.push_back(std::move(end));
+    return tokens;
+}
+
+} // namespace hecate::lang

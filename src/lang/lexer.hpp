@@ -1,0 +1,21 @@
+#pragma once
+
+/**
+ * @file
+ * Hand-written lexer for the Hecate DSLs. Supports `//` line comments
+ * and `/ * ... * /` block comments so grammar sources can be documented
+ * the way the paper's figures are.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace hecate::lang {
+
+/** Tokenize @p source; throws UserError on malformed input. */
+std::vector<Token> lex(std::string_view source);
+
+} // namespace hecate::lang

@@ -1,0 +1,441 @@
+#include "lang/parser.hpp"
+
+#include <utility>
+
+#include "lang/lexer.hpp"
+
+namespace hecate::lang {
+
+namespace {
+
+using namespace hecate::ast;
+
+/** Shared token-stream machinery for both parsers. */
+class ParserBase {
+  public:
+    explicit ParserBase(std::string_view source) : tokens_(lex(source)) {}
+
+  protected:
+    const Token& peek() const { return tokens_[pos_]; }
+
+    bool at(TokenKind kind) const { return peek().kind == kind; }
+
+    /** True iff the current token is the identifier @p word. */
+    bool atWord(std::string_view word) const
+    {
+        return at(TokenKind::Ident) && peek().text == word;
+    }
+
+    Token advance() { return tokens_[pos_++]; }
+
+    Token expect(TokenKind kind)
+    {
+        if (!at(kind)) {
+            userError(std::string("expected ") + tokenKindName(kind) +
+                          ", found '" + peek().text + "'",
+                      peek().loc);
+        }
+        return advance();
+    }
+
+    Token expectWord(std::string_view word)
+    {
+        if (!atWord(word)) {
+            userError("expected '" + std::string(word) + "', found '" +
+                          peek().text + "'",
+                      peek().loc);
+        }
+        return advance();
+    }
+
+    bool accept(TokenKind kind)
+    {
+        if (!at(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    bool acceptWord(std::string_view word)
+    {
+        if (!atWord(word))
+            return false;
+        advance();
+        return true;
+    }
+
+    std::string expectIdent()
+    {
+        return expect(TokenKind::Ident).text;
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+/** Parser for L_a. */
+class GrammarParser : public ParserBase {
+  public:
+    using ParserBase::ParserBase;
+
+    GrammarAst parseUnit()
+    {
+        GrammarAst unit;
+        while (!at(TokenKind::End)) {
+            if (atWord("interface")) {
+                unit.interfaces.push_back(parseInterface());
+            } else if (atWord("class")) {
+                unit.classes.push_back(parseClass());
+            } else {
+                userError("expected 'interface' or 'class', found '" +
+                              peek().text + "'",
+                          peek().loc);
+            }
+        }
+        return unit;
+    }
+
+  private:
+    InterfaceDecl parseInterface()
+    {
+        InterfaceDecl decl;
+        decl.loc = peek().loc;
+        expectWord("interface");
+        decl.name = expectIdent();
+        expect(TokenKind::LBrace);
+        while (!accept(TokenKind::RBrace)) {
+            bool is_input;
+            if (acceptWord("input")) {
+                is_input = true;
+            } else if (acceptWord("output")) {
+                is_input = false;
+            } else {
+                userError("expected 'input' or 'output', found '" +
+                              peek().text + "'",
+                          peek().loc);
+            }
+            // name list
+            for (;;) {
+                AttrDecl attr;
+                attr.loc = peek().loc;
+                attr.name = expectIdent();
+                attr.isInput = is_input;
+                decl.attrs.push_back(std::move(attr));
+                if (!accept(TokenKind::Comma))
+                    break;
+            }
+            expect(TokenKind::Colon);
+            expectIdent(); // attribute type; only 'int' is modeled
+            expect(TokenKind::Semi);
+        }
+        return decl;
+    }
+
+    ClassDecl parseClass()
+    {
+        ClassDecl decl;
+        decl.loc = peek().loc;
+        expectWord("class");
+        decl.name = expectIdent();
+        expect(TokenKind::Colon);
+        decl.interface = expectIdent();
+        expect(TokenKind::LBrace);
+        while (!accept(TokenKind::RBrace)) {
+            if (atWord("children")) {
+                parseChildren(decl);
+            } else if (atWord("rules")) {
+                parseRules(decl);
+            } else {
+                userError("expected 'children' or 'rules', found '" +
+                              peek().text + "'",
+                          peek().loc);
+            }
+        }
+        return decl;
+    }
+
+    void parseChildren(ClassDecl& decl)
+    {
+        expectWord("children");
+        expect(TokenKind::LBrace);
+        while (!accept(TokenKind::RBrace)) {
+            ChildDecl child;
+            child.loc = peek().loc;
+            child.name = expectIdent();
+            expect(TokenKind::Colon);
+            if (accept(TokenKind::LBracket)) {
+                child.collection = true;
+                child.type = expectIdent();
+                expect(TokenKind::RBracket);
+            } else {
+                std::string head = expectIdent();
+                if (head == "Optional") {
+                    child.optional = true;
+                    expect(TokenKind::LBracket);
+                    child.type = expectIdent();
+                    expect(TokenKind::RBracket);
+                } else {
+                    child.type = std::move(head);
+                }
+            }
+            expect(TokenKind::Semi);
+            decl.children.push_back(std::move(child));
+        }
+    }
+
+    void parseRules(ClassDecl& decl)
+    {
+        expectWord("rules");
+        std::string pass;
+        if (accept(TokenKind::LParen)) {
+            pass = expectIdent();
+            expect(TokenKind::RParen);
+        }
+        expect(TokenKind::LBrace);
+        while (!accept(TokenKind::RBrace)) {
+            RuleDecl rule;
+            rule.loc = peek().loc;
+            rule.pass = pass;
+            rule.lhs = parseSelect();
+            expect(TokenKind::Assign);
+            rule.rhs = parseExpr();
+            expect(TokenKind::Semi);
+            decl.rules.push_back(std::move(rule));
+        }
+    }
+
+    Select parseSelect()
+    {
+        Select sel;
+        sel.loc = peek().loc;
+        sel.base = expectIdent();
+        expect(TokenKind::Dot);
+        sel.attr = expectIdent();
+        return sel;
+    }
+
+    ExprPtr parseExpr() { return parseComparison(); }
+
+    ExprPtr parseComparison()
+    {
+        ExprPtr lhs = parseAdditive();
+        for (;;) {
+            std::string op;
+            if (at(TokenKind::Lt)) op = "<";
+            else if (at(TokenKind::Le)) op = "<=";
+            else if (at(TokenKind::Gt)) op = ">";
+            else if (at(TokenKind::Ge)) op = ">=";
+            else if (at(TokenKind::EqEq)) op = "==";
+            else if (at(TokenKind::NotEq)) op = "!=";
+            else break;
+            SourceLoc loc = advance().loc;
+            ExprPtr rhs = parseAdditive();
+            lhs = Expr::makeBinary(op, std::move(lhs), std::move(rhs), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr parseAdditive()
+    {
+        ExprPtr lhs = parseMultiplicative();
+        for (;;) {
+            std::string op;
+            if (at(TokenKind::Plus)) op = "+";
+            else if (at(TokenKind::Minus)) op = "-";
+            else break;
+            SourceLoc loc = advance().loc;
+            ExprPtr rhs = parseMultiplicative();
+            lhs = Expr::makeBinary(op, std::move(lhs), std::move(rhs), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr parseMultiplicative()
+    {
+        ExprPtr lhs = parseUnary();
+        for (;;) {
+            std::string op;
+            if (at(TokenKind::Star)) op = "*";
+            else if (at(TokenKind::Slash)) op = "/";
+            else if (at(TokenKind::Percent)) op = "%";
+            else break;
+            SourceLoc loc = advance().loc;
+            ExprPtr rhs = parseUnary();
+            lhs = Expr::makeBinary(op, std::move(lhs), std::move(rhs), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr parseUnary()
+    {
+        if (at(TokenKind::Minus)) {
+            SourceLoc loc = advance().loc;
+            ExprPtr operand = parseUnary();
+            return Expr::makeBinary("-", Expr::makeConst(0, loc),
+                                    std::move(operand), loc);
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr parsePrimary()
+    {
+        SourceLoc loc = peek().loc;
+        if (at(TokenKind::Integer)) {
+            return Expr::makeConst(advance().intValue, loc);
+        }
+        if (accept(TokenKind::LParen)) {
+            ExprPtr inner = parseExpr();
+            expect(TokenKind::RParen);
+            return inner;
+        }
+        if (atWord("if")) {
+            advance();
+            ExprPtr cond = parseExpr();
+            expectWord("then");
+            ExprPtr then_arm = parseExpr();
+            expectWord("else");
+            ExprPtr else_arm = parseExpr();
+            return Expr::makeIf(std::move(cond), std::move(then_arm),
+                                std::move(else_arm), loc);
+        }
+        if (atWord("fold")) {
+            advance();
+            expect(TokenKind::LParen);
+            std::string fn = expectIdent();
+            expect(TokenKind::Comma);
+            ExprPtr init = parseExpr();
+            expect(TokenKind::Comma);
+            Select coll = parseSelect();
+            expect(TokenKind::RParen);
+            return Expr::makeFold(std::move(fn), std::move(init),
+                                  std::move(coll), loc);
+        }
+        if (at(TokenKind::Ident)) {
+            std::string head = advance().text;
+            if (accept(TokenKind::LParen)) {
+                std::vector<ExprPtr> args;
+                if (!at(TokenKind::RParen)) {
+                    args.push_back(parseExpr());
+                    while (accept(TokenKind::Comma))
+                        args.push_back(parseExpr());
+                }
+                expect(TokenKind::RParen);
+                return Expr::makeCall(std::move(head), std::move(args), loc);
+            }
+            if (accept(TokenKind::Dot)) {
+                Select sel;
+                sel.loc = loc;
+                sel.base = std::move(head);
+                sel.attr = expectIdent();
+                return Expr::makeSelect(std::move(sel), loc);
+            }
+            userError("bare identifier '" + head +
+                          "'; attribute reads are written 'base.attr'",
+                      loc);
+        }
+        userError("expected expression, found '" + peek().text + "'", loc);
+    }
+};
+
+/** Parser for L_t. */
+class TraversalParser : public ParserBase {
+  public:
+    using ParserBase::ParserBase;
+
+    TraversalDecl parseTraversalDecl()
+    {
+        TraversalDecl decl;
+        decl.loc = peek().loc;
+        expectWord("traversal");
+        decl.name = expectIdent();
+        expect(TokenKind::LBrace);
+        while (!accept(TokenKind::RBrace))
+            decl.cases.push_back(parseCase());
+        expect(TokenKind::End);
+        return decl;
+    }
+
+  private:
+    CaseDecl parseCase()
+    {
+        CaseDecl decl;
+        decl.loc = peek().loc;
+        expectWord("case");
+        decl.className = expectIdent();
+        expect(TokenKind::LBrace);
+        while (!accept(TokenKind::RBrace))
+            decl.stmts.push_back(parseStmt());
+        return decl;
+    }
+
+    TStmtPtr parseStmt()
+    {
+        SourceLoc loc = peek().loc;
+        if (accept(TokenKind::Question) || acceptWord("hole")) {
+            expect(TokenKind::Semi);
+            return TStmt::makeHole(loc);
+        }
+        if (acceptWord("recur")) {
+            std::string child = expectIdent();
+            expect(TokenKind::Semi);
+            return TStmt::makeRecur(std::move(child), loc);
+        }
+        if (acceptWord("iterate")) {
+            std::string coll = expectIdent();
+            return TStmt::makeIterate(std::move(coll), parseBlock(), loc);
+        }
+        if (acceptWord("parallel")) {
+            std::string coll;
+            if (at(TokenKind::Ident))
+                coll = expectIdent();
+            return TStmt::makeParallel(std::move(coll), parseBlock(), loc);
+        }
+        if (acceptWord("eval")) {
+            // `eval self.attr`, `eval attr`, or `eval child.attr` (the
+            // last selects an inherited-attribute rule).
+            std::string first = expectIdent();
+            std::string base;
+            std::string attr = first;
+            if (accept(TokenKind::Dot)) {
+                attr = expectIdent();
+                if (first != "self")
+                    base = std::move(first);
+            }
+            expect(TokenKind::Semi);
+            if (base.empty())
+                return TStmt::makeEval(std::move(attr), loc);
+            return TStmt::makeEvalChild(std::move(base), std::move(attr),
+                                        loc);
+        }
+        userError("expected traversal statement, found '" + peek().text + "'",
+                  loc);
+    }
+
+    std::vector<TStmtPtr> parseBlock()
+    {
+        expect(TokenKind::LBrace);
+        std::vector<TStmtPtr> body;
+        while (!accept(TokenKind::RBrace))
+            body.push_back(parseStmt());
+        return body;
+    }
+};
+
+} // namespace
+
+ast::GrammarAst
+parseGrammar(std::string_view source)
+{
+    GrammarParser parser(source);
+    return parser.parseUnit();
+}
+
+ast::TraversalDecl
+parseTraversal(std::string_view source)
+{
+    TraversalParser parser(source);
+    return parser.parseTraversalDecl();
+}
+
+} // namespace hecate::lang

@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Recursive-descent parsers for the attribute grammar language L_a
+ * (paper Fig. 6) and the traversal skeleton language L_t (Fig. 7).
+ *
+ * Concrete syntax follows the paper's figures:
+ *
+ * @code
+ *   interface Box { input w0, h0 : int; output w1, w, h1, h : int; }
+ *   class Inner : Box {
+ *       children { nx : Optional[Box]; fc : Optional[Box]; }
+ *       rules(calcWidth) {
+ *           self.w  := max(self.w0, fc.w1);
+ *           self.w1 := max(self.w, nx.w1);
+ *       }
+ *   }
+ *
+ *   traversal layout {
+ *       case Inner { recur fc; recur nx; ??; ??; ??; ??; }
+ *       case Leaf  { recur nx; ??; ??; ??; ??; }
+ *   }
+ * @endcode
+ *
+ * Holes (iota in the paper) are written `??` or `hole`. A `rules` block may
+ * carry an optional pass tag in parentheses used by the Grafter baseline.
+ */
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace hecate::lang {
+
+/** Parse an L_a compilation unit. Throws UserError on syntax errors. */
+ast::GrammarAst parseGrammar(std::string_view source);
+
+/** Parse a single L_t traversal declaration. */
+ast::TraversalDecl parseTraversal(std::string_view source);
+
+} // namespace hecate::lang

@@ -1,0 +1,184 @@
+#include "lang/printer.hpp"
+
+#include <sstream>
+
+namespace hecate::lang {
+
+using namespace hecate::ast;
+
+namespace {
+
+void
+printExprTo(std::ostream& os, const Expr& expr)
+{
+    switch (expr.kind) {
+      case ExprKind::Const:
+        os << expr.value;
+        break;
+      case ExprKind::Select:
+        os << expr.select.str();
+        break;
+      case ExprKind::Binary:
+        os << "(";
+        printExprTo(os, *expr.args[0]);
+        os << " " << expr.op << " ";
+        printExprTo(os, *expr.args[1]);
+        os << ")";
+        break;
+      case ExprKind::Call:
+        os << expr.op << "(";
+        for (size_t i = 0; i < expr.args.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            printExprTo(os, *expr.args[i]);
+        }
+        os << ")";
+        break;
+      case ExprKind::Fold:
+        os << "fold(" << expr.op << ", ";
+        printExprTo(os, *expr.args[0]);
+        os << ", " << expr.select.str() << ")";
+        break;
+      case ExprKind::If:
+        os << "if ";
+        printExprTo(os, *expr.args[0]);
+        os << " then ";
+        printExprTo(os, *expr.args[1]);
+        os << " else ";
+        printExprTo(os, *expr.args[2]);
+        break;
+    }
+}
+
+void
+printStmtTo(std::ostream& os, const TStmt& stmt, int indent)
+{
+    std::string pad(static_cast<size_t>(indent) * 4, ' ');
+    switch (stmt.kind) {
+      case TStmtKind::Hole:
+        os << pad << "??;\n";
+        break;
+      case TStmtKind::Recur:
+        os << pad << "recur " << stmt.child << ";\n";
+        break;
+      case TStmtKind::Eval:
+        os << pad << "eval "
+           << (stmt.evalBase.empty() ? std::string("self") : stmt.evalBase)
+           << "." << stmt.evalAttr << ";\n";
+        break;
+      case TStmtKind::Iterate:
+      case TStmtKind::Parallel:
+        os << pad
+           << (stmt.kind == TStmtKind::Iterate ? "iterate" : "parallel");
+        if (!stmt.child.empty())
+            os << " " << stmt.child;
+        os << " {\n";
+        for (const auto& child_stmt : stmt.body)
+            printStmtTo(os, *child_stmt, indent + 1);
+        os << pad << "}\n";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr& expr)
+{
+    std::ostringstream os;
+    printExprTo(os, expr);
+    return os.str();
+}
+
+std::string
+printRule(const RuleDecl& rule)
+{
+    std::ostringstream os;
+    os << rule.lhs.str() << " := ";
+    printExprTo(os, *rule.rhs);
+    os << ";";
+    return os.str();
+}
+
+std::string
+printGrammar(const GrammarAst& unit)
+{
+    std::ostringstream os;
+    for (const auto& iface : unit.interfaces) {
+        os << "interface " << iface.name << " {\n";
+        // group by direction, preserving declaration order
+        for (int want_input = 1; want_input >= 0; --want_input) {
+            std::vector<std::string> names;
+            for (const auto& attr : iface.attrs) {
+                if (attr.isInput == (want_input == 1))
+                    names.push_back(attr.name);
+            }
+            if (names.empty())
+                continue;
+            os << "    " << (want_input ? "input " : "output ");
+            for (size_t i = 0; i < names.size(); ++i) {
+                if (i > 0)
+                    os << ", ";
+                os << names[i];
+            }
+            os << " : int;\n";
+        }
+        os << "}\n";
+    }
+    for (const auto& cls : unit.classes) {
+        os << "class " << cls.name << " : " << cls.interface << " {\n";
+        if (!cls.children.empty()) {
+            os << "    children {\n";
+            for (const auto& child : cls.children) {
+                os << "        " << child.name << " : ";
+                if (child.collection) {
+                    os << "[" << child.type << "]";
+                } else if (child.optional) {
+                    os << "Optional[" << child.type << "]";
+                } else {
+                    os << child.type;
+                }
+                os << ";\n";
+            }
+            os << "    }\n";
+        }
+        if (!cls.rules.empty()) {
+            // emit one rules block per pass tag, preserving order
+            bool block_open = false;
+            std::string current_pass;
+            for (const auto& rule : cls.rules) {
+                if (!block_open || rule.pass != current_pass) {
+                    if (block_open)
+                        os << "    }\n";
+                    block_open = true;
+                    current_pass = rule.pass;
+                    os << "    rules";
+                    if (!current_pass.empty())
+                        os << "(" << current_pass << ")";
+                    os << " {\n";
+                }
+                os << "        " << printRule(rule) << "\n";
+            }
+            os << "    }\n";
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+std::string
+printTraversal(const TraversalDecl& traversal)
+{
+    std::ostringstream os;
+    os << "traversal " << traversal.name << " {\n";
+    for (const auto& case_decl : traversal.cases) {
+        os << "    case " << case_decl.className << " {\n";
+        for (const auto& stmt : case_decl.stmts)
+            printStmtTo(os, *stmt, 2);
+        os << "    }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace hecate::lang

@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file
+ * Pretty-printers turning ASTs back into DSL surface syntax. Used for
+ * round-trip tests, for presenting synthesized concrete traversals in
+ * the paper's Fig. 4(b) form, and by the C++ code generator.
+ */
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace hecate::lang {
+
+/** Render an expression in L_a surface syntax. */
+std::string printExpr(const ast::Expr& expr);
+
+/** Render a full rule `lhs := rhs;`. */
+std::string printRule(const ast::RuleDecl& rule);
+
+/** Render a grammar unit. */
+std::string printGrammar(const ast::GrammarAst& unit);
+
+/** Render a traversal (symbolic holes print as `??`). */
+std::string printTraversal(const ast::TraversalDecl& traversal);
+
+} // namespace hecate::lang

@@ -1,0 +1,39 @@
+#include "lang/token.hpp"
+
+namespace hecate::lang {
+
+const char*
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::End: return "end of input";
+      case TokenKind::Ident: return "identifier";
+      case TokenKind::Integer: return "integer";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Semi: return "';'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Assign: return "':='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::Lt: return "'<'";
+      case TokenKind::Le: return "'<='";
+      case TokenKind::Gt: return "'>'";
+      case TokenKind::Ge: return "'>='";
+      case TokenKind::EqEq: return "'=='";
+      case TokenKind::NotEq: return "'!='";
+      case TokenKind::Question: return "hole marker '?" "?'";
+    }
+    return "unknown";
+}
+
+} // namespace hecate::lang

@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Token definitions shared by the L_a / L_t lexer and parsers.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::lang {
+
+/** Lexical token kinds for both DSLs. */
+enum class TokenKind : uint8_t {
+    End,
+    Ident,
+    Integer,
+    // punctuation
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    Assign, // :=
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    Question, // ?? — hole
+};
+
+/** One lexed token with its source text and location. */
+struct Token {
+    TokenKind kind = TokenKind::End;
+    std::string text;
+    int64_t intValue = 0;
+    SourceLoc loc;
+};
+
+/** Human-readable token-kind name for diagnostics. */
+const char* tokenKindName(TokenKind kind);
+
+} // namespace hecate::lang

@@ -1,0 +1,321 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace hecate::sched {
+
+Skeleton
+Skeleton::resolve(const sem::Grammar& grammar, ast::TraversalDecl decl)
+{
+    Skeleton skeleton;
+    skeleton.grammar_ = &grammar;
+    skeleton.decl_ = std::move(decl);
+    skeleton.caseForClass_.assign(grammar.classes().size(), nullptr);
+    skeleton.fixedRules_.resize(grammar.classes().size());
+
+    for (const ast::CaseDecl& case_decl : skeleton.decl_.cases) {
+        sem::ClassId cls = grammar.findClass(case_decl.className);
+        if (cls == sem::kInvalidId) {
+            userError("case for unknown class '" + case_decl.className + "'",
+                      case_decl.loc);
+        }
+        if (skeleton.caseForClass_[cls] != nullptr) {
+            userError("duplicate case for class '" + case_decl.className +
+                          "'",
+                      case_decl.loc);
+        }
+        skeleton.caseForClass_[cls] = &case_decl;
+        skeleton.resolveCase(case_decl, cls);
+    }
+    for (const sem::ClassInfo& cls_info : grammar.classes()) {
+        if (skeleton.caseForClass_[cls_info.id] == nullptr) {
+            userError("traversal '" + skeleton.decl_.name +
+                      "' has no case for class '" + cls_info.name + "'");
+        }
+    }
+    // Rules already fixed by eval statements are not candidates for holes
+    // of the same class (they would be scheduled twice).
+    for (SlotInfo& slot : skeleton.slots_) {
+        const auto& fixed = skeleton.fixedRules_[slot.cls];
+        std::erase_if(slot.candidates, [&](sem::RuleId rule) {
+            return std::find(fixed.begin(), fixed.end(), rule) != fixed.end();
+        });
+    }
+    return skeleton;
+}
+
+void
+Skeleton::resolveCase(const ast::CaseDecl& caseDecl, sem::ClassId cls)
+{
+    for (const auto& stmt : caseDecl.stmts) {
+        resolveStmt(*stmt, cls, SlotContext::TopLevel, sem::kInvalidId,
+                    /*insideBlock=*/false);
+    }
+}
+
+void
+Skeleton::resolveStmt(const ast::TStmt& stmt, sem::ClassId cls,
+                      SlotContext context, sem::ChildId iterChild,
+                      bool insideBlock)
+{
+    const sem::Grammar& grammar = *grammar_;
+    const sem::ClassInfo& cls_info = grammar.cls(cls);
+
+    switch (stmt.kind) {
+      case ast::TStmtKind::Hole: {
+        SlotInfo slot;
+        slot.id = static_cast<SlotId>(slots_.size());
+        slot.cls = cls;
+        slot.context = context;
+        slot.iterChild = iterChild;
+        // Candidate sets per §3.2 and §6.2: top-level slots may hold any
+        // rule of the class; slots inside `iterate c` may hold only fold
+        // rules accumulating over c; slots inside parallel regions hold
+        // nothing (assigning a self-write there would race).
+        if (context == SlotContext::TopLevel) {
+            slot.candidates = cls_info.rules;
+        } else if (context == SlotContext::Iterate) {
+            for (sem::RuleId rule : cls_info.rules) {
+                const sem::RuleInfo& info = grammar.rule(rule);
+                if (info.isFold && info.foldChild == iterChild)
+                    slot.candidates.push_back(rule);
+            }
+        }
+        slotByStmt_.emplace(&stmt, slot.id);
+        slots_.push_back(std::move(slot));
+        return;
+      }
+      case ast::TStmtKind::Recur: {
+        auto it = cls_info.childByName.find(stmt.child);
+        if (it == cls_info.childByName.end()) {
+            userError("recur on unknown child '" + stmt.child + "'",
+                      stmt.loc);
+        }
+        const sem::ChildInfo& child = cls_info.children[it->second];
+        bool in_collection_block =
+            (context == SlotContext::Iterate ||
+             context == SlotContext::Parallel) &&
+            iterChild != sem::kInvalidId;
+        if (in_collection_block) {
+            // Inside `iterate c { }` / `parallel c { }` the only legal
+            // recur target is the iterated collection itself (a scalar
+            // recur would visit that child once per element).
+            if (!child.collection || it->second != iterChild) {
+                userError("recur inside a collection block must target "
+                          "the iterated collection",
+                          stmt.loc);
+            }
+        } else if (child.collection) {
+            userError("recur on collection '" + stmt.child +
+                          "' outside iterate/parallel",
+                      stmt.loc);
+        }
+        return;
+      }
+      case ast::TStmtKind::Eval: {
+        if (context == SlotContext::Parallel) {
+            userError("eval inside parallel region would race on self "
+                      "attributes",
+                      stmt.loc);
+        }
+        sem::RuleId rule = sem::kInvalidId;
+        if (stmt.evalBase.empty()) {
+            rule = grammar.findRule(cls, stmt.evalAttr);
+        } else {
+            auto child_it = cls_info.childByName.find(stmt.evalBase);
+            if (child_it == cls_info.childByName.end()) {
+                userError("eval through unknown child '" + stmt.evalBase +
+                              "'",
+                          stmt.loc);
+            }
+            const sem::InterfaceInfo& child_iface = grammar.iface(
+                cls_info.children[child_it->second].iface);
+            auto attr_it = child_iface.attrByName.find(stmt.evalAttr);
+            if (attr_it != child_iface.attrByName.end()) {
+                for (sem::RuleId candidate : cls_info.rules) {
+                    const sem::RuleInfo& info = grammar.rule(candidate);
+                    if (info.lhsChild == child_it->second &&
+                        info.lhs == attr_it->second) {
+                        rule = candidate;
+                    }
+                }
+            }
+        }
+        if (rule == sem::kInvalidId) {
+            userError("eval of unknown attribute '" + stmt.evalAttr +
+                          "' on class '" + cls_info.name + "'",
+                      stmt.loc);
+        }
+        const sem::RuleInfo& info = grammar.rule(rule);
+        if (context == SlotContext::Iterate &&
+            (!info.isFold || info.foldChild != iterChild)) {
+            userError("only folds over the iterated collection may be "
+                      "evaluated inside iterate",
+                      stmt.loc);
+        }
+        auto& fixed = fixedRules_[cls];
+        if (std::find(fixed.begin(), fixed.end(), rule) != fixed.end()) {
+            userError("attribute '" + stmt.evalAttr +
+                          "' evaluated more than once",
+                      stmt.loc);
+        }
+        fixed.push_back(rule);
+        ruleByEval_.emplace(&stmt, rule);
+        return;
+      }
+      case ast::TStmtKind::Iterate: {
+        if (insideBlock)
+            userError("nested iterate/parallel blocks are not supported",
+                      stmt.loc);
+        auto it = cls_info.childByName.find(stmt.child);
+        if (it == cls_info.childByName.end() ||
+            !cls_info.children[it->second].collection) {
+            userError("iterate requires a collection child", stmt.loc);
+        }
+        for (const auto& body_stmt : stmt.body) {
+            resolveStmt(*body_stmt, cls, SlotContext::Iterate, it->second,
+                        /*insideBlock=*/true);
+        }
+        return;
+      }
+      case ast::TStmtKind::Parallel: {
+        if (insideBlock)
+            userError("nested iterate/parallel blocks are not supported",
+                      stmt.loc);
+        sem::ChildId coll = sem::kInvalidId;
+        if (!stmt.child.empty()) {
+            auto it = cls_info.childByName.find(stmt.child);
+            if (it == cls_info.childByName.end() ||
+                !cls_info.children[it->second].collection) {
+                userError("parallel over a non-collection child", stmt.loc);
+            }
+            coll = it->second;
+        }
+        for (const auto& body_stmt : stmt.body) {
+            resolveStmt(*body_stmt, cls, SlotContext::Parallel, coll,
+                        /*insideBlock=*/true);
+        }
+        return;
+      }
+    }
+}
+
+const ast::CaseDecl&
+Skeleton::caseFor(sem::ClassId cls) const
+{
+    const ast::CaseDecl* found = caseForClass_[cls];
+    checkInvariant(found != nullptr, "caseFor: class without case");
+    return *found;
+}
+
+SlotId
+Skeleton::slotOf(const ast::TStmt* stmt) const
+{
+    auto it = slotByStmt_.find(stmt);
+    checkInvariant(it != slotByStmt_.end(), "slotOf: not a hole");
+    return it->second;
+}
+
+sem::RuleId
+Skeleton::evalRule(const ast::TStmt* stmt) const
+{
+    auto it = ruleByEval_.find(stmt);
+    checkInvariant(it != ruleByEval_.end(), "evalRule: not an eval");
+    return it->second;
+}
+
+namespace {
+
+/** Rebuild a statement list replacing holes per @p schedule. */
+std::vector<ast::TStmtPtr>
+concretizeStmts(const std::vector<ast::TStmtPtr>& stmts,
+                const Skeleton& skeleton, const Schedule& schedule)
+{
+    std::vector<ast::TStmtPtr> out;
+    for (const auto& stmt : stmts) {
+        switch (stmt->kind) {
+          case ast::TStmtKind::Hole: {
+            SlotId slot = skeleton.slotOf(stmt.get());
+            const auto& assignment = schedule.bySlot[slot];
+            if (assignment.has_value()) {
+                const sem::Grammar& grammar = skeleton.grammar();
+                const sem::RuleInfo& rule = grammar.rule(*assignment);
+                const sem::ClassInfo& cls = grammar.cls(rule.cls);
+                if (rule.lhsChild != sem::kInvalidId) {
+                    const sem::ChildInfo& child =
+                        cls.children[rule.lhsChild];
+                    const sem::InterfaceInfo& child_iface =
+                        grammar.iface(child.iface);
+                    out.push_back(ast::TStmt::makeEvalChild(
+                        child.name, child_iface.attrs[rule.lhs].name,
+                        stmt->loc));
+                } else {
+                    const sem::InterfaceInfo& iface =
+                        grammar.iface(cls.iface);
+                    out.push_back(ast::TStmt::makeEval(
+                        iface.attrs[rule.lhs].name, stmt->loc));
+                }
+            }
+            break;
+          }
+          case ast::TStmtKind::Iterate:
+          case ast::TStmtKind::Parallel: {
+            auto block = stmt->clone();
+            block->body = concretizeStmts(stmt->body, skeleton, schedule);
+            out.push_back(std::move(block));
+            break;
+          }
+          default:
+            out.push_back(stmt->clone());
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ast::TraversalDecl
+Schedule::toConcreteTraversal(const Skeleton& skeleton) const
+{
+    ast::TraversalDecl out;
+    out.name = skeleton.decl().name;
+    out.loc = skeleton.decl().loc;
+    for (const ast::CaseDecl& case_decl : skeleton.decl().cases) {
+        ast::CaseDecl concrete;
+        concrete.className = case_decl.className;
+        concrete.loc = case_decl.loc;
+        concrete.stmts = concretizeStmts(case_decl.stmts, skeleton, *this);
+        out.cases.push_back(std::move(concrete));
+    }
+    return out;
+}
+
+std::vector<sem::RuleId>
+Schedule::assignedRules() const
+{
+    std::vector<sem::RuleId> rules;
+    for (const auto& assignment : bySlot) {
+        if (assignment.has_value())
+            rules.push_back(*assignment);
+    }
+    return rules;
+}
+
+bool
+Schedule::coversAllRules(const Skeleton& skeleton) const
+{
+    const sem::Grammar& grammar = skeleton.grammar();
+    std::vector<uint32_t> uses(grammar.rules().size(), 0);
+    for (const auto& assignment : bySlot) {
+        if (assignment.has_value())
+            ++uses[*assignment];
+    }
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        for (sem::RuleId fixed : skeleton.fixedRules(cls.id))
+            ++uses[fixed];
+    }
+    return std::all_of(uses.begin(), uses.end(),
+                       [](uint32_t n) { return n == 1; });
+}
+
+} // namespace hecate::sched

@@ -1,0 +1,124 @@
+#pragma once
+
+/**
+ * @file
+ * The schedule space of a synthesis problem: a Skeleton is a symbolic
+ * traversal (L_t) resolved against a grammar — holes become slots with
+ * explicit candidate-rule sets (the paper's `choose [none, a1..an]`),
+ * fixed `eval` statements are bound to rules, and structural statements
+ * are validated. A Schedule assigns at most one candidate to each slot
+ * (the sigma relation of §4.2) and prints back as a concrete traversal
+ * (Fig. 4(b)).
+ */
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "sem/grammar.hpp"
+
+namespace hecate::sched {
+
+using SlotId = uint32_t;
+
+/** Where a slot sits, which determines its candidate set. */
+enum class SlotContext : uint8_t {
+    TopLevel, ///< directly in a case: any rule of the class
+    Iterate,  ///< inside `iterate c { }`: fold rules over c only
+    Parallel, ///< inside a parallel region: no candidates (only `none`)
+};
+
+/** A resolved hole. */
+struct SlotInfo {
+    SlotId id = sem::kInvalidId;
+    sem::ClassId cls = sem::kInvalidId;
+    SlotContext context = SlotContext::TopLevel;
+    sem::ChildId iterChild = sem::kInvalidId; ///< for Iterate
+    std::vector<sem::RuleId> candidates;      ///< excludes implicit `none`
+};
+
+/**
+ * A symbolic traversal resolved against a grammar. Owns its
+ * TraversalDecl; keeps a pointer to the grammar (not owned).
+ */
+class Skeleton {
+  public:
+    /**
+     * Resolve @p decl against @p grammar. Throws UserError when the
+     * skeleton is ill-formed (unknown case class, recur on a collection,
+     * iterate on a scalar, eval inside parallel, duplicate eval, ...).
+     * Every grammar class must have exactly one case.
+     */
+    static Skeleton resolve(const sem::Grammar& grammar,
+                            ast::TraversalDecl decl);
+
+    Skeleton(Skeleton&&) = default;
+    Skeleton& operator=(Skeleton&&) = default;
+    Skeleton(const Skeleton&) = delete;
+    Skeleton& operator=(const Skeleton&) = delete;
+
+    const sem::Grammar& grammar() const { return *grammar_; }
+    const ast::TraversalDecl& decl() const { return decl_; }
+
+    const std::vector<SlotInfo>& slots() const { return slots_; }
+    size_t slotCount() const { return slots_.size(); }
+    const SlotInfo& slot(SlotId id) const { return slots_[id]; }
+
+    /** The case body for class @p cls. */
+    const ast::CaseDecl& caseFor(sem::ClassId cls) const;
+
+    /** Slot id of a hole statement. */
+    SlotId slotOf(const ast::TStmt* stmt) const;
+
+    /** Rule bound to an eval statement (within case of class @p cls). */
+    sem::RuleId evalRule(const ast::TStmt* stmt) const;
+
+    /** Rules of class @p cls already fixed by eval statements. */
+    const std::vector<sem::RuleId>& fixedRules(sem::ClassId cls) const
+    {
+        return fixedRules_[cls];
+    }
+
+  private:
+    Skeleton() = default;
+
+    void resolveCase(const ast::CaseDecl& caseDecl, sem::ClassId cls);
+    void resolveStmt(const ast::TStmt& stmt, sem::ClassId cls,
+                     SlotContext context, sem::ChildId iterChild,
+                     bool insideBlock);
+
+    const sem::Grammar* grammar_ = nullptr;
+    ast::TraversalDecl decl_;
+    std::vector<SlotInfo> slots_;
+    std::vector<const ast::CaseDecl*> caseForClass_; ///< by ClassId
+    std::unordered_map<const ast::TStmt*, SlotId> slotByStmt_;
+    std::unordered_map<const ast::TStmt*, sem::RuleId> ruleByEval_;
+    std::vector<std::vector<sem::RuleId>> fixedRules_; ///< by ClassId
+};
+
+/**
+ * A (possibly partial) assignment of candidate rules to slots — the
+ * output of synthesis.
+ */
+struct Schedule {
+    std::vector<std::optional<sem::RuleId>> bySlot;
+
+    /**
+     * Render the skeleton with every hole replaced by `eval` of its
+     * assigned rule (empty holes disappear), i.e. Fig. 4(b).
+     */
+    ast::TraversalDecl toConcreteTraversal(const Skeleton& skeleton) const;
+
+    /** Rules assigned anywhere in the schedule. */
+    std::vector<sem::RuleId> assignedRules() const;
+
+    /**
+     * True when every rule of every class is scheduled exactly once
+     * (by a slot or a fixed eval) — the paper's rule constraint.
+     */
+    bool coversAllRules(const Skeleton& skeleton) const;
+};
+
+} // namespace hecate::sched

@@ -1,0 +1,327 @@
+#include "sched/visit_plan.hpp"
+
+namespace hecate::sched {
+
+/** Recursive plan builder maintaining the fork-join region stack. */
+class VisitPlan::Builder {
+  public:
+    Builder(VisitPlan& plan) : plan_(plan) {}
+
+    void run()
+    {
+        openRegion(VisitPlan::RegionKind::Seq);
+        visitNode(plan_.tree_->root());
+        path_.pop_back();
+    }
+
+  private:
+    void openRegion(VisitPlan::RegionKind kind)
+    {
+        uint32_t id = static_cast<uint32_t>(plan_.regions_.size());
+        if (!path_.empty()) {
+            // The new region occupies the current branch of its parent.
+            plan_.regions_[path_.back().first].items.push_back(
+                {/*isRegion=*/true, id});
+        }
+        plan_.regions_.push_back({kind, {}});
+        path_.emplace_back(id, 0);
+    }
+
+    /** Advance to the next branch of the innermost region. */
+    void nextBranch() { ++path_.back().second; }
+
+    Instance& addInstance(Instance::Kind kind, Instance::Phase phase,
+                          tree::NodeId node)
+    {
+        Instance inst;
+        inst.id = static_cast<InstId>(plan_.instances_.size());
+        inst.kind = kind;
+        inst.phase = phase;
+        inst.node = node;
+        inst.path = path_;
+        plan_.regions_[path_.back().first].items.push_back(
+            {/*isRegion=*/false, inst.id});
+        plan_.instances_.push_back(std::move(inst));
+        nextBranch();
+        return plan_.instances_.back();
+    }
+
+    void visitNode(tree::NodeId node_id)
+    {
+        const tree::Node& node = plan_.tree_->node(node_id);
+        const ast::CaseDecl& case_decl =
+            plan_.skeleton_->caseFor(node.cls);
+        // The node's statements run in their own sequential region,
+        // occupying one branch of the enclosing region.
+        openRegion(VisitPlan::RegionKind::Seq);
+        for (const auto& stmt : case_decl.stmts)
+            visitStmt(node_id, *stmt);
+        path_.pop_back();
+        nextBranch();
+    }
+
+    void visitStmt(tree::NodeId node_id, const ast::TStmt& stmt)
+    {
+        const tree::Node& node = plan_.tree_->node(node_id);
+        const Skeleton& skeleton = *plan_.skeleton_;
+
+        switch (stmt.kind) {
+          case ast::TStmtKind::Hole: {
+            SlotId slot = skeleton.slotOf(&stmt);
+            if (skeleton.slot(slot).candidates.empty())
+                return; // nothing can ever be scheduled here
+            Instance& inst = addInstance(Instance::Kind::Slot,
+                                         Instance::Phase::Whole, node_id);
+            inst.slot = slot;
+            return;
+          }
+          case ast::TStmtKind::Eval: {
+            Instance& inst = addInstance(Instance::Kind::Eval,
+                                         Instance::Phase::Whole, node_id);
+            inst.rule = skeleton.evalRule(&stmt);
+            return;
+          }
+          case ast::TStmtKind::Recur: {
+            const sem::ClassInfo& cls =
+                skeleton.grammar().cls(node.cls);
+            sem::ChildId child = cls.childByName.at(stmt.child);
+            tree::NodeId target = node.children[child].node;
+            if (target != tree::kNoNode)
+                visitNode(target);
+            return;
+          }
+          case ast::TStmtKind::Iterate:
+            expandIterate(node_id, stmt);
+            return;
+          case ast::TStmtKind::Parallel:
+            expandParallel(node_id, stmt);
+            return;
+        }
+    }
+
+    void expandIterate(tree::NodeId node_id, const ast::TStmt& stmt)
+    {
+        const tree::Node& node = plan_.tree_->node(node_id);
+        const Skeleton& skeleton = *plan_.skeleton_;
+        const sem::ClassInfo& cls = skeleton.grammar().cls(node.cls);
+        sem::ChildId coll = cls.childByName.at(stmt.child);
+        const std::vector<tree::NodeId>& elems =
+            node.children[coll].elems;
+
+        // Per-element iterations, in order.
+        for (tree::NodeId elem : elems) {
+            openRegion(VisitPlan::RegionKind::Seq);
+            for (const auto& body_stmt : stmt.body) {
+                switch (body_stmt->kind) {
+                  case ast::TStmtKind::Recur:
+                    visitNode(elem);
+                    break;
+                  case ast::TStmtKind::Hole: {
+                    SlotId slot = skeleton.slotOf(body_stmt.get());
+                    if (skeleton.slot(slot).candidates.empty())
+                        break;
+                    Instance& inst =
+                        addInstance(Instance::Kind::Slot,
+                                    Instance::Phase::LoopIter, node_id);
+                    inst.slot = slot;
+                    inst.elem = elem;
+                    break;
+                  }
+                  case ast::TStmtKind::Eval: {
+                    Instance& inst =
+                        addInstance(Instance::Kind::Eval,
+                                    Instance::Phase::LoopIter, node_id);
+                    inst.rule = skeleton.evalRule(body_stmt.get());
+                    inst.elem = elem;
+                    break;
+                  }
+                  default:
+                    internalError("nested block inside iterate");
+                }
+            }
+            path_.pop_back();
+            nextBranch();
+        }
+
+        // Loop-end write instances, one per hole/eval in body order.
+        for (const auto& body_stmt : stmt.body) {
+            if (body_stmt->kind == ast::TStmtKind::Hole) {
+                SlotId slot = skeleton.slotOf(body_stmt.get());
+                if (skeleton.slot(slot).candidates.empty())
+                    continue;
+                Instance& inst = addInstance(Instance::Kind::Slot,
+                                             Instance::Phase::LoopEnd,
+                                             node_id);
+                inst.slot = slot;
+            } else if (body_stmt->kind == ast::TStmtKind::Eval) {
+                Instance& inst = addInstance(Instance::Kind::Eval,
+                                             Instance::Phase::LoopEnd,
+                                             node_id);
+                inst.rule = skeleton.evalRule(body_stmt.get());
+            }
+        }
+    }
+
+    void expandParallel(tree::NodeId node_id, const ast::TStmt& stmt)
+    {
+        const tree::Node& node = plan_.tree_->node(node_id);
+        const Skeleton& skeleton = *plan_.skeleton_;
+        const sem::ClassInfo& cls = skeleton.grammar().cls(node.cls);
+
+        openRegion(VisitPlan::RegionKind::Par);
+        if (!stmt.child.empty()) {
+            // Collection form: one branch per element running the body.
+            sem::ChildId coll = cls.childByName.at(stmt.child);
+            for (tree::NodeId elem : node.children[coll].elems) {
+                openRegion(VisitPlan::RegionKind::Seq);
+                for (const auto& body_stmt : stmt.body) {
+                    if (body_stmt->kind == ast::TStmtKind::Recur) {
+                        visitNode(elem);
+                    }
+                    // Holes inside parallel have empty candidate sets
+                    // (resolve guarantees) and evals are rejected, so
+                    // nothing else materializes.
+                }
+                path_.pop_back();
+                nextBranch();
+            }
+        } else {
+            // Statement form: one branch per statement.
+            for (const auto& body_stmt : stmt.body) {
+                openRegion(VisitPlan::RegionKind::Seq);
+                visitStmt(node_id, *body_stmt);
+                path_.pop_back();
+                nextBranch();
+            }
+        }
+        path_.pop_back();
+        nextBranch();
+    }
+
+    VisitPlan& plan_;
+    std::vector<std::pair<uint32_t, uint32_t>> path_;
+};
+
+VisitPlan::VisitPlan(const Skeleton& skeleton, const tree::Tree& tree)
+    : skeleton_(&skeleton), tree_(&tree)
+{
+    Builder(*this).run();
+
+    // Index potential writers per location.
+    const sem::Grammar& grammar = skeleton.grammar();
+    (void)grammar;
+    for (const Instance& inst : instances_) {
+        if (!inst.writesHere())
+            continue;
+        if (inst.kind == Instance::Kind::Eval) {
+            auto loc = writeFor(inst, inst.rule);
+            if (loc.has_value()) {
+                writers_[loc->key()].push_back(
+                    {inst.id, inst.rule, /*fixed=*/true});
+            }
+        } else {
+            for (sem::RuleId rule : skeleton.slot(inst.slot).candidates) {
+                auto loc = writeFor(inst, rule);
+                if (loc.has_value()) {
+                    writers_[loc->key()].push_back(
+                        {inst.id, rule, /*fixed=*/false});
+                }
+            }
+        }
+    }
+}
+
+const std::vector<Writer>&
+VisitPlan::writersOf(Location loc) const
+{
+    auto it = writers_.find(loc.key());
+    return it == writers_.end() ? noWriters_ : it->second;
+}
+
+bool
+VisitPlan::happensBefore(InstId a, InstId b) const
+{
+    if (a == b)
+        return false;
+    const auto& pa = instances_[a].path;
+    const auto& pb = instances_[b].path;
+    size_t depth = std::min(pa.size(), pb.size());
+    for (size_t i = 0; i < depth; ++i) {
+        checkInvariant(pa[i].first == pb[i].first,
+                       "happensBefore: region mismatch");
+        if (pa[i].second != pb[i].second) {
+            if (regions_[pa[i].first].kind == RegionKind::Par)
+                return false; // sibling parallel branches: incomparable
+            return pa[i].second < pb[i].second;
+        }
+    }
+    internalError("happensBefore: one path is a prefix of another");
+}
+
+std::vector<Location>
+VisitPlan::readsFor(const Instance& inst, sem::RuleId rule_id) const
+{
+    const sem::Grammar& grammar = skeleton_->grammar();
+    const sem::RuleInfo& rule = grammar.rule(rule_id);
+    const tree::Node& node = tree_->node(inst.node);
+
+    std::vector<Location> reads;
+    for (const sem::ReadDep& dep : rule.reads) {
+        switch (dep.kind) {
+          case sem::ReadDep::Kind::SelfAttr:
+            if (inst.phase != Instance::Phase::LoopIter)
+                reads.push_back({inst.node, dep.attr});
+            break;
+          case sem::ReadDep::Kind::ChildAttr: {
+            if (inst.phase == Instance::Phase::LoopIter)
+                break;
+            tree::NodeId child = node.children[dep.child].node;
+            if (child != tree::kNoNode)
+                reads.push_back({child, dep.attr});
+            break;
+          }
+          case sem::ReadDep::Kind::CollElem:
+            if (inst.phase == Instance::Phase::LoopIter) {
+                reads.push_back({inst.elem, dep.attr});
+            } else if (inst.phase == Instance::Phase::Whole) {
+                for (tree::NodeId elem : node.children[dep.child].elems)
+                    reads.push_back({elem, dep.attr});
+            }
+            // LoopEnd: element reads already happened per iteration.
+            break;
+        }
+    }
+    return reads;
+}
+
+std::optional<Location>
+VisitPlan::writeFor(const Instance& inst, sem::RuleId rule_id) const
+{
+    checkInvariant(inst.writesHere(), "writeFor: LoopIter does not write");
+    const sem::RuleInfo& rule = skeleton_->grammar().rule(rule_id);
+    if (rule.lhsChild == sem::kInvalidId)
+        return Location{inst.node, rule.lhs};
+    tree::NodeId target =
+        tree_->node(inst.node).children[rule.lhsChild].node;
+    if (target == tree::kNoNode)
+        return std::nullopt; // absent optional child: vacuous write
+    return Location{target, rule.lhs};
+}
+
+std::vector<Location>
+VisitPlan::outputLocations() const
+{
+    const sem::Grammar& grammar = skeleton_->grammar();
+    std::vector<Location> locs;
+    for (const tree::Node& node : tree_->nodes()) {
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            if (!iface.isInput(attr))
+                locs.push_back({node.id, attr});
+        }
+    }
+    return locs;
+}
+
+} // namespace hecate::sched

@@ -1,0 +1,144 @@
+#pragma once
+
+/**
+ * @file
+ * VisitPlan: the expansion of a skeleton over a concrete tree.
+ *
+ * Executing a traversal skeleton over a tree yields a sequence of slot
+ * and eval *instances* — the paper's locations-in-time (Def. 3.2).
+ * Sequential composition orders instances totally; `parallel` regions
+ * order them fork-join, so the plan exposes a happens-before partial
+ * order. Both symbolic encoders, the schedule verifier, and the value
+ * interpreter consume the same plan, which is what makes "ILP encoding
+ * == general encoding == simulation" a testable property.
+ *
+ * Fold rules placed inside `iterate c { }` are modeled with one
+ * LoopIter instance per element (reading that element's attribute) and
+ * a single LoopEnd instance after the loop (reading the fold's
+ * non-element dependencies and performing the write). A fold placed in
+ * a top-level slot is a single Whole instance reading every element.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tree/tree.hpp"
+
+namespace hecate::sched {
+
+using InstId = uint32_t;
+
+/** A runtime attribute cell: node x attribute (the paper's L domain). */
+struct Location {
+    tree::NodeId node = tree::kNoNode;
+    sem::AttrId attr = sem::kInvalidId;
+
+    bool operator==(const Location&) const = default;
+
+    uint64_t key() const
+    {
+        return (static_cast<uint64_t>(node) << 32) | attr;
+    }
+};
+
+/** One materialized slot/eval occurrence during the traversal. */
+struct Instance {
+    enum class Kind : uint8_t { Slot, Eval };
+    /** Which part of an iterate expansion this instance is. */
+    enum class Phase : uint8_t {
+        Whole,    ///< ordinary instance: all reads + the write
+        LoopIter, ///< per-element instance: element reads only
+        LoopEnd,  ///< post-loop instance: non-element reads + the write
+    };
+
+    InstId id = sem::kInvalidId;
+    Kind kind = Kind::Slot;
+    Phase phase = Phase::Whole;
+    SlotId slot = sem::kInvalidId;      ///< Kind::Slot
+    sem::RuleId rule = sem::kInvalidId; ///< Kind::Eval
+    tree::NodeId node = tree::kNoNode;  ///< owner of the case
+    tree::NodeId elem = tree::kNoNode;  ///< LoopIter: current element
+
+    /** Fork-join path: (regionId, branch) pairs from the root region. */
+    std::vector<std::pair<uint32_t, uint32_t>> path;
+
+    bool writesHere() const { return phase != Phase::LoopIter; }
+};
+
+/** A potential writer of a location. */
+struct Writer {
+    InstId inst = sem::kInvalidId;
+    sem::RuleId rule = sem::kInvalidId; ///< rule whose write targets it
+    bool fixed = false; ///< true for Eval instances (no sigma guard)
+};
+
+/** The expansion of a skeleton over one tree. */
+class VisitPlan {
+  public:
+    /** Region kinds of the fork-join task tree. */
+    enum class RegionKind : uint8_t { Seq, Par };
+
+    /** An ordered child of a region: a sub-region or an instance. */
+    struct TaskItem {
+        bool isRegion = false;
+        uint32_t index = 0; ///< region id or instance id
+    };
+
+    /** One region of the task tree. */
+    struct RegionNode {
+        RegionKind kind = RegionKind::Seq;
+        std::vector<TaskItem> items;
+    };
+
+    VisitPlan(const Skeleton& skeleton, const tree::Tree& tree);
+
+    const Skeleton& skeleton() const { return *skeleton_; }
+    const tree::Tree& tree() const { return *tree_; }
+
+    const std::vector<Instance>& instances() const { return instances_; }
+
+    /** Potential writers of @p loc (slot candidates and fixed evals). */
+    const std::vector<Writer>& writersOf(Location loc) const;
+
+    /** Partial-order query: does @p a complete before @p b begins? */
+    bool happensBefore(InstId a, InstId b) const;
+
+    /**
+     * Locations read by @p inst when it evaluates @p rule. For Eval
+     * instances pass inst.rule. Reads through absent optional children
+     * are skipped (no dependency).
+     */
+    std::vector<Location> readsFor(const Instance& inst,
+                                   sem::RuleId rule) const;
+
+    /**
+     * Location written when @p inst evaluates @p rule; empty when the
+     * rule targets an absent optional child (vacuous write).
+     */
+    std::optional<Location> writeFor(const Instance& inst,
+                                     sem::RuleId rule) const;
+
+    /** Every output-attribute location of the tree (must all be written). */
+    std::vector<Location> outputLocations() const;
+
+    /** Number of fork-join regions (for diagnostics). */
+    size_t regionCount() const { return regions_.size(); }
+
+    /** The fork-join task tree; region 0 is the root. */
+    const std::vector<RegionNode>& regions() const { return regions_; }
+
+  private:
+    class Builder;
+
+    const Skeleton* skeleton_;
+    const tree::Tree* tree_;
+    std::vector<Instance> instances_;
+    std::vector<RegionNode> regions_;
+    std::unordered_map<uint64_t, std::vector<Writer>> writers_;
+    std::vector<Writer> noWriters_;
+};
+
+} // namespace hecate::sched

@@ -1,0 +1,459 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "sem/grammar.hpp"
+
+/**
+ * @file
+ * Semantic analysis for L_a: name resolution, the paper's single-
+ * assignment discipline (each output attribute computed by exactly one
+ * rule), and extraction of the read/write sets that drive dependency
+ * constraint generation.
+ */
+
+namespace hecate::sem {
+
+namespace {
+
+/** Builtin scalar functions callable from rule RHS expressions. */
+bool
+isBuiltinFunction(const std::string& name)
+{
+    return name == "max" || name == "min" || name == "abs";
+}
+
+/** Builtin fold combiners. */
+bool
+isFoldFunction(const std::string& name)
+{
+    return name == "max" || name == "min" || name == "add" ||
+           name == "mul";
+}
+
+} // namespace
+
+/** Performs resolution + validation; friend of Grammar. */
+class Analyzer {
+  public:
+    explicit Analyzer(ast::GrammarAst unit) { grammar_.ast_ = std::move(unit); }
+
+    Grammar run()
+    {
+        resolveInterfaces();
+        resolveClassHeaders();
+        resolveChildren();
+        resolveRules();
+        return std::move(grammar_);
+    }
+
+  private:
+    void resolveInterfaces()
+    {
+        for (const auto& decl : grammar_.ast_.interfaces) {
+            if (grammar_.interfaceByName_.count(decl.name))
+                userError("duplicate interface '" + decl.name + "'", decl.loc);
+            InterfaceInfo info;
+            info.id = static_cast<InterfaceId>(grammar_.interfaces_.size());
+            info.name = decl.name;
+            for (const auto& attr : decl.attrs) {
+                if (info.attrByName.count(attr.name)) {
+                    userError("duplicate attribute '" + attr.name +
+                                  "' in interface '" + decl.name + "'",
+                              attr.loc);
+                }
+                AttrId id = static_cast<AttrId>(info.attrs.size());
+                info.attrByName.emplace(attr.name, id);
+                info.attrs.push_back({attr.name, attr.isInput});
+                if (!attr.isInput)
+                    ++info.outputCount;
+            }
+            grammar_.interfaceByName_.emplace(info.name, info.id);
+            grammar_.interfaces_.push_back(std::move(info));
+        }
+        grammar_.implementers_.resize(grammar_.interfaces_.size());
+    }
+
+    void resolveClassHeaders()
+    {
+        for (const auto& decl : grammar_.ast_.classes) {
+            if (grammar_.classByName_.count(decl.name))
+                userError("duplicate class '" + decl.name + "'", decl.loc);
+            if (grammar_.interfaceByName_.count(decl.name)) {
+                userError("class '" + decl.name +
+                              "' collides with an interface name",
+                          decl.loc);
+            }
+            InterfaceId iface = grammar_.findInterface(decl.interface);
+            if (iface == kInvalidId) {
+                userError("unknown interface '" + decl.interface +
+                              "' for class '" + decl.name + "'",
+                          decl.loc);
+            }
+            ClassInfo info;
+            info.id = static_cast<ClassId>(grammar_.classes_.size());
+            info.name = decl.name;
+            info.iface = iface;
+            grammar_.classByName_.emplace(info.name, info.id);
+            grammar_.implementers_[iface].push_back(info.id);
+            grammar_.classes_.push_back(std::move(info));
+        }
+    }
+
+    void resolveChildren()
+    {
+        for (size_t ci = 0; ci < grammar_.ast_.classes.size(); ++ci) {
+            const auto& decl = grammar_.ast_.classes[ci];
+            ClassInfo& info = grammar_.classes_[ci];
+            for (const auto& child_decl : decl.children) {
+                if (info.childByName.count(child_decl.name)) {
+                    userError("duplicate child '" + child_decl.name +
+                                  "' in class '" + decl.name + "'",
+                              child_decl.loc);
+                }
+                ChildInfo child;
+                child.id = static_cast<ChildId>(info.children.size());
+                child.name = child_decl.name;
+                child.optional = child_decl.optional;
+                child.collection = child_decl.collection;
+
+                InterfaceId iface = grammar_.findInterface(child_decl.type);
+                if (iface != kInvalidId) {
+                    child.iface = iface;
+                    child.allowedClasses = grammar_.implementers_[iface];
+                } else {
+                    ClassId target = grammar_.findClass(child_decl.type);
+                    if (target == kInvalidId) {
+                        userError("unknown child type '" + child_decl.type +
+                                      "'",
+                                  child_decl.loc);
+                    }
+                    child.iface = grammar_.classes_[target].iface;
+                    child.allowedClasses = {target};
+                }
+                if (child.allowedClasses.empty()) {
+                    userError("child type '" + child_decl.type +
+                                  "' has no implementing classes",
+                              child_decl.loc);
+                }
+                info.childByName.emplace(child.name, child.id);
+                info.children.push_back(std::move(child));
+            }
+        }
+    }
+
+    void resolveRules()
+    {
+        for (size_t ci = 0; ci < grammar_.ast_.classes.size(); ++ci) {
+            const auto& decl = grammar_.ast_.classes[ci];
+            ClassInfo& info = grammar_.classes_[ci];
+            const InterfaceInfo& iface = grammar_.interfaces_[info.iface];
+
+            info.ruleForAttr.assign(iface.attrs.size(), kInvalidId);
+
+            for (const auto& rule_decl : decl.rules) {
+                RuleInfo rule;
+                rule.id = static_cast<RuleId>(grammar_.rules_.size());
+                rule.cls = info.id;
+                rule.decl = &rule_decl;
+                rule.pass = rule_decl.pass;
+
+                const InterfaceInfo* target_iface = &iface;
+                if (rule_decl.lhs.base != "self") {
+                    // Inherited attribute: `child.attr := ...` written by
+                    // the parent. Scalar children only.
+                    auto child_it = info.childByName.find(
+                        rule_decl.lhs.base);
+                    if (child_it == info.childByName.end()) {
+                        userError("rule LHS base '" + rule_decl.lhs.base +
+                                      "' is neither self nor a child",
+                                  rule_decl.loc);
+                    }
+                    const ChildInfo& child = info.children[child_it->second];
+                    if (child.collection) {
+                        userError("rules cannot write collection children",
+                                  rule_decl.loc);
+                    }
+                    rule.lhsChild = child.id;
+                    target_iface = &grammar_.interfaces_[child.iface];
+                }
+                auto lhs_it =
+                    target_iface->attrByName.find(rule_decl.lhs.attr);
+                if (lhs_it == target_iface->attrByName.end()) {
+                    userError("unknown attribute '" + rule_decl.lhs.attr +
+                                  "' on '" + rule_decl.lhs.base + "'",
+                              rule_decl.loc);
+                }
+                rule.lhs = lhs_it->second;
+                if (target_iface->isInput(rule.lhs)) {
+                    userError("rule writes input attribute '" +
+                                  rule_decl.lhs.attr + "'",
+                              rule_decl.loc);
+                }
+                if (rule.lhsChild == kInvalidId) {
+                    if (info.ruleForAttr[rule.lhs] != kInvalidId) {
+                        userError("attribute '" + rule_decl.lhs.attr +
+                                      "' assigned by more than one rule in "
+                                      "class '" + decl.name + "'",
+                                  rule_decl.loc);
+                    }
+                } else {
+                    for (RuleId other : info.rules) {
+                        const RuleInfo& o = grammar_.rules_[other];
+                        if (o.lhsChild == rule.lhsChild &&
+                            o.lhs == rule.lhs) {
+                            userError("child attribute '" +
+                                          rule_decl.lhs.str() +
+                                          "' assigned by more than one rule",
+                                      rule_decl.loc);
+                        }
+                    }
+                }
+
+                analyzeExpr(*rule_decl.rhs, info, rule, /*inFold=*/false);
+                if (rule.isFold && rule.lhsChild != kInvalidId) {
+                    userError("fold rules must write a self attribute",
+                              rule_decl.loc);
+                }
+                dedupeReads(rule);
+
+                if (rule.lhsChild == kInvalidId)
+                    info.ruleForAttr[rule.lhs] = rule.id;
+                info.rules.push_back(rule.id);
+                grammar_.rules_.push_back(std::move(rule));
+            }
+        }
+        classifyAttributes();
+    }
+
+    /**
+     * Classify every output attribute as synthesized (self rules) or
+     * inherited (parent rules) and enforce the coverage discipline:
+     * an attribute may not be both; synthesized attributes need a self
+     * rule in every implementer; inherited attributes need a rule for
+     * every scalar child of that interface and forbid collections
+     * (collections cannot receive per-element writes).
+     */
+    void classifyAttributes()
+    {
+        size_t iface_count = grammar_.interfaces_.size();
+        std::vector<std::vector<bool>> by_self(iface_count);
+        std::vector<std::vector<bool>> by_parent(iface_count);
+        for (size_t i = 0; i < iface_count; ++i) {
+            size_t n = grammar_.interfaces_[i].attrs.size();
+            by_self[i].assign(n, false);
+            by_parent[i].assign(n, false);
+        }
+        for (const RuleInfo& rule : grammar_.rules_) {
+            const ClassInfo& cls = grammar_.classes_[rule.cls];
+            if (rule.lhsChild == kInvalidId) {
+                by_self[cls.iface][rule.lhs] = true;
+            } else {
+                by_parent[cls.children[rule.lhsChild].iface][rule.lhs] =
+                    true;
+            }
+        }
+        for (size_t i = 0; i < iface_count; ++i) {
+            InterfaceInfo& iface = grammar_.interfaces_[i];
+            iface.inherited.assign(iface.attrs.size(), false);
+            for (AttrId a = 0; a < iface.attrs.size(); ++a) {
+                if (iface.isInput(a)) {
+                    if (by_self[i][a] || by_parent[i][a])
+                        internalError("input attribute has a rule");
+                    continue;
+                }
+                if (by_self[i][a] && by_parent[i][a]) {
+                    userError("attribute '" + iface.attrs[a].name +
+                              "' of interface '" + iface.name +
+                              "' is written both by self rules and by "
+                              "parent rules");
+                }
+                if (!by_self[i][a] && !by_parent[i][a]) {
+                    userError("no rule computes output attribute '" +
+                              iface.attrs[a].name + "' of interface '" +
+                              iface.name + "'");
+                }
+                iface.inherited[a] = by_parent[i][a];
+            }
+        }
+
+        // Coverage discipline per class.
+        for (const ClassInfo& cls : grammar_.classes_) {
+            const InterfaceInfo& iface = grammar_.interfaces_[cls.iface];
+            for (AttrId a = 0; a < iface.attrs.size(); ++a) {
+                if (iface.isInput(a) || iface.isInherited(a))
+                    continue;
+                if (cls.ruleForAttr[a] == kInvalidId) {
+                    userError("class '" + cls.name +
+                              "' has no rule for synthesized attribute '" +
+                              iface.attrs[a].name + "'");
+                }
+            }
+            for (const ChildInfo& child : cls.children) {
+                const InterfaceInfo& child_iface =
+                    grammar_.interfaces_[child.iface];
+                for (AttrId a = 0; a < child_iface.attrs.size(); ++a) {
+                    if (child_iface.isInput(a) ||
+                        !child_iface.isInherited(a)) {
+                        continue;
+                    }
+                    if (child.collection) {
+                        userError("collection child '" + child.name +
+                                  "' of class '" + cls.name +
+                                  "' has inherited attribute '" +
+                                  child_iface.attrs[a].name +
+                                  "' which cannot be written per element");
+                    }
+                    bool covered = false;
+                    for (RuleId rid : cls.rules) {
+                        const RuleInfo& rule = grammar_.rules_[rid];
+                        covered |= rule.lhsChild == child.id &&
+                                   rule.lhs == a;
+                    }
+                    if (!covered) {
+                        userError("class '" + cls.name +
+                                  "' does not compute inherited "
+                                  "attribute '" +
+                                  child_iface.attrs[a].name +
+                                  "' of child '" + child.name + "'");
+                    }
+                }
+            }
+        }
+    }
+
+    /** Collect reads from @p expr into @p rule; validates references. */
+    void analyzeExpr(const ast::Expr& expr, const ClassInfo& cls,
+                     RuleInfo& rule, bool inFold)
+    {
+        rule.cost += 1;
+        switch (expr.kind) {
+          case ast::ExprKind::Const:
+            return;
+          case ast::ExprKind::Select:
+            analyzeRead(expr.select, cls, rule);
+            return;
+          case ast::ExprKind::Binary:
+            analyzeExpr(*expr.args[0], cls, rule, inFold);
+            analyzeExpr(*expr.args[1], cls, rule, inFold);
+            return;
+          case ast::ExprKind::Call:
+            if (!isBuiltinFunction(expr.op)) {
+                userError("unknown function '" + expr.op + "'", expr.loc);
+            }
+            if (expr.op == "abs" ? expr.args.size() != 1
+                                 : expr.args.size() != 2) {
+                userError("wrong arity for '" + expr.op + "'", expr.loc);
+            }
+            for (const auto& arg : expr.args)
+                analyzeExpr(*arg, cls, rule, inFold);
+            return;
+          case ast::ExprKind::If:
+            for (const auto& arg : expr.args)
+                analyzeExpr(*arg, cls, rule, inFold);
+            return;
+          case ast::ExprKind::Fold: {
+            if (inFold)
+                userError("nested folds are not supported", expr.loc);
+            if (rule.isFold) {
+                userError("a rule may contain at most one fold", expr.loc);
+            }
+            if (!isFoldFunction(expr.op)) {
+                userError("unknown fold function '" + expr.op + "'",
+                          expr.loc);
+            }
+            auto child_it = cls.childByName.find(expr.select.base);
+            if (child_it == cls.childByName.end()) {
+                userError("unknown collection child '" + expr.select.base +
+                              "'",
+                          expr.loc);
+            }
+            const ChildInfo& child = cls.children[child_it->second];
+            if (!child.collection) {
+                userError("fold requires a collection child, '" +
+                              expr.select.base + "' is scalar",
+                          expr.loc);
+            }
+            const InterfaceInfo& child_iface =
+                grammar_.interfaces_[child.iface];
+            auto attr_it = child_iface.attrByName.find(expr.select.attr);
+            if (attr_it == child_iface.attrByName.end()) {
+                userError("unknown attribute '" + expr.select.attr +
+                              "' on collection '" + expr.select.base + "'",
+                          expr.loc);
+            }
+            rule.isFold = true;
+            rule.foldChild = child.id;
+            rule.reads.push_back(
+                {ReadDep::Kind::CollElem, child.id, attr_it->second});
+            analyzeExpr(*expr.args[0], cls, rule, /*inFold=*/true);
+            return;
+          }
+        }
+    }
+
+    void analyzeRead(const ast::Select& sel, const ClassInfo& cls,
+                     RuleInfo& rule)
+    {
+        if (sel.isSelf()) {
+            const InterfaceInfo& iface = grammar_.interfaces_[cls.iface];
+            auto it = iface.attrByName.find(sel.attr);
+            if (it == iface.attrByName.end()) {
+                userError("unknown attribute '" + sel.attr + "' on self",
+                          sel.loc);
+            }
+            if (rule.lhsChild == kInvalidId && it->second == rule.lhs) {
+                userError("rule for '" + sel.attr +
+                              "' reads the attribute it defines",
+                          sel.loc);
+            }
+            rule.reads.push_back(
+                {ReadDep::Kind::SelfAttr, kInvalidId, it->second});
+            return;
+        }
+        auto child_it = cls.childByName.find(sel.base);
+        if (child_it == cls.childByName.end()) {
+            userError("unknown access base '" + sel.base + "'", sel.loc);
+        }
+        const ChildInfo& child = cls.children[child_it->second];
+        if (child.collection) {
+            userError("collection child '" + sel.base +
+                          "' may only be read through fold(...)",
+                      sel.loc);
+        }
+        const InterfaceInfo& child_iface = grammar_.interfaces_[child.iface];
+        auto attr_it = child_iface.attrByName.find(sel.attr);
+        if (attr_it == child_iface.attrByName.end()) {
+            userError("unknown attribute '" + sel.attr + "' on child '" +
+                          sel.base + "'",
+                      sel.loc);
+        }
+        if (rule.lhsChild == child.id && attr_it->second == rule.lhs) {
+            userError("rule for '" + sel.str() +
+                          "' reads the attribute it defines",
+                      sel.loc);
+        }
+        rule.reads.push_back(
+            {ReadDep::Kind::ChildAttr, child.id, attr_it->second});
+    }
+
+    static void dedupeReads(RuleInfo& rule)
+    {
+        std::vector<ReadDep> unique;
+        for (const ReadDep& dep : rule.reads) {
+            if (std::find(unique.begin(), unique.end(), dep) == unique.end())
+                unique.push_back(dep);
+        }
+        rule.reads = std::move(unique);
+    }
+
+    Grammar grammar_;
+};
+
+Grammar
+Grammar::analyze(ast::GrammarAst unit)
+{
+    Analyzer analyzer(std::move(unit));
+    return analyzer.run();
+}
+
+} // namespace hecate::sem

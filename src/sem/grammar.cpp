@@ -1,0 +1,63 @@
+#include "sem/grammar.hpp"
+
+namespace hecate::sem {
+
+InterfaceId
+Grammar::findInterface(const std::string& name) const
+{
+    auto it = interfaceByName_.find(name);
+    return it == interfaceByName_.end() ? kInvalidId : it->second;
+}
+
+ClassId
+Grammar::findClass(const std::string& name) const
+{
+    auto it = classByName_.find(name);
+    return it == classByName_.end() ? kInvalidId : it->second;
+}
+
+RuleId
+Grammar::findRule(ClassId cls_id, const std::string& attrName) const
+{
+    const ClassInfo& info = classes_[cls_id];
+    const InterfaceInfo& iface_info = interfaces_[info.iface];
+    auto it = iface_info.attrByName.find(attrName);
+    if (it == iface_info.attrByName.end())
+        return kInvalidId;
+    return info.ruleForAttr[it->second];
+}
+
+std::vector<std::string>
+Grammar::passNames() const
+{
+    std::vector<std::string> names;
+    for (const RuleInfo& rule : rules_) {
+        bool seen = false;
+        for (const auto& name : names) {
+            if (name == rule.pass) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            names.push_back(rule.pass);
+    }
+    return names;
+}
+
+std::string
+Grammar::ruleName(RuleId id) const
+{
+    const RuleInfo& info = rules_[id];
+    const ClassInfo& cls_info = classes_[info.cls];
+    if (info.lhsChild != kInvalidId) {
+        const ChildInfo& child = cls_info.children[info.lhsChild];
+        const InterfaceInfo& child_iface = interfaces_[child.iface];
+        return cls_info.name + "." + child.name + "." +
+               child_iface.attrs[info.lhs].name;
+    }
+    const InterfaceInfo& iface_info = interfaces_[cls_info.iface];
+    return cls_info.name + "." + iface_info.attrs[info.lhs].name;
+}
+
+} // namespace hecate::sem

@@ -1,0 +1,181 @@
+#pragma once
+
+/**
+ * @file
+ * Resolved semantic model of an attribute grammar (L_a after name
+ * resolution and validation). This is the central data structure of
+ * Hecate: the schedule space, both symbolic encoders, the verifier,
+ * the interpreter, the code generator, and both baselines all consume
+ * it.
+ *
+ * Identifier spaces:
+ *  - InterfaceId / ClassId / RuleId: dense, grammar-global.
+ *  - AttrId: dense within an interface.
+ *  - ChildId: dense within a class.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace hecate::sem {
+
+using InterfaceId = uint32_t;
+using ClassId = uint32_t;
+using AttrId = uint32_t;
+using ChildId = uint32_t;
+using RuleId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+/** One attribute of an interface. */
+struct AttributeInfo {
+    std::string name;
+    bool isInput = false;
+};
+
+/** A resolved interface: the attribute vocabulary shared by classes. */
+struct InterfaceInfo {
+    InterfaceId id = kInvalidId;
+    std::string name;
+    std::vector<AttributeInfo> attrs;
+    std::unordered_map<std::string, AttrId> attrByName;
+    uint32_t outputCount = 0;
+    /** Per attribute: written by parents (true) vs by self rules. */
+    std::vector<bool> inherited;
+
+    bool isInput(AttrId attr) const { return attrs[attr].isInput; }
+    bool isInherited(AttrId attr) const { return inherited[attr]; }
+};
+
+/** A resolved child declaration of a class. */
+struct ChildInfo {
+    ChildId id = kInvalidId;
+    std::string name;
+    InterfaceId iface = kInvalidId;       ///< interface of the child's nodes
+    std::vector<ClassId> allowedClasses;  ///< classes instantiable here
+    bool optional = false;
+    bool collection = false;
+};
+
+/** One read dependency extracted from a rule's RHS. */
+struct ReadDep {
+    enum class Kind : uint8_t {
+        SelfAttr,  ///< self.a
+        ChildAttr, ///< c.a for a scalar child c
+        CollElem,  ///< cs.a inside fold(f, init, cs.a)
+    };
+
+    Kind kind = Kind::SelfAttr;
+    ChildId child = kInvalidId; ///< for ChildAttr / CollElem
+    AttrId attr = kInvalidId;   ///< attr id within the target interface
+
+    bool operator==(const ReadDep&) const = default;
+};
+
+/**
+ * A resolved computation rule: `self.lhs := rhs` (synthesized) or
+ * `child.lhs := rhs` (inherited — the parent writes the child's
+ * attribute, enabling top-down passes such as position finalization).
+ */
+struct RuleInfo {
+    RuleId id = kInvalidId;
+    ClassId cls = kInvalidId;
+    AttrId lhs = kInvalidId;               ///< output attribute written
+    ChildId lhsChild = kInvalidId;         ///< target child; invalid = self
+    const ast::RuleDecl* decl = nullptr;   ///< owned by Grammar's stored AST
+    std::vector<ReadDep> reads;            ///< deduplicated read set
+    bool isFold = false;
+    ChildId foldChild = kInvalidId;        ///< collection folded over
+    std::string pass;                      ///< pass tag (Grafter baseline)
+    uint32_t cost = 1;                     ///< expression size (cost model)
+};
+
+/** A resolved class. */
+struct ClassInfo {
+    ClassId id = kInvalidId;
+    std::string name;
+    InterfaceId iface = kInvalidId;
+    std::vector<ChildInfo> children;
+    std::unordered_map<std::string, ChildId> childByName;
+    std::vector<RuleId> rules;        ///< all rules, declaration order
+    std::vector<RuleId> ruleForAttr;  ///< indexed by AttrId; kInvalidId=input
+};
+
+/**
+ * A validated attribute grammar. Construct via analyze() (sem/analyzer).
+ * Owns the underlying AST so RuleInfo::decl pointers stay valid.
+ */
+class Grammar {
+  public:
+    /**
+     * Resolve and validate @p unit. Throws UserError on any semantic
+     * violation (duplicate names, uncovered output attribute, collection
+     * reads outside fold, ...).
+     */
+    static Grammar analyze(ast::GrammarAst unit);
+
+    // Move-only: RuleInfo::decl points into the stored AST, so copying
+    // would leave the copy aliasing the original's buffers.
+    Grammar(Grammar&&) = default;
+    Grammar& operator=(Grammar&&) = default;
+    Grammar(const Grammar&) = delete;
+    Grammar& operator=(const Grammar&) = delete;
+
+    const std::vector<InterfaceInfo>& interfaces() const
+    {
+        return interfaces_;
+    }
+    const std::vector<ClassInfo>& classes() const { return classes_; }
+    const std::vector<RuleInfo>& rules() const { return rules_; }
+
+    const InterfaceInfo& iface(InterfaceId id) const
+    {
+        return interfaces_[id];
+    }
+    const ClassInfo& cls(ClassId id) const { return classes_[id]; }
+    const RuleInfo& rule(RuleId id) const { return rules_[id]; }
+
+    /** Lookup an interface by name; kInvalidId when absent. */
+    InterfaceId findInterface(const std::string& name) const;
+
+    /** Lookup a class by name; kInvalidId when absent. */
+    ClassId findClass(const std::string& name) const;
+
+    /** The rule computing `self.attrName` on class @p cls; kInvalidId when absent. */
+    RuleId findRule(ClassId cls, const std::string& attrName) const;
+
+    /** All classes implementing interface @p id. */
+    const std::vector<ClassId>& implementers(InterfaceId id) const
+    {
+        return implementers_[id];
+    }
+
+    /** Total number of rules (the "# of Rules" column of Table 2). */
+    size_t ruleCount() const { return rules_.size(); }
+
+    /** Distinct pass tags in declaration order (Grafter baseline input). */
+    std::vector<std::string> passNames() const;
+
+    /** Human-readable description "Class.attr" of a rule. */
+    std::string ruleName(RuleId id) const;
+
+  private:
+    friend class Analyzer;
+
+    Grammar() = default;
+
+    ast::GrammarAst ast_;
+    std::vector<InterfaceInfo> interfaces_;
+    std::vector<ClassInfo> classes_;
+    std::vector<RuleInfo> rules_;
+    std::vector<std::vector<ClassId>> implementers_;
+    std::unordered_map<std::string, InterfaceId> interfaceByName_;
+    std::unordered_map<std::string, ClassId> classByName_;
+};
+
+} // namespace hecate::sem

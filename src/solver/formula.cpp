@@ -1,0 +1,291 @@
+#include "solver/formula.hpp"
+
+#include <algorithm>
+
+namespace hecate::solver {
+
+FormulaBuilder::FormulaBuilder()
+{
+    // id 0 = false, id 1 = true
+    nodes_.push_back({BoolOp::False, 0, 0, 0});
+    nodes_.push_back({BoolOp::True, 0, 0, 0});
+    expanded_.push_back(1.0);
+    expanded_.push_back(1.0);
+}
+
+BoolId
+FormulaBuilder::intern(BoolNode node)
+{
+    NodeKey key = keyOf(node);
+    auto it = interned_.find(key);
+    if (it != interned_.end())
+        return it->second;
+    BoolId id = static_cast<BoolId>(nodes_.size());
+    double size = 1.0;
+    switch (node.op) {
+      case BoolOp::Not:
+        size += expanded_[node.a];
+        break;
+      case BoolOp::And:
+      case BoolOp::Or:
+        size += expanded_[node.a] + expanded_[node.b];
+        break;
+      default:
+        break;
+    }
+    nodes_.push_back(node);
+    expanded_.push_back(size);
+    interned_.emplace(key, id);
+    return id;
+}
+
+BoolId
+FormulaBuilder::mkVar(uint32_t var)
+{
+    checkInvariant(var >= 1 && var <= numVars_, "mkVar: unknown variable");
+    return intern({BoolOp::Var, var, 0, 0});
+}
+
+BoolId
+FormulaBuilder::mkNot(BoolId a)
+{
+    ++ops_;
+    if (a == falseId())
+        return trueId();
+    if (a == trueId())
+        return falseId();
+    // double negation
+    if (nodes_[a].op == BoolOp::Not)
+        return nodes_[a].a;
+    return intern({BoolOp::Not, 0, a, 0});
+}
+
+BoolId
+FormulaBuilder::mkAnd(BoolId a, BoolId b)
+{
+    ++ops_;
+    if (a == falseId() || b == falseId())
+        return falseId();
+    if (a == trueId())
+        return b;
+    if (b == trueId())
+        return a;
+    if (a == b)
+        return a;
+    if (a > b)
+        std::swap(a, b); // canonical order improves sharing
+    return intern({BoolOp::And, 0, a, b});
+}
+
+BoolId
+FormulaBuilder::mkOr(BoolId a, BoolId b)
+{
+    ++ops_;
+    if (a == trueId() || b == trueId())
+        return trueId();
+    if (a == falseId())
+        return b;
+    if (b == falseId())
+        return a;
+    if (a == b)
+        return a;
+    if (a > b)
+        std::swap(a, b);
+    return intern({BoolOp::Or, 0, a, b});
+}
+
+BoolId
+FormulaBuilder::mkAndN(std::span<const BoolId> xs)
+{
+    if (xs.empty())
+        return trueId();
+    // balanced reduction keeps the DAG shallow
+    std::vector<BoolId> level(xs.begin(), xs.end());
+    while (level.size() > 1) {
+        std::vector<BoolId> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(mkAnd(level[i], level[i + 1]));
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+BoolId
+FormulaBuilder::mkOrN(std::span<const BoolId> xs)
+{
+    if (xs.empty())
+        return falseId();
+    std::vector<BoolId> level(xs.begin(), xs.end());
+    while (level.size() > 1) {
+        std::vector<BoolId> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(mkOr(level[i], level[i + 1]));
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+BoolId
+FormulaBuilder::mkAtMostOne(std::span<const BoolId> xs)
+{
+    BoolId acc = trueId();
+    for (size_t i = 0; i < xs.size(); ++i) {
+        for (size_t j = i + 1; j < xs.size(); ++j)
+            acc = mkAnd(acc, mkNot(mkAnd(xs[i], xs[j])));
+    }
+    return acc;
+}
+
+BoolId
+FormulaBuilder::mkExactlyOne(std::span<const BoolId> xs)
+{
+    return mkAnd(mkOrN(xs), mkAtMostOne(xs));
+}
+
+Cnf
+FormulaBuilder::toCnf(BoolId root) const
+{
+    Cnf cnf;
+    cnf.numVars = numVars_;
+
+    if (root == falseId()) {
+        cnf.clauses.push_back({}); // empty clause: unsatisfiable
+        return cnf;
+    }
+    if (root == trueId())
+        return cnf;
+
+    // Post-order over reachable nodes so operands get their Tseitin
+    // literal before any user (the DAG shares nodes, so plain discovery
+    // order is not topological).
+    std::vector<int32_t> lit_of(nodes_.size(), 0);
+    std::vector<BoolId> order;
+    std::vector<bool> seen(nodes_.size(), false);
+    std::vector<std::pair<BoolId, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+        auto [id, expanded] = stack.back();
+        stack.pop_back();
+        if (id <= trueId())
+            continue;
+        if (expanded) {
+            order.push_back(id);
+            continue;
+        }
+        if (seen[id])
+            continue;
+        seen[id] = true;
+        stack.emplace_back(id, true);
+        const BoolNode& n = nodes_[id];
+        if (n.op == BoolOp::Not) {
+            stack.emplace_back(n.a, false);
+        } else if (n.op == BoolOp::And || n.op == BoolOp::Or) {
+            stack.emplace_back(n.a, false);
+            stack.emplace_back(n.b, false);
+        }
+    }
+
+    auto litFor = [&](BoolId id) -> int32_t {
+        checkInvariant(id > trueId(), "constant leaked into Tseitin");
+        return lit_of[id];
+    };
+
+    // Assign literals in post-order: Var nodes reuse the problem
+    // variable; Not nodes reuse the negation of their operand; And/Or
+    // get a fresh auxiliary variable with the usual Tseitin clauses.
+    for (BoolId id : order) {
+        const BoolNode& n = nodes_[id];
+        switch (n.op) {
+          case BoolOp::Var:
+            lit_of[id] = static_cast<int32_t>(n.var);
+            break;
+          case BoolOp::Not:
+            lit_of[id] = -litFor(n.a);
+            break;
+          case BoolOp::And:
+          case BoolOp::Or: {
+            int32_t self = static_cast<int32_t>(++cnf.numVars);
+            lit_of[id] = self;
+            int32_t a = litFor(n.a);
+            int32_t b = litFor(n.b);
+            if (n.op == BoolOp::And) {
+                // self <-> a & b
+                cnf.clauses.push_back({-self, a});
+                cnf.clauses.push_back({-self, b});
+                cnf.clauses.push_back({self, -a, -b});
+            } else {
+                // self <-> a | b
+                cnf.clauses.push_back({self, -a});
+                cnf.clauses.push_back({self, -b});
+                cnf.clauses.push_back({-self, a, b});
+            }
+            break;
+          }
+          default:
+            internalError("unexpected node in Tseitin pass");
+        }
+    }
+
+    cnf.clauses.push_back({litFor(root)});
+    return cnf;
+}
+
+bool
+FormulaBuilder::evaluate(BoolId root, const std::vector<bool>& assignment) const
+{
+    std::vector<int8_t> memo(nodes_.size(), -1);
+    // iterative post-order evaluation
+    std::vector<BoolId> stack{root};
+    while (!stack.empty()) {
+        BoolId id = stack.back();
+        if (memo[id] >= 0) {
+            stack.pop_back();
+            continue;
+        }
+        const BoolNode& n = nodes_[id];
+        switch (n.op) {
+          case BoolOp::False:
+            memo[id] = 0;
+            stack.pop_back();
+            break;
+          case BoolOp::True:
+            memo[id] = 1;
+            stack.pop_back();
+            break;
+          case BoolOp::Var:
+            checkInvariant(n.var < assignment.size() + 1,
+                           "evaluate: assignment too small");
+            memo[id] = assignment[n.var - 1] ? 1 : 0;
+            stack.pop_back();
+            break;
+          case BoolOp::Not:
+            if (memo[n.a] < 0) {
+                stack.push_back(n.a);
+            } else {
+                memo[id] = memo[n.a] ? 0 : 1;
+                stack.pop_back();
+            }
+            break;
+          case BoolOp::And:
+          case BoolOp::Or:
+            if (memo[n.a] < 0) {
+                stack.push_back(n.a);
+            } else if (memo[n.b] < 0) {
+                stack.push_back(n.b);
+            } else {
+                bool va = memo[n.a] != 0;
+                bool vb = memo[n.b] != 0;
+                memo[id] = (n.op == BoolOp::And ? (va && vb) : (va || vb))
+                               ? 1 : 0;
+                stack.pop_back();
+            }
+            break;
+        }
+    }
+    return memo[root] != 0;
+}
+
+} // namespace hecate::solver

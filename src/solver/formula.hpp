@@ -1,0 +1,143 @@
+#pragma once
+
+/**
+ * @file
+ * Hash-consed boolean formula DAG plus Tseitin CNF transformation.
+ *
+ * This layer plays the role Rosette's symbolic value graph plays in the
+ * paper's general-purpose compilation (§4.2): the symbolic interpreter
+ * builds ready-bit formulas over assignment variables sigma(a, iota),
+ * and the number of distinct DAG nodes is exactly the "# total symbolic
+ * states" metric plotted in Fig. 9.
+ */
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::solver {
+
+/** Index of a node in a FormulaBuilder's DAG. */
+using BoolId = uint32_t;
+
+/** Boolean DAG node kinds. */
+enum class BoolOp : uint8_t { False, True, Var, Not, And, Or };
+
+/** One DAG node (binary ops; n-ary helpers balance into trees). */
+struct BoolNode {
+    BoolOp op = BoolOp::False;
+    uint32_t var = 0; ///< for Var
+    BoolId a = 0;     ///< for Not/And/Or
+    BoolId b = 0;     ///< for And/Or
+};
+
+/** CNF in near-DIMACS form: literal v>0 means var v, v<0 means NOT var v. */
+struct Cnf {
+    uint32_t numVars = 0;
+    std::vector<std::vector<int32_t>> clauses;
+};
+
+/**
+ * Builder for hash-consed boolean formulas. Node ids 0 and 1 are the
+ * constants false and true. Construction applies constant folding and
+ * structural sharing; nodeCount() reports the number of live distinct
+ * nodes (the Fig. 9 metric).
+ */
+class FormulaBuilder {
+  public:
+    FormulaBuilder();
+
+    static constexpr BoolId falseId() { return 0; }
+    static constexpr BoolId trueId() { return 1; }
+
+    /** Allocate a fresh problem variable (1-based, CNF-compatible). */
+    uint32_t newVar() { return ++numVars_; }
+
+    uint32_t varCount() const { return numVars_; }
+
+    /** Leaf for variable @p var (must come from newVar). */
+    BoolId mkVar(uint32_t var);
+
+    BoolId mkNot(BoolId a);
+    BoolId mkAnd(BoolId a, BoolId b);
+    BoolId mkOr(BoolId a, BoolId b);
+    BoolId mkImplies(BoolId a, BoolId b) { return mkOr(mkNot(a), b); }
+
+    /** Balanced n-ary conjunction / disjunction. */
+    BoolId mkAndN(std::span<const BoolId> xs);
+    BoolId mkOrN(std::span<const BoolId> xs);
+
+    /** At-most-one over variables (pairwise encoding as a formula). */
+    BoolId mkAtMostOne(std::span<const BoolId> xs);
+
+    /** Exactly-one over variables. */
+    BoolId mkExactlyOne(std::span<const BoolId> xs);
+
+    const BoolNode& node(BoolId id) const { return nodes_[id]; }
+
+    /** Distinct DAG nodes built so far (after hash-consing). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /**
+     * Total formula construction operations, cache hits included —
+     * the number of symbolic-evaluation steps a non-hash-consing
+     * engine (like the paper's general-purpose compilation) performs;
+     * this is the Fig. 9 symbolic-state metric.
+     */
+    size_t opCount() const { return ops_; }
+
+    /**
+     * Tree-expanded size of the formula rooted at @p id: the number of
+     * term nodes a engine *without* structural sharing materializes.
+     * Grows multiplicatively where the DAG shares subterms.
+     */
+    double expandedSize(BoolId id) const { return expanded_[id]; }
+
+    /**
+     * Tseitin-transform the formula rooted at @p root (asserted true)
+     * into CNF. Fresh auxiliary variables extend the problem variables;
+     * problem-variable indices are preserved so a SAT model can be read
+     * back directly.
+     */
+    Cnf toCnf(BoolId root) const;
+
+    /** Evaluate @p root under @p assignment (indexed by var, 1-based). */
+    bool evaluate(BoolId root, const std::vector<bool>& assignment) const;
+
+  private:
+    BoolId intern(BoolNode node);
+
+    struct NodeKey {
+        uint8_t op;
+        uint32_t var;
+        BoolId a;
+        BoolId b;
+        bool operator==(const NodeKey&) const = default;
+    };
+    struct NodeKeyHash {
+        size_t operator()(const NodeKey& k) const
+        {
+            uint64_t x = (static_cast<uint64_t>(k.op) << 56) ^
+                         (static_cast<uint64_t>(k.var) << 24) ^
+                         (static_cast<uint64_t>(k.a) << 12) ^ k.b;
+            x *= 0x9e3779b97f4a7c15ULL;
+            return static_cast<size_t>(x ^ (x >> 32));
+        }
+    };
+
+    static NodeKey keyOf(const BoolNode& node)
+    {
+        return {static_cast<uint8_t>(node.op), node.var, node.a, node.b};
+    }
+
+    std::vector<BoolNode> nodes_;
+    std::unordered_map<NodeKey, BoolId, NodeKeyHash> interned_;
+    std::vector<double> expanded_;
+    uint32_t numVars_ = 0;
+    size_t ops_ = 0;
+};
+
+} // namespace hecate::solver

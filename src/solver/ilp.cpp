@@ -1,0 +1,271 @@
+#include "solver/ilp.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::solver {
+
+uint32_t
+IlpSolver::addVar()
+{
+    uint32_t idx = static_cast<uint32_t>(numVars_++);
+    occurs_.emplace_back();
+    return idx;
+}
+
+void
+IlpSolver::addRange(std::vector<LinTerm> terms, int64_t lo, int64_t hi)
+{
+    // Merge duplicate variables so activity bookkeeping stays exact.
+    std::sort(terms.begin(), terms.end(),
+              [](const LinTerm& a, const LinTerm& b) { return a.var < b.var; });
+    std::vector<LinTerm> merged;
+    for (const LinTerm& term : terms) {
+        checkInvariant(term.var < numVars_, "addRange: unknown variable");
+        if (!merged.empty() && merged.back().var == term.var) {
+            merged.back().coeff += term.coeff;
+        } else {
+            merged.push_back(term);
+        }
+    }
+    std::erase_if(merged, [](const LinTerm& t) { return t.coeff == 0; });
+
+    uint32_t idx = static_cast<uint32_t>(constraints_.size());
+    for (const LinTerm& term : merged)
+        occurs_[term.var].push_back(idx);
+    constraints_.push_back({std::move(merged), lo, hi});
+}
+
+void
+IlpSolver::setObjective(std::vector<LinTerm> terms)
+{
+    objective_ = std::move(terms);
+    hasObjective_ = true;
+}
+
+void
+IlpSolver::enqueueConstraint(uint32_t ci)
+{
+    if (!inQueue_[ci]) {
+        inQueue_[ci] = true;
+        queue_.push_back(ci);
+    }
+}
+
+void
+IlpSolver::clearQueue()
+{
+    for (uint32_t ci : queue_)
+        inQueue_[ci] = false;
+    queue_.clear();
+}
+
+bool
+IlpSolver::forceVar(uint32_t var, int8_t value, std::vector<int8_t>& assign,
+                    std::vector<uint32_t>& trail)
+{
+    if (assign[var] != kUnassigned)
+        return assign[var] == value;
+    assign[var] = value;
+    trail.push_back(var);
+    for (uint32_t ci : occurs_[var]) {
+        const Constraint& con = constraints_[ci];
+        // Find this var's coefficient (constraints are small; linear scan).
+        int64_t coeff = 0;
+        for (const LinTerm& term : con.terms) {
+            if (term.var == var) {
+                coeff = term.coeff;
+                break;
+            }
+        }
+        int64_t contribution = value ? coeff : 0;
+        minAct_[ci] += contribution - std::min<int64_t>(0, coeff);
+        maxAct_[ci] += contribution - std::max<int64_t>(0, coeff);
+        if (minAct_[ci] > con.hi || maxAct_[ci] < con.lo) {
+            ++stats_.conflicts;
+            return false;
+        }
+        enqueueConstraint(ci);
+    }
+    return true;
+}
+
+bool
+IlpSolver::propagate(std::vector<int8_t>& assign,
+                     std::vector<uint32_t>& trail)
+{
+    // Worklist propagation: only constraints whose activity bounds
+    // changed since the last call are re-examined; forcing a variable
+    // enqueues its other constraints.
+    while (!queue_.empty()) {
+        uint32_t ci = queue_.back();
+        queue_.pop_back();
+        inQueue_[ci] = false;
+        const Constraint& con = constraints_[ci];
+        if (minAct_[ci] > con.hi || maxAct_[ci] < con.lo) {
+            ++stats_.conflicts;
+            clearQueue();
+            return false;
+        }
+        for (const LinTerm& term : con.terms) {
+            if (assign[term.var] != kUnassigned)
+                continue;
+            int64_t up = std::max<int64_t>(0, term.coeff);
+            int64_t down = std::max<int64_t>(0, -term.coeff);
+            bool can_be_one = minAct_[ci] + up <= con.hi &&
+                              maxAct_[ci] + std::min<int64_t>(
+                                                0, term.coeff) >= con.lo;
+            bool can_be_zero = minAct_[ci] + down <= con.hi &&
+                               maxAct_[ci] -
+                                       std::max<int64_t>(0, term.coeff) >=
+                                   con.lo;
+            if (!can_be_one && !can_be_zero) {
+                ++stats_.conflicts;
+                clearQueue();
+                return false;
+            }
+            if (!can_be_one || !can_be_zero) {
+                ++stats_.propagations;
+                if (!forceVar(term.var, can_be_one ? 1 : 0, assign,
+                              trail)) {
+                    clearQueue();
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+void
+IlpSolver::undoTrail(std::vector<int8_t>& assign,
+                     std::vector<uint32_t>& trail, size_t mark)
+{
+    clearQueue();
+    while (trail.size() > mark) {
+        uint32_t var = trail.back();
+        trail.pop_back();
+        int8_t value = assign[var];
+        assign[var] = kUnassigned;
+        for (uint32_t ci : occurs_[var]) {
+            const Constraint& con = constraints_[ci];
+            int64_t coeff = 0;
+            for (const LinTerm& term : con.terms) {
+                if (term.var == var) {
+                    coeff = term.coeff;
+                    break;
+                }
+            }
+            int64_t contribution = value ? coeff : 0;
+            minAct_[ci] -= contribution - std::min<int64_t>(0, coeff);
+            maxAct_[ci] -= contribution - std::max<int64_t>(0, coeff);
+        }
+    }
+}
+
+int32_t
+IlpSolver::pickVar(const std::vector<int8_t>& assign) const
+{
+    // Most-constrained first along a precomputed static order.
+    for (uint32_t v : branchOrder_) {
+        if (assign[v] == kUnassigned)
+            return static_cast<int32_t>(v);
+    }
+    return -1;
+}
+
+bool
+IlpSolver::search(std::vector<int8_t>& assign, uint64_t maxNodes)
+{
+    if (stats_.branchNodes >= maxNodes)
+        return false;
+    ++stats_.branchNodes;
+
+    size_t mark_outer = 0; // placeholder; propagation trail handled by caller
+    (void)mark_outer;
+
+    // Objective lower bound pruning.
+    if (hasObjective_ && haveSolution_) {
+        int64_t bound = 0;
+        for (const LinTerm& term : objective_) {
+            if (assign[term.var] == kUnassigned) {
+                bound += std::min<int64_t>(0, term.coeff);
+            } else if (assign[term.var] == 1) {
+                bound += term.coeff;
+            }
+        }
+        if (bound >= bestObjective_)
+            return false;
+    }
+
+    int32_t var = pickVar(assign);
+    if (var < 0) {
+        // Complete assignment; constraints hold by propagation invariant.
+        int64_t obj = 0;
+        for (const LinTerm& term : objective_) {
+            if (assign[term.var] == 1)
+                obj += term.coeff;
+        }
+        if (!haveSolution_ || !hasObjective_ || obj < bestObjective_) {
+            best_.assign(numVars_, 0);
+            for (uint32_t v = 0; v < numVars_; ++v)
+                best_[v] = assign[v] == 1 ? 1 : 0;
+            bestObjective_ = obj;
+            haveSolution_ = true;
+        }
+        return !hasObjective_; // feasibility mode: stop at first solution
+    }
+
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        int8_t value = attempt == 0 ? 1 : 0;
+        std::vector<uint32_t> trail;
+        bool ok = forceVar(static_cast<uint32_t>(var), value, assign, trail) &&
+                  propagate(assign, trail);
+        if (ok && search(assign, maxNodes))
+            return true;
+        undoTrail(assign, trail, 0);
+        if (stats_.branchNodes >= maxNodes)
+            return false;
+    }
+    return false;
+}
+
+IlpResult
+IlpSolver::solve(uint64_t maxNodes)
+{
+    stats_ = {};
+    haveSolution_ = false;
+    bestObjective_ = 0;
+
+    minAct_.assign(constraints_.size(), 0);
+    maxAct_.assign(constraints_.size(), 0);
+    for (uint32_t ci = 0; ci < constraints_.size(); ++ci) {
+        for (const LinTerm& term : constraints_[ci].terms) {
+            minAct_[ci] += std::min<int64_t>(0, term.coeff);
+            maxAct_[ci] += std::max<int64_t>(0, term.coeff);
+        }
+    }
+
+    branchOrder_.resize(numVars_);
+    for (uint32_t v = 0; v < numVars_; ++v)
+        branchOrder_[v] = v;
+    std::stable_sort(branchOrder_.begin(), branchOrder_.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return occurs_[a].size() > occurs_[b].size();
+                     });
+
+    inQueue_.assign(constraints_.size(), false);
+    queue_.clear();
+    std::vector<int8_t> assign(numVars_, kUnassigned);
+    std::vector<uint32_t> root_trail;
+    for (uint32_t ci = 0; ci < constraints_.size(); ++ci)
+        enqueueConstraint(ci);
+    if (!propagate(assign, root_trail))
+        return IlpResult::Infeasible;
+
+    search(assign, maxNodes);
+    return haveSolution_ ? IlpResult::Feasible : IlpResult::Infeasible;
+}
+
+} // namespace hecate::solver

@@ -1,0 +1,132 @@
+#pragma once
+
+/**
+ * @file
+ * A from-scratch 0-1 integer linear programming solver, the substrate
+ * the paper's domain-specific symbolic compilation targets (Def. 3.7;
+ * the paper uses CPLEX). The search is depth-first branch-and-bound
+ * over binary variables with per-constraint bound propagation: each
+ * linear constraint maintains the min/max achievable activity under
+ * the current partial assignment and forces variables whose other
+ * value would make the constraint unsatisfiable.
+ *
+ * The synthesis constraints of §5.2 are feasibility problems with small
+ * coefficients (read constraints, at-most-one, exactly-one), for which
+ * this propagation is strong; an optional linear objective is minimized
+ * by iterative bound tightening.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace hecate::solver {
+
+/** One linear term coeff * x_var. */
+struct LinTerm {
+    int64_t coeff = 0;
+    uint32_t var = 0; ///< 0-based variable index
+};
+
+/** Outcome of an ILP solve. */
+enum class IlpResult { Feasible, Infeasible };
+
+/** 0-1 ILP solver. */
+class IlpSolver {
+  public:
+    /** Allocate a fresh binary variable; returns its index. */
+    uint32_t addVar();
+
+    uint32_t varCount() const { return static_cast<uint32_t>(numVars_); }
+
+    /** Add constraint lo <= sum(terms) <= hi. */
+    void addRange(std::vector<LinTerm> terms, int64_t lo, int64_t hi);
+
+    /** sum(terms) <= bound */
+    void addLe(std::vector<LinTerm> terms, int64_t bound)
+    {
+        addRange(std::move(terms), std::numeric_limits<int64_t>::min(),
+                 bound);
+    }
+
+    /** sum(terms) >= bound */
+    void addGe(std::vector<LinTerm> terms, int64_t bound)
+    {
+        addRange(std::move(terms), bound,
+                 std::numeric_limits<int64_t>::max());
+    }
+
+    /** sum(terms) == bound */
+    void addEq(std::vector<LinTerm> terms, int64_t bound)
+    {
+        addRange(std::move(terms), bound, bound);
+    }
+
+    /**
+     * Set a linear objective to minimize. Optional; without one the
+     * solver answers pure feasibility.
+     */
+    void setObjective(std::vector<LinTerm> terms);
+
+    /** Solve. Search effort is bounded by @p maxNodes branch nodes. */
+    IlpResult solve(uint64_t maxNodes = UINT64_MAX);
+
+    /** Value of @p var in the best found solution (valid after Feasible). */
+    int64_t value(uint32_t var) const { return best_[var]; }
+
+    /** Objective value of the best solution (0 when no objective). */
+    int64_t objectiveValue() const { return bestObjective_; }
+
+    /** Search statistics. */
+    struct Stats {
+        uint64_t branchNodes = 0;
+        uint64_t propagations = 0;
+        uint64_t conflicts = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Constraint {
+        std::vector<LinTerm> terms;
+        int64_t lo;
+        int64_t hi;
+    };
+
+    static constexpr int8_t kUnassigned = -1;
+
+    bool propagate(std::vector<int8_t>& assign,
+                   std::vector<uint32_t>& trail);
+    bool forceVar(uint32_t var, int8_t value, std::vector<int8_t>& assign,
+                  std::vector<uint32_t>& trail);
+    void enqueueConstraint(uint32_t ci);
+    void clearQueue();
+    void undoTrail(std::vector<int8_t>& assign,
+                   std::vector<uint32_t>& trail, size_t mark);
+    bool search(std::vector<int8_t>& assign, uint64_t maxNodes);
+    int32_t pickVar(const std::vector<int8_t>& assign) const;
+
+    /** Static branch order: most-constrained variables first. */
+    std::vector<uint32_t> branchOrder_;
+
+    size_t numVars_ = 0;
+    std::vector<Constraint> constraints_;
+    std::vector<std::vector<uint32_t>> occurs_; // var -> constraint idxs
+    std::vector<LinTerm> objective_;
+    bool hasObjective_ = false;
+
+    // Incremental activities: current min/max achievable sum per constraint.
+    std::vector<int64_t> minAct_;
+    std::vector<int64_t> maxAct_;
+
+    // Worklist of constraints touched since the last propagation.
+    std::vector<uint32_t> queue_;
+    std::vector<bool> inQueue_;
+
+    std::vector<int64_t> best_;
+    int64_t bestObjective_ = 0;
+    bool haveSolution_ = false;
+    Stats stats_;
+};
+
+} // namespace hecate::solver

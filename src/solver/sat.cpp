@@ -1,0 +1,334 @@
+#include "solver/sat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::solver {
+
+SatSolver::SatSolver(uint32_t numVars)
+{
+    ensureVars(numVars);
+}
+
+void
+SatSolver::ensureVars(uint32_t numVars)
+{
+    if (numVars <= numVars_)
+        return;
+    numVars_ = numVars;
+    assigns_.resize(numVars_, LBool::Undef);
+    levels_.resize(numVars_, 0);
+    reasons_.resize(numVars_, kNoReason);
+    activity_.resize(numVars_, 0.0);
+    polarity_.resize(numVars_, false);
+    watches_.resize(2 * numVars_);
+}
+
+bool
+SatSolver::addClause(const std::vector<int32_t>& lits)
+{
+    if (rootConflict_)
+        return false;
+
+    // Normalize: dedupe, drop tautologies and root-false literals.
+    std::vector<Lit> norm;
+    for (int32_t ext : lits) {
+        checkInvariant(ext != 0, "addClause: zero literal");
+        uint32_t v = static_cast<uint32_t>(ext > 0 ? ext : -ext) - 1;
+        ensureVars(v + 1);
+        Lit l = mkLit(v, ext < 0);
+        LBool val = valueLit(l);
+        if (val == LBool::True && levels_[v] == 0)
+            return true; // satisfied at root
+        if (val == LBool::False && levels_[v] == 0)
+            continue; // root-false literal: drop
+        bool dup = false;
+        for (Lit other : norm) {
+            if (other == l)
+                dup = true;
+            if (other == negate(l))
+                return true; // tautology
+        }
+        if (!dup)
+            norm.push_back(l);
+    }
+
+    if (norm.empty()) {
+        rootConflict_ = true;
+        return false;
+    }
+    if (norm.size() == 1) {
+        if (valueLit(norm[0]) == LBool::False) {
+            rootConflict_ = true;
+            return false;
+        }
+        if (valueLit(norm[0]) == LBool::Undef) {
+            enqueue(norm[0], kNoReason);
+            if (propagate() != kNoReason) {
+                rootConflict_ = true;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    Clause clause;
+    clause.lits = std::move(norm);
+    attachClause(std::move(clause));
+    return true;
+}
+
+uint32_t
+SatSolver::attachClause(Clause clause)
+{
+    uint32_t idx = static_cast<uint32_t>(clauses_.size());
+    watches_[negate(clause.lits[0])].push_back(idx);
+    watches_[negate(clause.lits[1])].push_back(idx);
+    clauses_.push_back(std::move(clause));
+    return idx;
+}
+
+void
+SatSolver::enqueue(Lit l, uint32_t reason)
+{
+    uint32_t v = varOf(l);
+    assigns_[v] = signOf(l) ? LBool::False : LBool::True;
+    levels_[v] = static_cast<uint32_t>(trailLimits_.size());
+    reasons_[v] = reason;
+    polarity_[v] = !signOf(l);
+    trail_.push_back(l);
+}
+
+uint32_t
+SatSolver::propagate()
+{
+    while (propagateHead_ < trail_.size()) {
+        Lit l = trail_[propagateHead_++];
+        ++stats_.propagations;
+        std::vector<uint32_t>& watch_list = watches_[l];
+        size_t keep = 0;
+        uint32_t conflict = kNoReason;
+
+        for (size_t i = 0; i < watch_list.size(); ++i) {
+            uint32_t ci = watch_list[i];
+            Clause& clause = clauses_[ci];
+            auto& cl = clause.lits;
+
+            // Ensure the falsified literal is at position 1.
+            if (cl[0] == negate(l))
+                std::swap(cl[0], cl[1]);
+
+            if (valueLit(cl[0]) == LBool::True) {
+                watch_list[keep++] = ci; // clause satisfied; keep watch
+                continue;
+            }
+
+            // Look for a replacement watch.
+            bool moved = false;
+            for (size_t k = 2; k < cl.size(); ++k) {
+                if (valueLit(cl[k]) != LBool::False) {
+                    std::swap(cl[1], cl[k]);
+                    watches_[negate(cl[1])].push_back(ci);
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved)
+                continue;
+
+            // Unit or conflicting.
+            watch_list[keep++] = ci;
+            if (valueLit(cl[0]) == LBool::False) {
+                conflict = ci;
+                // keep remaining watches untouched
+                for (size_t k = i + 1; k < watch_list.size(); ++k)
+                    watch_list[keep++] = watch_list[k];
+                break;
+            }
+            enqueue(cl[0], ci);
+        }
+        watch_list.resize(keep);
+        if (conflict != kNoReason)
+            return conflict;
+    }
+    return kNoReason;
+}
+
+void
+SatSolver::bumpVar(uint32_t v)
+{
+    activity_[v] += activityInc_;
+    if (activity_[v] > 1e100) {
+        for (double& a : activity_)
+            a *= 1e-100;
+        activityInc_ *= 1e-100;
+    }
+}
+
+void
+SatSolver::decayActivities()
+{
+    activityInc_ /= 0.95;
+}
+
+void
+SatSolver::analyze(uint32_t conflict, std::vector<Lit>& learnt,
+                   uint32_t& backLevel)
+{
+    learnt.clear();
+    learnt.push_back(0); // slot for the asserting literal
+
+    std::vector<bool> seen(numVars_, false);
+    uint32_t counter = 0;
+    Lit asserting = 0;
+    uint32_t clause_idx = conflict;
+    size_t trail_pos = trail_.size();
+    uint32_t current_level = static_cast<uint32_t>(trailLimits_.size());
+
+    for (;;) {
+        const Clause& clause = clauses_[clause_idx];
+        // Skip position 0 when expanding a reason (it is the implied lit).
+        size_t start = (clause_idx == conflict) ? 0 : 1;
+        for (size_t i = start; i < clause.lits.size(); ++i) {
+            Lit q = clause.lits[i];
+            uint32_t v = varOf(q);
+            if (seen[v] || levels_[v] == 0)
+                continue;
+            seen[v] = true;
+            bumpVar(v);
+            if (levels_[v] == current_level) {
+                ++counter;
+            } else {
+                learnt.push_back(q);
+            }
+        }
+
+        // Find next seen literal on the trail.
+        for (;;) {
+            checkInvariant(trail_pos > 0, "analyze: trail exhausted");
+            Lit p = trail_[--trail_pos];
+            if (seen[varOf(p)]) {
+                asserting = p;
+                clause_idx = reasons_[varOf(p)];
+                break;
+            }
+        }
+        seen[varOf(asserting)] = false;
+        if (--counter == 0)
+            break;
+        checkInvariant(clause_idx != kNoReason, "analyze: decision reached");
+    }
+    learnt[0] = negate(asserting);
+
+    // Compute backjump level: highest level among learnt[1..].
+    backLevel = 0;
+    size_t max_idx = 1;
+    for (size_t i = 1; i < learnt.size(); ++i) {
+        uint32_t lvl = levels_[varOf(learnt[i])];
+        if (lvl > backLevel) {
+            backLevel = lvl;
+            max_idx = i;
+        }
+    }
+    if (learnt.size() > 1)
+        std::swap(learnt[1], learnt[max_idx]);
+}
+
+void
+SatSolver::backtrackTo(uint32_t level)
+{
+    if (trailLimits_.size() <= level)
+        return;
+    size_t bound = trailLimits_[level];
+    for (size_t i = trail_.size(); i > bound; --i) {
+        uint32_t v = varOf(trail_[i - 1]);
+        assigns_[v] = LBool::Undef;
+        reasons_[v] = kNoReason;
+    }
+    trail_.resize(bound);
+    trailLimits_.resize(level);
+    propagateHead_ = trail_.size();
+}
+
+int32_t
+SatSolver::pickBranchVar()
+{
+    int32_t best = -1;
+    double best_act = -1.0;
+    for (uint32_t v = 0; v < numVars_; ++v) {
+        if (assigns_[v] == LBool::Undef && activity_[v] > best_act) {
+            best = static_cast<int32_t>(v);
+            best_act = activity_[v];
+        }
+    }
+    return best;
+}
+
+SatResult
+SatSolver::solve()
+{
+    if (rootConflict_)
+        return SatResult::Unsat;
+    if (propagate() != kNoReason) {
+        rootConflict_ = true;
+        return SatResult::Unsat;
+    }
+
+    uint64_t conflict_budget = 128; // geometric restart schedule
+    uint64_t conflicts_here = 0;
+    std::vector<Lit> learnt;
+
+    for (;;) {
+        uint32_t conflict = propagate();
+        if (conflict != kNoReason) {
+            ++stats_.conflicts;
+            ++conflicts_here;
+            if (trailLimits_.empty()) {
+                rootConflict_ = true;
+                return SatResult::Unsat;
+            }
+            uint32_t back_level = 0;
+            analyze(conflict, learnt, back_level);
+            backtrackTo(back_level);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], kNoReason);
+            } else {
+                Clause clause;
+                clause.lits = learnt;
+                clause.learned = true;
+                uint32_t idx = attachClause(std::move(clause));
+                ++stats_.learnedClauses;
+                enqueue(learnt[0], idx);
+            }
+            decayActivities();
+            continue;
+        }
+
+        if (conflicts_here >= conflict_budget) {
+            // restart
+            conflicts_here = 0;
+            conflict_budget = conflict_budget + conflict_budget / 2;
+            ++stats_.restarts;
+            backtrackTo(0);
+            continue;
+        }
+
+        int32_t v = pickBranchVar();
+        if (v < 0)
+            return SatResult::Sat; // complete assignment
+        ++stats_.decisions;
+        trailLimits_.push_back(static_cast<uint32_t>(trail_.size()));
+        enqueue(mkLit(static_cast<uint32_t>(v), !polarity_[v]), kNoReason);
+    }
+}
+
+bool
+SatSolver::modelValue(uint32_t var) const
+{
+    checkInvariant(var >= 1 && var <= numVars_, "modelValue: bad var");
+    return assigns_[var - 1] == LBool::True;
+}
+
+} // namespace hecate::solver

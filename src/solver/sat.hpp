@@ -1,0 +1,108 @@
+#pragma once
+
+/**
+ * @file
+ * A from-scratch CDCL SAT solver: two-literal watching, 1-UIP conflict
+ * analysis with clause learning, VSIDS-style activities, phase saving,
+ * and geometric restarts.
+ *
+ * This is the "off-the-shelf SMT solver" substrate of the paper's
+ * general-purpose symbolic compilation (the constraints of §4.2 are
+ * purely boolean, so propositional SAT is the exact required theory).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hecate::solver {
+
+/** Outcome of a solve() call. */
+enum class SatResult { Sat, Unsat };
+
+/** CDCL solver. Variables are 1-based; literals are ±var. */
+class SatSolver {
+  public:
+    explicit SatSolver(uint32_t numVars = 0);
+
+    /** Grow the variable universe to at least @p numVars. */
+    void ensureVars(uint32_t numVars);
+
+    uint32_t varCount() const { return static_cast<uint32_t>(numVars_); }
+
+    /**
+     * Add a clause of DIMACS-style literals. Returns false when the
+     * formula is already unsatisfiable at the root level.
+     */
+    bool addClause(const std::vector<int32_t>& lits);
+
+    /** Decide satisfiability of the accumulated clauses. */
+    SatResult solve();
+
+    /** Model value of @p var (valid after Sat). */
+    bool modelValue(uint32_t var) const;
+
+    /** Search statistics (for the evaluation write-up). */
+    struct Stats {
+        uint64_t decisions = 0;
+        uint64_t propagations = 0;
+        uint64_t conflicts = 0;
+        uint64_t learnedClauses = 0;
+        uint64_t restarts = 0;
+    };
+
+    const Stats& stats() const { return stats_; }
+
+  private:
+    // Internal literal encoding: lit = 2*v + sign, v 0-based.
+    using Lit = uint32_t;
+    static Lit mkLit(uint32_t v, bool neg) { return 2 * v + (neg ? 1 : 0); }
+    static Lit negate(Lit l) { return l ^ 1; }
+    static uint32_t varOf(Lit l) { return l >> 1; }
+    static bool signOf(Lit l) { return (l & 1) != 0; }
+
+    static constexpr uint32_t kNoReason = UINT32_MAX;
+
+    struct Clause {
+        std::vector<Lit> lits;
+        bool learned = false;
+    };
+
+    enum class LBool : int8_t { False = 0, True = 1, Undef = 2 };
+
+    LBool valueLit(Lit l) const
+    {
+        LBool v = assigns_[varOf(l)];
+        if (v == LBool::Undef)
+            return LBool::Undef;
+        bool b = (v == LBool::True) != signOf(l);
+        return b ? LBool::True : LBool::False;
+    }
+
+    void enqueue(Lit l, uint32_t reason);
+    uint32_t propagate(); // returns conflicting clause index or kNoReason
+    void analyze(uint32_t conflict, std::vector<Lit>& learnt,
+                 uint32_t& backLevel);
+    void backtrackTo(uint32_t level);
+    void bumpVar(uint32_t v);
+    void decayActivities();
+    int32_t pickBranchVar(); // -1 when all assigned
+    uint32_t attachClause(Clause clause);
+
+    size_t numVars_ = 0;
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<uint32_t>> watches_; // per literal
+    std::vector<LBool> assigns_;                 // per var
+    std::vector<uint32_t> levels_;               // per var
+    std::vector<uint32_t> reasons_;              // per var (clause idx)
+    std::vector<Lit> trail_;
+    std::vector<uint32_t> trailLimits_;
+    size_t propagateHead_ = 0;
+    std::vector<double> activity_;
+    std::vector<bool> polarity_; // phase saving (last assigned sign)
+    double activityInc_ = 1.0;
+    bool rootConflict_ = false;
+    Stats stats_;
+};
+
+} // namespace hecate::solver

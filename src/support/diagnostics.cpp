@@ -1,0 +1,30 @@
+#include "support/diagnostics.hpp"
+
+namespace hecate {
+
+std::string
+SourceLoc::str() const
+{
+    if (!isValid())
+        return "?";
+    return std::to_string(line) + ":" + std::to_string(column);
+}
+
+UserError::UserError(const std::string& message, SourceLoc loc)
+    : Error(loc.isValid() ? loc.str() + ": " + message : message), loc_(loc)
+{
+}
+
+void
+userError(const std::string& message, SourceLoc loc)
+{
+    throw UserError(message, loc);
+}
+
+void
+internalError(const std::string& message)
+{
+    throw InternalError(message);
+}
+
+} // namespace hecate

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Diagnostics: source locations, structured errors, and the exception
+ * types used across the Hecate front end and engines.
+ *
+ * Following the paper's tooling split, user-level mistakes (bad DSL
+ * input, infeasible synthesis queries) surface as UserError; internal
+ * invariant violations surface as InternalError (the gem5 fatal/panic
+ * distinction).
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hecate {
+
+/** A position inside a DSL source buffer (1-based line/column). */
+struct SourceLoc {
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    bool isValid() const { return line != 0; }
+
+    /** Render as "line:col" (or "?" when unknown). */
+    std::string str() const;
+};
+
+/** Base class for all Hecate errors. */
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/** The user supplied invalid input (parse error, bad grammar, ...). */
+class UserError : public Error {
+  public:
+    UserError(const std::string& message, SourceLoc loc = {});
+
+    SourceLoc loc() const { return loc_; }
+
+  private:
+    SourceLoc loc_;
+};
+
+/** An internal invariant was violated (a Hecate bug). */
+class InternalError : public Error {
+  public:
+    explicit InternalError(const std::string& message)
+        : Error("internal error: " + message) {}
+};
+
+/** Throw UserError with printf-free formatting helpers. */
+[[noreturn]] void userError(const std::string& message, SourceLoc loc = {});
+
+/** Throw InternalError. */
+[[noreturn]] void internalError(const std::string& message);
+
+/** Assert an invariant; throws InternalError when violated. */
+inline void
+checkInvariant(bool condition, const char* message)
+{
+    if (!condition)
+        internalError(message);
+}
+
+} // namespace hecate

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All randomized pieces
+ * of Hecate (tree sampling, workload generation, property tests) take a
+ * seed so every experiment is reproducible.
+ */
+
+#include <cstdint>
+#include <limits>
+
+namespace hecate {
+
+/**
+ * SplitMix64 generator: tiny, fast, and statistically solid for the
+ * workload-generation purposes we have (not cryptographic).
+ */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next()
+    {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t below(uint64_t bound) { return next() % bound; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p (0..1). */
+    bool chance(double p)
+    {
+        return static_cast<double>(next()) <
+               p * static_cast<double>(std::numeric_limits<uint64_t>::max());
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace hecate

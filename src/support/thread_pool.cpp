@@ -1,0 +1,70 @@
+#include "support/thread_pool.hpp"
+
+#include <utility>
+
+namespace hecate {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::waitAll()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace hecate

@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal fixed-size thread pool used by the parallel traversal
+ * executor (the HecateP variant of §6.2). Tasks are arbitrary
+ * std::function<void()>; waitAll() provides the join half of the
+ * fork-join regions produced by the `parallel` traversal construct.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hecate {
+
+/** Fixed-size worker pool with a fork-join style waitAll barrier. */
+class ThreadPool {
+  public:
+    /** Spin up @p workers threads (defaults to hardware concurrency). */
+    explicit ThreadPool(size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void waitAll();
+
+    size_t workerCount() const { return threads_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace hecate

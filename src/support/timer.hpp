@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Lightweight wall-clock timer used by the synthesis benchmarks
+ * (Table 2, Fig. 15) to report end-to-end synthesis times.
+ */
+
+#include <chrono>
+
+namespace hecate {
+
+/** Monotonic stopwatch; starts on construction. */
+class Timer {
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction/reset. */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds since construction/reset. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace hecate

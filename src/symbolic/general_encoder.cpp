@@ -1,0 +1,253 @@
+#include "symbolic/general_encoder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "sched/visit_plan.hpp"
+#include "solver/formula.hpp"
+#include "solver/sat.hpp"
+#include "support/timer.hpp"
+#include "symbolic/sigma.hpp"
+
+namespace hecate::symbolic {
+
+namespace {
+
+using solver::BoolId;
+using solver::FormulaBuilder;
+
+/** Symbolic ready-state: location -> "written by now" formula. */
+using State = std::unordered_map<uint64_t, BoolId>;
+
+/** The symbolic interpreter for one plan. */
+class GeneralInterpreter {
+  public:
+    GeneralInterpreter(const sched::VisitPlan& plan,
+                       const SigmaSpace& sigma, FormulaBuilder& builder,
+                       std::vector<BoolId>& asserts,
+                       std::vector<size_t>* statesPerStep)
+        : plan_(plan), sigma_(sigma), builder_(builder), asserts_(asserts),
+          statesPerStep_(statesPerStep)
+    {
+    }
+
+    void run()
+    {
+        State state;
+        processRegion(0, state);
+    }
+
+  private:
+    BoolId sigmaVar(uint32_t entry) const
+    {
+        // Entry i is problem variable i+1 by construction.
+        return builder_.mkVar(entry + 1);
+    }
+
+    /** ready(loc) at the current time step: inputs are always ready. */
+    BoolId ready(const State& state, sched::Location loc) const
+    {
+        const sem::Grammar& grammar = plan_.skeleton().grammar();
+        const tree::Node& node = plan_.tree().node(loc.node);
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        if (grammar.iface(cls.iface).isInput(loc.attr))
+            return FormulaBuilder::trueId();
+        auto it = state.find(loc.key());
+        return it == state.end() ? FormulaBuilder::falseId() : it->second;
+    }
+
+    void processRegion(uint32_t regionId, State& state)
+    {
+        const auto& region = plan_.regions()[regionId];
+        if (region.kind == sched::VisitPlan::RegionKind::Seq) {
+            for (const auto& item : region.items)
+                processItem(item, state);
+            return;
+        }
+        // Par: every branch starts from the fork state; the join state
+        // is the pointwise OR of the branch results.
+        State merged = state;
+        for (const auto& item : region.items) {
+            State branch = state;
+            processItem(item, branch);
+            for (const auto& [key, formula] : branch) {
+                auto it = merged.find(key);
+                if (it == merged.end()) {
+                    merged.emplace(key, formula);
+                } else {
+                    it->second = builder_.mkOr(it->second, formula);
+                }
+            }
+        }
+        state = std::move(merged);
+    }
+
+    void processItem(const sched::VisitPlan::TaskItem& item, State& state)
+    {
+        if (item.isRegion) {
+            processRegion(item.index, state);
+            return;
+        }
+        const sched::Instance& inst = plan_.instances()[item.index];
+        size_t asserts_before = asserts_.size();
+        if (inst.kind == sched::Instance::Kind::Eval) {
+            processEval(inst, state);
+        } else {
+            processSlot(inst, state);
+        }
+        // Fig. 9 metric: cumulative tree-expanded size of the formulas
+        // the interpreter materialized at this time step (what an
+        // engine without structural sharing manages).
+        for (size_t i = asserts_before; i < asserts_.size(); ++i)
+            expandedStates_ += builder_.expandedSize(asserts_[i]);
+        if (statesPerStep_ != nullptr) {
+            double clamped = std::min(
+                expandedStates_,
+                static_cast<double>(
+                    std::numeric_limits<size_t>::max() / 2));
+            statesPerStep_->push_back(static_cast<size_t>(clamped));
+        }
+    }
+
+    void processEval(const sched::Instance& inst, State& state)
+    {
+        for (sched::Location loc : plan_.readsFor(inst, inst.rule))
+            asserts_.push_back(ready(state, loc));
+        if (inst.writesHere()) {
+            auto lhs = plan_.writeFor(inst, inst.rule);
+            if (lhs.has_value()) {
+                asserts_.push_back(builder_.mkNot(ready(state, *lhs)));
+                state[lhs->key()] = FormulaBuilder::trueId();
+            }
+        }
+    }
+
+    void processSlot(const sched::Instance& inst, State& state)
+    {
+        const sched::SlotInfo& slot = plan_.skeleton().slot(inst.slot);
+        // Assertions against the pre-state for every candidate...
+        for (sem::RuleId rule : slot.candidates) {
+            BoolId guard = sigmaVar(sigma_.indexOf(inst.slot, rule));
+            std::vector<BoolId> conds;
+            for (sched::Location loc : plan_.readsFor(inst, rule))
+                conds.push_back(ready(state, loc));
+            if (inst.writesHere()) {
+                auto lhs = plan_.writeFor(inst, rule);
+                if (lhs.has_value())
+                    conds.push_back(builder_.mkNot(ready(state, *lhs)));
+            }
+            asserts_.push_back(
+                builder_.mkImplies(guard, builder_.mkAndN(conds)));
+        }
+        // ...then the state update: lhs becomes ready iff chosen here.
+        if (inst.writesHere()) {
+            for (sem::RuleId rule : slot.candidates) {
+                BoolId guard = sigmaVar(sigma_.indexOf(inst.slot, rule));
+                auto lhs = plan_.writeFor(inst, rule);
+                if (!lhs.has_value())
+                    continue;
+                uint64_t key = lhs->key();
+                auto it = state.find(key);
+                BoolId before = it == state.end()
+                                    ? FormulaBuilder::falseId()
+                                    : it->second;
+                state[key] = builder_.mkOr(before, guard);
+            }
+        }
+    }
+
+  public:
+    double expandedStates_ = 0.0;
+
+  private:
+    const sched::VisitPlan& plan_;
+    const SigmaSpace& sigma_;
+    FormulaBuilder& builder_;
+    std::vector<BoolId>& asserts_;
+    std::vector<size_t>* statesPerStep_;
+};
+
+} // namespace
+
+std::optional<sched::Schedule>
+synthesizeGeneral(const sched::Skeleton& skeleton,
+                  const std::vector<const tree::Tree*>& trees,
+                  GeneralStats* stats, std::vector<size_t>* statesPerStep)
+{
+    Timer encode_timer;
+    SigmaSpace sigma = SigmaSpace::build(skeleton);
+    FormulaBuilder builder;
+    for (size_t i = 0; i < sigma.size(); ++i)
+        builder.newVar();
+
+    std::vector<BoolId> asserts;
+    double expanded_states = 0.0;
+    for (const tree::Tree* tree : trees) {
+        sched::VisitPlan plan(skeleton, *tree);
+        GeneralInterpreter interp(plan, sigma, builder, asserts,
+                                  statesPerStep);
+        interp.run();
+        expanded_states += interp.expandedStates_;
+    }
+
+    // Auxiliary validity constraints (§4.2): at most one rule per slot,
+    // exactly one slot per rule.
+    for (sched::SlotId s = 0; s < skeleton.slotCount(); ++s) {
+        std::vector<BoolId> vars;
+        for (uint32_t i = sigma.slotRange[s].first;
+             i < sigma.slotRange[s].second; ++i) {
+            vars.push_back(builder.mkVar(i + 1));
+        }
+        asserts.push_back(builder.mkAtMostOne(vars));
+    }
+    const sem::Grammar& grammar = skeleton.grammar();
+    for (sem::RuleId rule = 0; rule < grammar.rules().size(); ++rule) {
+        // Rules fixed by eval statements are scheduled outside sigma.
+        const auto& fixed = skeleton.fixedRules(grammar.rule(rule).cls);
+        if (std::find(fixed.begin(), fixed.end(), rule) != fixed.end())
+            continue;
+        std::vector<BoolId> vars;
+        for (uint32_t entry : sigma.ruleEntries[rule])
+            vars.push_back(builder.mkVar(entry + 1));
+        asserts.push_back(builder.mkExactlyOne(vars));
+    }
+
+    BoolId root = builder.mkAndN(asserts);
+    solver::Cnf cnf = builder.toCnf(root);
+    double encode_seconds = encode_timer.seconds();
+
+    Timer solve_timer;
+    solver::SatSolver sat(cnf.numVars);
+    bool consistent = true;
+    for (const auto& clause : cnf.clauses) {
+        if (!sat.addClause(clause)) {
+            consistent = false;
+            break;
+        }
+    }
+    bool is_sat = consistent && sat.solve() == solver::SatResult::Sat;
+
+    if (stats != nullptr) {
+        stats->sigmaVars = sigma.size();
+        stats->formulaNodes = builder.nodeCount();
+        stats->formulaOps = builder.opCount();
+        stats->expandedStates = expanded_states;
+        stats->cnfVars = cnf.numVars;
+        stats->cnfClauses = cnf.clauses.size();
+        stats->satConflicts = sat.stats().conflicts;
+        stats->satDecisions = sat.stats().decisions;
+        stats->encodeSeconds = encode_seconds;
+        stats->solveSeconds = solve_timer.seconds();
+    }
+
+    if (!is_sat)
+        return std::nullopt;
+
+    std::vector<bool> values(sigma.size());
+    for (size_t i = 0; i < sigma.size(); ++i)
+        values[i] = sat.modelValue(static_cast<uint32_t>(i + 1));
+    return sigma.decode(values, skeleton);
+}
+
+} // namespace hecate::symbolic

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * General-purpose symbolic compilation (paper §4.2, HecateG).
+ *
+ * A faithful symbolic interpretation of the traversal: the interpreter
+ * walks the plan's fork-join task tree carrying a symbolic ready-state
+ * (one boolean formula per location, over the sigma assignment
+ * variables). Each slot expands into a `choose` over its candidates;
+ * every candidate contributes the assertion
+ *
+ *     sigma(a, iota) => ready(deps) AND NOT ready(lhs)
+ *
+ * evaluated against the state *at that time step*, after which the
+ * state is updated — exactly the time-domain encoding whose symbolic
+ * state count grows along the execution (Fig. 9, left). The resulting
+ * formula goes through Tseitin CNF into the CDCL SAT solver.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tree/tree.hpp"
+
+namespace hecate::symbolic {
+
+/** Measurements of one general-purpose synthesis query. */
+struct GeneralStats {
+    size_t sigmaVars = 0;
+    size_t formulaNodes = 0; ///< unique DAG nodes (after hash-consing)
+    size_t formulaOps = 0;   ///< construction ops (cache hits included)
+    double expandedStates = 0.0; ///< the Fig. 9 symbolic-state count
+    size_t cnfVars = 0;
+    size_t cnfClauses = 0;
+    uint64_t satConflicts = 0;
+    uint64_t satDecisions = 0;
+    double encodeSeconds = 0.0;
+    double solveSeconds = 0.0;
+};
+
+/**
+ * Synthesize a schedule for @p skeleton consistent with every tree in
+ * @p trees using the general-purpose encoding. Returns std::nullopt
+ * when the constraints are unsatisfiable.
+ *
+ * @param statesPerStep when non-null, receives the cumulative
+ *        tree-expanded symbolic state count after each executed
+ *        instance (the Fig. 9 series; saturates near SIZE_MAX).
+ */
+std::optional<sched::Schedule>
+synthesizeGeneral(const sched::Skeleton& skeleton,
+                  const std::vector<const tree::Tree*>& trees,
+                  GeneralStats* stats = nullptr,
+                  std::vector<size_t>* statesPerStep = nullptr);
+
+} // namespace hecate::symbolic

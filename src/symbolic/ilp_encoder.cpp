@@ -1,0 +1,179 @@
+#include "symbolic/ilp_encoder.hpp"
+
+#include <algorithm>
+
+#include "sched/visit_plan.hpp"
+#include "solver/ilp.hpp"
+#include "support/timer.hpp"
+#include "symbolic/sigma.hpp"
+#include "symbolic/trace.hpp"
+
+namespace hecate::symbolic {
+
+namespace {
+
+/** Encodes one plan's trace program into ILP constraints. */
+class IlpEncoder {
+  public:
+    IlpEncoder(const sched::VisitPlan& plan, const SigmaSpace& sigma,
+               solver::IlpSolver& ilp, IlpStats* stats,
+               std::vector<size_t>* statesPerStep)
+        : plan_(plan), sigma_(sigma), ilp_(ilp), stats_(stats),
+          statesPerStep_(statesPerStep)
+    {
+    }
+
+    /** Returns false when a fixed read is statically unsatisfiable. */
+    bool run()
+    {
+        TraceProgram program = buildTrace(plan_, sigma_);
+        if (stats_ != nullptr)
+            stats_->traceStmts += program.stmts.size();
+        for (const TraceStmt& stmt : program.stmts) {
+            if (!encodeStmt(stmt))
+                return false;
+            if (statesPerStep_ != nullptr)
+                statesPerStep_->push_back(cumulativeTerms_);
+        }
+        return true;
+    }
+
+  private:
+    bool isInput(sched::Location loc) const
+    {
+        const sem::Grammar& grammar = plan_.skeleton().grammar();
+        const tree::Node& node = plan_.tree().node(loc.node);
+        return grammar.iface(grammar.cls(node.cls).iface).isInput(loc.attr);
+    }
+
+    bool encodeStmt(const TraceStmt& stmt)
+    {
+        for (sched::Location loc : stmt.reads) {
+            if (isInput(loc))
+                continue;
+            if (!encodeRead(stmt, loc))
+                return false;
+        }
+        // Writes need no constraint: the rule (exactly-one) constraint
+        // makes every location's writer guard sum to exactly one.
+        return true;
+    }
+
+    bool encodeRead(const TraceStmt& stmt, sched::Location loc)
+    {
+        std::vector<solver::LinTerm> writers;
+        for (const sched::Writer& w : plan_.writersOf(loc)) {
+            if (!plan_.happensBefore(w.inst, stmt.inst))
+                continue;
+            if (w.fixed) {
+                // A preceding unconditional write satisfies the read.
+                return true;
+            }
+            const sched::Instance& wi = plan_.instances()[w.inst];
+            uint32_t entry = sigma_.indexOf(wi.slot, w.rule);
+            if (entry != sem::kInvalidId)
+                writers.push_back({1, entry});
+        }
+
+        if (stmt.sigmaEntry == TraceStmt::kFixed) {
+            if (writers.empty())
+                return false; // eval reads a value nothing can produce
+            addConstraint(std::move(writers), /*guarded=*/false);
+        } else {
+            // sigma(a, iota) <= sum of preceding writer guards.
+            writers.push_back({-1, stmt.sigmaEntry});
+            addConstraint(std::move(writers), /*guarded=*/true);
+        }
+        return true;
+    }
+
+    void addConstraint(std::vector<solver::LinTerm> terms, bool guarded)
+    {
+        cumulativeTerms_ += terms.size();
+        if (stats_ != nullptr) {
+            ++stats_->constraints;
+            stats_->constraintTerms += terms.size();
+        }
+        // guarded: sum(writers) - sigma >= 0; fixed: sum(writers) >= 1.
+        ilp_.addGe(std::move(terms), guarded ? 0 : 1);
+    }
+
+    const sched::VisitPlan& plan_;
+    const SigmaSpace& sigma_;
+    solver::IlpSolver& ilp_;
+    IlpStats* stats_;
+    std::vector<size_t>* statesPerStep_;
+    size_t cumulativeTerms_ = 0;
+};
+
+} // namespace
+
+std::optional<sched::Schedule>
+synthesizeIlp(const sched::Skeleton& skeleton,
+              const std::vector<const tree::Tree*>& trees, IlpStats* stats,
+              std::vector<size_t>* statesPerStep)
+{
+    Timer encode_timer;
+    SigmaSpace sigma = SigmaSpace::build(skeleton);
+    solver::IlpSolver ilp;
+    for (size_t i = 0; i < sigma.size(); ++i)
+        ilp.addVar();
+
+    // Validity constraints (§5.2).
+    for (sched::SlotId s = 0; s < skeleton.slotCount(); ++s) {
+        std::vector<solver::LinTerm> terms;
+        for (uint32_t i = sigma.slotRange[s].first;
+             i < sigma.slotRange[s].second; ++i) {
+            terms.push_back({1, i});
+        }
+        if (!terms.empty())
+            ilp.addLe(std::move(terms), 1); // slot constraint
+    }
+    const sem::Grammar& grammar = skeleton.grammar();
+    bool feasible = true;
+    for (sem::RuleId rule = 0; rule < grammar.rules().size(); ++rule) {
+        const auto& fixed = skeleton.fixedRules(grammar.rule(rule).cls);
+        if (std::find(fixed.begin(), fixed.end(), rule) != fixed.end())
+            continue;
+        std::vector<solver::LinTerm> terms;
+        for (uint32_t entry : sigma.ruleEntries[rule])
+            terms.push_back({1, entry});
+        if (terms.empty()) {
+            feasible = false; // rule cannot be scheduled anywhere
+            break;
+        }
+        ilp.addEq(std::move(terms), 1); // rule constraint
+    }
+
+    if (feasible) {
+        for (const tree::Tree* tree : trees) {
+            sched::VisitPlan plan(skeleton, *tree);
+            IlpEncoder encoder(plan, sigma, ilp, stats, statesPerStep);
+            if (!encoder.run()) {
+                feasible = false;
+                break;
+            }
+        }
+    }
+    double encode_seconds = encode_timer.seconds();
+
+    Timer solve_timer;
+    bool solved =
+        feasible && ilp.solve() == solver::IlpResult::Feasible;
+
+    if (stats != nullptr) {
+        stats->sigmaVars = sigma.size();
+        stats->branchNodes = ilp.stats().branchNodes;
+        stats->encodeSeconds = encode_seconds;
+        stats->solveSeconds = solve_timer.seconds();
+    }
+    if (!solved)
+        return std::nullopt;
+
+    std::vector<bool> values(sigma.size());
+    for (size_t i = 0; i < sigma.size(); ++i)
+        values[i] = ilp.value(static_cast<uint32_t>(i)) != 0;
+    return sigma.decode(values, skeleton);
+}
+
+} // namespace hecate::symbolic

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Domain-specific symbolic compilation (paper §5, Hecate proper).
+ *
+ * The domain-specific interpreter transpiles the traversal into the
+ * trace language L_r (symbolic/trace) and projects the trace's
+ * dependencies from the time domain into the relational domain: a
+ * guarded read of location n.a at (plan) time t becomes the ILP
+ * constraint
+ *
+ *     sigma(a, iota)  <=  sum over writers w of n.a with w < t of
+ *                         sigma(rule(n.a), slot(w))
+ *
+ * (the paper's read constraint, with kappa substituted away), plus the
+ * slot (at-most-one) and rule (exactly-one) validity constraints. The
+ * result is solved by the from-scratch 0-1 ILP solver. `parallel`
+ * regions enter through the plan's happens-before relation: writers in
+ * sibling branches are incomparable and simply drop out of the sum.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tree/tree.hpp"
+
+namespace hecate::symbolic {
+
+/** Measurements of one domain-specific synthesis query. */
+struct IlpStats {
+    size_t sigmaVars = 0;
+    size_t constraints = 0;
+    size_t constraintTerms = 0; ///< the domain-specific Fig. 9 metric
+    size_t traceStmts = 0;
+    uint64_t branchNodes = 0;
+    double encodeSeconds = 0.0;
+    double solveSeconds = 0.0;
+};
+
+/**
+ * Synthesize a schedule for @p skeleton consistent with every tree in
+ * @p trees using the domain-specific ILP encoding. Returns std::nullopt
+ * when infeasible.
+ *
+ * @param statesPerStep when non-null, receives the cumulative
+ *        constraint-term count after each trace statement (Fig. 9).
+ */
+std::optional<sched::Schedule>
+synthesizeIlp(const sched::Skeleton& skeleton,
+              const std::vector<const tree::Tree*>& trees,
+              IlpStats* stats = nullptr,
+              std::vector<size_t>* statesPerStep = nullptr);
+
+} // namespace hecate::symbolic

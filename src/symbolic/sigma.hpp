@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * The sigma assignment-variable space shared by both symbolic
+ * compilation strategies. sigma(a, iota) — "rule a is scheduled at slot
+ * iota" (§4.2) — is flattened into a dense entry list so a SAT model and
+ * an ILP solution decode into a Schedule identically.
+ */
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace hecate::symbolic {
+
+/** Dense index space of sigma(rule, slot) variables. */
+struct SigmaSpace {
+    /** One boolean/0-1 variable sigma(rule, slot). */
+    struct Entry {
+        sched::SlotId slot = sem::kInvalidId;
+        sem::RuleId rule = sem::kInvalidId;
+    };
+
+    std::vector<Entry> entries;
+    /** Per slot: [begin, end) into entries. */
+    std::vector<std::pair<uint32_t, uint32_t>> slotRange;
+    /** Per rule: entry indices mentioning the rule. */
+    std::vector<std::vector<uint32_t>> ruleEntries;
+
+    static SigmaSpace build(const sched::Skeleton& skeleton)
+    {
+        SigmaSpace space;
+        space.ruleEntries.resize(skeleton.grammar().rules().size());
+        for (const sched::SlotInfo& slot : skeleton.slots()) {
+            uint32_t begin = static_cast<uint32_t>(space.entries.size());
+            for (sem::RuleId rule : slot.candidates) {
+                space.ruleEntries[rule].push_back(
+                    static_cast<uint32_t>(space.entries.size()));
+                space.entries.push_back({slot.id, rule});
+            }
+            space.slotRange.emplace_back(
+                begin, static_cast<uint32_t>(space.entries.size()));
+        }
+        return space;
+    }
+
+    size_t size() const { return entries.size(); }
+
+    /** Entry index of sigma(rule, slot); kInvalidId when not a candidate. */
+    uint32_t indexOf(sched::SlotId slot, sem::RuleId rule) const
+    {
+        for (uint32_t i = slotRange[slot].first; i < slotRange[slot].second;
+             ++i) {
+            if (entries[i].rule == rule)
+                return i;
+        }
+        return sem::kInvalidId;
+    }
+
+    /** Turn a truth assignment over entries into a Schedule. */
+    sched::Schedule decode(const std::vector<bool>& values,
+                           const sched::Skeleton& skeleton) const
+    {
+        sched::Schedule schedule;
+        schedule.bySlot.assign(skeleton.slotCount(), std::nullopt);
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (values[i])
+                schedule.bySlot[entries[i].slot] = entries[i].rule;
+        }
+        return schedule;
+    }
+};
+
+} // namespace hecate::symbolic

@@ -1,0 +1,90 @@
+#include "symbolic/trace.hpp"
+
+#include <sstream>
+
+namespace hecate::symbolic {
+
+size_t
+TraceProgram::actionCount() const
+{
+    size_t count = 0;
+    for (const TraceStmt& stmt : stmts)
+        count += stmt.reads.size() + (stmt.hasWrite ? 1 : 0);
+    return count;
+}
+
+TraceProgram
+buildTrace(const sched::VisitPlan& plan, const SigmaSpace& sigma)
+{
+    TraceProgram program;
+    const sched::Skeleton& skeleton = plan.skeleton();
+
+    for (const sched::Instance& inst : plan.instances()) {
+        if (inst.kind == sched::Instance::Kind::Eval) {
+            TraceStmt stmt;
+            stmt.sigmaEntry = TraceStmt::kFixed;
+            stmt.inst = inst.id;
+            stmt.rule = inst.rule;
+            stmt.reads = plan.readsFor(inst, inst.rule);
+            if (inst.writesHere()) {
+                auto write = plan.writeFor(inst, inst.rule);
+                if (write.has_value()) {
+                    stmt.hasWrite = true;
+                    stmt.write = *write;
+                }
+            }
+            program.stmts.push_back(std::move(stmt));
+            continue;
+        }
+        for (sem::RuleId rule : skeleton.slot(inst.slot).candidates) {
+            TraceStmt stmt;
+            stmt.sigmaEntry = sigma.indexOf(inst.slot, rule);
+            checkInvariant(stmt.sigmaEntry != sem::kInvalidId,
+                           "buildTrace: candidate without sigma entry");
+            stmt.inst = inst.id;
+            stmt.rule = rule;
+            stmt.reads = plan.readsFor(inst, rule);
+            if (inst.writesHere()) {
+                auto write = plan.writeFor(inst, rule);
+                if (write.has_value()) {
+                    stmt.hasWrite = true;
+                    stmt.write = *write;
+                }
+            }
+            program.stmts.push_back(std::move(stmt));
+        }
+    }
+    return program;
+}
+
+std::string
+printTraceStmt(const TraceStmt& stmt, const sched::VisitPlan& plan)
+{
+    const sem::Grammar& grammar = plan.skeleton().grammar();
+
+    auto locStr = [&](sched::Location loc) {
+        const tree::Node& node = plan.tree().node(loc.node);
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        return "n" + std::to_string(loc.node) + "." +
+               iface.attrs[loc.attr].name;
+    };
+
+    std::ostringstream os;
+    os << "(";
+    if (stmt.sigmaEntry == TraceStmt::kFixed) {
+        os << "assume true";
+    } else {
+        const sched::Instance& inst = plan.instances()[stmt.inst];
+        os << "assume s(" << grammar.ruleName(stmt.rule) << ", i"
+           << inst.slot << ")";
+    }
+    for (sched::Location loc : stmt.reads)
+        os << " (read " << locStr(loc) << ")";
+    if (stmt.hasWrite)
+        os << " (write " << locStr(stmt.write) << ")";
+    os << ")";
+    return os.str();
+}
+
+} // namespace hecate::symbolic

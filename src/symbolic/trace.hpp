@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * The domain-specific trace language L_r (paper §5.1, Table 1).
+ *
+ * The domain-specific interpreter does not assert readiness conditions
+ * directly; it transpiles every traversal statement into a guarded
+ * trace statement
+ *
+ *     (assume sigma(a, iota) (read n.a)* (write n.a))
+ *
+ * which records read/write actions against fully abstract attribute
+ * contents. The trace program disentangles dependencies from the time
+ * domain: the ILP encoder (symbolic/ilp_encoder) consumes it together
+ * with the plan's happens-before relation and never materializes time
+ * steps.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sched/visit_plan.hpp"
+#include "symbolic/sigma.hpp"
+
+namespace hecate::symbolic {
+
+/** One guarded trace statement of L_r. */
+struct TraceStmt {
+    /** Guard: sigma entry index, or kFixed for eval statements. */
+    static constexpr uint32_t kFixed = sem::kInvalidId;
+
+    uint32_t sigmaEntry = kFixed;          ///< guard (assume sigma(a,iota))
+    sched::InstId inst = sem::kInvalidId;  ///< time position (for ≺ queries)
+    sem::RuleId rule = sem::kInvalidId;    ///< rule whose actions these are
+    std::vector<sched::Location> reads;    ///< (read n.a) actions
+    bool hasWrite = false;
+    sched::Location write;                 ///< (write n.a) action
+};
+
+/** A transpiled trace program for one plan. */
+struct TraceProgram {
+    std::vector<TraceStmt> stmts;
+
+    /** Total number of read/write actions (a compactness metric). */
+    size_t actionCount() const;
+};
+
+/**
+ * Syntax-directed transpilation of a plan into L_r (§5.1): every slot
+ * instance yields one guarded statement per candidate rule; every eval
+ * instance yields one fixed statement.
+ */
+TraceProgram buildTrace(const sched::VisitPlan& plan,
+                        const SigmaSpace& sigma);
+
+/** Render a statement like the paper:
+ *  "(assume s(Inner.h, i2) (read n1.h0) (read n3.h1) (write n1.h))". */
+std::string printTraceStmt(const TraceStmt& stmt,
+                           const sched::VisitPlan& plan);
+
+} // namespace hecate::symbolic

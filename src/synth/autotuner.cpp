@@ -1,0 +1,139 @@
+#include "synth/autotuner.hpp"
+
+#include "support/timer.hpp"
+
+namespace hecate::synth {
+
+const char*
+skeletonStyleName(SkeletonStyle style)
+{
+    switch (style) {
+      case SkeletonStyle::PostOrder: return "post-order";
+      case SkeletonStyle::Sandwich: return "sandwich";
+      case SkeletonStyle::PreOrder: return "pre-order";
+      case SkeletonStyle::DoublePost: return "double-post-order";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Count fold rules of @p cls over collection child @p child. */
+size_t
+foldRuleCount(const sem::Grammar& grammar, const sem::ClassInfo& cls,
+              sem::ChildId child)
+{
+    size_t count = 0;
+    for (sem::RuleId rule : cls.rules) {
+        const sem::RuleInfo& info = grammar.rule(rule);
+        if (info.isFold && info.foldChild == child)
+            ++count;
+    }
+    return count;
+}
+
+void
+appendHoles(std::vector<ast::TStmtPtr>& stmts, size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        stmts.push_back(ast::TStmt::makeHole());
+}
+
+/** The recursive-visit statements of a case: scalar recurs in child
+ *  declaration order, then one iterate block per collection child
+ *  containing a recur and one in-loop slot per fold rule. */
+std::vector<ast::TStmtPtr>
+visitStmts(const sem::Grammar& grammar, const sem::ClassInfo& cls)
+{
+    std::vector<ast::TStmtPtr> stmts;
+    for (const sem::ChildInfo& child : cls.children) {
+        if (child.collection)
+            continue;
+        stmts.push_back(ast::TStmt::makeRecur(child.name));
+    }
+    for (const sem::ChildInfo& child : cls.children) {
+        if (!child.collection)
+            continue;
+        std::vector<ast::TStmtPtr> body;
+        body.push_back(ast::TStmt::makeRecur(child.name));
+        for (size_t i = 0; i < foldRuleCount(grammar, cls, child.id); ++i)
+            body.push_back(ast::TStmt::makeHole());
+        stmts.push_back(ast::TStmt::makeIterate(child.name,
+                                                std::move(body)));
+    }
+    return stmts;
+}
+
+} // namespace
+
+ast::TraversalDecl
+makeSkeleton(const sem::Grammar& grammar, SkeletonStyle style,
+             const std::string& name)
+{
+    ast::TraversalDecl decl;
+    decl.name = name;
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        ast::CaseDecl case_decl;
+        case_decl.className = cls.name;
+        size_t rules = cls.rules.size();
+
+        switch (style) {
+          case SkeletonStyle::PostOrder:
+            case_decl.stmts = visitStmts(grammar, cls);
+            appendHoles(case_decl.stmts, rules);
+            break;
+          case SkeletonStyle::PreOrder:
+            appendHoles(case_decl.stmts, rules);
+            for (auto& stmt : visitStmts(grammar, cls))
+                case_decl.stmts.push_back(std::move(stmt));
+            break;
+          case SkeletonStyle::Sandwich: {
+            appendHoles(case_decl.stmts, rules);
+            for (auto& stmt : visitStmts(grammar, cls))
+                case_decl.stmts.push_back(std::move(stmt));
+            appendHoles(case_decl.stmts, rules);
+            break;
+          }
+          case SkeletonStyle::DoublePost:
+            case_decl.stmts = visitStmts(grammar, cls);
+            appendHoles(case_decl.stmts, 2 * rules);
+            break;
+        }
+        decl.cases.push_back(std::move(case_decl));
+    }
+    return decl;
+}
+
+AutotuneResult
+autotune(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+         const SynthesisConfig& config)
+{
+    Timer timer;
+    AutotuneResult result;
+
+    constexpr SkeletonStyle kOrder[] = {
+        SkeletonStyle::PostOrder,
+        SkeletonStyle::Sandwich,
+        SkeletonStyle::PreOrder,
+        SkeletonStyle::DoublePost,
+    };
+
+    for (SkeletonStyle style : kOrder) {
+        ++result.skeletonsTried;
+        sched::Skeleton skeleton = sched::Skeleton::resolve(
+            grammar, makeSkeleton(grammar, style));
+        SynthesisResult synthesis =
+            synthesize(skeleton, rootIface, {}, config);
+        result.lastSynthesis = std::move(synthesis);
+        if (result.lastSynthesis.schedule.has_value()) {
+            result.style = style;
+            result.schedule = result.lastSynthesis.schedule;
+            result.skeleton.emplace(std::move(skeleton));
+            break;
+        }
+    }
+    result.totalSeconds = timer.seconds();
+    return result;
+}
+
+} // namespace hecate::synth

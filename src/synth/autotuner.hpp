@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * HecateA, the auto-tuner of §6.1 ("Usability"): instead of requiring
+ * a user-written symbolic traversal, an outer loop proposes traversal
+ * skeletons derived from the grammar — post-order, sandwich (slots on
+ * both sides of the recursive visits), pre-order, and a two-pass
+ * variant with twice the slots — and runs the CEGIS synthesizer on
+ * each until one admits a correct concrete traversal.
+ */
+
+#include <optional>
+#include <string>
+
+#include "synth/cegis.hpp"
+
+namespace hecate::synth {
+
+/** Skeleton families the auto-tuner explores, in order. */
+enum class SkeletonStyle {
+    PostOrder, ///< recurs/iterates first, then one slot per rule
+    Sandwich,  ///< slots, recursive visits, slots
+    PreOrder,  ///< slots first, then recursive visits
+    DoublePost,///< post-order with two slots per rule (more freedom)
+};
+
+/** Name of a skeleton style (for reports). */
+const char* skeletonStyleName(SkeletonStyle style);
+
+/**
+ * Build the symbolic traversal of @p style for @p grammar: one case
+ * per class with recurs for scalar children, an iterate block (with
+ * in-loop slots for fold rules) per collection child, and top-level
+ * slots per the style.
+ */
+ast::TraversalDecl makeSkeleton(const sem::Grammar& grammar,
+                                SkeletonStyle style,
+                                const std::string& name = "auto");
+
+/** Result of an auto-tuning run. */
+struct AutotuneResult {
+    std::optional<sched::Skeleton> skeleton;
+    std::optional<sched::Schedule> schedule;
+    SkeletonStyle style = SkeletonStyle::PostOrder;
+    uint32_t skeletonsTried = 0;
+    double totalSeconds = 0.0;
+    SynthesisResult lastSynthesis;
+};
+
+/** Search skeleton styles until synthesis succeeds. */
+AutotuneResult autotune(const sem::Grammar& grammar,
+                        sem::InterfaceId rootIface,
+                        const SynthesisConfig& config = {});
+
+} // namespace hecate::synth

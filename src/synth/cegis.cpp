@@ -1,0 +1,209 @@
+#include "synth/cegis.hpp"
+
+#include <sstream>
+
+#include "sched/visit_plan.hpp"
+#include "support/timer.hpp"
+
+namespace hecate::synth {
+
+namespace {
+
+/** Human-readable "Class.attr@node" for diagnostics. */
+std::string
+locName(const sched::VisitPlan& plan, sched::Location loc)
+{
+    const sem::Grammar& grammar = plan.skeleton().grammar();
+    const tree::Node& node = plan.tree().node(loc.node);
+    const sem::ClassInfo& cls = grammar.cls(node.cls);
+    return cls.name + "." +
+           grammar.iface(cls.iface).attrs[loc.attr].name + "@n" +
+           std::to_string(loc.node);
+}
+
+} // namespace
+
+std::optional<std::string>
+checkScheduleOn(const sched::Skeleton& skeleton,
+                const sched::Schedule& schedule, const tree::Tree& tree)
+{
+    const sem::Grammar& grammar = skeleton.grammar();
+    sched::VisitPlan plan(skeleton, tree);
+
+    // Resolve the writer instance of every output location.
+    std::unordered_map<uint64_t, sched::InstId> writer_of;
+    for (sched::Location loc : plan.outputLocations()) {
+        uint32_t count = 0;
+        for (const sched::Writer& w : plan.writersOf(loc)) {
+            const sched::Instance& wi = plan.instances()[w.inst];
+            bool writes = w.fixed ||
+                          (schedule.bySlot[wi.slot].has_value() &&
+                           *schedule.bySlot[wi.slot] == w.rule);
+            if (writes) {
+                writer_of[loc.key()] = w.inst;
+                ++count;
+            }
+        }
+        if (count == 0) {
+            return "location " + locName(plan, loc) + " is never computed";
+        }
+        if (count > 1) {
+            return "location " + locName(plan, loc) +
+                   " is computed more than once";
+        }
+    }
+
+    // Check every read of every executing instance.
+    for (const sched::Instance& inst : plan.instances()) {
+        sem::RuleId rule;
+        if (inst.kind == sched::Instance::Kind::Eval) {
+            rule = inst.rule;
+        } else {
+            const auto& assignment = schedule.bySlot[inst.slot];
+            if (!assignment.has_value())
+                continue;
+            rule = *assignment;
+        }
+        for (sched::Location loc : plan.readsFor(inst, rule)) {
+            const tree::Node& target = tree.node(loc.node);
+            const sem::ClassInfo& cls = grammar.cls(target.cls);
+            if (grammar.iface(cls.iface).isInput(loc.attr))
+                continue;
+            auto it = writer_of.find(loc.key());
+            checkInvariant(it != writer_of.end(),
+                           "checkScheduleOn: unwritten location survived");
+            if (!plan.happensBefore(it->second, inst.id)) {
+                return "read of " + locName(plan, loc) +
+                       " happens before its write";
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+VerifyResult
+verifySchedule(const sched::Skeleton& skeleton,
+               const sched::Schedule& schedule, sem::InterfaceId rootIface,
+               const tree::EnumConfig& config, uint64_t seed)
+{
+    VerifyResult result;
+    auto shapes = tree::enumerateShapes(skeleton.grammar(), rootIface,
+                                        config);
+    for (const tree::ShapePtr& shape : shapes) {
+        tree::Tree candidate =
+            tree::instantiate(skeleton.grammar(), *shape, seed);
+        ++result.checkedTrees;
+        auto failure = checkScheduleOn(skeleton, schedule, candidate);
+        if (failure.has_value()) {
+            result.reason = *failure;
+            result.counterexample = std::move(candidate);
+            return result;
+        }
+    }
+    // The enumeration is capped, so back it with randomly sampled
+    // deeper trees (shape coverage beyond the cap).
+    Rng rng(seed * 0x9e37u + 17);
+    tree::SampleConfig sample;
+    sample.maxDepth = config.maxDepth + 2;
+    for (int round = 0; round < 24; ++round) {
+        tree::Tree candidate =
+            tree::sampleTree(skeleton.grammar(), rootIface, sample, rng);
+        ++result.checkedTrees;
+        auto failure = checkScheduleOn(skeleton, schedule, candidate);
+        if (failure.has_value()) {
+            result.reason = *failure;
+            result.counterexample = std::move(candidate);
+            return result;
+        }
+    }
+    result.ok = true;
+    return result;
+}
+
+SynthesisResult
+synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
+           std::vector<tree::Tree> initialExamples,
+           const SynthesisConfig& config)
+{
+    Timer total_timer;
+    SynthesisResult result;
+
+    std::vector<tree::Tree> examples = std::move(initialExamples);
+    if (examples.empty()) {
+        // Seed with the smallest shapes the verifier would try first,
+        // plus a few deeper random trees: richer initial examples save
+        // most CEGIS rounds (each round re-encodes and re-verifies).
+        tree::EnumConfig seed_config = config.verify;
+        seed_config.limit = 2;
+        for (const tree::ShapePtr& shape : tree::enumerateShapes(
+                 skeleton.grammar(), rootIface, seed_config)) {
+            examples.push_back(tree::instantiate(skeleton.grammar(), *shape,
+                                                 config.seed));
+        }
+        Rng rng(config.seed + 0x5eed);
+        tree::SampleConfig deep;
+        deep.maxDepth = config.verify.maxDepth + 1;
+        for (int i = 0; i < 3; ++i) {
+            examples.push_back(tree::sampleTree(skeleton.grammar(),
+                                                rootIface, deep, rng));
+        }
+    }
+
+    for (uint32_t round = 0; round < config.maxIterations; ++round) {
+        ++result.cegisIterations;
+        std::vector<const tree::Tree*> views;
+        views.reserve(examples.size());
+        for (const tree::Tree& example : examples)
+            views.push_back(&example);
+
+        std::optional<sched::Schedule> candidate;
+        if (config.engine == Engine::DomainSpecificIlp) {
+            symbolic::IlpStats stats;
+            candidate = symbolic::synthesizeIlp(skeleton, views, &stats);
+            result.ilpStats.sigmaVars = stats.sigmaVars;
+            result.ilpStats.constraints += stats.constraints;
+            result.ilpStats.constraintTerms += stats.constraintTerms;
+            result.ilpStats.traceStmts += stats.traceStmts;
+            result.ilpStats.branchNodes += stats.branchNodes;
+            result.ilpStats.encodeSeconds += stats.encodeSeconds;
+            result.ilpStats.solveSeconds += stats.solveSeconds;
+        } else {
+            symbolic::GeneralStats stats;
+            candidate = symbolic::synthesizeGeneral(skeleton, views, &stats);
+            result.generalStats.sigmaVars = stats.sigmaVars;
+            result.generalStats.formulaNodes += stats.formulaNodes;
+            result.generalStats.cnfVars += stats.cnfVars;
+            result.generalStats.cnfClauses += stats.cnfClauses;
+            result.generalStats.satConflicts += stats.satConflicts;
+            result.generalStats.satDecisions += stats.satDecisions;
+            result.generalStats.encodeSeconds += stats.encodeSeconds;
+            result.generalStats.solveSeconds += stats.solveSeconds;
+        }
+
+        if (!candidate.has_value()) {
+            result.failure = "synthesizer: constraints are unsatisfiable "
+                             "for the current examples";
+            break;
+        }
+
+        VerifyResult verify = verifySchedule(skeleton, *candidate,
+                                             rootIface, config.verify,
+                                             config.seed);
+        result.verifiedTrees = verify.checkedTrees;
+        if (verify.ok) {
+            result.schedule = std::move(candidate);
+            break;
+        }
+        checkInvariant(verify.counterexample.has_value(),
+                       "verifier failed without a counterexample");
+        examples.push_back(std::move(*verify.counterexample));
+    }
+
+    if (!result.schedule.has_value() && result.failure.empty())
+        result.failure = "CEGIS iteration budget exhausted";
+    result.examplesUsed = examples.size();
+    result.totalSeconds = total_timer.seconds();
+    return result;
+}
+
+} // namespace hecate::synth

@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * The CEGIS loop of Fig. 5: a synthesizer (either symbolic compilation
+ * strategy) proposes a schedule consistent with the current example
+ * trees; the verifier checks it against every tree up to depth k and
+ * returns a counterexample on failure; the loop repeats until the
+ * verifier is silent or the synthesizer reports infeasibility.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "symbolic/general_encoder.hpp"
+#include "symbolic/ilp_encoder.hpp"
+#include "tree/enumerate.hpp"
+
+namespace hecate::synth {
+
+/** Which symbolic compilation strategy drives the synthesizer. */
+enum class Engine {
+    DomainSpecificIlp, ///< Hecate proper (§5)
+    GeneralPurposeSat, ///< HecateG (§4.2)
+};
+
+/** Knobs of a synthesis run. */
+struct SynthesisConfig {
+    Engine engine = Engine::DomainSpecificIlp;
+    tree::EnumConfig verify;      ///< the verifier's bounded tree space
+    uint32_t maxIterations = 64;  ///< CEGIS round budget
+    uint64_t seed = 1;            ///< tree instantiation seed
+};
+
+/** Outcome of verifying one concrete schedule. */
+struct VerifyResult {
+    bool ok = false;
+    size_t checkedTrees = 0;
+    std::optional<tree::Tree> counterexample;
+    std::string reason; ///< human-readable failure description
+};
+
+/** Outcome of a synthesis run. */
+struct SynthesisResult {
+    std::optional<sched::Schedule> schedule;
+    uint32_t cegisIterations = 0;
+    size_t examplesUsed = 0;
+    size_t verifiedTrees = 0;
+    symbolic::GeneralStats generalStats; ///< accumulated (SAT engine)
+    symbolic::IlpStats ilpStats;         ///< accumulated (ILP engine)
+    double totalSeconds = 0.0;
+    std::string failure; ///< set when schedule is empty
+};
+
+/**
+ * Check @p schedule on a single tree: every output location written
+ * exactly once and every read happens-after its write (Def. 3.5).
+ * Returns an empty optional on success, else a failure description.
+ */
+std::optional<std::string> checkScheduleOn(const sched::Skeleton& skeleton,
+                                           const sched::Schedule& schedule,
+                                           const tree::Tree& tree);
+
+/**
+ * Verify @p schedule against every tree shape up to the configured
+ * depth, returning the first counterexample found.
+ */
+VerifyResult verifySchedule(const sched::Skeleton& skeleton,
+                            const sched::Schedule& schedule,
+                            sem::InterfaceId rootIface,
+                            const tree::EnumConfig& config,
+                            uint64_t seed = 1);
+
+/**
+ * Run the CEGIS loop for @p skeleton with trees rooted at
+ * @p rootIface. @p initialExamples seeds the synthesizer (the paper's
+ * user-provided initial tree); when empty, the two smallest enumerated
+ * shapes are used.
+ */
+SynthesisResult synthesize(const sched::Skeleton& skeleton,
+                           sem::InterfaceId rootIface,
+                           std::vector<tree::Tree> initialExamples,
+                           const SynthesisConfig& config = {});
+
+} // namespace hecate::synth

@@ -1,0 +1,212 @@
+#include "tree/enumerate.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hecate::tree {
+
+namespace {
+
+/** Memoized shape enumerator. */
+class Enumerator {
+  public:
+    Enumerator(const sem::Grammar& grammar, const EnumConfig& config)
+        : grammar_(grammar), config_(config)
+    {
+    }
+
+    /**
+     * Shapes rooted at implementers of @p iface with depth budget
+     * @p depth, smallest first, capped at @p cap.
+     */
+    std::vector<ShapePtr> forInterface(sem::InterfaceId iface, uint32_t depth,
+                                       size_t cap)
+    {
+        auto key = std::make_tuple(iface, depth, cap);
+        auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+
+        // Enumerate each implementer separately, then merge round-robin
+        // so the cap cannot starve later classes of representation.
+        std::vector<std::vector<ShapePtr>> per_class;
+        if (depth > 0) {
+            for (sem::ClassId cls : grammar_.implementers(iface)) {
+                std::vector<ShapePtr> mine;
+                appendClassShapes(mine, cls, depth, cap);
+                per_class.push_back(std::move(mine));
+            }
+        }
+        std::vector<ShapePtr> shapes;
+        for (size_t round = 0; shapes.size() < cap; ++round) {
+            bool any = false;
+            for (auto& mine : per_class) {
+                if (round < mine.size()) {
+                    shapes.push_back(mine[round]);
+                    any = true;
+                    if (shapes.size() >= cap)
+                        break;
+                }
+            }
+            if (!any)
+                break;
+        }
+        std::stable_sort(shapes.begin(), shapes.end(),
+                         [](const ShapePtr& a, const ShapePtr& b) {
+                             return a->nodeCount < b->nodeCount;
+                         });
+        memo_.emplace(key, shapes);
+        return shapes;
+    }
+
+  private:
+    /** All shapes rooted at class @p cls with subtree depth budget @p depth. */
+    void appendClassShapes(std::vector<ShapePtr>& out, sem::ClassId cls,
+                           uint32_t depth, size_t cap)
+    {
+        const sem::ClassInfo& info = grammar_.cls(cls);
+
+        // Build the option list for every child slot.
+        std::vector<std::vector<Shape::Slot>> slot_options;
+        for (const sem::ChildInfo& child : info.children) {
+            std::vector<Shape::Slot> options;
+            if (child.collection) {
+                options = collectionOptions(child, depth);
+            } else {
+                if (child.optional)
+                    options.push_back({});
+                for (const ShapePtr& sub : forInterface(
+                         child.iface, depth - 1, config_.perSlotOptions)) {
+                    Shape::Slot slot;
+                    slot.scalar = sub;
+                    options.push_back(std::move(slot));
+                    if (options.size() >= config_.perSlotOptions)
+                        break;
+                }
+            }
+            if (options.empty())
+                return; // class not constructible within budget
+            slot_options.push_back(std::move(options));
+        }
+
+        // Odometer over the slot option lists.
+        std::vector<size_t> idx(slot_options.size(), 0);
+        for (;;) {
+            auto shape = std::make_shared<Shape>();
+            shape->cls = cls;
+            shape->nodeCount = 1;
+            for (size_t s = 0; s < slot_options.size(); ++s) {
+                const Shape::Slot& slot = slot_options[s][idx[s]];
+                if (slot.scalar)
+                    shape->nodeCount += slot.scalar->nodeCount;
+                for (const ShapePtr& elem : slot.elems)
+                    shape->nodeCount += elem->nodeCount;
+                shape->slots.push_back(slot);
+            }
+            out.push_back(std::move(shape));
+            if (out.size() >= cap)
+                return;
+
+            size_t s = 0;
+            while (s < idx.size() && ++idx[s] == slot_options[s].size()) {
+                idx[s] = 0;
+                ++s;
+            }
+            if (s == idx.size())
+                return;
+        }
+    }
+
+    /** Collections of arity 0..maxCollection over the element shapes. */
+    std::vector<Shape::Slot> collectionOptions(const sem::ChildInfo& child,
+                                               uint32_t depth)
+    {
+        std::vector<Shape::Slot> options;
+        options.push_back({}); // empty collection
+        std::vector<ShapePtr> elems =
+            forInterface(child.iface, depth - 1, config_.perSlotOptions);
+        if (elems.empty())
+            return options;
+
+        // Tuples in length order; cap each length's cross product.
+        std::vector<std::vector<ShapePtr>> current = {{}};
+        for (uint32_t len = 1; len <= config_.maxCollection; ++len) {
+            std::vector<std::vector<ShapePtr>> next;
+            for (const auto& prefix : current) {
+                for (const ShapePtr& elem : elems) {
+                    auto tuple = prefix;
+                    tuple.push_back(elem);
+                    next.push_back(std::move(tuple));
+                    if (next.size() >= config_.perSlotOptions)
+                        break;
+                }
+                if (next.size() >= config_.perSlotOptions)
+                    break;
+            }
+            for (auto& tuple : next) {
+                Shape::Slot slot;
+                slot.elems = tuple;
+                options.push_back(std::move(slot));
+                if (options.size() >= config_.perSlotOptions)
+                    return options;
+            }
+            current = std::move(next);
+        }
+        return options;
+    }
+
+    const sem::Grammar& grammar_;
+    const EnumConfig& config_;
+    std::map<std::tuple<sem::InterfaceId, uint32_t, size_t>,
+             std::vector<ShapePtr>>
+        memo_;
+};
+
+NodeId
+instantiateShape(Tree& out, const sem::Grammar& grammar, const Shape& shape,
+                 Rng& rng)
+{
+    NodeId id = out.addNode(shape.cls);
+    const sem::ClassInfo& info = grammar.cls(shape.cls);
+    const sem::InterfaceInfo& iface = grammar.iface(info.iface);
+    for (sem::AttrId a = 0; a < iface.attrs.size(); ++a) {
+        if (iface.isInput(a))
+            out.setInput(id, a, rng.range(0, 100));
+    }
+    for (sem::ChildId c = 0; c < shape.slots.size(); ++c) {
+        const Shape::Slot& slot = shape.slots[c];
+        if (slot.scalar) {
+            NodeId target =
+                instantiateShape(out, grammar, *slot.scalar, rng);
+            out.setScalar(id, c, target);
+        }
+        for (const ShapePtr& elem : slot.elems) {
+            NodeId target = instantiateShape(out, grammar, *elem, rng);
+            out.addElement(id, c, target);
+        }
+    }
+    return id;
+}
+
+} // namespace
+
+std::vector<ShapePtr>
+enumerateShapes(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+                const EnumConfig& config)
+{
+    Enumerator enumerator(grammar, config);
+    return enumerator.forInterface(rootIface, config.maxDepth, config.limit);
+}
+
+Tree
+instantiate(const sem::Grammar& grammar, const Shape& shape, uint64_t seed)
+{
+    Tree out(grammar);
+    Rng rng(seed);
+    NodeId root = instantiateShape(out, grammar, shape, rng);
+    out.setRoot(root);
+    out.validate();
+    return out;
+}
+
+} // namespace hecate::tree

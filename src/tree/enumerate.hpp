@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Bounded enumeration of tree shapes, the verifier's search space.
+ *
+ * The paper (§4.1) verifies candidate traversals against "all possible
+ * trees up to depth k", encoded symbolically as a bounded m-ary tree.
+ * We realize the same space explicitly: every shape derivable from the
+ * grammar with depth <= maxDepth and collection arity <= maxCollection,
+ * subject to a configurable cap. Shapes are shared DAG-style
+ * (shared_ptr) so large spaces stay compact.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace hecate::tree {
+
+struct Shape;
+using ShapePtr = std::shared_ptr<const Shape>;
+
+/** A structural tree skeleton (classes + child presence, no values). */
+struct Shape {
+    /** One child slot of the shape. */
+    struct Slot {
+        ShapePtr scalar;             ///< nullptr = absent
+        std::vector<ShapePtr> elems; ///< collection elements
+    };
+
+    sem::ClassId cls = sem::kInvalidId;
+    std::vector<Slot> slots;
+    uint32_t nodeCount = 1;
+};
+
+/** Knobs bounding the enumerated space. */
+struct EnumConfig {
+    uint32_t maxDepth = 3;        ///< the paper's k
+    uint32_t maxCollection = 2;   ///< max collection arity
+    size_t perSlotOptions = 24;   ///< cap on alternatives per child slot
+    size_t limit = 512;           ///< cap on total shapes returned
+};
+
+/**
+ * Enumerate shapes rooted at implementers of @p rootIface, smallest
+ * (fewest nodes) first.
+ */
+std::vector<ShapePtr> enumerateShapes(const sem::Grammar& grammar,
+                                      sem::InterfaceId rootIface,
+                                      const EnumConfig& config);
+
+/**
+ * Materialize @p shape as a Tree with deterministic pseudo-random
+ * input values derived from @p seed.
+ */
+Tree instantiate(const sem::Grammar& grammar, const Shape& shape,
+                 uint64_t seed = 1);
+
+} // namespace hecate::tree

@@ -1,0 +1,227 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+
+namespace hecate::tree {
+
+NodeId
+Tree::addNode(sem::ClassId cls)
+{
+    const sem::ClassInfo& info = grammar_->cls(cls);
+    const sem::InterfaceInfo& iface = grammar_->iface(info.iface);
+    Node node;
+    node.id = static_cast<NodeId>(nodes_.size());
+    node.cls = cls;
+    node.children.resize(info.children.size());
+    node.values.assign(iface.attrs.size(), 0);
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+void
+Tree::setScalar(NodeId parent, sem::ChildId child, NodeId target)
+{
+    nodes_[parent].children[child].node = target;
+}
+
+void
+Tree::addElement(NodeId parent, sem::ChildId child, NodeId target)
+{
+    nodes_[parent].children[child].elems.push_back(target);
+}
+
+void
+Tree::validate() const
+{
+    if (root_ == kNoNode)
+        userError("tree has no root");
+
+    std::vector<uint32_t> refs(nodes_.size(), 0);
+    for (const Node& node : nodes_) {
+        const sem::ClassInfo& info = grammar_->cls(node.cls);
+        for (sem::ChildId c = 0; c < node.children.size(); ++c) {
+            const sem::ChildInfo& child_info = info.children[c];
+            const ChildSlot& slot = node.children[c];
+            if (child_info.collection) {
+                if (slot.node != kNoNode)
+                    userError("collection slot holds a scalar link");
+                for (NodeId elem : slot.elems) {
+                    checkChildType(child_info, elem);
+                    ++refs[elem];
+                }
+            } else {
+                if (!slot.elems.empty())
+                    userError("scalar slot holds collection elements");
+                if (slot.node == kNoNode) {
+                    if (!child_info.optional) {
+                        userError("required child '" + child_info.name +
+                                  "' missing on node of class '" +
+                                  info.name + "'");
+                    }
+                } else {
+                    checkChildType(child_info, slot.node);
+                    ++refs[slot.node];
+                }
+            }
+        }
+    }
+    for (const Node& node : nodes_) {
+        uint32_t expected = node.id == root_ ? 0 : 1;
+        if (refs[node.id] != expected) {
+            userError("node " + std::to_string(node.id) +
+                      " referenced " + std::to_string(refs[node.id]) +
+                      " times (expected " + std::to_string(expected) + ")");
+        }
+    }
+}
+
+void
+Tree::clearOutputs()
+{
+    for (Node& node : nodes_) {
+        const sem::ClassInfo& info = grammar_->cls(node.cls);
+        const sem::InterfaceInfo& iface = grammar_->iface(info.iface);
+        for (sem::AttrId a = 0; a < node.values.size(); ++a) {
+            if (!iface.isInput(a))
+                node.values[a] = 0;
+        }
+    }
+}
+
+void
+Tree::checkChildType(const sem::ChildInfo& child_info, NodeId target) const
+{
+    const Node& target_node = nodes_[target];
+    const auto& allowed = child_info.allowedClasses;
+    if (std::find(allowed.begin(), allowed.end(), target_node.cls) ==
+        allowed.end()) {
+        userError("child '" + child_info.name + "' holds a node of class '" +
+                  grammar_->cls(target_node.cls).name +
+                  "' not allowed by its type");
+    }
+}
+
+std::string
+Tree::shapeString() const
+{
+    return root_ == kNoNode ? "<empty>" : shapeStringFor(root_);
+}
+
+std::string
+Tree::shapeStringFor(NodeId id) const
+{
+    const Node& node = nodes_[id];
+    const sem::ClassInfo& info = grammar_->cls(node.cls);
+    std::string out = info.name;
+    bool any = false;
+    std::string inner;
+    for (sem::ChildId c = 0; c < node.children.size(); ++c) {
+        const ChildSlot& slot = node.children[c];
+        if (any)
+            inner += ",";
+        any = true;
+        inner += info.children[c].name + "=";
+        if (info.children[c].collection) {
+            inner += "[";
+            for (size_t i = 0; i < slot.elems.size(); ++i) {
+                if (i > 0)
+                    inner += ",";
+                inner += shapeStringFor(slot.elems[i]);
+            }
+            inner += "]";
+        } else if (slot.node == kNoNode) {
+            inner += "_";
+        } else {
+            inner += shapeStringFor(slot.node);
+        }
+    }
+    if (any)
+        out += "(" + inner + ")";
+    return out;
+}
+
+namespace {
+
+/** True when @p cls can be the root of a depth-1 tree (all scalar
+ *  children optional; collections may be empty). */
+bool
+isTerminalClass(const sem::Grammar& grammar, sem::ClassId cls)
+{
+    for (const sem::ChildInfo& child : grammar.cls(cls).children) {
+        if (!child.collection && !child.optional)
+            return false;
+    }
+    return true;
+}
+
+NodeId
+sampleNode(Tree& out, const sem::Grammar& grammar,
+           const std::vector<sem::ClassId>& candidates,
+           const SampleConfig& config, Rng& rng, uint32_t depth)
+{
+    // At the depth budget, restrict to classes that can terminate.
+    std::vector<sem::ClassId> usable;
+    for (sem::ClassId cls : candidates) {
+        if (depth > 1 || isTerminalClass(grammar, cls))
+            usable.push_back(cls);
+    }
+    if (usable.empty()) {
+        userError("grammar admits no tree within the depth budget "
+                  "(no terminal class for a required child)");
+    }
+    sem::ClassId cls = usable[rng.below(usable.size())];
+    NodeId id = out.addNode(cls);
+
+    const sem::ClassInfo& info = grammar.cls(cls);
+    const sem::InterfaceInfo& iface = grammar.iface(info.iface);
+    for (sem::AttrId a = 0; a < iface.attrs.size(); ++a) {
+        if (iface.isInput(a))
+            out.setInput(id, a, rng.range(config.inputLo, config.inputHi));
+    }
+
+    for (sem::ChildId c = 0; c < info.children.size(); ++c) {
+        const sem::ChildInfo& child = info.children[c];
+        if (child.collection) {
+            uint64_t count =
+                depth > 1 ? rng.below(config.maxCollection + 1) : 0;
+            for (uint64_t i = 0; i < count; ++i) {
+                NodeId elem = sampleNode(out, grammar, child.allowedClasses,
+                                         config, rng, depth - 1);
+                out.addElement(id, c, elem);
+            }
+        } else {
+            bool present = !child.optional ||
+                           (depth > 1 && rng.chance(config.optionalPresent));
+            if (present && depth > 1) {
+                NodeId target = sampleNode(out, grammar,
+                                           child.allowedClasses, config, rng,
+                                           depth - 1);
+                out.setScalar(id, c, target);
+            } else if (!child.optional) {
+                // depth == 1 and required: unreachable, usable filtered it.
+                internalError("required child at depth budget");
+            }
+        }
+    }
+    return id;
+}
+
+} // namespace
+
+Tree
+sampleTree(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+           const SampleConfig& config, Rng& rng)
+{
+    Tree out(grammar);
+    const std::vector<sem::ClassId>& candidates =
+        grammar.implementers(rootIface);
+    if (candidates.empty())
+        userError("root interface has no implementing classes");
+    NodeId root = sampleNode(out, grammar, candidates, config, rng,
+                             std::max(config.maxDepth, 1u));
+    out.setRoot(root);
+    out.validate();
+    return out;
+}
+
+} // namespace hecate::tree

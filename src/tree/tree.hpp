@@ -1,0 +1,120 @@
+#pragma once
+
+/**
+ * @file
+ * Runtime tree instances over a resolved grammar. A Tree is the "E"
+ * domain of the paper (§3.2): nodes typed by grammar classes, child
+ * slots matching the class's children declarations, and one integer
+ * value cell per attribute (the "locations" L of a node).
+ *
+ * Trees serve three roles: CEGIS example/counterexample inputs, the
+ * verifier's enumerated instances, and the value-interpreter's data.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sem/grammar.hpp"
+#include "support/rng.hpp"
+
+namespace hecate::tree {
+
+using NodeId = uint32_t;
+
+inline constexpr NodeId kNoNode = sem::kInvalidId;
+
+/** One child slot of a node: a scalar link or a collection. */
+struct ChildSlot {
+    NodeId node = kNoNode;        ///< scalar child; kNoNode when absent
+    std::vector<NodeId> elems;    ///< collection elements (in order)
+};
+
+/** One tree node. */
+struct Node {
+    NodeId id = kNoNode;
+    sem::ClassId cls = sem::kInvalidId;
+    std::vector<ChildSlot> children; ///< indexed by ChildId
+    std::vector<int64_t> values;     ///< indexed by AttrId
+};
+
+/**
+ * A tree instance. Nodes are created through addNode and wired with
+ * setScalar/addElement; validate() checks the result is a well-typed
+ * tree (single root, no sharing, required children present).
+ */
+class Tree {
+  public:
+    explicit Tree(const sem::Grammar& grammar) : grammar_(&grammar) {}
+
+    const sem::Grammar& grammar() const { return *grammar_; }
+
+    /** Create a node of class @p cls with zeroed attributes. */
+    NodeId addNode(sem::ClassId cls);
+
+    /** Wire scalar child slot @p child of @p parent to @p target. */
+    void setScalar(NodeId parent, sem::ChildId child, NodeId target);
+
+    /** Append @p target to collection slot @p child of @p parent. */
+    void addElement(NodeId parent, sem::ChildId child, NodeId target);
+
+    void setRoot(NodeId root) { root_ = root; }
+    NodeId root() const { return root_; }
+
+    size_t size() const { return nodes_.size(); }
+    const Node& node(NodeId id) const { return nodes_[id]; }
+    Node& node(NodeId id) { return nodes_[id]; }
+    const std::vector<Node>& nodes() const { return nodes_; }
+
+    /** Set an input attribute value. */
+    void setInput(NodeId id, sem::AttrId attr, int64_t value)
+    {
+        nodes_[id].values[attr] = value;
+    }
+
+    int64_t value(NodeId id, sem::AttrId attr) const
+    {
+        return nodes_[id].values[attr];
+    }
+
+    /**
+     * Check structural sanity: a root exists, every non-root node is
+     * referenced exactly once, child classes satisfy slot types, and
+     * required scalar children are present. Throws UserError on failure.
+     */
+    void validate() const;
+
+    /** Reset all output attribute cells to zero (inputs preserved). */
+    void clearOutputs();
+
+    /** Short structural fingerprint like "Inner(Leaf,Inner(Leaf))". */
+    std::string shapeString() const;
+
+  private:
+    std::string shapeStringFor(NodeId id) const;
+    void checkChildType(const sem::ChildInfo& childInfo, NodeId target) const;
+
+    const sem::Grammar* grammar_;
+    std::vector<Node> nodes_;
+    NodeId root_ = kNoNode;
+};
+
+/** Parameters for random tree sampling. */
+struct SampleConfig {
+    uint32_t maxDepth = 4;           ///< node depth budget
+    uint32_t maxCollection = 3;      ///< max elements per collection slot
+    double optionalPresent = 0.7;    ///< P(optional scalar child present)
+    int64_t inputLo = 0;             ///< uniform input range low
+    int64_t inputHi = 100;           ///< uniform input range high
+};
+
+/**
+ * Sample a random tree whose root implements @p rootIface, with random
+ * input attribute values. At maxDepth, only classes that can terminate
+ * (all scalar children optional) are chosen; the sampler throws
+ * UserError when the grammar admits no finite tree.
+ */
+Tree sampleTree(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+                const SampleConfig& config, Rng& rng);
+
+} // namespace hecate::tree

@@ -1,0 +1,387 @@
+#include "workloads/ast_workload.hpp"
+
+#include <algorithm>
+
+namespace hecate::workloads::astw {
+
+namespace {
+
+int64_t
+imin(int64_t a, int64_t b)
+{
+    return a < b ? a : b;
+}
+
+/** Iterative generator (see workloads/rendertree.cpp for rationale). */
+NodeV*
+generate(ProgramV& prog, Rng& rng, size_t target)
+{
+    auto make = [&]() {
+        prog.arena.push_back(std::make_unique<NodeV>());
+        NodeV* node = prog.arena.back().get();
+        node->lit0 = rng.range(-20, 20);
+        node->op0 = rng.range(0, 6);
+        return node;
+    };
+    NodeV* root = make();
+    std::vector<std::pair<NodeV*, int>> open{{root, 0}};
+    while (prog.arena.size() < target && !open.empty()) {
+        size_t pick = rng.below(open.size());
+        auto [parent, depth] = open[pick];
+        NodeV* child = make();
+        parent->cs.push_back(child);
+        if (depth + 1 < 40)
+            open.emplace_back(child, depth + 1);
+        if (parent->cs.size() >= 2 + rng.below(4)) {
+            open[pick] = open.back();
+            open.pop_back();
+        }
+    }
+    return root;
+}
+
+NodeL*
+convert(ProgramL& prog, const NodeV* src)
+{
+    prog.arena.push_back(std::make_unique<NodeL>());
+    NodeL* node = prog.arena.back().get();
+    node->lit0 = src->lit0;
+    node->op0 = src->op0;
+    NodeL* prev = nullptr;
+    for (const NodeV* child : src->cs) {
+        NodeL* converted = convert(prog, child);
+        if (prev == nullptr) {
+            node->fc = converted;
+        } else {
+            prev->nx = converted;
+        }
+        prev = converted;
+    }
+    return node;
+}
+
+// --- unfused linked-list passes --------------------------------------------
+
+void
+passDesugarDecr(NodeL* n)
+{
+    if (n == nullptr)
+        return;
+    passDesugarDecr(n->fc);
+    passDesugarDecr(n->nx);
+    n->a1 = n->lit0 + (n->fc != nullptr ? n->fc->a1s : 0);
+    n->a1s = n->a1 + (n->nx != nullptr ? n->nx->a1s : 0);
+}
+
+void
+passDesugarIncr(NodeL* n)
+{
+    if (n == nullptr)
+        return;
+    passDesugarIncr(n->fc);
+    passDesugarIncr(n->nx);
+    n->a2 = n->a1 + n->op0 + (n->fc != nullptr ? n->fc->a2s : 0);
+    n->a2s = n->a2 + (n->nx != nullptr ? n->nx->a2s : 0);
+}
+
+void
+passConstProp(NodeL* n)
+{
+    if (n == nullptr)
+        return;
+    // inherited environment first (pre-order) ...
+    if (n->fc != nullptr)
+        n->fc->env = n->env + n->op0;
+    if (n->nx != nullptr)
+        n->nx->env = n->env;
+    passConstProp(n->fc);
+    passConstProp(n->nx);
+    // ... synthesized const-ness after (post-order)
+    n->kc = imin(n->env, n->lit0) + (n->fc != nullptr ? n->fc->kcs : 0);
+    n->kcs = n->kc + (n->nx != nullptr ? n->nx->kcs : 0);
+}
+
+void
+passVarRefs(NodeL* n)
+{
+    if (n == nullptr)
+        return;
+    passVarRefs(n->fc);
+    passVarRefs(n->nx);
+    n->vr = n->kc + (n->fc != nullptr ? n->fc->vrs : 0);
+    n->vrs = n->vr + (n->nx != nullptr ? n->nx->vrs : 0);
+}
+
+void
+passConstFold(NodeL* n)
+{
+    if (n == nullptr)
+        return;
+    passConstFold(n->fc);
+    passConstFold(n->nx);
+    n->cf = 2 * n->lit0 + n->vr + (n->fc != nullptr ? n->fc->cfs : 0);
+    n->cfs = n->cf + (n->nx != nullptr ? n->nx->cfs : 0);
+}
+
+void
+passDeadBranch(NodeL* n)
+{
+    if (n == nullptr)
+        return;
+    passDeadBranch(n->fc);
+    passDeadBranch(n->nx);
+    n->db = (n->kc > 0 ? 1 : 0) + (n->fc != nullptr ? n->fc->dbs : 0);
+    n->dbs = n->db + (n->nx != nullptr ? n->nx->dbs : 0);
+}
+
+// --- fused linked-list ------------------------------------------------------
+
+void
+fusedCalcL(NodeL* n)
+{
+    if (n == nullptr)
+        return;
+    if (n->fc != nullptr)
+        n->fc->env = n->env + n->op0;
+    if (n->nx != nullptr)
+        n->nx->env = n->env;
+    fusedCalcL(n->fc);
+    fusedCalcL(n->nx);
+    NodeL* f = n->fc;
+    NodeL* x = n->nx;
+    n->a1 = n->lit0 + (f != nullptr ? f->a1s : 0);
+    n->a1s = n->a1 + (x != nullptr ? x->a1s : 0);
+    n->a2 = n->a1 + n->op0 + (f != nullptr ? f->a2s : 0);
+    n->a2s = n->a2 + (x != nullptr ? x->a2s : 0);
+    n->kc = imin(n->env, n->lit0) + (f != nullptr ? f->kcs : 0);
+    n->kcs = n->kc + (x != nullptr ? x->kcs : 0);
+    n->vr = n->kc + (f != nullptr ? f->vrs : 0);
+    n->vrs = n->vr + (x != nullptr ? x->vrs : 0);
+    n->cf = 2 * n->lit0 + n->vr + (f != nullptr ? f->cfs : 0);
+    n->cfs = n->cf + (x != nullptr ? x->cfs : 0);
+    n->db = (n->kc > 0 ? 1 : 0) + (f != nullptr ? f->dbs : 0);
+    n->dbs = n->db + (x != nullptr ? x->dbs : 0);
+}
+
+// --- vector layout ----------------------------------------------------------
+
+struct Sums {
+    int64_t a1 = 0, a2 = 0, kc = 0, vr = 0, cf = 0, db = 0;
+};
+
+void
+computeSynthesized(NodeV* n, const Sums& s)
+{
+    n->a1 = n->lit0 + s.a1;
+    n->a2 = n->a1 + n->op0 + s.a2;
+    n->kc = imin(n->env, n->lit0) + s.kc;
+    n->vr = n->kc + s.vr;
+    n->cf = 2 * n->lit0 + n->vr + s.cf;
+    n->db = (n->kc > 0 ? 1 : 0) + s.db;
+}
+
+void
+accumulate(Sums& s, const NodeV* c)
+{
+    s.a1 += c->a1;
+    s.a2 += c->a2;
+    s.kc += c->kc;
+    s.vr += c->vr;
+    s.cf += c->cf;
+    s.db += c->db;
+}
+
+void
+fusedBodyV(NodeV* n)
+{
+    Sums sums;
+    for (NodeV* c : n->cs) {
+        c->env = n->env + n->op0;
+        fusedBodyV(c);
+        accumulate(sums, c);
+    }
+    computeSynthesized(n, sums);
+}
+
+void
+topDown(NodeV* n, int depth, int spawn, std::vector<NodeV*>& frontier)
+{
+    for (NodeV* c : n->cs) {
+        c->env = n->env + n->op0;
+        if (depth + 1 >= spawn) {
+            frontier.push_back(c);
+        } else {
+            topDown(c, depth + 1, spawn, frontier);
+        }
+    }
+}
+
+void
+accumulateTop(NodeV* n, int depth, int spawn)
+{
+    if (depth + 1 < spawn) {
+        for (NodeV* c : n->cs)
+            accumulateTop(c, depth + 1, spawn);
+    }
+    Sums sums;
+    for (NodeV* c : n->cs)
+        accumulate(sums, c);
+    computeSynthesized(n, sums);
+}
+
+} // namespace
+
+namespace {
+
+/** DFS-order rebuild (see workloads/rendertree.cpp). */
+NodeV*
+compact(ProgramV& dst, const NodeV* src)
+{
+    dst.arena.push_back(std::make_unique<NodeV>(*src));
+    NodeV* node = dst.arena.back().get();
+    node->cs.clear();
+    for (const NodeV* child : src->cs)
+        node->cs.push_back(compact(dst, child));
+    return node;
+}
+
+} // namespace
+
+ProgramV
+buildProgramV(size_t targetNodes, uint64_t seed)
+{
+    ProgramV grown;
+    grown.arena.reserve(targetNodes + 16);
+    Rng rng(seed);
+    grown.root = generate(grown, rng, std::max<size_t>(targetNodes, 1));
+
+    ProgramV prog;
+    prog.arena.reserve(grown.arena.size());
+    prog.root = compact(prog, grown.root);
+    return prog;
+}
+
+ProgramL
+buildProgramL(size_t targetNodes, uint64_t seed)
+{
+    ProgramV source = buildProgramV(targetNodes, seed);
+    ProgramL prog;
+    prog.arena.reserve(source.arena.size());
+    prog.root = convert(prog, source.root);
+    return prog;
+}
+
+void
+clearOutputs(ProgramL& prog)
+{
+    for (auto& node : prog.arena) {
+        node->a1 = node->a1s = node->a2 = node->a2s = 0;
+        node->env = node->kc = node->kcs = 0;
+        node->vr = node->vrs = node->cf = node->cfs = 0;
+        node->db = node->dbs = 0;
+    }
+}
+
+void
+clearOutputs(ProgramV& prog)
+{
+    for (auto& node : prog.arena) {
+        node->a1 = node->a2 = node->env = node->kc = 0;
+        node->vr = node->cf = node->db = 0;
+    }
+}
+
+void
+runUnfused(ProgramL& prog)
+{
+    prog.root->env = 1;
+    passDesugarDecr(prog.root);
+    passDesugarIncr(prog.root);
+    passConstProp(prog.root);
+    passVarRefs(prog.root);
+    passConstFold(prog.root);
+    passDeadBranch(prog.root);
+}
+
+void
+runFusedL(ProgramL& prog)
+{
+    prog.root->env = 1;
+    fusedCalcL(prog.root);
+}
+
+void
+runFusedV(ProgramV& prog)
+{
+    prog.root->env = 1;
+    fusedBodyV(prog.root);
+}
+
+void
+runParallelV(ProgramV& prog, ThreadPool& pool, int spawnDepth)
+{
+    prog.root->env = 1;
+    std::vector<NodeV*> frontier;
+    topDown(prog.root, 0, std::max(spawnDepth, 1), frontier);
+    for (NodeV* subtree : frontier)
+        pool.submit([subtree] { fusedBodyV(subtree); });
+    pool.waitAll();
+    accumulateTop(prog.root, 0, std::max(spawnDepth, 1));
+}
+
+namespace {
+
+uint64_t
+mix(uint64_t h, int64_t v)
+{
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
+}
+
+uint64_t
+checksumL(const NodeL* n, uint64_t h)
+{
+    if (n == nullptr)
+        return h;
+    h = mix(h, n->a1);
+    h = mix(h, n->a2);
+    h = mix(h, n->env);
+    h = mix(h, n->kc);
+    h = mix(h, n->vr);
+    h = mix(h, n->cf);
+    h = mix(h, n->db);
+    h = checksumL(n->fc, h);
+    return checksumL(n->nx, h);
+}
+
+uint64_t
+checksumV(const NodeV* n, uint64_t h)
+{
+    h = mix(h, n->a1);
+    h = mix(h, n->a2);
+    h = mix(h, n->env);
+    h = mix(h, n->kc);
+    h = mix(h, n->vr);
+    h = mix(h, n->cf);
+    h = mix(h, n->db);
+    for (const NodeV* c : n->cs)
+        h = checksumV(c, h);
+    return h;
+}
+
+} // namespace
+
+uint64_t
+checksum(const ProgramL& prog)
+{
+    return checksumL(prog.root, 0);
+}
+
+uint64_t
+checksum(const ProgramV& prog)
+{
+    return checksumV(prog.root, 0);
+}
+
+} // namespace hecate::workloads::astw

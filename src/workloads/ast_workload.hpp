@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * The AST performance workload of Appendix A / Fig. 16: a small
+ * imperative-language AST with six compiler passes (decrement and
+ * increment desugaring, constant propagation with an inherited
+ * environment, variable-reference replacement, constant folding, and
+ * unreachable-branch elimination), modeled as attribute computations
+ * exactly like the codegen output would be.
+ *
+ * Variants mirror the paper: unfused (6 traversals), Grafter/HecateL
+ * fused linked-list, HecateV fused vector, HecateP parallel vector
+ * ("parallel schedules ... take advantage of the data-independency
+ * between optimization passes on different AST functions").
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hecate::workloads::astw {
+
+/** Linked-list (first-child / next-sibling) AST node. */
+struct NodeL {
+    // inputs
+    int64_t lit0 = 0, op0 = 0;
+    // pass outputs (chain helpers suffixed 's')
+    int64_t a1 = 0, a1s = 0;  ///< desugarDecr
+    int64_t a2 = 0, a2s = 0;  ///< desugarIncr
+    int64_t env = 0;          ///< constProp environment (inherited)
+    int64_t kc = 0, kcs = 0;  ///< constProp
+    int64_t vr = 0, vrs = 0;  ///< varRefsToConst
+    int64_t cf = 0, cfs = 0;  ///< constFold
+    int64_t db = 0, dbs = 0;  ///< deadBranch
+    NodeL* fc = nullptr;
+    NodeL* nx = nullptr;
+};
+
+/** Vector-layout AST node. */
+struct NodeV {
+    int64_t lit0 = 0, op0 = 0;
+    int64_t a1 = 0, a2 = 0, env = 0, kc = 0, vr = 0, cf = 0, db = 0;
+    std::vector<NodeV*> cs;
+};
+
+/** Linked-list program; owns its nodes. */
+struct ProgramL {
+    std::vector<std::unique_ptr<NodeL>> arena;
+    NodeL* root = nullptr;
+    size_t size() const { return arena.size(); }
+};
+
+/** Vector-layout program; owns its nodes. */
+struct ProgramV {
+    std::vector<std::unique_ptr<NodeV>> arena;
+    NodeV* root = nullptr;
+    size_t size() const { return arena.size(); }
+};
+
+/** Build a random AST of roughly @p targetNodes nodes. */
+ProgramL buildProgramL(size_t targetNodes, uint64_t seed);
+ProgramV buildProgramV(size_t targetNodes, uint64_t seed);
+
+void clearOutputs(ProgramL& prog);
+void clearOutputs(ProgramV& prog);
+
+/** Unfused baseline: six separate traversals. */
+void runUnfused(ProgramL& prog);
+
+/** Grafter / HecateL: single fused linked-list traversal. */
+void runFusedL(ProgramL& prog);
+
+/** HecateV: single fused vector traversal. */
+void runFusedV(ProgramV& prog);
+
+/** HecateP: parallel subtree passes with a sequential top region. */
+void runParallelV(ProgramV& prog, ThreadPool& pool, int spawnDepth = 2);
+
+/** Order-independent checksum over pass outputs (helpers excluded). */
+uint64_t checksum(const ProgramL& prog);
+uint64_t checksum(const ProgramV& prog);
+
+} // namespace hecate::workloads::astw

@@ -1,0 +1,522 @@
+#include "workloads/rendertree.hpp"
+
+#include <algorithm>
+
+namespace hecate::workloads::render {
+
+namespace {
+
+int64_t
+imax(int64_t a, int64_t b)
+{
+    return a > b ? a : b;
+}
+
+} // namespace
+
+// --- unfused linked-list passes (virtual dispatch, Fig. 1 style) -----------
+
+void
+InnerL::passFlexWidths()
+{
+    if (fc != nullptr)
+        fc->passFlexWidths();
+    if (nx != nullptr)
+        nx->passFlexWidths();
+    wf = imax(w0, fc != nullptr ? fc->wf : 0);
+}
+
+void
+LeafL::passFlexWidths()
+{
+    if (nx != nullptr)
+        nx->passFlexWidths();
+    wf = w0;
+}
+
+void
+InnerL::passRelWidths()
+{
+    if (fc != nullptr)
+        fc->passRelWidths();
+    if (nx != nullptr)
+        nx->passRelWidths();
+    w = imax(wf, fc != nullptr ? fc->w1 : 0);
+    w1 = imax(w, nx != nullptr ? nx->w1 : 0);
+}
+
+void
+LeafL::passRelWidths()
+{
+    if (nx != nullptr)
+        nx->passRelWidths();
+    w = wf;
+    w1 = imax(w, nx != nullptr ? nx->w1 : 0);
+}
+
+void
+InnerL::passFonts()
+{
+    if (fc != nullptr)
+        fc->fs = imax(fs, fs1);
+    if (nx != nullptr)
+        nx->fs = fs;
+    if (fc != nullptr)
+        fc->passFonts();
+    if (nx != nullptr)
+        nx->passFonts();
+}
+
+void
+LeafL::passFonts()
+{
+    if (nx != nullptr) {
+        nx->fs = fs;
+        nx->passFonts();
+    }
+}
+
+void
+InnerL::passHeights()
+{
+    if (fc != nullptr)
+        fc->passHeights();
+    if (nx != nullptr)
+        nx->passHeights();
+    h = imax(h0, fc != nullptr ? fc->h1 : 0) + fs;
+    h1 = h + (nx != nullptr ? nx->h1 : 0);
+}
+
+void
+LeafL::passHeights()
+{
+    if (nx != nullptr)
+        nx->passHeights();
+    h = h0 + fs;
+    h1 = h + (nx != nullptr ? nx->h1 : 0);
+}
+
+void
+InnerL::passPositions()
+{
+    if (fc != nullptr) {
+        fc->ax = ax + 1;
+        fc->ay = ay + 1;
+    }
+    if (nx != nullptr) {
+        nx->ax = ax + w0;
+        nx->ay = ay;
+    }
+    if (fc != nullptr)
+        fc->passPositions();
+    if (nx != nullptr)
+        nx->passPositions();
+}
+
+void
+LeafL::passPositions()
+{
+    if (nx != nullptr) {
+        nx->ax = ax + w0;
+        nx->ay = ay;
+        nx->passPositions();
+    }
+}
+
+// --- fused linked-list (Grafter / HecateL schedule) ------------------------
+
+void
+InnerL::fusedCalc()
+{
+    // inherited writes first (pre-order)
+    if (fc != nullptr) {
+        fc->fs = imax(fs, fs1);
+        fc->ax = ax + 1;
+        fc->ay = ay + 1;
+        fc->fusedCalc();
+    }
+    if (nx != nullptr) {
+        nx->fs = fs;
+        nx->ax = ax + w0;
+        nx->ay = ay;
+        nx->fusedCalc();
+    }
+    // synthesized attributes (post-order)
+    wf = imax(w0, fc != nullptr ? fc->wf : 0);
+    w = imax(wf, fc != nullptr ? fc->w1 : 0);
+    w1 = imax(w, nx != nullptr ? nx->w1 : 0);
+    h = imax(h0, fc != nullptr ? fc->h1 : 0) + fs;
+    h1 = h + (nx != nullptr ? nx->h1 : 0);
+}
+
+void
+LeafL::fusedCalc()
+{
+    if (nx != nullptr) {
+        nx->fs = fs;
+        nx->ax = ax + w0;
+        nx->ay = ay;
+        nx->fusedCalc();
+    }
+    wf = w0;
+    w = wf;
+    w1 = imax(w, nx != nullptr ? nx->w1 : 0);
+    h = h0 + fs;
+    h1 = h + (nx != nullptr ? nx->h1 : 0);
+}
+
+// --- vector layout ----------------------------------------------------------
+
+void
+InnerV::finalize(int64_t maxChildW, int64_t sumChildH)
+{
+    wf = imax(w0, cs.empty() ? 0 : cs.front()->wf);
+    w = imax(wf, maxChildW);
+    h1 = sumChildH;
+    h = imax(h0, sumChildH) + fs;
+}
+
+void
+LeafV::finalize(int64_t, int64_t)
+{
+    wf = w0;
+    w = wf;
+    h1 = 0;
+    h = h0 + fs;
+}
+
+void
+InnerV::fusedCalc()
+{
+    int64_t max_child_w = 0;
+    int64_t sum_child_h = 0;
+    int64_t off = 0;
+    for (BoxV* c : cs) {
+        c->fs = imax(fs, fs1);
+        c->ax = ax + 1 + off;
+        off += c->w0;
+        c->ay = ay + 1;
+        c->fusedCalc();
+        max_child_w = imax(max_child_w, c->w);
+        sum_child_h += c->h;
+    }
+    // finalize() inlined: one virtual dispatch per node, as generated.
+    wf = imax(w0, cs.empty() ? 0 : cs.front()->wf);
+    w = imax(wf, max_child_w);
+    h1 = sum_child_h;
+    h = imax(h0, sum_child_h) + fs;
+}
+
+void
+LeafV::fusedCalc()
+{
+    wf = w0;
+    w = wf;
+    h1 = 0;
+    h = h0 + fs;
+}
+
+namespace {
+
+/** Inherited writes for every child of @p b (parallel variant). */
+void
+setChildrenInherited(BoxV* b)
+{
+    int64_t off = 0;
+    for (BoxV* c : b->cs) {
+        c->fs = imax(b->fs, b->fs1);
+        c->ax = b->ax + 1 + off;
+        off += c->w0;
+        c->ay = b->ay + 1;
+    }
+}
+
+/** Top-down phase of the parallel variant: seed inherited attributes
+ *  down to the spawn frontier and collect frontier subtree roots. */
+void
+topDown(BoxV* b, int depth, int spawn, std::vector<BoxV*>& frontier)
+{
+    setChildrenInherited(b);
+    for (BoxV* c : b->cs) {
+        if (depth + 1 >= spawn) {
+            frontier.push_back(c);
+        } else {
+            topDown(c, depth + 1, spawn, frontier);
+        }
+    }
+}
+
+/** Bottom-up accumulation over the sequential top region. */
+void
+accumulateTop(BoxV* b, int depth, int spawn)
+{
+    if (depth + 1 < spawn) {
+        for (BoxV* c : b->cs)
+            accumulateTop(c, depth + 1, spawn);
+    }
+    int64_t max_child_w = 0;
+    int64_t sum_child_h = 0;
+    for (BoxV* c : b->cs) {
+        max_child_w = imax(max_child_w, c->w);
+        sum_child_h += c->h;
+    }
+    b->finalize(max_child_w, sum_child_h);
+}
+
+/**
+ * Iterative generator of the logical tree shape shared by both
+ * layouts: grow by attaching nodes to random open positions until the
+ * budget is spent (a branching process would die out on unlucky
+ * draws). Returns parent indices; index 0 is the root.
+ */
+struct ShapeSpec {
+    std::vector<uint32_t> parent; // parent[0] unused
+    std::vector<int64_t> w0, h0, fs1;
+    std::vector<bool> leaf;
+};
+
+ShapeSpec
+makeShape(size_t target, uint64_t seed)
+{
+    ShapeSpec shape;
+    Rng rng(seed);
+    target = std::max<size_t>(target, 1);
+    shape.parent.assign(1, 0);
+    std::vector<uint32_t> child_count(1, 0);
+    std::vector<std::pair<uint32_t, int>> open{{0, 0}};
+    auto add_inputs = [&]() {
+        shape.w0.push_back(rng.range(1, 50));
+        shape.h0.push_back(rng.range(1, 40));
+        shape.fs1.push_back(rng.range(0, 4));
+    };
+    add_inputs();
+    while (shape.parent.size() < target && !open.empty()) {
+        size_t pick = rng.below(open.size());
+        auto [parent, depth] = open[pick];
+        uint32_t child = static_cast<uint32_t>(shape.parent.size());
+        shape.parent.push_back(parent);
+        child_count.push_back(0);
+        add_inputs();
+        ++child_count[parent];
+        if (depth + 1 < 40)
+            open.emplace_back(child, depth + 1);
+        // Close a position once it holds enough children so the tree
+        // stays bushy rather than star-shaped.
+        if (child_count[parent] >= 2 + rng.below(5)) {
+            open[pick] = open.back();
+            open.pop_back();
+        }
+    }
+    shape.leaf.resize(shape.parent.size(), true);
+    for (size_t i = 1; i < shape.parent.size(); ++i)
+        shape.leaf[shape.parent[i]] = false;
+    return shape;
+}
+
+uint64_t
+mix(uint64_t h, int64_t v)
+{
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
+}
+
+uint64_t
+checksumL(const BoxL* b, uint64_t h)
+{
+    if (b == nullptr)
+        return h;
+    h = mix(h, b->wf);
+    h = mix(h, b->w);
+    h = mix(h, b->h);
+    h = mix(h, b->fs);
+    h = mix(h, b->ax);
+    h = mix(h, b->ay);
+    h = checksumL(b->fc, h);
+    return checksumL(b->nx, h);
+}
+
+uint64_t
+checksumV(const BoxV* b, uint64_t h)
+{
+    h = mix(h, b->wf);
+    h = mix(h, b->w);
+    h = mix(h, b->h);
+    h = mix(h, b->fs);
+    h = mix(h, b->ax);
+    h = mix(h, b->ay);
+    for (const BoxV* c : b->cs)
+        h = checksumV(c, h);
+    return h;
+}
+
+} // namespace
+
+DocumentV
+buildDocumentV(size_t targetNodes, uint64_t seed)
+{
+    ShapeSpec shape = makeShape(targetNodes, seed);
+    size_t n = shape.parent.size();
+
+    // Children lists in index order (stable across layouts).
+    std::vector<std::vector<uint32_t>> kids(n);
+    for (uint32_t i = 1; i < n; ++i)
+        kids[shape.parent[i]].push_back(i);
+
+    DocumentV doc;
+    doc.arena.reserve(n);
+    // Allocate in DFS order for parent/child memory adjacency.
+    std::vector<BoxV*> by_index(n, nullptr);
+    std::vector<uint32_t> stack{0};
+    std::vector<uint32_t> dfs_order;
+    dfs_order.reserve(n);
+    while (!stack.empty()) {
+        uint32_t i = stack.back();
+        stack.pop_back();
+        dfs_order.push_back(i);
+        for (auto it = kids[i].rbegin(); it != kids[i].rend(); ++it)
+            stack.push_back(*it);
+    }
+    for (uint32_t i : dfs_order) {
+        if (shape.leaf[i]) {
+            doc.arena.push_back(std::make_unique<LeafV>());
+        } else {
+            doc.arena.push_back(std::make_unique<InnerV>());
+        }
+        BoxV* node = doc.arena.back().get();
+        node->w0 = shape.w0[i];
+        node->h0 = shape.h0[i];
+        node->fs1 = shape.fs1[i];
+        by_index[i] = node;
+    }
+    // Fill children arrays in DFS order so their heap buffers land
+    // adjacent to the nodes that iterate them.
+    for (uint32_t i : dfs_order) {
+        by_index[i]->cs.reserve(kids[i].size());
+        for (uint32_t child : kids[i])
+            by_index[i]->cs.push_back(by_index[child]);
+    }
+    doc.root = by_index[0];
+    return doc;
+}
+
+DocumentL
+buildDocumentL(size_t targetNodes, uint64_t seed)
+{
+    ShapeSpec shape = makeShape(targetNodes, seed);
+    size_t n = shape.parent.size();
+    std::vector<std::vector<uint32_t>> kids(n);
+    for (uint32_t i = 1; i < n; ++i)
+        kids[shape.parent[i]].push_back(i);
+
+    DocumentL doc;
+    doc.arena.reserve(n);
+    std::vector<BoxL*> by_index(n, nullptr);
+    std::vector<uint32_t> stack{0};
+    while (!stack.empty()) {
+        uint32_t i = stack.back();
+        stack.pop_back();
+        if (shape.leaf[i]) {
+            doc.arena.push_back(std::make_unique<LeafL>());
+        } else {
+            doc.arena.push_back(std::make_unique<InnerL>());
+        }
+        BoxL* node = doc.arena.back().get();
+        node->w0 = shape.w0[i];
+        node->h0 = shape.h0[i];
+        node->fs1 = shape.fs1[i];
+        by_index[i] = node;
+        for (auto it = kids[i].rbegin(); it != kids[i].rend(); ++it)
+            stack.push_back(*it);
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        BoxL* prev = nullptr;
+        for (uint32_t child : kids[i]) {
+            if (prev == nullptr) {
+                by_index[i]->fc = by_index[child];
+            } else {
+                prev->nx = by_index[child];
+            }
+            prev = by_index[child];
+        }
+    }
+    doc.root = by_index[0];
+    return doc;
+}
+
+void
+clearOutputs(DocumentL& doc)
+{
+    for (auto& node : doc.arena) {
+        node->wf = node->w = node->w1 = node->h = node->h1 = 0;
+        node->fs = node->ax = node->ay = 0;
+    }
+}
+
+void
+clearOutputs(DocumentV& doc)
+{
+    for (auto& node : doc.arena) {
+        node->wf = node->w = node->h = node->h1 = 0;
+        node->fs = node->ax = node->ay = 0;
+    }
+}
+
+void
+runUnfused(DocumentL& doc)
+{
+    doc.root->fs = doc.rootFs; // Document seeds the inherited attributes
+    doc.root->ax = 0;
+    doc.root->ay = 0;
+    doc.root->passFlexWidths();
+    doc.root->passRelWidths();
+    doc.root->passFonts();
+    doc.root->passHeights();
+    doc.root->passPositions();
+}
+
+void
+runFusedL(DocumentL& doc)
+{
+    doc.root->fs = doc.rootFs;
+    doc.root->ax = 0;
+    doc.root->ay = 0;
+    doc.root->fusedCalc();
+}
+
+void
+runFusedV(DocumentV& doc)
+{
+    doc.root->fs = doc.rootFs;
+    doc.root->ax = 0;
+    doc.root->ay = 0;
+    doc.root->fusedCalc();
+}
+
+void
+runParallelV(DocumentV& doc, ThreadPool& pool, int spawnDepth)
+{
+    doc.root->fs = doc.rootFs;
+    doc.root->ax = 0;
+    doc.root->ay = 0;
+    std::vector<BoxV*> frontier;
+    topDown(doc.root, 0, std::max(spawnDepth, 1), frontier);
+    for (BoxV* subtree : frontier)
+        pool.submit([subtree] { subtree->fusedCalc(); });
+    pool.waitAll();
+    accumulateTop(doc.root, 0, std::max(spawnDepth, 1));
+}
+
+uint64_t
+checksum(const DocumentL& doc)
+{
+    return checksumL(doc.root, 0);
+}
+
+uint64_t
+checksum(const DocumentV& doc)
+{
+    return checksumV(doc.root, 0);
+}
+
+} // namespace hecate::workloads::render

@@ -1,0 +1,143 @@
+#pragma once
+
+/**
+ * @file
+ * The RenderTree performance workload of §6.2 / Fig. 11: compiled C++
+ * node classes written exactly the way codegen/ emits them — abstract
+ * base per interface, virtual traversal methods, subclasses per
+ * grammar class — in four variants:
+ *
+ *  - unfused linked-list: five separate traversals (flex widths,
+ *    relative widths, fonts, heights, positions) — the baseline all
+ *    Fig. 11 curves are normalized against;
+ *  - Grafter/HecateL fused linked-list: one traversal (Grafter's
+ *    output and Hecate's linked-list schedule coincide, §6.2);
+ *  - HecateV fused vector: children in std::vector, fold
+ *    accumulation fused into the child loop (Fig. 14(b));
+ *  - HecateP "de-fused" parallel vector: parallel child visits, then a
+ *    sequential accumulation loop (Fig. 14(c)), run on a thread pool.
+ *
+ * Builders produce the same logical document tree in both layouts so
+ * variants can be checked for value agreement; checksum() defeats
+ * dead-code elimination in benchmarks.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hecate::workloads::render {
+
+/** Linked-list (first-child / next-sibling) box: the Fig. 1 shape. */
+struct BoxL {
+    // inputs
+    int64_t w0 = 0, h0 = 0, fs1 = 0;
+    // outputs
+    int64_t wf = 0, w = 0, w1 = 0, h = 0, h1 = 0, fs = 0, ax = 0, ay = 0;
+    BoxL* nx = nullptr;
+    BoxL* fc = nullptr;
+
+    virtual ~BoxL() = default;
+    virtual void passFlexWidths() = 0;
+    virtual void passRelWidths() = 0;
+    virtual void passFonts() = 0;
+    virtual void passHeights() = 0;
+    virtual void passPositions() = 0;
+    virtual void fusedCalc() = 0;
+};
+
+/** Container box (Horiz-style rules). */
+struct InnerL final : BoxL {
+    void passFlexWidths() override;
+    void passRelWidths() override;
+    void passFonts() override;
+    void passHeights() override;
+    void passPositions() override;
+    void fusedCalc() override;
+};
+
+/** Leaf box (Text-style rules). */
+struct LeafL final : BoxL {
+    void passFlexWidths() override;
+    void passRelWidths() override;
+    void passFonts() override;
+    void passHeights() override;
+    void passPositions() override;
+    void fusedCalc() override;
+};
+
+/** Vector-layout box. */
+struct BoxV {
+    int64_t w0 = 0, h0 = 0, fs1 = 0;
+    int64_t wf = 0, w = 0, h = 0, h1 = 0, fs = 0, ax = 0, ay = 0;
+    std::vector<BoxV*> cs;
+
+    virtual ~BoxV() = default;
+    /** Fully fused visit (Fig. 14(b)). */
+    virtual void fusedCalc() = 0;
+    /** Synthesized attributes from pre-accumulated child folds. */
+    virtual void finalize(int64_t maxChildW, int64_t sumChildH) = 0;
+};
+
+struct InnerV final : BoxV {
+    void fusedCalc() override;
+    void finalize(int64_t maxChildW, int64_t sumChildH) override;
+};
+
+struct LeafV final : BoxV {
+    void fusedCalc() override;
+    void finalize(int64_t maxChildW, int64_t sumChildH) override;
+};
+
+/** A linked-list document; owns its nodes. */
+struct DocumentL {
+    std::vector<std::unique_ptr<BoxL>> arena;
+    BoxL* root = nullptr;
+    int64_t rootFs = 12;
+
+    size_t size() const { return arena.size(); }
+};
+
+/** A vector-layout document; owns its nodes. */
+struct DocumentV {
+    std::vector<std::unique_ptr<BoxV>> arena;
+    BoxV* root = nullptr;
+    int64_t rootFs = 12;
+
+    size_t size() const { return arena.size(); }
+};
+
+/**
+ * Build a random document of roughly @p targetNodes boxes (same
+ * construction seed => same logical tree in both layouts).
+ */
+DocumentL buildDocumentL(size_t targetNodes, uint64_t seed);
+DocumentV buildDocumentV(size_t targetNodes, uint64_t seed);
+
+/** Reset all output fields (between benchmark iterations). */
+void clearOutputs(DocumentL& doc);
+void clearOutputs(DocumentV& doc);
+
+/** Unfused baseline: five separate linked-list traversals. */
+void runUnfused(DocumentL& doc);
+
+/** Grafter / HecateL: single fused linked-list traversal. */
+void runFusedL(DocumentL& doc);
+
+/** HecateV: single fused vector traversal. */
+void runFusedV(DocumentV& doc);
+
+/**
+ * HecateP: Fig. 14(c) de-fused vector traversal; subtrees below
+ * @p spawnDepth levels are submitted to @p pool.
+ */
+void runParallelV(DocumentV& doc, ThreadPool& pool, int spawnDepth = 2);
+
+/** Order-independent checksum over all outputs. */
+uint64_t checksum(const DocumentL& doc);
+uint64_t checksum(const DocumentV& doc);
+
+} // namespace hecate::workloads::render

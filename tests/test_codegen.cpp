@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the C++ code generator: structural checks on the emitted
+ * source, plus an end-to-end check that the generated code compiles
+ * with the host toolchain and computes the same values as the
+ * interpreter on the paper's Fig. 2 tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/cpp_emitter.hpp"
+#include "exec/interp.hpp"
+#include "synth/cegis.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+using testutil::renderGrammar;
+using testutil::renderSkeleton;
+using testutil::vectorRenderGrammar;
+
+sched::Schedule
+synthesizeRenderSchedule(const sched::Skeleton& skeleton)
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    EXPECT_TRUE(result.schedule.has_value());
+    return *result.schedule;
+}
+
+TEST(Codegen, EmitsExpectedStructure)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    sched::Schedule schedule = synthesizeRenderSchedule(skeleton);
+
+    std::string code = codegen::emitCpp(skeleton, schedule);
+    EXPECT_NE(code.find("struct Box"), std::string::npos);
+    EXPECT_NE(code.find("struct Inner : Box"), std::string::npos);
+    EXPECT_NE(code.find("struct Leaf : Box"), std::string::npos);
+    EXPECT_NE(code.find("virtual void fusedCalc() = 0;"),
+              std::string::npos);
+    EXPECT_NE(code.find("fc->fusedCalc();"), std::string::npos);
+    // Null-guarded optional child reads.
+    EXPECT_NE(code.find("fc != nullptr ? fc->"), std::string::npos);
+}
+
+TEST(Codegen, RejectsIncompleteSchedules)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    sched::Schedule empty;
+    empty.bySlot.assign(skeleton.slotCount(), std::nullopt);
+    EXPECT_THROW(codegen::emitCpp(skeleton, empty), UserError);
+}
+
+TEST(Codegen, VectorGrammarEmitsFusedLoop)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorSymbolicSrc));
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+
+    std::string code = codegen::emitCpp(skeleton, *result.schedule);
+    EXPECT_NE(code.find("std::vector<Box*> cs;"), std::string::npos);
+    // Fused accumulation loop (Fig. 14(b) shape).
+    EXPECT_NE(code.find("for (auto* hc_it : cs) {"), std::string::npos);
+    EXPECT_NE(code.find("int64_t acc_"), std::string::npos);
+}
+
+TEST(Codegen, ParallelSkeletonEmitsAnnotatedLoop)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+
+    std::string code = codegen::emitCpp(skeleton, *result.schedule);
+    // The paper's Fig. 14(c) "de-fused" shape: a `// parallel` loop of
+    // child visits followed by a sequential accumulation loop.
+    EXPECT_NE(code.find("// parallel"), std::string::npos);
+}
+
+/**
+ * Compile the generated code with the host compiler and run it on the
+ * Fig. 2 tree; its outputs must equal the interpreter's.
+ */
+TEST(Codegen, GeneratedCodeCompilesAndMatchesInterpreter)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    sched::Schedule schedule = synthesizeRenderSchedule(skeleton);
+    std::string generated = codegen::emitCpp(skeleton, schedule);
+
+    // Interpreter ground truth on the Fig. 2 tree with fixed inputs.
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::ClassId leaf = grammar.findClass("Leaf");
+    tree::Tree t(grammar);
+    tree::NodeId n0 = t.addNode(inner);
+    tree::NodeId n1 = t.addNode(inner);
+    tree::NodeId n2 = t.addNode(leaf);
+    tree::NodeId n3 = t.addNode(leaf);
+    tree::NodeId n4 = t.addNode(leaf);
+    t.setScalar(n0, grammar.cls(inner).childByName.at("fc"), n1);
+    t.setScalar(n1, grammar.cls(inner).childByName.at("nx"), n2);
+    t.setScalar(n1, grammar.cls(inner).childByName.at("fc"), n3);
+    t.setScalar(n3, grammar.cls(leaf).childByName.at("nx"), n4);
+    t.setRoot(n0);
+    const sem::InterfaceInfo& box = grammar.iface(0);
+    sem::AttrId w0 = box.attrByName.at("w0");
+    sem::AttrId h0 = box.attrByName.at("h0");
+    for (tree::NodeId n : {n0, n1, n2, n3, n4}) {
+        t.setInput(n, w0, 10 + static_cast<int64_t>(n));
+        t.setInput(n, h0, 20 + static_cast<int64_t>(n));
+    }
+    exec::ExecStats stats;
+    exec::execute(skeleton, schedule, t, &stats);
+    int64_t expected_w = t.value(n0, box.attrByName.at("w"));
+    int64_t expected_h1 = t.value(n0, box.attrByName.at("h1"));
+
+    // Driver translation unit around the generated header.
+    std::string dir = ::testing::TempDir();
+    std::string header_path = dir + "/hecate_gen.hpp";
+    std::string main_path = dir + "/hecate_gen_main.cpp";
+    std::string bin_path = dir + "/hecate_gen_bin";
+    {
+        std::ofstream header(header_path);
+        header << generated;
+    }
+    {
+        std::ofstream main_cc(main_path);
+        main_cc << R"(#include <cstdio>
+#include ")" << header_path << R"("
+using namespace hecate_gen;
+int main() {
+    Inner n0, n1;
+    Leaf n2, n3, n4;
+    n0.fc = &n1;
+    n1.nx = &n2; n1.fc = &n3;
+    n3.nx = &n4;
+    Box* nodes[] = {&n0, &n1, &n2, &n3, &n4};
+    for (int i = 0; i < 5; ++i) {
+        nodes[i]->w0 = 10 + i;
+        nodes[i]->h0 = 20 + i;
+    }
+    n0.fusedCalc();
+    std::printf("%lld %lld\n", (long long)n0.w, (long long)n0.h1);
+    return 0;
+}
+)";
+    }
+
+    std::string compile = "g++ -std=c++20 -O1 -o " + bin_path + " " +
+                          main_path + " 2>" + dir + "/compile_err.txt";
+    if (std::system(compile.c_str()) != 0) {
+        std::ifstream err(dir + "/compile_err.txt");
+        std::string text((std::istreambuf_iterator<char>(err)),
+                         std::istreambuf_iterator<char>());
+        FAIL() << "generated code failed to compile:\n" << text
+               << "\n--- generated ---\n" << generated;
+    }
+
+    FILE* pipe = popen(bin_path.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    long long got_w = 0, got_h1 = 0;
+    ASSERT_EQ(fscanf(pipe, "%lld %lld", &got_w, &got_h1), 2);
+    pclose(pipe);
+
+    EXPECT_EQ(got_w, expected_w);
+    EXPECT_EQ(got_h1, expected_h1);
+}
+
+} // namespace
+} // namespace hecate

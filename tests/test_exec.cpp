@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the value interpreter and the work/span cost model.
+ *
+ * The central property: executing any verified schedule over any tree
+ * produces exactly the values of demand-driven reference evaluation —
+ * for sequential, vector/iterate, parallel, and inherited-attribute
+ * grammars alike.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/cost_model.hpp"
+#include "exec/interp.hpp"
+#include "grammars/grammars.hpp"
+#include "synth/autotuner.hpp"
+#include "synth/cegis.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+using testutil::renderGrammar;
+using testutil::renderSkeleton;
+using testutil::vectorRenderGrammar;
+
+/** Collect all output values of a tree into a flat vector. */
+std::vector<int64_t>
+outputsOf(const tree::Tree& t)
+{
+    std::vector<int64_t> out;
+    const sem::Grammar& grammar = t.grammar();
+    for (const tree::Node& node : t.nodes()) {
+        const sem::InterfaceInfo& iface =
+            grammar.iface(grammar.cls(node.cls).iface);
+        for (sem::AttrId a = 0; a < node.values.size(); ++a) {
+            if (!iface.isInput(a))
+                out.push_back(node.values[a]);
+        }
+    }
+    return out;
+}
+
+/** Synthesize, then check execute == reference on sampled trees. */
+void
+expectExecutionMatchesReference(const sem::Grammar& grammar,
+                                const sched::Skeleton& skeleton,
+                                const sched::Schedule& schedule,
+                                sem::InterfaceId rootIface, uint64_t seed)
+{
+    Rng rng(seed);
+    tree::SampleConfig sample;
+    sample.maxDepth = 5;
+    for (int round = 0; round < 10; ++round) {
+        tree::Tree executed = tree::sampleTree(grammar, rootIface, sample,
+                                               rng);
+        // Reference needs identical inputs: copy before evaluation.
+        tree::Tree reference = executed;
+
+        exec::execute(skeleton, schedule, executed);
+        exec::computeReference(reference);
+        EXPECT_EQ(outputsOf(executed), outputsOf(reference))
+            << "divergence on " << executed.shapeString();
+    }
+}
+
+class ExecSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecSeeds, RenderExampleMatchesReference)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+    expectExecutionMatchesReference(grammar, skeleton, *result.schedule, 0,
+                                    GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecSeeds,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(Exec, VectorIterateMatchesReference)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorSymbolicSrc));
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+    expectExecutionMatchesReference(grammar, skeleton, *result.schedule, 0,
+                                    7);
+}
+
+TEST(Exec, ParallelExecutionMatchesSequential)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+
+    Rng rng(11);
+    tree::SampleConfig sample;
+    sample.maxDepth = 5;
+    sample.maxCollection = 4;
+    ThreadPool pool(4);
+    for (int round = 0; round < 5; ++round) {
+        tree::Tree seq_tree = tree::sampleTree(grammar, 0, sample, rng);
+        tree::Tree par_tree = seq_tree;
+        exec::ExecStats seq_stats, par_stats;
+        exec::execute(skeleton, *result.schedule, seq_tree, &seq_stats);
+        exec::executeParallel(skeleton, *result.schedule, par_tree, pool,
+                              &par_stats);
+        EXPECT_EQ(outputsOf(seq_tree), outputsOf(par_tree));
+        EXPECT_EQ(seq_stats.nodeVisits, par_stats.nodeVisits);
+        EXPECT_EQ(seq_stats.rulesEvaluated, par_stats.rulesEvaluated);
+    }
+}
+
+TEST(Exec, InheritedAttributesMatchReference)
+{
+    // RenderTree benchmark: inherited fonts/positions + synthesized
+    // widths/heights, synthesized by the auto-tuner.
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 96;
+    synth::AutotuneResult result = synth::autotune(
+        grammar, grammars::rootInterface(grammar, grammars::renderTree()),
+        config);
+    ASSERT_TRUE(result.schedule.has_value())
+        << result.lastSynthesis.failure;
+
+    expectExecutionMatchesReference(
+        grammar, *result.skeleton, *result.schedule,
+        grammar.findInterface("Doc"), 23);
+}
+
+TEST(Exec, ReferenceDetectsCycles)
+{
+    const char* src = R"(
+interface I { input a : int; output b, c : int; }
+class C : I { rules { self.b := self.c; self.c := self.b + self.a; } }
+)";
+    sem::Grammar grammar =
+        sem::Grammar::analyze(lang::parseGrammar(src));
+    tree::Tree t(grammar);
+    t.setRoot(t.addNode(0));
+    t.validate();
+    EXPECT_THROW(exec::computeReference(t), UserError);
+}
+
+TEST(Exec, StatsCountVisitsAndRules)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+
+    Rng rng(5);
+    tree::SampleConfig sample;
+    sample.maxDepth = 4;
+    tree::Tree t = tree::sampleTree(grammar, 0, sample, rng);
+    exec::ExecStats stats;
+    exec::execute(skeleton, *result.schedule, t, &stats);
+    EXPECT_EQ(stats.nodeVisits, t.size());
+    EXPECT_EQ(stats.rulesEvaluated, t.size() * 4); // 4 rules per class
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, SequentialSpanEqualsWork)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorSymbolicSrc));
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+
+    Rng rng(3);
+    tree::SampleConfig sample;
+    sample.maxDepth = 5;
+    sample.maxCollection = 3;
+    tree::Tree t = tree::sampleTree(grammar, 0, sample, rng);
+    exec::CostReport report =
+        exec::analyzeCost(skeleton, *result.schedule, t);
+    EXPECT_DOUBLE_EQ(report.work, report.span);
+    EXPECT_DOUBLE_EQ(report.speedup(8), 1.0);
+}
+
+TEST(CostModel, ParallelVariantHasShorterSpan)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton seq_skel = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorSymbolicSrc));
+    sched::Skeleton par_skel = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    auto seq = synth::synthesize(seq_skel, 0, {}, config);
+    auto par = synth::synthesize(par_skel, 0, {}, config);
+    ASSERT_TRUE(seq.schedule.has_value());
+    ASSERT_TRUE(par.schedule.has_value());
+
+    // Wide bushy tree: parallelism must shorten the critical path.
+    Rng rng(9);
+    tree::SampleConfig sample;
+    sample.maxDepth = 6;
+    sample.maxCollection = 4;
+    tree::Tree t = tree::sampleTree(grammar, 0, sample, rng);
+    if (t.size() < 20)
+        t = tree::sampleTree(grammar, 0, sample, rng);
+
+    exec::CostReport seq_report =
+        exec::analyzeCost(seq_skel, *seq.schedule, t);
+    exec::CostReport par_report =
+        exec::analyzeCost(par_skel, *par.schedule, t);
+
+    EXPECT_LT(par_report.span, par_report.work);
+    EXPECT_GT(par_report.speedup(8), 1.0);
+    // Parallel variant pays fork overhead: more work, less span.
+    EXPECT_GE(par_report.work, seq_report.work);
+}
+
+} // namespace
+} // namespace hecate

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the benchmark grammars: the paper's exact rule counts
+ * (Table 2 / Fig. 15), well-formedness under semantic analysis, and
+ * end-to-end synthesizability of the smaller benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/grafter.hpp"
+#include "lang/parser.hpp"
+#include "grammars/grammars.hpp"
+#include "synth/autotuner.hpp"
+
+namespace hecate {
+namespace {
+
+using grammars::Benchmark;
+
+class GrammarRuleCounts
+    : public ::testing::TestWithParam<const Benchmark*> {};
+
+TEST_P(GrammarRuleCounts, MatchesPaperRuleCount)
+{
+    const Benchmark& bench = *GetParam();
+    sem::Grammar grammar = grammars::load(bench);
+    EXPECT_EQ(grammar.ruleCount(), bench.expectedRules)
+        << bench.name << " rule count drifted from the paper's table";
+    EXPECT_NE(grammars::rootInterface(grammar, bench), sem::kInvalidId);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GrammarRuleCounts,
+    ::testing::Values(&grammars::binaryTree(), &grammars::fmm(),
+                      &grammars::piecewise(), &grammars::astBench(),
+                      &grammars::renderTree(), &grammars::cssFloat(),
+                      &grammars::cssMargin(), &grammars::cssFull()),
+    [](const ::testing::TestParamInfo<const Benchmark*>& info) {
+        std::string name = info.param->name;
+        for (char& c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Grammars, BinaryTreeHasTwoPasses)
+{
+    sem::Grammar grammar = grammars::load(grammars::binaryTree());
+    auto passes = grammar.passNames();
+    ASSERT_EQ(passes.size(), 2u);
+    EXPECT_EQ(passes[0], "aggregate");
+    EXPECT_EQ(passes[1], "analyze");
+}
+
+TEST(Grammars, RenderTreeHasFivePassesInOrder)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    auto passes = grammar.passNames();
+    ASSERT_EQ(passes.size(), 5u);
+    EXPECT_EQ(passes[0], "flexWidths");
+    EXPECT_EQ(passes[1], "relWidths");
+    EXPECT_EQ(passes[2], "fonts");
+    EXPECT_EQ(passes[3], "heights");
+    EXPECT_EQ(passes[4], "positions");
+}
+
+TEST(Grammars, RenderTreeHasInheritedAttributes)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    sem::InterfaceId box = grammar.findInterface("Box");
+    ASSERT_NE(box, sem::kInvalidId);
+    const sem::InterfaceInfo& iface = grammar.iface(box);
+    EXPECT_TRUE(iface.isInherited(iface.attrByName.at("fs")));
+    EXPECT_TRUE(iface.isInherited(iface.attrByName.at("ax")));
+    EXPECT_FALSE(iface.isInherited(iface.attrByName.at("w")));
+}
+
+TEST(Grammars, AstHasSixPasses)
+{
+    sem::Grammar grammar = grammars::load(grammars::astBench());
+    EXPECT_EQ(grammar.passNames().size(), 6u);
+    EXPECT_EQ(grammar.classes().size(), 13u); // 12 node classes + Program
+}
+
+/** The small Grafter benchmarks synthesize end-to-end via HecateA. */
+class SmallBenchmarkSynthesis
+    : public ::testing::TestWithParam<const Benchmark*> {};
+
+TEST_P(SmallBenchmarkSynthesis, AutotunerFindsSchedule)
+{
+    const Benchmark& bench = *GetParam();
+    sem::Grammar grammar = grammars::load(bench);
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 128;
+    synth::AutotuneResult result =
+        synth::autotune(grammar, grammars::rootInterface(grammar, bench),
+                        config);
+    ASSERT_TRUE(result.schedule.has_value())
+        << bench.name << ": " << result.lastSynthesis.failure;
+    EXPECT_TRUE(result.schedule->coversAllRules(*result.skeleton));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GrafterSmall, SmallBenchmarkSynthesis,
+    ::testing::Values(&grammars::binaryTree(), &grammars::fmm(),
+                      &grammars::piecewise()),
+    [](const ::testing::TestParamInfo<const Benchmark*>& info) {
+        return info.param->name;
+    });
+
+TEST(Grammars, GrafterFusesBinaryTreeFully)
+{
+    sem::Grammar grammar = grammars::load(grammars::binaryTree());
+    tree::EnumConfig config;
+    config.maxDepth = 3;
+    config.limit = 64;
+    baselines::GrafterResult result = baselines::grafterSchedule(
+        grammar, grammar.findInterface("BT"), config);
+    ASSERT_TRUE(result.ok) << result.error;
+    // Both passes fuse into a single traversal.
+    EXPECT_EQ(result.traversals.size(), 1u);
+    ASSERT_EQ(result.fusedPasses.size(), 1u);
+    EXPECT_EQ(result.fusedPasses[0].size(), 2u);
+}
+
+TEST(Grammars, GrafterFusesRenderTreeFully)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    tree::EnumConfig config;
+    config.maxDepth = 3;
+    config.limit = 64;
+    baselines::GrafterResult result = baselines::grafterSchedule(
+        grammar, grammar.findInterface("Doc"), config);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.traversals.size(), 1u);
+    EXPECT_EQ(result.fusedPasses[0].size(), 5u);
+}
+
+TEST(Grammars, GrafterRejectsVectorGrammars)
+{
+    const char* src = R"(
+interface I { input a : int; output b : int; }
+class C : I { children { cs : [I]; } rules { self.b := fold(add, self.a, cs.b); } }
+)";
+    sem::Grammar grammar =
+        sem::Grammar::analyze(lang::parseGrammar(src));
+    baselines::GrafterResult result =
+        baselines::grafterSchedule(grammar, 0, {});
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("vector"), std::string::npos);
+}
+
+} // namespace
+} // namespace hecate

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the L_a / L_t front end: lexer, parsers, printers,
+ * and the running example of the paper (Figs. 3 and 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace hecate {
+namespace {
+
+using lang::lex;
+using lang::parseGrammar;
+using lang::parseTraversal;
+
+/** The paper's Fig. 3 grammar, verbatim modulo surface syntax. */
+const char* kRenderGrammar = R"(
+interface Box {
+    input w0, h0 : int;
+    output w1, w, h1, h : int;
+}
+class Inner : Box {
+    children {
+        nx : Optional[Box];
+        fc : Optional[Box];
+    }
+    rules {
+        self.w  := max(self.w0, fc.w1);
+        self.w1 := max(self.w, nx.w1);
+        self.h  := max(self.h0, fc.h1);
+        self.h1 := self.h + nx.h1;
+    }
+}
+class Leaf : Box {
+    children {
+        nx : Optional[Box];
+    }
+    rules {
+        self.w  := self.w0;
+        self.w1 := max(self.w, nx.w1);
+        self.h  := self.h0;
+        self.h1 := self.h + nx.h1;
+    }
+}
+)";
+
+/** The paper's Fig. 4(a) symbolic traversal. */
+const char* kSymbolicLayout = R"(
+traversal layout {
+    case Inner {
+        recur fc;
+        recur nx;
+        ??; ??; ??; ??;
+    }
+    case Leaf {
+        recur nx;
+        ??; ??; ??; ??;
+    }
+}
+)";
+
+TEST(Lexer, TokenizesPunctuationAndIdents)
+{
+    auto toks = lex("self.w := max(self.w0, fc.w1);");
+    ASSERT_EQ(toks.back().kind, lang::TokenKind::End);
+    EXPECT_EQ(toks[0].kind, lang::TokenKind::Ident);
+    EXPECT_EQ(toks[0].text, "self");
+    EXPECT_EQ(toks[1].kind, lang::TokenKind::Dot);
+    EXPECT_EQ(toks[3].kind, lang::TokenKind::Assign);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = lex("a\nb\n  c");
+    EXPECT_EQ(toks[0].loc.line, 1u);
+    EXPECT_EQ(toks[1].loc.line, 2u);
+    EXPECT_EQ(toks[2].loc.line, 3u);
+    EXPECT_EQ(toks[2].loc.column, 3u);
+}
+
+TEST(Lexer, SkipsLineAndBlockComments)
+{
+    auto toks = lex("a // comment\n/* block\nspanning */ b");
+    ASSERT_EQ(toks.size(), 3u); // a, b, End
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, RejectsStrayCharacters)
+{
+    EXPECT_THROW(lex("a @ b"), UserError);
+    EXPECT_THROW(lex("a = b"), UserError);
+    EXPECT_THROW(lex("/* unterminated"), UserError);
+}
+
+TEST(Lexer, LexesIntegers)
+{
+    auto toks = lex("42 007");
+    EXPECT_EQ(toks[0].intValue, 42);
+    EXPECT_EQ(toks[1].intValue, 7);
+}
+
+TEST(GrammarParser, ParsesRenderTreeExample)
+{
+    ast::GrammarAst unit = parseGrammar(kRenderGrammar);
+    ASSERT_EQ(unit.interfaces.size(), 1u);
+    EXPECT_EQ(unit.interfaces[0].name, "Box");
+    ASSERT_EQ(unit.interfaces[0].attrs.size(), 6u);
+    EXPECT_TRUE(unit.interfaces[0].attrs[0].isInput);
+    EXPECT_FALSE(unit.interfaces[0].attrs[2].isInput);
+
+    ASSERT_EQ(unit.classes.size(), 2u);
+    const auto& inner = unit.classes[0];
+    EXPECT_EQ(inner.name, "Inner");
+    EXPECT_EQ(inner.interface, "Box");
+    ASSERT_EQ(inner.children.size(), 2u);
+    EXPECT_TRUE(inner.children[0].optional);
+    EXPECT_FALSE(inner.children[0].collection);
+    ASSERT_EQ(inner.rules.size(), 4u);
+    EXPECT_EQ(inner.rules[0].lhs.str(), "self.w");
+}
+
+TEST(GrammarParser, ParsesCollectionsAndFolds)
+{
+    const char* src = R"(
+interface Box { input w0 : int; output w : int; }
+class Inner : Box {
+    children { cs : [Box]; }
+    rules { self.w := fold(max, self.w0, cs.w); }
+}
+)";
+    ast::GrammarAst unit = parseGrammar(src);
+    ASSERT_EQ(unit.classes.size(), 1u);
+    EXPECT_TRUE(unit.classes[0].children[0].collection);
+    const auto& rule = unit.classes[0].rules[0];
+    EXPECT_EQ(rule.rhs->kind, ast::ExprKind::Fold);
+    EXPECT_EQ(rule.rhs->op, "max");
+    EXPECT_EQ(rule.rhs->select.str(), "cs.w");
+}
+
+TEST(GrammarParser, ParsesPassTags)
+{
+    const char* src = R"(
+interface I { input a : int; output b, c : int; }
+class C : I {
+    rules(first)  { self.b := self.a; }
+    rules(second) { self.c := self.b; }
+}
+)";
+    ast::GrammarAst unit = parseGrammar(src);
+    ASSERT_EQ(unit.classes[0].rules.size(), 2u);
+    EXPECT_EQ(unit.classes[0].rules[0].pass, "first");
+    EXPECT_EQ(unit.classes[0].rules[1].pass, "second");
+}
+
+TEST(GrammarParser, ParsesOperatorPrecedence)
+{
+    const char* src = R"(
+interface I { input a, b, c : int; output d : int; }
+class C : I { rules { self.d := self.a + self.b * self.c; } }
+)";
+    ast::GrammarAst unit = parseGrammar(src);
+    const auto& rhs = *unit.classes[0].rules[0].rhs;
+    ASSERT_EQ(rhs.kind, ast::ExprKind::Binary);
+    EXPECT_EQ(rhs.op, "+");
+    EXPECT_EQ(rhs.args[1]->op, "*");
+}
+
+TEST(GrammarParser, ParsesIfThenElseAndComparisons)
+{
+    const char* src = R"(
+interface I { input a, b : int; output d : int; }
+class C : I { rules { self.d := if self.a < self.b then self.a else self.b; } }
+)";
+    ast::GrammarAst unit = parseGrammar(src);
+    const auto& rhs = *unit.classes[0].rules[0].rhs;
+    ASSERT_EQ(rhs.kind, ast::ExprKind::If);
+    EXPECT_EQ(rhs.args[0]->op, "<");
+}
+
+TEST(GrammarParser, RejectsSyntaxErrors)
+{
+    EXPECT_THROW(parseGrammar("interface I {"), UserError);
+    EXPECT_THROW(parseGrammar("class C : I { junk }"), UserError);
+    EXPECT_THROW(parseGrammar(R"(
+interface I { input a : int; output b : int; }
+class C : I { rules { self.b := a; } }
+)"),
+                 UserError); // bare identifier read
+}
+
+TEST(TraversalParser, ParsesSymbolicLayout)
+{
+    ast::TraversalDecl trav = parseTraversal(kSymbolicLayout);
+    EXPECT_EQ(trav.name, "layout");
+    ASSERT_EQ(trav.cases.size(), 2u);
+    EXPECT_EQ(trav.cases[0].className, "Inner");
+    ASSERT_EQ(trav.cases[0].stmts.size(), 6u);
+    EXPECT_EQ(trav.cases[0].stmts[0]->kind, ast::TStmtKind::Recur);
+    EXPECT_EQ(trav.cases[0].stmts[0]->child, "fc");
+    EXPECT_EQ(trav.cases[0].stmts[2]->kind, ast::TStmtKind::Hole);
+}
+
+TEST(TraversalParser, ParsesConcreteEvalForm)
+{
+    const char* src = R"(
+traversal layout {
+    case Leaf { recur nx; eval self.w; eval w1; }
+}
+)";
+    ast::TraversalDecl trav = parseTraversal(src);
+    EXPECT_EQ(trav.cases[0].stmts[1]->kind, ast::TStmtKind::Eval);
+    EXPECT_EQ(trav.cases[0].stmts[1]->evalAttr, "w");
+    EXPECT_EQ(trav.cases[0].stmts[2]->evalAttr, "w1");
+}
+
+TEST(TraversalParser, ParsesIterateAndParallel)
+{
+    const char* src = R"(
+traversal layout {
+    case Inner {
+        parallel cs { recur cs; }
+        iterate cs { ??; ??; }
+        ??;
+    }
+}
+)";
+    ast::TraversalDecl trav = parseTraversal(src);
+    const auto& stmts = trav.cases[0].stmts;
+    ASSERT_EQ(stmts.size(), 3u);
+    EXPECT_EQ(stmts[0]->kind, ast::TStmtKind::Parallel);
+    EXPECT_EQ(stmts[0]->child, "cs");
+    EXPECT_EQ(stmts[1]->kind, ast::TStmtKind::Iterate);
+    ASSERT_EQ(stmts[1]->body.size(), 2u);
+    EXPECT_EQ(stmts[1]->body[0]->kind, ast::TStmtKind::Hole);
+}
+
+TEST(TraversalParser, ParsesStatementFormParallel)
+{
+    const char* src = R"(
+traversal t { case C { parallel { recur fc; recur nx; } } }
+)";
+    ast::TraversalDecl trav = parseTraversal(src);
+    const auto& par = *trav.cases[0].stmts[0];
+    EXPECT_EQ(par.kind, ast::TStmtKind::Parallel);
+    EXPECT_TRUE(par.child.empty());
+    ASSERT_EQ(par.body.size(), 2u);
+}
+
+TEST(Printer, GrammarRoundTrips)
+{
+    ast::GrammarAst unit = parseGrammar(kRenderGrammar);
+    std::string printed = lang::printGrammar(unit);
+    ast::GrammarAst reparsed = parseGrammar(printed);
+    EXPECT_EQ(lang::printGrammar(reparsed), printed);
+}
+
+TEST(Printer, TraversalRoundTrips)
+{
+    ast::TraversalDecl trav = parseTraversal(kSymbolicLayout);
+    std::string printed = lang::printTraversal(trav);
+    ast::TraversalDecl reparsed = parseTraversal(printed);
+    EXPECT_EQ(lang::printTraversal(reparsed), printed);
+}
+
+TEST(Printer, ExprPrintsWithExplicitParens)
+{
+    const char* src = R"(
+interface I { input a, b, c : int; output d : int; }
+class C : I { rules { self.d := self.a + self.b * self.c; } }
+)";
+    ast::GrammarAst unit = parseGrammar(src);
+    EXPECT_EQ(lang::printExpr(*unit.classes[0].rules[0].rhs),
+              "(self.a + (self.b * self.c))");
+}
+
+TEST(Ast, CloneIsDeep)
+{
+    ast::TraversalDecl trav = parseTraversal(kSymbolicLayout);
+    ast::TraversalDecl copy = trav.clone();
+    copy.cases[0].stmts.clear();
+    EXPECT_EQ(trav.cases[0].stmts.size(), 6u);
+}
+
+} // namespace
+} // namespace hecate

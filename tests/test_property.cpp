@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Cross-module property suites (parameterized):
+ *
+ *  - encoder agreement: on randomly generated grammars, the
+ *    domain-specific ILP encoding and the general-purpose SAT encoding
+ *    agree on feasibility, and any schedule either returns passes the
+ *    independent simulator;
+ *  - end-to-end soundness: for every benchmark grammar, the auto-tuned
+ *    schedule verifies and executes to exactly the demand-driven
+ *    reference values on random trees;
+ *  - happens-before is a strict partial order on sampled plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/interp.hpp"
+#include "grammars/grammars.hpp"
+#include "symbolic/sigma.hpp"
+#include "sched/visit_plan.hpp"
+#include "synth/autotuner.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+/**
+ * Generate a small random grammar: one interface with `outs` output
+ * attributes (some inherited), two classes with optional children, and
+ * random acyclic intra-node dependencies.
+ */
+std::string
+randomGrammarSource(uint64_t seed)
+{
+    Rng rng(seed);
+    int outs = 3 + static_cast<int>(rng.below(3));
+    bool inherited = rng.chance(0.5);
+
+    std::string src = "interface I {\n    input x0, y0 : int;\n    output ";
+    for (int i = 0; i < outs; ++i)
+        src += (i ? ", s" : "s") + std::to_string(i);
+    if (inherited)
+        src += ", inh";
+    src += " : int;\n}\ninterface R { input r0 : int; output total : int; }\n";
+
+    auto rules_for = [&](bool has_child) {
+        std::string out;
+        for (int i = 0; i < outs; ++i) {
+            out += "        self.s" + std::to_string(i) + " := self.x0";
+            if (has_child && rng.chance(0.7))
+                out += " + c.s" + std::to_string(rng.below(outs));
+            if (i > 0 && rng.chance(0.5))
+                out += " + self.s" + std::to_string(rng.below(i));
+            if (inherited && rng.chance(0.4))
+                out += " + self.inh";
+            out += ";\n";
+        }
+        if (inherited && has_child)
+            out += "        c.inh := self.inh + self.y0;\n";
+        return out;
+    };
+
+    src += "class A : I {\n    children { c : Optional[I]; }\n    rules {\n";
+    src += rules_for(true);
+    src += "    }\n}\n";
+    src += "class B : I {\n    rules {\n";
+    src += rules_for(false);
+    src += "    }\n}\n";
+    src += "class Root : R {\n    children { c : Optional[I]; }\n"
+           "    rules {\n        self.total := c.s0 + self.r0;\n";
+    if (inherited)
+        src += "        c.inh := self.r0;\n";
+    src += "    }\n}\n";
+    return src;
+}
+
+class RandomGrammarProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGrammarProperty, EncodersAgreeAndSchedulesAreSound)
+{
+    sem::Grammar grammar = sem::Grammar::analyze(
+        lang::parseGrammar(randomGrammarSource(GetParam())));
+    sem::InterfaceId root = grammar.findInterface("R");
+    ASSERT_NE(root, sem::kInvalidId);
+
+    // Same sandwich skeleton for both engines.
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar,
+        synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
+
+    // Shared example trees.
+    tree::EnumConfig seed_config;
+    seed_config.maxDepth = 3;
+    seed_config.limit = 4;
+    std::vector<tree::Tree> examples;
+    for (const tree::ShapePtr& shape :
+         tree::enumerateShapes(grammar, root, seed_config)) {
+        examples.push_back(tree::instantiate(grammar, *shape));
+    }
+    std::vector<const tree::Tree*> views;
+    for (const tree::Tree& example : examples)
+        views.push_back(&example);
+
+    auto ilp = symbolic::synthesizeIlp(skeleton, views);
+    auto gp = symbolic::synthesizeGeneral(skeleton, views);
+    EXPECT_EQ(ilp.has_value(), gp.has_value())
+        << "encoders disagree on feasibility";
+
+    for (const auto& schedule : {ilp, gp}) {
+        if (!schedule.has_value())
+            continue;
+        // Any model must satisfy the independent simulator on the
+        // very trees it was synthesized from.
+        for (const tree::Tree& example : examples) {
+            auto failure =
+                synth::checkScheduleOn(skeleton, *schedule, example);
+            EXPECT_FALSE(failure.has_value()) << *failure;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGrammarProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+class BenchmarkSoundness
+    : public ::testing::TestWithParam<const grammars::Benchmark*> {};
+
+TEST_P(BenchmarkSoundness, AutotunedScheduleMatchesReference)
+{
+    const grammars::Benchmark& bench = *GetParam();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 48;
+    synth::AutotuneResult tuned = synth::autotune(grammar, root, config);
+    ASSERT_TRUE(tuned.schedule.has_value())
+        << bench.name << ": " << tuned.lastSynthesis.failure;
+
+    Rng rng(bench.expectedRules);
+    tree::SampleConfig sample;
+    sample.maxDepth = 5;
+    for (int round = 0; round < 4; ++round) {
+        tree::Tree executed = tree::sampleTree(grammar, root, sample, rng);
+        tree::Tree reference = executed;
+        exec::execute(*tuned.skeleton, *tuned.schedule, executed);
+        exec::computeReference(reference);
+        for (const tree::Node& node : executed.nodes()) {
+            EXPECT_EQ(node.values, reference.node(node.id).values)
+                << bench.name << " node " << node.id << " on "
+                << executed.shapeString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkSoundness,
+    ::testing::Values(&grammars::binaryTree(), &grammars::fmm(),
+                      &grammars::piecewise(), &grammars::renderTree(),
+                      &grammars::astBench(), &grammars::cssFloat(),
+                      &grammars::cssMargin(), &grammars::cssFull()),
+    [](const ::testing::TestParamInfo<const grammars::Benchmark*>& info) {
+        std::string name = info.param->name;
+        for (char& c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(HappensBefore, IsAStrictPartialOrder)
+{
+    sem::Grammar grammar = testutil::vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+
+    Rng rng(17);
+    tree::SampleConfig sample;
+    sample.maxDepth = 4;
+    sample.maxCollection = 3;
+    for (int round = 0; round < 5; ++round) {
+        tree::Tree t = tree::sampleTree(grammar, 0, sample, rng);
+        sched::VisitPlan plan(skeleton, t);
+        size_t n = plan.instances().size();
+        if (n == 0)
+            continue;
+        for (sched::InstId a = 0; a < n; ++a) {
+            EXPECT_FALSE(plan.happensBefore(a, a)) << "irreflexivity";
+            for (sched::InstId b = 0; b < n; ++b) {
+                if (plan.happensBefore(a, b)) {
+                    EXPECT_FALSE(plan.happensBefore(b, a))
+                        << "antisymmetry";
+                }
+            }
+        }
+        // Transitivity on random triples.
+        for (int probe = 0; probe < 200; ++probe) {
+            sched::InstId a = static_cast<sched::InstId>(rng.below(n));
+            sched::InstId b = static_cast<sched::InstId>(rng.below(n));
+            sched::InstId c = static_cast<sched::InstId>(rng.below(n));
+            if (plan.happensBefore(a, b) && plan.happensBefore(b, c)) {
+                EXPECT_TRUE(plan.happensBefore(a, c)) << "transitivity";
+            }
+        }
+    }
+}
+
+TEST(Sigma, DecodeRoundTripsScheduleAssignments)
+{
+    sem::Grammar grammar = testutil::renderGrammar();
+    sched::Skeleton skeleton = testutil::renderSkeleton(grammar);
+    symbolic::SigmaSpace sigma = symbolic::SigmaSpace::build(skeleton);
+    EXPECT_EQ(sigma.size(), 8u * 4u);
+
+    // Pick a valid-looking assignment and round-trip it.
+    std::vector<bool> values(sigma.size(), false);
+    Rng rng(3);
+    std::vector<uint32_t> chosen;
+    for (sched::SlotId s = 0; s < skeleton.slotCount(); ++s) {
+        auto [begin, end] = sigma.slotRange[s];
+        uint32_t pick = begin + static_cast<uint32_t>(
+                                    rng.below(end - begin));
+        values[pick] = true;
+        chosen.push_back(pick);
+    }
+    sched::Schedule schedule = sigma.decode(values, skeleton);
+    for (uint32_t entry : chosen) {
+        EXPECT_EQ(schedule.bySlot[sigma.entries[entry].slot],
+                  std::optional<sem::RuleId>(sigma.entries[entry].rule));
+    }
+}
+
+} // namespace
+} // namespace hecate

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for semantic analysis (sem/) and runtime trees (tree/):
+ * resolution, validation errors, sampling, and bounded enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+#include "tree/enumerate.hpp"
+#include "tree/tree.hpp"
+
+namespace hecate {
+namespace {
+
+using testutil::renderGrammar;
+using testutil::vectorRenderGrammar;
+
+TEST(Sem, ResolvesRenderGrammar)
+{
+    sem::Grammar grammar = renderGrammar();
+    ASSERT_EQ(grammar.classes().size(), 2u);
+    ASSERT_EQ(grammar.interfaces().size(), 1u);
+    EXPECT_EQ(grammar.ruleCount(), 8u);
+
+    sem::ClassId inner = grammar.findClass("Inner");
+    ASSERT_NE(inner, sem::kInvalidId);
+    EXPECT_EQ(grammar.cls(inner).children.size(), 2u);
+
+    sem::RuleId w_rule = grammar.findRule(inner, "w");
+    ASSERT_NE(w_rule, sem::kInvalidId);
+    const sem::RuleInfo& info = grammar.rule(w_rule);
+    // self.w := max(self.w0, fc.w1): reads self.w0 and fc.w1
+    ASSERT_EQ(info.reads.size(), 2u);
+    EXPECT_EQ(info.reads[0].kind, sem::ReadDep::Kind::SelfAttr);
+    EXPECT_EQ(info.reads[1].kind, sem::ReadDep::Kind::ChildAttr);
+    EXPECT_EQ(info.pass, "calcWidth");
+}
+
+TEST(Sem, ResolvesFoldRules)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::RuleId w_rule = grammar.findRule(inner, "w");
+    const sem::RuleInfo& info = grammar.rule(w_rule);
+    EXPECT_TRUE(info.isFold);
+    EXPECT_EQ(info.foldChild, grammar.cls(inner).childByName.at("cs"));
+    bool has_elem = false;
+    for (const auto& dep : info.reads)
+        has_elem |= dep.kind == sem::ReadDep::Kind::CollElem;
+    EXPECT_TRUE(has_elem);
+}
+
+TEST(Sem, RuleNamesAndPasses)
+{
+    sem::Grammar grammar = renderGrammar();
+    sem::ClassId inner = grammar.findClass("Inner");
+    EXPECT_EQ(grammar.ruleName(grammar.findRule(inner, "h1")), "Inner.h1");
+    auto passes = grammar.passNames();
+    ASSERT_EQ(passes.size(), 2u);
+    EXPECT_EQ(passes[0], "calcWidth");
+    EXPECT_EQ(passes[1], "calcHeight");
+}
+
+TEST(Sem, RejectsDuplicateRuleForAttribute)
+{
+    const char* src = R"(
+interface I { input a : int; output b : int; }
+class C : I { rules { self.b := self.a; self.b := self.a; } }
+)";
+    EXPECT_THROW(sem::Grammar::analyze(lang::parseGrammar(src)), UserError);
+}
+
+TEST(Sem, RejectsMissingRule)
+{
+    const char* src = R"(
+interface I { input a : int; output b, c : int; }
+class C : I { rules { self.b := self.a; } }
+)";
+    EXPECT_THROW(sem::Grammar::analyze(lang::parseGrammar(src)), UserError);
+}
+
+TEST(Sem, RejectsSelfDependentRule)
+{
+    const char* src = R"(
+interface I { input a : int; output b : int; }
+class C : I { rules { self.b := self.b + self.a; } }
+)";
+    EXPECT_THROW(sem::Grammar::analyze(lang::parseGrammar(src)), UserError);
+}
+
+TEST(Sem, RejectsCollectionReadOutsideFold)
+{
+    const char* src = R"(
+interface I { input a : int; output b : int; }
+class C : I {
+    children { cs : [I]; }
+    rules { self.b := cs.b; }
+}
+)";
+    EXPECT_THROW(sem::Grammar::analyze(lang::parseGrammar(src)), UserError);
+}
+
+TEST(Sem, RejectsWritesToInputs)
+{
+    const char* src = R"(
+interface I { input a : int; output b : int; }
+class C : I { rules { self.a := 1; self.b := 2; } }
+)";
+    EXPECT_THROW(sem::Grammar::analyze(lang::parseGrammar(src)), UserError);
+}
+
+TEST(Sem, RejectsUnknownChildType)
+{
+    const char* src = R"(
+interface I { input a : int; output b : int; }
+class C : I { children { k : Bogus; } rules { self.b := self.a; } }
+)";
+    EXPECT_THROW(sem::Grammar::analyze(lang::parseGrammar(src)), UserError);
+}
+
+TEST(Tree, BuildAndValidateManually)
+{
+    sem::Grammar grammar = renderGrammar();
+    tree::Tree t(grammar);
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::ClassId leaf = grammar.findClass("Leaf");
+
+    tree::NodeId root = t.addNode(inner);
+    tree::NodeId child = t.addNode(leaf);
+    sem::ChildId fc = grammar.cls(inner).childByName.at("fc");
+    t.setScalar(root, fc, child);
+    t.setRoot(root);
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.shapeString(), "Inner(nx=_,fc=Leaf(nx=_))");
+}
+
+TEST(Tree, ValidateCatchesSharing)
+{
+    sem::Grammar grammar = renderGrammar();
+    tree::Tree t(grammar);
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::ClassId leaf = grammar.findClass("Leaf");
+    tree::NodeId root = t.addNode(inner);
+    tree::NodeId shared = t.addNode(leaf);
+    t.setScalar(root, grammar.cls(inner).childByName.at("fc"), shared);
+    t.setScalar(root, grammar.cls(inner).childByName.at("nx"), shared);
+    t.setRoot(root);
+    EXPECT_THROW(t.validate(), UserError);
+}
+
+TEST(Tree, SamplingProducesValidTrees)
+{
+    sem::Grammar grammar = renderGrammar();
+    Rng rng(5);
+    tree::SampleConfig config;
+    config.maxDepth = 5;
+    for (int i = 0; i < 20; ++i) {
+        tree::Tree t = tree::sampleTree(grammar, 0, config, rng);
+        EXPECT_NO_THROW(t.validate());
+        EXPECT_GE(t.size(), 1u);
+    }
+}
+
+TEST(Tree, SamplingCollectionsRespectsArity)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    Rng rng(6);
+    tree::SampleConfig config;
+    config.maxDepth = 3;
+    config.maxCollection = 2;
+    for (int i = 0; i < 20; ++i) {
+        tree::Tree t = tree::sampleTree(grammar, 0, config, rng);
+        t.validate();
+        for (const tree::Node& node : t.nodes()) {
+            for (const auto& slot : node.children)
+                EXPECT_LE(slot.elems.size(), 2u);
+        }
+    }
+}
+
+TEST(Enumerate, CoversDepthOneAndTwo)
+{
+    sem::Grammar grammar = renderGrammar();
+    tree::EnumConfig config;
+    config.maxDepth = 2;
+    auto shapes = tree::enumerateShapes(grammar, 0, config);
+    ASSERT_FALSE(shapes.empty());
+    // Smallest shapes first.
+    EXPECT_EQ(shapes.front()->nodeCount, 1u);
+    for (size_t i = 1; i < shapes.size(); ++i)
+        EXPECT_GE(shapes[i]->nodeCount, shapes[i - 1]->nodeCount);
+    // depth 2 of this grammar: max 3 nodes (Inner with two leaf children)
+    uint32_t max_nodes = 0;
+    for (const auto& shape : shapes)
+        max_nodes = std::max(max_nodes, shape->nodeCount);
+    EXPECT_EQ(max_nodes, 3u);
+}
+
+TEST(Enumerate, InstantiationValidates)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    tree::EnumConfig config;
+    config.maxDepth = 3;
+    config.limit = 64;
+    auto shapes = tree::enumerateShapes(grammar, 0, config);
+    ASSERT_FALSE(shapes.empty());
+    for (const auto& shape : shapes) {
+        tree::Tree t = tree::instantiate(grammar, *shape, 3);
+        EXPECT_NO_THROW(t.validate());
+        EXPECT_EQ(t.size(), shape->nodeCount);
+    }
+}
+
+TEST(Enumerate, RespectsLimit)
+{
+    sem::Grammar grammar = renderGrammar();
+    tree::EnumConfig config;
+    config.maxDepth = 4;
+    config.limit = 10;
+    auto shapes = tree::enumerateShapes(grammar, 0, config);
+    EXPECT_LE(shapes.size(), 10u);
+}
+
+} // namespace
+} // namespace hecate

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Unit and property tests for the solver substrate: the boolean
+ * formula layer (hash-consing, Tseitin), the CDCL SAT solver, and the
+ * 0-1 ILP solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solver/formula.hpp"
+#include "solver/ilp.hpp"
+#include "solver/sat.hpp"
+#include "support/rng.hpp"
+
+namespace hecate::solver {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FormulaBuilder
+// ---------------------------------------------------------------------------
+
+TEST(Formula, ConstantFolding)
+{
+    FormulaBuilder fb;
+    uint32_t v = fb.newVar();
+    BoolId x = fb.mkVar(v);
+    EXPECT_EQ(fb.mkAnd(x, FormulaBuilder::falseId()),
+              FormulaBuilder::falseId());
+    EXPECT_EQ(fb.mkAnd(x, FormulaBuilder::trueId()), x);
+    EXPECT_EQ(fb.mkOr(x, FormulaBuilder::trueId()), FormulaBuilder::trueId());
+    EXPECT_EQ(fb.mkOr(x, FormulaBuilder::falseId()), x);
+    EXPECT_EQ(fb.mkNot(fb.mkNot(x)), x);
+}
+
+TEST(Formula, HashConsingSharesNodes)
+{
+    FormulaBuilder fb;
+    BoolId x = fb.mkVar(fb.newVar());
+    BoolId y = fb.mkVar(fb.newVar());
+    size_t before = fb.nodeCount();
+    BoolId a = fb.mkAnd(x, y);
+    BoolId b = fb.mkAnd(y, x); // commutative canonicalization
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(fb.nodeCount(), before + 1);
+}
+
+TEST(Formula, EvaluateMatchesSemantics)
+{
+    FormulaBuilder fb;
+    BoolId x = fb.mkVar(fb.newVar());
+    BoolId y = fb.mkVar(fb.newVar());
+    BoolId f = fb.mkOr(fb.mkAnd(x, fb.mkNot(y)), fb.mkAnd(fb.mkNot(x), y));
+    // XOR truth table
+    EXPECT_FALSE(fb.evaluate(f, {false, false}));
+    EXPECT_TRUE(fb.evaluate(f, {true, false}));
+    EXPECT_TRUE(fb.evaluate(f, {false, true}));
+    EXPECT_FALSE(fb.evaluate(f, {true, true}));
+}
+
+TEST(Formula, ExactlyOneSemantics)
+{
+    FormulaBuilder fb;
+    std::vector<BoolId> vars;
+    for (int i = 0; i < 3; ++i)
+        vars.push_back(fb.mkVar(fb.newVar()));
+    BoolId f = fb.mkExactlyOne(vars);
+    EXPECT_FALSE(fb.evaluate(f, {false, false, false}));
+    EXPECT_TRUE(fb.evaluate(f, {true, false, false}));
+    EXPECT_TRUE(fb.evaluate(f, {false, true, false}));
+    EXPECT_FALSE(fb.evaluate(f, {true, true, false}));
+    EXPECT_FALSE(fb.evaluate(f, {true, true, true}));
+}
+
+/** Tseitin CNF is satisfiable iff the original formula is. */
+TEST(Formula, TseitinPreservesSatisfiabilityOnRandomFormulas)
+{
+    Rng rng(7);
+    for (int round = 0; round < 50; ++round) {
+        FormulaBuilder fb;
+        constexpr int kVars = 6;
+        std::vector<BoolId> pool;
+        for (int i = 0; i < kVars; ++i)
+            pool.push_back(fb.mkVar(fb.newVar()));
+        // random formula construction
+        for (int step = 0; step < 24; ++step) {
+            BoolId a = pool[rng.below(pool.size())];
+            BoolId b = pool[rng.below(pool.size())];
+            switch (rng.below(3)) {
+              case 0: pool.push_back(fb.mkAnd(a, b)); break;
+              case 1: pool.push_back(fb.mkOr(a, b)); break;
+              default: pool.push_back(fb.mkNot(a)); break;
+            }
+        }
+        BoolId root = pool.back();
+
+        // brute-force ground truth
+        bool truth_sat = false;
+        for (uint32_t mask = 0; mask < (1u << kVars); ++mask) {
+            std::vector<bool> assignment(kVars);
+            for (int i = 0; i < kVars; ++i)
+                assignment[i] = (mask >> i) & 1;
+            if (fb.evaluate(root, assignment)) {
+                truth_sat = true;
+                break;
+            }
+        }
+
+        Cnf cnf = fb.toCnf(root);
+        SatSolver sat(cnf.numVars);
+        bool ok = true;
+        for (const auto& clause : cnf.clauses)
+            ok = ok && sat.addClause(clause);
+        bool solver_sat = ok && sat.solve() == SatResult::Sat;
+        ASSERT_EQ(solver_sat, truth_sat) << "round " << round;
+
+        if (solver_sat) {
+            // the model restricted to problem vars satisfies the formula
+            std::vector<bool> model(kVars);
+            for (int i = 0; i < kVars; ++i)
+                model[i] = sat.modelValue(static_cast<uint32_t>(i + 1));
+            EXPECT_TRUE(fb.evaluate(root, model));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SAT solver
+// ---------------------------------------------------------------------------
+
+TEST(Sat, TrivialSatAndUnsat)
+{
+    {
+        SatSolver s(2);
+        s.addClause({1, 2});
+        s.addClause({-1});
+        EXPECT_EQ(s.solve(), SatResult::Sat);
+        EXPECT_FALSE(s.modelValue(1));
+        EXPECT_TRUE(s.modelValue(2));
+    }
+    {
+        SatSolver s(1);
+        s.addClause({1});
+        EXPECT_FALSE(s.addClause({-1}));
+        EXPECT_EQ(s.solve(), SatResult::Unsat);
+    }
+}
+
+TEST(Sat, EmptyClauseIsUnsat)
+{
+    SatSolver s(1);
+    EXPECT_FALSE(s.addClause(std::vector<int32_t>{}));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, PigeonholeIsUnsat)
+{
+    // 4 pigeons into 3 holes.
+    constexpr int kPigeons = 4;
+    constexpr int kHoles = 3;
+    auto var = [](int p, int h) { return p * kHoles + h + 1; };
+    SatSolver s(kPigeons * kHoles);
+    for (int p = 0; p < kPigeons; ++p) {
+        std::vector<int32_t> clause;
+        for (int h = 0; h < kHoles; ++h)
+            clause.push_back(var(p, h));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < kHoles; ++h) {
+        for (int p1 = 0; p1 < kPigeons; ++p1) {
+            for (int p2 = p1 + 1; p2 < kPigeons; ++p2)
+                s.addClause({-var(p1, h), -var(p2, h)});
+        }
+    }
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+/** Cross-check against brute force on random 3-CNF. */
+TEST(Sat, RandomCnfMatchesBruteForce)
+{
+    Rng rng(42);
+    for (int round = 0; round < 80; ++round) {
+        constexpr int kVars = 8;
+        int clause_count = 10 + static_cast<int>(rng.below(30));
+        std::vector<std::vector<int32_t>> clauses;
+        for (int c = 0; c < clause_count; ++c) {
+            std::vector<int32_t> clause;
+            for (int k = 0; k < 3; ++k) {
+                int v = 1 + static_cast<int>(rng.below(kVars));
+                clause.push_back(rng.chance(0.5) ? v : -v);
+            }
+            clauses.push_back(std::move(clause));
+        }
+
+        bool truth_sat = false;
+        for (uint32_t mask = 0; mask < (1u << kVars) && !truth_sat; ++mask) {
+            bool all = true;
+            for (const auto& clause : clauses) {
+                bool any = false;
+                for (int32_t lit : clause) {
+                    int v = std::abs(lit) - 1;
+                    bool val = (mask >> v) & 1;
+                    if ((lit > 0) == val) {
+                        any = true;
+                        break;
+                    }
+                }
+                if (!any) {
+                    all = false;
+                    break;
+                }
+            }
+            truth_sat = all;
+        }
+
+        SatSolver s(kVars);
+        bool ok = true;
+        for (const auto& clause : clauses)
+            ok = ok && s.addClause(clause);
+        bool solver_sat = ok && s.solve() == SatResult::Sat;
+        ASSERT_EQ(solver_sat, truth_sat) << "round " << round;
+
+        if (solver_sat) {
+            for (const auto& clause : clauses) {
+                bool any = false;
+                for (int32_t lit : clause) {
+                    bool val = s.modelValue(
+                        static_cast<uint32_t>(std::abs(lit)));
+                    if ((lit > 0) == val)
+                        any = true;
+                }
+                EXPECT_TRUE(any) << "model violates a clause";
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ILP solver
+// ---------------------------------------------------------------------------
+
+TEST(Ilp, SimpleFeasibility)
+{
+    IlpSolver ilp;
+    uint32_t x = ilp.addVar();
+    uint32_t y = ilp.addVar();
+    ilp.addEq({{1, x}, {1, y}}, 1);  // x + y == 1
+    ilp.addLe({{1, x}}, 0);          // x == 0
+    ASSERT_EQ(ilp.solve(), IlpResult::Feasible);
+    EXPECT_EQ(ilp.value(x), 0);
+    EXPECT_EQ(ilp.value(y), 1);
+}
+
+TEST(Ilp, DetectsInfeasibility)
+{
+    IlpSolver ilp;
+    uint32_t x = ilp.addVar();
+    uint32_t y = ilp.addVar();
+    ilp.addGe({{1, x}, {1, y}}, 2); // both one
+    ilp.addLe({{1, x}, {1, y}}, 1); // at most one
+    EXPECT_EQ(ilp.solve(), IlpResult::Infeasible);
+}
+
+TEST(Ilp, EmptyGeOneIsInfeasible)
+{
+    IlpSolver ilp;
+    ilp.addGe({}, 1);
+    EXPECT_EQ(ilp.solve(), IlpResult::Infeasible);
+}
+
+TEST(Ilp, NegativeCoefficients)
+{
+    // x - y >= 0, y == 1  =>  x == 1.
+    IlpSolver ilp;
+    uint32_t x = ilp.addVar();
+    uint32_t y = ilp.addVar();
+    ilp.addGe({{1, x}, {-1, y}}, 0);
+    ilp.addEq({{1, y}}, 1);
+    ASSERT_EQ(ilp.solve(), IlpResult::Feasible);
+    EXPECT_EQ(ilp.value(x), 1);
+}
+
+TEST(Ilp, MinimizesObjective)
+{
+    // Cover {1,2,3} by sets A={1,2}, B={2,3}, C={1,2,3}; min #sets is 1 (C).
+    IlpSolver ilp;
+    uint32_t a = ilp.addVar();
+    uint32_t b = ilp.addVar();
+    uint32_t c = ilp.addVar();
+    ilp.addGe({{1, a}, {1, c}}, 1);          // element 1
+    ilp.addGe({{1, a}, {1, b}, {1, c}}, 1);  // element 2
+    ilp.addGe({{1, b}, {1, c}}, 1);          // element 3
+    ilp.setObjective({{1, a}, {1, b}, {1, c}});
+    ASSERT_EQ(ilp.solve(), IlpResult::Feasible);
+    EXPECT_EQ(ilp.objectiveValue(), 1);
+    EXPECT_EQ(ilp.value(c), 1);
+}
+
+TEST(Ilp, MergesDuplicateTerms)
+{
+    IlpSolver ilp;
+    uint32_t x = ilp.addVar();
+    ilp.addEq({{1, x}, {1, x}}, 2); // 2x == 2 -> x == 1
+    ASSERT_EQ(ilp.solve(), IlpResult::Feasible);
+    EXPECT_EQ(ilp.value(x), 1);
+}
+
+/** Random 0-1 feasibility problems cross-checked against brute force. */
+TEST(Ilp, RandomProblemsMatchBruteForce)
+{
+    Rng rng(99);
+    for (int round = 0; round < 60; ++round) {
+        constexpr int kVars = 7;
+        IlpSolver ilp;
+        for (int i = 0; i < kVars; ++i)
+            ilp.addVar();
+
+        int con_count = 3 + static_cast<int>(rng.below(8));
+        std::vector<std::vector<LinTerm>> cons;
+        std::vector<int64_t> lows, highs;
+        for (int c = 0; c < con_count; ++c) {
+            std::vector<LinTerm> terms;
+            for (int v = 0; v < kVars; ++v) {
+                if (rng.chance(0.5)) {
+                    terms.push_back(
+                        {static_cast<int64_t>(rng.range(-3, 3)),
+                         static_cast<uint32_t>(v)});
+                }
+            }
+            int64_t lo = rng.range(-4, 2);
+            int64_t hi = lo + rng.range(0, 6);
+            cons.push_back(terms);
+            lows.push_back(lo);
+            highs.push_back(hi);
+            ilp.addRange(terms, lo, hi);
+        }
+
+        bool truth_feasible = false;
+        for (uint32_t mask = 0; mask < (1u << kVars) && !truth_feasible;
+             ++mask) {
+            bool ok = true;
+            for (int c = 0; c < con_count && ok; ++c) {
+                int64_t sum = 0;
+                for (const LinTerm& t : cons[c]) {
+                    if ((mask >> t.var) & 1)
+                        sum += t.coeff;
+                }
+                ok = sum >= lows[c] && sum <= highs[c];
+            }
+            truth_feasible = ok;
+        }
+
+        IlpResult got = ilp.solve();
+        ASSERT_EQ(got == IlpResult::Feasible, truth_feasible)
+            << "round " << round;
+        if (got == IlpResult::Feasible) {
+            for (int c = 0; c < con_count; ++c) {
+                int64_t sum = 0;
+                for (const LinTerm& t : cons[c])
+                    sum += t.coeff * ilp.value(t.var);
+                EXPECT_GE(sum, lows[c]);
+                EXPECT_LE(sum, highs[c]);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hecate::solver

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the support substrate: thread pool, deterministic RNG,
+ * diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hecate {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.waitAll();
+    EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitAllIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.waitAll();
+        EXPECT_EQ(counter.load(), (round + 1) * 50);
+    }
+}
+
+TEST(ThreadPool, TasksMaySubmitNestedTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &counter] {
+            ++counter;
+            for (int j = 0; j < 4; ++j)
+                pool.submit([&counter] { ++counter; });
+        });
+    }
+    pool.waitAll();
+    EXPECT_EQ(counter.load(), 8 * 5);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(Rng, IsDeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_diff_from_c = false;
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a.next();
+        all_equal &= va == b.next();
+        any_diff_from_c |= va != c.next();
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(Rng, RangeIsInclusiveAndCovers)
+{
+    Rng rng(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceIsCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Diagnostics, UserErrorCarriesLocation)
+{
+    try {
+        userError("bad thing", {4, 7});
+        FAIL() << "did not throw";
+    } catch (const UserError& error) {
+        EXPECT_EQ(error.loc().line, 4u);
+        EXPECT_NE(std::string(error.what()).find("4:7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Diagnostics, CheckInvariantThrowsInternalError)
+{
+    EXPECT_NO_THROW(checkInvariant(true, "fine"));
+    EXPECT_THROW(checkInvariant(false, "broken"), InternalError);
+}
+
+} // namespace
+} // namespace hecate

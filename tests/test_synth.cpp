@@ -1,0 +1,430 @@
+/**
+ * @file
+ * End-to-end tests of the scheduling core: skeleton resolution, visit
+ * plans with fork-join happens-before, both symbolic encoders, the
+ * trace language, and the CEGIS loop — all on the paper's running
+ * example (Figs. 2-4) and its vector/parallel variants (Figs. 12-14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/printer.hpp"
+#include "sched/visit_plan.hpp"
+#include "symbolic/general_encoder.hpp"
+#include "symbolic/ilp_encoder.hpp"
+#include "symbolic/sigma.hpp"
+#include "symbolic/trace.hpp"
+#include "synth/cegis.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+using testutil::renderGrammar;
+using testutil::renderSkeleton;
+using testutil::vectorRenderGrammar;
+
+/** Build the Fig. 2 example tree (n0..n4) in linked-list encoding. */
+tree::Tree
+fig2Tree(const sem::Grammar& grammar)
+{
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::ClassId leaf = grammar.findClass("Leaf");
+    sem::ChildId inner_nx = grammar.cls(inner).childByName.at("nx");
+    sem::ChildId inner_fc = grammar.cls(inner).childByName.at("fc");
+    sem::ChildId leaf_nx = grammar.cls(leaf).childByName.at("nx");
+
+    tree::Tree t(grammar);
+    tree::NodeId n0 = t.addNode(inner);
+    tree::NodeId n1 = t.addNode(inner);
+    tree::NodeId n2 = t.addNode(leaf);
+    tree::NodeId n3 = t.addNode(leaf);
+    tree::NodeId n4 = t.addNode(leaf);
+    t.setScalar(n0, inner_fc, n1);
+    t.setScalar(n1, inner_nx, n2);
+    t.setScalar(n1, inner_fc, n3);
+    t.setScalar(n3, leaf_nx, n4);
+    t.setRoot(n0);
+    t.validate();
+    return t;
+}
+
+TEST(Skeleton, ResolvesRenderExample)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    ASSERT_EQ(skeleton.slotCount(), 8u);
+    for (const sched::SlotInfo& slot : skeleton.slots()) {
+        EXPECT_EQ(slot.context, sched::SlotContext::TopLevel);
+        EXPECT_EQ(slot.candidates.size(), 4u); // all rules of the class
+    }
+}
+
+TEST(Skeleton, RejectsIllFormedTraversals)
+{
+    sem::Grammar grammar = renderGrammar();
+    // missing Leaf case
+    EXPECT_THROW(sched::Skeleton::resolve(
+                     grammar, lang::parseTraversal(
+                                  "traversal t { case Inner { ??; } }")),
+                 UserError);
+    // recur on unknown child
+    EXPECT_THROW(
+        sched::Skeleton::resolve(
+            grammar,
+            lang::parseTraversal("traversal t { case Inner { recur zz; } "
+                                 "case Leaf { recur nx; } }")),
+        UserError);
+    // duplicate eval
+    EXPECT_THROW(
+        sched::Skeleton::resolve(
+            grammar,
+            lang::parseTraversal(
+                "traversal t { case Inner { eval self.w; eval self.w; } "
+                "case Leaf { ??; } }")),
+        UserError);
+}
+
+TEST(Skeleton, IterateCandidatesAreFoldsOnly)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorSymbolicSrc));
+    ASSERT_EQ(skeleton.slotCount(), 6u);
+    const auto& slots = skeleton.slots();
+    // Inner: two in-loop slots then one top-level slot.
+    EXPECT_EQ(slots[0].context, sched::SlotContext::Iterate);
+    EXPECT_EQ(slots[0].candidates.size(), 2u); // w and h1 folds
+    EXPECT_EQ(slots[2].context, sched::SlotContext::TopLevel);
+    EXPECT_EQ(slots[2].candidates.size(), 3u);
+}
+
+TEST(Skeleton, ParallelSlotsHaveNoCandidates)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar,
+        lang::parseTraversal(R"(
+traversal t {
+    case Inner { parallel cs { recur cs; ??; } ??; ??; ??; }
+    case Leaf { ??; ??; ??; }
+}
+)"));
+    EXPECT_TRUE(skeleton.slots()[0].candidates.empty());
+}
+
+TEST(VisitPlan, InstancesAndWritersOnFig2)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    tree::Tree t = fig2Tree(grammar);
+    sched::VisitPlan plan(skeleton, t);
+
+    // 5 nodes x 4 slots = 20 slot instances.
+    EXPECT_EQ(plan.instances().size(), 20u);
+
+    // Post-order: every instance at n3 precedes every instance at n1.
+    std::vector<sched::InstId> at_n1, at_n3;
+    for (const auto& inst : plan.instances()) {
+        if (inst.node == 1)
+            at_n1.push_back(inst.id);
+        if (inst.node == 3)
+            at_n3.push_back(inst.id);
+    }
+    ASSERT_EQ(at_n1.size(), 4u);
+    ASSERT_EQ(at_n3.size(), 4u);
+    for (sched::InstId a : at_n3) {
+        for (sched::InstId b : at_n1) {
+            EXPECT_TRUE(plan.happensBefore(a, b));
+            EXPECT_FALSE(plan.happensBefore(b, a));
+        }
+    }
+
+    // Each location has exactly 4 potential writers (the 4 class slots).
+    sched::Location loc{1, grammar.iface(0).attrByName.at("w")};
+    EXPECT_EQ(plan.writersOf(loc).size(), 4u);
+}
+
+TEST(VisitPlan, ParallelBranchesAreIncomparable)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+
+    tree::Tree t(grammar);
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::ClassId leaf = grammar.findClass("Leaf");
+    tree::NodeId root = t.addNode(inner);
+    tree::NodeId c1 = t.addNode(leaf);
+    tree::NodeId c2 = t.addNode(leaf);
+    sem::ChildId cs = grammar.cls(inner).childByName.at("cs");
+    t.addElement(root, cs, c1);
+    t.addElement(root, cs, c2);
+    t.setRoot(root);
+    t.validate();
+
+    sched::VisitPlan plan(skeleton, t);
+    std::vector<sched::InstId> at_c1, at_c2;
+    for (const auto& inst : plan.instances()) {
+        if (inst.node == c1)
+            at_c1.push_back(inst.id);
+        if (inst.node == c2)
+            at_c2.push_back(inst.id);
+    }
+    ASSERT_FALSE(at_c1.empty());
+    ASSERT_FALSE(at_c2.empty());
+    for (sched::InstId a : at_c1) {
+        for (sched::InstId b : at_c2) {
+            EXPECT_FALSE(plan.happensBefore(a, b));
+            EXPECT_FALSE(plan.happensBefore(b, a));
+        }
+    }
+}
+
+TEST(Trace, BuildAndPrint)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    tree::Tree t = fig2Tree(grammar);
+    sched::VisitPlan plan(skeleton, t);
+    symbolic::SigmaSpace sigma = symbolic::SigmaSpace::build(skeleton);
+    symbolic::TraceProgram program = symbolic::buildTrace(plan, sigma);
+    // 20 slot instances x 4 candidates = 80 guarded statements.
+    EXPECT_EQ(program.stmts.size(), 80u);
+    EXPECT_GT(program.actionCount(), 80u);
+
+    std::string text = symbolic::printTraceStmt(program.stmts[0], plan);
+    EXPECT_NE(text.find("assume s("), std::string::npos);
+    EXPECT_NE(text.find("(write "), std::string::npos);
+}
+
+TEST(Synthesis, IlpSolvesRenderExample)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    tree::Tree t = fig2Tree(grammar);
+
+    symbolic::IlpStats stats;
+    auto schedule = symbolic::synthesizeIlp(skeleton, {&t}, &stats);
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_TRUE(schedule->coversAllRules(skeleton));
+    EXPECT_FALSE(synth::checkScheduleOn(skeleton, *schedule, t).has_value());
+    EXPECT_GT(stats.sigmaVars, 0u);
+    EXPECT_GT(stats.constraints, 0u);
+}
+
+TEST(Synthesis, GeneralSolvesRenderExample)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    tree::Tree t = fig2Tree(grammar);
+
+    symbolic::GeneralStats stats;
+    auto schedule = symbolic::synthesizeGeneral(skeleton, {&t}, &stats);
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_TRUE(schedule->coversAllRules(skeleton));
+    EXPECT_FALSE(synth::checkScheduleOn(skeleton, *schedule, t).has_value());
+    EXPECT_GT(stats.formulaNodes, 0u);
+}
+
+TEST(Synthesis, EncodersAgreeWithSimulatorOnAllAssignments)
+{
+    // Tiny grammar with 2 rules and 2 slots: enumerate all 3^2 partial
+    // assignments (none/r1/r2 per slot) and check that the simulator
+    // accepts exactly the assignments the encodings admit.
+    const char* src = R"(
+interface I { input a : int; output b, c : int; }
+class C : I {
+    children { k : Optional[I]; }
+    rules { self.b := self.a; self.c := self.b; }
+}
+class L : I {
+    rules { self.b := self.a; self.c := self.b; }
+}
+)";
+    sem::Grammar grammar = sem::Grammar::analyze(lang::parseGrammar(src));
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(R"(
+traversal t {
+    case C { recur k; ??; ??; }
+    case L { ??; ??; }
+}
+)"));
+    tree::Tree t(grammar);
+    tree::NodeId root = t.addNode(grammar.findClass("C"));
+    tree::NodeId kid = t.addNode(grammar.findClass("L"));
+    t.setScalar(root, 0, kid);
+    t.setRoot(root);
+    t.validate();
+
+    // Brute-force all complete, covering assignments.
+    const auto& slots = skeleton.slots();
+    ASSERT_EQ(slots.size(), 4u);
+    size_t valid_count = 0;
+    for (size_t mask = 0; mask < 3 * 3 * 3 * 3; ++mask) {
+        size_t rest = mask;
+        sched::Schedule candidate;
+        candidate.bySlot.assign(4, std::nullopt);
+        for (size_t s = 0; s < 4; ++s) {
+            size_t choice = rest % 3;
+            rest /= 3;
+            if (choice > 0)
+                candidate.bySlot[s] = slots[s].candidates[choice - 1];
+        }
+        if (!candidate.coversAllRules(skeleton))
+            continue;
+        if (!synth::checkScheduleOn(skeleton, candidate, t).has_value())
+            ++valid_count;
+    }
+    // b-before-c within each class: exactly one ordering per class.
+    EXPECT_EQ(valid_count, 1u);
+
+    // Both engines must find that unique schedule.
+    auto ilp = symbolic::synthesizeIlp(skeleton, {&t});
+    auto gen = symbolic::synthesizeGeneral(skeleton, {&t});
+    ASSERT_TRUE(ilp.has_value());
+    ASSERT_TRUE(gen.has_value());
+    EXPECT_EQ(ilp->bySlot, gen->bySlot);
+}
+
+TEST(Synthesis, VectorGrammarPlacesFoldsInLoop)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorSymbolicSrc));
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
+                                                      config);
+    ASSERT_TRUE(result.schedule.has_value()) << result.failure;
+
+    // The two fold rules must land in the in-loop slots; h after the loop.
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::RuleId h_rule = grammar.findRule(inner, "h");
+    const auto& by_slot = result.schedule->bySlot;
+    EXPECT_EQ(by_slot[2], std::optional<sem::RuleId>(h_rule));
+    EXPECT_TRUE(by_slot[0].has_value());
+    EXPECT_TRUE(by_slot[1].has_value());
+    EXPECT_TRUE(grammar.rule(*by_slot[0]).isFold);
+    EXPECT_TRUE(grammar.rule(*by_slot[1]).isFold);
+}
+
+TEST(Synthesis, ParallelSkeletonSynthesizes)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.maxCollection = 2;
+    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
+                                                      config);
+    ASSERT_TRUE(result.schedule.has_value()) << result.failure;
+    EXPECT_TRUE(result.schedule->coversAllRules(skeleton));
+}
+
+TEST(Synthesis, CegisConvergesOnRenderExample)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
+                                                      config);
+    ASSERT_TRUE(result.schedule.has_value()) << result.failure;
+    EXPECT_GE(result.cegisIterations, 1u);
+    EXPECT_GT(result.verifiedTrees, 0u);
+
+    // Final schedule verifies on the Fig. 2 tree as well.
+    tree::Tree t = fig2Tree(grammar);
+    EXPECT_FALSE(
+        synth::checkScheduleOn(skeleton, *result.schedule, t).has_value());
+}
+
+TEST(Synthesis, CegisUsesGeneralEngineToo)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+
+    synth::SynthesisConfig config;
+    config.engine = synth::Engine::GeneralPurposeSat;
+    config.verify.maxDepth = 3;
+    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
+                                                      config);
+    ASSERT_TRUE(result.schedule.has_value()) << result.failure;
+    EXPECT_GT(result.generalStats.formulaNodes, 0u);
+}
+
+TEST(Synthesis, PreOrderSkeletonIsInfeasible)
+{
+    // Holes before the recursive visits cannot satisfy bottom-up deps.
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(R"(
+traversal t {
+    case Inner { ??; ??; ??; ??; recur fc; recur nx; }
+    case Leaf { ??; ??; ??; ??; recur nx; }
+}
+)"));
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
+                                                      config);
+    EXPECT_FALSE(result.schedule.has_value());
+    EXPECT_FALSE(result.failure.empty());
+}
+
+TEST(Synthesis, ConcreteTraversalPrintsLikeFig4b)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
+                                                      config);
+    ASSERT_TRUE(result.schedule.has_value());
+
+    ast::TraversalDecl concrete =
+        result.schedule->toConcreteTraversal(skeleton);
+    std::string text = lang::printTraversal(concrete);
+    EXPECT_NE(text.find("recur fc;"), std::string::npos);
+    EXPECT_NE(text.find("eval self."), std::string::npos);
+    EXPECT_EQ(text.find("??"), std::string::npos);
+    // Still parses and re-resolves as a concrete traversal.
+    sched::Skeleton concrete_skeleton =
+        sched::Skeleton::resolve(grammar, lang::parseTraversal(text));
+    EXPECT_EQ(concrete_skeleton.slotCount(), 0u);
+}
+
+TEST(Verify, DetectsBrokenSchedule)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    // Assign everything to slot 0..3 in a deliberately wrong order:
+    // w1 (reads self.w) before w.
+    sem::ClassId inner = grammar.findClass("Inner");
+    sem::ClassId leaf = grammar.findClass("Leaf");
+    sched::Schedule bad;
+    bad.bySlot = {
+        grammar.findRule(inner, "w1"), grammar.findRule(inner, "w"),
+        grammar.findRule(inner, "h1"), grammar.findRule(inner, "h"),
+        grammar.findRule(leaf, "w1"),  grammar.findRule(leaf, "w"),
+        grammar.findRule(leaf, "h1"),  grammar.findRule(leaf, "h"),
+    };
+    tree::Tree t = fig2Tree(grammar);
+    auto failure = synth::checkScheduleOn(skeleton, bad, t);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_NE(failure->find("happens before its write"), std::string::npos);
+
+    synth::VerifyResult verdict =
+        synth::verifySchedule(skeleton, bad, 0, {});
+    EXPECT_FALSE(verdict.ok);
+    EXPECT_TRUE(verdict.counterexample.has_value());
+}
+
+} // namespace
+} // namespace hecate

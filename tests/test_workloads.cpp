@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the Fig. 11 / Fig. 16 runtime workloads: every variant
+ * (unfused, fused linked-list, fused vector, parallel vector) must
+ * compute identical values on the same logical tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/ast_workload.hpp"
+#include "workloads/rendertree.hpp"
+
+namespace hecate {
+namespace {
+
+class WorkloadSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkloadSeeds, RenderVariantsAgree)
+{
+    uint64_t seed = GetParam();
+    auto doc_l = workloads::render::buildDocumentL(600, seed);
+    auto doc_v = workloads::render::buildDocumentV(600, seed);
+    ASSERT_EQ(doc_l.size(), doc_v.size());
+
+    workloads::render::runUnfused(doc_l);
+    uint64_t unfused_sum = workloads::render::checksum(doc_l);
+
+    workloads::render::clearOutputs(doc_l);
+    workloads::render::runFusedL(doc_l);
+    EXPECT_EQ(workloads::render::checksum(doc_l), unfused_sum);
+
+    workloads::render::runFusedV(doc_v);
+    EXPECT_EQ(workloads::render::checksum(doc_v), unfused_sum);
+
+    workloads::render::clearOutputs(doc_v);
+    ThreadPool pool(3);
+    workloads::render::runParallelV(doc_v, pool, 2);
+    EXPECT_EQ(workloads::render::checksum(doc_v), unfused_sum);
+}
+
+TEST_P(WorkloadSeeds, AstVariantsAgree)
+{
+    uint64_t seed = GetParam() + 1000;
+    auto prog_l = workloads::astw::buildProgramL(600, seed);
+    auto prog_v = workloads::astw::buildProgramV(600, seed);
+    ASSERT_EQ(prog_l.size(), prog_v.size());
+
+    workloads::astw::runUnfused(prog_l);
+    uint64_t unfused_sum = workloads::astw::checksum(prog_l);
+
+    workloads::astw::clearOutputs(prog_l);
+    workloads::astw::runFusedL(prog_l);
+    EXPECT_EQ(workloads::astw::checksum(prog_l), unfused_sum);
+
+    workloads::astw::runFusedV(prog_v);
+    EXPECT_EQ(workloads::astw::checksum(prog_v), unfused_sum);
+
+    workloads::astw::clearOutputs(prog_v);
+    ThreadPool pool(3);
+    workloads::astw::runParallelV(prog_v, pool, 3);
+    EXPECT_EQ(workloads::astw::checksum(prog_v), unfused_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSeeds,
+                         ::testing::Values(1, 7, 42, 123, 2024));
+
+TEST(Workloads, BuildersHitTargetSize)
+{
+    auto doc = workloads::render::buildDocumentV(5000, 9);
+    EXPECT_GE(doc.size(), 2500u);
+    EXPECT_LE(doc.size(), 5200u);
+    auto prog = workloads::astw::buildProgramV(5000, 9);
+    EXPECT_GE(prog.size(), 2500u);
+    EXPECT_LE(prog.size(), 5200u);
+}
+
+TEST(Workloads, ParallelSpawnDepthVariantsAgree)
+{
+    auto doc = workloads::render::buildDocumentV(2000, 5);
+    workloads::render::runFusedV(doc);
+    uint64_t expected = workloads::render::checksum(doc);
+    ThreadPool pool(4);
+    for (int spawn = 1; spawn <= 4; ++spawn) {
+        workloads::render::clearOutputs(doc);
+        workloads::render::runParallelV(doc, pool, spawn);
+        EXPECT_EQ(workloads::render::checksum(doc), expected)
+            << "spawn depth " << spawn;
+    }
+}
+
+} // namespace
+} // namespace hecate

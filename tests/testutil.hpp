@@ -1,0 +1,145 @@
+#pragma once
+
+/**
+ * @file
+ * Shared fixtures for the Hecate test suite: the paper's running
+ * example (Figs. 3/4) in both linked-list and vector form.
+ */
+
+#include <string>
+
+#include "lang/parser.hpp"
+#include "sched/schedule.hpp"
+#include "sem/grammar.hpp"
+
+namespace hecate::testutil {
+
+/** Fig. 3: linked-list (first-child / next-sibling) rendering grammar. */
+inline const char* kRenderGrammarSrc = R"(
+interface Box {
+    input w0, h0 : int;
+    output w1, w, h1, h : int;
+}
+class Inner : Box {
+    children {
+        nx : Optional[Box];
+        fc : Optional[Box];
+    }
+    rules(calcWidth) {
+        self.w  := max(self.w0, fc.w1);
+        self.w1 := max(self.w, nx.w1);
+    }
+    rules(calcHeight) {
+        self.h  := max(self.h0, fc.h1);
+        self.h1 := self.h + nx.h1;
+    }
+}
+class Leaf : Box {
+    children {
+        nx : Optional[Box];
+    }
+    rules(calcWidth) {
+        self.w  := self.w0;
+        self.w1 := max(self.w, nx.w1);
+    }
+    rules(calcHeight) {
+        self.h  := self.h0;
+        self.h1 := self.h + nx.h1;
+    }
+}
+)";
+
+/** Fig. 4(a): the symbolic post-order layout traversal. */
+inline const char* kSymbolicLayoutSrc = R"(
+traversal layout {
+    case Inner {
+        recur fc;
+        recur nx;
+        ??; ??; ??; ??;
+    }
+    case Leaf {
+        recur nx;
+        ??; ??; ??; ??;
+    }
+}
+)";
+
+/** Fig. 12/13: the vector-based rendering grammar with folds. */
+inline const char* kVectorRenderGrammarSrc = R"(
+interface Box {
+    input w0, h0 : int;
+    output w, h1, h : int;
+}
+class Inner : Box {
+    children {
+        cs : [Box];
+    }
+    rules {
+        self.w  := fold(max, self.w0, cs.w);
+        self.h1 := fold(add, 0, cs.h);
+        self.h  := max(self.h0, self.h1);
+    }
+}
+class Leaf : Box {
+    rules {
+        self.w  := self.w0;
+        self.h1 := 0;
+        self.h  := self.h0;
+    }
+}
+)";
+
+/** Fig. 13(a): symbolic vector traversal with in-loop and post-loop slots. */
+inline const char* kVectorSymbolicSrc = R"(
+traversal layout {
+    case Inner {
+        iterate cs {
+            recur cs;
+            ??; ??;
+        }
+        ??;
+    }
+    case Leaf {
+        ??; ??; ??;
+    }
+}
+)";
+
+/** Fig. 14(c)-shaped skeleton: parallel recursion, sequential folds. */
+inline const char* kVectorParallelSymbolicSrc = R"(
+traversal layout {
+    case Inner {
+        parallel cs {
+            recur cs;
+        }
+        iterate cs {
+            ??; ??;
+        }
+        ??;
+    }
+    case Leaf {
+        ??; ??; ??;
+    }
+}
+)";
+
+inline sem::Grammar
+renderGrammar()
+{
+    return sem::Grammar::analyze(lang::parseGrammar(kRenderGrammarSrc));
+}
+
+inline sem::Grammar
+vectorRenderGrammar()
+{
+    return sem::Grammar::analyze(lang::parseGrammar(kVectorRenderGrammarSrc));
+}
+
+inline sched::Skeleton
+renderSkeleton(const sem::Grammar& grammar)
+{
+    return sched::Skeleton::resolve(grammar,
+                                    lang::parseTraversal(kSymbolicLayoutSrc));
+}
+
+} // namespace hecate::testutil
