@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autotuner.dir/bench_autotuner.cpp.o"
+  "CMakeFiles/bench_autotuner.dir/bench_autotuner.cpp.o.d"
+  "bench_autotuner"
+  "bench_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_rendertree.dir/bench_fig11_rendertree.cpp.o"
+  "CMakeFiles/bench_fig11_rendertree.dir/bench_fig11_rendertree.cpp.o.d"
+  "bench_fig11_rendertree"
+  "bench_fig11_rendertree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_rendertree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

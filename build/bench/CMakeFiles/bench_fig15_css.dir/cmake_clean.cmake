@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_css.dir/bench_fig15_css.cpp.o"
+  "CMakeFiles/bench_fig15_css.dir/bench_fig15_css.cpp.o.d"
+  "bench_fig15_css"
+  "bench_fig15_css.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_css.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

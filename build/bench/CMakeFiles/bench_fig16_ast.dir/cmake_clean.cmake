@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ast.dir/bench_fig16_ast.cpp.o"
+  "CMakeFiles/bench_fig16_ast.dir/bench_fig16_ast.cpp.o.d"
+  "bench_fig16_ast"
+  "bench_fig16_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_optimizer.dir/ast_optimizer.cpp.o"
+  "CMakeFiles/ast_optimizer.dir/ast_optimizer.cpp.o.d"
+  "ast_optimizer"
+  "ast_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

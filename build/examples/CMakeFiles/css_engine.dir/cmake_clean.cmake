@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/css_engine.dir/css_engine.cpp.o"
+  "CMakeFiles/css_engine.dir/css_engine.cpp.o.d"
+  "css_engine"
+  "css_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/css_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

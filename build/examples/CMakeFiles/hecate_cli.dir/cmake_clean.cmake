@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecate_cli.dir/hecate_cli.cpp.o"
+  "CMakeFiles/hecate_cli.dir/hecate_cli.cpp.o.d"
+  "hecate_cli"
+  "hecate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

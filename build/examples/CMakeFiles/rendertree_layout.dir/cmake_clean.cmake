@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rendertree_layout.dir/rendertree_layout.cpp.o"
+  "CMakeFiles/rendertree_layout.dir/rendertree_layout.cpp.o.d"
+  "rendertree_layout"
+  "rendertree_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rendertree_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rendertree_layout.
+# This may be replaced when dependencies are built.

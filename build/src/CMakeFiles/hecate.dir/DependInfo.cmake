@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ftl.cpp" "src/CMakeFiles/hecate.dir/baselines/ftl.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/baselines/ftl.cpp.o.d"
+  "/root/repo/src/baselines/grafter.cpp" "src/CMakeFiles/hecate.dir/baselines/grafter.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/baselines/grafter.cpp.o.d"
+  "/root/repo/src/codegen/cpp_emitter.cpp" "src/CMakeFiles/hecate.dir/codegen/cpp_emitter.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/codegen/cpp_emitter.cpp.o.d"
+  "/root/repo/src/exec/cost_model.cpp" "src/CMakeFiles/hecate.dir/exec/cost_model.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/exec/cost_model.cpp.o.d"
+  "/root/repo/src/exec/interp.cpp" "src/CMakeFiles/hecate.dir/exec/interp.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/exec/interp.cpp.o.d"
+  "/root/repo/src/grammars/grammars.cpp" "src/CMakeFiles/hecate.dir/grammars/grammars.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/grammars/grammars.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/hecate.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/hecate.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/hecate.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/printer.cpp" "src/CMakeFiles/hecate.dir/lang/printer.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/lang/printer.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/hecate.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/lang/token.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/hecate.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/visit_plan.cpp" "src/CMakeFiles/hecate.dir/sched/visit_plan.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/sched/visit_plan.cpp.o.d"
+  "/root/repo/src/sem/analyzer.cpp" "src/CMakeFiles/hecate.dir/sem/analyzer.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/sem/analyzer.cpp.o.d"
+  "/root/repo/src/sem/grammar.cpp" "src/CMakeFiles/hecate.dir/sem/grammar.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/sem/grammar.cpp.o.d"
+  "/root/repo/src/solver/formula.cpp" "src/CMakeFiles/hecate.dir/solver/formula.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/solver/formula.cpp.o.d"
+  "/root/repo/src/solver/ilp.cpp" "src/CMakeFiles/hecate.dir/solver/ilp.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/solver/ilp.cpp.o.d"
+  "/root/repo/src/solver/sat.cpp" "src/CMakeFiles/hecate.dir/solver/sat.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/solver/sat.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/hecate.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/hecate.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/support/thread_pool.cpp.o.d"
+  "/root/repo/src/symbolic/general_encoder.cpp" "src/CMakeFiles/hecate.dir/symbolic/general_encoder.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/symbolic/general_encoder.cpp.o.d"
+  "/root/repo/src/symbolic/ilp_encoder.cpp" "src/CMakeFiles/hecate.dir/symbolic/ilp_encoder.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/symbolic/ilp_encoder.cpp.o.d"
+  "/root/repo/src/symbolic/trace.cpp" "src/CMakeFiles/hecate.dir/symbolic/trace.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/symbolic/trace.cpp.o.d"
+  "/root/repo/src/synth/autotuner.cpp" "src/CMakeFiles/hecate.dir/synth/autotuner.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/synth/autotuner.cpp.o.d"
+  "/root/repo/src/synth/cegis.cpp" "src/CMakeFiles/hecate.dir/synth/cegis.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/synth/cegis.cpp.o.d"
+  "/root/repo/src/tree/enumerate.cpp" "src/CMakeFiles/hecate.dir/tree/enumerate.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/tree/enumerate.cpp.o.d"
+  "/root/repo/src/tree/tree.cpp" "src/CMakeFiles/hecate.dir/tree/tree.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/tree/tree.cpp.o.d"
+  "/root/repo/src/workloads/ast_workload.cpp" "src/CMakeFiles/hecate.dir/workloads/ast_workload.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/workloads/ast_workload.cpp.o.d"
+  "/root/repo/src/workloads/rendertree.cpp" "src/CMakeFiles/hecate.dir/workloads/rendertree.cpp.o" "gcc" "src/CMakeFiles/hecate.dir/workloads/rendertree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

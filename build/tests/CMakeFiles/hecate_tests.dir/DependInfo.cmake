@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/hecate_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/hecate_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/hecate_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_grammars.cpp" "tests/CMakeFiles/hecate_tests.dir/test_grammars.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_grammars.cpp.o.d"
+  "/root/repo/tests/test_lang.cpp" "tests/CMakeFiles/hecate_tests.dir/test_lang.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_lang.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/hecate_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_sem_tree.cpp" "tests/CMakeFiles/hecate_tests.dir/test_sem_tree.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_sem_tree.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/hecate_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/hecate_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/hecate_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/hecate_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/hecate_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hecate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecate_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_codegen.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_codegen.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_exec.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_exec.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_grammars.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_grammars.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_lang.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_lang.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_property.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_sem_tree.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_sem_tree.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_solver.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_solver.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_support.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_support.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_synth.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_synth.cpp.o.d"
+  "CMakeFiles/hecate_tests.dir/test_workloads.cpp.o"
+  "CMakeFiles/hecate_tests.dir/test_workloads.cpp.o.d"
+  "hecate_tests"
+  "hecate_tests.pdb"
+  "hecate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
