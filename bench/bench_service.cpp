@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Throughput of the synthesis service vs. the serial one-shot loop on
+ * a repeated/perturbed grammar workload — the "schedule-synthesis
+ * traffic" scenario the service layer exists for.
+ *
+ * The workload is U genuinely distinct synthesis problems (the render
+ * grammar with a per-problem constant folded into one rule), each
+ * appearing under V isomorphic renames, each repeated R times:
+ * U*V*R requests but only U distinct problem keys. The serial
+ * baseline re-runs CEGIS for every request (what the seed's CLI did);
+ * the service answers duplicates from the content-addressed cache and
+ * deduplicates racing identical requests in flight.
+ *
+ * Expected shape: >2x throughput for the service as soon as the
+ * workload repeats itself at all; the gap widens with R and V since
+ * cache hits cost microseconds while CEGIS costs milliseconds+.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lang/parser.hpp"
+#include "sem/grammar.hpp"
+#include "service/synth_service.hpp"
+#include "synth/cegis.hpp"
+
+namespace {
+
+using namespace hecate;
+
+/**
+ * The Fig. 3 render grammar with a distinguishing constant @p salt
+ * (a distinct synthesis problem per salt) and every name suffixed
+ * with @p variant (an isomorphic rename per variant).
+ */
+std::string
+makeGrammarSource(int salt, int variant)
+{
+    const std::string v = "_v" + std::to_string(variant);
+    return "interface Box" + v + " {\n"
+           "    input w0" + v + ", h0" + v + " : int;\n"
+           "    output w1" + v + ", w" + v + ", h1" + v + ", h" + v +
+           " : int;\n"
+           "}\n"
+           "class Inner" + v + " : Box" + v + " {\n"
+           "    children {\n"
+           "        nx" + v + " : Optional[Box" + v + "];\n"
+           "        fc" + v + " : Optional[Box" + v + "];\n"
+           "    }\n"
+           "    rules {\n"
+           "        self.w" + v + "  := max(self.w0" + v + ", fc" + v +
+           ".w1" + v + ");\n"
+           "        self.w1" + v + " := max(self.w" + v + ", nx" + v +
+           ".w1" + v + ");\n"
+           "        self.h" + v + "  := max(self.h0" + v + ", fc" + v +
+           ".h1" + v + ");\n"
+           "        self.h1" + v + " := self.h" + v + " + nx" + v +
+           ".h1" + v + " + " + std::to_string(salt) + ";\n"
+           "    }\n"
+           "}\n"
+           "class Leaf" + v + " : Box" + v + " {\n"
+           "    children {\n"
+           "        nx" + v + " : Optional[Box" + v + "];\n"
+           "    }\n"
+           "    rules {\n"
+           "        self.w" + v + "  := self.w0" + v + ";\n"
+           "        self.w1" + v + " := max(self.w" + v + ", nx" + v +
+           ".w1" + v + ");\n"
+           "        self.h" + v + "  := self.h0" + v + ";\n"
+           "        self.h1" + v + " := self.h" + v + " + nx" + v +
+           ".h1" + v + " + " + std::to_string(salt) + ";\n"
+           "    }\n"
+           "}\n";
+}
+
+std::string
+makeTraversalSource(int variant)
+{
+    const std::string v = "_v" + std::to_string(variant);
+    return "traversal layout {\n"
+           "    case Inner" + v + " { recur fc" + v + "; recur nx" + v +
+           "; ??; ??; ??; ??; }\n"
+           "    case Leaf" + v + " { recur nx" + v + "; ??; ??; ??; ??; }\n"
+           "}\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kUnique = 4;  ///< distinct synthesis problems
+    constexpr int kVariants = 3; ///< isomorphic renames per problem
+    constexpr int kRepeats = 4;  ///< repetitions of each spelling
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+
+    std::vector<service::SynthRequest> workload;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+        for (int salt = 1; salt <= kUnique; ++salt) {
+            for (int variant = 0; variant < kVariants; ++variant) {
+                service::SynthRequest request;
+                request.grammarSrc = makeGrammarSource(salt, variant);
+                request.traversalSrc = makeTraversalSource(variant);
+                request.config = config;
+                workload.push_back(std::move(request));
+            }
+        }
+    }
+    std::printf("service throughput: %zu requests "
+                "(%d unique problems x %d renames x %d repeats)\n\n",
+                workload.size(), kUnique, kVariants, kRepeats);
+
+    // Serial baseline: cold one-shot synthesis per request.
+    Timer serial_timer;
+    size_t serial_ok = 0;
+    for (const service::SynthRequest& request : workload) {
+        sem::Grammar grammar =
+            sem::Grammar::analyze(lang::parseGrammar(request.grammarSrc));
+        sched::Skeleton skeleton = sched::Skeleton::resolve(
+            grammar, lang::parseTraversal(request.traversalSrc));
+        synth::SynthesisResult result =
+            synth::synthesize(skeleton, 0, {}, request.config);
+        if (result.schedule.has_value())
+            ++serial_ok;
+    }
+    const double serial_seconds = serial_timer.seconds();
+
+    // Service: content-addressed cache + single-flight + thread pool.
+    service::SynthService svc;
+    Timer service_timer;
+    std::vector<std::future<service::SynthOutcome>> futures;
+    futures.reserve(workload.size());
+    for (service::SynthRequest& request : workload)
+        futures.push_back(svc.submit(std::move(request)));
+    size_t service_ok = 0;
+    for (auto& future : futures)
+        service_ok += future.get().ok ? 1 : 0;
+    const double service_seconds = service_timer.seconds();
+
+    const double n = static_cast<double>(futures.size());
+    service::ServiceStats stats = svc.stats();
+    benchutil::row({"", "seconds", "req/s", "ok"});
+    benchutil::row({"serial", benchutil::secs(serial_seconds),
+                    benchutil::ratio(n / serial_seconds),
+                    std::to_string(serial_ok)});
+    benchutil::row({"service", benchutil::secs(service_seconds),
+                    benchutil::ratio(n / service_seconds),
+                    std::to_string(service_ok)});
+    std::printf("\nservice: fresh %llu | cache-hit %llu | joined %llu "
+                "(workers %zu)\n",
+                static_cast<unsigned long long>(stats.freshRuns),
+                static_cast<unsigned long long>(stats.cacheHits),
+                static_cast<unsigned long long>(stats.joinedInFlight),
+                svc.workerCount());
+    std::printf("speedup: %.2fx\n", serial_seconds / service_seconds);
+    return 0;
+}

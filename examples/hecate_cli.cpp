@@ -1,25 +1,50 @@
 /**
  * @file
- * `hecate` command-line driver: synthesize a traversal schedule for an
- * L_a grammar file and print or emit the result.
+ * `hecate` command-line driver.
  *
- * Usage:
- *   hecate_cli GRAMMAR.hec [TRAVERSAL.hec] [--root IFACE] [--engine ilp|sat]
- *              [--emit-cpp] [--depth K]
+ * Single-shot mode: synthesize a traversal schedule for an L_a
+ * grammar file and print or emit the result.
+ *
+ *   hecate_cli GRAMMAR.hec [TRAVERSAL.hec] [--root IFACE]
+ *              [--engine ilp|sat] [--emit-cpp] [--depth K]
  *
  * With no traversal file, the HecateA auto-tuner searches for a
  * skeleton. The synthesized concrete traversal is printed to stdout;
  * --emit-cpp additionally prints the generated C++.
+ *
+ * Batch mode: drive many requests through the synthesis service
+ * (schedule cache + single-flight dedup + thread pool) and report
+ * per-request provenance plus aggregate hit/dedup rates and latency
+ * percentiles.
+ *
+ *   hecate_cli batch REQUESTS.txt [--engine ilp|sat] [--depth K]
+ *              [--workers N] [--repeat K] [--cache-dir DIR]
+ *
+ * Each non-comment line of REQUESTS.txt is one request:
+ *
+ *   <grammar> [<traversal>] [root=IFACE]
+ *
+ * where <grammar> is a path to an L_a file or "builtin:NAME" for one
+ * of the bundled benchmarks (binarytree, fmm, piecewise, ast,
+ * rendertree, cssfloat, cssmargin, cssfull). Without a traversal the
+ * auto-tuner picks the skeleton. --repeat duplicates the request list
+ * K times (cache/dedup exercise); --cache-dir loads a persisted
+ * schedule cache before the run and saves it after.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "codegen/cpp_emitter.hpp"
+#include "grammars/grammars.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
+#include "service/synth_service.hpp"
+#include "support/timer.hpp"
 #include "synth/autotuner.hpp"
 
 using namespace hecate;
@@ -40,17 +65,221 @@ readFile(const std::string& path)
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: hecate_cli GRAMMAR.hec [TRAVERSAL.hec]\n"
-                 "       [--root IFACE] [--engine ilp|sat] [--emit-cpp]\n"
-                 "       [--depth K]\n");
+    std::fprintf(
+        stderr,
+        "usage: hecate_cli GRAMMAR.hec [TRAVERSAL.hec]\n"
+        "       [--root IFACE] [--engine ilp|sat] [--emit-cpp]\n"
+        "       [--depth K]\n"
+        "   or: hecate_cli batch REQUESTS.txt [--engine ilp|sat]\n"
+        "       [--depth K] [--workers N] [--repeat K]\n"
+        "       [--cache-dir DIR]\n");
     return 2;
 }
 
-} // namespace
+/** Resolve "builtin:NAME" to a bundled benchmark, or nullptr. */
+const grammars::Benchmark*
+builtinBenchmark(const std::string& name)
+{
+    if (name == "binarytree")
+        return &grammars::binaryTree();
+    if (name == "fmm")
+        return &grammars::fmm();
+    if (name == "piecewise")
+        return &grammars::piecewise();
+    if (name == "ast")
+        return &grammars::astBench();
+    if (name == "rendertree")
+        return &grammars::renderTree();
+    if (name == "cssfloat")
+        return &grammars::cssFloat();
+    if (name == "cssmargin")
+        return &grammars::cssMargin();
+    if (name == "cssfull")
+        return &grammars::cssFull();
+    return nullptr;
+}
+
+/** Parse one REQUESTS.txt line into a service request. */
+service::SynthRequest
+parseRequestLine(const std::string& line,
+                 const synth::SynthesisConfig& config)
+{
+    service::SynthRequest request;
+    request.config = config;
+
+    std::istringstream in(line);
+    std::string token;
+    int bare = 0;
+    while (in >> token) {
+        if (token.rfind("root=", 0) == 0) {
+            request.rootInterface = token.substr(5);
+        } else if (bare == 0) {
+            if (token.rfind("builtin:", 0) == 0) {
+                const grammars::Benchmark* bench =
+                    builtinBenchmark(token.substr(8));
+                if (bench == nullptr)
+                    userError("unknown builtin grammar '" + token + "'");
+                request.grammarSrc = bench->source;
+                request.rootInterface = bench->rootInterface;
+            } else {
+                request.grammarSrc = readFile(token);
+            }
+            ++bare;
+        } else if (bare == 1) {
+            request.traversalSrc = readFile(token);
+            ++bare;
+        } else {
+            userError("too many fields in request line: " + line);
+        }
+    }
+    if (bare == 0)
+        userError("empty request line");
+    return request;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
 
 int
-main(int argc, char** argv)
+runBatch(int argc, char** argv)
+{
+    std::string requests_path, cache_dir, engine = "ilp";
+    uint32_t depth = 3;
+    size_t workers = 0;
+    uint32_t repeat = 1;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--engine" && i + 1 < argc) {
+            engine = argv[++i];
+        } else if (arg == "--depth" && i + 1 < argc) {
+            depth = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--workers" && i + 1 < argc) {
+            workers = static_cast<size_t>(std::atoi(argv[++i]));
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_dir = argv[++i];
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else if (requests_path.empty()) {
+            requests_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (requests_path.empty() || repeat == 0)
+        return usage();
+
+    synth::SynthesisConfig synth_config;
+    synth_config.verify.maxDepth = depth;
+    synth_config.engine = engine == "sat"
+                              ? synth::Engine::GeneralPurposeSat
+                              : synth::Engine::DomainSpecificIlp;
+
+    // Parse the request list (before starting the clock).
+    std::vector<service::SynthRequest> requests;
+    {
+        std::ifstream in(requests_path);
+        if (!in)
+            userError("cannot open '" + requests_path + "'");
+        std::string line;
+        while (std::getline(in, line)) {
+            size_t first = line.find_first_not_of(" \t\r");
+            if (first == std::string::npos || line[first] == '#')
+                continue;
+            requests.push_back(parseRequestLine(line, synth_config));
+        }
+    }
+    if (requests.empty())
+        userError("no requests in '" + requests_path + "'");
+    const size_t unique_count = requests.size();
+    for (uint32_t r = 1; r < repeat; ++r) {
+        for (size_t i = 0; i < unique_count; ++i)
+            requests.push_back(requests[i]);
+    }
+
+    service::ServiceConfig service_config;
+    service_config.workers = workers;
+    service::SynthService svc(service_config);
+    if (!cache_dir.empty()) {
+        service::ScheduleCache::LoadReport report =
+            svc.cache().load(cache_dir);
+        for (const std::string& diag : report.diagnostics)
+            std::fprintf(stderr, "hecate: %s\n", diag.c_str());
+        if (report.loaded > 0) {
+            std::fprintf(stderr, "cache: loaded %zu entr%s from %s\n",
+                         report.loaded, report.loaded == 1 ? "y" : "ies",
+                         cache_dir.c_str());
+        }
+    }
+
+    Timer wall;
+    std::vector<std::future<service::SynthOutcome>> futures;
+    futures.reserve(requests.size());
+    for (service::SynthRequest& request : requests)
+        futures.push_back(svc.submit(std::move(request)));
+
+    std::vector<service::SynthOutcome> outcomes;
+    outcomes.reserve(futures.size());
+    for (auto& future : futures)
+        outcomes.push_back(future.get());
+    const double total_seconds = wall.seconds();
+
+    // Per-request report.
+    std::printf("%5s  %-6s  %10s  %6s  %s\n", "req", "source", "ms",
+                "iters", "status");
+    std::vector<double> latencies_ms;
+    size_t failures = 0;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const service::SynthOutcome& outcome = outcomes[i];
+        latencies_ms.push_back(outcome.seconds * 1e3);
+        if (!outcome.ok)
+            ++failures;
+        std::printf("%5zu  %-6s  %10.2f  %6u  %s\n", i,
+                    service::provenanceName(outcome.provenance),
+                    outcome.seconds * 1e3, outcome.cegisIterations,
+                    outcome.ok ? "ok" : outcome.failure.c_str());
+    }
+
+    // Aggregate report.
+    service::ServiceStats stats = svc.stats();
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const double n = static_cast<double>(outcomes.size());
+    std::printf("\nbatch: %zu requests (%zu unique lines x %u) in %.2fs "
+                "(%.1f req/s)\n",
+                outcomes.size(), unique_count, repeat, total_seconds,
+                total_seconds > 0 ? n / total_seconds : 0.0);
+    std::printf("  fresh %llu | cache-hit %llu | joined %llu | "
+                "failed %zu\n",
+                static_cast<unsigned long long>(stats.freshRuns),
+                static_cast<unsigned long long>(stats.cacheHits),
+                static_cast<unsigned long long>(stats.joinedInFlight),
+                failures);
+    std::printf("  hit rate %.1f%% | dedup rate %.1f%%\n",
+                100.0 * static_cast<double>(stats.cacheHits) / n,
+                100.0 * static_cast<double>(stats.joinedInFlight) / n);
+    std::printf("  latency p50 %.2fms | p95 %.2fms | max %.2fms\n",
+                percentile(latencies_ms, 0.50),
+                percentile(latencies_ms, 0.95),
+                latencies_ms.empty() ? 0.0 : latencies_ms.back());
+
+    if (!cache_dir.empty()) {
+        size_t written = svc.cache().save(cache_dir);
+        std::fprintf(stderr, "cache: saved %zu entr%s to %s\n", written,
+                     written == 1 ? "y" : "ies", cache_dir.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+runSingle(int argc, char** argv)
 {
     std::string grammar_path, traversal_path, root_name, engine = "ilp";
     bool emit_cpp = false;
@@ -79,54 +308,61 @@ main(int argc, char** argv)
     if (grammar_path.empty())
         return usage();
 
+    sem::Grammar grammar =
+        sem::Grammar::analyze(lang::parseGrammar(readFile(grammar_path)));
+    sem::InterfaceId root = root_name.empty()
+                                ? grammar.cls(0).iface
+                                : grammar.findInterface(root_name);
+    if (root == sem::kInvalidId)
+        userError("unknown root interface '" + root_name + "'");
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = depth;
+    config.engine = engine == "sat" ? synth::Engine::GeneralPurposeSat
+                                    : synth::Engine::DomainSpecificIlp;
+
+    std::optional<sched::Skeleton> skeleton;
+    std::optional<sched::Schedule> schedule;
+    if (traversal_path.empty()) {
+        synth::AutotuneResult tuned = synth::autotune(grammar, root, config);
+        if (!tuned.schedule.has_value())
+            userError("auto-tuning failed: " + tuned.lastSynthesis.failure);
+        std::fprintf(stderr, "auto-tuner: %s skeleton (%u tried)\n",
+                     synth::skeletonStyleName(tuned.style),
+                     tuned.skeletonsTried);
+        skeleton = std::move(tuned.skeleton);
+        schedule = std::move(tuned.schedule);
+    } else {
+        skeleton.emplace(sched::Skeleton::resolve(
+            grammar, lang::parseTraversal(readFile(traversal_path))));
+        synth::SynthesisResult result =
+            synth::synthesize(*skeleton, root, {}, config);
+        if (!result.schedule.has_value())
+            userError("synthesis failed: " + result.failure);
+        std::fprintf(stderr,
+                     "synthesized in %u CEGIS round(s), "
+                     "%zu trees verified\n",
+                     result.cegisIterations, result.verifiedTrees);
+        schedule = std::move(result.schedule);
+    }
+
+    std::printf("%s",
+                lang::printTraversal(schedule->toConcreteTraversal(*skeleton))
+                    .c_str());
+    if (emit_cpp)
+        std::printf("\n%s", codegen::emitCpp(*skeleton, *schedule).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
     try {
-        sem::Grammar grammar =
-            sem::Grammar::analyze(lang::parseGrammar(readFile(grammar_path)));
-        sem::InterfaceId root =
-            root_name.empty() ? grammar.cls(0).iface
-                              : grammar.findInterface(root_name);
-        if (root == sem::kInvalidId)
-            userError("unknown root interface '" + root_name + "'");
-
-        synth::SynthesisConfig config;
-        config.verify.maxDepth = depth;
-        config.engine = engine == "sat" ? synth::Engine::GeneralPurposeSat
-                                        : synth::Engine::DomainSpecificIlp;
-
-        std::optional<sched::Skeleton> skeleton;
-        std::optional<sched::Schedule> schedule;
-        if (traversal_path.empty()) {
-            synth::AutotuneResult tuned =
-                synth::autotune(grammar, root, config);
-            if (!tuned.schedule.has_value())
-                userError("auto-tuning failed: " +
-                          tuned.lastSynthesis.failure);
-            std::fprintf(stderr, "auto-tuner: %s skeleton (%u tried)\n",
-                         synth::skeletonStyleName(tuned.style),
-                         tuned.skeletonsTried);
-            skeleton = std::move(tuned.skeleton);
-            schedule = std::move(tuned.schedule);
-        } else {
-            skeleton.emplace(sched::Skeleton::resolve(
-                grammar, lang::parseTraversal(readFile(traversal_path))));
-            synth::SynthesisResult result =
-                synth::synthesize(*skeleton, root, {}, config);
-            if (!result.schedule.has_value())
-                userError("synthesis failed: " + result.failure);
-            std::fprintf(stderr, "synthesized in %u CEGIS round(s), "
-                         "%zu trees verified\n",
-                         result.cegisIterations, result.verifiedTrees);
-            schedule = std::move(result.schedule);
-        }
-
-        std::printf("%s", lang::printTraversal(
-                              schedule->toConcreteTraversal(*skeleton))
-                              .c_str());
-        if (emit_cpp) {
-            std::printf("\n%s",
-                        codegen::emitCpp(*skeleton, *schedule).c_str());
-        }
-        return 0;
+        if (argc >= 2 && std::strcmp(argv[1], "batch") == 0)
+            return runBatch(argc, argv);
+        return runSingle(argc, argv);
     } catch (const UserError& error) {
         std::fprintf(stderr, "hecate: %s\n", error.what());
         return 1;

@@ -1,6 +1,8 @@
 #include "sched/schedule.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
 
 namespace hecate::sched {
 
@@ -288,6 +290,49 @@ Schedule::toConcreteTraversal(const Skeleton& skeleton) const
         out.cases.push_back(std::move(concrete));
     }
     return out;
+}
+
+std::string
+Schedule::serialize() const
+{
+    std::string out = "schedv1 " + std::to_string(bySlot.size());
+    for (const auto& assignment : bySlot) {
+        out += ' ';
+        out += assignment.has_value() ? std::to_string(*assignment) : "-";
+    }
+    return out;
+}
+
+std::optional<Schedule>
+Schedule::deserialize(std::string_view text)
+{
+    std::istringstream in{std::string(text)};
+    std::string magic;
+    size_t count = 0;
+    if (!(in >> magic >> count) || magic != "schedv1")
+        return std::nullopt;
+
+    Schedule schedule;
+    schedule.bySlot.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        std::string token;
+        if (!(in >> token))
+            return std::nullopt;
+        if (token == "-") {
+            schedule.bySlot.emplace_back(std::nullopt);
+        } else {
+            char* end = nullptr;
+            unsigned long value = std::strtoul(token.c_str(), &end, 10);
+            if (end == token.c_str() || *end != '\0')
+                return std::nullopt;
+            schedule.bySlot.emplace_back(
+                static_cast<sem::RuleId>(value));
+        }
+    }
+    std::string trailing;
+    if (in >> trailing)
+        return std::nullopt; // more tokens than declared
+    return schedule;
 }
 
 std::vector<sem::RuleId>

@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -104,6 +105,21 @@ class Skeleton {
  */
 struct Schedule {
     std::vector<std::optional<sem::RuleId>> bySlot;
+
+    bool operator==(const Schedule&) const = default;
+
+    /**
+     * Serialize to a compact single-line text form
+     * ("schedv1 <n> <rule|-> ..."). Rule ids are grammar-relative, so
+     * the bytes are only meaningful next to the grammar + skeleton the
+     * schedule was synthesized for; the service layer's portable
+     * encoding (service/schedule_cache) layers canonical rule names on
+     * top of this for cross-request reuse.
+     */
+    std::string serialize() const;
+
+    /** Inverse of serialize(); empty optional on malformed input. */
+    static std::optional<Schedule> deserialize(std::string_view text);
 
     /**
      * Render the skeleton with every hole replaced by `eval` of its

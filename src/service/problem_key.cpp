@@ -1,0 +1,242 @@
+#include "service/problem_key.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::service {
+
+uint64_t
+fnv1a64(std::string_view data, uint64_t basis)
+{
+    uint64_t hash = basis;
+    for (unsigned char byte : data) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+ProblemKey::digest() const
+{
+    static const char* hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (uint64_t word : {hi, lo}) {
+        for (int shift = 60; shift >= 0; shift -= 4)
+            out.push_back(hex[(word >> shift) & 0xf]);
+    }
+    return out;
+}
+
+ProblemKey
+makeKeyFromCanonical(std::string canonical)
+{
+    ProblemKey key;
+    key.hi = fnv1a64(canonical);
+    key.lo = fnv1a64(canonical, 0x9e3779b97f4a7c15ull);
+    key.canonical = std::move(canonical);
+    return key;
+}
+
+namespace {
+
+/** Canonical "s.a<i>" / "c<k>.a<i>" form of an access path in @p cls. */
+std::string
+canonicalSelect(const sem::Grammar& grammar, const sem::ClassInfo& cls,
+                const ast::Select& select)
+{
+    if (select.isSelf()) {
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        return "s.a" + std::to_string(iface.attrByName.at(select.attr));
+    }
+    sem::ChildId child = cls.childByName.at(select.base);
+    const sem::InterfaceInfo& child_iface =
+        grammar.iface(cls.children[child].iface);
+    return "c" + std::to_string(child) + ".a" +
+           std::to_string(child_iface.attrByName.at(select.attr));
+}
+
+/** Canonical prefix form of a rule RHS expression. */
+std::string
+canonicalExpr(const sem::Grammar& grammar, const sem::ClassInfo& cls,
+              const ast::Expr& expr)
+{
+    switch (expr.kind) {
+      case ast::ExprKind::Const:
+        return "#" + std::to_string(expr.value);
+      case ast::ExprKind::Select:
+        return canonicalSelect(grammar, cls, expr.select);
+      case ast::ExprKind::Binary:
+      case ast::ExprKind::Call:
+      case ast::ExprKind::If: {
+        std::string out = "(";
+        out += expr.kind == ast::ExprKind::If ? "if" : expr.op;
+        for (const ast::ExprPtr& arg : expr.args) {
+            out += ' ';
+            out += canonicalExpr(grammar, cls, *arg);
+        }
+        out += ')';
+        return out;
+      }
+      case ast::ExprKind::Fold: {
+        std::string out = "(fold " + expr.op;
+        out += ' ';
+        out += canonicalExpr(grammar, cls, *expr.args[0]);
+        out += ' ';
+        out += canonicalSelect(grammar, cls, expr.select);
+        out += ')';
+        return out;
+      }
+    }
+    internalError("canonicalExpr: unknown expression kind");
+}
+
+/** Canonical LHS token of a rule ("s.a<i>" or "c<k>.a<i>"). */
+std::string
+canonicalLhs(const sem::RuleInfo& rule)
+{
+    if (rule.lhsChild == sem::kInvalidId)
+        return "s.a" + std::to_string(rule.lhs);
+    return "c" + std::to_string(rule.lhsChild) + ".a" +
+           std::to_string(rule.lhs);
+}
+
+/** Canonical "lhs:=rhs" text of one rule. */
+std::string
+canonicalRule(const sem::Grammar& grammar, const sem::RuleInfo& rule)
+{
+    const sem::ClassInfo& cls = grammar.cls(rule.cls);
+    return canonicalLhs(rule) + ":=" +
+           canonicalExpr(grammar, cls, *rule.decl->rhs);
+}
+
+/** Canonical text of one traversal statement within class @p cls. */
+void
+canonicalStmt(const sched::Skeleton& skeleton, const sem::ClassInfo& cls,
+              const ast::TStmt& stmt, std::string& out)
+{
+    switch (stmt.kind) {
+      case ast::TStmtKind::Hole:
+        out += "?;";
+        return;
+      case ast::TStmtKind::Recur:
+        out += "r" + std::to_string(cls.childByName.at(stmt.child)) + ";";
+        return;
+      case ast::TStmtKind::Eval: {
+        const sem::RuleInfo& rule =
+            skeleton.grammar().rule(skeleton.evalRule(&stmt));
+        out += "e" + canonicalLhs(rule) + ";";
+        return;
+      }
+      case ast::TStmtKind::Iterate:
+      case ast::TStmtKind::Parallel: {
+        out += stmt.kind == ast::TStmtKind::Iterate ? "i" : "p";
+        if (!stmt.child.empty())
+            out += std::to_string(cls.childByName.at(stmt.child));
+        out += '{';
+        for (const ast::TStmtPtr& body : stmt.body)
+            canonicalStmt(skeleton, cls, *body, out);
+        out += '}';
+        return;
+      }
+    }
+}
+
+/** Canonical config suffix: every knob that can change the answer. */
+std::string
+canonicalConfig(sem::InterfaceId rootIface,
+                const synth::SynthesisConfig& config)
+{
+    std::string out = "|root:I" + std::to_string(rootIface);
+    out += "|cfg:" + std::to_string(static_cast<int>(config.engine));
+    out += ',' + std::to_string(config.verify.maxDepth);
+    out += ',' + std::to_string(config.verify.maxCollection);
+    out += ',' + std::to_string(config.verify.perSlotOptions);
+    out += ',' + std::to_string(config.verify.limit);
+    out += ',' + std::to_string(config.maxIterations);
+    out += ',' + std::to_string(config.seed);
+    return out;
+}
+
+} // namespace
+
+std::string
+canonicalGrammar(const sem::Grammar& grammar)
+{
+    std::string out;
+    for (const sem::InterfaceInfo& iface : grammar.interfaces()) {
+        out += "I" + std::to_string(iface.id) + "{";
+        for (const sem::AttributeInfo& attr : iface.attrs)
+            out += attr.isInput ? "in;" : "out;";
+        out += "}";
+    }
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        out += "C" + std::to_string(cls.id) + ":I" +
+               std::to_string(cls.iface) + "{";
+        for (const sem::ChildInfo& child : cls.children) {
+            out += "c" + std::to_string(child.id) + ":I" +
+                   std::to_string(child.iface);
+            if (child.optional)
+                out += '?';
+            if (child.collection)
+                out += '*';
+            std::vector<sem::ClassId> allowed = child.allowedClasses;
+            std::sort(allowed.begin(), allowed.end());
+            out += '[';
+            for (sem::ClassId id : allowed)
+                out += "C" + std::to_string(id) + ";";
+            out += "];";
+        }
+        // Sorting the canonical rule texts makes the key independent of
+        // rule declaration order.
+        std::vector<std::string> rules;
+        rules.reserve(cls.rules.size());
+        for (sem::RuleId rule : cls.rules)
+            rules.push_back(canonicalRule(grammar, grammar.rule(rule)));
+        std::sort(rules.begin(), rules.end());
+        for (const std::string& rule : rules)
+            out += rule + ";";
+        out += "}";
+    }
+    return out;
+}
+
+std::string
+canonicalRuleToken(const sem::Grammar& grammar, sem::RuleId rule)
+{
+    const sem::RuleInfo& info = grammar.rule(rule);
+    return "C" + std::to_string(info.cls) + "/" + canonicalLhs(info);
+}
+
+ProblemKey
+makeProblemKey(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
+               const synth::SynthesisConfig& config)
+{
+    const sem::Grammar& grammar = skeleton.grammar();
+    std::string canonical = canonicalGrammar(grammar);
+    // Cases in ClassId order — the surface case order is irrelevant.
+    canonical += "|trav:";
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        canonical += "C" + std::to_string(cls.id) + "{";
+        for (const ast::TStmtPtr& stmt : skeleton.caseFor(cls.id).stmts)
+            canonicalStmt(skeleton, cls, *stmt, canonical);
+        canonical += "}";
+    }
+    canonical += canonicalConfig(rootIface, config);
+    return makeKeyFromCanonical(std::move(canonical));
+}
+
+ProblemKey
+makeAutoProblemKey(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+                   const synth::SynthesisConfig& config)
+{
+    std::string canonical = canonicalGrammar(grammar);
+    canonical += "|trav:auto";
+    canonical += canonicalConfig(rootIface, config);
+    return makeKeyFromCanonical(std::move(canonical));
+}
+
+} // namespace hecate::service

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Content-addressed identity of a synthesis problem.
+ *
+ * A ProblemKey is a canonical serialization (plus a 128-bit hash) of
+ * the triple (grammar, skeleton, SynthesisConfig) that two requests
+ * share exactly when they pose the same synthesis problem:
+ *
+ *  - every interface, class, attribute and child name is replaced by
+ *    its dense positional id, so renamed-but-isomorphic grammars
+ *    serialize identically;
+ *  - rules within a class are serialized to canonical strings and
+ *    sorted, so rule declaration order is irrelevant;
+ *  - traversal cases are emitted in ClassId order with holes, recurs
+ *    and evals in canonical form, so the skeleton's surface spelling
+ *    (names, case order) is irrelevant;
+ *  - every knob of SynthesisConfig that can change the answer is
+ *    appended verbatim.
+ *
+ * The canonical string — not the hash — is the cache key, so hash
+ * collisions can never alias two different problems. The service
+ * layer (schedule_cache, synth_service) keys everything on it.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "synth/cegis.hpp"
+
+namespace hecate::service {
+
+/** FNV-1a 64-bit hash of @p data starting from @p basis. */
+uint64_t fnv1a64(std::string_view data,
+                 uint64_t basis = 0xcbf29ce484222325ull);
+
+/** Content-addressed identity of a synthesis problem. */
+struct ProblemKey {
+    std::string canonical; ///< exact key; hash is derived
+    uint64_t hi = 0;       ///< fnv1a64(canonical)
+    uint64_t lo = 0;       ///< fnv1a64(canonical, alternate basis)
+
+    /** 32 hex chars naming this key (cache file names, reports). */
+    std::string digest() const;
+
+    bool operator==(const ProblemKey& other) const
+    {
+        return canonical == other.canonical;
+    }
+};
+
+/** Wrap an already-canonical string as a ProblemKey (derives hashes). */
+ProblemKey makeKeyFromCanonical(std::string canonical);
+
+/** Canonical (rename-invariant, rule-order-invariant) grammar text. */
+std::string canonicalGrammar(const sem::Grammar& grammar);
+
+/**
+ * Canonical name of one rule, unique within its grammar and stable
+ * across isomorphic renames: "C<cls>/s.a<attr>" for self writes,
+ * "C<cls>/c<child>.a<attr>" for inherited (child-target) writes.
+ * The portable schedule encoding (schedule_cache) is built on it.
+ */
+std::string canonicalRuleToken(const sem::Grammar& grammar,
+                               sem::RuleId rule);
+
+/** Key of a synthesis problem with a user-supplied skeleton. */
+ProblemKey makeProblemKey(const sched::Skeleton& skeleton,
+                          sem::InterfaceId rootIface,
+                          const synth::SynthesisConfig& config);
+
+/**
+ * Key of an auto-tuned problem (no skeleton given): the grammar and
+ * config alone, tagged so it can never collide with a skeleton key.
+ */
+ProblemKey makeAutoProblemKey(const sem::Grammar& grammar,
+                              sem::InterfaceId rootIface,
+                              const synth::SynthesisConfig& config);
+
+} // namespace hecate::service

@@ -1,0 +1,293 @@
+#include "service/schedule_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hecate::service {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Portable schedule encoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+collectHoles(const sched::Skeleton& skeleton, const ast::TStmt& stmt,
+             std::vector<sched::SlotId>& order)
+{
+    if (stmt.kind == ast::TStmtKind::Hole) {
+        order.push_back(skeleton.slotOf(&stmt));
+    } else if (stmt.kind == ast::TStmtKind::Iterate ||
+               stmt.kind == ast::TStmtKind::Parallel) {
+        for (const ast::TStmtPtr& body : stmt.body)
+            collectHoles(skeleton, *body, order);
+    }
+}
+
+/**
+ * Slot ids in *canonical* order: cases walked in ClassId order (the
+ * same normalization ProblemKey applies), holes in statement order.
+ * SlotIds themselves follow the surface case order, so two skeletons
+ * with the same ProblemKey can number their slots differently — this
+ * ordering is what makes the encoding portable between them.
+ */
+std::vector<sched::SlotId>
+canonicalSlotOrder(const sched::Skeleton& skeleton)
+{
+    std::vector<sched::SlotId> order;
+    order.reserve(skeleton.slotCount());
+    for (const sem::ClassInfo& cls : skeleton.grammar().classes()) {
+        for (const ast::TStmtPtr& stmt : skeleton.caseFor(cls.id).stmts)
+            collectHoles(skeleton, *stmt, order);
+    }
+    return order;
+}
+
+} // namespace
+
+std::string
+encodePortableSchedule(const sched::Skeleton& skeleton,
+                       const sched::Schedule& schedule)
+{
+    const sem::Grammar& grammar = skeleton.grammar();
+    std::string out = "hecsched v1\n";
+    out += std::to_string(schedule.bySlot.size());
+    out += '\n';
+    for (sched::SlotId slot : canonicalSlotOrder(skeleton)) {
+        const auto& assignment = schedule.bySlot[slot];
+        out += assignment.has_value()
+                   ? canonicalRuleToken(grammar, *assignment)
+                   : std::string("-");
+        out += '\n';
+    }
+    return out;
+}
+
+std::optional<sched::Schedule>
+decodePortableSchedule(const sched::Skeleton& skeleton,
+                       std::string_view blob)
+{
+    std::istringstream in{std::string(blob)};
+    std::string magic, version;
+    size_t count = 0;
+    if (!(in >> magic >> version >> count) || magic != "hecsched" ||
+        version != "v1" || count != skeleton.slotCount()) {
+        return std::nullopt;
+    }
+
+    // Canonical token -> RuleId for the *requesting* grammar. Tokens
+    // are stable across isomorphic renames, so this remaps a cached
+    // schedule onto a grammar with differently-numbered rules.
+    const sem::Grammar& grammar = skeleton.grammar();
+    std::unordered_map<std::string, sem::RuleId> byToken;
+    byToken.reserve(grammar.ruleCount());
+    for (const sem::RuleInfo& rule : grammar.rules())
+        byToken.emplace(canonicalRuleToken(grammar, rule.id), rule.id);
+
+    sched::Schedule schedule;
+    schedule.bySlot.assign(count, std::nullopt);
+    for (sched::SlotId slot : canonicalSlotOrder(skeleton)) {
+        std::string token;
+        if (!(in >> token))
+            return std::nullopt;
+        if (token == "-")
+            continue;
+        auto it = byToken.find(token);
+        if (it == byToken.end())
+            return std::nullopt;
+        schedule.bySlot[slot] = it->second;
+    }
+    return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded LRU
+// ---------------------------------------------------------------------------
+
+ScheduleCache::ScheduleCache(size_t capacity, size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      shards_(shards == 0 ? 1 : shards)
+{
+    perShardCapacity_ = (capacity_ + shards_.size() - 1) / shards_.size();
+    if (perShardCapacity_ == 0)
+        perShardCapacity_ = 1;
+}
+
+std::optional<std::string>
+ScheduleCache::get(const ProblemKey& key)
+{
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key.canonical);
+    if (it == shard.index.end()) {
+        ++shard.stats.misses;
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.hits;
+    return it->second->blob;
+}
+
+void
+ScheduleCache::put(const ProblemKey& key, std::string blob)
+{
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key.canonical);
+    if (it != shard.index.end()) {
+        it->second->blob = std::move(blob);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front(Entry{key, std::move(blob)});
+    shard.index.emplace(key.canonical, shard.lru.begin());
+    ++shard.stats.insertions;
+    while (shard.lru.size() > perShardCapacity_) {
+        shard.index.erase(shard.lru.back().key.canonical);
+        shard.lru.pop_back();
+        ++shard.stats.evictions;
+    }
+}
+
+size_t
+ScheduleCache::size() const
+{
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.lru.size();
+    }
+    return total;
+}
+
+ScheduleCache::Stats
+ScheduleCache::stats() const
+{
+    Stats total;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total.hits += shard.stats.hits;
+        total.misses += shard.stats.misses;
+        total.insertions += shard.stats.insertions;
+        total.evictions += shard.stats.evictions;
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kMagicLine = "hecate-cache v1";
+
+std::string
+checksumHex(std::string_view canonical, std::string_view blob)
+{
+    uint64_t sum = fnv1a64(canonical);
+    sum = fnv1a64("\x1f", sum); // separator: (a,b) != (a', b') reshuffles
+    sum = fnv1a64(blob, sum);
+    static const char* hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+        out[i] = hex[(sum >> (60 - 4 * i)) & 0xf];
+    return out;
+}
+
+} // namespace
+
+size_t
+ScheduleCache::save(const std::string& dir) const
+{
+    fs::create_directories(dir);
+    size_t written = 0;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const Entry& entry : shard.lru) {
+            fs::path path =
+                fs::path(dir) / (entry.key.digest() + ".hsc");
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            if (!out)
+                continue;
+            out << kMagicLine << '\n'
+                << checksumHex(entry.key.canonical, entry.blob) << '\n'
+                << entry.key.canonical.size() << '\n'
+                << entry.key.canonical << entry.blob;
+            if (out)
+                ++written;
+        }
+    }
+    return written;
+}
+
+ScheduleCache::LoadReport
+ScheduleCache::load(const std::string& dir)
+{
+    LoadReport report;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return report;
+
+    for (const fs::directory_entry& file : fs::directory_iterator(dir, ec)) {
+        if (!file.is_regular_file() || file.path().extension() != ".hsc")
+            continue;
+        const std::string name = file.path().filename().string();
+        auto skip = [&](const std::string& why) {
+            ++report.skipped;
+            report.diagnostics.push_back("cache entry '" + name +
+                                         "' skipped: " + why);
+        };
+
+        std::ifstream in(file.path(), std::ios::binary);
+        if (!in) {
+            skip("unreadable");
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string bytes = buffer.str();
+
+        std::istringstream header(bytes);
+        std::string magic, checksum, sizeLine;
+        if (!std::getline(header, magic) ||
+            !std::getline(header, checksum) ||
+            !std::getline(header, sizeLine)) {
+            skip("truncated header");
+            continue;
+        }
+        if (magic != kMagicLine) {
+            skip("bad magic/version '" + magic + "'");
+            continue;
+        }
+        size_t keySize = 0;
+        try {
+            keySize = std::stoul(sizeLine);
+        } catch (const std::exception&) {
+            skip("bad key-size line");
+            continue;
+        }
+        const size_t payloadStart =
+            magic.size() + 1 + checksum.size() + 1 + sizeLine.size() + 1;
+        if (payloadStart + keySize > bytes.size()) {
+            skip("truncated payload");
+            continue;
+        }
+        std::string canonical = bytes.substr(payloadStart, keySize);
+        std::string blob = bytes.substr(payloadStart + keySize);
+        if (checksumHex(canonical, blob) != checksum) {
+            skip("checksum mismatch");
+            continue;
+        }
+
+        ProblemKey key = makeKeyFromCanonical(std::move(canonical));
+        put(key, std::move(blob));
+        ++report.loaded;
+    }
+    return report;
+}
+
+} // namespace hecate::service

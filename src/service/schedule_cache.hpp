@@ -1,0 +1,121 @@
+#pragma once
+
+/**
+ * @file
+ * In-memory sharded LRU cache of synthesized schedules, keyed by
+ * ProblemKey, with an on-disk persistence format.
+ *
+ * Entries store a *portable* schedule encoding: per-slot canonical
+ * rule tokens (see canonicalRuleToken) rather than raw RuleIds, so an
+ * entry written for one grammar decodes correctly against any
+ * isomorphic rename of it — exactly the set of grammars that can
+ * produce the same ProblemKey.
+ *
+ * Disk format (one file per entry, named "<digest>.hsc"):
+ *
+ *     hecate-cache v1\n
+ *     <fnv1a64 checksum of payload, 16 hex chars>\n
+ *     <byte length of canonical key>\n
+ *     <canonical key bytes><schedule blob bytes ... EOF>
+ *
+ * load() skips files with a bad magic line, checksum mismatch, or
+ * truncated payload, reporting a diagnostic per skipped file instead
+ * of failing the whole load.
+ */
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/problem_key.hpp"
+
+namespace hecate::service {
+
+/**
+ * Encode @p schedule as a portable blob ("hecsched v1" + per-slot
+ * canonical rule tokens) decodable against any isomorphic grammar.
+ */
+std::string encodePortableSchedule(const sched::Skeleton& skeleton,
+                                   const sched::Schedule& schedule);
+
+/**
+ * Decode a portable blob against @p skeleton. Empty optional when the
+ * blob is malformed or references rules/slots @p skeleton lacks.
+ */
+std::optional<sched::Schedule>
+decodePortableSchedule(const sched::Skeleton& skeleton,
+                       std::string_view blob);
+
+/** Sharded LRU cache of portable schedule blobs. */
+class ScheduleCache {
+  public:
+    /** Monotonic operation counters (aggregated across shards). */
+    struct Stats {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+    };
+
+    /** Outcome of loading a persisted cache directory. */
+    struct LoadReport {
+        size_t loaded = 0;
+        size_t skipped = 0;
+        std::vector<std::string> diagnostics; ///< one per skipped file
+    };
+
+    /**
+     * @p capacity total entries across @p shards shards (each shard
+     * holds ~capacity/shards and evicts LRU independently).
+     */
+    explicit ScheduleCache(size_t capacity = 1024, size_t shards = 8);
+
+    /** Look up a blob; bumps recency on hit. */
+    std::optional<std::string> get(const ProblemKey& key);
+
+    /** Insert or refresh an entry, evicting LRU if the shard is full. */
+    void put(const ProblemKey& key, std::string blob);
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    Stats stats() const;
+
+    /**
+     * Persist every entry under @p dir (created if missing), one
+     * checksummed file per entry. Returns the number written.
+     */
+    size_t save(const std::string& dir) const;
+
+    /**
+     * Load every "*.hsc" entry under @p dir, skipping (and reporting)
+     * corrupt files. Missing directory = empty report, not an error.
+     */
+    LoadReport load(const std::string& dir);
+
+  private:
+    struct Entry {
+        ProblemKey key;
+        std::string blob;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; ///< front = most recent
+        std::unordered_map<std::string, std::list<Entry>::iterator> index;
+        mutable Stats stats;
+    };
+
+    Shard& shardFor(const ProblemKey& key)
+    {
+        return shards_[key.hi % shards_.size()];
+    }
+
+    size_t capacity_;
+    size_t perShardCapacity_;
+    mutable std::vector<Shard> shards_;
+};
+
+} // namespace hecate::service

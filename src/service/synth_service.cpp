@@ -1,0 +1,290 @@
+#include "service/synth_service.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "support/timer.hpp"
+#include "synth/autotuner.hpp"
+
+namespace hecate::service {
+
+namespace {
+
+/// Payload markers: what kind of skeleton the cached schedule is for.
+constexpr const char* kGivenMarker = "given";
+constexpr const char* kAutoMarker = "auto";
+
+std::string
+makePayload(bool autoMode, synth::SkeletonStyle style,
+            const sched::Skeleton& skeleton,
+            const sched::Schedule& schedule)
+{
+    std::string payload;
+    if (autoMode) {
+        payload = std::string(kAutoMarker) + " " +
+                  std::to_string(static_cast<int>(style)) + "\n";
+    } else {
+        payload = std::string(kGivenMarker) + "\n";
+    }
+    payload += encodePortableSchedule(skeleton, schedule);
+    return payload;
+}
+
+} // namespace
+
+const char*
+provenanceName(Provenance provenance)
+{
+    switch (provenance) {
+      case Provenance::CacheHit:
+        return "cache";
+      case Provenance::JoinedInFlight:
+        return "joined";
+      case Provenance::FreshRun:
+        return "fresh";
+    }
+    return "?";
+}
+
+SynthService::SynthService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cacheCapacity, config_.cacheShards),
+      pool_(config_.workers)
+{
+}
+
+SynthService::~SynthService()
+{
+    drain();
+}
+
+std::future<SynthOutcome>
+SynthService::submit(SynthRequest request)
+{
+    auto promise = std::make_shared<std::promise<SynthOutcome>>();
+    std::future<SynthOutcome> future = promise->get_future();
+    pool_.submit([this, promise, request = std::move(request)]() mutable {
+        promise->set_value(process(request));
+    });
+    return future;
+}
+
+SynthOutcome
+SynthService::runNow(const SynthRequest& request)
+{
+    return process(request);
+}
+
+void
+SynthService::drain()
+{
+    pool_.waitAll();
+}
+
+ServiceStats
+SynthService::stats() const
+{
+    ServiceStats stats;
+    stats.requests = requests_.load();
+    stats.cacheHits = cacheHits_.load();
+    stats.joinedInFlight = joined_.load();
+    stats.freshRuns = freshRuns_.load();
+    stats.failures = failures_.load();
+    return stats;
+}
+
+/**
+ * Turn a cached/joined payload back into a schedule + printed
+ * traversal for @p grammar. For "auto" payloads the winning skeleton
+ * style is rebuilt; for "given" payloads the request's own resolved
+ * skeleton is used. Returns false when the payload cannot be decoded
+ * (version skew, slot mismatch) — callers fall back to a fresh run.
+ */
+bool
+SynthService::materialize(const sem::Grammar& grammar,
+                          std::optional<sched::Skeleton>& skeleton,
+                          const std::string& payload, SynthOutcome& out)
+{
+    size_t newline = payload.find('\n');
+    if (newline == std::string::npos)
+        return false;
+    std::string header = payload.substr(0, newline);
+    std::string blob = payload.substr(newline + 1);
+
+    if (header.rfind(kAutoMarker, 0) == 0 &&
+        header.size() > std::string(kAutoMarker).size()) {
+        int style = std::atoi(header.c_str() + 5);
+        if (style < 0 ||
+            style > static_cast<int>(synth::SkeletonStyle::DoublePost)) {
+            return false;
+        }
+        skeleton.emplace(sched::Skeleton::resolve(
+            grammar,
+            synth::makeSkeleton(grammar,
+                                static_cast<synth::SkeletonStyle>(style))));
+    } else if (header != kGivenMarker || !skeleton.has_value()) {
+        return false;
+    }
+
+    std::optional<sched::Schedule> schedule =
+        decodePortableSchedule(*skeleton, blob);
+    if (!schedule.has_value())
+        return false;
+    out.concreteTraversal =
+        lang::printTraversal(schedule->toConcreteTraversal(*skeleton));
+    out.schedule = std::move(schedule);
+    out.ok = true;
+    return true;
+}
+
+/** Leader path: run CEGIS (or the auto-tuner) and build the payload. */
+SynthService::FlightResult
+SynthService::runLeader(const SynthRequest& request,
+                        const sem::Grammar& grammar, sem::InterfaceId root,
+                        std::optional<sched::Skeleton>& skeleton,
+                        SynthOutcome& out)
+{
+    FlightResult flight;
+    const bool autoMode = !skeleton.has_value();
+    if (autoMode) {
+        synth::AutotuneResult tuned =
+            synth::autotune(grammar, root, request.config);
+        flight.cegisIterations = tuned.lastSynthesis.cegisIterations;
+        if (!tuned.schedule.has_value()) {
+            flight.failure = "auto-tuning failed: " +
+                             tuned.lastSynthesis.failure;
+            return flight;
+        }
+        skeleton = std::move(tuned.skeleton);
+        flight.payload = makePayload(true, tuned.style, *skeleton,
+                                     *tuned.schedule);
+        out.schedule = std::move(tuned.schedule);
+    } else {
+        synth::SynthesisResult result =
+            synth::synthesize(*skeleton, root, {}, request.config);
+        flight.cegisIterations = result.cegisIterations;
+        if (!result.schedule.has_value()) {
+            flight.failure = "synthesis failed: " + result.failure;
+            return flight;
+        }
+        flight.payload = makePayload(false, synth::SkeletonStyle::PostOrder,
+                                     *skeleton, *result.schedule);
+        out.schedule = std::move(result.schedule);
+    }
+    out.concreteTraversal =
+        lang::printTraversal(out.schedule->toConcreteTraversal(*skeleton));
+    flight.ok = true;
+    return flight;
+}
+
+SynthOutcome
+SynthService::process(const SynthRequest& request)
+{
+    SynthOutcome out;
+    Timer timer;
+    ++requests_;
+    try {
+        sem::Grammar grammar =
+            sem::Grammar::analyze(lang::parseGrammar(request.grammarSrc));
+        sem::InterfaceId root =
+            request.rootInterface.empty()
+                ? grammar.cls(0).iface
+                : grammar.findInterface(request.rootInterface);
+        if (root == sem::kInvalidId) {
+            userError("unknown root interface '" + request.rootInterface +
+                      "'");
+        }
+
+        std::optional<sched::Skeleton> skeleton;
+        ProblemKey key;
+        if (request.traversalSrc.empty()) {
+            key = makeAutoProblemKey(grammar, root, request.config);
+        } else {
+            skeleton.emplace(sched::Skeleton::resolve(
+                grammar, lang::parseTraversal(request.traversalSrc)));
+            key = makeProblemKey(*skeleton, root, request.config);
+        }
+        out.keyDigest = key.digest();
+
+        // 1. Schedule cache.
+        if (std::optional<std::string> blob = cache_.get(key)) {
+            if (materialize(grammar, skeleton, *blob, out)) {
+                out.provenance = Provenance::CacheHit;
+                ++cacheHits_;
+                out.seconds = timer.seconds();
+                return out;
+            }
+            // Undecodable entry (version skew): treat as a miss.
+        }
+
+        // 2. Single flight: join an identical in-flight request...
+        std::shared_ptr<Flight> flight;
+        bool leader = false;
+        {
+            std::lock_guard<std::mutex> lock(flightsMutex_);
+            auto it = flights_.find(key.canonical);
+            if (it != flights_.end()) {
+                flight = it->second;
+            } else {
+                flight = std::make_shared<Flight>();
+                flight->future = flight->promise.get_future().share();
+                flights_.emplace(key.canonical, flight);
+                leader = true;
+            }
+        }
+        if (!leader) {
+            ++joined_;
+            FlightResult result = flight->future.get();
+            out.provenance = Provenance::JoinedInFlight;
+            out.cegisIterations = result.cegisIterations;
+            if (result.ok &&
+                materialize(grammar, skeleton, result.payload, out)) {
+                out.seconds = timer.seconds();
+                return out;
+            }
+            out.ok = false;
+            out.failure = result.ok ? "could not decode leader's schedule"
+                                    : result.failure;
+            ++failures_;
+            out.seconds = timer.seconds();
+            return out;
+        }
+
+        // 3. ...or lead: run the synthesizer, publish to cache+followers.
+        if (config_.onLeaderSynthesis)
+            config_.onLeaderSynthesis();
+        FlightResult result;
+        try {
+            result = runLeader(request, grammar, root, skeleton, out);
+        } catch (const Error& error) {
+            result.ok = false;
+            result.failure = error.what();
+        }
+        if (result.ok)
+            cache_.put(key, result.payload);
+        {
+            std::lock_guard<std::mutex> lock(flightsMutex_);
+            flights_.erase(key.canonical);
+        }
+        flight->promise.set_value(result);
+
+        ++freshRuns_;
+        out.provenance = Provenance::FreshRun;
+        out.cegisIterations = result.cegisIterations;
+        out.ok = result.ok;
+        if (!result.ok) {
+            out.failure = result.failure;
+            ++failures_;
+        }
+    } catch (const Error& error) {
+        out.ok = false;
+        out.failure = error.what();
+        ++failures_;
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+} // namespace hecate::service

@@ -1,0 +1,151 @@
+#pragma once
+
+/**
+ * @file
+ * SynthService: the one-shot synthesizer turned into a reusable,
+ * concurrent synthesis service.
+ *
+ * submit() returns a future resolved on a hecate::ThreadPool worker.
+ * Each request is (grammar source, optional traversal source, root,
+ * SynthesisConfig); the service computes its content-addressed
+ * ProblemKey and then:
+ *
+ *  1. serves it from the ScheduleCache when the key is present
+ *     (provenance CacheHit — no CEGIS, no solver);
+ *  2. otherwise joins an identical in-flight request if one is
+ *     running (single-flight: provenance JoinedInFlight, exactly one
+ *     CEGIS run per distinct key no matter how many duplicates race);
+ *  3. otherwise becomes the leader: runs CEGIS (or the auto-tuner
+ *     when no traversal is given), publishes the result to followers
+ *     and the cache (provenance FreshRun).
+ *
+ * Every outcome records its provenance, the leader's CEGIS iteration
+ * count, and this request's own wall time.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "service/schedule_cache.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hecate::service {
+
+/** How a request's answer was obtained. */
+enum class Provenance : uint8_t {
+    CacheHit,       ///< decoded from the schedule cache
+    JoinedInFlight, ///< attached to an identical running request
+    FreshRun,       ///< this request ran CEGIS itself
+};
+
+/** Short name for reports ("cache" / "joined" / "fresh"). */
+const char* provenanceName(Provenance provenance);
+
+/** One synthesis request, self-contained (sources, not references). */
+struct SynthRequest {
+    std::string grammarSrc;    ///< L_a source text
+    std::string traversalSrc;  ///< L_t source; empty = auto-tune
+    std::string rootInterface; ///< empty = interface of class 0
+    synth::SynthesisConfig config;
+};
+
+/** Result of one request, with provenance. */
+struct SynthOutcome {
+    bool ok = false;
+    Provenance provenance = Provenance::FreshRun;
+    std::string keyDigest;          ///< ProblemKey::digest()
+    std::optional<sched::Schedule> schedule;
+    std::string concreteTraversal;  ///< printed Fig. 4(b) form
+    uint32_t cegisIterations = 0;   ///< leader's CEGIS rounds
+    double seconds = 0.0;           ///< this request's wall time
+    std::string failure;            ///< set when !ok
+};
+
+/** Service-wide monotonic counters. */
+struct ServiceStats {
+    uint64_t requests = 0;
+    uint64_t cacheHits = 0;
+    uint64_t joinedInFlight = 0;
+    uint64_t freshRuns = 0;
+    uint64_t failures = 0;
+};
+
+/** Construction knobs. */
+struct ServiceConfig {
+    size_t workers = 0;        ///< thread pool size; 0 = hardware
+    size_t cacheCapacity = 1024;
+    size_t cacheShards = 8;
+    /**
+     * Test hook: run by a leader after it has registered its flight
+     * and before it starts CEGIS. Lets tests hold a leader open while
+     * duplicate requests pile up and join.
+     */
+    std::function<void()> onLeaderSynthesis;
+};
+
+/** Concurrent, cached, deduplicated front end to the synthesizer. */
+class SynthService {
+  public:
+    explicit SynthService(ServiceConfig config = {});
+    ~SynthService();
+
+    SynthService(const SynthService&) = delete;
+    SynthService& operator=(const SynthService&) = delete;
+
+    /** Enqueue a request; the future resolves on a pool worker. */
+    std::future<SynthOutcome> submit(SynthRequest request);
+
+    /** Run a request synchronously on the calling thread (same path). */
+    SynthOutcome runNow(const SynthRequest& request);
+
+    /** Block until every submitted request has resolved. */
+    void drain();
+
+    ServiceStats stats() const;
+    ScheduleCache& cache() { return cache_; }
+    size_t workerCount() const { return pool_.workerCount(); }
+
+  private:
+    /** What a leader publishes to its followers. */
+    struct FlightResult {
+        bool ok = false;
+        std::string payload; ///< cacheable blob (style marker + schedule)
+        uint32_t cegisIterations = 0;
+        std::string failure;
+    };
+
+    struct Flight {
+        std::promise<FlightResult> promise;
+        std::shared_future<FlightResult> future;
+    };
+
+    SynthOutcome process(const SynthRequest& request);
+    FlightResult runLeader(const SynthRequest& request,
+                           const sem::Grammar& grammar,
+                           sem::InterfaceId root,
+                           std::optional<sched::Skeleton>& skeleton,
+                           SynthOutcome& out);
+    bool materialize(const sem::Grammar& grammar,
+                     std::optional<sched::Skeleton>& skeleton,
+                     const std::string& payload, SynthOutcome& out);
+
+    ServiceConfig config_;
+    ScheduleCache cache_;
+    std::mutex flightsMutex_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> cacheHits_{0};
+    std::atomic<uint64_t> joined_{0};
+    std::atomic<uint64_t> freshRuns_{0};
+    std::atomic<uint64_t> failures_{0};
+
+    ThreadPool pool_; ///< last member: workers die before the rest
+};
+
+} // namespace hecate::service

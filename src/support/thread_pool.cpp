@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <exception>
 #include <utility>
 
 namespace hecate {
@@ -58,13 +59,43 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        // Catch at the task boundary: a throwing task must not take
+        // down the worker (and with it the whole pool/service).
+        try {
+            task();
+        } catch (const std::exception& error) {
+            recordFailure(error.what());
+        } catch (...) {
+            recordFailure("task threw a non-std::exception value");
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--inFlight_ == 0)
                 idle_.notify_all();
         }
     }
+}
+
+void
+ThreadPool::recordFailure(const char* what)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failedTasks_;
+    lastError_ = what;
+}
+
+size_t
+ThreadPool::failedTaskCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failedTasks_;
+}
+
+std::string
+ThreadPool::lastTaskError() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lastError_;
 }
 
 } // namespace hecate

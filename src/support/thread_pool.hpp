@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,16 +37,30 @@ class ThreadPool {
 
     size_t workerCount() const { return threads_.size(); }
 
+    /**
+     * Number of tasks that exited by throwing. Exceptions are caught
+     * at the task boundary (record-and-continue) so one bad task
+     * cannot std::terminate the pool's worker — long-running services
+     * built on the pool (service/SynthService) survive it.
+     */
+    size_t failedTaskCount() const;
+
+    /** what() of the most recent throwing task; empty when none. */
+    std::string lastTaskError() const;
+
   private:
     void workerLoop();
+    void recordFailure(const char* what);
 
     std::vector<std::thread> threads_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable idle_;
     size_t inFlight_ = 0;
     bool stopping_ = false;
+    size_t failedTasks_ = 0;
+    std::string lastError_;
 };
 
 } // namespace hecate

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Tests for the synthesis service layer: canonical problem keys
+ * (isomorphic renames collide, different problems don't), the sharded
+ * LRU schedule cache with disk persistence and corruption tolerance,
+ * portable + raw schedule serialization, and the single-flight
+ * concurrent driver (N identical racing requests -> one CEGIS run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "service/problem_key.hpp"
+#include "service/schedule_cache.hpp"
+#include "service/synth_service.hpp"
+#include "synth/cegis.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * testutil::kRenderGrammarSrc with every interface/class/attribute/
+ * child name replaced and the rules of each class reordered — the
+ * same synthesis problem in a different spelling.
+ */
+const char* kRenamedRenderGrammarSrc = R"(
+interface Rect {
+    input iw, ih : int;
+    output pw, fw, ph, fh : int;
+}
+class Branch : Rect {
+    children {
+        sib : Optional[Rect];
+        kid : Optional[Rect];
+    }
+    rules(calcWidth) {
+        self.pw := max(self.fw, sib.pw);
+        self.fw := max(self.iw, kid.pw);
+    }
+    rules(calcHeight) {
+        self.ph := self.fh + sib.ph;
+        self.fh := max(self.ih, kid.ph);
+    }
+}
+class Tip : Rect {
+    children {
+        sib : Optional[Rect];
+    }
+    rules(calcHeight) {
+        self.fh := self.ih;
+        self.ph := self.fh + sib.ph;
+    }
+    rules(calcWidth) {
+        self.fw := self.iw;
+        self.pw := max(self.fw, sib.pw);
+    }
+}
+)";
+
+/** The renamed spelling of testutil::kSymbolicLayoutSrc. */
+const char* kRenamedLayoutSrc = R"(
+traversal render {
+    case Tip {
+        recur sib;
+        ??; ??; ??; ??;
+    }
+    case Branch {
+        recur kid;
+        recur sib;
+        ??; ??; ??; ??;
+    }
+}
+)";
+
+service::ProblemKey
+renderKey(const char* grammarSrc, const char* traversalSrc,
+          const synth::SynthesisConfig& config = {})
+{
+    sem::Grammar grammar =
+        sem::Grammar::analyze(lang::parseGrammar(grammarSrc));
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(traversalSrc));
+    return service::makeProblemKey(skeleton, 0, config);
+}
+
+TEST(ProblemKey, IsomorphicRenameAndRuleReorderCollide)
+{
+    service::ProblemKey original =
+        renderKey(testutil::kRenderGrammarSrc, testutil::kSymbolicLayoutSrc);
+    service::ProblemKey renamed =
+        renderKey(kRenamedRenderGrammarSrc, kRenamedLayoutSrc);
+    EXPECT_EQ(original.canonical, renamed.canonical);
+    EXPECT_EQ(original.digest(), renamed.digest());
+}
+
+TEST(ProblemKey, SemanticallyDifferentGrammarsDiffer)
+{
+    // Same shape, but one rule's operator differs (max -> min).
+    std::string tweaked = testutil::kRenderGrammarSrc;
+    size_t at = tweaked.find("max(self.w0, fc.w1)");
+    ASSERT_NE(at, std::string::npos);
+    tweaked.replace(at, 3, "min");
+
+    service::ProblemKey a =
+        renderKey(testutil::kRenderGrammarSrc, testutil::kSymbolicLayoutSrc);
+    service::ProblemKey b =
+        renderKey(tweaked.c_str(), testutil::kSymbolicLayoutSrc);
+    EXPECT_NE(a.canonical, b.canonical);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(ProblemKey, ConfigAndSkeletonChangesDiffer)
+{
+    synth::SynthesisConfig deeper;
+    deeper.verify.maxDepth = 4;
+    service::ProblemKey base =
+        renderKey(testutil::kRenderGrammarSrc, testutil::kSymbolicLayoutSrc);
+    service::ProblemKey deep = renderKey(
+        testutil::kRenderGrammarSrc, testutil::kSymbolicLayoutSrc, deeper);
+    EXPECT_NE(base.canonical, deep.canonical);
+
+    // Pre-order skeleton is a different problem than post-order.
+    service::ProblemKey pre =
+        renderKey(testutil::kRenderGrammarSrc, R"(
+traversal layout {
+    case Inner { ??; ??; ??; ??; recur fc; recur nx; }
+    case Leaf { ??; ??; ??; ??; recur nx; }
+}
+)");
+    EXPECT_NE(base.canonical, pre.canonical);
+}
+
+TEST(ScheduleSerialization, RawRoundTrip)
+{
+    sched::Schedule schedule;
+    schedule.bySlot = {sem::RuleId{3}, std::nullopt, sem::RuleId{0},
+                       sem::RuleId{7}};
+    std::string bytes = schedule.serialize();
+    auto back = sched::Schedule::deserialize(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, schedule);
+
+    EXPECT_FALSE(sched::Schedule::deserialize("").has_value());
+    EXPECT_FALSE(sched::Schedule::deserialize("schedv9 1 0").has_value());
+    EXPECT_FALSE(sched::Schedule::deserialize("schedv1 3 0 1").has_value());
+    EXPECT_FALSE(
+        sched::Schedule::deserialize("schedv1 1 0 trailing").has_value());
+    EXPECT_FALSE(sched::Schedule::deserialize("schedv1 1 xyz").has_value());
+}
+
+TEST(ScheduleSerialization, PortableRoundTripAcrossRename)
+{
+    // Synthesize on the original grammar...
+    sem::Grammar grammar = testutil::renderGrammar();
+    sched::Skeleton skeleton = testutil::renderSkeleton(grammar);
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    synth::SynthesisResult result =
+        synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+
+    std::string blob =
+        service::encodePortableSchedule(skeleton, *result.schedule);
+
+    // ...decode against the same skeleton: exact round trip.
+    auto same = service::decodePortableSchedule(skeleton, blob);
+    ASSERT_TRUE(same.has_value());
+    EXPECT_EQ(*same, *result.schedule);
+
+    // ...decode against the renamed grammar: remapped, still correct.
+    sem::Grammar renamed =
+        sem::Grammar::analyze(lang::parseGrammar(kRenamedRenderGrammarSrc));
+    sched::Skeleton renamedSkeleton = sched::Skeleton::resolve(
+        renamed, lang::parseTraversal(kRenamedLayoutSrc));
+    auto remapped = service::decodePortableSchedule(renamedSkeleton, blob);
+    ASSERT_TRUE(remapped.has_value());
+    EXPECT_TRUE(remapped->coversAllRules(renamedSkeleton));
+    synth::VerifyResult verdict = synth::verifySchedule(
+        renamedSkeleton, *remapped, 0, config.verify);
+    EXPECT_TRUE(verdict.ok) << verdict.reason;
+
+    // Garbage is rejected, not crashed on.
+    EXPECT_FALSE(
+        service::decodePortableSchedule(skeleton, "junk").has_value());
+    EXPECT_FALSE(service::decodePortableSchedule(
+                     skeleton, "hecsched v1\n2\n-\n-\n")
+                     .has_value()); // wrong slot count
+}
+
+service::ProblemKey
+numberedKey(int n)
+{
+    return service::makeKeyFromCanonical("problem-" + std::to_string(n));
+}
+
+TEST(ScheduleCache, LruEvictsOldestWithinCapacity)
+{
+    service::ScheduleCache cache(/*capacity=*/4, /*shards=*/1);
+    for (int i = 0; i < 4; ++i)
+        cache.put(numberedKey(i), "blob-" + std::to_string(i));
+    EXPECT_EQ(cache.size(), 4u);
+
+    // Touch 0 so 1 becomes LRU, then overflow twice.
+    EXPECT_TRUE(cache.get(numberedKey(0)).has_value());
+    cache.put(numberedKey(4), "blob-4");
+    cache.put(numberedKey(5), "blob-5");
+
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_TRUE(cache.get(numberedKey(0)).has_value());
+    EXPECT_FALSE(cache.get(numberedKey(1)).has_value());
+    EXPECT_FALSE(cache.get(numberedKey(2)).has_value());
+    EXPECT_TRUE(cache.get(numberedKey(4)).has_value());
+    EXPECT_TRUE(cache.get(numberedKey(5)).has_value());
+
+    service::ScheduleCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 2u);
+    EXPECT_EQ(stats.insertions, 6u);
+    EXPECT_EQ(stats.hits, 4u);
+    EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(ScheduleCache, RefreshingAKeyDoesNotGrowTheCache)
+{
+    service::ScheduleCache cache(4, 1);
+    cache.put(numberedKey(0), "v1");
+    cache.put(numberedKey(0), "v2");
+    EXPECT_EQ(cache.size(), 1u);
+    auto got = cache.get(numberedKey(0));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "v2");
+}
+
+TEST(ScheduleCache, PersistenceRoundTripAndCorruptEntryTolerance)
+{
+    fs::path dir =
+        fs::temp_directory_path() / "hecate_cache_test";
+    fs::remove_all(dir);
+
+    service::ScheduleCache cache(16, 2);
+    for (int i = 0; i < 5; ++i)
+        cache.put(numberedKey(i), "payload-" + std::to_string(i));
+    EXPECT_EQ(cache.save(dir.string()), 5u);
+
+    // Corrupt one entry (flip payload bytes) and truncate another.
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir))
+        files.push_back(entry.path());
+    ASSERT_EQ(files.size(), 5u);
+    std::sort(files.begin(), files.end());
+    {
+        std::fstream f(files[0],
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(-3, std::ios::end);
+        f.write("###", 3);
+    }
+    fs::resize_file(files[1], 10);
+
+    service::ScheduleCache restored(16, 2);
+    service::ScheduleCache::LoadReport report =
+        restored.load(dir.string());
+    EXPECT_EQ(report.loaded, 3u);
+    EXPECT_EQ(report.skipped, 2u);
+    ASSERT_EQ(report.diagnostics.size(), 2u);
+    EXPECT_NE(report.diagnostics[0].find("skipped"), std::string::npos);
+    EXPECT_EQ(restored.size(), 3u);
+
+    // Surviving entries round-trip exactly.
+    size_t found = 0;
+    for (int i = 0; i < 5; ++i) {
+        auto blob = restored.get(numberedKey(i));
+        if (blob.has_value()) {
+            EXPECT_EQ(*blob, "payload-" + std::to_string(i));
+            ++found;
+        }
+    }
+    EXPECT_EQ(found, 3u);
+
+    // A missing directory loads as empty, not as an error.
+    service::ScheduleCache empty(16, 2);
+    service::ScheduleCache::LoadReport none =
+        empty.load((dir / "does_not_exist").string());
+    EXPECT_EQ(none.loaded, 0u);
+    EXPECT_EQ(none.skipped, 0u);
+
+    fs::remove_all(dir);
+}
+
+service::SynthRequest
+renderRequest(const char* grammarSrc = testutil::kRenderGrammarSrc,
+              const char* traversalSrc = testutil::kSymbolicLayoutSrc)
+{
+    service::SynthRequest request;
+    request.grammarSrc = grammarSrc;
+    request.traversalSrc = traversalSrc;
+    request.config.verify.maxDepth = 3;
+    return request;
+}
+
+TEST(SynthService, SecondIdenticalRequestHitsCache)
+{
+    service::ServiceConfig config;
+    config.workers = 2;
+    service::SynthService svc(config);
+
+    service::SynthOutcome first = svc.runNow(renderRequest());
+    ASSERT_TRUE(first.ok) << first.failure;
+    EXPECT_EQ(first.provenance, service::Provenance::FreshRun);
+    EXPECT_GE(first.cegisIterations, 1u);
+    EXPECT_FALSE(first.concreteTraversal.empty());
+    EXPECT_EQ(first.concreteTraversal.find("??"), std::string::npos);
+
+    service::SynthOutcome second = svc.runNow(renderRequest());
+    ASSERT_TRUE(second.ok) << second.failure;
+    EXPECT_EQ(second.provenance, service::Provenance::CacheHit);
+    EXPECT_EQ(second.keyDigest, first.keyDigest);
+    EXPECT_EQ(second.concreteTraversal, first.concreteTraversal);
+
+    service::ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.freshRuns, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+}
+
+TEST(SynthService, IsomorphicRenameHitsSameCacheEntry)
+{
+    service::ServiceConfig config;
+    config.workers = 2;
+    service::SynthService svc(config);
+
+    service::SynthOutcome original = svc.runNow(renderRequest());
+    ASSERT_TRUE(original.ok) << original.failure;
+
+    // Same problem, every name changed, rules reordered.
+    service::SynthOutcome renamed = svc.runNow(
+        renderRequest(kRenamedRenderGrammarSrc, kRenamedLayoutSrc));
+    ASSERT_TRUE(renamed.ok) << renamed.failure;
+    EXPECT_EQ(renamed.provenance, service::Provenance::CacheHit);
+    EXPECT_EQ(renamed.keyDigest, original.keyDigest);
+    // The decoded schedule is phrased in the *renamed* grammar's names.
+    EXPECT_NE(renamed.concreteTraversal.find("recur kid;"),
+              std::string::npos);
+    EXPECT_EQ(svc.stats().freshRuns, 1u);
+}
+
+TEST(SynthService, ConcurrentIdenticalRequestsRunCegisOnce)
+{
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool release = false;
+
+    service::ServiceConfig config;
+    config.workers = 4;
+    config.onLeaderSynthesis = [&] {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return release; });
+    };
+    service::SynthService svc(config);
+
+    constexpr int kRequests = 6;
+    std::vector<std::future<service::SynthOutcome>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(svc.submit(renderRequest()));
+
+    // Hold the leader until at least 3 duplicates joined its flight
+    // (workers = 4: one leader + three followers).
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (svc.stats().joinedInFlight < 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GE(svc.stats().joinedInFlight, 3u);
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+
+    std::string digest;
+    for (auto& future : futures) {
+        service::SynthOutcome outcome = future.get();
+        ASSERT_TRUE(outcome.ok) << outcome.failure;
+        if (digest.empty())
+            digest = outcome.keyDigest;
+        EXPECT_EQ(outcome.keyDigest, digest);
+    }
+
+    service::ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.requests, static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(stats.freshRuns, 1u); // exactly one CEGIS run
+    EXPECT_EQ(stats.cacheHits + stats.joinedInFlight,
+              static_cast<uint64_t>(kRequests) - 1u);
+    EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(SynthService, AutoModeCachesTheWinningSkeleton)
+{
+    service::ServiceConfig config;
+    config.workers = 2;
+    service::SynthService svc(config);
+
+    service::SynthRequest request = renderRequest();
+    request.traversalSrc.clear(); // auto-tune
+
+    service::SynthOutcome first = svc.runNow(request);
+    ASSERT_TRUE(first.ok) << first.failure;
+    EXPECT_EQ(first.provenance, service::Provenance::FreshRun);
+
+    service::SynthOutcome second = svc.runNow(request);
+    ASSERT_TRUE(second.ok) << second.failure;
+    EXPECT_EQ(second.provenance, service::Provenance::CacheHit);
+    EXPECT_EQ(second.concreteTraversal, first.concreteTraversal);
+
+    // Auto and explicit-skeleton requests must never share a key.
+    service::SynthOutcome explicit_skel = svc.runNow(renderRequest());
+    ASSERT_TRUE(explicit_skel.ok);
+    EXPECT_NE(explicit_skel.keyDigest, first.keyDigest);
+}
+
+TEST(SynthService, InfeasibleProblemFailsWithoutPoisoningTheCache)
+{
+    service::ServiceConfig config;
+    config.workers = 2;
+    service::SynthService svc(config);
+
+    // Pre-order skeleton cannot satisfy bottom-up dependencies.
+    const char* preorder = R"(
+traversal layout {
+    case Inner { ??; ??; ??; ??; recur fc; recur nx; }
+    case Leaf { ??; ??; ??; ??; recur nx; }
+}
+)";
+    service::SynthOutcome failed =
+        svc.runNow(renderRequest(testutil::kRenderGrammarSrc, preorder));
+    EXPECT_FALSE(failed.ok);
+    EXPECT_FALSE(failed.failure.empty());
+    EXPECT_EQ(failed.provenance, service::Provenance::FreshRun);
+
+    // Failures are not cached: a retry runs fresh, not from cache.
+    service::SynthOutcome retry =
+        svc.runNow(renderRequest(testutil::kRenderGrammarSrc, preorder));
+    EXPECT_FALSE(retry.ok);
+    EXPECT_EQ(retry.provenance, service::Provenance::FreshRun);
+    EXPECT_EQ(svc.stats().cacheHits, 0u);
+    EXPECT_EQ(svc.stats().failures, 2u);
+    EXPECT_EQ(svc.cache().size(), 0u);
+}
+
+TEST(SynthService, MalformedRequestFailsGracefully)
+{
+    service::ServiceConfig config;
+    config.workers = 1;
+    service::SynthService svc(config);
+
+    service::SynthRequest bad;
+    bad.grammarSrc = "interface Broken {";
+    service::SynthOutcome outcome = svc.submit(bad).get();
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_FALSE(outcome.failure.empty());
+    EXPECT_EQ(svc.stats().failures, 1u);
+}
+
+} // namespace
+} // namespace hecate

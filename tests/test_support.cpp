@@ -53,6 +53,42 @@ TEST(ThreadPool, TasksMaySubmitNestedTasks)
     EXPECT_EQ(counter.load(), 8 * 5);
 }
 
+TEST(ThreadPool, SurvivesThrowingTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 60; ++i) {
+        if (i % 3 == 0) {
+            pool.submit([] { throw std::runtime_error("task blew up"); });
+        } else if (i % 7 == 0) {
+            pool.submit([] { throw 42; }); // not even a std::exception
+        } else {
+            pool.submit([&completed] { ++completed; });
+        }
+    }
+    // One bad task must not std::terminate the pool or wedge waitAll.
+    pool.waitAll();
+    EXPECT_EQ(completed.load(), 34); // 20 + 6 submissions threw
+    EXPECT_EQ(pool.failedTaskCount(), 26u);
+    EXPECT_FALSE(pool.lastTaskError().empty());
+
+    // The pool remains fully usable afterwards.
+    pool.submit([&completed] { ++completed; });
+    pool.waitAll();
+    EXPECT_EQ(completed.load(), 35);
+}
+
+TEST(ThreadPool, RecordsLastErrorMessage)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.waitAll();
+    pool.submit([] { throw std::runtime_error("second"); });
+    pool.waitAll();
+    EXPECT_EQ(pool.failedTaskCount(), 2u);
+    EXPECT_EQ(pool.lastTaskError(), "second");
+}
+
 TEST(ThreadPool, DefaultsToAtLeastOneWorker)
 {
     ThreadPool pool;
