@@ -1,0 +1,315 @@
+/**
+ * @file
+ * CEGIS hot-path scaling benchmark: quantifies each leg of the
+ * incremental pipeline against its from-scratch reference on the two
+ * multi-round grammars of the evaluation (RenderTree and AST).
+ *
+ *  - encode sweep: total synthesizer time over N CEGIS rounds when
+ *    every round re-encodes all examples (one-shot synthesizeIlp) vs
+ *    the persistent IlpSession that encodes one new example per round;
+ *  - verify sweep: per-round verification via the one-shot
+ *    verifySchedule (re-enumerates + re-expands every plan) vs a warm
+ *    Verifier whose tree space and plans persist across rounds;
+ *  - end to end: synthesize() with the legacy configuration
+ *    (from-scratch encoding, no verifier reuse, serial checking)
+ *    against the optimized default.
+ *
+ * Results are printed as a table and written as machine-readable JSON
+ * to BENCH_cegis.json (schema: {"quick", "encode_sweep", "verify_sweep",
+ * "end_to_end"}). --quick shrinks the sweeps and skips the adaptive
+ * re-timing so CI can run it in seconds.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "grammars/grammars.hpp"
+#include "sched/plan_cache.hpp"
+#include "support/rng.hpp"
+#include "symbolic/ilp_encoder.hpp"
+#include "symbolic/ilp_session.hpp"
+#include "synth/autotuner.hpp"
+#include "synth/cegis.hpp"
+#include "tree/enumerate.hpp"
+
+using namespace hecate;
+
+namespace {
+
+/** One JSON object as ordered key/value text fragments. */
+std::string
+jsonObject(const std::vector<std::pair<std::string, std::string>>& fields)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "\"" + fields[i].first + "\": " + fields[i].second;
+    }
+    return out + "}";
+}
+
+std::string
+jsonNum(double value)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    return buffer;
+}
+
+/** N example trees: enumerated shapes first, then deeper samples. */
+std::vector<tree::Tree>
+makeExamples(const sem::Grammar& grammar, sem::InterfaceId root,
+             size_t count)
+{
+    std::vector<tree::Tree> examples;
+    tree::EnumConfig config;
+    config.maxDepth = 3;
+    config.limit = static_cast<uint32_t>(count);
+    for (const tree::ShapePtr& shape :
+         tree::enumerateShapes(grammar, root, config)) {
+        if (examples.size() >= count)
+            break;
+        examples.push_back(tree::instantiate(grammar, *shape, 1));
+    }
+    tree::SampleConfig sample;
+    sample.maxDepth = 5;
+    Rng rng(7);
+    while (examples.size() < count)
+        examples.push_back(tree::sampleTree(grammar, root, sample, rng));
+    return examples;
+}
+
+struct BenchGrammar {
+    const grammars::Benchmark* bench;
+    sem::Grammar grammar;
+    sem::InterfaceId root = sem::kInvalidId;
+    std::optional<sched::Skeleton> skeleton; ///< feasible, auto-tuned
+
+    const sched::Skeleton& skel() const { return *skeleton; }
+};
+
+/**
+ * Heap-pinned so the grammar never moves after the skeleton (which
+ * keeps a pointer to it) is resolved.
+ */
+std::unique_ptr<BenchGrammar>
+loadBench(const grammars::Benchmark& bench)
+{
+    auto bg = std::make_unique<BenchGrammar>(
+        BenchGrammar{&bench, grammars::load(bench), sem::kInvalidId,
+                     std::nullopt});
+    bg->root = grammars::rootInterface(bg->grammar, bench);
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    synth::AutotuneResult tuned =
+        synth::autotune(bg->grammar, bg->root, config);
+    checkInvariant(tuned.skeleton.has_value(),
+                   "bench_cegis_scaling: auto-tuning failed");
+    bg->skeleton = std::move(tuned.skeleton);
+    return bg;
+}
+
+/** Sum of per-round one-shot synthesizer times over @p rounds rounds. */
+double
+scratchEncodeRounds(const BenchGrammar& bg,
+                    const std::vector<tree::Tree>& examples)
+{
+    Timer timer;
+    for (size_t round = 1; round <= examples.size(); ++round) {
+        std::vector<const tree::Tree*> views;
+        for (size_t i = 0; i < round; ++i)
+            views.push_back(&examples[i]);
+        auto schedule = symbolic::synthesizeIlp(bg.skel(), views);
+        benchutil::sink(schedule.has_value());
+    }
+    return timer.seconds();
+}
+
+/** Same rounds through a persistent session (encode new, re-solve). */
+double
+incrementalEncodeRounds(const BenchGrammar& bg,
+                        const std::vector<tree::Tree>& examples)
+{
+    Timer timer;
+    symbolic::IlpSession session(bg.skel());
+    for (const tree::Tree& example : examples) {
+        session.addExample(sched::VisitPlan(bg.skel(), example));
+        auto schedule = session.solve();
+        benchutil::sink(schedule.has_value());
+    }
+    return timer.seconds();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+    const double min_seconds = quick ? 0.0 : 0.2;
+    const int max_iters = quick ? 1 : 20;
+
+    std::vector<std::string> encode_json, verify_json, e2e_json;
+
+    std::unique_ptr<BenchGrammar> render = loadBench(grammars::renderTree());
+    std::unique_ptr<BenchGrammar> ast = loadBench(grammars::astBench());
+
+    // --- Encode sweep -------------------------------------------------
+    std::printf("== CEGIS synthesizer rounds: from-scratch vs "
+                "incremental session ==\n");
+    benchutil::row({"grammar", "examples", "scratch(s)", "incr(s)",
+                    "speedup"});
+    std::vector<size_t> example_counts =
+        quick ? std::vector<size_t>{4, 8} : std::vector<size_t>{4, 8, 16, 24};
+    for (const BenchGrammar* bg : {render.get(), ast.get()}) {
+        for (size_t count : example_counts) {
+            std::vector<tree::Tree> examples =
+                makeExamples(bg->grammar, bg->root, count);
+            double scratch = 0, incremental = 0;
+            benchutil::measure(
+                [&] { scratch = scratchEncodeRounds(*bg, examples); },
+                min_seconds, max_iters);
+            benchutil::measure(
+                [&] {
+                    incremental = incrementalEncodeRounds(*bg, examples);
+                },
+                min_seconds, max_iters);
+            double speedup = incremental > 0 ? scratch / incremental : 0;
+            benchutil::row({bg->bench->name, std::to_string(count),
+                            benchutil::secs(scratch),
+                            benchutil::secs(incremental),
+                            benchutil::ratio(speedup)});
+            encode_json.push_back(jsonObject(
+                {{"grammar", "\"" + bg->bench->name + "\""},
+                 {"examples", std::to_string(count)},
+                 {"scratch_s", jsonNum(scratch)},
+                 {"incremental_s", jsonNum(incremental)},
+                 {"speedup", jsonNum(speedup)}}));
+        }
+    }
+
+    // --- Verify sweep -------------------------------------------------
+    std::printf("\n== Per-round verification: one-shot vs warm verifier "
+                "==\n");
+    benchutil::row({"grammar", "depth", "trees", "oneshot(s)", "warm(s)",
+                    "speedup"});
+    std::vector<uint32_t> depths =
+        quick ? std::vector<uint32_t>{3, 4} : std::vector<uint32_t>{3, 4, 5};
+    for (const BenchGrammar* bg : {render.get(), ast.get()}) {
+        // A verified schedule so every round scans the full tree space.
+        synth::SynthesisConfig config;
+        config.verify.maxDepth = 3;
+        synth::SynthesisResult result =
+            synth::synthesize(bg->skel(), bg->root, {}, config);
+        checkInvariant(result.schedule.has_value(),
+                       "bench_cegis_scaling: synthesis failed");
+        for (uint32_t depth : depths) {
+            tree::EnumConfig verify_config;
+            verify_config.maxDepth = depth;
+            double oneshot = benchutil::measure(
+                [&] {
+                    benchutil::sink(
+                        synth::verifySchedule(bg->skel(), *result.schedule,
+                                              bg->root, verify_config)
+                            .ok);
+                },
+                min_seconds, max_iters);
+            synth::Verifier warm_verifier(bg->skel(), bg->root,
+                                          verify_config, 1, 1);
+            double warm = benchutil::measure(
+                [&] {
+                    benchutil::sink(warm_verifier.run(*result.schedule).ok);
+                },
+                min_seconds, max_iters);
+            double speedup = warm > 0 ? oneshot / warm : 0;
+            benchutil::row({bg->bench->name, std::to_string(depth),
+                            std::to_string(warm_verifier.treeCount()),
+                            benchutil::secs(oneshot), benchutil::secs(warm),
+                            benchutil::ratio(speedup)});
+            verify_json.push_back(jsonObject(
+                {{"grammar", "\"" + bg->bench->name + "\""},
+                 {"depth", std::to_string(depth)},
+                 {"trees", std::to_string(warm_verifier.treeCount())},
+                 {"oneshot_s", jsonNum(oneshot)},
+                 {"warm_s", jsonNum(warm)},
+                 {"speedup", jsonNum(speedup)}}));
+        }
+    }
+
+    // --- End to end ---------------------------------------------------
+    std::printf("\n== End-to-end synthesize(): legacy vs optimized ==\n");
+    benchutil::row({"grammar", "depth", "legacy(s)", "optimized(s)",
+                    "speedup", "iters"});
+    struct E2eCase {
+        const BenchGrammar* bg;
+        uint32_t depth;
+    };
+    std::vector<E2eCase> cases = {{render.get(), 4}, {ast.get(), 4}};
+    for (const E2eCase& c : cases) {
+        synth::SynthesisConfig legacy_config;
+        legacy_config.verify.maxDepth = c.depth;
+        legacy_config.incrementalEncoding = false;
+        legacy_config.reuseVerifierState = false;
+        legacy_config.verifyThreads = 1;
+        synth::SynthesisConfig optimized_config;
+        optimized_config.verify.maxDepth = c.depth;
+
+        uint32_t legacy_iters = 0, optimized_iters = 0;
+        double legacy = benchutil::measure(
+            [&] {
+                synth::SynthesisResult r = synth::synthesize(
+                    c.bg->skel(), c.bg->root, {}, legacy_config);
+                legacy_iters = r.cegisIterations;
+                benchutil::sink(r.schedule.has_value());
+            },
+            min_seconds, max_iters);
+        double optimized = benchutil::measure(
+            [&] {
+                synth::SynthesisResult r = synth::synthesize(
+                    c.bg->skel(), c.bg->root, {}, optimized_config);
+                optimized_iters = r.cegisIterations;
+                benchutil::sink(r.schedule.has_value());
+            },
+            min_seconds, max_iters);
+        double speedup = optimized > 0 ? legacy / optimized : 0;
+        benchutil::row({c.bg->bench->name, std::to_string(c.depth),
+                        benchutil::secs(legacy), benchutil::secs(optimized),
+                        benchutil::ratio(speedup),
+                        std::to_string(legacy_iters) + "/" +
+                            std::to_string(optimized_iters)});
+        e2e_json.push_back(jsonObject(
+            {{"grammar", "\"" + c.bg->bench->name + "\""},
+             {"depth", std::to_string(c.depth)},
+             {"legacy_s", jsonNum(legacy)},
+             {"optimized_s", jsonNum(optimized)},
+             {"speedup", jsonNum(speedup)},
+             {"legacy_iters", std::to_string(legacy_iters)},
+             {"optimized_iters", std::to_string(optimized_iters)}}));
+    }
+
+    auto join = [](const std::vector<std::string>& items) {
+        std::string out;
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i > 0)
+                out += ",\n    ";
+            out += items[i];
+        }
+        return out;
+    };
+    std::ofstream json("BENCH_cegis.json");
+    json << "{\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"encode_sweep\": [\n    " << join(encode_json)
+         << "\n  ],\n  \"verify_sweep\": [\n    " << join(verify_json)
+         << "\n  ],\n  \"end_to_end\": [\n    " << join(e2e_json)
+         << "\n  ]\n}\n";
+    std::printf("\nwrote BENCH_cegis.json\n");
+    return 0;
+}

@@ -7,10 +7,16 @@
  *
  *   hecate_cli GRAMMAR.hec [TRAVERSAL.hec] [--root IFACE]
  *              [--engine ilp|sat] [--emit-cpp] [--depth K]
+ *              [--threads N] [--scratch]
  *
  * With no traversal file, the HecateA auto-tuner searches for a
  * skeleton. The synthesized concrete traversal is printed to stdout;
- * --emit-cpp additionally prints the generated C++.
+ * --emit-cpp additionally prints the generated C++. A per-phase
+ * breakdown (encode/solve/verify seconds, plan-cache hits) goes to
+ * stderr. --threads sets the verification worker count (default:
+ * $HECATE_VERIFY_THREADS or hardware concurrency); --scratch disables
+ * the incremental ILP session and verifier-state reuse, i.e. runs the
+ * from-scratch reference pipeline.
  *
  * Batch mode: drive many requests through the synthesis service
  * (schedule cache + single-flight dedup + thread pool) and report
@@ -19,6 +25,7 @@
  *
  *   hecate_cli batch REQUESTS.txt [--engine ilp|sat] [--depth K]
  *              [--workers N] [--repeat K] [--cache-dir DIR]
+ *              [--threads N] [--scratch]
  *
  * Each non-comment line of REQUESTS.txt is one request:
  *
@@ -69,10 +76,10 @@ usage()
         stderr,
         "usage: hecate_cli GRAMMAR.hec [TRAVERSAL.hec]\n"
         "       [--root IFACE] [--engine ilp|sat] [--emit-cpp]\n"
-        "       [--depth K]\n"
+        "       [--depth K] [--threads N] [--scratch]\n"
         "   or: hecate_cli batch REQUESTS.txt [--engine ilp|sat]\n"
         "       [--depth K] [--workers N] [--repeat K]\n"
-        "       [--cache-dir DIR]\n");
+        "       [--cache-dir DIR] [--threads N] [--scratch]\n");
     return 2;
 }
 
@@ -153,6 +160,8 @@ runBatch(int argc, char** argv)
     uint32_t depth = 3;
     size_t workers = 0;
     uint32_t repeat = 1;
+    uint32_t verify_threads = 0;
+    bool scratch = false;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -166,6 +175,10 @@ runBatch(int argc, char** argv)
             repeat = static_cast<uint32_t>(std::atoi(argv[++i]));
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             cache_dir = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            verify_threads = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--scratch") {
+            scratch = true;
         } else if (arg.rfind("--", 0) == 0) {
             return usage();
         } else if (requests_path.empty()) {
@@ -182,6 +195,11 @@ runBatch(int argc, char** argv)
     synth_config.engine = engine == "sat"
                               ? synth::Engine::GeneralPurposeSat
                               : synth::Engine::DomainSpecificIlp;
+    synth_config.verifyThreads = verify_threads;
+    if (scratch) {
+        synth_config.incrementalEncoding = false;
+        synth_config.reuseVerifierState = false;
+    }
 
     // Parse the request list (before starting the clock).
     std::vector<service::SynthRequest> requests;
@@ -237,9 +255,16 @@ runBatch(int argc, char** argv)
                 "iters", "status");
     std::vector<double> latencies_ms;
     size_t failures = 0;
+    double encode_s = 0.0, solve_s = 0.0, verify_s = 0.0;
+    size_t plan_hits = 0, plan_misses = 0;
     for (size_t i = 0; i < outcomes.size(); ++i) {
         const service::SynthOutcome& outcome = outcomes[i];
         latencies_ms.push_back(outcome.seconds * 1e3);
+        encode_s += outcome.encodeSeconds;
+        solve_s += outcome.solveSeconds;
+        verify_s += outcome.verifySeconds;
+        plan_hits += outcome.planCacheHits;
+        plan_misses += outcome.planCacheMisses;
         if (!outcome.ok)
             ++failures;
         std::printf("%5zu  %-6s  %10.2f  %6u  %s\n", i,
@@ -269,6 +294,15 @@ runBatch(int argc, char** argv)
                 percentile(latencies_ms, 0.50),
                 percentile(latencies_ms, 0.95),
                 latencies_ms.empty() ? 0.0 : latencies_ms.back());
+    std::printf("  leader phases: encode %.2fms | solve %.2fms | "
+                "verify %.2fms\n",
+                encode_s * 1e3, solve_s * 1e3, verify_s * 1e3);
+    std::printf("  plan cache: %zu hits / %zu misses (%.1f%% hit rate)\n",
+                plan_hits, plan_misses,
+                plan_hits + plan_misses > 0
+                    ? 100.0 * static_cast<double>(plan_hits) /
+                          static_cast<double>(plan_hits + plan_misses)
+                    : 0.0);
 
     if (!cache_dir.empty()) {
         size_t written = svc.cache().save(cache_dir);
@@ -284,6 +318,8 @@ runSingle(int argc, char** argv)
     std::string grammar_path, traversal_path, root_name, engine = "ilp";
     bool emit_cpp = false;
     uint32_t depth = 3;
+    uint32_t verify_threads = 0;
+    bool scratch = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -293,6 +329,10 @@ runSingle(int argc, char** argv)
             engine = argv[++i];
         } else if (arg == "--depth" && i + 1 < argc) {
             depth = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--threads" && i + 1 < argc) {
+            verify_threads = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--scratch") {
+            scratch = true;
         } else if (arg == "--emit-cpp") {
             emit_cpp = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -320,6 +360,25 @@ runSingle(int argc, char** argv)
     config.verify.maxDepth = depth;
     config.engine = engine == "sat" ? synth::Engine::GeneralPurposeSat
                                     : synth::Engine::DomainSpecificIlp;
+    config.verifyThreads = verify_threads;
+    if (scratch) {
+        config.incrementalEncoding = false;
+        config.reuseVerifierState = false;
+    }
+
+    auto report_phases = [](const synth::SynthesisResult& result) {
+        std::fprintf(stderr,
+                     "phases: encode %.2fms | solve %.2fms | "
+                     "verify %.2fms (%u thread%s)\n",
+                     (result.generalStats.encodeSeconds +
+                      result.ilpStats.encodeSeconds) * 1e3,
+                     (result.generalStats.solveSeconds +
+                      result.ilpStats.solveSeconds) * 1e3,
+                     result.verifySeconds * 1e3, result.verifyThreadsUsed,
+                     result.verifyThreadsUsed == 1 ? "" : "s");
+        std::fprintf(stderr, "plan cache: %zu hits / %zu misses\n",
+                     result.planCacheHits, result.planCacheMisses);
+    };
 
     std::optional<sched::Skeleton> skeleton;
     std::optional<sched::Schedule> schedule;
@@ -330,6 +389,7 @@ runSingle(int argc, char** argv)
         std::fprintf(stderr, "auto-tuner: %s skeleton (%u tried)\n",
                      synth::skeletonStyleName(tuned.style),
                      tuned.skeletonsTried);
+        report_phases(tuned.lastSynthesis);
         skeleton = std::move(tuned.skeleton);
         schedule = std::move(tuned.schedule);
     } else {
@@ -343,6 +403,7 @@ runSingle(int argc, char** argv)
                      "synthesized in %u CEGIS round(s), "
                      "%zu trees verified\n",
                      result.cegisIterations, result.verifiedTrees);
+        report_phases(result);
         schedule = std::move(result.schedule);
     }
 

@@ -1,0 +1,29 @@
+#include "sched/plan_cache.hpp"
+
+namespace hecate::sched {
+
+std::shared_ptr<const CachedPlan>
+PlanCache::lookup(tree::Tree tree)
+{
+    std::string key = tree.shapeString();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = byShape_.find(key);
+    if (it != byShape_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto entry = std::make_shared<const CachedPlan>(*skeleton_,
+                                                    std::move(tree));
+    byShape_.emplace(std::move(key), entry);
+    return entry;
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return byShape_.size();
+}
+
+} // namespace hecate::sched

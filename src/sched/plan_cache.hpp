@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Memoized VisitPlan construction, the third leg of the CEGIS hot-path
+ * optimization (with incremental ILP encoding and parallel
+ * verification).
+ *
+ * Schedule checking and symbolic encoding are purely structural: a
+ * VisitPlan depends only on the skeleton and the tree's *shape* (class
+ * layout + child presence), never on attribute values. The CEGIS loop
+ * therefore rebuilds the identical plan many times — once per
+ * enumerated shape per verification round, and again when a
+ * counterexample re-enters the synthesizer as an example. PlanCache
+ * keys plans by `Tree::shapeString()` (an injective structural
+ * fingerprint) and hands out shared immutable entries, so each (skeleton,
+ * shape) pair is expanded exactly once per synthesis run.
+ */
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sched/visit_plan.hpp"
+
+namespace hecate::sched {
+
+/**
+ * A tree and the plan expanded over it, bundled so the plan's internal
+ * tree pointer stays valid for the entry's whole lifetime. Immutable
+ * and pinned (non-movable): always held through shared_ptr.
+ */
+class CachedPlan {
+  public:
+    CachedPlan(const Skeleton& skeleton, tree::Tree tree)
+        : tree_(std::move(tree)), plan_(skeleton, tree_)
+    {
+    }
+
+    CachedPlan(const CachedPlan&) = delete;
+    CachedPlan& operator=(const CachedPlan&) = delete;
+
+    const tree::Tree& tree() const { return tree_; }
+    const VisitPlan& plan() const { return plan_; }
+
+  private:
+    tree::Tree tree_;
+    VisitPlan plan_;
+};
+
+/** Thread-safe per-skeleton cache of shape -> expanded plan. */
+class PlanCache {
+  public:
+    explicit PlanCache(const Skeleton& skeleton) : skeleton_(&skeleton) {}
+
+    PlanCache(const PlanCache&) = delete;
+    PlanCache& operator=(const PlanCache&) = delete;
+
+    /**
+     * Shared plan for any tree structurally identical to @p tree; the
+     * plan is built (and @p tree captured) on first sight of the shape.
+     */
+    std::shared_ptr<const CachedPlan> lookup(tree::Tree tree);
+
+    const Skeleton& skeleton() const { return *skeleton_; }
+
+    size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+    size_t size() const;
+
+  private:
+    const Skeleton* skeleton_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const CachedPlan>>
+        byShape_;
+    std::atomic<size_t> hits_{0};
+    std::atomic<size_t> misses_{0};
+};
+
+} // namespace hecate::sched

@@ -156,8 +156,16 @@ canonicalConfig(sem::InterfaceId rootIface,
     out += ',' + std::to_string(config.verify.maxCollection);
     out += ',' + std::to_string(config.verify.perSlotOptions);
     out += ',' + std::to_string(config.verify.limit);
+    out += ',' + std::to_string(config.verify.randomRounds);
+    out += ',' + std::to_string(config.verify.sampleDepthBump);
     out += ',' + std::to_string(config.maxIterations);
     out += ',' + std::to_string(config.seed);
+    // Incremental encoding changes which consistent schedule each round
+    // proposes (warm starts bias toward the previous assignment), so
+    // runs with it on and off may legitimately converge to different
+    // verified schedules; keep their cache entries apart. verifyThreads
+    // and reuseVerifierState are pure cost knobs and stay out.
+    out += ',' + std::to_string(config.incrementalEncoding ? 1 : 0);
     return out;
 }
 

@@ -147,11 +147,24 @@ SynthService::runLeader(const SynthRequest& request,
                         SynthOutcome& out)
 {
     FlightResult flight;
+    // Phase breakdown of the synthesis run this leader performed. The
+    // SAT engine reports encode/solve through generalStats, the ILP
+    // engine through ilpStats; only one is nonzero per run.
+    auto recordPhases = [&out](const synth::SynthesisResult& result) {
+        out.encodeSeconds = result.generalStats.encodeSeconds +
+                            result.ilpStats.encodeSeconds;
+        out.solveSeconds = result.generalStats.solveSeconds +
+                           result.ilpStats.solveSeconds;
+        out.verifySeconds = result.verifySeconds;
+        out.planCacheHits = result.planCacheHits;
+        out.planCacheMisses = result.planCacheMisses;
+    };
     const bool autoMode = !skeleton.has_value();
     if (autoMode) {
         synth::AutotuneResult tuned =
             synth::autotune(grammar, root, request.config);
         flight.cegisIterations = tuned.lastSynthesis.cegisIterations;
+        recordPhases(tuned.lastSynthesis);
         if (!tuned.schedule.has_value()) {
             flight.failure = "auto-tuning failed: " +
                              tuned.lastSynthesis.failure;
@@ -165,6 +178,7 @@ SynthService::runLeader(const SynthRequest& request,
         synth::SynthesisResult result =
             synth::synthesize(*skeleton, root, {}, request.config);
         flight.cegisIterations = result.cegisIterations;
+        recordPhases(result);
         if (!result.schedule.has_value()) {
             flight.failure = "synthesis failed: " + result.failure;
             return flight;

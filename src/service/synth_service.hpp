@@ -63,6 +63,16 @@ struct SynthOutcome {
     std::string concreteTraversal;  ///< printed Fig. 4(b) form
     uint32_t cegisIterations = 0;   ///< leader's CEGIS rounds
     double seconds = 0.0;           ///< this request's wall time
+    /**
+     * Leader's per-phase breakdown (FreshRun only; zero for cache hits
+     * and joiners, whose cost is just decode time). Encode/solve come
+     * from whichever engine ran; verify covers every CEGIS round.
+     */
+    double encodeSeconds = 0.0;
+    double solveSeconds = 0.0;
+    double verifySeconds = 0.0;
+    size_t planCacheHits = 0;   ///< leader's memoized VisitPlan reuses
+    size_t planCacheMisses = 0; ///< VisitPlans the leader expanded
     std::string failure;            ///< set when !ok
 };
 

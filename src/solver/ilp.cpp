@@ -45,6 +45,12 @@ IlpSolver::setObjective(std::vector<LinTerm> terms)
 }
 
 void
+IlpSolver::setPhaseHints(std::vector<int8_t> hints)
+{
+    phaseHints_ = std::move(hints);
+}
+
+void
 IlpSolver::enqueueConstraint(uint32_t ci)
 {
     if (!inQueue_[ci]) {
@@ -178,8 +184,10 @@ IlpSolver::pickVar(const std::vector<int8_t>& assign) const
 bool
 IlpSolver::search(std::vector<int8_t>& assign, uint64_t maxNodes)
 {
-    if (stats_.branchNodes >= maxNodes)
+    if (stats_.branchNodes >= maxNodes) {
+        exhausted_ = true;
         return false;
+    }
     ++stats_.branchNodes;
 
     size_t mark_outer = 0; // placeholder; propagation trail handled by caller
@@ -217,16 +225,23 @@ IlpSolver::search(std::vector<int8_t>& assign, uint64_t maxNodes)
         return !hasObjective_; // feasibility mode: stop at first solution
     }
 
+    int8_t first = 1;
+    if (static_cast<size_t>(var) < phaseHints_.size()) {
+        first = phaseHints_[var] ? 1 : 0;
+        ++stats_.hintedBranches;
+    }
     for (int attempt = 0; attempt < 2; ++attempt) {
-        int8_t value = attempt == 0 ? 1 : 0;
+        int8_t value = attempt == 0 ? first : static_cast<int8_t>(1 - first);
         std::vector<uint32_t> trail;
         bool ok = forceVar(static_cast<uint32_t>(var), value, assign, trail) &&
                   propagate(assign, trail);
         if (ok && search(assign, maxNodes))
             return true;
         undoTrail(assign, trail, 0);
-        if (stats_.branchNodes >= maxNodes)
+        if (stats_.branchNodes >= maxNodes) {
+            exhausted_ = true;
             return false;
+        }
     }
     return false;
 }
@@ -236,6 +251,7 @@ IlpSolver::solve(uint64_t maxNodes)
 {
     stats_ = {};
     haveSolution_ = false;
+    exhausted_ = false;
     bestObjective_ = 0;
 
     minAct_.assign(constraints_.size(), 0);
@@ -265,7 +281,9 @@ IlpSolver::solve(uint64_t maxNodes)
         return IlpResult::Infeasible;
 
     search(assign, maxNodes);
-    return haveSolution_ ? IlpResult::Feasible : IlpResult::Infeasible;
+    if (haveSolution_)
+        return IlpResult::Feasible;
+    return exhausted_ ? IlpResult::Exhausted : IlpResult::Infeasible;
 }
 
 } // namespace hecate::solver

@@ -30,7 +30,11 @@ struct LinTerm {
 };
 
 /** Outcome of an ILP solve. */
-enum class IlpResult { Feasible, Infeasible };
+enum class IlpResult {
+    Feasible,
+    Infeasible,
+    Exhausted, ///< node budget hit before a solution or an infeasibility proof
+};
 
 /** 0-1 ILP solver. */
 class IlpSolver {
@@ -69,7 +73,21 @@ class IlpSolver {
      */
     void setObjective(std::vector<LinTerm> terms);
 
-    /** Solve. Search effort is bounded by @p maxNodes branch nodes. */
+    /**
+     * Phase-saving warm start: when branching on variable v with
+     * v < hints.size(), try hints[v] first instead of the default 1.
+     * Re-solving after adding constraints with the previous feasible
+     * assignment as hints dives straight back to that assignment and
+     * only searches where the new constraints force a repair. Hints
+     * never affect completeness, only branch order.
+     */
+    void setPhaseHints(std::vector<int8_t> hints);
+
+    /**
+     * Solve. Search effort is bounded by @p maxNodes branch nodes;
+     * hitting the budget without finding a solution returns Exhausted
+     * (not Infeasible — no infeasibility proof was completed).
+     */
     IlpResult solve(uint64_t maxNodes = UINT64_MAX);
 
     /** Value of @p var in the best found solution (valid after Feasible). */
@@ -78,11 +96,14 @@ class IlpSolver {
     /** Objective value of the best solution (0 when no objective). */
     int64_t objectiveValue() const { return bestObjective_; }
 
+    size_t constraintCount() const { return constraints_.size(); }
+
     /** Search statistics. */
     struct Stats {
         uint64_t branchNodes = 0;
         uint64_t propagations = 0;
         uint64_t conflicts = 0;
+        uint64_t hintedBranches = 0; ///< branches whose first try was a hint
     };
     const Stats& stats() const { return stats_; }
 
@@ -114,6 +135,7 @@ class IlpSolver {
     std::vector<std::vector<uint32_t>> occurs_; // var -> constraint idxs
     std::vector<LinTerm> objective_;
     bool hasObjective_ = false;
+    std::vector<int8_t> phaseHints_; // branch-value hints (may be short)
 
     // Incremental activities: current min/max achievable sum per constraint.
     std::vector<int64_t> minAct_;
@@ -126,6 +148,7 @@ class IlpSolver {
     std::vector<int64_t> best_;
     int64_t bestObjective_ = 0;
     bool haveSolution_ = false;
+    bool exhausted_ = false; ///< last search hit its node budget
     Stats stats_;
 };
 

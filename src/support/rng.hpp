@@ -13,6 +13,21 @@
 namespace hecate {
 
 /**
+ * One full SplitMix64 step: advance @p x by the golden-ratio increment
+ * and scramble. Use this to derive independent stream seeds (e.g. one
+ * per verification round) from a base seed — unlike ad-hoc 32-bit
+ * mixing, nearby seeds produce uncorrelated streams.
+ */
+constexpr uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
  * SplitMix64 generator: tiny, fast, and statistically solid for the
  * workload-generation purposes we have (not cryptographic).
  */

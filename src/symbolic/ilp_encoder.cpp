@@ -108,6 +108,43 @@ class IlpEncoder {
 
 } // namespace
 
+bool
+addValidityConstraints(const sched::Skeleton& skeleton,
+                       const SigmaSpace& sigma, solver::IlpSolver& ilp)
+{
+    for (sched::SlotId s = 0; s < skeleton.slotCount(); ++s) {
+        std::vector<solver::LinTerm> terms;
+        for (uint32_t i = sigma.slotRange[s].first;
+             i < sigma.slotRange[s].second; ++i) {
+            terms.push_back({1, i});
+        }
+        if (!terms.empty())
+            ilp.addLe(std::move(terms), 1); // slot constraint
+    }
+    const sem::Grammar& grammar = skeleton.grammar();
+    for (sem::RuleId rule = 0; rule < grammar.rules().size(); ++rule) {
+        const auto& fixed = skeleton.fixedRules(grammar.rule(rule).cls);
+        if (std::find(fixed.begin(), fixed.end(), rule) != fixed.end())
+            continue;
+        std::vector<solver::LinTerm> terms;
+        for (uint32_t entry : sigma.ruleEntries[rule])
+            terms.push_back({1, entry});
+        if (terms.empty())
+            return false; // rule cannot be scheduled anywhere
+        ilp.addEq(std::move(terms), 1); // rule constraint
+    }
+    return true;
+}
+
+bool
+encodeTraceConstraints(const sched::VisitPlan& plan, const SigmaSpace& sigma,
+                       solver::IlpSolver& ilp, IlpStats* stats,
+                       std::vector<size_t>* statesPerStep)
+{
+    IlpEncoder encoder(plan, sigma, ilp, stats, statesPerStep);
+    return encoder.run();
+}
+
 std::optional<sched::Schedule>
 synthesizeIlp(const sched::Skeleton& skeleton,
               const std::vector<const tree::Tree*>& trees, IlpStats* stats,
@@ -119,37 +156,12 @@ synthesizeIlp(const sched::Skeleton& skeleton,
     for (size_t i = 0; i < sigma.size(); ++i)
         ilp.addVar();
 
-    // Validity constraints (§5.2).
-    for (sched::SlotId s = 0; s < skeleton.slotCount(); ++s) {
-        std::vector<solver::LinTerm> terms;
-        for (uint32_t i = sigma.slotRange[s].first;
-             i < sigma.slotRange[s].second; ++i) {
-            terms.push_back({1, i});
-        }
-        if (!terms.empty())
-            ilp.addLe(std::move(terms), 1); // slot constraint
-    }
-    const sem::Grammar& grammar = skeleton.grammar();
-    bool feasible = true;
-    for (sem::RuleId rule = 0; rule < grammar.rules().size(); ++rule) {
-        const auto& fixed = skeleton.fixedRules(grammar.rule(rule).cls);
-        if (std::find(fixed.begin(), fixed.end(), rule) != fixed.end())
-            continue;
-        std::vector<solver::LinTerm> terms;
-        for (uint32_t entry : sigma.ruleEntries[rule])
-            terms.push_back({1, entry});
-        if (terms.empty()) {
-            feasible = false; // rule cannot be scheduled anywhere
-            break;
-        }
-        ilp.addEq(std::move(terms), 1); // rule constraint
-    }
-
+    bool feasible = addValidityConstraints(skeleton, sigma, ilp);
     if (feasible) {
         for (const tree::Tree* tree : trees) {
             sched::VisitPlan plan(skeleton, *tree);
-            IlpEncoder encoder(plan, sigma, ilp, stats, statesPerStep);
-            if (!encoder.run()) {
+            if (!encodeTraceConstraints(plan, sigma, ilp, stats,
+                                        statesPerStep)) {
                 feasible = false;
                 break;
             }

@@ -25,7 +25,13 @@
 #include <vector>
 
 #include "sched/schedule.hpp"
+#include "sched/visit_plan.hpp"
+#include "symbolic/sigma.hpp"
 #include "tree/tree.hpp"
+
+namespace hecate::solver {
+class IlpSolver;
+}
 
 namespace hecate::symbolic {
 
@@ -36,6 +42,8 @@ struct IlpStats {
     size_t constraintTerms = 0; ///< the domain-specific Fig. 9 metric
     size_t traceStmts = 0;
     uint64_t branchNodes = 0;
+    uint64_t hintedBranches = 0; ///< warm-started branch decisions
+    uint64_t warmRestarts = 0;   ///< budgeted warm solves that fell back cold
     double encodeSeconds = 0.0;
     double solveSeconds = 0.0;
 };
@@ -53,5 +61,26 @@ synthesizeIlp(const sched::Skeleton& skeleton,
               const std::vector<const tree::Tree*>& trees,
               IlpStats* stats = nullptr,
               std::vector<size_t>* statesPerStep = nullptr);
+
+/**
+ * Add the §5.2 validity constraints (slot at-most-one, rule
+ * exactly-one) over @p sigma's variables to @p ilp. Returns false when
+ * some rule has no candidate slot — the problem is statically
+ * infeasible. Shared by the one-shot synthesizeIlp and the incremental
+ * IlpSession so both paths assert the identical constraint system.
+ */
+bool addValidityConstraints(const sched::Skeleton& skeleton,
+                            const SigmaSpace& sigma,
+                            solver::IlpSolver& ilp);
+
+/**
+ * Encode one plan's trace program (the per-example read constraints of
+ * §5.2) into @p ilp. Returns false when a fixed read is statically
+ * unsatisfiable.
+ */
+bool encodeTraceConstraints(const sched::VisitPlan& plan,
+                            const SigmaSpace& sigma, solver::IlpSolver& ilp,
+                            IlpStats* stats = nullptr,
+                            std::vector<size_t>* statesPerStep = nullptr);
 
 } // namespace hecate::symbolic

@@ -1,0 +1,92 @@
+#include "symbolic/ilp_session.hpp"
+
+#include "support/timer.hpp"
+
+namespace hecate::symbolic {
+
+IlpSession::IlpSession(const sched::Skeleton& skeleton)
+    : skeleton_(&skeleton), sigma_(SigmaSpace::build(skeleton))
+{
+    for (size_t i = 0; i < sigma_.size(); ++i)
+        ilp_.addVar();
+    feasible_ = addValidityConstraints(skeleton, sigma_, ilp_);
+}
+
+void
+IlpSession::addExample(const sched::VisitPlan& plan, IlpStats* stats)
+{
+    ++examples_;
+    if (!feasible_)
+        return;
+    Timer timer;
+    if (!encodeTraceConstraints(plan, sigma_, ilp_, stats))
+        feasible_ = false;
+    if (stats != nullptr) {
+        stats->sigmaVars = sigma_.size();
+        stats->encodeSeconds += timer.seconds();
+    }
+}
+
+std::optional<sched::Schedule>
+IlpSession::solve(IlpStats* stats)
+{
+    if (stats != nullptr)
+        stats->sigmaVars = sigma_.size();
+    if (!feasible_)
+        return std::nullopt;
+
+    Timer timer;
+    solver::IlpResult result;
+    bool warm = warmStart_ && !hints_.empty();
+    if (warm) {
+        // Phase saving steers the DFS back toward the previous feasible
+        // assignment, which usually needs only a local repair — but when
+        // the new example invalidates it structurally, the hinted branch
+        // order can be pathological for a solver without conflict
+        // learning. Budget the hinted dive and fall back to the default
+        // branch order (identical to a from-scratch solve) when it
+        // fails to converge.
+        uint64_t budget = kWarmBudgetBase + kWarmBudgetGrowth * lastSolveNodes_;
+        ilp_.setPhaseHints(hints_);
+        result = ilp_.solve(budget);
+    } else {
+        ilp_.setPhaseHints({});
+        result = ilp_.solve();
+    }
+    if (stats != nullptr) {
+        stats->branchNodes += ilp_.stats().branchNodes;
+        stats->hintedBranches += ilp_.stats().hintedBranches;
+    }
+    if (warm && result == solver::IlpResult::Exhausted) {
+        // The previous assignment needed more than a local repair;
+        // hints from it (and from its successors, which only drift
+        // further) are no longer worth trusting. Run this and all
+        // remaining rounds cold — minimal-repair solutions also tend to
+        // overfit past counterexamples and inflate the CEGIS round
+        // count, so a misleading hint costs more than one slow solve.
+        warmStart_ = false;
+        ilp_.setPhaseHints({});
+        result = ilp_.solve();
+        if (stats != nullptr) {
+            stats->branchNodes += ilp_.stats().branchNodes;
+            ++stats->warmRestarts;
+        }
+    }
+    if (stats != nullptr)
+        stats->solveSeconds += timer.seconds();
+    if (result != solver::IlpResult::Feasible) {
+        feasible_ = false; // constraints only accumulate: permanent
+        return std::nullopt;
+    }
+    lastSolveNodes_ = ilp_.stats().branchNodes;
+
+    hints_.resize(sigma_.size());
+    std::vector<bool> values(sigma_.size());
+    for (size_t i = 0; i < sigma_.size(); ++i) {
+        values[i] = ilp_.value(static_cast<uint32_t>(i)) != 0;
+        hints_[i] = values[i] ? 1 : 0;
+    }
+    return sigma_.decode(values, *skeleton_);
+}
+
+} // namespace hecate::symbolic

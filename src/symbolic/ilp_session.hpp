@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * IlpSession: the domain-specific ILP encoding made incremental across
+ * CEGIS rounds.
+ *
+ * The one-shot synthesizeIlp rebuilds everything per round — sigma
+ * space, validity constraints, and one constraint block per accumulated
+ * example — so round N pays for all N examples again. A session keeps
+ * the sigma-variable space and the solver (with every previously
+ * encoded constraint block) alive, so round N encodes only the one new
+ * counterexample and re-solves. The solve is warm-started by
+ * phase-saving: the previous round's feasible assignment is installed
+ * as branch-value hints, and the search dives straight back to it,
+ * branching only where the new example's constraints force a repair.
+ *
+ * Both paths share addValidityConstraints/encodeTraceConstraints, so a
+ * session asserts the byte-identical constraint system as the
+ * from-scratch encoder over the same examples — the differential tests
+ * in tests/test_cegis_hotpath.cpp rely on this.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sched/visit_plan.hpp"
+#include "solver/ilp.hpp"
+#include "symbolic/ilp_encoder.hpp"
+#include "symbolic/sigma.hpp"
+
+namespace hecate::symbolic {
+
+/** Persistent incremental encoding state for one skeleton. */
+class IlpSession {
+  public:
+    explicit IlpSession(const sched::Skeleton& skeleton);
+
+    IlpSession(const IlpSession&) = delete;
+    IlpSession& operator=(const IlpSession&) = delete;
+
+    /**
+     * Encode one more example's constraint block into the persistent
+     * solver. Encode time and constraint counts accumulate into
+     * @p stats when given.
+     */
+    void addExample(const sched::VisitPlan& plan, IlpStats* stats = nullptr);
+
+    /**
+     * Solve the accumulated system, warm-started from the previous
+     * feasible assignment. Returns std::nullopt when infeasible (which
+     * is permanent: constraints only ever accumulate).
+     */
+    std::optional<sched::Schedule> solve(IlpStats* stats = nullptr);
+
+    size_t exampleCount() const { return examples_; }
+    size_t constraintCount() const { return ilp_.constraintCount(); }
+    bool feasible() const { return feasible_; }
+    const SigmaSpace& sigma() const { return sigma_; }
+
+    /** Disable/enable phase-saving warm starts (on by default). */
+    void setWarmStart(bool enabled) { warmStart_ = enabled; }
+
+    /**
+     * Node budget for a warm-started solve before falling back to the
+     * default branch order: base + growth * (nodes of the previous
+     * successful solve). Exceeding it means the hints are misleading
+     * the search, not that the system is hard — the cold solve that
+     * follows explores exactly the from-scratch branch order, and warm
+     * starts stay off for the rest of the session.
+     */
+    static constexpr uint64_t kWarmBudgetBase = 512;
+    static constexpr uint64_t kWarmBudgetGrowth = 4;
+
+  private:
+    const sched::Skeleton* skeleton_;
+    SigmaSpace sigma_;
+    solver::IlpSolver ilp_;
+    std::vector<int8_t> hints_; ///< previous feasible assignment
+    bool feasible_ = true;      ///< false once statically/solver-infeasible
+    bool warmStart_ = true;
+    uint64_t lastSolveNodes_ = 0; ///< scales the next warm budget
+    size_t examples_ = 0;
+};
+
+} // namespace hecate::symbolic

@@ -1,9 +1,12 @@
 #include "synth/cegis.hpp"
 
-#include <sstream>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
 
 #include "sched/visit_plan.hpp"
 #include "support/timer.hpp"
+#include "symbolic/ilp_session.hpp"
 
 namespace hecate::synth {
 
@@ -21,14 +24,36 @@ locName(const sched::VisitPlan& plan, sched::Location loc)
            std::to_string(loc.node);
 }
 
+/** Seed of the sampling Rng for random verification round @p round. */
+uint64_t
+roundSeed(uint64_t seed, uint32_t round)
+{
+    return splitmix64(splitmix64(seed) + round);
+}
+
 } // namespace
 
-std::optional<std::string>
-checkScheduleOn(const sched::Skeleton& skeleton,
-                const sched::Schedule& schedule, const tree::Tree& tree)
+uint32_t
+resolveVerifyThreads(uint32_t configured)
 {
+    if (configured != 0)
+        return configured;
+    if (const char* env = std::getenv("HECATE_VERIFY_THREADS")) {
+        int parsed = std::atoi(env);
+        if (parsed > 0)
+            return static_cast<uint32_t>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::optional<std::string>
+checkScheduleOnPlan(const sched::VisitPlan& plan,
+                    const sched::Schedule& schedule)
+{
+    const sched::Skeleton& skeleton = plan.skeleton();
     const sem::Grammar& grammar = skeleton.grammar();
-    sched::VisitPlan plan(skeleton, tree);
+    const tree::Tree& tree = plan.tree();
 
     // Resolve the writer instance of every output location.
     std::unordered_map<uint64_t, sched::InstId> writer_of;
@@ -71,7 +96,8 @@ checkScheduleOn(const sched::Skeleton& skeleton,
                 continue;
             auto it = writer_of.find(loc.key());
             checkInvariant(it != writer_of.end(),
-                           "checkScheduleOn: unwritten location survived");
+                           "checkScheduleOnPlan: unwritten location "
+                           "survived");
             if (!plan.happensBefore(it->second, inst.id)) {
                 return "read of " + locName(plan, loc) +
                        " happens before its write";
@@ -81,43 +107,121 @@ checkScheduleOn(const sched::Skeleton& skeleton,
     return std::nullopt;
 }
 
+std::optional<std::string>
+checkScheduleOn(const sched::Skeleton& skeleton,
+                const sched::Schedule& schedule, const tree::Tree& tree)
+{
+    sched::VisitPlan plan(skeleton, tree);
+    return checkScheduleOnPlan(plan, schedule);
+}
+
+Verifier::Verifier(const sched::Skeleton& skeleton,
+                   sem::InterfaceId rootIface,
+                   const tree::EnumConfig& config, uint64_t seed,
+                   uint32_t threads, sched::PlanCache* planCache)
+    : threads_(threads == 0 ? 1 : threads)
+{
+    if (planCache == nullptr) {
+        ownedCache_ = std::make_unique<sched::PlanCache>(skeleton);
+        planCache = ownedCache_.get();
+    }
+
+    // The round-independent verification space: every enumerated shape
+    // first (smallest shapes yield the smallest counterexamples), then
+    // the random deeper-tree rounds. Each sampling round draws from its
+    // own splitmix64-derived stream so rounds are order-independent —
+    // the precondition for checking them in parallel — and deep-tree
+    // samples do not correlate across nearby base seeds.
+    auto shapes =
+        tree::enumerateShapes(skeleton.grammar(), rootIface, config);
+    plans_.reserve(shapes.size() + config.randomRounds);
+    for (const tree::ShapePtr& shape : shapes) {
+        plans_.push_back(planCache->lookup(
+            tree::instantiate(skeleton.grammar(), *shape, seed)));
+    }
+    tree::SampleConfig sample;
+    sample.maxDepth = config.maxDepth + config.sampleDepthBump;
+    for (uint32_t round = 0; round < config.randomRounds; ++round) {
+        Rng rng(roundSeed(seed, round));
+        plans_.push_back(planCache->lookup(
+            tree::sampleTree(skeleton.grammar(), rootIface, sample, rng)));
+    }
+
+    if (threads_ > 1)
+        pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+VerifyResult
+Verifier::run(const sched::Schedule& schedule)
+{
+    VerifyResult result;
+    const size_t count = plans_.size();
+
+    if (threads_ <= 1 || count < 2) {
+        for (size_t i = 0; i < count; ++i) {
+            auto failure = checkScheduleOnPlan(plans_[i]->plan(), schedule);
+            if (failure.has_value()) {
+                result.reason = std::move(*failure);
+                result.counterexample = plans_[i]->tree();
+                result.checkedTrees = i + 1;
+                return result;
+            }
+        }
+        result.ok = true;
+        result.checkedTrees = count;
+        return result;
+    }
+
+    // Parallel scan with deterministic first-counterexample early exit.
+    // `firstFail` only ever holds indices of real failures and is
+    // monotonically lowered via CAS-min; a worker skips index i only
+    // when a strictly lower failure is already known, so every index
+    // below the final minimum is fully checked. Each index is claimed
+    // by exactly one worker (the shared dispenser), so reasons[i] has a
+    // single writer and the pool's join publishes it.
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> firstFail{count};
+    std::vector<std::string> reasons(count);
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            if (i > firstFail.load(std::memory_order_relaxed))
+                continue;
+            auto failure = checkScheduleOnPlan(plans_[i]->plan(), schedule);
+            if (failure.has_value()) {
+                reasons[i] = std::move(*failure);
+                size_t current = firstFail.load();
+                while (i < current &&
+                       !firstFail.compare_exchange_weak(current, i)) {
+                }
+            }
+        }
+    };
+    for (uint32_t t = 0; t < threads_; ++t)
+        pool_->submit(worker);
+    pool_->waitAll();
+
+    size_t fail = firstFail.load();
+    if (fail < count) {
+        result.reason = std::move(reasons[fail]);
+        result.counterexample = plans_[fail]->tree();
+        result.checkedTrees = fail + 1;
+        return result;
+    }
+    result.ok = true;
+    result.checkedTrees = count;
+    return result;
+}
+
 VerifyResult
 verifySchedule(const sched::Skeleton& skeleton,
                const sched::Schedule& schedule, sem::InterfaceId rootIface,
                const tree::EnumConfig& config, uint64_t seed)
 {
-    VerifyResult result;
-    auto shapes = tree::enumerateShapes(skeleton.grammar(), rootIface,
-                                        config);
-    for (const tree::ShapePtr& shape : shapes) {
-        tree::Tree candidate =
-            tree::instantiate(skeleton.grammar(), *shape, seed);
-        ++result.checkedTrees;
-        auto failure = checkScheduleOn(skeleton, schedule, candidate);
-        if (failure.has_value()) {
-            result.reason = *failure;
-            result.counterexample = std::move(candidate);
-            return result;
-        }
-    }
-    // The enumeration is capped, so back it with randomly sampled
-    // deeper trees (shape coverage beyond the cap).
-    Rng rng(seed * 0x9e37u + 17);
-    tree::SampleConfig sample;
-    sample.maxDepth = config.maxDepth + 2;
-    for (int round = 0; round < 24; ++round) {
-        tree::Tree candidate =
-            tree::sampleTree(skeleton.grammar(), rootIface, sample, rng);
-        ++result.checkedTrees;
-        auto failure = checkScheduleOn(skeleton, schedule, candidate);
-        if (failure.has_value()) {
-            result.reason = *failure;
-            result.counterexample = std::move(candidate);
-            return result;
-        }
-    }
-    result.ok = true;
-    return result;
+    Verifier verifier(skeleton, rootIface, config, seed, /*threads=*/1);
+    return verifier.run(schedule);
 }
 
 SynthesisResult
@@ -127,57 +231,95 @@ synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
 {
     Timer total_timer;
     SynthesisResult result;
+    result.verifyThreadsUsed = resolveVerifyThreads(config.verifyThreads);
 
-    std::vector<tree::Tree> examples = std::move(initialExamples);
+    // One plan cache per run, shared between the verifier and the
+    // example-encoding path: counterexamples re-enter the synthesizer
+    // with their plan already expanded.
+    sched::PlanCache planCache(skeleton);
+    std::optional<Verifier> verifier;
+    if (config.reuseVerifierState) {
+        verifier.emplace(skeleton, rootIface, config.verify, config.seed,
+                         result.verifyThreadsUsed, &planCache);
+    }
+
+    std::vector<std::shared_ptr<const sched::CachedPlan>> examples;
+    for (tree::Tree& example : initialExamples)
+        examples.push_back(planCache.lookup(std::move(example)));
     if (examples.empty()) {
         // Seed with the smallest shapes the verifier would try first,
         // plus a few deeper random trees: richer initial examples save
-        // most CEGIS rounds (each round re-encodes and re-verifies).
+        // most CEGIS rounds (each round re-verifies, and under the
+        // from-scratch engine also re-encodes).
         tree::EnumConfig seed_config = config.verify;
         seed_config.limit = 2;
         for (const tree::ShapePtr& shape : tree::enumerateShapes(
                  skeleton.grammar(), rootIface, seed_config)) {
-            examples.push_back(tree::instantiate(skeleton.grammar(), *shape,
-                                                 config.seed));
+            examples.push_back(planCache.lookup(tree::instantiate(
+                skeleton.grammar(), *shape, config.seed)));
         }
         Rng rng(config.seed + 0x5eed);
         tree::SampleConfig deep;
         deep.maxDepth = config.verify.maxDepth + 1;
         for (int i = 0; i < 3; ++i) {
-            examples.push_back(tree::sampleTree(skeleton.grammar(),
-                                                rootIface, deep, rng));
+            examples.push_back(planCache.lookup(tree::sampleTree(
+                skeleton.grammar(), rootIface, deep, rng)));
         }
     }
 
+    const bool incremental = config.engine == Engine::DomainSpecificIlp &&
+                             config.incrementalEncoding;
+    std::optional<symbolic::IlpSession> session;
+    if (incremental)
+        session.emplace(skeleton);
+    size_t encoded = 0; // examples already in the session
+
     for (uint32_t round = 0; round < config.maxIterations; ++round) {
         ++result.cegisIterations;
-        std::vector<const tree::Tree*> views;
-        views.reserve(examples.size());
-        for (const tree::Tree& example : examples)
-            views.push_back(&example);
 
         std::optional<sched::Schedule> candidate;
-        if (config.engine == Engine::DomainSpecificIlp) {
+        if (incremental) {
             symbolic::IlpStats stats;
-            candidate = symbolic::synthesizeIlp(skeleton, views, &stats);
+            for (; encoded < examples.size(); ++encoded)
+                session->addExample(examples[encoded]->plan(), &stats);
+            candidate = session->solve(&stats);
             result.ilpStats.sigmaVars = stats.sigmaVars;
             result.ilpStats.constraints += stats.constraints;
             result.ilpStats.constraintTerms += stats.constraintTerms;
             result.ilpStats.traceStmts += stats.traceStmts;
             result.ilpStats.branchNodes += stats.branchNodes;
+            result.ilpStats.hintedBranches += stats.hintedBranches;
+            result.ilpStats.warmRestarts += stats.warmRestarts;
             result.ilpStats.encodeSeconds += stats.encodeSeconds;
             result.ilpStats.solveSeconds += stats.solveSeconds;
         } else {
-            symbolic::GeneralStats stats;
-            candidate = symbolic::synthesizeGeneral(skeleton, views, &stats);
-            result.generalStats.sigmaVars = stats.sigmaVars;
-            result.generalStats.formulaNodes += stats.formulaNodes;
-            result.generalStats.cnfVars += stats.cnfVars;
-            result.generalStats.cnfClauses += stats.cnfClauses;
-            result.generalStats.satConflicts += stats.satConflicts;
-            result.generalStats.satDecisions += stats.satDecisions;
-            result.generalStats.encodeSeconds += stats.encodeSeconds;
-            result.generalStats.solveSeconds += stats.solveSeconds;
+            std::vector<const tree::Tree*> views;
+            views.reserve(examples.size());
+            for (const auto& example : examples)
+                views.push_back(&example->tree());
+            if (config.engine == Engine::DomainSpecificIlp) {
+                symbolic::IlpStats stats;
+                candidate = symbolic::synthesizeIlp(skeleton, views, &stats);
+                result.ilpStats.sigmaVars = stats.sigmaVars;
+                result.ilpStats.constraints += stats.constraints;
+                result.ilpStats.constraintTerms += stats.constraintTerms;
+                result.ilpStats.traceStmts += stats.traceStmts;
+                result.ilpStats.branchNodes += stats.branchNodes;
+                result.ilpStats.encodeSeconds += stats.encodeSeconds;
+                result.ilpStats.solveSeconds += stats.solveSeconds;
+            } else {
+                symbolic::GeneralStats stats;
+                candidate =
+                    symbolic::synthesizeGeneral(skeleton, views, &stats);
+                result.generalStats.sigmaVars = stats.sigmaVars;
+                result.generalStats.formulaNodes += stats.formulaNodes;
+                result.generalStats.cnfVars += stats.cnfVars;
+                result.generalStats.cnfClauses += stats.cnfClauses;
+                result.generalStats.satConflicts += stats.satConflicts;
+                result.generalStats.satDecisions += stats.satDecisions;
+                result.generalStats.encodeSeconds += stats.encodeSeconds;
+                result.generalStats.solveSeconds += stats.solveSeconds;
+            }
         }
 
         if (!candidate.has_value()) {
@@ -186,9 +328,13 @@ synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
             break;
         }
 
-        VerifyResult verify = verifySchedule(skeleton, *candidate,
-                                             rootIface, config.verify,
-                                             config.seed);
+        Timer verify_timer;
+        VerifyResult verify =
+            config.reuseVerifierState
+                ? verifier->run(*candidate)
+                : verifySchedule(skeleton, *candidate, rootIface,
+                                 config.verify, config.seed);
+        result.verifySeconds += verify_timer.seconds();
         result.verifiedTrees = verify.checkedTrees;
         if (verify.ok) {
             result.schedule = std::move(candidate);
@@ -196,12 +342,15 @@ synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
         }
         checkInvariant(verify.counterexample.has_value(),
                        "verifier failed without a counterexample");
-        examples.push_back(std::move(*verify.counterexample));
+        examples.push_back(
+            planCache.lookup(std::move(*verify.counterexample)));
     }
 
     if (!result.schedule.has_value() && result.failure.empty())
         result.failure = "CEGIS iteration budget exhausted";
     result.examplesUsed = examples.size();
+    result.planCacheHits = planCache.hits();
+    result.planCacheMisses = planCache.misses();
     result.totalSeconds = total_timer.seconds();
     return result;
 }

@@ -7,13 +7,31 @@
  * trees; the verifier checks it against every tree up to depth k and
  * returns a counterexample on failure; the loop repeats until the
  * verifier is silent or the synthesizer reports infeasibility.
+ *
+ * The inner loop is built around reuse and parallelism:
+ *
+ *  - the ILP engine keeps a persistent symbolic::IlpSession, so round
+ *    N encodes only the newest counterexample (the from-scratch path
+ *    is kept behind SynthesisConfig::incrementalEncoding for
+ *    differential testing);
+ *  - the Verifier enumerates the bounded tree space once, memoizes one
+ *    VisitPlan per shape (sched::PlanCache), and shards checking
+ *    across a thread pool with first-counterexample early exit — the
+ *    returned counterexample is the lowest-index failing tree
+ *    regardless of thread timing, so parallel and serial verification
+ *    are bit-identical;
+ *  - counterexamples re-enter the synthesizer through the same plan
+ *    cache, so their plans are never rebuilt.
  */
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "sched/plan_cache.hpp"
 #include "sched/schedule.hpp"
+#include "support/thread_pool.hpp"
 #include "symbolic/general_encoder.hpp"
 #include "symbolic/ilp_encoder.hpp"
 #include "tree/enumerate.hpp"
@@ -32,6 +50,25 @@ struct SynthesisConfig {
     tree::EnumConfig verify;      ///< the verifier's bounded tree space
     uint32_t maxIterations = 64;  ///< CEGIS round budget
     uint64_t seed = 1;            ///< tree instantiation seed
+    /**
+     * ILP engine only: keep a persistent IlpSession so each round
+     * encodes just the new counterexample (warm-started solve). false
+     * re-encodes every example from scratch each round — the pre-reuse
+     * reference path, kept for differential testing and benchmarks.
+     */
+    bool incrementalEncoding = true;
+    /**
+     * Keep the verifier's enumerated shapes and memoized plans alive
+     * across rounds. false re-enumerates and re-expands per round (the
+     * reference path). Does not change any result, only cost.
+     */
+    bool reuseVerifierState = true;
+    /**
+     * Verification worker threads. 0 = auto: $HECATE_VERIFY_THREADS if
+     * set, else hardware concurrency; 1 = serial. Parallel verification
+     * is deterministic, so this never changes any result.
+     */
+    uint32_t verifyThreads = 0;
 };
 
 /** Outcome of verifying one concrete schedule. */
@@ -50,9 +87,19 @@ struct SynthesisResult {
     size_t verifiedTrees = 0;
     symbolic::GeneralStats generalStats; ///< accumulated (SAT engine)
     symbolic::IlpStats ilpStats;         ///< accumulated (ILP engine)
+    double verifySeconds = 0.0;          ///< total verification time
     double totalSeconds = 0.0;
+    size_t planCacheHits = 0;    ///< memoized VisitPlan reuses
+    size_t planCacheMisses = 0;  ///< VisitPlans actually expanded
+    uint32_t verifyThreadsUsed = 0;
     std::string failure; ///< set when schedule is empty
 };
+
+/**
+ * Resolve SynthesisConfig::verifyThreads: an explicit value wins, then
+ * $HECATE_VERIFY_THREADS, then hardware concurrency (at least 1).
+ */
+uint32_t resolveVerifyThreads(uint32_t configured);
 
 /**
  * Check @p schedule on a single tree: every output location written
@@ -63,9 +110,50 @@ std::optional<std::string> checkScheduleOn(const sched::Skeleton& skeleton,
                                            const sched::Schedule& schedule,
                                            const tree::Tree& tree);
 
+/** Same check against an already-expanded plan (no plan rebuild). */
+std::optional<std::string>
+checkScheduleOnPlan(const sched::VisitPlan& plan,
+                    const sched::Schedule& schedule);
+
+/**
+ * The CEGIS verifier with its round-independent state hoisted out:
+ * shapes are enumerated and instantiated once, one VisitPlan is
+ * memoized per shape, and a dedicated thread pool shards the checks.
+ *
+ * run() returns the lowest-index failing tree (enumeration order, then
+ * sampling-round order) as the counterexample whether it executes
+ * serially or in parallel: workers may skip indices above an
+ * already-found failure, but every index below the final minimum is
+ * always fully checked.
+ */
+class Verifier {
+  public:
+    /**
+     * @param threads worker count (already resolved; 1 = serial).
+     * @param planCache shared plan cache; nullptr = private cache.
+     */
+    Verifier(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
+             const tree::EnumConfig& config, uint64_t seed,
+             uint32_t threads, sched::PlanCache* planCache = nullptr);
+
+    VerifyResult run(const sched::Schedule& schedule);
+
+    /** Trees checked per run: enumerated shapes + random rounds. */
+    size_t treeCount() const { return plans_.size(); }
+    uint32_t threadCount() const { return threads_; }
+
+  private:
+    std::unique_ptr<sched::PlanCache> ownedCache_;
+    std::vector<std::shared_ptr<const sched::CachedPlan>> plans_;
+    uint32_t threads_;
+    std::unique_ptr<ThreadPool> pool_; ///< present when threads_ > 1
+};
+
 /**
  * Verify @p schedule against every tree shape up to the configured
- * depth, returning the first counterexample found.
+ * depth (plus config.randomRounds sampled deeper trees), returning the
+ * first counterexample found. One-shot reference form: builds a fresh
+ * Verifier per call with serial checking and no shared plan cache.
  */
 VerifyResult verifySchedule(const sched::Skeleton& skeleton,
                             const sched::Schedule& schedule,

@@ -41,6 +41,14 @@ struct EnumConfig {
     uint32_t maxCollection = 2;   ///< max collection arity
     size_t perSlotOptions = 24;   ///< cap on alternatives per child slot
     size_t limit = 512;           ///< cap on total shapes returned
+    /**
+     * The enumeration above is capped by `limit`, so the verifier backs
+     * it with this many randomly sampled deeper trees (shape coverage
+     * beyond the cap); 0 disables sampling.
+     */
+    uint32_t randomRounds = 24;
+    /** Sampled trees may be this much deeper than maxDepth. */
+    uint32_t sampleDepthBump = 2;
 };
 
 /**
