@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Traversal runtime benchmark: quantifies the bytecode runtime of
+ * src/runtime against both ends of the execution spectrum on the two
+ * big evaluation grammars (RenderTree and AST):
+ *
+ *  - interp: exec::execute, the schedule-following value interpreter
+ *    over tree::Tree (name lookups + AST dispatch per rule);
+ *  - runtime: the same synthesized schedule compiled to bytecode with
+ *    runtime::Program and run over a flattened TreeArena;
+ *  - codegen: the hand-written workloads of src/workloads, shaped
+ *    exactly like the C++ the codegen emitter produces (the upper
+ *    bound the runtime chases).
+ *
+ * A second sweep wraps each case's recursive visits in a `parallel`
+ * region, re-synthesizes, and runs the parallel executor with growing
+ * worker counts to show fork-join scaling (real speedups need real
+ * cores; the host's count is printed alongside).
+ *
+ * Results are printed as tables and written as machine-readable JSON
+ * to BENCH_runtime.json (schema: {"quick", "hardware_threads",
+ * "single_thread", "parallel"}). --quick shrinks the instance sizes so
+ * CI can run it in seconds.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/interp.hpp"
+#include "grammars/grammars.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/program.hpp"
+#include "support/thread_pool.hpp"
+#include "synth/autotuner.hpp"
+#include "workloads/ast_workload.hpp"
+#include "workloads/rendertree.hpp"
+
+using namespace hecate;
+
+namespace {
+
+/** One JSON object as ordered key/value text fragments. */
+std::string
+jsonObject(const std::vector<std::pair<std::string, std::string>>& fields)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "\"" + fields[i].first + "\": " + fields[i].second;
+    }
+    return out + "}";
+}
+
+std::string
+jsonNum(double value)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    return buffer;
+}
+
+/**
+ * Rewrite @p decl so each case's recursive visits run in one
+ * fork-join region: every case with at least two `recur` statements
+ * gets them collected into a single statement-form `parallel` block
+ * (placed where the last of them stood, which keeps pre-visit slots
+ * before the region and post-visit slots after it). Returns whether
+ * any case changed.
+ */
+bool
+wrapRecursInParallel(ast::TraversalDecl& decl)
+{
+    bool wrapped = false;
+    for (ast::CaseDecl& c : decl.cases) {
+        size_t recurs = 0;
+        for (const ast::TStmtPtr& stmt : c.stmts)
+            recurs += stmt->kind == ast::TStmtKind::Recur;
+        if (recurs < 2)
+            continue;
+        std::vector<ast::TStmtPtr> out, region;
+        for (ast::TStmtPtr& stmt : c.stmts) {
+            if (stmt->kind != ast::TStmtKind::Recur) {
+                out.push_back(std::move(stmt));
+                continue;
+            }
+            region.push_back(std::move(stmt));
+            if (region.size() == recurs)
+                out.push_back(
+                    ast::TStmt::makeParallel("", std::move(region)));
+        }
+        c.stmts = std::move(out);
+        wrapped = true;
+    }
+    return wrapped;
+}
+
+struct BenchGrammar {
+    const grammars::Benchmark* bench;
+    sem::Grammar grammar;
+    sem::InterfaceId root = sem::kInvalidId;
+
+    // Sequential: auto-tuned skeleton + schedule (the interp runs
+    // these) and the same concrete traversal compiled to bytecode.
+    std::optional<sched::Skeleton> skeleton;
+    std::optional<sched::Schedule> schedule;
+    std::optional<sched::Skeleton> concrete;
+    std::optional<runtime::Program> program;
+
+    // Parallel: the same skeleton family with recurs wrapped in a
+    // fork-join region, re-synthesized and compiled. Missing when the
+    // wrapped skeleton does not admit a schedule.
+    std::optional<sched::Skeleton> parConcrete;
+    std::optional<runtime::Program> parProgram;
+};
+
+/**
+ * Heap-pinned so the grammar never moves after skeletons (which keep
+ * pointers to it) are resolved; program fields are compiled from the
+ * stored skeletons for the same reason.
+ */
+std::unique_ptr<BenchGrammar>
+loadBench(const grammars::Benchmark& bench, synth::SkeletonStyle parStyle)
+{
+    auto bg = std::make_unique<BenchGrammar>(
+        BenchGrammar{&bench, grammars::load(bench)});
+    bg->root = grammars::rootInterface(bg->grammar, bench);
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    synth::AutotuneResult tuned =
+        synth::autotune(bg->grammar, bg->root, config);
+    checkInvariant(tuned.schedule.has_value(),
+                   "bench_runtime: auto-tuning failed");
+    bg->skeleton = std::move(tuned.skeleton);
+    bg->schedule = std::move(tuned.schedule);
+    bg->concrete = sched::Skeleton::resolve(
+        bg->grammar, bg->schedule->toConcreteTraversal(*bg->skeleton));
+    bg->program =
+        runtime::Program::compile(*bg->concrete, sched::Schedule{});
+
+    ast::TraversalDecl par =
+        synth::makeSkeleton(bg->grammar, parStyle, "par");
+    if (wrapRecursInParallel(par)) {
+        sched::Skeleton parSkel =
+            sched::Skeleton::resolve(bg->grammar, std::move(par));
+        synth::SynthesisResult result =
+            synth::synthesize(parSkel, bg->root, {}, config);
+        if (result.schedule.has_value()) {
+            bg->parConcrete = sched::Skeleton::resolve(
+                bg->grammar,
+                result.schedule->toConcreteTraversal(parSkel));
+            bg->parProgram = runtime::Program::compile(*bg->parConcrete,
+                                                       sched::Schedule{});
+        } else {
+            std::printf("note: %s parallel skeleton has no schedule "
+                        "(%s); skipping its parallel sweep\n",
+                        bench.name.c_str(), result.failure.c_str());
+        }
+    }
+    return bg;
+}
+
+runtime::TreeArena
+makeArena(const BenchGrammar& bg, uint32_t nodes)
+{
+    runtime::GenConfig gen;
+    gen.targetNodes = nodes;
+    gen.seed = 2024;
+    return runtime::TreeArena::generate(bg.grammar, bg.root, gen);
+}
+
+/** Codegen-style fused single-thread pass at @p nodes (0 = none). */
+double
+codegenSeconds(const BenchGrammar& bg, uint32_t nodes, double min_seconds,
+               int max_iters, int min_iters)
+{
+    if (bg.bench->name == "RenderTree") {
+        workloads::render::DocumentL doc =
+            workloads::render::buildDocumentL(nodes, 2024);
+        return benchutil::measureBest(
+            [&] {
+                workloads::render::runFusedL(doc);
+                benchutil::sink(doc.root->w1);
+            },
+            min_seconds, max_iters, min_iters);
+    }
+    if (bg.bench->name == "AST") {
+        workloads::astw::ProgramL prog =
+            workloads::astw::buildProgramL(nodes, 2024);
+        return benchutil::measureBest(
+            [&] {
+                workloads::astw::runFusedL(prog);
+                benchutil::sink(prog.root->cf);
+            },
+            min_seconds, max_iters, min_iters);
+    }
+    return 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+    const double min_seconds = quick ? 0.0 : 0.2;
+    const int max_iters = quick ? 1 : 10;
+    const int min_iters = quick ? 1 : 3;
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+
+    std::vector<uint32_t> sizes = quick
+                                      ? std::vector<uint32_t>{20000}
+                                      : std::vector<uint32_t>{100000,
+                                                              1000000};
+    std::vector<std::string> single_json, parallel_json;
+
+    std::unique_ptr<BenchGrammar> render =
+        loadBench(grammars::renderTree(), synth::SkeletonStyle::Sandwich);
+    std::unique_ptr<BenchGrammar> ast =
+        loadBench(grammars::astBench(), synth::SkeletonStyle::Sandwich);
+
+    // --- Single thread: interp vs runtime vs codegen ------------------
+    std::printf("== Single thread: interp vs bytecode runtime vs codegen "
+                "==\n");
+    benchutil::row({"grammar", "nodes", "depth", "interp(s)", "runtime(s)",
+                    "speedup", "codegen(s)", "rt/cg"});
+    for (BenchGrammar* bg : {render.get(), ast.get()}) {
+        for (uint32_t nodes : sizes) {
+            runtime::TreeArena arena = makeArena(*bg, nodes);
+            tree::Tree tree = arena.toTree();
+
+            double interp = benchutil::measureBest(
+                [&] {
+                    exec::execute(*bg->skeleton, *bg->schedule, tree);
+                    benchutil::sink(tree.size());
+                },
+                min_seconds, max_iters, min_iters);
+            double rt = benchutil::measureBest(
+                [&] {
+                    benchutil::sink(
+                        runtime::execute(*bg->program, arena)
+                            .rulesEvaluated);
+                },
+                min_seconds, max_iters, min_iters);
+            double cg =
+                codegenSeconds(*bg, arena.size(), min_seconds, max_iters, min_iters);
+
+            double speedup = rt > 0 ? interp / rt : 0;
+            double rt_vs_cg = cg > 0 ? rt / cg : 0;
+            benchutil::row({bg->bench->name, std::to_string(arena.size()),
+                            std::to_string(arena.depth()),
+                            benchutil::secs(interp), benchutil::secs(rt),
+                            benchutil::ratio(speedup), benchutil::secs(cg),
+                            benchutil::ratio(rt_vs_cg)});
+            single_json.push_back(jsonObject(
+                {{"grammar", "\"" + bg->bench->name + "\""},
+                 {"nodes", std::to_string(arena.size())},
+                 {"depth", std::to_string(arena.depth())},
+                 {"interp_s", jsonNum(interp)},
+                 {"runtime_s", jsonNum(rt)},
+                 {"speedup", jsonNum(speedup)},
+                 {"codegen_s", jsonNum(cg)},
+                 {"runtime_vs_codegen", jsonNum(rt_vs_cg)}}));
+        }
+    }
+
+    // --- Parallel executor scaling ------------------------------------
+    std::printf("\n== Parallel executor: fork-join scaling "
+                "(%u hardware threads) ==\n",
+                hw_threads);
+    benchutil::row({"grammar", "nodes", "workers", "time(s)", "speedup",
+                    "regions", "tasks"});
+    const uint32_t par_nodes = sizes.back();
+    std::vector<uint32_t> worker_counts = {2, 4};
+    for (BenchGrammar* bg : {render.get(), ast.get()}) {
+        if (!bg->parProgram.has_value())
+            continue;
+        runtime::TreeArena arena = makeArena(*bg, par_nodes);
+
+        runtime::RuntimeStats seq_stats;
+        double seq = benchutil::measureBest(
+            [&] {
+                seq_stats = runtime::execute(*bg->parProgram, arena);
+                benchutil::sink(seq_stats.rulesEvaluated);
+            },
+            min_seconds, max_iters, min_iters);
+        benchutil::row({bg->bench->name, std::to_string(arena.size()), "1",
+                        benchutil::secs(seq), benchutil::ratio(1.0),
+                        std::to_string(seq_stats.parallelRegions),
+                        std::to_string(seq_stats.tasksSpawned)});
+        parallel_json.push_back(jsonObject(
+            {{"grammar", "\"" + bg->bench->name + "\""},
+             {"nodes", std::to_string(arena.size())},
+             {"workers", "1"},
+             {"time_s", jsonNum(seq)},
+             {"speedup", jsonNum(1.0)},
+             {"regions", std::to_string(seq_stats.parallelRegions)},
+             {"tasks", std::to_string(seq_stats.tasksSpawned)}}));
+
+        for (uint32_t workers : worker_counts) {
+            ThreadPool pool(workers);
+            runtime::ExecOptions options;
+            options.pool = &pool;
+            options.grain = 8192;
+            runtime::RuntimeStats stats;
+            double par = benchutil::measureBest(
+                [&] {
+                    stats = runtime::execute(*bg->parProgram, arena,
+                                             options);
+                    benchutil::sink(stats.rulesEvaluated);
+                },
+                min_seconds, max_iters, min_iters);
+            double speedup = par > 0 ? seq / par : 0;
+            benchutil::row({bg->bench->name, std::to_string(arena.size()),
+                            std::to_string(workers), benchutil::secs(par),
+                            benchutil::ratio(speedup),
+                            std::to_string(stats.parallelRegions),
+                            std::to_string(stats.tasksSpawned)});
+            parallel_json.push_back(jsonObject(
+                {{"grammar", "\"" + bg->bench->name + "\""},
+                 {"nodes", std::to_string(arena.size())},
+                 {"workers", std::to_string(workers)},
+                 {"time_s", jsonNum(par)},
+                 {"speedup", jsonNum(speedup)},
+                 {"regions", std::to_string(stats.parallelRegions)},
+                 {"tasks", std::to_string(stats.tasksSpawned)}}));
+        }
+    }
+
+    auto join = [](const std::vector<std::string>& items) {
+        std::string out;
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i > 0)
+                out += ",\n    ";
+            out += items[i];
+        }
+        return out;
+    };
+    std::ofstream json("BENCH_runtime.json");
+    json << "{\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"hardware_threads\": " << hw_threads
+         << ",\n  \"single_thread\": [\n    " << join(single_json)
+         << "\n  ],\n  \"parallel\": [\n    " << join(parallel_json)
+         << "\n  ]\n}\n";
+    std::printf("\nwrote BENCH_runtime.json\n");
+    return 0;
+}

@@ -61,6 +61,32 @@ measure(const std::function<void()>& fn, double minSeconds = 0.2,
     return timer.seconds() / iters;
 }
 
+/**
+ * Like measure, but return the fastest single run (repeating until
+ * @p minSeconds accumulate and at least @p minIters runs happened).
+ * The minimum is the standard noise-robust statistic for wall-clock
+ * comparisons on shared hosts: external interference only ever adds
+ * time, so the best run is the closest observation of the true cost.
+ */
+inline double
+measureBest(const std::function<void()>& fn, double minSeconds = 0.2,
+            int maxIters = 50, int minIters = 1)
+{
+    double best = 0;
+    double total = 0;
+    int iters = 0;
+    do {
+        Timer timer;
+        fn();
+        double s = timer.seconds();
+        if (iters == 0 || s < best)
+            best = s;
+        total += s;
+        ++iters;
+    } while ((total < minSeconds || iters < minIters) && iters < maxIters);
+    return best;
+}
+
 /** Sink to defeat dead-code elimination. */
 inline void
 sink(uint64_t value)

@@ -37,6 +37,22 @@
  * auto-tuner picks the skeleton. --repeat duplicates the request list
  * K times (cache/dedup exercise); --cache-dir loads a persisted
  * schedule cache before the run and saves it after.
+ *
+ * Run mode: synthesize (or load from the cache) a schedule, compile it
+ * to bytecode, and execute it over a generated arena instance:
+ *
+ *   hecate_cli run GRAMMAR [TRAVERSAL.hec] [--root IFACE]
+ *              [--engine ilp|sat] [--depth K] [--cache-dir DIR]
+ *              [--tree-size N] [--tree-depth D] [--seed S]
+ *              [--grain G] [--exec-threads N] [--seq] [--check]
+ *
+ * GRAMMAR is a path or "builtin:NAME" as in batch mode. --tree-size
+ * picks the generated instance's node budget, --tree-depth caps its
+ * depth (0 = unbounded), --grain sets the parallel chunk size, and
+ * --exec-threads sizes the execution pool (0 = hardware concurrency;
+ * --seq forces the sequential executor). --check re-evaluates every
+ * output attribute with exec::computeReference and fails on any
+ * mismatch.
  */
 
 #include <algorithm>
@@ -46,10 +62,14 @@
 #include <sstream>
 #include <vector>
 
+#include <memory>
+
 #include "codegen/cpp_emitter.hpp"
+#include "exec/interp.hpp"
 #include "grammars/grammars.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
+#include "runtime/executor.hpp"
 #include "service/synth_service.hpp"
 #include "support/timer.hpp"
 #include "synth/autotuner.hpp"
@@ -79,7 +99,11 @@ usage()
         "       [--depth K] [--threads N] [--scratch]\n"
         "   or: hecate_cli batch REQUESTS.txt [--engine ilp|sat]\n"
         "       [--depth K] [--workers N] [--repeat K]\n"
-        "       [--cache-dir DIR] [--threads N] [--scratch]\n");
+        "       [--cache-dir DIR] [--threads N] [--scratch]\n"
+        "   or: hecate_cli run GRAMMAR [TRAVERSAL.hec] [--root IFACE]\n"
+        "       [--engine ilp|sat] [--depth K] [--cache-dir DIR]\n"
+        "       [--tree-size N] [--tree-depth D] [--seed S]\n"
+        "       [--grain G] [--exec-threads N] [--seq] [--check]\n");
     return 2;
 }
 
@@ -415,6 +439,185 @@ runSingle(int argc, char** argv)
     return 0;
 }
 
+int
+runRun(int argc, char** argv)
+{
+    std::string grammar_arg, traversal_path, root_name, cache_dir,
+        engine = "ilp";
+    uint32_t depth = 3;
+    long long tree_size = 1000000;
+    long long tree_depth = 0;
+    long long grain = 1024;
+    long long exec_threads = 0;
+    long long seed = 1;
+    bool sequential = false;
+    bool check = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root_name = argv[++i];
+        } else if (arg == "--engine" && i + 1 < argc) {
+            engine = argv[++i];
+        } else if (arg == "--depth" && i + 1 < argc) {
+            depth = static_cast<uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_dir = argv[++i];
+        } else if (arg == "--tree-size" && i + 1 < argc) {
+            tree_size = std::atoll(argv[++i]);
+        } else if (arg == "--tree-depth" && i + 1 < argc) {
+            tree_depth = std::atoll(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::atoll(argv[++i]);
+        } else if (arg == "--grain" && i + 1 < argc) {
+            grain = std::atoll(argv[++i]);
+        } else if (arg == "--exec-threads" && i + 1 < argc) {
+            exec_threads = std::atoll(argv[++i]);
+        } else if (arg == "--seq") {
+            sequential = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else if (grammar_arg.empty()) {
+            grammar_arg = arg;
+        } else if (traversal_path.empty()) {
+            traversal_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (grammar_arg.empty())
+        return usage();
+    if (tree_size < 1 || tree_size > (1ll << 31))
+        userError("--tree-size must be between 1 and 2^31");
+    if (tree_depth < 0)
+        userError("--tree-depth must be non-negative (0 = unbounded)");
+    if (grain < 1 || grain > (1ll << 30))
+        userError("--grain must be between 1 and 2^30");
+    if (exec_threads < 0 || exec_threads > 4096)
+        userError("--exec-threads must be between 0 and 4096 "
+                  "(0 = hardware concurrency)");
+    if (seed < 0)
+        userError("--seed must be non-negative");
+
+    // 1. Synthesize (or load) the schedule through the service layer.
+    service::SynthRequest request;
+    request.config.verify.maxDepth = depth;
+    request.config.engine = engine == "sat"
+                                ? synth::Engine::GeneralPurposeSat
+                                : synth::Engine::DomainSpecificIlp;
+    if (grammar_arg.rfind("builtin:", 0) == 0) {
+        const grammars::Benchmark* bench =
+            builtinBenchmark(grammar_arg.substr(8));
+        if (bench == nullptr)
+            userError("unknown builtin grammar '" + grammar_arg + "'");
+        request.grammarSrc = bench->source;
+        request.rootInterface = bench->rootInterface;
+    } else {
+        request.grammarSrc = readFile(grammar_arg);
+    }
+    if (!traversal_path.empty())
+        request.traversalSrc = readFile(traversal_path);
+    if (!root_name.empty())
+        request.rootInterface = root_name;
+
+    service::ServiceConfig service_config;
+    service_config.workers = 1;
+    service::SynthService svc(service_config);
+    if (!cache_dir.empty())
+        svc.cache().load(cache_dir);
+    service::SynthOutcome outcome = svc.runNow(request);
+    if (!cache_dir.empty())
+        svc.cache().save(cache_dir);
+    if (!outcome.ok)
+        userError("synthesis failed: " + outcome.failure);
+    std::fprintf(stderr, "schedule: %s in %.2fms\n",
+                 service::provenanceName(outcome.provenance),
+                 outcome.seconds * 1e3);
+    std::printf("%s", outcome.concreteTraversal.c_str());
+
+    // 2. Compile the concrete (hole-free) traversal to bytecode.
+    sem::Grammar grammar =
+        sem::Grammar::analyze(lang::parseGrammar(request.grammarSrc));
+    sem::InterfaceId root =
+        request.rootInterface.empty()
+            ? grammar.cls(0).iface
+            : grammar.findInterface(request.rootInterface);
+    if (root == sem::kInvalidId)
+        userError("unknown root interface '" + request.rootInterface + "'");
+    sched::Skeleton concrete = sched::Skeleton::resolve(
+        grammar, lang::parseTraversal(outcome.concreteTraversal));
+    runtime::Program program =
+        runtime::Program::compile(concrete, sched::Schedule{});
+
+    // 3. Generate the arena instance.
+    runtime::GenConfig gen;
+    gen.targetNodes = static_cast<uint32_t>(tree_size);
+    gen.maxDepth = static_cast<uint32_t>(tree_depth);
+    gen.seed = static_cast<uint64_t>(seed);
+    Timer gen_timer;
+    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, root, gen);
+    std::fprintf(stderr, "arena: %u nodes, depth %u, built in %.2fms\n",
+                 arena.size(), arena.depth(), gen_timer.seconds() * 1e3);
+
+    // 4. Execute.
+    runtime::ExecOptions options;
+    options.grain = static_cast<uint32_t>(grain);
+    std::unique_ptr<ThreadPool> pool;
+    if (!sequential) {
+        pool = std::make_unique<ThreadPool>(
+            static_cast<size_t>(exec_threads));
+        options.pool = pool.get();
+    }
+    Timer exec_timer;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, options);
+    double secs = exec_timer.seconds();
+    std::fprintf(stderr,
+                 "run: %s, %zu worker(s), grain %lld\n",
+                 sequential ? "sequential" : "parallel",
+                 pool ? pool->workerCount() : 1, grain);
+    std::fprintf(stderr,
+                 "run: %.2fms | %.1fM nodes/s | %.1fM rules/s\n",
+                 secs * 1e3,
+                 secs > 0 ? stats.nodeVisits / secs / 1e6 : 0.0,
+                 secs > 0 ? stats.rulesEvaluated / secs / 1e6 : 0.0);
+    std::fprintf(stderr,
+                 "run: %llu visits | %llu rules | %llu fork regions | "
+                 "%llu tasks | %llu help-join runs\n",
+                 static_cast<unsigned long long>(stats.nodeVisits),
+                 static_cast<unsigned long long>(stats.rulesEvaluated),
+                 static_cast<unsigned long long>(stats.parallelRegions),
+                 static_cast<unsigned long long>(stats.tasksSpawned),
+                 static_cast<unsigned long long>(stats.helpJoinRuns));
+
+    // 5. Optional differential check against the reference evaluator.
+    if (check) {
+        tree::Tree reference = arena.toTree();
+        exec::computeReference(reference);
+        uint64_t mismatches = 0;
+        for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+            const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+            const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+            for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+                uint32_t col = arena.layout().column(cls.iface, attr);
+                if (reference.node(node).values[attr] !=
+                    arena.value(node, col)) {
+                    ++mismatches;
+                }
+            }
+        }
+        if (mismatches != 0) {
+            std::fprintf(stderr,
+                         "check: FAILED, %llu mismatching cells\n",
+                         static_cast<unsigned long long>(mismatches));
+            return 1;
+        }
+        std::fprintf(stderr, "check: ok (all cells match the reference)\n");
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -423,6 +626,8 @@ main(int argc, char** argv)
     try {
         if (argc >= 2 && std::strcmp(argv[1], "batch") == 0)
             return runBatch(argc, argv);
+        if (argc >= 2 && std::strcmp(argv[1], "run") == 0)
+            return runRun(argc, argv);
         return runSingle(argc, argv);
     } catch (const UserError& error) {
         std::fprintf(stderr, "hecate: %s\n", error.what());

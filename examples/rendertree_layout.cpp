@@ -2,23 +2,56 @@
  * @file
  * RenderTree example (§6.2): synthesize a schedule for the 50-rule
  * five-pass rendering grammar with the HecateA auto-tuner, lay out a
- * randomly generated document, and report the work/span cost model
- * for the synthesized schedule.
+ * generated document with the bytecode runtime, and report the
+ * work/span cost model for the synthesized schedule.
+ *
+ *   rendertree_layout [--nodes N] [--depth D] [--seed S]
+ *
+ * --nodes sets the generated document's node budget (default 100000),
+ * --depth caps its depth (0 = unbounded), --seed picks the instance.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "exec/cost_model.hpp"
 #include "exec/interp.hpp"
 #include "grammars/grammars.hpp"
+#include "lang/parser.hpp"
 #include "lang/printer.hpp"
+#include "runtime/executor.hpp"
+#include "support/timer.hpp"
 #include "synth/autotuner.hpp"
 
 using namespace hecate;
 
 int
-main()
+main(int argc, char** argv)
 {
+    long long nodes = 100000;
+    long long depth = 0;
+    long long seed = 2024;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--nodes" && i + 1 < argc) {
+            nodes = std::atoll(argv[++i]);
+        } else if (arg == "--depth" && i + 1 < argc) {
+            depth = std::atoll(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::atoll(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: rendertree_layout [--nodes N] "
+                         "[--depth D] [--seed S]\n");
+            return 2;
+        }
+    }
+    if (nodes < 1 || nodes > (1ll << 31) || depth < 0 || seed < 0) {
+        std::fprintf(stderr, "rendertree_layout: invalid option value\n");
+        return 2;
+    }
+
     const grammars::Benchmark& bench = grammars::renderTree();
     sem::Grammar grammar = grammars::load(bench);
     sem::InterfaceId root = grammars::rootInterface(grammar, bench);
@@ -41,30 +74,43 @@ main()
                 synth::skeletonStyleName(tuned.style), tuned.skeletonsTried,
                 tuned.totalSeconds);
 
-    // Lay out a random document.
-    Rng rng(2024);
-    tree::SampleConfig sample;
-    sample.maxDepth = 8;
-    sample.optionalPresent = 0.8;
-    tree::Tree document = tree::sampleTree(grammar, root, sample, rng);
-    while (document.size() < 60)
-        document = tree::sampleTree(grammar, root, sample, rng);
-    exec::ExecStats stats;
-    exec::execute(*tuned.skeleton, *tuned.schedule, document, &stats);
-    std::printf("laid out a %zu-box document: %llu node visits, %llu rule "
-                "evaluations\n",
-                document.size(), (unsigned long long)stats.nodeVisits,
-                (unsigned long long)stats.rulesEvaluated);
+    // Compile the concrete traversal to bytecode and lay out a
+    // generated document directly in arena form.
+    sched::Skeleton concrete = sched::Skeleton::resolve(
+        grammar, tuned.schedule->toConcreteTraversal(*tuned.skeleton));
+    runtime::Program program =
+        runtime::Program::compile(concrete, sched::Schedule{});
+
+    runtime::GenConfig gen;
+    gen.targetNodes = static_cast<uint32_t>(nodes);
+    gen.maxDepth = static_cast<uint32_t>(depth);
+    gen.seed = static_cast<uint64_t>(seed);
+    runtime::TreeArena document =
+        runtime::TreeArena::generate(grammar, root, gen);
+
+    Timer layout_timer;
+    runtime::RuntimeStats stats = runtime::execute(program, document);
+    double secs = layout_timer.seconds();
+    std::printf("laid out a %u-box document (depth %u) in %.2fms: "
+                "%llu node visits, %llu rule evaluations (%.1fM rules/s)\n",
+                document.size(), document.depth(), secs * 1e3,
+                (unsigned long long)stats.nodeVisits,
+                (unsigned long long)stats.rulesEvaluated,
+                secs > 0 ? stats.rulesEvaluated / secs / 1e6 : 0.0);
 
     const sem::InterfaceInfo& doc_iface =
         grammar.iface(grammar.findInterface("Doc"));
     std::printf("document total extent attribute: %lld\n\n",
                 (long long)document.value(
-                    document.root(), doc_iface.attrByName.at("total")));
+                    document.root(),
+                    document.layout().column(
+                        grammar.findInterface("Doc"),
+                        doc_iface.attrByName.at("total"))));
 
     // Cost-model report for the synthesized schedule.
+    tree::Tree cost_tree = document.toTree();
     exec::CostReport cost =
-        exec::analyzeCost(*tuned.skeleton, *tuned.schedule, document);
+        exec::analyzeCost(*tuned.skeleton, *tuned.schedule, cost_tree);
     std::printf("cost model: work=%.0f span=%.0f modeled 8-worker "
                 "speedup=%.2fx\n",
                 cost.work, cost.span, cost.speedup(8));

@@ -158,11 +158,18 @@ class Executor {
 
     void visit(tree::NodeId node_id)
     {
+        if (++depth_ > kMaxEvalDepth) {
+            userError("tree is deeper than the interpreter's recursion "
+                      "limit (" + std::to_string(kMaxEvalDepth) +
+                      " levels); use the arena runtime "
+                      "(runtime::execute) for adversarially deep trees");
+        }
         bumpVisit();
         const tree::Node& node = tree_.node(node_id);
         const ast::CaseDecl& case_decl = skeleton_.caseFor(node.cls);
         for (const auto& stmt : case_decl.stmts)
             execStmt(node_id, *stmt);
+        --depth_;
     }
 
     void execStmt(tree::NodeId node_id, const ast::TStmt& stmt)
@@ -297,6 +304,7 @@ class Executor {
     tree::Tree& tree_;
     ThreadPool* pool_;
     ExecStats* stats_;
+    uint32_t depth_ = 0;
 };
 
 } // namespace
@@ -359,9 +367,16 @@ computeReference(tree::Tree& tree)
     enum class Mark : uint8_t { White, Grey, Black };
     std::unordered_map<uint64_t, Mark> marks;
 
-    // Recursive demand evaluation with cycle detection.
-    auto evalLoc = [&](auto&& self, tree::NodeId node_id,
-                       sem::AttrId attr) -> int64_t {
+    // Recursive demand evaluation with cycle detection. The depth
+    // guard bounds the *dependency chain* length (which can exceed the
+    // tree depth, e.g. sibling folds chain through nx links).
+    auto evalLoc = [&](auto&& self, tree::NodeId node_id, sem::AttrId attr,
+                       uint32_t depth) -> int64_t {
+        if (depth > kMaxEvalDepth) {
+            userError("attribute dependency chain is longer than the "
+                      "reference evaluator's recursion limit (" +
+                      std::to_string(kMaxEvalDepth) + " links)");
+        }
         tree::Node& node = tree.node(node_id);
         const sem::ClassInfo& cls = grammar.cls(node.cls);
         const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
@@ -388,17 +403,17 @@ computeReference(tree::Tree& tree)
         for (const sem::ReadDep& dep : rule.reads) {
             switch (dep.kind) {
               case sem::ReadDep::Kind::SelfAttr:
-                self(self, ctx_id, dep.attr);
+                self(self, ctx_id, dep.attr, depth + 1);
                 break;
               case sem::ReadDep::Kind::ChildAttr: {
                 tree::NodeId target = ctx.children[dep.child].node;
                 if (target != tree::kNoNode)
-                    self(self, target, dep.attr);
+                    self(self, target, dep.attr, depth + 1);
                 break;
               }
               case sem::ReadDep::Kind::CollElem:
                 for (tree::NodeId elem : ctx.children[dep.child].elems)
-                    self(self, elem, dep.attr);
+                    self(self, elem, dep.attr, depth + 1);
                 break;
             }
         }
@@ -413,7 +428,7 @@ computeReference(tree::Tree& tree)
         const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
         for (sem::AttrId attr = 0; attr < node.values.size(); ++attr) {
             if (!iface.isInput(attr))
-                evalLoc(evalLoc, node.id, attr);
+                evalLoc(evalLoc, node.id, attr, 0);
         }
     }
 }

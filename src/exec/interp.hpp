@@ -36,6 +36,16 @@ struct ExecStats {
 };
 
 /**
+ * Recursion budget of the interpreter's native-stack paths. execute()
+ * recurses per tree level and computeReference() per attribute
+ * dependency link; both throw UserError past this depth instead of
+ * overflowing the thread stack (sanitizer builds inflate frames, so
+ * the limit is conservative). The bytecode runtime (runtime/executor)
+ * uses an explicit heap stack and has no such limit.
+ */
+inline constexpr uint32_t kMaxEvalDepth = 1000;
+
+/**
  * Evaluate @p rule of @p node against the current tree values and
  * return the RHS value (does not store it).
  */

@@ -1,0 +1,464 @@
+#include "runtime/arena.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hecate::runtime {
+
+// ---------------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------------
+
+Layout::Layout(const sem::Grammar& grammar)
+{
+    attrColBase_.resize(grammar.interfaces().size(), 0);
+    for (const sem::InterfaceInfo& iface : grammar.interfaces()) {
+        attrColBase_[iface.id] = columnCount_;
+        for (const sem::AttributeInfo& attr : iface.attrs)
+            columnIsInput_.push_back(attr.isInput);
+        columnCount_ += static_cast<uint32_t>(iface.attrs.size());
+    }
+
+    classes_.resize(grammar.classes().size());
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        ClassLayout& layout = classes_[cls.id];
+        layout.scalarSlotOf.assign(cls.children.size(), -1);
+        layout.collSlotOf.assign(cls.children.size(), -1);
+        for (const sem::ChildInfo& child : cls.children) {
+            if (child.collection)
+                layout.collSlotOf[child.id] =
+                    static_cast<int32_t>(layout.collCount++);
+            else
+                layout.scalarSlotOf[child.id] =
+                    static_cast<int32_t>(layout.scalarCount++);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder: shared BFS structure assembly for fromTree and generate
+// ---------------------------------------------------------------------------
+
+/**
+ * Assembles arena structure in BFS order. Indices are assigned when a
+ * node is discovered (enqueued) and its structure rows are appended
+ * when it is processed (dequeued); FIFO order makes those coincide.
+ */
+class ArenaBuilder {
+  public:
+    explicit ArenaBuilder(TreeArena& arena) : arena_(arena) {}
+
+    /** Append structure rows for node @p cls; returns its index. */
+    NodeIdx beginNode(sem::ClassId cls)
+    {
+        const ClassLayout& layout = arena_.layout_.cls(cls);
+        NodeIdx idx = static_cast<NodeIdx>(arena_.cls_.size());
+        arena_.cls_.push_back(cls);
+        arena_.scalarBase_.push_back(
+            static_cast<uint32_t>(arena_.scalars_.size()));
+        arena_.collBase_.push_back(
+            static_cast<uint32_t>(arena_.collRanges_.size()));
+        // Row 0 of every scalar block is the node's own index, so
+        // compiled operands address self and children uniformly
+        // (slot 0 = self, child slot c lives at row c + 1).
+        arena_.scalars_.push_back(idx);
+        arena_.scalars_.insert(arena_.scalars_.end(), layout.scalarCount,
+                               kNone);
+        return idx;
+    }
+
+    void setScalar(NodeIdx node, uint32_t slot, NodeIdx target)
+    {
+        arena_.scalars_[arena_.scalarBase_[node] + 1 + slot] = target;
+    }
+
+    /** Reserve a contiguous @p count-element range for the next
+     *  collection slot of @p node (slots reserved in ChildId order). */
+    uint32_t reserveCollection(uint32_t count)
+    {
+        TreeArena::CollRange range;
+        range.begin = static_cast<uint32_t>(arena_.collElems_.size());
+        range.count = count;
+        arena_.collRanges_.push_back(range);
+        arena_.collElems_.insert(arena_.collElems_.end(), count, kNone);
+        return range.begin;
+    }
+
+    void setElement(uint32_t rangeBegin, uint32_t offset, NodeIdx target)
+    {
+        arena_.collElems_[rangeBegin + offset] = target;
+    }
+
+    /**
+     * Finalize once the node count is final: absent scalar entries
+     * become the zero-row index (so child loads need no absent check)
+     * and every column gets two extra rows — the always-zero row that
+     * absent-child reads hit and the scratch row that vacuous writes
+     * land in.
+     */
+    void allocateColumns()
+    {
+        const NodeIdx zeroRow = static_cast<NodeIdx>(arena_.cls_.size());
+        for (NodeIdx& s : arena_.scalars_) {
+            if (s == kNone)
+                s = zeroRow;
+        }
+        arena_.columns_.assign(
+            arena_.layout_.columnCount(),
+            std::vector<int64_t>(arena_.cls_.size() + 2, 0));
+    }
+
+  private:
+    TreeArena& arena_;
+};
+
+// ---------------------------------------------------------------------------
+// fromTree
+// ---------------------------------------------------------------------------
+
+TreeArena
+TreeArena::fromTree(const tree::Tree& tree)
+{
+    if (tree.root() == tree::kNoNode)
+        userError("TreeArena::fromTree: tree has no root");
+
+    TreeArena arena(tree.grammar());
+    ArenaBuilder builder(arena);
+    const sem::Grammar& grammar = tree.grammar();
+
+    std::vector<NodeIdx> arenaIdx(tree.size(), kNone);
+    std::deque<tree::NodeId> queue;
+    NodeIdx next = 0;
+    arenaIdx[tree.root()] = next++;
+    queue.push_back(tree.root());
+
+    while (!queue.empty()) {
+        tree::NodeId treeId = queue.front();
+        queue.pop_front();
+        const tree::Node& node = tree.node(treeId);
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        const ClassLayout& layout = arena.layout_.cls(node.cls);
+        NodeIdx idx = builder.beginNode(node.cls);
+
+        for (const sem::ChildInfo& child : cls.children) {
+            const tree::ChildSlot& slot = node.children[child.id];
+            if (child.collection) {
+                uint32_t begin = builder.reserveCollection(
+                    static_cast<uint32_t>(slot.elems.size()));
+                for (uint32_t i = 0; i < slot.elems.size(); ++i) {
+                    arenaIdx[slot.elems[i]] = next++;
+                    builder.setElement(begin, i, arenaIdx[slot.elems[i]]);
+                    queue.push_back(slot.elems[i]);
+                }
+            } else if (slot.node != tree::kNoNode) {
+                arenaIdx[slot.node] = next++;
+                builder.setScalar(
+                    idx,
+                    static_cast<uint32_t>(layout.scalarSlotOf[child.id]),
+                    arenaIdx[slot.node]);
+                queue.push_back(slot.node);
+            }
+        }
+    }
+
+    builder.allocateColumns();
+    for (tree::NodeId treeId = 0; treeId < tree.size(); ++treeId) {
+        const tree::Node& node = tree.node(treeId);
+        NodeIdx idx = arenaIdx[treeId];
+        checkInvariant(idx != kNone, "fromTree: unreachable node");
+        const sem::ClassInfo& cls = grammar.cls(node.cls);
+        uint32_t base = arena.layout_.column(cls.iface, 0);
+        for (sem::AttrId attr = 0; attr < node.values.size(); ++attr)
+            arena.columns_[base + attr][idx] = node.values[attr];
+    }
+    return arena;
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** True when @p cls can close the frontier (all scalars optional). */
+bool
+isTerminalClass(const sem::Grammar& grammar, sem::ClassId cls)
+{
+    for (const sem::ChildInfo& child : grammar.cls(cls).children) {
+        if (!child.collection && !child.optional)
+            return false;
+    }
+    return true;
+}
+
+/** Deterministic per-cell input value (order-independent). */
+int64_t
+inputValue(const GenConfig& config, uint64_t col, uint64_t node)
+{
+    uint64_t h = splitmix64(config.seed ^ (col << 40) ^ node);
+    uint64_t span = static_cast<uint64_t>(config.inputHi - config.inputLo) + 1;
+    return config.inputLo + static_cast<int64_t>(h % span);
+}
+
+} // namespace
+
+TreeArena
+TreeArena::generate(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+                    const GenConfig& config)
+{
+    if (config.targetNodes == 0)
+        userError("TreeArena::generate: targetNodes must be positive");
+    if (config.inputHi < config.inputLo)
+        userError("TreeArena::generate: empty input value range");
+    if (grammar.implementers(rootIface).empty())
+        userError("TreeArena::generate: root interface has no implementing "
+                  "classes");
+
+    TreeArena arena(grammar);
+    ArenaBuilder builder(arena);
+    Rng rng(splitmix64(config.seed));
+
+    // A discovered-but-unbuilt node: where its index must be recorded
+    // is already written (indices are assigned at discovery); we only
+    // need its class candidates and depth.
+    struct Pending {
+        const std::vector<sem::ClassId>* candidates;
+        uint32_t depth;
+    };
+    std::deque<Pending> queue;
+
+    // Budget counts assigned node indices; required children may push
+    // it below zero ("roughly targetNodes"). The hard cap bounds
+    // pathological all-required grammars.
+    int64_t budget = static_cast<int64_t>(config.targetNodes) - 1;
+    const uint64_t hardCap =
+        static_cast<uint64_t>(config.targetNodes) * 4 + 1024;
+
+    queue.push_back(Pending{&grammar.implementers(rootIface), 1});
+    uint64_t assigned = 1;
+
+    while (!queue.empty()) {
+        Pending pending = queue.front();
+        queue.pop_front();
+
+        const bool expandable =
+            budget > 0 && assigned < hardCap &&
+            (config.maxDepth == 0 || pending.depth < config.maxDepth);
+
+        // Pick the class. While growing, bias hard toward classes that
+        // have children (a uniform pick over {branch, leaf} candidates
+        // is a critical branching process — trees stay tiny no matter
+        // the budget); once the budget is spent, close the frontier
+        // with terminal classes.
+        std::vector<sem::ClassId> usable;
+        std::vector<sem::ClassId> expanding;
+        for (sem::ClassId cls : *pending.candidates) {
+            if (expandable || isTerminalClass(grammar, cls))
+                usable.push_back(cls);
+            if (expandable && !grammar.cls(cls).children.empty())
+                expanding.push_back(cls);
+        }
+        if (!expanding.empty() && expanding.size() < usable.size() &&
+            rng.below(8) != 0) {
+            usable = expanding;
+        }
+        if (usable.empty()) {
+            if (config.maxDepth != 0 && pending.depth >= config.maxDepth) {
+                userError("TreeArena::generate: grammar admits no tree "
+                          "within the depth cap (no terminal class for a "
+                          "required child)");
+            }
+            // Budget exhausted but every candidate has required
+            // children: keep expanding required paths only.
+            usable.assign(pending.candidates->begin(),
+                          pending.candidates->end());
+        }
+        sem::ClassId cls = usable[rng.below(usable.size())];
+        NodeIdx idx = builder.beginNode(cls);
+
+        const sem::ClassInfo& info = grammar.cls(cls);
+        const ClassLayout& layout = arena.layout_.cls(cls);
+        for (const sem::ChildInfo& child : info.children) {
+            if (child.collection) {
+                uint32_t count = 0;
+                if (expandable) {
+                    count = static_cast<uint32_t>(
+                        1 + rng.below(std::max(1u, config.maxCollection)));
+                    count = static_cast<uint32_t>(std::min<int64_t>(
+                        count, std::max<int64_t>(budget, 0)));
+                }
+                uint32_t begin = builder.reserveCollection(count);
+                for (uint32_t i = 0; i < count; ++i) {
+                    builder.setElement(begin, i,
+                                       static_cast<NodeIdx>(assigned++));
+                    --budget;
+                    queue.push_back(Pending{&child.allowedClasses,
+                                            pending.depth + 1});
+                }
+            } else {
+                bool present = !child.optional || expandable;
+                if (child.optional && config.maxDepth != 0 &&
+                    pending.depth >= config.maxDepth)
+                    present = false;
+                if (!present)
+                    continue;
+                builder.setScalar(
+                    idx,
+                    static_cast<uint32_t>(layout.scalarSlotOf[child.id]),
+                    static_cast<NodeIdx>(assigned++));
+                --budget;
+                queue.push_back(
+                    Pending{&child.allowedClasses, pending.depth + 1});
+            }
+        }
+    }
+
+    builder.allocateColumns();
+    for (NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& info = grammar.cls(arena.cls_[node]);
+        const sem::InterfaceInfo& iface = grammar.iface(info.iface);
+        uint32_t base = arena.layout_.column(info.iface, 0);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            if (iface.isInput(attr)) {
+                arena.columns_[base + attr][node] =
+                    inputValue(config, base + attr, node);
+            }
+        }
+    }
+    return arena;
+}
+
+// ---------------------------------------------------------------------------
+// toTree and queries
+// ---------------------------------------------------------------------------
+
+tree::Tree
+TreeArena::toTree() const
+{
+    tree::Tree out(*grammar_);
+    for (NodeIdx node = 0; node < size(); ++node) {
+        tree::NodeId id = out.addNode(cls_[node]);
+        checkInvariant(id == node, "toTree: id mismatch");
+    }
+    for (NodeIdx node = 0; node < size(); ++node) {
+        const sem::ClassInfo& info = grammar_->cls(cls_[node]);
+        const ClassLayout& layout = layout_.cls(cls_[node]);
+        for (const sem::ChildInfo& child : info.children) {
+            if (child.collection) {
+                auto [begin, end] = collection(
+                    node,
+                    static_cast<uint32_t>(layout.collSlotOf[child.id]));
+                for (const NodeIdx* it = begin; it != end; ++it)
+                    out.addElement(node, child.id, *it);
+            } else {
+                NodeIdx target = scalarChild(
+                    node,
+                    static_cast<uint32_t>(layout.scalarSlotOf[child.id]));
+                if (target != kNone)
+                    out.setScalar(node, child.id, target);
+            }
+        }
+        const sem::InterfaceInfo& iface = grammar_->iface(info.iface);
+        uint32_t base = layout_.column(info.iface, 0);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr)
+            out.node(node).values[attr] = columns_[base + attr][node];
+    }
+    out.setRoot(0);
+    return out;
+}
+
+uint32_t
+TreeArena::depth() const
+{
+    if (size() == 0)
+        return 0;
+    // BFS order guarantees children have larger indices, so one
+    // forward pass settles every depth.
+    std::vector<uint32_t> depth(size(), 0);
+    depth[0] = 1;
+    uint32_t deepest = 1;
+    for (NodeIdx node = 0; node < size(); ++node) {
+        const ClassLayout& layout = layout_.cls(cls_[node]);
+        for (uint32_t s = 0; s < layout.scalarCount; ++s) {
+            NodeIdx target = scalarChild(node, s);
+            if (target != kNone)
+                depth[target] = depth[node] + 1;
+        }
+        for (uint32_t c = 0; c < layout.collCount; ++c) {
+            auto [begin, end] = collection(node, c);
+            for (const NodeIdx* it = begin; it != end; ++it)
+                depth[*it] = depth[node] + 1;
+        }
+        deepest = std::max(deepest, depth[node]);
+    }
+    return deepest;
+}
+
+void
+TreeArena::clearOutputs()
+{
+    for (uint32_t col = 0; col < layout_.columnCount(); ++col) {
+        if (!layout_.columnIsInput(col))
+            std::fill(columns_[col].begin(), columns_[col].end(), 0);
+    }
+}
+
+uint64_t
+TreeArena::checksum() const
+{
+    // Real rows only: the scratch row's content depends on execution
+    // order (every vacuous write lands there) and must not leak in.
+    uint64_t sum = 0;
+    for (uint32_t col = 0; col < layout_.columnCount(); ++col) {
+        if (layout_.columnIsInput(col))
+            continue;
+        const std::vector<int64_t>& column = columns_[col];
+        for (NodeIdx node = 0; node < size(); ++node)
+            sum += splitmix64(static_cast<uint64_t>(column[node]) + col);
+    }
+    return sum;
+}
+
+// ---------------------------------------------------------------------------
+// treesEquivalent
+// ---------------------------------------------------------------------------
+
+bool
+treesEquivalent(const tree::Tree& a, const tree::Tree& b)
+{
+    if (a.size() != b.size())
+        return false;
+    if ((a.root() == tree::kNoNode) != (b.root() == tree::kNoNode))
+        return false;
+    if (a.root() == tree::kNoNode)
+        return true;
+
+    // Iterative parallel walk (deep chains must not recurse).
+    std::vector<std::pair<tree::NodeId, tree::NodeId>> stack;
+    stack.emplace_back(a.root(), b.root());
+    while (!stack.empty()) {
+        auto [ai, bi] = stack.back();
+        stack.pop_back();
+        const tree::Node& an = a.node(ai);
+        const tree::Node& bn = b.node(bi);
+        if (an.cls != bn.cls || an.values != bn.values)
+            return false;
+        if (an.children.size() != bn.children.size())
+            return false;
+        for (size_t c = 0; c < an.children.size(); ++c) {
+            const tree::ChildSlot& as = an.children[c];
+            const tree::ChildSlot& bs = bn.children[c];
+            if ((as.node == tree::kNoNode) != (bs.node == tree::kNoNode))
+                return false;
+            if (as.node != tree::kNoNode)
+                stack.emplace_back(as.node, bs.node);
+            if (as.elems.size() != bs.elems.size())
+                return false;
+            for (size_t i = 0; i < as.elems.size(); ++i)
+                stack.emplace_back(as.elems[i], bs.elems[i]);
+        }
+    }
+    return true;
+}
+
+} // namespace hecate::runtime

@@ -1,0 +1,218 @@
+#pragma once
+
+/**
+ * @file
+ * TreeArena: the execution-oriented tree representation of the runtime
+ * subsystem. tree::Tree is the right shape for synthesis (per-node
+ * vectors, easy to mutate, easy to enumerate) but wrong for executing
+ * schedules at production speed: every attribute read chases two
+ * pointers and a std::vector, and node allocation order is whatever
+ * the sampler produced.
+ *
+ * The arena flattens a tree into structure-of-arrays form:
+ *
+ *  - one contiguous int64_t column per (interface, attribute) pair, so
+ *    an attribute read is `column[node]` — the Layout assigns every
+ *    attribute of every interface a dense grammar-wide column id;
+ *  - CSR-style child indices: each node's scalar children live in one
+ *    shared flat array at `scalarBase[node] + slot`, and collection
+ *    elements live contiguously in a shared element array addressed by
+ *    (begin, count) ranges;
+ *  - depth-ordered (BFS) node ids: parents precede children and
+ *    siblings are contiguous, which gives sequential passes streaming
+ *    access and lets the parallel executor hand out contiguous sibling
+ *    chunks.
+ *
+ * fromTree()/toTree() are lossless up to node renumbering (toTree
+ * rebuilds a valid tree::Tree whose node ids equal arena indices), and
+ * generate() builds multi-million-node instances directly in arena
+ * form without ever materializing a pointer tree.
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sem/grammar.hpp"
+#include "support/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace hecate::runtime {
+
+/** Arena node index; BFS (depth) order, root is index 0. */
+using NodeIdx = uint32_t;
+
+inline constexpr NodeIdx kNone = sem::kInvalidId;
+
+/** Flattening metadata for one class: child slot -> CSR slot. */
+struct ClassLayout {
+    /** By ChildId: index into the node's scalar block; -1 = collection. */
+    std::vector<int32_t> scalarSlotOf;
+    /** By ChildId: index into the node's collection block; -1 = scalar. */
+    std::vector<int32_t> collSlotOf;
+    uint32_t scalarCount = 0;
+    uint32_t collCount = 0;
+};
+
+/**
+ * Grammar-wide flattening metadata, deterministically derived from a
+ * Grammar: per-class slot maps and the dense attribute-column
+ * numbering shared by TreeArena and compiled Programs.
+ */
+class Layout {
+  public:
+    explicit Layout(const sem::Grammar& grammar);
+
+    const ClassLayout& cls(sem::ClassId id) const { return classes_[id]; }
+
+    /** Dense column id of (interface, attribute). */
+    uint32_t column(sem::InterfaceId iface, sem::AttrId attr) const
+    {
+        return attrColBase_[iface] + attr;
+    }
+
+    uint32_t columnCount() const { return columnCount_; }
+    bool columnIsInput(uint32_t col) const { return columnIsInput_[col]; }
+
+  private:
+    std::vector<ClassLayout> classes_;
+    std::vector<uint32_t> attrColBase_; ///< by InterfaceId
+    std::vector<bool> columnIsInput_;
+    uint32_t columnCount_ = 0;
+};
+
+/** Knobs for the bulk random generator. */
+struct GenConfig {
+    /** Node budget; actual size lands within ~[target, target + frontier]. */
+    uint32_t targetNodes = 1000;
+    /** Depth cap; 0 = unbounded (the budget alone stops growth). */
+    uint32_t maxDepth = 0;
+    uint32_t maxCollection = 4;    ///< max elements per collection slot
+    int64_t inputLo = 0;           ///< uniform input range low
+    int64_t inputHi = 100;         ///< uniform input range high
+    uint64_t seed = 1;
+};
+
+/** Flattened SoA tree instance. Build via fromTree or generate. */
+class TreeArena {
+  public:
+    /** Flatten @p tree (BFS from its root) losslessly. */
+    static TreeArena fromTree(const tree::Tree& tree);
+
+    /**
+     * Build a random instance of roughly @p config.targetNodes nodes
+     * rooted at an implementer of @p rootIface, directly in arena
+     * form. Growth is budget-driven: optional children and collection
+     * elements are materialized while budget remains, then the
+     * frontier is closed with terminal classes. Throws UserError when
+     * the grammar admits no finite tree under the configured depth cap.
+     */
+    static TreeArena generate(const sem::Grammar& grammar,
+                              sem::InterfaceId rootIface,
+                              const GenConfig& config);
+
+    /**
+     * Rebuild a validated tree::Tree; node ids equal arena indices and
+     * every attribute cell (inputs and outputs) is copied back.
+     */
+    tree::Tree toTree() const;
+
+    const sem::Grammar& grammar() const { return *grammar_; }
+    const Layout& layout() const { return layout_; }
+
+    uint32_t size() const { return static_cast<uint32_t>(cls_.size()); }
+    NodeIdx root() const { return 0; }
+
+    sem::ClassId classOf(NodeIdx node) const { return cls_[node]; }
+
+    /** Scalar child at class-local CSR slot @p slot; kNone when absent. */
+    NodeIdx scalarChild(NodeIdx node, uint32_t slot) const
+    {
+        const NodeIdx c = scalars_[scalarBase_[node] + 1 + slot];
+        return c >= size() ? kNone : c;
+    }
+
+    /**
+     * Absent scalar children are stored as this index — a row every
+     * column keeps at zero — so child attribute loads never branch on
+     * presence. Row zeroRow() + 1 is scratch: writes whose target child
+     * is absent are redirected there instead of being branched around.
+     */
+    NodeIdx zeroRow() const { return size(); }
+
+    /** Element range of collection CSR slot @p slot. */
+    std::pair<const NodeIdx*, const NodeIdx*>
+    collection(NodeIdx node, uint32_t slot) const
+    {
+        const CollRange& range = collRanges_[collBase_[node] + slot];
+        const NodeIdx* begin = collElems_.data() + range.begin;
+        return {begin, begin + range.count};
+    }
+
+    int64_t value(NodeIdx node, uint32_t col) const
+    {
+        return columns_[col][node];
+    }
+    void setValue(NodeIdx node, uint32_t col, int64_t v)
+    {
+        columns_[col][node] = v;
+    }
+
+    /** Raw column base pointer (the executor's hot-path view). */
+    int64_t* columnData(uint32_t col) { return columns_[col].data(); }
+    const int64_t* columnData(uint32_t col) const
+    {
+        return columns_[col].data();
+    }
+
+    // Raw CSR views (the executor's hot path). Node @p n's scalar
+    // block starts at scalarBaseData()[n]: row 0 is n itself and
+    // child slot c is row c + 1, so compiled operands address self
+    // and children uniformly; absent children hold zeroRow().
+    const uint32_t* scalarBaseData() const { return scalarBase_.data(); }
+    const NodeIdx* scalarsData() const { return scalars_.data(); }
+    const sem::ClassId* classData() const { return cls_.data(); }
+
+    /** Depth of the deepest node (root = 1). */
+    uint32_t depth() const;
+
+    /** Zero every output column (inputs preserved). */
+    void clearOutputs();
+
+    /** Order-independent checksum over output columns (bench sink). */
+    uint64_t checksum() const;
+
+  private:
+    friend class ArenaBuilder;
+
+    explicit TreeArena(const sem::Grammar& grammar)
+        : grammar_(&grammar), layout_(grammar)
+    {
+    }
+
+    struct CollRange {
+        uint32_t begin = 0;
+        uint32_t count = 0;
+    };
+
+    const sem::Grammar* grammar_;
+    Layout layout_;
+
+    std::vector<sem::ClassId> cls_;     ///< by node
+    std::vector<uint32_t> scalarBase_;  ///< by node, into scalars_
+    std::vector<uint32_t> collBase_;    ///< by node, into collRanges_
+    std::vector<NodeIdx> scalars_;      ///< zeroRow() = absent
+    std::vector<CollRange> collRanges_;
+    std::vector<NodeIdx> collElems_;
+    std::vector<std::vector<int64_t>> columns_; ///< [column][node]
+};
+
+/**
+ * Structural + value equality of two trees up to node renumbering:
+ * same classes, same child shapes, and identical attribute values,
+ * compared by parallel walk from the roots. The arena round-trip tests
+ * are phrased with this (tree::Tree node ids are incidental).
+ */
+bool treesEquivalent(const tree::Tree& a, const tree::Tree& b);
+
+} // namespace hecate::runtime

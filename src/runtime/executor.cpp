@@ -1,0 +1,458 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hecate::runtime {
+
+namespace {
+
+/** State shared by every worker of one execute() call. */
+struct SharedCtx {
+    const Program* program = nullptr;
+    TreeArena* arena = nullptr;
+    ThreadPool* pool = nullptr;
+    size_t grain = 1;
+    NodeIdx spawnPrefix = 0;
+    std::vector<int64_t*> cols; ///< raw column bases, by column id
+
+    std::atomic<uint64_t> visits{0};
+    std::atomic<uint64_t> rules{0};
+    std::atomic<uint64_t> regions{0};
+    std::atomic<uint64_t> tasks{0};
+    std::atomic<uint64_t> helps{0};
+};
+
+/**
+ * One traversal worker: an explicit (node, pc) frame stack plus a
+ * reusable expression operand stack. Chunk tasks construct their own
+ * Worker, so workers never share mutable state — only the arena cells
+ * a verified schedule already guarantees are disjoint.
+ *
+ * The dispatch loop keeps the current frame in locals and descends
+ * into scalar children in place (saving the parent's resume frame),
+ * so a straight run of evals never touches the frame stack, and the
+ * per-node `kids` pointer turns every child access into a single
+ * load from the CSR scalar array.
+ */
+class Worker {
+  public:
+    explicit Worker(SharedCtx& ctx)
+        : ctx_(ctx), code_(ctx.program->code().data()),
+          xcode_(ctx.program->exprPool().data()),
+          evals_(ctx.program->evals().data()),
+          entry_(ctx.program->entryData()),
+          cols_(ctx.cols.data()),
+          cls_(ctx.arena->classData()),
+          scalarBase_(ctx.arena->scalarBaseData()),
+          scalars_(ctx.arena->scalarsData()),
+          zero_(ctx.arena->zeroRow())
+    {
+        xstack_.resize(ctx.program->maxExprStack());
+    }
+
+    ~Worker()
+    {
+        ctx_.visits += visits_;
+        ctx_.rules += rules_;
+        ctx_.helps += helps_;
+    }
+
+    void run(NodeIdx root)
+    {
+        stack_.clear();
+        pushFrame(root);
+        while (!stack_.empty()) {
+            Frame f = stack_.back();
+            stack_.pop_back();
+            const NodeIdx* kids = scalars_ + scalarBase_[f.node];
+            bool live = true;
+            while (live) {
+                const Inst inst = code_[f.pc];
+                ++f.pc;
+                switch (inst.op) {
+                  case Op::Eval:
+                    evalRun(inst.a, inst.b, f.node, kids);
+                    break;
+                  case Op::Recur: {
+                    NodeIdx child = kids[inst.a];
+                    if (child != zero_) {
+                        // Tail elision: a parent whose next op is Ret
+                        // has nothing left to do — don't save it. This
+                        // keeps list-shaped trees (next-sibling chains)
+                        // at O(1) stack instead of O(chain).
+                        if (code_[f.pc].op != Op::Ret)
+                            stack_.push_back(f); // parent resumes later
+                        f = {child, entry_[cls_[child]]};
+                        kids = scalars_ + scalarBase_[child];
+                        ++visits_;
+                    }
+                    break;
+                  }
+                  case Op::Iterate: {
+                    // Reverse push: the first element runs first,
+                    // before the case's post-loop evals (they sit at
+                    // later pcs of the parent frame, which resumes
+                    // only when every element subtree is done).
+                    auto [beg, end] =
+                        ctx_.arena->collection(f.node, inst.a);
+                    if (beg != end) {
+                        if (code_[f.pc].op != Op::Ret)
+                            stack_.push_back(f); // tail elision (Recur)
+                        for (const NodeIdx* p = end; p != beg;)
+                            pushFrame(*--p);
+                        live = false;
+                    }
+                    break;
+                  }
+                  case Op::ParBegin: {
+                    branches_.clear();
+                    uint32_t pc = f.pc;
+                    for (;; ++pc) {
+                        const Inst b = code_[pc];
+                        if (b.op == Op::ParRecur) {
+                            NodeIdx t = kids[b.a];
+                            if (t != zero_)
+                                branches_.push_back(t);
+                        } else if (b.op == Op::ParColl) {
+                            auto [beg, end] =
+                                ctx_.arena->collection(f.node, b.a);
+                            branches_.insert(branches_.end(), beg, end);
+                        } else {
+                            break; // ParEnd
+                        }
+                    }
+                    f.pc = pc + 1;
+                    live = dispatchRegion(f);
+                    break;
+                  }
+                  case Op::Ret:
+                    live = false;
+                    break;
+                  case Op::ParRecur:
+                  case Op::ParColl:
+                  case Op::ParEnd:
+                    internalError("Executor: region op outside a region");
+                }
+            }
+        }
+    }
+
+    /**
+     * Linear two-sweep execution for sandwich-shaped programs (see
+     * Program::sweepable): one ascending pass over the BFS node array
+     * runs every pre-visit eval run (parents precede children), one
+     * descending pass runs every post-visit run (children precede
+     * parents). Every parent/child ordering the DFS traversal
+     * guarantees between dependent rule applications is preserved, so
+     * the attribute values are identical — but dispatch is a tight
+     * loop with streaming column access instead of a frame stack.
+     */
+    void runSweep(const SweepCase* sweeps)
+    {
+        const NodeIdx count = static_cast<NodeIdx>(ctx_.arena->size());
+        for (NodeIdx node = 0; node < count; ++node) {
+            const SweepCase& sc = sweeps[cls_[node]];
+            if (sc.preCount != 0)
+                evalRun(sc.preBegin, sc.preCount, node,
+                        scalars_ + scalarBase_[node]);
+        }
+        for (NodeIdx node = count; node-- > 0;) {
+            const SweepCase& sc = sweeps[cls_[node]];
+            if (sc.postCount != 0)
+                evalRun(sc.postBegin, sc.postCount, node,
+                        scalars_ + scalarBase_[node]);
+            ++visits_;
+        }
+    }
+
+  private:
+    struct Frame {
+        NodeIdx node;
+        uint32_t pc;
+    };
+
+    /** Play the run of @p count EvalSpecs starting at @p begin. */
+    void evalRun(uint32_t begin, uint32_t count, NodeIdx node,
+                 const NodeIdx* kids)
+    {
+        const EvalSpec* s = &evals_[begin];
+        for (uint32_t n = count; n != 0; --n, ++s) {
+            const EvalSpec& spec = *s;
+            // Row 0 is the node itself, so self and child targets
+            // resolve identically; an absent child redirects to the
+            // scratch row (zero row + 1) branchlessly.
+            NodeIdx target = kids[spec.targetSlot];
+            uint32_t present = target != zero_;
+            target += 1 - present;
+            if (spec.kind == EvalKind::Bytecode) {
+                if (!present)
+                    continue; // vacuous: skip the RHS too
+                cols_[spec.targetCol][target] =
+                    evalExpr(node, kids, spec.xbegin);
+                ++rules_;
+                continue;
+            }
+            int64_t v;
+            switch (spec.kind) {
+              case EvalKind::Copy:
+                v = load(spec.a, kids);
+                break;
+              case EvalKind::Un:
+                v = load(spec.a, kids);
+                v = v < 0 ? -v : v; // Un is always Abs
+                break;
+              case EvalKind::Bin:
+                v = apply(spec.fn1, load(spec.a, kids),
+                          load(spec.b, kids));
+                break;
+              case EvalKind::TriL:
+                v = apply(spec.fn2,
+                          apply(spec.fn1, load(spec.a, kids),
+                                load(spec.b, kids)),
+                          load(spec.c, kids));
+                break;
+              case EvalKind::TriR:
+                v = apply(spec.fn2, load(spec.a, kids),
+                          apply(spec.fn1, load(spec.b, kids),
+                                load(spec.c, kids)));
+                break;
+              default:
+                internalError("Executor: bad eval kind");
+            }
+            cols_[spec.targetCol][target] = v;
+            rules_ += present;
+        }
+    }
+
+    void pushFrame(NodeIdx node)
+    {
+        stack_.push_back({node, entry_[cls_[node]]});
+        ++visits_;
+    }
+
+    /**
+     * Run the collected region branches. Returns whether the caller's
+     * frame stays live: forked regions join before it continues;
+     * inline regions stack it under the branch frames instead.
+     */
+    bool dispatchRegion(const Frame& f)
+    {
+        size_t grain = ctx_.grain;
+        size_t chunkCount = (branches_.size() + grain - 1) / grain;
+        if (chunkCount <= 1 && branches_.size() >= 2 &&
+            ctx_.pool != nullptr && f.node < ctx_.spawnPrefix) {
+            // Narrow region near the root (BFS ids are a depth proxy):
+            // each branch is a whole large subtree, so fork per branch
+            // even though they never fill a grain-sized chunk.
+            grain = 1;
+            chunkCount = branches_.size();
+        }
+        if (ctx_.pool == nullptr || chunkCount <= 1) {
+            if (code_[f.pc].op != Op::Ret)
+                stack_.push_back(f); // resumes after the branch subtrees
+            for (auto it = branches_.rbegin(); it != branches_.rend(); ++it)
+                pushFrame(*it);
+            return false;
+        }
+        ++ctx_.regions;
+        std::atomic<size_t> pending{chunkCount};
+        for (size_t c = 0; c < chunkCount; ++c) {
+            const NodeIdx* beg = branches_.data() + c * grain;
+            const NodeIdx* end = branches_.data() +
+                std::min(branches_.size(), (c + 1) * grain);
+            // beg/end stay valid: this frame owns branches_ and blocks
+            // in the help-join loop below until pending hits zero.
+            ctx_.pool->submit([this, beg, end, &pending] {
+                {
+                    Worker sub(ctx_);
+                    for (const NodeIdx* p = beg; p != end; ++p)
+                        sub.run(*p);
+                }
+                pending.fetch_sub(1, std::memory_order_release);
+            });
+            ++ctx_.tasks;
+        }
+        // Help-join: drain the queue instead of blocking, so nested
+        // regions on a fixed-size pool always make progress.
+        while (pending.load(std::memory_order_acquire) != 0) {
+            if (ctx_.pool->runOne())
+                ++helps_;
+            else
+                std::this_thread::yield();
+        }
+        return true;
+    }
+
+    /** One leaf operand of a specialized eval. */
+    int64_t load(const Operand& op, const NodeIdx* kids) const
+    {
+        if (op.slot == Operand::kConst)
+            return op.imm;
+        // Row 0 is the node itself; absent children alias the
+        // always-zero row — a single unconditional load either way.
+        return cols_[op.col][kids[op.slot]];
+    }
+
+    /** One two-operand op of a specialized eval (interp semantics). */
+    static int64_t apply(XOp fn, int64_t x, int64_t y)
+    {
+        switch (fn) {
+          case XOp::Add: return x + y;
+          case XOp::Sub: return x - y;
+          case XOp::Mul: return x * y;
+          case XOp::Div: return y == 0 ? 0 : x / y;
+          case XOp::Mod: return y == 0 ? 0 : x % y;
+          case XOp::Lt: return x < y ? 1 : 0;
+          case XOp::Le: return x <= y ? 1 : 0;
+          case XOp::Gt: return x > y ? 1 : 0;
+          case XOp::Ge: return x >= y ? 1 : 0;
+          case XOp::Eq: return x == y ? 1 : 0;
+          case XOp::Ne: return x != y ? 1 : 0;
+          case XOp::Max2: return x > y ? x : y;
+          case XOp::Min2: return x < y ? x : y;
+          default:
+            internalError("Executor: bad superinstruction op");
+        }
+    }
+
+    int64_t evalExpr(NodeIdx node, const NodeIdx* kids, uint32_t pc)
+    {
+        const XInst* xcode = xcode_;
+        int64_t* const* cols = cols_;
+        int64_t* sp = xstack_.data();
+        for (;; ++pc) {
+            const XInst x = xcode[pc];
+            switch (x.op) {
+              case XOp::Const:
+                *sp++ = x.imm;
+                break;
+              case XOp::LoadSelf:
+                *sp++ = cols[x.a][node];
+                break;
+              case XOp::LoadChild:
+                // Absent children alias the always-zero row.
+                *sp++ = cols[x.b][kids[x.a]];
+                break;
+              case XOp::Add: sp[-2] = sp[-2] + sp[-1]; --sp; break;
+              case XOp::Sub: sp[-2] = sp[-2] - sp[-1]; --sp; break;
+              case XOp::Mul: sp[-2] = sp[-2] * sp[-1]; --sp; break;
+              case XOp::Div:
+                sp[-2] = sp[-1] == 0 ? 0 : sp[-2] / sp[-1];
+                --sp;
+                break;
+              case XOp::Mod:
+                sp[-2] = sp[-1] == 0 ? 0 : sp[-2] % sp[-1];
+                --sp;
+                break;
+              case XOp::Lt: sp[-2] = sp[-2] < sp[-1] ? 1 : 0; --sp; break;
+              case XOp::Le: sp[-2] = sp[-2] <= sp[-1] ? 1 : 0; --sp; break;
+              case XOp::Gt: sp[-2] = sp[-2] > sp[-1] ? 1 : 0; --sp; break;
+              case XOp::Ge: sp[-2] = sp[-2] >= sp[-1] ? 1 : 0; --sp; break;
+              case XOp::Eq: sp[-2] = sp[-2] == sp[-1] ? 1 : 0; --sp; break;
+              case XOp::Ne: sp[-2] = sp[-2] != sp[-1] ? 1 : 0; --sp; break;
+              case XOp::Max2:
+                sp[-2] = sp[-2] > sp[-1] ? sp[-2] : sp[-1];
+                --sp;
+                break;
+              case XOp::Min2:
+                sp[-2] = sp[-2] < sp[-1] ? sp[-2] : sp[-1];
+                --sp;
+                break;
+              case XOp::Abs:
+                sp[-1] = sp[-1] < 0 ? -sp[-1] : sp[-1];
+                break;
+              case XOp::Fold: {
+                int64_t acc = sp[-1];
+                auto [beg, end] = ctx_.arena->collection(node, x.a);
+                const int64_t* col = cols[x.b];
+                switch (x.fn) {
+                  case FoldFn::Add:
+                    for (const NodeIdx* p = beg; p != end; ++p)
+                        acc += col[*p];
+                    break;
+                  case FoldFn::Mul:
+                    for (const NodeIdx* p = beg; p != end; ++p)
+                        acc *= col[*p];
+                    break;
+                  case FoldFn::Max:
+                    for (const NodeIdx* p = beg; p != end; ++p)
+                        acc = acc > col[*p] ? acc : col[*p];
+                    break;
+                  case FoldFn::Min:
+                    for (const NodeIdx* p = beg; p != end; ++p)
+                        acc = acc < col[*p] ? acc : col[*p];
+                    break;
+                }
+                sp[-1] = acc;
+                break;
+              }
+              case XOp::Jz:
+                if (*--sp == 0)
+                    pc = x.a - 1; // ++pc lands on the target
+                break;
+              case XOp::Jmp:
+                pc = x.a - 1;
+                break;
+              case XOp::Done:
+                return sp[-1];
+            }
+        }
+    }
+
+    SharedCtx& ctx_;
+    // Hot-path views, hoisted once per worker.
+    const Inst* code_;
+    const XInst* xcode_;
+    const EvalSpec* evals_;
+    const uint32_t* entry_;
+    int64_t* const* cols_;
+    const sem::ClassId* cls_;
+    const uint32_t* scalarBase_;
+    const NodeIdx* scalars_;
+    const NodeIdx zero_; ///< absent-child sentinel (the zero row)
+    std::vector<Frame> stack_;
+    std::vector<NodeIdx> branches_;
+    std::vector<int64_t> xstack_;
+    uint64_t visits_ = 0;
+    uint64_t rules_ = 0;
+    uint64_t helps_ = 0;
+};
+
+} // namespace
+
+RuntimeStats
+execute(const Program& program, TreeArena& arena, const ExecOptions& options)
+{
+    checkInvariant(&program.grammar() == &arena.grammar(),
+                   "runtime::execute: program and arena grammar mismatch");
+    SharedCtx ctx;
+    ctx.program = &program;
+    ctx.arena = &arena;
+    ctx.pool = options.pool;
+    ctx.grain = std::max<uint32_t>(1, options.grain);
+    ctx.spawnPrefix = options.spawnPrefix;
+    ctx.cols.resize(arena.layout().columnCount());
+    for (uint32_t col = 0; col < ctx.cols.size(); ++col)
+        ctx.cols[col] = arena.columnData(col);
+
+    if (arena.size() != 0) {
+        Worker worker(ctx);
+        if (program.sweepable())
+            worker.runSweep(program.sweepData());
+        else
+            worker.run(arena.root());
+    }
+
+    RuntimeStats stats;
+    stats.nodeVisits = ctx.visits.load();
+    stats.rulesEvaluated = ctx.rules.load();
+    stats.parallelRegions = ctx.regions.load();
+    stats.tasksSpawned = ctx.tasks.load();
+    stats.helpJoinRuns = ctx.helps.load();
+    return stats;
+}
+
+} // namespace hecate::runtime

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Executor: runs a compiled Program over a TreeArena.
+ *
+ * Unlike exec/interp this never uses native recursion — traversal
+ * state is an explicit stack of (node, pc) frames, so adversarially
+ * deep trees are limited by heap, not by the 8MB thread stack.
+ *
+ * Sandwich-shaped programs (Program::sweepable) skip the frame stack
+ * entirely: the BFS-ordered arena lets their pre-visit eval runs
+ * execute as one ascending linear pass over the node array and their
+ * post-visit runs as one descending pass, preserving every
+ * parent/child dependency of the DFS order with streaming column
+ * access. The executor picks this path automatically.
+ *
+ * Parallelism: a `parallel` region's branch targets (scalar recurs or
+ * a whole collection) are chunked by `grain` and submitted to a
+ * ThreadPool; the forking thread then *help-joins* — it runs queued
+ * tasks itself (ThreadPool::runOne) until its region's pending count
+ * drains. That makes nested fork-join safe on a fixed-size pool: a
+ * waiting thread is always also a worker, so the pool cannot deadlock
+ * with every worker blocked in a join.
+ *
+ * Narrow regions — statement-form `parallel { recur a; recur b; }`
+ * blocks with a handful of branches — never fill a grain-sized chunk,
+ * so they fork per branch instead, but only while the region's node
+ * index is under `spawnPrefix`: arena ids are BFS-ordered, so a low
+ * index means the node sits near the root and each branch is a whole
+ * large subtree worth a task (the depth-cutoff idiom of hand-written
+ * fork-join code, in O(1) via the index).
+ *
+ * Race-freedom is inherited from verification, not re-checked here:
+ * a verified schedule only places recurs of *disjoint* subtrees inside
+ * a region, and L_a rules read only self/child attributes, so branch
+ * executions touch disjoint arena cells (DESIGN.md §7).
+ */
+
+#include <cstdint>
+
+#include "runtime/arena.hpp"
+#include "runtime/program.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hecate::runtime {
+
+/** Execution knobs. */
+struct ExecOptions {
+    /** Pool for `parallel` regions; null runs everything sequentially. */
+    ThreadPool* pool = nullptr;
+    /** Minimum branch targets per parallel task (chunk size). */
+    uint32_t grain = 1024;
+    /**
+     * Fork narrow (sub-grain) regions per branch while the region's
+     * BFS node index is below this; 0 never forks them.
+     */
+    uint32_t spawnPrefix = 1024;
+};
+
+/** Counters from one execution. */
+struct RuntimeStats {
+    uint64_t nodeVisits = 0;
+    uint64_t rulesEvaluated = 0;
+    /** Parallel regions that actually forked (≥2 chunks + a pool). */
+    uint64_t parallelRegions = 0;
+    /** Chunk tasks submitted to the pool. */
+    uint64_t tasksSpawned = 0;
+    /** Tasks the joining thread ran itself while help-joining. */
+    uint64_t helpJoinRuns = 0;
+};
+
+/**
+ * Execute @p program over @p arena, writing every computed attribute
+ * column in place. The arena must be an instance of the program's
+ * grammar. Sequential when options.pool is null; otherwise `parallel`
+ * regions fork onto the pool under options.grain.
+ */
+RuntimeStats execute(const Program& program, TreeArena& arena,
+                     const ExecOptions& options = {});
+
+} // namespace hecate::runtime

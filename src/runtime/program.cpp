@@ -1,0 +1,546 @@
+#include "runtime/program.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace hecate::runtime {
+
+namespace {
+
+/** Operand-stack depth an expression needs (mirrors the emitter). */
+uint32_t
+exprDepth(const ast::Expr& expr)
+{
+    switch (expr.kind) {
+      case ast::ExprKind::Const:
+      case ast::ExprKind::Select:
+        return 1;
+      case ast::ExprKind::Binary:
+        return std::max(exprDepth(*expr.args[0]),
+                        1 + exprDepth(*expr.args[1]));
+      case ast::ExprKind::Call:
+        if (expr.op == "abs")
+            return exprDepth(*expr.args[0]);
+        return std::max(exprDepth(*expr.args[0]),
+                        1 + exprDepth(*expr.args[1]));
+      case ast::ExprKind::If:
+        return std::max({exprDepth(*expr.args[0]), exprDepth(*expr.args[1]),
+                         exprDepth(*expr.args[2])});
+      case ast::ExprKind::Fold:
+        return exprDepth(*expr.args[0]); // Fold pops init, pushes result
+    }
+    internalError("exprDepth: unknown expression kind");
+}
+
+XOp
+binaryOp(const std::string& op)
+{
+    if (op == "+") return XOp::Add;
+    if (op == "-") return XOp::Sub;
+    if (op == "*") return XOp::Mul;
+    if (op == "/") return XOp::Div;
+    if (op == "%") return XOp::Mod;
+    if (op == "<") return XOp::Lt;
+    if (op == "<=") return XOp::Le;
+    if (op == ">") return XOp::Gt;
+    if (op == ">=") return XOp::Ge;
+    if (op == "==") return XOp::Eq;
+    if (op == "!=") return XOp::Ne;
+    internalError("Program: unknown operator '" + op + "'");
+}
+
+FoldFn
+foldFn(const std::string& fn)
+{
+    if (fn == "add") return FoldFn::Add;
+    if (fn == "mul") return FoldFn::Mul;
+    if (fn == "max") return FoldFn::Max;
+    if (fn == "min") return FoldFn::Min;
+    internalError("Program: unknown fold function '" + fn + "'");
+}
+
+} // namespace
+
+/** Compilation context: one class case being lowered. */
+class Compiler {
+  public:
+    Compiler(Program& program, const sched::Skeleton& skeleton,
+             const sched::Schedule& schedule, const Layout& layout)
+        : p_(program), skeleton_(skeleton), schedule_(schedule),
+          layout_(layout), grammar_(skeleton.grammar())
+    {
+    }
+
+    void compileCase(sem::ClassId cls)
+    {
+        cls_ = cls;
+        p_.entry_[cls] = static_cast<uint32_t>(p_.code_.size());
+        for (const auto& stmt : skeleton_.caseFor(cls).stmts)
+            compileStmt(*stmt);
+        p_.code_.push_back({Op::Ret, 0});
+        analyzeSweepCase(cls);
+    }
+
+  private:
+    const sem::ClassInfo& clsInfo() const { return grammar_.cls(cls_); }
+
+    /** Assigned rule of a hole; kInvalidId when the hole is empty. */
+    sem::RuleId holeAssignment(const ast::TStmt& stmt) const
+    {
+        sched::SlotId slot = skeleton_.slotOf(&stmt);
+        if (skeleton_.slot(slot).candidates.empty())
+            return sem::kInvalidId;
+        if (slot >= schedule_.bySlot.size() ||
+            !schedule_.bySlot[slot].has_value())
+            return sem::kInvalidId;
+        return *schedule_.bySlot[slot];
+    }
+
+    void compileStmt(const ast::TStmt& stmt)
+    {
+        switch (stmt.kind) {
+          case ast::TStmtKind::Hole: {
+            sem::RuleId rule = holeAssignment(stmt);
+            if (rule != sem::kInvalidId &&
+                skeleton_.slot(skeleton_.slotOf(&stmt)).context ==
+                    sched::SlotContext::TopLevel) {
+                emitEval(rule);
+            }
+            return;
+          }
+          case ast::TStmtKind::Eval:
+            emitEval(skeleton_.evalRule(&stmt));
+            return;
+          case ast::TStmtKind::Recur:
+            p_.code_.push_back({Op::Recur, scalarSlot(stmt.child)});
+            return;
+          case ast::TStmtKind::Iterate:
+            compileIterate(stmt);
+            return;
+          case ast::TStmtKind::Parallel:
+            compileParallel(stmt);
+            return;
+        }
+    }
+
+    /**
+     * Iterate lowers to one ITERATE op (element visits, only when the
+     * body recurs) followed by the body's scheduled folds in body
+     * order — the post-loop evaluation the interpreter performs.
+     */
+    void compileIterate(const ast::TStmt& stmt)
+    {
+        bool hasRecur = false;
+        for (const auto& body : stmt.body)
+            hasRecur |= body->kind == ast::TStmtKind::Recur;
+        if (hasRecur)
+            p_.code_.push_back({Op::Iterate, collSlot(stmt.child)});
+        for (const auto& body : stmt.body) {
+            if (body->kind == ast::TStmtKind::Hole) {
+                sem::RuleId rule = holeAssignment(*body);
+                if (rule != sem::kInvalidId)
+                    emitEval(rule);
+            } else if (body->kind == ast::TStmtKind::Eval) {
+                emitEval(skeleton_.evalRule(body.get()));
+            }
+        }
+    }
+
+    void compileParallel(const ast::TStmt& stmt)
+    {
+        p_.code_.push_back({Op::ParBegin, 0});
+        if (!stmt.child.empty()) {
+            p_.code_.push_back({Op::ParColl, collSlot(stmt.child)});
+        } else {
+            // Statement form: only recurs carry work (resolve bans
+            // evals, and in-region holes are candidate-free).
+            for (const auto& body : stmt.body) {
+                if (body->kind == ast::TStmtKind::Recur)
+                    p_.code_.push_back(
+                        {Op::ParRecur, scalarSlot(body->child)});
+            }
+        }
+        p_.code_.push_back({Op::ParEnd, 0});
+    }
+
+    /** CSR scalar-block row of @p child (row 0 is the node itself). */
+    uint32_t scalarSlot(const std::string& child) const
+    {
+        sem::ChildId id = clsInfo().childByName.at(child);
+        int32_t slot = layout_.cls(cls_).scalarSlotOf[id];
+        checkInvariant(slot >= 0, "Program: recur on a collection child");
+        return static_cast<uint32_t>(slot) + 1;
+    }
+
+    /**
+     * Check whether the case just compiled fits the sandwich sweep
+     * shape (Program::sweepable): [eval run] [recur/iterate, each
+     * child slot exactly once] [eval run] RET. Any deviation —
+     * between-visit evals, repeated or missing child visits, parallel
+     * regions — marks the whole program unsweepable.
+     */
+    void analyzeSweepCase(sem::ClassId cls)
+    {
+        if (!p_.sweepable_)
+            return;
+        const ClassLayout& cl = layout_.cls(cls);
+        if (cl.scalarCount >= 32 || cl.collCount >= 32) {
+            p_.sweepable_ = false;
+            return;
+        }
+        SweepCase sc;
+        uint32_t seenScalar = 0;
+        uint32_t seenColl = 0;
+        bool midSeen = false; // any child visit so far
+        for (uint32_t pc = p_.entry_[cls];; ++pc) {
+            const Inst& inst = p_.code_[pc];
+            if (inst.op == Op::Ret)
+                break;
+            switch (inst.op) {
+              case Op::Eval:
+                if (!midSeen) {
+                    sc.preBegin = inst.a;
+                    sc.preCount = inst.b;
+                } else {
+                    if (sc.postCount != 0) {
+                        p_.sweepable_ = false; // eval between visits
+                        return;
+                    }
+                    sc.postBegin = inst.a;
+                    sc.postCount = inst.b;
+                }
+                break;
+              case Op::Recur: {
+                uint32_t slot = inst.a - 1; // row -> child slot
+                if (sc.postCount != 0 || (seenScalar & (1u << slot))) {
+                    p_.sweepable_ = false;
+                    return;
+                }
+                seenScalar |= 1u << slot;
+                midSeen = true;
+                break;
+              }
+              case Op::Iterate:
+                if (sc.postCount != 0 || (seenColl & (1u << inst.a))) {
+                    p_.sweepable_ = false;
+                    return;
+                }
+                seenColl |= 1u << inst.a;
+                midSeen = true;
+                break;
+              default: // parallel region ops
+                p_.sweepable_ = false;
+                return;
+            }
+        }
+        const uint32_t allScalars =
+            cl.scalarCount == 0 ? 0 : (1u << cl.scalarCount) - 1;
+        const uint32_t allColls =
+            cl.collCount == 0 ? 0 : (1u << cl.collCount) - 1;
+        if (seenScalar != allScalars || seenColl != allColls) {
+            p_.sweepable_ = false; // an unvisited subtree breaks sweeps
+            return;
+        }
+        p_.sweeps_[cls] = sc;
+    }
+
+    uint32_t collSlot(const std::string& child) const
+    {
+        sem::ChildId id = clsInfo().childByName.at(child);
+        int32_t slot = layout_.cls(cls_).collSlotOf[id];
+        checkInvariant(slot >= 0, "Program: iterate on a scalar child");
+        return static_cast<uint32_t>(slot);
+    }
+
+    void emitEval(sem::RuleId ruleId)
+    {
+        const sem::RuleInfo& rule = grammar_.rule(ruleId);
+        EvalSpec spec;
+        spec.rule = ruleId;
+        if (rule.lhsChild == sem::kInvalidId) {
+            spec.targetSlot = 0; // scalar-block row 0 is the node itself
+            spec.targetCol = layout_.column(clsInfo().iface, rule.lhs);
+        } else {
+            const sem::ChildInfo& child = clsInfo().children[rule.lhsChild];
+            int32_t slot = layout_.cls(cls_).scalarSlotOf[rule.lhsChild];
+            checkInvariant(slot >= 0,
+                           "Program: inherited rule targets a collection");
+            spec.targetSlot = slot + 1;
+            spec.targetCol = layout_.column(child.iface, rule.lhs);
+        }
+        spec.xbegin = static_cast<uint32_t>(p_.xcode_.size());
+        emitExpr(*rule.decl->rhs);
+        p_.xcode_.push_back({XOp::Done, FoldFn::Add, 0, 0, 0});
+        p_.maxExprStack_ =
+            std::max(p_.maxExprStack_, exprDepth(*rule.decl->rhs));
+        specialize(spec, *rule.decl->rhs);
+        // Extend the preceding eval run instead of dispatching anew.
+        if (!p_.code_.empty() && p_.code_.back().op == Op::Eval &&
+            p_.code_.back().a + p_.code_.back().b == p_.evals_.size()) {
+            ++p_.code_.back().b;
+        } else {
+            p_.code_.push_back(
+                {Op::Eval, static_cast<uint32_t>(p_.evals_.size()), 1});
+        }
+        p_.evals_.push_back(spec);
+    }
+
+    /** Leaf operand of a specialized eval, when @p expr is one. */
+    std::optional<Operand> leafOperand(const ast::Expr& expr) const
+    {
+        Operand op;
+        switch (expr.kind) {
+          case ast::ExprKind::Const:
+            op.slot = Operand::kConst;
+            op.imm = expr.value;
+            return op;
+          case ast::ExprKind::Select: {
+            const ast::Select& sel = expr.select;
+            if (sel.isSelf()) {
+                const sem::InterfaceInfo& iface =
+                    grammar_.iface(clsInfo().iface);
+                op.slot = 0; // scalar-block row 0 is the node itself
+                op.col = layout_.column(clsInfo().iface,
+                                        iface.attrByName.at(sel.attr));
+                return op;
+            }
+            sem::ChildId id = clsInfo().childByName.at(sel.base);
+            int32_t slot = layout_.cls(cls_).scalarSlotOf[id];
+            if (slot < 0)
+                return std::nullopt; // collection select: bytecode only
+            const sem::ChildInfo& child = clsInfo().children[id];
+            op.slot = slot + 1;
+            op.col = layout_.column(
+                child.iface,
+                grammar_.iface(child.iface).attrByName.at(sel.attr));
+            return op;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    /** Two-operand op of @p expr (binary or max/min call), if any. */
+    std::optional<XOp> binOf(const ast::Expr& expr) const
+    {
+        if (expr.kind == ast::ExprKind::Binary)
+            return binaryOp(expr.op);
+        if (expr.kind == ast::ExprKind::Call && expr.op == "max")
+            return XOp::Max2;
+        if (expr.kind == ast::ExprKind::Call && expr.op == "min")
+            return XOp::Min2;
+        return std::nullopt;
+    }
+
+    /** Pattern-match @p rhs into a superinstruction when it fits. */
+    void specialize(EvalSpec& spec, const ast::Expr& rhs) const
+    {
+        if (auto leaf = leafOperand(rhs)) {
+            spec.kind = EvalKind::Copy;
+            spec.a = *leaf;
+            return;
+        }
+        if (rhs.kind == ast::ExprKind::Call && rhs.op == "abs") {
+            if (auto leaf = leafOperand(*rhs.args[0])) {
+                spec.kind = EvalKind::Un;
+                spec.fn1 = XOp::Abs;
+                spec.a = *leaf;
+            }
+            return;
+        }
+        auto outer = binOf(rhs);
+        if (!outer.has_value())
+            return;
+        const ast::Expr& l = *rhs.args[0];
+        const ast::Expr& r = *rhs.args[1];
+        auto la = leafOperand(l), ra = leafOperand(r);
+        if (la && ra) {
+            spec.kind = EvalKind::Bin;
+            spec.fn1 = *outer;
+            spec.a = *la;
+            spec.b = *ra;
+            return;
+        }
+        if (ra) {
+            auto inner = binOf(l);
+            if (!inner.has_value())
+                return;
+            auto ia = leafOperand(*l.args[0]), ib = leafOperand(*l.args[1]);
+            if (ia && ib) {
+                spec.kind = EvalKind::TriL;
+                spec.fn1 = *inner;
+                spec.fn2 = *outer;
+                spec.a = *ia;
+                spec.b = *ib;
+                spec.c = *ra;
+            }
+            return;
+        }
+        if (la) {
+            auto inner = binOf(r);
+            if (!inner.has_value())
+                return;
+            auto ia = leafOperand(*r.args[0]), ib = leafOperand(*r.args[1]);
+            if (ia && ib) {
+                spec.kind = EvalKind::TriR;
+                spec.fn1 = *inner;
+                spec.fn2 = *outer;
+                spec.a = *la;
+                spec.b = *ia;
+                spec.c = *ib;
+            }
+        }
+    }
+
+    void emitExpr(const ast::Expr& expr)
+    {
+        switch (expr.kind) {
+          case ast::ExprKind::Const:
+            p_.xcode_.push_back(
+                {XOp::Const, FoldFn::Add, 0, 0, expr.value});
+            return;
+          case ast::ExprKind::Select:
+            emitSelect(expr.select);
+            return;
+          case ast::ExprKind::Binary:
+            emitExpr(*expr.args[0]);
+            emitExpr(*expr.args[1]);
+            p_.xcode_.push_back(
+                {binaryOp(expr.op), FoldFn::Add, 0, 0, 0});
+            return;
+          case ast::ExprKind::Call:
+            if (expr.op == "abs") {
+                emitExpr(*expr.args[0]);
+                p_.xcode_.push_back({XOp::Abs, FoldFn::Add, 0, 0, 0});
+                return;
+            }
+            emitExpr(*expr.args[0]);
+            emitExpr(*expr.args[1]);
+            if (expr.op == "max") {
+                p_.xcode_.push_back({XOp::Max2, FoldFn::Add, 0, 0, 0});
+            } else if (expr.op == "min") {
+                p_.xcode_.push_back({XOp::Min2, FoldFn::Add, 0, 0, 0});
+            } else {
+                internalError("Program: unknown function '" + expr.op + "'");
+            }
+            return;
+          case ast::ExprKind::If: {
+            emitExpr(*expr.args[0]);
+            uint32_t jz = static_cast<uint32_t>(p_.xcode_.size());
+            p_.xcode_.push_back({XOp::Jz, FoldFn::Add, 0, 0, 0});
+            emitExpr(*expr.args[1]);
+            uint32_t jmp = static_cast<uint32_t>(p_.xcode_.size());
+            p_.xcode_.push_back({XOp::Jmp, FoldFn::Add, 0, 0, 0});
+            p_.xcode_[jz].a = static_cast<uint32_t>(p_.xcode_.size());
+            emitExpr(*expr.args[2]);
+            p_.xcode_[jmp].a = static_cast<uint32_t>(p_.xcode_.size());
+            return;
+          }
+          case ast::ExprKind::Fold: {
+            emitExpr(*expr.args[0]); // init
+            sem::ChildId id =
+                clsInfo().childByName.at(expr.select.base);
+            const sem::ChildInfo& child = clsInfo().children[id];
+            int32_t slot = layout_.cls(cls_).collSlotOf[id];
+            checkInvariant(slot >= 0, "Program: fold over a scalar child");
+            uint32_t col = layout_.column(
+                child.iface,
+                grammar_.iface(child.iface).attrByName.at(
+                    expr.select.attr));
+            p_.xcode_.push_back({XOp::Fold, foldFn(expr.op),
+                                 static_cast<uint32_t>(slot), col, 0});
+            return;
+          }
+        }
+        internalError("Program: unknown expression kind");
+    }
+
+    void emitSelect(const ast::Select& sel)
+    {
+        if (sel.isSelf()) {
+            const sem::InterfaceInfo& iface =
+                grammar_.iface(clsInfo().iface);
+            uint32_t col = layout_.column(clsInfo().iface,
+                                          iface.attrByName.at(sel.attr));
+            p_.xcode_.push_back({XOp::LoadSelf, FoldFn::Add, col, 0, 0});
+            return;
+        }
+        sem::ChildId id = clsInfo().childByName.at(sel.base);
+        const sem::ChildInfo& child = clsInfo().children[id];
+        int32_t slot = layout_.cls(cls_).scalarSlotOf[id];
+        checkInvariant(slot >= 0, "Program: select through a collection");
+        uint32_t col = layout_.column(
+            child.iface,
+            grammar_.iface(child.iface).attrByName.at(sel.attr));
+        p_.xcode_.push_back({XOp::LoadChild, FoldFn::Add,
+                             static_cast<uint32_t>(slot) + 1, col, 0});
+    }
+
+    Program& p_;
+    const sched::Skeleton& skeleton_;
+    const sched::Schedule& schedule_;
+    const Layout& layout_;
+    const sem::Grammar& grammar_;
+    sem::ClassId cls_ = sem::kInvalidId;
+};
+
+Program
+Program::compile(const sched::Skeleton& skeleton,
+                 const sched::Schedule& schedule)
+{
+    Program program;
+    program.grammar_ = &skeleton.grammar();
+    program.entry_.resize(skeleton.grammar().classes().size(), 0);
+    program.sweeps_.resize(skeleton.grammar().classes().size());
+    program.sweepable_ = true; // analyzeSweepCase clears it on any miss
+
+    Layout layout(skeleton.grammar());
+    Compiler compiler(program, skeleton, schedule, layout);
+    for (const sem::ClassInfo& cls : skeleton.grammar().classes())
+        compiler.compileCase(cls.id);
+    return program;
+}
+
+std::string
+Program::disassemble() const
+{
+    auto opName = [](Op op) {
+        switch (op) {
+          case Op::Eval: return "EVAL";
+          case Op::Recur: return "RECUR";
+          case Op::Iterate: return "ITERATE";
+          case Op::ParBegin: return "PAR_BEGIN";
+          case Op::ParRecur: return "PAR_RECUR";
+          case Op::ParColl: return "PAR_COLL";
+          case Op::ParEnd: return "PAR_END";
+          case Op::Ret: return "RET";
+        }
+        return "?";
+    };
+    std::string out;
+    for (const sem::ClassInfo& cls : grammar_->classes()) {
+        out += "case " + cls.name + ":  ; entry " +
+               std::to_string(entry_[cls.id]) + "\n";
+        for (uint32_t pc = entry_[cls.id];; ++pc) {
+            const Inst& inst = code_[pc];
+            out += "  " + std::to_string(pc) + ": " + opName(inst.op);
+            if (inst.op == Op::Eval) {
+                static const char* kindNames[] = {"bytecode", "copy", "un",
+                                                  "bin", "tri", "tri"};
+                for (uint32_t i = inst.a; i < inst.a + inst.b; ++i)
+                    out += " " + grammar_->ruleName(evals_[i].rule) + " [" +
+                           kindNames[static_cast<int>(evals_[i].kind)] +
+                           "]";
+            } else if (inst.op != Op::Ret && inst.op != Op::ParBegin &&
+                       inst.op != Op::ParEnd) {
+                out += " slot " + std::to_string(inst.a);
+            }
+            out += "\n";
+            if (inst.op == Op::Ret)
+                break;
+        }
+    }
+    return out;
+}
+
+} // namespace hecate::runtime

@@ -1,0 +1,202 @@
+#pragma once
+
+/**
+ * @file
+ * Program: a synthesized traversal lowered to flat bytecode.
+ *
+ * The value interpreter (exec/interp) re-discovers everything on every
+ * visit: case dispatch walks an AST, every attribute access resolves a
+ * name through an unordered_map, every hole re-checks its
+ * std::optional assignment. compile() does all of that once per
+ * (skeleton, schedule) pair:
+ *
+ *  - each class case becomes a run of traversal ops — EVAL (apply one
+ *    rule), RECUR (descend a scalar child), ITERATE (visit collection
+ *    elements), PAR_BEGIN / PAR_RECUR / PAR_COLL / PAR_END (a
+ *    fork-join region's branch list), RET;
+ *  - each rule RHS becomes stack-machine expression bytecode whose
+ *    operands are pre-resolved arena column ids and CSR child slots —
+ *    no name lookups, no AST dispatch, no optionals on the hot path;
+ *  - `if` lowers to JZ/JMP so exactly the branch the interpreter would
+ *    evaluate executes (divergence-free vs. exec::evalRule by
+ *    construction).
+ *
+ * A Program is immutable and shared: any number of executors can run
+ * it concurrently over different arenas.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/arena.hpp"
+#include "sched/schedule.hpp"
+
+namespace hecate::runtime {
+
+/**
+ * Traversal opcodes. "Row" means an index into the node's CSR scalar
+ * block, whose row 0 is the node's own index and whose row c + 1 is
+ * scalar child slot c — self and child operands resolve identically,
+ * and absent children alias the arena's always-zero row.
+ */
+enum class Op : uint8_t {
+    Eval,     ///< a = eval-spec index
+    Recur,    ///< a = scalar-block row; descend if present
+    Iterate,  ///< a = collection CSR slot; visit elements in order
+    ParBegin, ///< open a fork-join region (collects branch targets)
+    ParRecur, ///< region branch: a = scalar-block row
+    ParColl,  ///< region branches: a = collection CSR slot (all elements)
+    ParEnd,   ///< fork, run branches, join
+    Ret,      ///< end of the class case
+};
+
+/**
+ * One traversal instruction. Consecutive rule applications compile
+ * into a single Eval whose `b` counts the run of EvalSpecs starting
+ * at `a` — the executor dispatches once and plays the whole run.
+ */
+struct Inst {
+    Op op = Op::Ret;
+    uint32_t a = 0;
+    uint32_t b = 0; ///< Eval: run length; unused otherwise
+};
+
+/** Expression opcodes (stack machine over int64_t). */
+enum class XOp : uint8_t {
+    Const,     ///< push imm
+    LoadSelf,  ///< push column a of the current node
+    LoadChild, ///< push column b of scalar-block row a (absent -> 0)
+    Add, Sub, Mul, Div, Mod,          ///< x/0 == x%0 == 0
+    Lt, Le, Gt, Ge, Eq, Ne,
+    Max2, Min2, Abs,
+    Fold,      ///< pop init; fold column b over collection slot a with fn
+    Jz,        ///< pop cond; jump to a when zero
+    Jmp,       ///< jump to a
+    Done,      ///< expression result is the top of stack
+};
+
+/** Fold combiners (mirrors exec::ExprEval::combine). */
+enum class FoldFn : uint8_t { Add, Mul, Max, Min };
+
+/** One expression instruction. Jump targets are absolute pool indices. */
+struct XInst {
+    XOp op = XOp::Done;
+    FoldFn fn = FoldFn::Add;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    int64_t imm = 0;
+};
+
+/** Leaf operand of a specialized eval: a constant or one column read. */
+struct Operand {
+    static constexpr int32_t kConst = -2;
+
+    int64_t imm = 0;  ///< value when slot == kConst
+    int32_t slot = 0; ///< scalar-block row (0 = self), or kConst
+    uint32_t col = 0; ///< column read when slot != kConst
+};
+
+/**
+ * Shape of an eval's RHS. Almost every L_a rule is a tiny arithmetic
+ * expression over self/child attributes, so the compiler pattern-
+ * matches the common shapes into superinstructions the executor runs
+ * as straight-line code — the generic expression loop (Bytecode) only
+ * remains for `if`, folds, and deeper nestings.
+ */
+enum class EvalKind : uint8_t {
+    Bytecode, ///< run the expression pool from xbegin
+    Copy,     ///< a
+    Un,       ///< fn1(a)
+    Bin,      ///< fn1(a, b)
+    TriL,     ///< fn2(fn1(a, b), c)
+    TriR,     ///< fn2(a, fn1(b, c))
+};
+
+/** One lowered rule application. */
+struct EvalSpec {
+    int32_t targetSlot = 0;   ///< scalar-block row of the LHS (0 = self)
+    uint32_t targetCol = 0;   ///< arena column written
+    uint32_t xbegin = 0;      ///< entry into the expression pool
+    sem::RuleId rule = sem::kInvalidId; ///< provenance
+    EvalKind kind = EvalKind::Bytecode;
+    XOp fn1 = XOp::Done;      ///< inner op of the specialized shape
+    XOp fn2 = XOp::Done;      ///< outer op (TriL / TriR)
+    Operand a, b, c;
+};
+
+/**
+ * Sweep summary of one sandwich-shaped class case: the eval runs
+ * before and after the child visits. Meaningful only when the owning
+ * program is sweepable().
+ */
+struct SweepCase {
+    uint32_t preBegin = 0;
+    uint32_t preCount = 0;
+    uint32_t postBegin = 0;
+    uint32_t postCount = 0;
+};
+
+/** A compiled traversal. */
+class Program {
+  public:
+    /**
+     * Lower @p skeleton completed by @p schedule. Unassigned holes
+     * vanish (matching exec::execute); the schedule need not cover
+     * every rule. The program keeps a pointer to the skeleton's
+     * grammar — executors check it matches their arena's grammar.
+     */
+    static Program compile(const sched::Skeleton& skeleton,
+                           const sched::Schedule& schedule);
+
+    const sem::Grammar& grammar() const { return *grammar_; }
+
+    /** Entry pc of class @p cls's case. */
+    uint32_t entryOf(sem::ClassId cls) const { return entry_[cls]; }
+
+    /** Raw case-entry table, by ClassId (the executor's hot-path view). */
+    const uint32_t* entryData() const { return entry_.data(); }
+
+    const std::vector<Inst>& code() const { return code_; }
+    const std::vector<XInst>& exprPool() const { return xcode_; }
+    const std::vector<EvalSpec>& evals() const { return evals_; }
+
+    /** Deepest operand stack any expression needs. */
+    uint32_t maxExprStack() const { return maxExprStack_; }
+
+    /**
+     * Whether every case is sandwich-shaped — at most one eval run,
+     * then child visits covering every child slot exactly once, then
+     * at most one more eval run, with no parallel regions. Because
+     * arena ids are BFS-ordered (parents precede children), such a
+     * program runs as two linear sweeps over the node array instead
+     * of a stack traversal: ascending ids for the pre runs,
+     * descending ids for the post runs. That preserves every
+     * parent/child dependency the DFS order provides — L_a rules
+     * never reach past one parent-child edge — while replacing
+     * pointer-chasing dispatch with streaming column access.
+     */
+    bool sweepable() const { return sweepable_; }
+
+    /** Per-class sweep summaries, by ClassId (valid iff sweepable). */
+    const SweepCase* sweepData() const { return sweeps_.data(); }
+
+    /** Human-readable listing (debugging / tests). */
+    std::string disassemble() const;
+
+  private:
+    friend class Compiler;
+
+    Program() = default;
+
+    const sem::Grammar* grammar_ = nullptr;
+    std::vector<uint32_t> entry_; ///< by ClassId
+    std::vector<Inst> code_;
+    std::vector<XInst> xcode_;
+    std::vector<EvalSpec> evals_;
+    std::vector<SweepCase> sweeps_; ///< by ClassId
+    bool sweepable_ = false;
+    uint32_t maxExprStack_ = 1;
+};
+
+} // namespace hecate::runtime

@@ -46,6 +46,32 @@ ThreadPool::waitAll()
     idle_.wait(lock, [this] { return inFlight_ == 0; });
 }
 
+bool
+ThreadPool::runOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    try {
+        task();
+    } catch (const std::exception& error) {
+        recordFailure(error.what());
+    } catch (...) {
+        recordFailure("task threw a non-std::exception value");
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--inFlight_ == 0)
+            idle_.notify_all();
+    }
+    return true;
+}
+
 void
 ThreadPool::workerLoop()
 {

@@ -35,6 +35,15 @@ class ThreadPool {
     /** Block until every submitted task has finished. */
     void waitAll();
 
+    /**
+     * Pop and run one queued task on the calling thread; false when the
+     * queue is empty. This is the help-join primitive: a thread waiting
+     * on a subset of tasks (runtime::Executor's fork-join regions)
+     * drains the queue instead of blocking, so nested forks cannot
+     * deadlock a fixed-size pool.
+     */
+    bool runOne();
+
     size_t workerCount() const { return threads_.size(); }
 
     /**

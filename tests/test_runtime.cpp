@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the traversal runtime: arena round-trips, the bulk
+ * generator, bytecode compilation, and the sequential/parallel
+ * executors.
+ *
+ * The central property mirrors test_exec's: executing a compiled
+ * program over an arena produces exactly the values of demand-driven
+ * reference evaluation — on every bundled grammar, sequential and
+ * parallel, at every grain size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/interp.hpp"
+#include "grammars/grammars.hpp"
+#include "lang/printer.hpp"
+#include "runtime/executor.hpp"
+#include "synth/autotuner.hpp"
+#include "synth/cegis.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+using testutil::renderGrammar;
+using testutil::renderSkeleton;
+using testutil::vectorRenderGrammar;
+
+/** All eight bundled benchmark grammars. */
+std::vector<const grammars::Benchmark*>
+allBenchmarks()
+{
+    std::vector<const grammars::Benchmark*> all =
+        grammars::grafterBenchmarks();
+    for (const grammars::Benchmark* bench : grammars::cssBenchmarks())
+        all.push_back(bench);
+    return all;
+}
+
+synth::SynthesisConfig
+cheapConfig()
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 128;
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// Arena structure
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeArena, RoundTripAllBundledGrammars)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        Rng rng(7);
+        tree::SampleConfig sample;
+        sample.maxDepth = 5;
+        for (int round = 0; round < 3; ++round) {
+            tree::Tree original =
+                tree::sampleTree(grammar, root, sample, rng);
+            runtime::TreeArena arena = runtime::TreeArena::fromTree(original);
+            EXPECT_EQ(arena.size(), original.size()) << bench->name;
+            tree::Tree rebuilt = arena.toTree();
+            rebuilt.validate();
+            EXPECT_TRUE(runtime::treesEquivalent(original, rebuilt))
+                << bench->name << ": round-trip changed the tree";
+        }
+    }
+}
+
+TEST(RuntimeArena, LayoutIsBreadthFirst)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    runtime::GenConfig gen;
+    gen.targetNodes = 2000;
+    gen.maxCollection = 5;
+    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, 0, gen);
+
+    // Parents precede children and collection elements are contiguous
+    // ascending runs — the properties chunked execution relies on.
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const runtime::ClassLayout& layout =
+            arena.layout().cls(arena.classOf(node));
+        for (uint32_t s = 0; s < layout.scalarCount; ++s) {
+            runtime::NodeIdx child = arena.scalarChild(node, s);
+            if (child != runtime::kNone)
+                EXPECT_GT(child, node);
+        }
+        for (uint32_t c = 0; c < layout.collCount; ++c) {
+            auto [begin, end] = arena.collection(node, c);
+            for (const runtime::NodeIdx* it = begin; it != end; ++it) {
+                EXPECT_GT(*it, node);
+                if (it != begin)
+                    EXPECT_EQ(*it, *(it - 1) + 1);
+            }
+        }
+    }
+}
+
+TEST(RuntimeArena, GenerateHitsBudgetAndValidates)
+{
+    struct Case {
+        const grammars::Benchmark* bench;
+        uint32_t target;
+    };
+    const Case cases[] = {
+        {&grammars::binaryTree(), 5000},
+        {&grammars::renderTree(), 5000},
+        {&grammars::astBench(), 3000},
+    };
+    for (const Case& c : cases) {
+        sem::Grammar grammar = grammars::load(*c.bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *c.bench);
+        runtime::GenConfig gen;
+        gen.targetNodes = c.target;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        EXPECT_GE(arena.size(), c.target) << c.bench->name;
+        EXPECT_LE(arena.size(), c.target * 4 + 1024) << c.bench->name;
+        arena.toTree().validate();
+    }
+}
+
+TEST(RuntimeArena, GenerateRespectsDepthCap)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::renderTree());
+    runtime::GenConfig gen;
+    gen.targetNodes = 100000;
+    gen.maxDepth = 6;
+    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, root, gen);
+    EXPECT_LE(arena.depth(), 6u);
+    arena.toTree().validate();
+}
+
+TEST(RuntimeArena, GenerateIsDeterministic)
+{
+    sem::Grammar grammar = grammars::load(grammars::fmm());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::fmm());
+    runtime::GenConfig gen;
+    gen.targetNodes = 3000;
+    gen.seed = 42;
+    runtime::TreeArena a = runtime::TreeArena::generate(grammar, root, gen);
+    runtime::TreeArena b = runtime::TreeArena::generate(grammar, root, gen);
+    EXPECT_TRUE(runtime::treesEquivalent(a.toTree(), b.toTree()));
+}
+
+TEST(RuntimeArena, GeneratesMillionNodeInstance)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::renderTree());
+    runtime::GenConfig gen;
+    gen.targetNodes = 1000000;
+    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, root, gen);
+    EXPECT_GE(arena.size(), 1000000u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential execution
+// ---------------------------------------------------------------------------
+
+/** Reference-evaluate a copy and compare against the executed arena. */
+void
+expectArenaMatchesReference(const tree::Tree& executedView,
+                            tree::Tree reference, const std::string& label)
+{
+    exec::computeReference(reference);
+    EXPECT_TRUE(runtime::treesEquivalent(executedView, reference))
+        << label << ": runtime diverges from computeReference";
+}
+
+TEST(RuntimeProgram, DifferentialAllBundledGrammars)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        synth::AutotuneResult tuned =
+            synth::autotune(grammar, root, cheapConfig());
+        ASSERT_TRUE(tuned.schedule.has_value())
+            << bench->name << ": " << tuned.lastSynthesis.failure;
+        runtime::Program program =
+            runtime::Program::compile(*tuned.skeleton, *tuned.schedule);
+
+        Rng rng(11);
+        tree::SampleConfig sample;
+        sample.maxDepth = 5;
+        for (int round = 0; round < 3; ++round) {
+            tree::Tree original =
+                tree::sampleTree(grammar, root, sample, rng);
+            runtime::TreeArena arena =
+                runtime::TreeArena::fromTree(original);
+            runtime::execute(program, arena);
+            expectArenaMatchesReference(arena.toTree(), original,
+                                        bench->name);
+        }
+    }
+}
+
+TEST(RuntimeProgram, DifferentialOnGeneratedArenas)
+{
+    // Larger generated instances than sampleTree produces, exercising
+    // the generator + executor pair end to end.
+    for (const grammars::Benchmark* bench :
+         {&grammars::binaryTree(), &grammars::renderTree()}) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        synth::AutotuneResult tuned =
+            synth::autotune(grammar, root, cheapConfig());
+        ASSERT_TRUE(tuned.schedule.has_value());
+        runtime::Program program =
+            runtime::Program::compile(*tuned.skeleton, *tuned.schedule);
+
+        runtime::GenConfig gen;
+        gen.targetNodes = 4000;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        tree::Tree pristine = arena.toTree();
+        runtime::execute(program, arena);
+        expectArenaMatchesReference(arena.toTree(), std::move(pristine),
+                                    bench->name);
+    }
+}
+
+TEST(RuntimeProgram, ConcreteTraversalCompiles)
+{
+    // The `hecate_cli run` path: print the synthesized Fig. 4(b)
+    // traversal, re-parse it as a hole-free skeleton, compile with an
+    // empty schedule.
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    auto result = synth::synthesize(skeleton, 0, {}, cheapConfig());
+    ASSERT_TRUE(result.schedule.has_value());
+
+    std::string printed = lang::printTraversal(
+        result.schedule->toConcreteTraversal(skeleton));
+    sched::Skeleton concrete =
+        sched::Skeleton::resolve(grammar, lang::parseTraversal(printed));
+    runtime::Program program =
+        runtime::Program::compile(concrete, sched::Schedule{});
+    EXPECT_FALSE(program.disassemble().empty());
+
+    Rng rng(3);
+    tree::SampleConfig sample;
+    sample.maxDepth = 5;
+    tree::Tree original = tree::sampleTree(grammar, 0, sample, rng);
+    runtime::TreeArena arena = runtime::TreeArena::fromTree(original);
+    runtime::execute(program, arena);
+    expectArenaMatchesReference(arena.toTree(), std::move(original),
+                                "concrete render traversal");
+}
+
+TEST(RuntimeExecutor, StatsMatchInterp)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    auto result = synth::synthesize(skeleton, 0, {}, cheapConfig());
+    ASSERT_TRUE(result.schedule.has_value());
+    runtime::Program program =
+        runtime::Program::compile(skeleton, *result.schedule);
+
+    Rng rng(5);
+    tree::SampleConfig sample;
+    sample.maxDepth = 5;
+    tree::Tree t = tree::sampleTree(grammar, 0, sample, rng);
+    exec::ExecStats interp_stats;
+    exec::execute(skeleton, *result.schedule, t, &interp_stats);
+
+    runtime::TreeArena arena = runtime::TreeArena::fromTree(t);
+    arena.clearOutputs();
+    runtime::RuntimeStats stats = runtime::execute(program, arena);
+    EXPECT_EQ(stats.nodeVisits, interp_stats.nodeVisits);
+    EXPECT_EQ(stats.rulesEvaluated, interp_stats.rulesEvaluated);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeExecutor, ParallelMatchesSequentialAcrossGrains)
+{
+    sem::Grammar grammar = vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar,
+        lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+    synth::SynthesisConfig config = cheapConfig();
+    config.verify.maxCollection = 2;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+    runtime::Program program =
+        runtime::Program::compile(skeleton, *result.schedule);
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 20000;
+    gen.maxCollection = 8;
+    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, 0, gen);
+
+    runtime::RuntimeStats seq_stats = runtime::execute(program, arena);
+    const uint64_t expected = arena.checksum();
+    EXPECT_EQ(seq_stats.parallelRegions, 0u);
+
+    for (size_t workers : {1u, 2u, 4u}) {
+        for (uint32_t grain : {1u, 2u, 64u, 4096u}) {
+            arena.clearOutputs();
+            ThreadPool pool(workers);
+            runtime::ExecOptions options;
+            options.pool = &pool;
+            options.grain = grain;
+            runtime::RuntimeStats stats =
+                runtime::execute(program, arena, options);
+            EXPECT_EQ(arena.checksum(), expected)
+                << workers << " workers, grain " << grain;
+            EXPECT_EQ(stats.nodeVisits, seq_stats.nodeVisits);
+            EXPECT_EQ(stats.rulesEvaluated, seq_stats.rulesEvaluated);
+            if (grain == 1)
+                EXPECT_GT(stats.parallelRegions, 0u);
+            EXPECT_EQ(pool.failedTaskCount(), 0u)
+                << pool.lastTaskError();
+        }
+    }
+}
+
+TEST(RuntimeExecutor, ParallelStatementRegions)
+{
+    // Statement-form `parallel { recur fc; recur nx; }` on the
+    // linked-list grammar: inherited-free sandwich skeleton.
+    const char* src = R"(
+traversal layout {
+    case Inner {
+        parallel {
+            recur fc;
+            recur nx;
+        }
+        ??; ??; ??; ??;
+    }
+    case Leaf {
+        recur nx;
+        ??; ??; ??; ??;
+    }
+}
+)";
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton =
+        sched::Skeleton::resolve(grammar, lang::parseTraversal(src));
+    auto result = synth::synthesize(skeleton, 0, {}, cheapConfig());
+    ASSERT_TRUE(result.schedule.has_value());
+    runtime::Program program =
+        runtime::Program::compile(skeleton, *result.schedule);
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 20000;
+    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, 0, gen);
+    tree::Tree pristine = arena.toTree();
+
+    ThreadPool pool(4);
+    runtime::ExecOptions options;
+    options.pool = &pool;
+    options.grain = 1;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, options);
+    EXPECT_GT(stats.parallelRegions, 0u);
+    EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+    expectArenaMatchesReference(arena.toTree(), std::move(pristine),
+                                "parallel statement region");
+}
+
+// ---------------------------------------------------------------------------
+// Depth limits (interp regression) and executor stack safety
+// ---------------------------------------------------------------------------
+
+/** A first-child-less chain of @p length Leaf nodes linked via nx. */
+tree::Tree
+leafChain(const sem::Grammar& grammar, uint32_t length)
+{
+    sem::ClassId leaf = grammar.findClass("Leaf");
+    sem::ChildId nx = grammar.cls(leaf).childByName.at("nx");
+    const sem::InterfaceInfo& iface =
+        grammar.iface(grammar.cls(leaf).iface);
+    sem::AttrId w0 = iface.attrByName.at("w0");
+    sem::AttrId h0 = iface.attrByName.at("h0");
+
+    tree::Tree t(grammar);
+    for (uint32_t i = 0; i < length; ++i) {
+        tree::NodeId id = t.addNode(leaf);
+        t.node(id).values[w0] = 1;
+        t.node(id).values[h0] = 1;
+    }
+    for (uint32_t i = 0; i + 1 < length; ++i)
+        t.setScalar(i, nx, i + 1);
+    t.setRoot(0);
+    t.validate();
+    return t;
+}
+
+TEST(RuntimeDepthGuard, InterpThrowsOnDeepTreesRuntimeDoesNot)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    auto result = synth::synthesize(skeleton, 0, {}, cheapConfig());
+    ASSERT_TRUE(result.schedule.has_value());
+
+    const uint32_t length = exec::kMaxEvalDepth * 5;
+    tree::Tree deep = leafChain(grammar, length);
+
+    // The recursive interpreter refuses cleanly instead of smashing
+    // the native stack...
+    tree::Tree interp_copy = deep;
+    EXPECT_THROW(
+        exec::execute(skeleton, *result.schedule, interp_copy),
+        UserError);
+    tree::Tree reference_copy = deep;
+    EXPECT_THROW(exec::computeReference(reference_copy), UserError);
+
+    // ...while the explicit-stack runtime executes the same tree and
+    // produces the closed-form values (h1 sums h0=1 down the chain).
+    runtime::Program program =
+        runtime::Program::compile(skeleton, *result.schedule);
+    runtime::TreeArena arena = runtime::TreeArena::fromTree(deep);
+    runtime::execute(program, arena);
+    const sem::InterfaceInfo& iface = grammar.iface(0);
+    uint32_t h1_col =
+        arena.layout().column(0, iface.attrByName.at("h1"));
+    EXPECT_EQ(arena.value(arena.root(), h1_col),
+              static_cast<int64_t>(length));
+}
+
+TEST(RuntimeDepthGuard, InterpStillRunsShallowTrees)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+    auto result = synth::synthesize(skeleton, 0, {}, cheapConfig());
+    ASSERT_TRUE(result.schedule.has_value());
+    tree::Tree shallow = leafChain(grammar, exec::kMaxEvalDepth - 2);
+    EXPECT_NO_THROW(
+        exec::execute(skeleton, *result.schedule, shallow));
+}
+
+} // namespace
+} // namespace hecate
