@@ -92,9 +92,10 @@ class ArenaBuilder {
     /**
      * Finalize once the node count is final: absent scalar entries
      * become the zero-row index (so child loads need no absent check)
-     * and every column gets two extra rows — the always-zero row that
-     * absent-child reads hit and the scratch row that vacuous writes
-     * land in.
+     * and every column gets one extra row — the always-zero row that
+     * absent-child reads hit. Writes never target it: the executor
+     * skips vacuous evals outright (a shared discard cell would race
+     * between parallel workers).
      */
     void allocateColumns()
     {
@@ -105,7 +106,7 @@ class ArenaBuilder {
         }
         arena_.columns_.assign(
             arena_.layout_.columnCount(),
-            std::vector<int64_t>(arena_.cls_.size() + 2, 0));
+            std::vector<int64_t>(arena_.cls_.size() + 1, 0));
     }
 
   private:
@@ -196,8 +197,15 @@ int64_t
 inputValue(const GenConfig& config, uint64_t col, uint64_t node)
 {
     uint64_t h = splitmix64(config.seed ^ (col << 40) ^ node);
-    uint64_t span = static_cast<uint64_t>(config.inputHi - config.inputLo) + 1;
-    return config.inputLo + static_cast<int64_t>(h % span);
+    // Span arithmetic stays in uint64: the int64 difference overflows
+    // for extreme ranges (lo = INT64_MIN, hi = INT64_MAX), and that
+    // full-width range wraps the span to 0 — every value is in range.
+    uint64_t span = static_cast<uint64_t>(config.inputHi) -
+                    static_cast<uint64_t>(config.inputLo) + 1;
+    if (span == 0)
+        return static_cast<int64_t>(h);
+    return static_cast<int64_t>(static_cast<uint64_t>(config.inputLo) +
+                                h % span);
 }
 
 } // namespace
@@ -236,6 +244,25 @@ TreeArena::generate(const sem::Grammar& grammar, sem::InterfaceId rootIface,
 
     queue.push_back(Pending{&grammar.implementers(rootIface), 1});
     uint64_t assigned = 1;
+
+    // Every child index goes through here. Growth proper is stopped by
+    // the budget; only required-child expansion can keep claiming
+    // indices past it, so hitting the hard cap means the grammar's
+    // required closure admits no tree near the requested size (it
+    // would otherwise loop forever). The NodeIdx check guards the
+    // narrowing cast: one extra row (the zero row) must also fit.
+    auto claimIndex = [&]() -> NodeIdx {
+        if (assigned >= hardCap) {
+            userError("TreeArena::generate: required children overran "
+                      "the node hard cap; the grammar admits no tree "
+                      "near the requested size");
+        }
+        if (assigned + 1 >= static_cast<uint64_t>(kNone)) {
+            userError("TreeArena::generate: node count overflows 32-bit "
+                      "node indices");
+        }
+        return static_cast<NodeIdx>(assigned++);
+    };
 
     while (!queue.empty()) {
         Pending pending = queue.front();
@@ -289,8 +316,7 @@ TreeArena::generate(const sem::Grammar& grammar, sem::InterfaceId rootIface,
                 }
                 uint32_t begin = builder.reserveCollection(count);
                 for (uint32_t i = 0; i < count; ++i) {
-                    builder.setElement(begin, i,
-                                       static_cast<NodeIdx>(assigned++));
+                    builder.setElement(begin, i, claimIndex());
                     --budget;
                     queue.push_back(Pending{&child.allowedClasses,
                                             pending.depth + 1});
@@ -305,7 +331,7 @@ TreeArena::generate(const sem::Grammar& grammar, sem::InterfaceId rootIface,
                 builder.setScalar(
                     idx,
                     static_cast<uint32_t>(layout.scalarSlotOf[child.id]),
-                    static_cast<NodeIdx>(assigned++));
+                    claimIndex());
                 --budget;
                 queue.push_back(
                     Pending{&child.allowedClasses, pending.depth + 1});
@@ -406,8 +432,8 @@ TreeArena::clearOutputs()
 uint64_t
 TreeArena::checksum() const
 {
-    // Real rows only: the scratch row's content depends on execution
-    // order (every vacuous write lands there) and must not leak in.
+    // Real rows only: the hidden zero row is not part of the instance
+    // and must not leak in.
     uint64_t sum = 0;
     for (uint32_t col = 0; col < layout_.columnCount(); ++col) {
         if (layout_.columnIsInput(col))

@@ -135,8 +135,8 @@ class TreeArena {
     /**
      * Absent scalar children are stored as this index — a row every
      * column keeps at zero — so child attribute loads never branch on
-     * presence. Row zeroRow() + 1 is scratch: writes whose target child
-     * is absent are redirected there instead of being branched around.
+     * presence. Only reads alias it: the executor skips writes whose
+     * target child is absent, so parallel workers never share a cell.
      */
     NodeIdx zeroRow() const { return size(); }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <thread>
 #include <vector>
 
@@ -182,14 +183,14 @@ class Worker {
         for (uint32_t n = count; n != 0; --n, ++s) {
             const EvalSpec& spec = *s;
             // Row 0 is the node itself, so self and child targets
-            // resolve identically; an absent child redirects to the
-            // scratch row (zero row + 1) branchlessly.
+            // resolve identically. A vacuous eval (absent optional
+            // target) performs no write at all: parallel workers may
+            // evaluate the same inherited rule concurrently, and any
+            // shared discard cell would be a data race.
             NodeIdx target = kids[spec.targetSlot];
-            uint32_t present = target != zero_;
-            target += 1 - present;
+            if (target == zero_)
+                continue;
             if (spec.kind == EvalKind::Bytecode) {
-                if (!present)
-                    continue; // vacuous: skip the RHS too
                 cols_[spec.targetCol][target] =
                     evalExpr(node, kids, spec.xbegin);
                 ++rules_;
@@ -223,7 +224,7 @@ class Worker {
                 internalError("Executor: bad eval kind");
             }
             cols_[spec.targetCol][target] = v;
-            rules_ += present;
+            ++rules_;
         }
     }
 
@@ -259,21 +260,44 @@ class Worker {
         }
         ++ctx_.regions;
         std::atomic<size_t> pending{chunkCount};
-        for (size_t c = 0; c < chunkCount; ++c) {
-            const NodeIdx* beg = branches_.data() + c * grain;
-            const NodeIdx* end = branches_.data() +
-                std::min(branches_.size(), (c + 1) * grain);
-            // beg/end stay valid: this frame owns branches_ and blocks
-            // in the help-join loop below until pending hits zero.
-            ctx_.pool->submit([this, beg, end, &pending] {
-                {
-                    Worker sub(ctx_);
-                    for (const NodeIdx* p = beg; p != end; ++p)
-                        sub.run(*p);
-                }
-                pending.fetch_sub(1, std::memory_order_release);
-            });
-            ++ctx_.tasks;
+        std::atomic<bool> failed{false};
+        std::exception_ptr firstError;
+        // A chunk task must decrement pending no matter how it exits:
+        // the pool catches task exceptions (record-and-continue), so a
+        // throw that skipped the decrement would hang the help-join
+        // loop below forever. The first failure is captured and
+        // rethrown on the forking thread after the join; firstError is
+        // published by the release decrement / acquire join pair.
+        auto runChunk = [this, &pending, &failed, &firstError](
+                            const NodeIdx* beg, const NodeIdx* end) {
+            try {
+                Worker sub(ctx_);
+                for (const NodeIdx* p = beg; p != end; ++p)
+                    sub.run(*p);
+            } catch (...) {
+                if (!failed.exchange(true))
+                    firstError = std::current_exception();
+            }
+            pending.fetch_sub(1, std::memory_order_release);
+        };
+        size_t submitted = 0;
+        try {
+            for (; submitted < chunkCount; ++submitted) {
+                const NodeIdx* beg = branches_.data() + submitted * grain;
+                const NodeIdx* end = branches_.data() +
+                    std::min(branches_.size(), (submitted + 1) * grain);
+                // beg/end stay valid: this frame owns branches_ and
+                // blocks in the help-join loop until pending hits zero.
+                ctx_.pool->submit([runChunk, beg, end] { runChunk(beg, end); });
+                ++ctx_.tasks;
+            }
+        } catch (...) {
+            // submit itself threw (allocation): account for the chunks
+            // that never made it into the queue, join the rest, rethrow.
+            if (!failed.exchange(true))
+                firstError = std::current_exception();
+            pending.fetch_sub(chunkCount - submitted,
+                              std::memory_order_release);
         }
         // Help-join: drain the queue instead of blocking, so nested
         // regions on a fixed-size pool always make progress.
@@ -283,6 +307,8 @@ class Worker {
             else
                 std::this_thread::yield();
         }
+        if (failed.load(std::memory_order_relaxed))
+            std::rethrow_exception(firstError);
         return true;
     }
 

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "exec/interp.hpp"
 #include "grammars/grammars.hpp"
 #include "lang/printer.hpp"
@@ -160,6 +162,50 @@ TEST(RuntimeArena, GeneratesMillionNodeInstance)
     gen.targetNodes = 1000000;
     runtime::TreeArena arena = runtime::TreeArena::generate(grammar, root, gen);
     EXPECT_GE(arena.size(), 1000000u);
+}
+
+TEST(RuntimeArena, GenerateRejectsUnboundedRequiredExpansion)
+{
+    // Every implementer of N forces a required child of N: the grammar
+    // admits no finite tree. Required-child expansion is not stopped by
+    // the budget, so the generator must refuse at the hard cap instead
+    // of growing forever.
+    const char* src = R"(
+interface N {
+    input v : int;
+    output o : int;
+}
+class Cons : N {
+    children {
+        next : N;
+    }
+    rules {
+        self.o := self.v;
+    }
+}
+)";
+    sem::Grammar grammar = sem::Grammar::analyze(lang::parseGrammar(src));
+    runtime::GenConfig gen;
+    gen.targetNodes = 50;
+    EXPECT_THROW(runtime::TreeArena::generate(grammar, 0, gen), UserError);
+}
+
+TEST(RuntimeArena, GenerateFullWidthInputRange)
+{
+    // [INT64_MIN, INT64_MAX] wraps the naive int64 span computation to
+    // zero (and the subtraction itself is UB); the generator must
+    // sample the full-width range instead of dividing by zero.
+    sem::Grammar grammar = grammars::load(grammars::binaryTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::binaryTree());
+    runtime::GenConfig gen;
+    gen.targetNodes = 200;
+    gen.inputLo = std::numeric_limits<int64_t>::min();
+    gen.inputHi = std::numeric_limits<int64_t>::max();
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    EXPECT_GE(arena.size(), 200u);
+    arena.toTree().validate();
 }
 
 // ---------------------------------------------------------------------------
@@ -367,6 +413,60 @@ traversal layout {
     EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
     expectArenaMatchesReference(arena.toTree(), std::move(pristine),
                                 "parallel statement region");
+}
+
+TEST(RuntimeExecutor, ParallelInheritedRulesWithAbsentChildren)
+{
+    // FMM's downward rules target optional children (`l.d := ...`). A
+    // vacuous inherited eval — the target child is absent — must
+    // perform no write at all: two workers evaluating the same rule
+    // concurrently on different nodes would race on any shared discard
+    // cell (the TSan CI job gates this).
+    const char* src = R"(
+traversal fmm {
+    case Box {
+        ??; ??; ??; ??; ??; ??;
+        parallel {
+            recur l;
+            recur r;
+        }
+        ??; ??; ??; ??; ??; ??;
+    }
+    case Body {
+        ??; ??; ??; ??;
+    }
+    case Sim {
+        ??; ??; ??; ??;
+        recur b;
+        ??; ??; ??; ??;
+    }
+}
+)";
+    sem::Grammar grammar = grammars::load(grammars::fmm());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::fmm());
+    sched::Skeleton skeleton =
+        sched::Skeleton::resolve(grammar, lang::parseTraversal(src));
+    auto result = synth::synthesize(skeleton, root, {}, cheapConfig());
+    ASSERT_TRUE(result.schedule.has_value()) << result.failure;
+    runtime::Program program =
+        runtime::Program::compile(skeleton, *result.schedule);
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 20000;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    tree::Tree pristine = arena.toTree();
+
+    ThreadPool pool(4);
+    runtime::ExecOptions options;
+    options.pool = &pool;
+    options.grain = 1;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, options);
+    EXPECT_GT(stats.parallelRegions, 0u);
+    EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+    expectArenaMatchesReference(arena.toTree(), std::move(pristine),
+                                "parallel inherited rules");
 }
 
 // ---------------------------------------------------------------------------
