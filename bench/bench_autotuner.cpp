@@ -3,6 +3,8 @@
  * Reproduces the §6.1 "Usability" experiment: HecateA, the auto-tuner
  * that searches for the symbolic traversal itself, on the five Grafter
  * benchmarks — compared against Hecate with the user-provided skeleton.
+ * Both legs run as pipelines: the Hecate leg is a given-skeleton run,
+ * the HecateA leg a run with no traversal source (auto mode).
  *
  * Expected shape (paper): HecateA solves four of the five benchmarks
  * about as fast as Hecate; the AST benchmark with its complex symbolic
@@ -13,6 +15,8 @@
 
 #include "bench_util.hpp"
 #include "grammars/grammars.hpp"
+#include "lang/printer.hpp"
+#include "pipeline/pipeline.hpp"
 #include "synth/autotuner.hpp"
 
 int
@@ -28,32 +32,29 @@ main()
     row({"---------", "------", "-------", "---------", "------------"});
 
     for (const grammars::Benchmark* bench : grammars::grafterBenchmarks()) {
-        sem::Grammar grammar = grammars::load(*bench);
-        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
-
         synth::SynthesisConfig config;
         config.verify.maxDepth = 3;
         config.verify.limit = 64;
 
-        sched::Skeleton skeleton = sched::Skeleton::resolve(
-            grammar,
-            synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
-        Timer hecate_timer;
-        synth::SynthesisResult direct =
-            synth::synthesize(skeleton, root, {}, config);
-        double hecate_seconds = hecate_timer.seconds();
+        pipeline::PipelineOptions direct_options;
+        direct_options.config = config;
+        sem::Grammar grammar = grammars::load(*bench);
+        std::string skeleton_src = lang::printTraversal(
+            synth::makeSkeleton(grammar,
+                                synth::SkeletonStyle::Sandwich));
+        pipeline::Pipeline direct_pipe(*bench, skeleton_src,
+                                       std::move(direct_options));
+        const pipeline::SynthArtifact& direct = direct_pipe.synthesize();
 
-        synth::AutotuneResult tuned = synth::autotune(grammar, root,
-                                                      config);
+        pipeline::PipelineOptions auto_options;
+        auto_options.config = config;
+        pipeline::Pipeline auto_pipe(*bench, "", std::move(auto_options));
+        const pipeline::SynthArtifact& tuned = auto_pipe.synthesize();
 
-        row({bench->name,
-             direct.schedule.has_value() ? secs(hecate_seconds) : "FAILED",
-             tuned.schedule.has_value() ? secs(tuned.totalSeconds)
-                                        : "FAILED",
+        row({bench->name, direct.ok ? secs(direct.seconds) : "FAILED",
+             tuned.ok ? secs(tuned.seconds) : "FAILED",
              std::to_string(tuned.skeletonsTried),
-             tuned.schedule.has_value()
-                 ? synth::skeletonStyleName(tuned.style)
-                 : "-"});
+             tuned.ok ? synth::skeletonStyleName(tuned.style) : "-"});
     }
     return 0;
 }

@@ -113,12 +113,11 @@ loadBench(const grammars::Benchmark& bench)
     return bg;
 }
 
-/** Sum of per-round one-shot synthesizer times over @p rounds rounds. */
-double
+/** One-shot synthesizer rounds: every round re-encodes all examples. */
+void
 scratchEncodeRounds(const BenchGrammar& bg,
                     const std::vector<tree::Tree>& examples)
 {
-    Timer timer;
     for (size_t round = 1; round <= examples.size(); ++round) {
         std::vector<const tree::Tree*> views;
         for (size_t i = 0; i < round; ++i)
@@ -126,22 +125,19 @@ scratchEncodeRounds(const BenchGrammar& bg,
         auto schedule = symbolic::synthesizeIlp(bg.skel(), views);
         benchutil::sink(schedule.has_value());
     }
-    return timer.seconds();
 }
 
 /** Same rounds through a persistent session (encode new, re-solve). */
-double
+void
 incrementalEncodeRounds(const BenchGrammar& bg,
                         const std::vector<tree::Tree>& examples)
 {
-    Timer timer;
     symbolic::IlpSession session(bg.skel());
     for (const tree::Tree& example : examples) {
         session.addExample(sched::VisitPlan(bg.skel(), example));
         auto schedule = session.solve();
         benchutil::sink(schedule.has_value());
     }
-    return timer.seconds();
 }
 
 } // namespace
@@ -173,14 +169,11 @@ main(int argc, char** argv)
         for (size_t count : example_counts) {
             std::vector<tree::Tree> examples =
                 makeExamples(bg->grammar, bg->root, count);
-            double scratch = 0, incremental = 0;
-            benchutil::measure(
-                [&] { scratch = scratchEncodeRounds(*bg, examples); },
-                min_seconds, max_iters);
-            benchutil::measure(
-                [&] {
-                    incremental = incrementalEncodeRounds(*bg, examples);
-                },
+            double scratch = benchutil::measureBest(
+                [&] { scratchEncodeRounds(*bg, examples); }, min_seconds,
+                max_iters);
+            double incremental = benchutil::measureBest(
+                [&] { incrementalEncodeRounds(*bg, examples); },
                 min_seconds, max_iters);
             double speedup = incremental > 0 ? scratch / incremental : 0;
             benchutil::row({bg->bench->name, std::to_string(count),
@@ -214,7 +207,7 @@ main(int argc, char** argv)
         for (uint32_t depth : depths) {
             tree::EnumConfig verify_config;
             verify_config.maxDepth = depth;
-            double oneshot = benchutil::measure(
+            double oneshot = benchutil::measureBest(
                 [&] {
                     benchutil::sink(
                         synth::verifySchedule(bg->skel(), *result.schedule,
@@ -224,7 +217,7 @@ main(int argc, char** argv)
                 min_seconds, max_iters);
             synth::Verifier warm_verifier(bg->skel(), bg->root,
                                           verify_config, 1, 1);
-            double warm = benchutil::measure(
+            double warm = benchutil::measureBest(
                 [&] {
                     benchutil::sink(warm_verifier.run(*result.schedule).ok);
                 },
@@ -263,7 +256,7 @@ main(int argc, char** argv)
         optimized_config.verify.maxDepth = c.depth;
 
         uint32_t legacy_iters = 0, optimized_iters = 0;
-        double legacy = benchutil::measure(
+        double legacy = benchutil::measureBest(
             [&] {
                 synth::SynthesisResult r = synth::synthesize(
                     c.bg->skel(), c.bg->root, {}, legacy_config);
@@ -271,7 +264,7 @@ main(int argc, char** argv)
                 benchutil::sink(r.schedule.has_value());
             },
             min_seconds, max_iters);
-        double optimized = benchutil::measure(
+        double optimized = benchutil::measureBest(
             [&] {
                 synth::SynthesisResult r = synth::synthesize(
                     c.bg->skel(), c.bg->root, {}, optimized_config);

@@ -17,6 +17,8 @@
 #include "baselines/ftl.hpp"
 #include "bench_util.hpp"
 #include "grammars/grammars.hpp"
+#include "lang/printer.hpp"
+#include "pipeline/pipeline.hpp"
 #include "synth/autotuner.hpp"
 
 namespace {
@@ -51,35 +53,33 @@ main(int argc, char** argv)
         verify.maxDepth = 3;
         verify.limit = 64;
 
-        sched::Skeleton skeleton = sched::Skeleton::resolve(
-            grammar,
+        std::string skeleton_src = lang::printTraversal(
             synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
 
-        synth::SynthesisConfig config;
-        config.verify = verify;
-        Timer hecate_timer;
-        synth::SynthesisResult hecate =
-            synth::synthesize(skeleton, root, {}, config);
-        double hecate_seconds = hecate_timer.seconds();
+        pipeline::PipelineOptions options;
+        options.config.verify = verify;
+        pipeline::Pipeline pipe(*bench, skeleton_src, std::move(options));
+        const pipeline::SynthArtifact& hecate = pipe.synthesize();
+        double hecate_seconds = hecate.seconds;
 
         baselines::FtlResult ftl =
             baselines::ftlSynthesize(grammar, root, verify);
 
         std::string general_cell;
         if (run_general) {
-            synth::SynthesisConfig gp = config;
-            gp.engine = synth::Engine::GeneralPurposeSat;
-            gp.maxIterations = 4; // cap: the paper reports >30 min
-            Timer gp_timer;
-            synth::SynthesisResult r =
-                synth::synthesize(skeleton, root, {}, gp);
-            general_cell = r.schedule.has_value()
-                               ? secs(gp_timer.seconds())
-                               : (">" + secs(gp_timer.seconds()));
+            pipeline::PipelineOptions gp;
+            gp.config.verify = verify;
+            gp.config.engine = synth::Engine::GeneralPurposeSat;
+            gp.config.maxIterations = 4; // cap: the paper reports >30 min
+            pipeline::Pipeline gp_pipe(*bench, skeleton_src,
+                                       std::move(gp));
+            const pipeline::SynthArtifact& r = gp_pipe.synthesize();
+            general_cell =
+                r.ok ? secs(r.seconds) : (">" + secs(r.seconds));
         }
 
         row({bench->name, std::to_string(grammar.ruleCount()),
-             hecate.schedule.has_value() ? secs(hecate_seconds) : "FAILED",
+             hecate.ok ? secs(hecate_seconds) : "FAILED",
              ftl.traversal.has_value() ? secs(ftl.seconds) : "FAILED",
              benchutil::ratio(ftl.seconds / hecate_seconds),
              general_cell},

@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "grammars/grammars.hpp"
 #include "lang/parser.hpp"
+#include "obs/telemetry.hpp"
 #include "symbolic/general_encoder.hpp"
 #include "symbolic/ilp_encoder.hpp"
 #include "synth/autotuner.hpp"
@@ -66,13 +67,13 @@ runSeries(const sem::Grammar& grammar, const tree::Tree& tree,
         grammar, lang::parseTraversal(kSkeletonSrc));
 
     std::vector<size_t> general_states;
-    symbolic::GeneralStats general_stats;
-    symbolic::synthesizeGeneral(skeleton, {&tree}, &general_stats,
+    obs::Telemetry general_tm;
+    symbolic::synthesizeGeneral(skeleton, {&tree}, general_tm,
                                 &general_states);
 
     std::vector<size_t> ilp_states;
-    symbolic::IlpStats ilp_stats;
-    symbolic::synthesizeIlp(skeleton, {&tree}, &ilp_stats, &ilp_states);
+    obs::Telemetry ilp_tm;
+    symbolic::synthesizeIlp(skeleton, {&tree}, ilp_tm, &ilp_states);
 
     std::printf("\n%s: %zu slot instances (general), %zu trace statements "
                 "(domain-specific)\n",
@@ -91,17 +92,16 @@ runSeries(const sem::Grammar& grammar, const tree::Tree& tree,
         std::printf("%-8zu%-22zu%-22zu\n", i + 1, general_states[i],
                     ilp_states.empty() ? 0 : ilp_states[ds_index]);
     }
+    const double expanded = general_tm.counter("sat.expanded_states");
+    const double terms = ilp_tm.counter("ilp.constraint_terms");
     std::printf("final: general symbolic states = %.4g (hash-consed DAG "
-                "nodes %zu, CNF clauses %zu);  domain-specific "
-                "constraints = %zu, terms = %zu\n",
-                general_stats.expandedStates, general_stats.formulaNodes,
-                general_stats.cnfClauses, ilp_stats.constraints,
-                ilp_stats.constraintTerms);
+                "nodes %.0f, CNF clauses %.0f);  domain-specific "
+                "constraints = %.0f, terms = %.0f\n",
+                expanded, general_tm.counter("sat.formula_nodes"),
+                general_tm.counter("sat.cnf_clauses"),
+                ilp_tm.counter("ilp.constraints"), terms);
     std::printf("ratio general/domain-specific states: %.4gx\n",
-                ilp_stats.constraintTerms == 0
-                    ? 0.0
-                    : general_stats.expandedStates /
-                          static_cast<double>(ilp_stats.constraintTerms));
+                terms == 0 ? 0.0 : expanded / terms);
 }
 
 } // namespace

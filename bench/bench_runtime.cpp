@@ -34,6 +34,8 @@
 #include "bench_util.hpp"
 #include "exec/interp.hpp"
 #include "grammars/grammars.hpp"
+#include "lang/printer.hpp"
+#include "pipeline/pipeline.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/program.hpp"
@@ -103,62 +105,47 @@ wrapRecursInParallel(ast::TraversalDecl& decl)
 }
 
 struct BenchGrammar {
-    const grammars::Benchmark* bench;
-    sem::Grammar grammar;
-    sem::InterfaceId root = sem::kInvalidId;
+    const grammars::Benchmark* bench = nullptr;
 
-    // Sequential: auto-tuned skeleton + schedule (the interp runs
-    // these) and the same concrete traversal compiled to bytecode.
-    std::optional<sched::Skeleton> skeleton;
-    std::optional<sched::Schedule> schedule;
-    std::optional<sched::Skeleton> concrete;
-    std::optional<runtime::Program> program;
+    // Sequential: an auto-mode pipeline run to its compile stage. The
+    // interp runs the symbolic skeleton + schedule; the runtime series
+    // runs the compiled bytecode. The pipeline pins the grammar every
+    // artifact points into.
+    std::unique_ptr<pipeline::Pipeline> seq;
+    const sched::Skeleton* skeleton = nullptr;
+    const sched::Schedule* schedule = nullptr;
+    const runtime::Program* program = nullptr;
 
-    // Parallel: the same skeleton family with recurs wrapped in a
-    // fork-join region, re-synthesized and compiled. Missing when the
-    // wrapped skeleton does not admit a schedule.
-    std::optional<sched::Skeleton> parConcrete;
-    std::optional<runtime::Program> parProgram;
+    // Parallel: a given-skeleton pipeline over the same grammar, with
+    // the recurs wrapped in a fork-join region. Null when the wrapped
+    // skeleton does not admit a schedule.
+    std::unique_ptr<pipeline::Pipeline> par;
+    const runtime::Program* parProgram = nullptr;
 };
 
-/**
- * Heap-pinned so the grammar never moves after skeletons (which keep
- * pointers to it) are resolved; program fields are compiled from the
- * stored skeletons for the same reason.
- */
 std::unique_ptr<BenchGrammar>
 loadBench(const grammars::Benchmark& bench, synth::SkeletonStyle parStyle)
 {
-    auto bg = std::make_unique<BenchGrammar>(
-        BenchGrammar{&bench, grammars::load(bench)});
-    bg->root = grammars::rootInterface(bg->grammar, bench);
+    auto bg = std::make_unique<BenchGrammar>();
+    bg->bench = &bench;
 
-    synth::SynthesisConfig config;
-    config.verify.maxDepth = 3;
-    synth::AutotuneResult tuned =
-        synth::autotune(bg->grammar, bg->root, config);
-    checkInvariant(tuned.schedule.has_value(),
-                   "bench_runtime: auto-tuning failed");
-    bg->skeleton = std::move(tuned.skeleton);
-    bg->schedule = std::move(tuned.schedule);
-    bg->concrete = sched::Skeleton::resolve(
-        bg->grammar, bg->schedule->toConcreteTraversal(*bg->skeleton));
-    bg->program =
-        runtime::Program::compile(*bg->concrete, sched::Schedule{});
+    pipeline::PipelineOptions options;
+    options.config.verify.maxDepth = 3;
+    bg->seq = std::make_unique<pipeline::Pipeline>(bench, "", options);
+    const pipeline::SynthArtifact& tuned = bg->seq->synthesize();
+    checkInvariant(tuned.ok, "bench_runtime: auto-tuning failed");
+    bg->skeleton = &bg->seq->skeleton();
+    bg->schedule = &*tuned.schedule;
+    bg->program = &bg->seq->compileProgram();
 
     ast::TraversalDecl par =
-        synth::makeSkeleton(bg->grammar, parStyle, "par");
+        synth::makeSkeleton(bg->seq->grammar(), parStyle, "par");
     if (wrapRecursInParallel(par)) {
-        sched::Skeleton parSkel =
-            sched::Skeleton::resolve(bg->grammar, std::move(par));
-        synth::SynthesisResult result =
-            synth::synthesize(parSkel, bg->root, {}, config);
-        if (result.schedule.has_value()) {
-            bg->parConcrete = sched::Skeleton::resolve(
-                bg->grammar,
-                result.schedule->toConcreteTraversal(parSkel));
-            bg->parProgram = runtime::Program::compile(*bg->parConcrete,
-                                                       sched::Schedule{});
+        bg->par = std::make_unique<pipeline::Pipeline>(
+            bench, lang::printTraversal(par), options);
+        const pipeline::SynthArtifact& result = bg->par->synthesize();
+        if (result.ok) {
+            bg->parProgram = &bg->par->compileProgram();
         } else {
             std::printf("note: %s parallel skeleton has no schedule "
                         "(%s); skipping its parallel sweep\n",
@@ -168,13 +155,16 @@ loadBench(const grammars::Benchmark& bench, synth::SkeletonStyle parStyle)
     return bg;
 }
 
+/** Arena pinned to @p pipe's grammar (programs only run over arenas of
+ *  the grammar object they were compiled against). */
 runtime::TreeArena
-makeArena(const BenchGrammar& bg, uint32_t nodes)
+makeArena(pipeline::Pipeline& pipe, uint32_t nodes)
 {
     runtime::GenConfig gen;
     gen.targetNodes = nodes;
     gen.seed = 2024;
-    return runtime::TreeArena::generate(bg.grammar, bg.root, gen);
+    return runtime::TreeArena::generate(pipe.grammar(),
+                                        pipe.rootInterface(), gen);
 }
 
 /** Codegen-style fused single-thread pass at @p nodes (0 = none). */
@@ -238,7 +228,7 @@ main(int argc, char** argv)
                     "speedup", "codegen(s)", "rt/cg"});
     for (BenchGrammar* bg : {render.get(), ast.get()}) {
         for (uint32_t nodes : sizes) {
-            runtime::TreeArena arena = makeArena(*bg, nodes);
+            runtime::TreeArena arena = makeArena(*bg->seq, nodes);
             tree::Tree tree = arena.toTree();
 
             double interp = benchutil::measureBest(
@@ -285,9 +275,9 @@ main(int argc, char** argv)
     const uint32_t par_nodes = sizes.back();
     std::vector<uint32_t> worker_counts = {2, 4};
     for (BenchGrammar* bg : {render.get(), ast.get()}) {
-        if (!bg->parProgram.has_value())
+        if (bg->parProgram == nullptr)
             continue;
-        runtime::TreeArena arena = makeArena(*bg, par_nodes);
+        runtime::TreeArena arena = makeArena(*bg->par, par_nodes);
 
         runtime::RuntimeStats seq_stats;
         double seq = benchutil::measureBest(

@@ -115,35 +115,47 @@ main()
                 "(%d unique problems x %d renames x %d repeats)\n\n",
                 workload.size(), kUnique, kVariants, kRepeats);
 
-    // Serial baseline: cold one-shot synthesis per request.
-    Timer serial_timer;
+    // Serial baseline: cold one-shot synthesis per request. Best-of-runs
+    // timing (measureBest) so a noisy host does not skew the comparison.
     size_t serial_ok = 0;
-    for (const service::SynthRequest& request : workload) {
-        sem::Grammar grammar =
-            sem::Grammar::analyze(lang::parseGrammar(request.grammarSrc));
-        sched::Skeleton skeleton = sched::Skeleton::resolve(
-            grammar, lang::parseTraversal(request.traversalSrc));
-        synth::SynthesisResult result =
-            synth::synthesize(skeleton, 0, {}, request.config);
-        if (result.schedule.has_value())
-            ++serial_ok;
-    }
-    const double serial_seconds = serial_timer.seconds();
+    const double serial_seconds = benchutil::measureBest(
+        [&] {
+            serial_ok = 0;
+            for (const service::SynthRequest& request : workload) {
+                sem::Grammar grammar = sem::Grammar::analyze(
+                    lang::parseGrammar(request.grammarSrc));
+                sched::Skeleton skeleton = sched::Skeleton::resolve(
+                    grammar, lang::parseTraversal(request.traversalSrc));
+                synth::SynthesisResult result =
+                    synth::synthesize(skeleton, 0, {}, request.config);
+                if (result.schedule.has_value())
+                    ++serial_ok;
+            }
+        },
+        0.2, 5);
 
     // Service: content-addressed cache + single-flight + thread pool.
-    service::SynthService svc;
-    Timer service_timer;
-    std::vector<std::future<service::SynthOutcome>> futures;
-    futures.reserve(workload.size());
-    for (service::SynthRequest& request : workload)
-        futures.push_back(svc.submit(std::move(request)));
+    // A fresh service per run keeps every run cold (no warm cache
+    // crossing runs); requests are copied since submit() consumes them.
     size_t service_ok = 0;
-    for (auto& future : futures)
-        service_ok += future.get().ok ? 1 : 0;
-    const double service_seconds = service_timer.seconds();
+    service::ServiceStats stats;
+    size_t worker_count = 0;
+    const double service_seconds = benchutil::measureBest(
+        [&] {
+            service::SynthService svc;
+            std::vector<std::future<service::SynthOutcome>> futures;
+            futures.reserve(workload.size());
+            for (const service::SynthRequest& request : workload)
+                futures.push_back(svc.submit(request));
+            service_ok = 0;
+            for (auto& future : futures)
+                service_ok += future.get().ok ? 1 : 0;
+            stats = svc.stats();
+            worker_count = svc.workerCount();
+        },
+        0.2, 5);
 
-    const double n = static_cast<double>(futures.size());
-    service::ServiceStats stats = svc.stats();
+    const double n = static_cast<double>(workload.size());
     benchutil::row({"", "seconds", "req/s", "ok"});
     benchutil::row({"serial", benchutil::secs(serial_seconds),
                     benchutil::ratio(n / serial_seconds),
@@ -156,7 +168,7 @@ main()
                 static_cast<unsigned long long>(stats.freshRuns),
                 static_cast<unsigned long long>(stats.cacheHits),
                 static_cast<unsigned long long>(stats.joinedInFlight),
-                svc.workerCount());
+                worker_count);
     std::printf("speedup: %.2fx\n", serial_seconds / service_seconds);
     return 0;
 }

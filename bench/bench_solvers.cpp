@@ -1,13 +1,23 @@
 /**
  * @file
- * Google-benchmark microbenchmarks for the solver substrate: the CDCL
- * SAT solver and the 0-1 ILP solver that underlie the two symbolic
- * compilation strategies. Not a paper figure — these document the raw
- * capacity of the substrates the synthesis times build on.
+ * Microbenchmarks for the solver substrate: the CDCL SAT solver and
+ * the 0-1 ILP solver that underlie the two symbolic compilation
+ * strategies. Not a paper figure — these document the raw capacity of
+ * the substrates the synthesis times build on.
+ *
+ * Timing uses benchutil::measureBest (fastest of adaptively many runs,
+ * the noise-robust statistic for shared hosts). Results print as a
+ * table and are written as machine-readable JSON to BENCH_solvers.json
+ * (schema: {"quick", "cases": [{"name", "arg", "best_s"}]}).
+ * --quick caps every case at one run for CI smoke.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "solver/formula.hpp"
 #include "solver/ilp.hpp"
 #include "solver/sat.hpp"
@@ -20,148 +30,187 @@ using namespace hecate::solver;
 
 /** Pigeonhole (n+1 pigeons, n holes): classic hard UNSAT family. */
 void
-BM_SatPigeonhole(benchmark::State& state)
+satPigeonhole(int holes)
 {
-    int holes = static_cast<int>(state.range(0));
     int pigeons = holes + 1;
-    for (auto _ : state) {
-        SatSolver solver(static_cast<uint32_t>(pigeons * holes));
-        auto var = [&](int p, int h) { return p * holes + h + 1; };
-        for (int p = 0; p < pigeons; ++p) {
-            std::vector<int32_t> clause;
-            for (int h = 0; h < holes; ++h)
-                clause.push_back(var(p, h));
-            solver.addClause(clause);
-        }
-        for (int h = 0; h < holes; ++h) {
-            for (int p1 = 0; p1 < pigeons; ++p1) {
-                for (int p2 = p1 + 1; p2 < pigeons; ++p2)
-                    solver.addClause({-var(p1, h), -var(p2, h)});
-            }
-        }
-        benchmark::DoNotOptimize(solver.solve());
+    SatSolver solver(static_cast<uint32_t>(pigeons * holes));
+    auto var = [&](int p, int h) { return p * holes + h + 1; };
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<int32_t> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(var(p, h));
+        solver.addClause(clause);
     }
+    for (int h = 0; h < holes; ++h) {
+        for (int p1 = 0; p1 < pigeons; ++p1) {
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                solver.addClause({-var(p1, h), -var(p2, h)});
+        }
+    }
+    benchutil::sink(solver.solve() == SatResult::Sat);
 }
-BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7);
 
 /** Random satisfiable 3-CNF near the easy side of the phase boundary. */
 void
-BM_SatRandom3Cnf(benchmark::State& state)
+satRandom3Cnf(int size)
 {
-    uint32_t vars = static_cast<uint32_t>(state.range(0));
+    uint32_t vars = static_cast<uint32_t>(size);
     uint32_t clauses = vars * 3;
-    for (auto _ : state) {
-        Rng rng(99);
-        SatSolver solver(vars);
-        for (uint32_t c = 0; c < clauses; ++c) {
-            std::vector<int32_t> clause;
-            for (int k = 0; k < 3; ++k) {
-                int v = 1 + static_cast<int>(rng.below(vars));
-                clause.push_back(rng.chance(0.5) ? v : -v);
-            }
-            solver.addClause(clause);
+    Rng rng(99);
+    SatSolver solver(vars);
+    for (uint32_t c = 0; c < clauses; ++c) {
+        std::vector<int32_t> clause;
+        for (int k = 0; k < 3; ++k) {
+            int v = 1 + static_cast<int>(rng.below(vars));
+            clause.push_back(rng.chance(0.5) ? v : -v);
         }
-        benchmark::DoNotOptimize(solver.solve());
+        solver.addClause(clause);
     }
+    benchutil::sink(solver.solve() == SatResult::Sat);
 }
-BENCHMARK(BM_SatRandom3Cnf)->Arg(100)->Arg(400)->Arg(1600);
 
 /** Tseitin transformation of a deep formula DAG. */
 void
-BM_FormulaTseitin(benchmark::State& state)
+formulaTseitin(int depth)
 {
-    size_t depth = static_cast<size_t>(state.range(0));
-    for (auto _ : state) {
-        FormulaBuilder fb;
-        std::vector<BoolId> layer;
-        for (int i = 0; i < 16; ++i)
-            layer.push_back(fb.mkVar(fb.newVar()));
-        for (size_t d = 0; d < depth; ++d) {
-            std::vector<BoolId> next;
-            for (size_t i = 0; i < layer.size(); ++i) {
-                next.push_back(fb.mkOr(
-                    fb.mkAnd(layer[i], layer[(i + 1) % layer.size()]),
-                    fb.mkNot(layer[(i + 2) % layer.size()])));
-            }
-            layer = std::move(next);
+    FormulaBuilder fb;
+    std::vector<BoolId> layer;
+    for (int i = 0; i < 16; ++i)
+        layer.push_back(fb.mkVar(fb.newVar()));
+    for (int d = 0; d < depth; ++d) {
+        std::vector<BoolId> next;
+        for (size_t i = 0; i < layer.size(); ++i) {
+            next.push_back(fb.mkOr(
+                fb.mkAnd(layer[i], layer[(i + 1) % layer.size()]),
+                fb.mkNot(layer[(i + 2) % layer.size()])));
         }
-        benchmark::DoNotOptimize(fb.toCnf(fb.mkAndN(layer)));
+        layer = std::move(next);
     }
+    benchutil::sink(fb.toCnf(fb.mkAndN(layer)).clauses.size());
 }
-BENCHMARK(BM_FormulaTseitin)->Arg(8)->Arg(32)->Arg(128);
 
 /** Scheduling-shaped ILP: exactly-one rows plus precedence rows — the
  *  structure the domain-specific encoding emits. */
 void
-BM_IlpScheduling(benchmark::State& state)
+ilpScheduling(int size)
 {
-    uint32_t jobs = static_cast<uint32_t>(state.range(0));
+    uint32_t jobs = static_cast<uint32_t>(size);
     uint32_t slots = jobs;
-    for (auto _ : state) {
-        IlpSolver ilp;
-        // x[j][s]
-        std::vector<std::vector<uint32_t>> x(jobs);
-        for (uint32_t j = 0; j < jobs; ++j) {
-            for (uint32_t s = 0; s < slots; ++s)
-                x[j].push_back(ilp.addVar());
-        }
-        for (uint32_t j = 0; j < jobs; ++j) {
-            std::vector<LinTerm> terms;
-            for (uint32_t s = 0; s < slots; ++s)
-                terms.push_back({1, x[j][s]});
-            ilp.addEq(std::move(terms), 1); // each job in one slot
-        }
-        for (uint32_t s = 0; s < slots; ++s) {
-            std::vector<LinTerm> terms;
-            for (uint32_t j = 0; j < jobs; ++j)
-                terms.push_back({1, x[j][s]});
-            ilp.addLe(std::move(terms), 1); // at most one job per slot
-        }
-        // Chain precedences: job j before job j+1.
-        for (uint32_t j = 0; j + 1 < jobs; ++j) {
-            for (uint32_t s = 0; s < slots; ++s) {
-                // x[j+1][s] <= sum_{t<s} x[j][t]
-                std::vector<LinTerm> terms;
-                terms.push_back({-1, x[j + 1][s]});
-                for (uint32_t t = 0; t < s; ++t)
-                    terms.push_back({1, x[j][t]});
-                ilp.addGe(std::move(terms), 0);
-            }
-        }
-        benchmark::DoNotOptimize(ilp.solve());
+    IlpSolver ilp;
+    // x[j][s]
+    std::vector<std::vector<uint32_t>> x(jobs);
+    for (uint32_t j = 0; j < jobs; ++j) {
+        for (uint32_t s = 0; s < slots; ++s)
+            x[j].push_back(ilp.addVar());
     }
+    for (uint32_t j = 0; j < jobs; ++j) {
+        std::vector<LinTerm> terms;
+        for (uint32_t s = 0; s < slots; ++s)
+            terms.push_back({1, x[j][s]});
+        ilp.addEq(std::move(terms), 1); // each job in one slot
+    }
+    for (uint32_t s = 0; s < slots; ++s) {
+        std::vector<LinTerm> terms;
+        for (uint32_t j = 0; j < jobs; ++j)
+            terms.push_back({1, x[j][s]});
+        ilp.addLe(std::move(terms), 1); // at most one job per slot
+    }
+    // Chain precedences: job j before job j+1.
+    for (uint32_t j = 0; j + 1 < jobs; ++j) {
+        for (uint32_t s = 0; s < slots; ++s) {
+            // x[j+1][s] <= sum_{t<s} x[j][t]
+            std::vector<LinTerm> terms;
+            terms.push_back({-1, x[j + 1][s]});
+            for (uint32_t t = 0; t < s; ++t)
+                terms.push_back({1, x[j][t]});
+            ilp.addGe(std::move(terms), 0);
+        }
+    }
+    benchutil::sink(ilp.solve() == IlpResult::Feasible);
 }
-BENCHMARK(BM_IlpScheduling)->Arg(8)->Arg(16)->Arg(32);
 
 /** Set-cover optimization exercising the objective machinery. */
 void
-BM_IlpSetCover(benchmark::State& state)
+ilpSetCover(int size)
 {
-    uint32_t elements = static_cast<uint32_t>(state.range(0));
+    uint32_t elements = static_cast<uint32_t>(size);
     uint32_t sets = elements;
-    for (auto _ : state) {
-        Rng rng(5);
-        IlpSolver ilp;
-        std::vector<uint32_t> x;
-        for (uint32_t s = 0; s < sets; ++s)
-            x.push_back(ilp.addVar());
-        for (uint32_t e = 0; e < elements; ++e) {
-            std::vector<LinTerm> terms;
-            for (uint32_t s = 0; s < sets; ++s) {
-                if (rng.chance(0.3) || s == e)
-                    terms.push_back({1, x[s]});
-            }
-            ilp.addGe(std::move(terms), 1);
+    Rng rng(5);
+    IlpSolver ilp;
+    std::vector<uint32_t> x;
+    for (uint32_t s = 0; s < sets; ++s)
+        x.push_back(ilp.addVar());
+    for (uint32_t e = 0; e < elements; ++e) {
+        std::vector<LinTerm> terms;
+        for (uint32_t s = 0; s < sets; ++s) {
+            if (rng.chance(0.3) || s == e)
+                terms.push_back({1, x[s]});
         }
-        std::vector<LinTerm> objective;
-        for (uint32_t s = 0; s < sets; ++s)
-            objective.push_back({1, x[s]});
-        ilp.setObjective(std::move(objective));
-        benchmark::DoNotOptimize(ilp.solve(200'000));
+        ilp.addGe(std::move(terms), 1);
     }
+    std::vector<LinTerm> objective;
+    for (uint32_t s = 0; s < sets; ++s)
+        objective.push_back({1, x[s]});
+    ilp.setObjective(std::move(objective));
+    benchutil::sink(ilp.solve(200'000) == IlpResult::Feasible);
 }
-BENCHMARK(BM_IlpSetCover)->Arg(12)->Arg(20);
+
+struct Case {
+    const char* name;
+    void (*fn)(int);
+    int arg;
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+    const double min_seconds = quick ? 0.0 : 0.2;
+    const int max_iters = quick ? 1 : 50;
+
+    const std::vector<Case> cases = {
+        {"sat_pigeonhole", satPigeonhole, 5},
+        {"sat_pigeonhole", satPigeonhole, 6},
+        {"sat_pigeonhole", satPigeonhole, 7},
+        {"sat_random_3cnf", satRandom3Cnf, 100},
+        {"sat_random_3cnf", satRandom3Cnf, 400},
+        {"sat_random_3cnf", satRandom3Cnf, 1600},
+        {"formula_tseitin", formulaTseitin, 8},
+        {"formula_tseitin", formulaTseitin, 32},
+        {"formula_tseitin", formulaTseitin, 128},
+        {"ilp_scheduling", ilpScheduling, 8},
+        {"ilp_scheduling", ilpScheduling, 16},
+        {"ilp_scheduling", ilpScheduling, 32},
+        {"ilp_set_cover", ilpSetCover, 12},
+        {"ilp_set_cover", ilpSetCover, 20},
+    };
+
+    std::printf("== Solver substrate microbenchmarks (best of runs) ==\n");
+    benchutil::row({"case", "arg", "best(s)"}, 18);
+    std::string json_cases;
+    for (const Case& c : cases) {
+        double best = benchutil::measureBest([&] { c.fn(c.arg); },
+                                             min_seconds, max_iters);
+        benchutil::row({c.name, std::to_string(c.arg),
+                        benchutil::secs(best)},
+                       18);
+        char entry[160];
+        std::snprintf(entry, sizeof(entry),
+                      "%s    {\"name\": \"%s\", \"arg\": %d, "
+                      "\"best_s\": %.6f}",
+                      json_cases.empty() ? "" : ",\n", c.name, c.arg, best);
+        json_cases += entry;
+    }
+
+    std::ofstream json("BENCH_solvers.json");
+    json << "{\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"cases\": [\n" << json_cases << "\n  ]\n}\n";
+    std::printf("\nwrote BENCH_solvers.json\n");
+    return 0;
+}

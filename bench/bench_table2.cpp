@@ -16,6 +16,8 @@
 #include "baselines/grafter.hpp"
 #include "bench_util.hpp"
 #include "grammars/grammars.hpp"
+#include "lang/printer.hpp"
+#include "pipeline/pipeline.hpp"
 #include "synth/autotuner.hpp"
 
 namespace {
@@ -54,28 +56,26 @@ runBenchmark(const grammars::Benchmark& bench)
     }
 
     // Hecate and HecateG share the same sandwich skeleton (the paper's
-    // user-provided symbolic traversal).
-    sched::Skeleton skeleton = sched::Skeleton::resolve(
-        grammar, synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
+    // user-provided symbolic traversal), each run as a pipeline.
+    std::string skeleton_src = lang::printTraversal(
+        synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
 
     {
-        synth::SynthesisConfig config;
-        config.verify = verify;
-        Timer t;
-        synth::SynthesisResult r = synth::synthesize(skeleton, root, {},
-                                                     config);
-        result.hecate = t.seconds();
-        result.hecateOk = r.schedule.has_value();
+        pipeline::PipelineOptions options;
+        options.config.verify = verify;
+        pipeline::Pipeline pipe(bench, skeleton_src, std::move(options));
+        const pipeline::SynthArtifact& r = pipe.synthesize();
+        result.hecate = r.seconds;
+        result.hecateOk = r.ok;
     }
     {
-        synth::SynthesisConfig config;
-        config.verify = verify;
-        config.engine = synth::Engine::GeneralPurposeSat;
-        Timer t;
-        synth::SynthesisResult r = synth::synthesize(skeleton, root, {},
-                                                     config);
-        result.hecateG = t.seconds();
-        result.hecateGOk = r.schedule.has_value();
+        pipeline::PipelineOptions options;
+        options.config.verify = verify;
+        options.config.engine = synth::Engine::GeneralPurposeSat;
+        pipeline::Pipeline pipe(bench, skeleton_src, std::move(options));
+        const pipeline::SynthArtifact& r = pipe.synthesize();
+        result.hecateG = r.seconds;
+        result.hecateGOk = r.ok;
     }
     return result;
 }

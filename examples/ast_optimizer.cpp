@@ -9,6 +9,7 @@
 
 #include "baselines/grafter.hpp"
 #include "grammars/grammars.hpp"
+#include "obs/telemetry.hpp"
 #include "support/timer.hpp"
 #include "synth/autotuner.hpp"
 
@@ -34,17 +35,18 @@ main()
     synth::SynthesisConfig config;
     config.verify.maxDepth = 3;
     config.verify.limit = 64;
+    obs::Telemetry telemetry;
     Timer hecate_timer;
-    synth::SynthesisResult result = synth::synthesize(skeleton, root, {},
-                                                      config);
+    synth::SynthesisResult result =
+        synth::synthesize(skeleton, root, {}, config, telemetry);
     if (!result.schedule.has_value()) {
         std::printf("synthesis failed: %s\n", result.failure.c_str());
         return 1;
     }
     std::printf("Hecate synthesized a fused traversal in %.3f s "
-                "(%u CEGIS rounds, %zu sigma variables)\n",
+                "(%u CEGIS rounds, %.0f sigma variables)\n",
                 hecate_timer.seconds(), result.cegisIterations,
-                result.ilpStats.sigmaVars);
+                telemetry.counter("ilp.sigma_vars"));
 
     // Grafter: deterministic greedy fusion of the six passes.
     baselines::GrafterResult grafter =

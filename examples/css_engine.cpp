@@ -10,6 +10,7 @@
 #include "baselines/ftl.hpp"
 #include "grammars/grammars.hpp"
 #include "lang/printer.hpp"
+#include "obs/telemetry.hpp"
 #include "support/timer.hpp"
 #include "synth/autotuner.hpp"
 
@@ -34,18 +35,19 @@ main()
         synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich));
     synth::SynthesisConfig config;
     config.verify = verify;
+    obs::Telemetry telemetry;
     Timer hecate_timer;
-    synth::SynthesisResult hecate = synth::synthesize(skeleton, root, {},
-                                                      config);
+    synth::SynthesisResult hecate =
+        synth::synthesize(skeleton, root, {}, config, telemetry);
     double hecate_seconds = hecate_timer.seconds();
     if (!hecate.schedule.has_value()) {
         std::printf("Hecate failed: %s\n", hecate.failure.c_str());
         return 1;
     }
-    std::printf("Hecate (domain-specific ILP): %.3f s, %zu constraints, "
-                "%zu terms\n",
-                hecate_seconds, hecate.ilpStats.constraints,
-                hecate.ilpStats.constraintTerms);
+    std::printf("Hecate (domain-specific ILP): %.3f s, %.0f constraints, "
+                "%.0f terms\n",
+                hecate_seconds, telemetry.counter("ilp.constraints"),
+                telemetry.counter("ilp.constraint_terms"));
 
     baselines::FtlResult ftl = baselines::ftlSynthesize(grammar, root,
                                                         verify);

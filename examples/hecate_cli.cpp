@@ -1,22 +1,34 @@
 /**
  * @file
- * `hecate` command-line driver.
+ * `hecate` command-line driver. All three modes run through the
+ * pipeline::Pipeline compiler driver and share its engine parsing,
+ * builtin-grammar resolution, cache handling and telemetry.
  *
- * Single-shot mode: synthesize a traversal schedule for an L_a
- * grammar file and print or emit the result.
+ * Synth mode (the default; `synth` may be spelled explicitly):
+ * synthesize a traversal schedule for an L_a grammar and print or emit
+ * the result.
  *
- *   hecate_cli GRAMMAR.hec [TRAVERSAL.hec] [--root IFACE]
+ *   hecate_cli [synth] GRAMMAR [TRAVERSAL.hec] [--root IFACE]
  *              [--engine ilp|sat] [--emit-cpp] [--depth K]
  *              [--threads N] [--scratch]
+ *              [--trace-out FILE] [--stats-json FILE]
  *
- * With no traversal file, the HecateA auto-tuner searches for a
- * skeleton. The synthesized concrete traversal is printed to stdout;
- * --emit-cpp additionally prints the generated C++. A per-phase
- * breakdown (encode/solve/verify seconds, plan-cache hits) goes to
- * stderr. --threads sets the verification worker count (default:
- * $HECATE_VERIFY_THREADS or hardware concurrency); --scratch disables
- * the incremental ILP session and verifier-state reuse, i.e. runs the
- * from-scratch reference pipeline.
+ * GRAMMAR is a path to an L_a file or "builtin:NAME" for a bundled
+ * benchmark (binarytree, fmm, piecewise, ast, rendertree, cssfloat,
+ * cssmargin, cssfull). With no traversal file, the HecateA auto-tuner
+ * searches for a skeleton. The synthesized concrete traversal is
+ * printed to stdout; --emit-cpp additionally prints the generated C++.
+ * A per-phase breakdown (encode/solve/verify seconds, plan-cache hits)
+ * goes to stderr. --threads sets the verification worker count
+ * (default: $HECATE_VERIFY_THREADS or hardware concurrency);
+ * --scratch disables the incremental ILP session and verifier-state
+ * reuse, i.e. runs the from-scratch reference pipeline.
+ *
+ * --trace-out writes a Chrome trace-event JSON of the whole run (open
+ * in chrome://tracing or Perfetto): one span per pipeline stage, one
+ * per CEGIS round with the encode/solve spans of each solver call and
+ * the verify pass nested inside. --stats-json writes the flat counter
+ * and per-stage timing summary. Both flags work in every mode.
  *
  * Batch mode: drive many requests through the synthesis service
  * (schedule cache + single-flight dedup + thread pool) and report
@@ -26,14 +38,13 @@
  *   hecate_cli batch REQUESTS.txt [--engine ilp|sat] [--depth K]
  *              [--workers N] [--repeat K] [--cache-dir DIR]
  *              [--threads N] [--scratch]
+ *              [--trace-out FILE] [--stats-json FILE]
  *
  * Each non-comment line of REQUESTS.txt is one request:
  *
  *   <grammar> [<traversal>] [root=IFACE]
  *
- * where <grammar> is a path to an L_a file or "builtin:NAME" for one
- * of the bundled benchmarks (binarytree, fmm, piecewise, ast,
- * rendertree, cssfloat, cssmargin, cssfull). Without a traversal the
+ * where <grammar> is a path or "builtin:NAME". Without a traversal the
  * auto-tuner picks the skeleton. --repeat duplicates the request list
  * K times (cache/dedup exercise); --cache-dir loads a persisted
  * schedule cache before the run and saves it after.
@@ -45,89 +56,150 @@
  *              [--engine ilp|sat] [--depth K] [--cache-dir DIR]
  *              [--tree-size N] [--tree-depth D] [--seed S]
  *              [--grain G] [--exec-threads N] [--seq] [--check]
+ *              [--trace-out FILE] [--stats-json FILE]
  *
- * GRAMMAR is a path or "builtin:NAME" as in batch mode. --tree-size
- * picks the generated instance's node budget, --tree-depth caps its
- * depth (0 = unbounded), --grain sets the parallel chunk size, and
- * --exec-threads sizes the execution pool (0 = hardware concurrency;
- * --seq forces the sequential executor). --check re-evaluates every
- * output attribute with exec::computeReference and fails on any
- * mismatch.
+ * --tree-size picks the generated instance's node budget, --tree-depth
+ * caps its depth (0 = unbounded), --grain sets the parallel chunk
+ * size, and --exec-threads sizes the execution pool (0 = hardware
+ * concurrency; --seq forces the sequential executor). --check
+ * re-evaluates every output attribute with exec::computeReference and
+ * fails on any mismatch.
+ *
+ * Exit codes: 0 success, 1 user error (bad input, failed synthesis or
+ * check), 2 usage, 3 internal invariant violation, 4 unexpected error.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
-#include <memory>
-
 #include "codegen/cpp_emitter.hpp"
 #include "exec/interp.hpp"
-#include "grammars/grammars.hpp"
-#include "lang/parser.hpp"
-#include "lang/printer.hpp"
-#include "runtime/executor.hpp"
+#include "pipeline/pipeline.hpp"
 #include "service/synth_service.hpp"
 #include "support/timer.hpp"
-#include "synth/autotuner.hpp"
 
 using namespace hecate;
 
 namespace {
-
-std::string
-readFile(const std::string& path)
-{
-    std::ifstream in(path);
-    if (!in)
-        userError("cannot open '" + path + "'");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-}
 
 int
 usage()
 {
     std::fprintf(
         stderr,
-        "usage: hecate_cli GRAMMAR.hec [TRAVERSAL.hec]\n"
+        "usage: hecate_cli [synth] GRAMMAR [TRAVERSAL.hec]\n"
         "       [--root IFACE] [--engine ilp|sat] [--emit-cpp]\n"
         "       [--depth K] [--threads N] [--scratch]\n"
+        "       [--trace-out FILE] [--stats-json FILE]\n"
         "   or: hecate_cli batch REQUESTS.txt [--engine ilp|sat]\n"
         "       [--depth K] [--workers N] [--repeat K]\n"
         "       [--cache-dir DIR] [--threads N] [--scratch]\n"
+        "       [--trace-out FILE] [--stats-json FILE]\n"
         "   or: hecate_cli run GRAMMAR [TRAVERSAL.hec] [--root IFACE]\n"
         "       [--engine ilp|sat] [--depth K] [--cache-dir DIR]\n"
         "       [--tree-size N] [--tree-depth D] [--seed S]\n"
-        "       [--grain G] [--exec-threads N] [--seq] [--check]\n");
+        "       [--grain G] [--exec-threads N] [--seq] [--check]\n"
+        "       [--trace-out FILE] [--stats-json FILE]\n");
     return 2;
 }
 
-/** Resolve "builtin:NAME" to a bundled benchmark, or nullptr. */
-const grammars::Benchmark*
-builtinBenchmark(const std::string& name)
+/** Options every mode shares (one parser instead of three). */
+struct CommonOptions {
+    std::string engine = "ilp";
+    std::string rootName;
+    uint32_t depth = 3;
+    uint32_t verifyThreads = 0;
+    bool scratch = false;
+    std::string traceOut;
+    std::string statsJson;
+};
+
+/**
+ * Try to consume one shared option at argv[i] (advancing i over its
+ * value). Returns false when the argument is not a shared option.
+ */
+bool
+parseCommonOption(CommonOptions& options, int argc, char** argv, int& i)
 {
-    if (name == "binarytree")
-        return &grammars::binaryTree();
-    if (name == "fmm")
-        return &grammars::fmm();
-    if (name == "piecewise")
-        return &grammars::piecewise();
-    if (name == "ast")
-        return &grammars::astBench();
-    if (name == "rendertree")
-        return &grammars::renderTree();
-    if (name == "cssfloat")
-        return &grammars::cssFloat();
-    if (name == "cssmargin")
-        return &grammars::cssMargin();
-    if (name == "cssfull")
-        return &grammars::cssFull();
-    return nullptr;
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+        if (i + 1 >= argc)
+            userError("missing value for " + arg);
+        return argv[++i];
+    };
+    if (arg == "--engine") {
+        options.engine = value();
+    } else if (arg == "--root") {
+        options.rootName = value();
+    } else if (arg == "--depth") {
+        options.depth = static_cast<uint32_t>(std::atoi(value()));
+    } else if (arg == "--threads") {
+        options.verifyThreads = static_cast<uint32_t>(std::atoi(value()));
+    } else if (arg == "--scratch") {
+        options.scratch = true;
+    } else if (arg == "--trace-out") {
+        options.traceOut = value();
+    } else if (arg == "--stats-json") {
+        options.statsJson = value();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Build the SynthesisConfig the shared options describe. */
+synth::SynthesisConfig
+makeSynthConfig(const CommonOptions& options)
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = options.depth;
+    config.engine = pipeline::parseEngineName(options.engine);
+    config.verifyThreads = options.verifyThreads;
+    if (options.scratch) {
+        config.incrementalEncoding = false;
+        config.reuseVerifierState = false;
+    }
+    return config;
+}
+
+/** Write --trace-out / --stats-json outputs when requested. */
+void
+exportTelemetry(const obs::Telemetry& telemetry,
+                const CommonOptions& options)
+{
+    if (!options.traceOut.empty()) {
+        std::ofstream out(options.traceOut);
+        if (!out)
+            userError("cannot write '" + options.traceOut + "'");
+        telemetry.writeChromeTrace(out);
+    }
+    if (!options.statsJson.empty()) {
+        std::ofstream out(options.statsJson);
+        if (!out)
+            userError("cannot write '" + options.statsJson + "'");
+        telemetry.writeStatsJson(out);
+    }
+}
+
+/** stderr phase breakdown from the run's telemetry. */
+void
+reportPhases(const obs::Telemetry& telemetry, uint32_t verifyThreads)
+{
+    std::fprintf(stderr,
+                 "phases: encode %.2fms | solve %.2fms | "
+                 "verify %.2fms (%u thread%s)\n",
+                 telemetry.spanSeconds("encode") * 1e3,
+                 telemetry.spanSeconds("solve") * 1e3,
+                 telemetry.spanSeconds("verify") * 1e3, verifyThreads,
+                 verifyThreads == 1 ? "" : "s");
+    std::fprintf(stderr, "plan cache: %.0f hits / %.0f misses\n",
+                 telemetry.counter("plan_cache.hits"),
+                 telemetry.counter("plan_cache.misses"));
 }
 
 /** Parse one REQUESTS.txt line into a service request. */
@@ -145,19 +217,14 @@ parseRequestLine(const std::string& line,
         if (token.rfind("root=", 0) == 0) {
             request.rootInterface = token.substr(5);
         } else if (bare == 0) {
-            if (token.rfind("builtin:", 0) == 0) {
-                const grammars::Benchmark* bench =
-                    builtinBenchmark(token.substr(8));
-                if (bench == nullptr)
-                    userError("unknown builtin grammar '" + token + "'");
-                request.grammarSrc = bench->source;
-                request.rootInterface = bench->rootInterface;
-            } else {
-                request.grammarSrc = readFile(token);
-            }
+            pipeline::GrammarSource source =
+                pipeline::resolveGrammarArg(token);
+            request.grammarSrc = std::move(source.source);
+            if (!source.rootInterface.empty())
+                request.rootInterface = source.rootInterface;
             ++bare;
         } else if (bare == 1) {
-            request.traversalSrc = readFile(token);
+            request.traversalSrc = pipeline::readTextFile(token);
             ++bare;
         } else {
             userError("too many fields in request line: " + line);
@@ -180,29 +247,21 @@ percentile(std::vector<double> sorted, double p)
 int
 runBatch(int argc, char** argv)
 {
-    std::string requests_path, cache_dir, engine = "ilp";
-    uint32_t depth = 3;
+    CommonOptions common;
+    std::string requests_path, cache_dir;
     size_t workers = 0;
     uint32_t repeat = 1;
-    uint32_t verify_threads = 0;
-    bool scratch = false;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--engine" && i + 1 < argc) {
-            engine = argv[++i];
-        } else if (arg == "--depth" && i + 1 < argc) {
-            depth = static_cast<uint32_t>(std::atoi(argv[++i]));
+        if (parseCommonOption(common, argc, argv, i)) {
+            continue;
         } else if (arg == "--workers" && i + 1 < argc) {
             workers = static_cast<size_t>(std::atoi(argv[++i]));
         } else if (arg == "--repeat" && i + 1 < argc) {
             repeat = static_cast<uint32_t>(std::atoi(argv[++i]));
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             cache_dir = argv[++i];
-        } else if (arg == "--threads" && i + 1 < argc) {
-            verify_threads = static_cast<uint32_t>(std::atoi(argv[++i]));
-        } else if (arg == "--scratch") {
-            scratch = true;
         } else if (arg.rfind("--", 0) == 0) {
             return usage();
         } else if (requests_path.empty()) {
@@ -214,16 +273,8 @@ runBatch(int argc, char** argv)
     if (requests_path.empty() || repeat == 0)
         return usage();
 
-    synth::SynthesisConfig synth_config;
-    synth_config.verify.maxDepth = depth;
-    synth_config.engine = engine == "sat"
-                              ? synth::Engine::GeneralPurposeSat
-                              : synth::Engine::DomainSpecificIlp;
-    synth_config.verifyThreads = verify_threads;
-    if (scratch) {
-        synth_config.incrementalEncoding = false;
-        synth_config.reuseVerifierState = false;
-    }
+    synth::SynthesisConfig synth_config = makeSynthConfig(common);
+    obs::Telemetry telemetry;
 
     // Parse the request list (before starting the clock).
     std::vector<service::SynthRequest> requests;
@@ -237,6 +288,7 @@ runBatch(int argc, char** argv)
             if (first == std::string::npos || line[first] == '#')
                 continue;
             requests.push_back(parseRequestLine(line, synth_config));
+            requests.back().telemetry = &telemetry;
         }
     }
     if (requests.empty())
@@ -279,16 +331,9 @@ runBatch(int argc, char** argv)
                 "iters", "status");
     std::vector<double> latencies_ms;
     size_t failures = 0;
-    double encode_s = 0.0, solve_s = 0.0, verify_s = 0.0;
-    size_t plan_hits = 0, plan_misses = 0;
     for (size_t i = 0; i < outcomes.size(); ++i) {
         const service::SynthOutcome& outcome = outcomes[i];
         latencies_ms.push_back(outcome.seconds * 1e3);
-        encode_s += outcome.encodeSeconds;
-        solve_s += outcome.solveSeconds;
-        verify_s += outcome.verifySeconds;
-        plan_hits += outcome.planCacheHits;
-        plan_misses += outcome.planCacheMisses;
         if (!outcome.ok)
             ++failures;
         std::printf("%5zu  %-6s  %10.2f  %6u  %s\n", i,
@@ -297,7 +342,7 @@ runBatch(int argc, char** argv)
                     outcome.ok ? "ok" : outcome.failure.c_str());
     }
 
-    // Aggregate report.
+    // Aggregate report: request telemetry was absorbed into one sink.
     service::ServiceStats stats = svc.stats();
     std::sort(latencies_ms.begin(), latencies_ms.end());
     const double n = static_cast<double>(outcomes.size());
@@ -320,12 +365,15 @@ runBatch(int argc, char** argv)
                 latencies_ms.empty() ? 0.0 : latencies_ms.back());
     std::printf("  leader phases: encode %.2fms | solve %.2fms | "
                 "verify %.2fms\n",
-                encode_s * 1e3, solve_s * 1e3, verify_s * 1e3);
-    std::printf("  plan cache: %zu hits / %zu misses (%.1f%% hit rate)\n",
+                telemetry.spanSeconds("encode") * 1e3,
+                telemetry.spanSeconds("solve") * 1e3,
+                telemetry.spanSeconds("verify") * 1e3);
+    double plan_hits = telemetry.counter("plan_cache.hits");
+    double plan_misses = telemetry.counter("plan_cache.misses");
+    std::printf("  plan cache: %.0f hits / %.0f misses (%.1f%% hit rate)\n",
                 plan_hits, plan_misses,
                 plan_hits + plan_misses > 0
-                    ? 100.0 * static_cast<double>(plan_hits) /
-                          static_cast<double>(plan_hits + plan_misses)
+                    ? 100.0 * plan_hits / (plan_hits + plan_misses)
                     : 0.0);
 
     if (!cache_dir.empty()) {
@@ -333,118 +381,81 @@ runBatch(int argc, char** argv)
         std::fprintf(stderr, "cache: saved %zu entr%s to %s\n", written,
                      written == 1 ? "y" : "ies", cache_dir.c_str());
     }
+    exportTelemetry(telemetry, common);
     return failures == 0 ? 0 : 1;
 }
 
 int
-runSingle(int argc, char** argv)
+runSingle(int first, int argc, char** argv)
 {
-    std::string grammar_path, traversal_path, root_name, engine = "ilp";
+    CommonOptions common;
+    std::string grammar_arg, traversal_path;
     bool emit_cpp = false;
-    uint32_t depth = 3;
-    uint32_t verify_threads = 0;
-    bool scratch = false;
 
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--root" && i + 1 < argc) {
-            root_name = argv[++i];
-        } else if (arg == "--engine" && i + 1 < argc) {
-            engine = argv[++i];
-        } else if (arg == "--depth" && i + 1 < argc) {
-            depth = static_cast<uint32_t>(std::atoi(argv[++i]));
-        } else if (arg == "--threads" && i + 1 < argc) {
-            verify_threads = static_cast<uint32_t>(std::atoi(argv[++i]));
-        } else if (arg == "--scratch") {
-            scratch = true;
+        if (parseCommonOption(common, argc, argv, i)) {
+            continue;
         } else if (arg == "--emit-cpp") {
             emit_cpp = true;
         } else if (arg.rfind("--", 0) == 0) {
             return usage();
-        } else if (grammar_path.empty()) {
-            grammar_path = arg;
+        } else if (grammar_arg.empty()) {
+            grammar_arg = arg;
         } else if (traversal_path.empty()) {
             traversal_path = arg;
         } else {
             return usage();
         }
     }
-    if (grammar_path.empty())
+    if (grammar_arg.empty())
         return usage();
 
-    sem::Grammar grammar =
-        sem::Grammar::analyze(lang::parseGrammar(readFile(grammar_path)));
-    sem::InterfaceId root = root_name.empty()
-                                ? grammar.cls(0).iface
-                                : grammar.findInterface(root_name);
-    if (root == sem::kInvalidId)
-        userError("unknown root interface '" + root_name + "'");
+    obs::Telemetry telemetry;
+    pipeline::GrammarSource source =
+        pipeline::resolveGrammarArg(grammar_arg);
 
-    synth::SynthesisConfig config;
-    config.verify.maxDepth = depth;
-    config.engine = engine == "sat" ? synth::Engine::GeneralPurposeSat
-                                    : synth::Engine::DomainSpecificIlp;
-    config.verifyThreads = verify_threads;
-    if (scratch) {
-        config.incrementalEncoding = false;
-        config.reuseVerifierState = false;
-    }
+    pipeline::PipelineOptions options;
+    options.config = makeSynthConfig(common);
+    options.rootInterface = common.rootName.empty() ? source.rootInterface
+                                                    : common.rootName;
+    options.telemetry = &telemetry;
+    std::string traversal_src =
+        traversal_path.empty() ? std::string()
+                               : pipeline::readTextFile(traversal_path);
+    pipeline::Pipeline pipe(std::move(source.source),
+                            std::move(traversal_src), std::move(options));
 
-    auto report_phases = [](const synth::SynthesisResult& result) {
-        std::fprintf(stderr,
-                     "phases: encode %.2fms | solve %.2fms | "
-                     "verify %.2fms (%u thread%s)\n",
-                     (result.generalStats.encodeSeconds +
-                      result.ilpStats.encodeSeconds) * 1e3,
-                     (result.generalStats.solveSeconds +
-                      result.ilpStats.solveSeconds) * 1e3,
-                     result.verifySeconds * 1e3, result.verifyThreadsUsed,
-                     result.verifyThreadsUsed == 1 ? "" : "s");
-        std::fprintf(stderr, "plan cache: %zu hits / %zu misses\n",
-                     result.planCacheHits, result.planCacheMisses);
-    };
-
-    std::optional<sched::Skeleton> skeleton;
-    std::optional<sched::Schedule> schedule;
-    if (traversal_path.empty()) {
-        synth::AutotuneResult tuned = synth::autotune(grammar, root, config);
-        if (!tuned.schedule.has_value())
-            userError("auto-tuning failed: " + tuned.lastSynthesis.failure);
+    const pipeline::SynthArtifact& artifact = pipe.synthesize();
+    if (!artifact.ok)
+        userError(artifact.failure);
+    if (artifact.autoTuned) {
         std::fprintf(stderr, "auto-tuner: %s skeleton (%u tried)\n",
-                     synth::skeletonStyleName(tuned.style),
-                     tuned.skeletonsTried);
-        report_phases(tuned.lastSynthesis);
-        skeleton = std::move(tuned.skeleton);
-        schedule = std::move(tuned.schedule);
+                     synth::skeletonStyleName(artifact.style),
+                     artifact.skeletonsTried);
     } else {
-        skeleton.emplace(sched::Skeleton::resolve(
-            grammar, lang::parseTraversal(readFile(traversal_path))));
-        synth::SynthesisResult result =
-            synth::synthesize(*skeleton, root, {}, config);
-        if (!result.schedule.has_value())
-            userError("synthesis failed: " + result.failure);
         std::fprintf(stderr,
                      "synthesized in %u CEGIS round(s), "
                      "%zu trees verified\n",
-                     result.cegisIterations, result.verifiedTrees);
-        report_phases(result);
-        schedule = std::move(result.schedule);
+                     artifact.cegisIterations, artifact.verifiedTrees);
     }
+    reportPhases(telemetry, artifact.verifyThreadsUsed);
 
-    std::printf("%s",
-                lang::printTraversal(schedule->toConcreteTraversal(*skeleton))
-                    .c_str());
-    if (emit_cpp)
-        std::printf("\n%s", codegen::emitCpp(*skeleton, *schedule).c_str());
+    std::printf("%s", artifact.concreteTraversal.c_str());
+    if (emit_cpp) {
+        std::printf("\n%s", codegen::emitCpp(pipe.skeleton(),
+                                             *artifact.schedule)
+                                .c_str());
+    }
+    exportTelemetry(telemetry, common);
     return 0;
 }
 
 int
 runRun(int argc, char** argv)
 {
-    std::string grammar_arg, traversal_path, root_name, cache_dir,
-        engine = "ilp";
-    uint32_t depth = 3;
+    CommonOptions common;
+    std::string grammar_arg, traversal_path, cache_dir;
     long long tree_size = 1000000;
     long long tree_depth = 0;
     long long grain = 1024;
@@ -455,12 +466,8 @@ runRun(int argc, char** argv)
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--root" && i + 1 < argc) {
-            root_name = argv[++i];
-        } else if (arg == "--engine" && i + 1 < argc) {
-            engine = argv[++i];
-        } else if (arg == "--depth" && i + 1 < argc) {
-            depth = static_cast<uint32_t>(std::atoi(argv[++i]));
+        if (parseCommonOption(common, argc, argv, i)) {
+            continue;
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             cache_dir = argv[++i];
         } else if (arg == "--tree-size" && i + 1 < argc) {
@@ -501,78 +508,56 @@ runRun(int argc, char** argv)
     if (seed < 0)
         userError("--seed must be non-negative");
 
-    // 1. Synthesize (or load) the schedule through the service layer.
-    service::SynthRequest request;
-    request.config.verify.maxDepth = depth;
-    request.config.engine = engine == "sat"
-                                ? synth::Engine::GeneralPurposeSat
-                                : synth::Engine::DomainSpecificIlp;
-    if (grammar_arg.rfind("builtin:", 0) == 0) {
-        const grammars::Benchmark* bench =
-            builtinBenchmark(grammar_arg.substr(8));
-        if (bench == nullptr)
-            userError("unknown builtin grammar '" + grammar_arg + "'");
-        request.grammarSrc = bench->source;
-        request.rootInterface = bench->rootInterface;
-    } else {
-        request.grammarSrc = readFile(grammar_arg);
-    }
-    if (!traversal_path.empty())
-        request.traversalSrc = readFile(traversal_path);
-    if (!root_name.empty())
-        request.rootInterface = root_name;
+    obs::Telemetry telemetry;
+    pipeline::GrammarSource source =
+        pipeline::resolveGrammarArg(grammar_arg);
 
-    service::ServiceConfig service_config;
-    service_config.workers = 1;
-    service::SynthService svc(service_config);
+    service::ScheduleCache cache;
     if (!cache_dir.empty())
-        svc.cache().load(cache_dir);
-    service::SynthOutcome outcome = svc.runNow(request);
+        cache.load(cache_dir);
+
+    pipeline::PipelineOptions options;
+    options.config = makeSynthConfig(common);
+    options.rootInterface = common.rootName.empty() ? source.rootInterface
+                                                    : common.rootName;
+    options.cache = &cache;
+    options.telemetry = &telemetry;
+    std::string traversal_src =
+        traversal_path.empty() ? std::string()
+                               : pipeline::readTextFile(traversal_path);
+    pipeline::Pipeline pipe(std::move(source.source),
+                            std::move(traversal_src), std::move(options));
+
+    // 1. Synthesize (or load) the schedule.
+    const pipeline::SynthArtifact& artifact = pipe.synthesize();
     if (!cache_dir.empty())
-        svc.cache().save(cache_dir);
-    if (!outcome.ok)
-        userError("synthesis failed: " + outcome.failure);
+        cache.save(cache_dir);
+    if (!artifact.ok)
+        userError(artifact.failure);
     std::fprintf(stderr, "schedule: %s in %.2fms\n",
-                 service::provenanceName(outcome.provenance),
-                 outcome.seconds * 1e3);
-    std::printf("%s", outcome.concreteTraversal.c_str());
+                 pipeline::provenanceName(artifact.provenance),
+                 artifact.seconds * 1e3);
+    std::printf("%s", artifact.concreteTraversal.c_str());
 
-    // 2. Compile the concrete (hole-free) traversal to bytecode.
-    sem::Grammar grammar =
-        sem::Grammar::analyze(lang::parseGrammar(request.grammarSrc));
-    sem::InterfaceId root =
-        request.rootInterface.empty()
-            ? grammar.cls(0).iface
-            : grammar.findInterface(request.rootInterface);
-    if (root == sem::kInvalidId)
-        userError("unknown root interface '" + request.rootInterface + "'");
-    sched::Skeleton concrete = sched::Skeleton::resolve(
-        grammar, lang::parseTraversal(outcome.concreteTraversal));
-    runtime::Program program =
-        runtime::Program::compile(concrete, sched::Schedule{});
-
-    // 3. Generate the arena instance.
-    runtime::GenConfig gen;
-    gen.targetNodes = static_cast<uint32_t>(tree_size);
-    gen.maxDepth = static_cast<uint32_t>(tree_depth);
-    gen.seed = static_cast<uint64_t>(seed);
-    Timer gen_timer;
-    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, root, gen);
-    std::fprintf(stderr, "arena: %u nodes, depth %u, built in %.2fms\n",
-                 arena.size(), arena.depth(), gen_timer.seconds() * 1e3);
-
-    // 4. Execute.
-    runtime::ExecOptions options;
-    options.grain = static_cast<uint32_t>(grain);
+    // 2. + 3. + 4. Compile to bytecode, generate the arena, execute.
+    pipeline::ExecuteRequest request;
+    request.gen.targetNodes = static_cast<uint32_t>(tree_size);
+    request.gen.maxDepth = static_cast<uint32_t>(tree_depth);
+    request.gen.seed = static_cast<uint64_t>(seed);
+    request.exec.grain = static_cast<uint32_t>(grain);
     std::unique_ptr<ThreadPool> pool;
     if (!sequential) {
         pool = std::make_unique<ThreadPool>(
             static_cast<size_t>(exec_threads));
-        options.pool = pool.get();
+        request.exec.pool = pool.get();
     }
-    Timer exec_timer;
-    runtime::RuntimeStats stats = runtime::execute(program, arena, options);
-    double secs = exec_timer.seconds();
+    pipeline::ExecuteArtifact run = pipe.execute(request);
+    const runtime::TreeArena& arena = run.arena;
+    const runtime::RuntimeStats& stats = run.stats;
+    std::fprintf(stderr, "arena: %u nodes, depth %u, built in %.2fms\n",
+                 arena.size(), arena.depth(),
+                 run.generateSeconds * 1e3);
+    double secs = run.executeSeconds;
     std::fprintf(stderr,
                  "run: %s, %zu worker(s), grain %lld\n",
                  sequential ? "sequential" : "parallel",
@@ -592,7 +577,9 @@ runRun(int argc, char** argv)
                  static_cast<unsigned long long>(stats.helpJoinRuns));
 
     // 5. Optional differential check against the reference evaluator.
+    int exit_code = 0;
     if (check) {
+        const sem::Grammar& grammar = pipe.grammar();
         tree::Tree reference = arena.toTree();
         exec::computeReference(reference);
         uint64_t mismatches = 0;
@@ -611,11 +598,14 @@ runRun(int argc, char** argv)
             std::fprintf(stderr,
                          "check: FAILED, %llu mismatching cells\n",
                          static_cast<unsigned long long>(mismatches));
-            return 1;
+            exit_code = 1;
+        } else {
+            std::fprintf(stderr,
+                         "check: ok (all cells match the reference)\n");
         }
-        std::fprintf(stderr, "check: ok (all cells match the reference)\n");
     }
-    return 0;
+    exportTelemetry(telemetry, common);
+    return exit_code;
 }
 
 } // namespace
@@ -628,9 +618,18 @@ main(int argc, char** argv)
             return runBatch(argc, argv);
         if (argc >= 2 && std::strcmp(argv[1], "run") == 0)
             return runRun(argc, argv);
-        return runSingle(argc, argv);
+        if (argc >= 2 && std::strcmp(argv[1], "synth") == 0)
+            return runSingle(2, argc, argv);
+        return runSingle(1, argc, argv);
     } catch (const UserError& error) {
         std::fprintf(stderr, "hecate: %s\n", error.what());
         return 1;
+    } catch (const InternalError& error) {
+        std::fprintf(stderr, "hecate: %s\n", error.what());
+        return 3;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "hecate: unexpected error: %s\n",
+                     error.what());
+        return 4;
     }
 }

@@ -1,0 +1,345 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hecate::obs {
+
+namespace {
+
+/** Stable small id for the calling thread (1-based, process-wide). */
+uint32_t
+threadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+/** Unique span id (process-wide; 0 is reserved for "no parent"). */
+uint64_t
+nextSpanId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
+ * The innermost open span of the calling thread. Tagged with its sink
+ * so spans of interleaved sinks on one thread never adopt each other.
+ */
+struct ActiveFrame {
+    const Telemetry* telemetry = nullptr;
+    uint64_t span = 0;
+};
+
+thread_local ActiveFrame tlActive;
+
+/** Minimal JSON string escaping (our names are plain ASCII anyway). */
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a counter value: integral counters print without decimals. */
+std::string
+jsonNumber(double value)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 1e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+        return buffer;
+    }
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+}
+
+} // namespace
+
+Span::Span(Span&& other) noexcept
+    : telemetry_(other.telemetry_), name_(std::move(other.name_)),
+      category_(other.category_), id_(other.id_), parent_(other.parent_),
+      index_(other.index_), start_(other.start_),
+      prevTelemetry_(other.prevTelemetry_), prevSpan_(other.prevSpan_)
+{
+    other.telemetry_ = nullptr;
+}
+
+void
+Span::end()
+{
+    if (telemetry_ == nullptr)
+        return;
+    Telemetry* telemetry = telemetry_;
+    telemetry_ = nullptr;
+
+    auto now = std::chrono::steady_clock::now();
+    tlActive = {prevTelemetry_, prevSpan_};
+
+    SpanRecord record;
+    record.name = std::move(name_);
+    record.category = category_;
+    record.tid = threadId();
+    record.id = id_;
+    record.parent = parent_;
+    record.index = index_;
+    record.startUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            start_ - telemetry->epoch_)
+            .count());
+    record.durUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
+            .count());
+    telemetry->record(std::move(record));
+}
+
+Telemetry::Telemetry() : enabled_(true) {}
+
+Telemetry&
+Telemetry::nil()
+{
+    static Telemetry sink(false);
+    return sink;
+}
+
+Span
+Telemetry::span(std::string_view name, const char* category, int64_t index)
+{
+    Span span;
+    if (!enabled_)
+        return span;
+    span.telemetry_ = this;
+    span.name_ = std::string(name);
+    span.category_ = category;
+    span.id_ = nextSpanId();
+    span.index_ = index;
+    if (tlActive.telemetry == this)
+        span.parent_ = tlActive.span;
+    span.prevTelemetry_ = tlActive.telemetry;
+    span.prevSpan_ = tlActive.span;
+    tlActive = {this, span.id_};
+    span.start_ = std::chrono::steady_clock::now();
+    return span;
+}
+
+void
+Telemetry::record(SpanRecord record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(record));
+}
+
+void
+Telemetry::add(std::string_view name, double delta)
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[std::string(name)] += delta;
+}
+
+void
+Telemetry::set(std::string_view name, double value)
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[std::string(name)] = value;
+}
+
+double
+Telemetry::counter(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double>
+Telemetry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::vector<SpanRecord>
+Telemetry::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+double
+Telemetry::spanSeconds(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const SpanRecord& span : spans_) {
+        if (span.name == name)
+            total += span.durUs;
+    }
+    return static_cast<double>(total) * 1e-6;
+}
+
+size_t
+Telemetry::spanCount(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t count = 0;
+    for (const SpanRecord& span : spans_) {
+        if (span.name == name)
+            ++count;
+    }
+    return count;
+}
+
+void
+Telemetry::absorb(const Telemetry& other)
+{
+    if (!enabled_ || &other == this)
+        return;
+    std::map<std::string, double> counters = other.counters();
+    std::vector<SpanRecord> spans = other.spans();
+    // Both epochs are steady_clock points, so rebasing is exact. The
+    // absorbed sink was constructed after this one in every use we
+    // have, but clamp anyway so a negative offset cannot wrap.
+    int64_t offset = std::chrono::duration_cast<std::chrono::microseconds>(
+                         other.epoch_ - epoch_)
+                         .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : counters)
+        counters_[name] += value;
+    for (SpanRecord& span : spans) {
+        int64_t start = static_cast<int64_t>(span.startUs) + offset;
+        span.startUs = start > 0 ? static_cast<uint64_t>(start) : 0;
+        spans_.push_back(std::move(span));
+    }
+}
+
+void
+Telemetry::writeChromeTrace(std::ostream& out) const
+{
+    std::vector<SpanRecord> spans = this->spans();
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  return a.startUs < b.startUs;
+              });
+    out << "{\"traceEvents\": [";
+    bool first = true;
+    for (const SpanRecord& span : spans) {
+        if (!first)
+            out << ",";
+        first = false;
+        char buffer[160];
+        std::snprintf(buffer, sizeof(buffer),
+                      "\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                      "\"ts\": %" PRIu64 ", \"dur\": %" PRIu64 ", ",
+                      span.tid, span.startUs, span.durUs);
+        out << buffer << "\"name\": \"" << jsonEscape(span.name)
+            << "\", \"cat\": \"" << jsonEscape(span.category) << "\"";
+        out << ", \"args\": {\"id\": " << span.id
+            << ", \"parent\": " << span.parent;
+        if (span.index >= 0)
+            out << ", \"index\": " << span.index;
+        out << "}}";
+    }
+    out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void
+Telemetry::writeStatsJson(std::ostream& out) const
+{
+    std::map<std::string, double> counters = this->counters();
+    std::vector<SpanRecord> spans = this->spans();
+
+    struct Aggregate {
+        uint64_t totalUs = 0;
+        size_t count = 0;
+    };
+    std::map<std::string, Aggregate> stages, byName;
+    for (const SpanRecord& span : spans) {
+        Aggregate& aggregate = byName[span.name];
+        aggregate.totalUs += span.durUs;
+        ++aggregate.count;
+        if (span.category == "stage") {
+            Aggregate& stage = stages[span.name];
+            stage.totalUs += span.durUs;
+            ++stage.count;
+        }
+    }
+
+    auto writeAggregates =
+        [&out](const std::map<std::string, Aggregate>& aggregates) {
+            bool first = true;
+            for (const auto& [name, aggregate] : aggregates) {
+                if (!first)
+                    out << ",";
+                first = false;
+                char buffer[64];
+                std::snprintf(buffer, sizeof(buffer),
+                              "{\"seconds\": %.6f, \"count\": %zu}",
+                              static_cast<double>(aggregate.totalUs) * 1e-6,
+                              aggregate.count);
+                out << "\n    \"" << jsonEscape(name) << "\": " << buffer;
+            }
+        };
+
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n    \"" << jsonEscape(name)
+            << "\": " << jsonNumber(value);
+    }
+    out << "\n  },\n  \"stages\": {";
+    writeAggregates(stages);
+    out << "\n  },\n  \"spans\": {";
+    writeAggregates(byName);
+    out << "\n  }\n}\n";
+}
+
+std::string
+Telemetry::chromeTraceJson() const
+{
+    std::ostringstream out;
+    writeChromeTrace(out);
+    return out.str();
+}
+
+std::string
+Telemetry::statsJson() const
+{
+    std::ostringstream out;
+    writeStatsJson(out);
+    return out.str();
+}
+
+} // namespace hecate::obs

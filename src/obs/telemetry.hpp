@@ -1,0 +1,164 @@
+#pragma once
+
+/**
+ * @file
+ * Structured telemetry for the synthesis pipeline: RAII scoped spans
+ * (nested per stage / CEGIS round / solver call, across threads) and a
+ * thread-safe counter registry, with exporters for Chrome trace-event
+ * JSON (chrome://tracing, Perfetto) and a flat stats JSON.
+ *
+ * A Telemetry object is a sink. Pipeline stages, the CEGIS loop, the
+ * encoders, and the executor all take a `Telemetry&`; code that wants
+ * no telemetry passes Telemetry::nil(), a process-wide disabled sink
+ * whose spans and counters are no-ops. This replaces the nullable
+ * `GeneralStats*` / `IlpStats*` out-params that used to thread through
+ * symbolic/ and the flat timing fields bolted onto SynthesisResult.
+ *
+ * Span nesting works across threads: every thread keeps its own
+ * current-span frame, so spans opened on a pool worker (parallel
+ * verification, the fork-join executor) parent correctly within the
+ * worker and carry a stable per-thread id for the trace viewer.
+ *
+ * absorb() merges one sink into another — counters add, spans rebase
+ * onto the destination's epoch (both clocks are steady_clock, so the
+ * rebase is exact). The service uses this to fold each request's
+ * private sink into the caller-wide one.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hecate::obs {
+
+/** One completed span, times in microseconds since the sink's epoch. */
+struct SpanRecord {
+    std::string name;
+    std::string category; ///< "stage", "phase", "solver", ...
+    uint32_t tid = 0;     ///< stable small per-thread id
+    uint64_t id = 0;      ///< unique within the process
+    uint64_t parent = 0;  ///< enclosing span on the same thread; 0 = root
+    int64_t index = -1;   ///< optional ordinal (CEGIS round, ...); -1 = none
+    uint64_t startUs = 0;
+    uint64_t durUs = 0;
+};
+
+class Telemetry;
+
+/**
+ * RAII handle for an open span. Records on destruction (or an explicit
+ * end()). Move-only; spans on one thread must close LIFO, which scoping
+ * guarantees.
+ */
+class Span {
+  public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    /** Close the span early; idempotent. */
+    void end();
+
+  private:
+    friend class Telemetry;
+    Span() = default;
+
+    Telemetry* telemetry_ = nullptr; ///< nullptr = inert (disabled sink)
+    std::string name_;
+    const char* category_ = "";
+    uint64_t id_ = 0;
+    uint64_t parent_ = 0;
+    int64_t index_ = -1;
+    std::chrono::steady_clock::time_point start_;
+    const Telemetry* prevTelemetry_ = nullptr; ///< restored frame
+    uint64_t prevSpan_ = 0;
+};
+
+/** Thread-safe span buffer + counter registry with JSON exporters. */
+class Telemetry {
+  public:
+    Telemetry();
+
+    Telemetry(const Telemetry&) = delete;
+    Telemetry& operator=(const Telemetry&) = delete;
+
+    /** The process-wide disabled sink: every operation is a no-op. */
+    static Telemetry& nil();
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Open a span. @p category groups spans for the exporters ("stage"
+     * spans feed the per-stage wall-time table). @p index is an
+     * optional ordinal shown in the trace args (e.g. the CEGIS round).
+     */
+    Span span(std::string_view name, const char* category = "phase",
+              int64_t index = -1);
+
+    /** Add @p delta to counter @p name (creates it at zero). */
+    void add(std::string_view name, double delta = 1.0);
+
+    /** Set counter @p name to @p value (last write wins). */
+    void set(std::string_view name, double value);
+
+    /** Current value of a counter (0 when absent). */
+    double counter(std::string_view name) const;
+
+    /** Snapshot of every counter, sorted by name. */
+    std::map<std::string, double> counters() const;
+
+    /** Snapshot of every completed span, in completion order. */
+    std::vector<SpanRecord> spans() const;
+
+    /** Total seconds across completed spans named @p name. */
+    double spanSeconds(std::string_view name) const;
+
+    /** Completed spans named @p name. */
+    size_t spanCount(std::string_view name) const;
+
+    /**
+     * Merge @p other into this sink: counters add; spans append with
+     * their timestamps rebased onto this sink's epoch. @p other is
+     * left untouched.
+     */
+    void absorb(const Telemetry& other);
+
+    /**
+     * Chrome trace-event JSON: {"traceEvents": [...]} of "X" complete
+     * events (ts/dur in microseconds), one tid per worker thread.
+     */
+    void writeChromeTrace(std::ostream& out) const;
+
+    /**
+     * Flat stats JSON: {"counters": {...}, "stages": {...},
+     * "spans": {...}} — counters verbatim, per-stage wall seconds
+     * (category "stage"), and per-name span aggregates.
+     */
+    void writeStatsJson(std::ostream& out) const;
+
+    std::string chromeTraceJson() const;
+    std::string statsJson() const;
+
+  private:
+    friend class Span;
+    explicit Telemetry(bool enabled) : enabled_(enabled) {}
+
+    void record(SpanRecord record);
+
+    const bool enabled_ = true;
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> spans_;
+    std::map<std::string, double> counters_;
+};
+
+} // namespace hecate::obs

@@ -1,0 +1,419 @@
+#include "pipeline/pipeline.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "support/timer.hpp"
+
+namespace hecate::pipeline {
+
+namespace {
+
+/// Payload markers: what kind of skeleton the cached schedule is for.
+constexpr const char* kGivenMarker = "given";
+constexpr const char* kAutoMarker = "auto";
+
+std::string
+makePayload(bool autoMode, synth::SkeletonStyle style,
+            const sched::Skeleton& skeleton, const sched::Schedule& schedule)
+{
+    std::string payload;
+    if (autoMode) {
+        payload = std::string(kAutoMarker) + " " +
+                  std::to_string(static_cast<int>(style)) + "\n";
+    } else {
+        payload = std::string(kGivenMarker) + "\n";
+    }
+    payload += service::encodePortableSchedule(skeleton, schedule);
+    return payload;
+}
+
+} // namespace
+
+const char*
+provenanceName(Provenance provenance)
+{
+    switch (provenance) {
+      case Provenance::CacheHit:
+        return "cache";
+      case Provenance::JoinedInFlight:
+        return "joined";
+      case Provenance::FreshRun:
+        return "fresh";
+    }
+    return "?";
+}
+
+synth::Engine
+parseEngineName(const std::string& name)
+{
+    if (name == "ilp")
+        return synth::Engine::DomainSpecificIlp;
+    if (name == "sat")
+        return synth::Engine::GeneralPurposeSat;
+    userError("unknown engine '" + name + "' (expected 'ilp' or 'sat')");
+}
+
+const grammars::Benchmark*
+findBuiltin(const std::string& name)
+{
+    if (name == "binarytree")
+        return &grammars::binaryTree();
+    if (name == "fmm")
+        return &grammars::fmm();
+    if (name == "piecewise")
+        return &grammars::piecewise();
+    if (name == "ast")
+        return &grammars::astBench();
+    if (name == "rendertree")
+        return &grammars::renderTree();
+    if (name == "cssfloat")
+        return &grammars::cssFloat();
+    if (name == "cssmargin")
+        return &grammars::cssMargin();
+    if (name == "cssfull")
+        return &grammars::cssFull();
+    return nullptr;
+}
+
+std::string
+readTextFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        userError("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+GrammarSource
+resolveGrammarArg(const std::string& arg)
+{
+    GrammarSource source;
+    if (arg.rfind("builtin:", 0) == 0) {
+        const grammars::Benchmark* bench = findBuiltin(arg.substr(8));
+        if (bench == nullptr)
+            userError("unknown builtin grammar '" + arg + "'");
+        source.source = bench->source;
+        source.rootInterface = bench->rootInterface;
+    } else {
+        source.source = readTextFile(arg);
+    }
+    return source;
+}
+
+Pipeline::Pipeline(std::string grammarSrc, std::string traversalSrc,
+                   PipelineOptions options)
+    : grammarSrc_(std::move(grammarSrc)),
+      traversalSrc_(std::move(traversalSrc)), options_(std::move(options))
+{
+}
+
+Pipeline::Pipeline(const grammars::Benchmark& benchmark,
+                   std::string traversalSrc, PipelineOptions options)
+    : grammarSrc_(benchmark.source), traversalSrc_(std::move(traversalSrc)),
+      options_(std::move(options))
+{
+    if (options_.rootInterface.empty())
+        options_.rootInterface = benchmark.rootInterface;
+}
+
+const ParseArtifact&
+Pipeline::parse()
+{
+    if (parsed_.has_value())
+        return *parsed_;
+    obs::Span stage = telemetry().span("parse", "stage");
+    ParseArtifact artifact;
+    artifact.grammarAst = lang::parseGrammar(grammarSrc_);
+    if (!traversalSrc_.empty())
+        artifact.traversalAst = lang::parseTraversal(traversalSrc_);
+    parsed_.emplace(std::move(artifact));
+    return *parsed_;
+}
+
+const AnalyzeArtifact&
+Pipeline::analyze()
+{
+    if (analyzed_.has_value())
+        return *analyzed_;
+    parse();
+    ParseArtifact& parsed = *parsed_;
+    obs::Span stage = telemetry().span("analyze", "stage");
+
+    // The grammar is heap-pinned: Skeleton and Program keep pointers
+    // into it, so it must not move for the Pipeline's lifetime. It
+    // takes ownership of the parse artifact's rule expressions, so the
+    // grammar AST is consumed here.
+    grammar_ = std::make_unique<sem::Grammar>(
+        sem::Grammar::analyze(std::move(parsed.grammarAst)));
+
+    AnalyzeArtifact artifact;
+    artifact.root = options_.rootInterface.empty()
+                        ? grammar_->cls(0).iface
+                        : grammar_->findInterface(options_.rootInterface);
+    if (artifact.root == sem::kInvalidId) {
+        userError("unknown root interface '" + options_.rootInterface + "'");
+    }
+
+    artifact.autoMode = !parsed.traversalAst.has_value();
+    if (artifact.autoMode) {
+        artifact.key = service::makeAutoProblemKey(*grammar_, artifact.root,
+                                                   options_.config);
+    } else {
+        skeleton_.emplace(sched::Skeleton::resolve(
+            *grammar_, parsed.traversalAst->clone()));
+        artifact.key = service::makeProblemKey(*skeleton_, artifact.root,
+                                               options_.config);
+    }
+    analyzed_.emplace(std::move(artifact));
+    return *analyzed_;
+}
+
+bool
+Pipeline::materialize(const std::string& payload, SynthArtifact& artifact)
+{
+    size_t newline = payload.find('\n');
+    if (newline == std::string::npos)
+        return false;
+    std::string header = payload.substr(0, newline);
+    std::string blob = payload.substr(newline + 1);
+
+    if (header.rfind(kAutoMarker, 0) == 0 &&
+        header.size() > std::string(kAutoMarker).size()) {
+        int style = std::atoi(header.c_str() + 5);
+        if (style < 0 ||
+            style > static_cast<int>(synth::SkeletonStyle::DoublePost)) {
+            return false;
+        }
+        artifact.autoTuned = true;
+        artifact.style = static_cast<synth::SkeletonStyle>(style);
+        skeleton_.emplace(sched::Skeleton::resolve(
+            *grammar_, synth::makeSkeleton(*grammar_, artifact.style)));
+    } else if (header != kGivenMarker || !skeleton_.has_value()) {
+        return false;
+    }
+
+    std::optional<sched::Schedule> schedule =
+        service::decodePortableSchedule(*skeleton_, blob);
+    if (!schedule.has_value())
+        return false;
+    artifact.concreteTraversal =
+        lang::printTraversal(schedule->toConcreteTraversal(*skeleton_));
+    artifact.schedule = std::move(schedule);
+    artifact.payload = payload;
+    artifact.ok = true;
+    return true;
+}
+
+const SynthArtifact*
+Pipeline::synthesizeFromCache()
+{
+    if (synth_.has_value())
+        return synth_->ok ? &*synth_ : nullptr;
+    const AnalyzeArtifact& analyzed = analyze();
+    if (options_.cache == nullptr)
+        return nullptr;
+    obs::Span stage = telemetry().span("synthesize", "stage");
+    Timer timer;
+    cacheChecked_ = true;
+    std::optional<std::string> blob = options_.cache->get(analyzed.key);
+    if (!blob.has_value())
+        return nullptr;
+    SynthArtifact artifact;
+    if (!materialize(*blob, artifact)) {
+        // Undecodable entry (version skew): treat as a miss.
+        return nullptr;
+    }
+    artifact.provenance = Provenance::CacheHit;
+    artifact.seconds = timer.seconds();
+    synth_.emplace(std::move(artifact));
+    return &*synth_;
+}
+
+SynthArtifact
+Pipeline::runSynthesis()
+{
+    const AnalyzeArtifact& analyzed = analyze();
+    SynthArtifact artifact;
+    artifact.provenance = Provenance::FreshRun;
+    if (analyzed.autoMode) {
+        synth::AutotuneResult tuned = synth::autotune(
+            *grammar_, analyzed.root, options_.config, telemetry());
+        artifact.cegisIterations = tuned.lastSynthesis.cegisIterations;
+        artifact.verifiedTrees = tuned.lastSynthesis.verifiedTrees;
+        artifact.verifyThreadsUsed = tuned.lastSynthesis.verifyThreadsUsed;
+        artifact.autoTuned = true;
+        artifact.skeletonsTried = tuned.skeletonsTried;
+        if (!tuned.schedule.has_value()) {
+            artifact.failure =
+                "auto-tuning failed: " + tuned.lastSynthesis.failure;
+            return artifact;
+        }
+        artifact.style = tuned.style;
+        skeleton_ = std::move(tuned.skeleton);
+        artifact.payload = makePayload(true, tuned.style, *skeleton_,
+                                       *tuned.schedule);
+        artifact.schedule = std::move(tuned.schedule);
+    } else {
+        synth::SynthesisResult result = synth::synthesize(
+            *skeleton_, analyzed.root, {}, options_.config, telemetry());
+        artifact.cegisIterations = result.cegisIterations;
+        artifact.verifiedTrees = result.verifiedTrees;
+        artifact.verifyThreadsUsed = result.verifyThreadsUsed;
+        if (!result.schedule.has_value()) {
+            artifact.failure = "synthesis failed: " + result.failure;
+            return artifact;
+        }
+        artifact.payload =
+            makePayload(false, synth::SkeletonStyle::PostOrder, *skeleton_,
+                        *result.schedule);
+        artifact.schedule = std::move(result.schedule);
+    }
+    artifact.concreteTraversal = lang::printTraversal(
+        artifact.schedule->toConcreteTraversal(*skeleton_));
+    artifact.ok = true;
+    return artifact;
+}
+
+const SynthArtifact&
+Pipeline::synthesize()
+{
+    if (synth_.has_value())
+        return *synth_;
+    const AnalyzeArtifact& analyzed = analyze();
+    if (options_.cache != nullptr && !cacheChecked_) {
+        if (const SynthArtifact* cached = synthesizeFromCache())
+            return *cached;
+    }
+    obs::Span stage = telemetry().span("synthesize", "stage");
+    Timer timer;
+    SynthArtifact artifact = runSynthesis();
+    if (artifact.ok && options_.cache != nullptr)
+        options_.cache->put(analyzed.key, artifact.payload);
+    artifact.seconds = timer.seconds();
+    synth_.emplace(std::move(artifact));
+    return *synth_;
+}
+
+const SynthArtifact&
+Pipeline::adoptPayload(const std::string& payload)
+{
+    analyze();
+    obs::Span stage = telemetry().span("synthesize", "stage");
+    Timer timer;
+    SynthArtifact artifact;
+    artifact.provenance = Provenance::JoinedInFlight;
+    if (!materialize(payload, artifact)) {
+        artifact.ok = false;
+        artifact.failure = "could not decode leader's schedule";
+    }
+    artifact.seconds = timer.seconds();
+    synth_.emplace(std::move(artifact));
+    return *synth_;
+}
+
+const PlanArtifact&
+Pipeline::plan()
+{
+    if (plan_.has_value())
+        return *plan_;
+    const SynthArtifact& synth = synthesize();
+    if (!synth.ok)
+        userError(synth.failure);
+    obs::Span stage = telemetry().span("plan", "stage");
+    // Round-trip through the printed concrete form: the hole-free
+    // traversal a user could save and re-run is exactly what executes.
+    ast::TraversalDecl concrete =
+        lang::parseTraversal(synth.concreteTraversal);
+    sched::Skeleton resolved =
+        sched::Skeleton::resolve(*grammar_, concrete.clone());
+    plan_.emplace(std::move(concrete), std::move(resolved));
+    return *plan_;
+}
+
+const runtime::Program&
+Pipeline::compileProgram()
+{
+    if (program_.has_value())
+        return *program_;
+    const PlanArtifact& planned = plan();
+    obs::Span stage = telemetry().span("compile", "stage");
+    program_.emplace(
+        runtime::Program::compile(planned.concrete, sched::Schedule{}));
+    return *program_;
+}
+
+ExecuteArtifact
+Pipeline::execute(const ExecuteRequest& request)
+{
+    const runtime::Program& program = compileProgram();
+    obs::Span stage = telemetry().span("execute", "stage");
+
+    Timer generate_timer;
+    obs::Span generate = telemetry().span("arena.generate");
+    runtime::TreeArena arena = runtime::TreeArena::generate(
+        *grammar_, rootInterface(), request.gen);
+    generate.end();
+    double generate_seconds = generate_timer.seconds();
+
+    Timer execute_timer;
+    obs::Span run = telemetry().span("arena.execute");
+    runtime::RuntimeStats stats =
+        runtime::execute(program, arena, request.exec);
+    run.end();
+
+    ExecuteArtifact artifact(std::move(arena), stats);
+    artifact.generateSeconds = generate_seconds;
+    artifact.executeSeconds = execute_timer.seconds();
+
+    obs::Telemetry& sink = telemetry();
+    sink.add("exec.node_visits", static_cast<double>(stats.nodeVisits));
+    sink.add("exec.rules_evaluated",
+             static_cast<double>(stats.rulesEvaluated));
+    sink.add("exec.parallel_regions",
+             static_cast<double>(stats.parallelRegions));
+    sink.add("exec.tasks_spawned", static_cast<double>(stats.tasksSpawned));
+    sink.add("exec.help_join_runs", static_cast<double>(stats.helpJoinRuns));
+    return artifact;
+}
+
+const sem::Grammar&
+Pipeline::grammar()
+{
+    analyze();
+    return *grammar_;
+}
+
+sem::InterfaceId
+Pipeline::rootInterface()
+{
+    return analyze().root;
+}
+
+const service::ProblemKey&
+Pipeline::problemKey()
+{
+    return analyze().key;
+}
+
+const sched::Skeleton&
+Pipeline::skeleton()
+{
+    analyze();
+    if (!skeleton_.has_value()) {
+        const SynthArtifact& synth = synthesize();
+        if (!synth.ok)
+            userError(synth.failure);
+        checkInvariant(skeleton_.has_value(),
+                       "Pipeline::skeleton: synthesis left no skeleton");
+    }
+    return *skeleton_;
+}
+
+} // namespace hecate::pipeline

@@ -1,0 +1,258 @@
+#pragma once
+
+/**
+ * @file
+ * The compiler driver: one object that owns the whole
+ * synth → plan → compile → execute wiring.
+ *
+ * Every entry point used to re-implement this chain by hand — the CLI
+ * three times over, the service, and each benchmark — with its own
+ * engine-string parsing, builtin-grammar resolution, cache handling
+ * and phase timing. A Pipeline replaces that with explicit,
+ * individually runnable stages, each returning a typed artifact the
+ * pipeline memoizes:
+ *
+ *   parse()          -> ParseArtifact    (L_a / L_t ASTs)
+ *   analyze()        -> AnalyzeArtifact  (sem::Grammar, root, ProblemKey)
+ *   synthesize()     -> SynthArtifact    (schedule + provenance)
+ *   plan()           -> PlanArtifact     (hole-free concrete skeleton)
+ *   compileProgram() -> runtime::Program (traversal bytecode)
+ *   execute()        -> ExecuteArtifact  (arena + runtime stats)
+ *
+ * Callers stop at any stage (the CLI's synth mode never plans;
+ * bench_table2 never executes) or resume from a cached one: when
+ * PipelineOptions::cache is set, synthesize() serves the schedule from
+ * the content-addressed ScheduleCache and later stages run from the
+ * decoded artifact exactly as from a fresh CEGIS run. The service's
+ * single-flight followers enter the same way through adoptPayload().
+ *
+ * Every stage runs under a telemetry span of category "stage"
+ * ("parse", "analyze", "synthesize", "plan", "compile", "execute"),
+ * with the CEGIS rounds, solver calls and executor counters nested
+ * inside — `hecate_cli synth --trace-out` renders the whole pipeline
+ * in chrome://tracing.
+ *
+ * Lifetime: the Pipeline heap-pins its sem::Grammar, and every
+ * artifact (Skeleton, Program, arena) points into it — artifacts must
+ * not outlive the Pipeline.
+ */
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "grammars/grammars.hpp"
+#include "lang/ast.hpp"
+#include "obs/telemetry.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/program.hpp"
+#include "sched/schedule.hpp"
+#include "service/problem_key.hpp"
+#include "service/schedule_cache.hpp"
+#include "synth/autotuner.hpp"
+#include "synth/cegis.hpp"
+
+namespace hecate::pipeline {
+
+/** How a synthesize() stage obtained its schedule. */
+enum class Provenance : uint8_t {
+    CacheHit,       ///< decoded from the schedule cache
+    JoinedInFlight, ///< adopted an identical in-flight run's payload
+    FreshRun,       ///< this pipeline ran CEGIS itself
+};
+
+/** Short name for reports ("cache" / "joined" / "fresh"). */
+const char* provenanceName(Provenance provenance);
+
+/** Parse an engine name ("ilp" | "sat"); throws UserError otherwise. */
+synth::Engine parseEngineName(const std::string& name);
+
+/** The bundled benchmark named by a "builtin:" suffix, or nullptr. */
+const grammars::Benchmark* findBuiltin(const std::string& name);
+
+/** Read a whole text file; throws UserError when it cannot be opened. */
+std::string readTextFile(const std::string& path);
+
+/** A grammar argument resolved to source text. */
+struct GrammarSource {
+    std::string source;        ///< L_a source text
+    std::string rootInterface; ///< builtin's root; empty for files
+};
+
+/**
+ * Resolve a CLI grammar argument: "builtin:NAME" names a bundled
+ * benchmark (binarytree, fmm, piecewise, ast, rendertree, cssfloat,
+ * cssmargin, cssfull), anything else is a path to an L_a file.
+ */
+GrammarSource resolveGrammarArg(const std::string& arg);
+
+/** Knobs of a pipeline run. */
+struct PipelineOptions {
+    synth::SynthesisConfig config;
+    /** Root interface name; empty = the interface of class 0. */
+    std::string rootInterface;
+    /** Stage-level schedule cache; null = always synthesize fresh. */
+    service::ScheduleCache* cache = nullptr;
+    /** Telemetry sink; null = disabled. */
+    obs::Telemetry* telemetry = nullptr;
+};
+
+/** Stage 1: parsed ASTs. */
+struct ParseArtifact {
+    /** Consumed (moved from) by analyze(): the grammar takes ownership
+     *  of the rule expressions. Inspect it between parse and analyze. */
+    ast::GrammarAst grammarAst;
+    /** Absent when no traversal was given (auto-tune mode). */
+    std::optional<ast::TraversalDecl> traversalAst;
+};
+
+/** Stage 2: analyzed grammar identity (grammar via Pipeline::grammar). */
+struct AnalyzeArtifact {
+    sem::InterfaceId root = sem::kInvalidId;
+    service::ProblemKey key;
+    bool autoMode = false; ///< no skeleton given: the auto-tuner picks
+};
+
+/** Stage 3: the synthesized schedule. */
+struct SynthArtifact {
+    bool ok = false;
+    Provenance provenance = Provenance::FreshRun;
+    std::optional<sched::Schedule> schedule;
+    std::string concreteTraversal; ///< printed Fig. 4(b) form
+    std::string payload;           ///< cacheable blob (marker + schedule)
+    uint32_t cegisIterations = 0;  ///< fresh runs only
+    size_t verifiedTrees = 0;
+    uint32_t verifyThreadsUsed = 0;
+    bool autoTuned = false;
+    synth::SkeletonStyle style = synth::SkeletonStyle::PostOrder;
+    uint32_t skeletonsTried = 0; ///< auto-tuned fresh runs only
+    double seconds = 0.0;        ///< this stage's wall time
+    std::string failure;         ///< set when !ok
+};
+
+/** Stage 4: the concrete traversal re-resolved hole-free. */
+struct PlanArtifact {
+    ast::TraversalDecl concreteAst;
+    sched::Skeleton concrete;
+
+    PlanArtifact(ast::TraversalDecl ast, sched::Skeleton skeleton)
+        : concreteAst(std::move(ast)), concrete(std::move(skeleton))
+    {
+    }
+};
+
+/** execute() inputs: instance shape + execution knobs. */
+struct ExecuteRequest {
+    runtime::GenConfig gen;
+    runtime::ExecOptions exec; ///< pool=null runs sequentially
+};
+
+/** Stage 6: the executed instance. */
+struct ExecuteArtifact {
+    runtime::TreeArena arena;
+    runtime::RuntimeStats stats;
+    double generateSeconds = 0.0;
+    double executeSeconds = 0.0;
+
+    ExecuteArtifact(runtime::TreeArena a, runtime::RuntimeStats s)
+        : arena(std::move(a)), stats(s)
+    {
+    }
+};
+
+/** The driver. Stages are lazy, memoized, and run in dependency order. */
+class Pipeline {
+  public:
+    Pipeline(std::string grammarSrc, std::string traversalSrc,
+             PipelineOptions options = {});
+
+    /**
+     * Convenience: run a bundled benchmark. The benchmark's root
+     * interface applies unless @p options names one explicitly.
+     */
+    Pipeline(const grammars::Benchmark& benchmark, std::string traversalSrc,
+             PipelineOptions options = {});
+
+    Pipeline(const Pipeline&) = delete;
+    Pipeline& operator=(const Pipeline&) = delete;
+
+    const ParseArtifact& parse();
+    const AnalyzeArtifact& analyze();
+
+    /**
+     * Produce the schedule: from the cache when possible, else by
+     * running CEGIS (or the auto-tuner in auto mode). Synthesis
+     * failure is reported in the artifact (ok=false), not thrown;
+     * malformed sources still throw UserError from parse/analyze.
+     */
+    const SynthArtifact& synthesize();
+
+    /**
+     * Cache-only probe: the memoized artifact when the schedule cache
+     * already holds this problem's entry, nullptr otherwise (without
+     * running CEGIS). Lets callers split the cache lookup from the
+     * fresh run — the service decides between leading and joining a
+     * flight in between.
+     */
+    const SynthArtifact* synthesizeFromCache();
+
+    /**
+     * Enter the synthesize stage from another run's payload (the
+     * single-flight follower path). Returns an artifact with
+     * provenance JoinedInFlight, or ok=false when the payload does
+     * not decode against this pipeline's grammar.
+     */
+    const SynthArtifact& adoptPayload(const std::string& payload);
+
+    /** Resolve the concrete traversal; throws when synthesis failed. */
+    const PlanArtifact& plan();
+
+    /** Lower the concrete traversal to bytecode. */
+    const runtime::Program& compileProgram();
+
+    /** Generate an arena instance and run the program over it. */
+    ExecuteArtifact execute(const ExecuteRequest& request);
+
+    /** The analyzed grammar (runs analyze). Pinned for this lifetime. */
+    const sem::Grammar& grammar();
+
+    /** Root interface id (runs analyze). */
+    sem::InterfaceId rootInterface();
+
+    /** This problem's content-addressed key (runs analyze). */
+    const service::ProblemKey& problemKey();
+
+    /**
+     * The symbolic skeleton the schedule applies to: the given one, or
+     * the auto-tuner's winner (requires a successful synthesize).
+     */
+    const sched::Skeleton& skeleton();
+
+  private:
+    obs::Telemetry& telemetry()
+    {
+        return options_.telemetry != nullptr ? *options_.telemetry
+                                             : obs::Telemetry::nil();
+    }
+
+    /** Decode a payload into @p artifact; false on version skew. */
+    bool materialize(const std::string& payload, SynthArtifact& artifact);
+
+    SynthArtifact runSynthesis();
+
+    std::string grammarSrc_;
+    std::string traversalSrc_;
+    PipelineOptions options_;
+
+    std::optional<ParseArtifact> parsed_;
+    std::unique_ptr<sem::Grammar> grammar_; ///< heap-pinned: artifacts point in
+    std::optional<AnalyzeArtifact> analyzed_;
+    std::optional<sched::Skeleton> skeleton_;
+    bool cacheChecked_ = false; ///< one ScheduleCache::get per run
+    std::optional<SynthArtifact> synth_;
+    std::optional<PlanArtifact> plan_;
+    std::optional<runtime::Program> program_;
+};
+
+} // namespace hecate::pipeline

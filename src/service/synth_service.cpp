@@ -1,52 +1,10 @@
 #include "service/synth_service.hpp"
 
-#include <cstdlib>
 #include <utility>
 
-#include "lang/parser.hpp"
-#include "lang/printer.hpp"
 #include "support/timer.hpp"
-#include "synth/autotuner.hpp"
 
 namespace hecate::service {
-
-namespace {
-
-/// Payload markers: what kind of skeleton the cached schedule is for.
-constexpr const char* kGivenMarker = "given";
-constexpr const char* kAutoMarker = "auto";
-
-std::string
-makePayload(bool autoMode, synth::SkeletonStyle style,
-            const sched::Skeleton& skeleton,
-            const sched::Schedule& schedule)
-{
-    std::string payload;
-    if (autoMode) {
-        payload = std::string(kAutoMarker) + " " +
-                  std::to_string(static_cast<int>(style)) + "\n";
-    } else {
-        payload = std::string(kGivenMarker) + "\n";
-    }
-    payload += encodePortableSchedule(skeleton, schedule);
-    return payload;
-}
-
-} // namespace
-
-const char*
-provenanceName(Provenance provenance)
-{
-    switch (provenance) {
-      case Provenance::CacheHit:
-        return "cache";
-      case Provenance::JoinedInFlight:
-        return "joined";
-      case Provenance::FreshRun:
-        return "fresh";
-    }
-    return "?";
-}
 
 SynthService::SynthService(ServiceConfig config)
     : config_(std::move(config)),
@@ -95,103 +53,28 @@ SynthService::stats() const
     return stats;
 }
 
-/**
- * Turn a cached/joined payload back into a schedule + printed
- * traversal for @p grammar. For "auto" payloads the winning skeleton
- * style is rebuilt; for "given" payloads the request's own resolved
- * skeleton is used. Returns false when the payload cannot be decoded
- * (version skew, slot mismatch) — callers fall back to a fresh run.
- */
-bool
-SynthService::materialize(const sem::Grammar& grammar,
-                          std::optional<sched::Skeleton>& skeleton,
-                          const std::string& payload, SynthOutcome& out)
+namespace {
+
+/** Copy a successful synth artifact's answer into the outcome. */
+void
+adoptArtifact(SynthOutcome& out, const pipeline::SynthArtifact& artifact)
 {
-    size_t newline = payload.find('\n');
-    if (newline == std::string::npos)
-        return false;
-    std::string header = payload.substr(0, newline);
-    std::string blob = payload.substr(newline + 1);
-
-    if (header.rfind(kAutoMarker, 0) == 0 &&
-        header.size() > std::string(kAutoMarker).size()) {
-        int style = std::atoi(header.c_str() + 5);
-        if (style < 0 ||
-            style > static_cast<int>(synth::SkeletonStyle::DoublePost)) {
-            return false;
-        }
-        skeleton.emplace(sched::Skeleton::resolve(
-            grammar,
-            synth::makeSkeleton(grammar,
-                                static_cast<synth::SkeletonStyle>(style))));
-    } else if (header != kGivenMarker || !skeleton.has_value()) {
-        return false;
-    }
-
-    std::optional<sched::Schedule> schedule =
-        decodePortableSchedule(*skeleton, blob);
-    if (!schedule.has_value())
-        return false;
-    out.concreteTraversal =
-        lang::printTraversal(schedule->toConcreteTraversal(*skeleton));
-    out.schedule = std::move(schedule);
-    out.ok = true;
-    return true;
+    out.ok = artifact.ok;
+    out.schedule = artifact.schedule;
+    out.concreteTraversal = artifact.concreteTraversal;
 }
 
-/** Leader path: run CEGIS (or the auto-tuner) and build the payload. */
-SynthService::FlightResult
-SynthService::runLeader(const SynthRequest& request,
-                        const sem::Grammar& grammar, sem::InterfaceId root,
-                        std::optional<sched::Skeleton>& skeleton,
-                        SynthOutcome& out)
+/** Summarize the request's telemetry into the outcome's stats map. */
+void
+snapshotStats(SynthOutcome& out, const obs::Telemetry& telemetry)
 {
-    FlightResult flight;
-    // Phase breakdown of the synthesis run this leader performed. The
-    // SAT engine reports encode/solve through generalStats, the ILP
-    // engine through ilpStats; only one is nonzero per run.
-    auto recordPhases = [&out](const synth::SynthesisResult& result) {
-        out.encodeSeconds = result.generalStats.encodeSeconds +
-                            result.ilpStats.encodeSeconds;
-        out.solveSeconds = result.generalStats.solveSeconds +
-                           result.ilpStats.solveSeconds;
-        out.verifySeconds = result.verifySeconds;
-        out.planCacheHits = result.planCacheHits;
-        out.planCacheMisses = result.planCacheMisses;
-    };
-    const bool autoMode = !skeleton.has_value();
-    if (autoMode) {
-        synth::AutotuneResult tuned =
-            synth::autotune(grammar, root, request.config);
-        flight.cegisIterations = tuned.lastSynthesis.cegisIterations;
-        recordPhases(tuned.lastSynthesis);
-        if (!tuned.schedule.has_value()) {
-            flight.failure = "auto-tuning failed: " +
-                             tuned.lastSynthesis.failure;
-            return flight;
-        }
-        skeleton = std::move(tuned.skeleton);
-        flight.payload = makePayload(true, tuned.style, *skeleton,
-                                     *tuned.schedule);
-        out.schedule = std::move(tuned.schedule);
-    } else {
-        synth::SynthesisResult result =
-            synth::synthesize(*skeleton, root, {}, request.config);
-        flight.cegisIterations = result.cegisIterations;
-        recordPhases(result);
-        if (!result.schedule.has_value()) {
-            flight.failure = "synthesis failed: " + result.failure;
-            return flight;
-        }
-        flight.payload = makePayload(false, synth::SkeletonStyle::PostOrder,
-                                     *skeleton, *result.schedule);
-        out.schedule = std::move(result.schedule);
-    }
-    out.concreteTraversal =
-        lang::printTraversal(out.schedule->toConcreteTraversal(*skeleton));
-    flight.ok = true;
-    return flight;
+    out.stats = telemetry.counters();
+    out.stats["encode.seconds"] = telemetry.spanSeconds("encode");
+    out.stats["solve.seconds"] = telemetry.spanSeconds("solve");
+    out.stats["verify.seconds"] = telemetry.spanSeconds("verify");
 }
+
+} // namespace
 
 SynthOutcome
 SynthService::process(const SynthRequest& request)
@@ -199,38 +82,38 @@ SynthService::process(const SynthRequest& request)
     SynthOutcome out;
     Timer timer;
     ++requests_;
-    try {
-        sem::Grammar grammar =
-            sem::Grammar::analyze(lang::parseGrammar(request.grammarSrc));
-        sem::InterfaceId root =
-            request.rootInterface.empty()
-                ? grammar.cls(0).iface
-                : grammar.findInterface(request.rootInterface);
-        if (root == sem::kInvalidId) {
-            userError("unknown root interface '" + request.rootInterface +
-                      "'");
-        }
 
-        std::optional<sched::Skeleton> skeleton;
-        ProblemKey key;
-        if (request.traversalSrc.empty()) {
-            key = makeAutoProblemKey(grammar, root, request.config);
-        } else {
-            skeleton.emplace(sched::Skeleton::resolve(
-                grammar, lang::parseTraversal(request.traversalSrc)));
-            key = makeProblemKey(*skeleton, root, request.config);
-        }
+    // Each request runs against its own sink: workers process requests
+    // concurrently, and per-request spans must not interleave before
+    // the final absorb into the caller's sink.
+    obs::Telemetry local;
+
+    auto finish = [&]() {
+        snapshotStats(out, local);
+        if (request.telemetry != nullptr)
+            request.telemetry->absorb(local);
+        out.seconds = timer.seconds();
+        return out;
+    };
+
+    try {
+        pipeline::PipelineOptions options;
+        options.config = request.config;
+        options.rootInterface = request.rootInterface;
+        options.cache = &cache_;
+        options.telemetry = &local;
+        pipeline::Pipeline pipe(request.grammarSrc, request.traversalSrc,
+                                std::move(options));
+        const ProblemKey& key = pipe.problemKey();
         out.keyDigest = key.digest();
 
         // 1. Schedule cache.
-        if (std::optional<std::string> blob = cache_.get(key)) {
-            if (materialize(grammar, skeleton, *blob, out)) {
-                out.provenance = Provenance::CacheHit;
-                ++cacheHits_;
-                out.seconds = timer.seconds();
-                return out;
-            }
-            // Undecodable entry (version skew): treat as a miss.
+        if (const pipeline::SynthArtifact* cached =
+                pipe.synthesizeFromCache()) {
+            out.provenance = Provenance::CacheHit;
+            ++cacheHits_;
+            adoptArtifact(out, *cached);
+            return finish();
         }
 
         // 2. Single flight: join an identical in-flight request...
@@ -253,31 +136,39 @@ SynthService::process(const SynthRequest& request)
             FlightResult result = flight->future.get();
             out.provenance = Provenance::JoinedInFlight;
             out.cegisIterations = result.cegisIterations;
-            if (result.ok &&
-                materialize(grammar, skeleton, result.payload, out)) {
-                out.seconds = timer.seconds();
-                return out;
+            if (result.ok) {
+                const pipeline::SynthArtifact& artifact =
+                    pipe.adoptPayload(result.payload);
+                if (artifact.ok) {
+                    adoptArtifact(out, artifact);
+                    return finish();
+                }
+                out.failure = artifact.failure;
+            } else {
+                out.failure = result.failure;
             }
             out.ok = false;
-            out.failure = result.ok ? "could not decode leader's schedule"
-                                    : result.failure;
             ++failures_;
-            out.seconds = timer.seconds();
-            return out;
+            return finish();
         }
 
-        // 3. ...or lead: run the synthesizer, publish to cache+followers.
+        // 3. ...or lead: run the synthesizer, publish to followers (the
+        // pipeline itself publishes to the cache on success).
         if (config_.onLeaderSynthesis)
             config_.onLeaderSynthesis();
         FlightResult result;
         try {
-            result = runLeader(request, grammar, root, skeleton, out);
+            const pipeline::SynthArtifact& artifact = pipe.synthesize();
+            result.ok = artifact.ok;
+            result.payload = artifact.payload;
+            result.cegisIterations = artifact.cegisIterations;
+            result.failure = artifact.failure;
+            if (artifact.ok)
+                adoptArtifact(out, artifact);
         } catch (const Error& error) {
             result.ok = false;
             result.failure = error.what();
         }
-        if (result.ok)
-            cache_.put(key, result.payload);
         {
             std::lock_guard<std::mutex> lock(flightsMutex_);
             flights_.erase(key.canonical);
@@ -297,8 +188,7 @@ SynthService::process(const SynthRequest& request)
         out.failure = error.what();
         ++failures_;
     }
-    out.seconds = timer.seconds();
-    return out;
+    return finish();
 }
 
 } // namespace hecate::service

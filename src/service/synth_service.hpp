@@ -27,24 +27,22 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
+#include "pipeline/pipeline.hpp"
 #include "service/schedule_cache.hpp"
 #include "support/thread_pool.hpp"
 
 namespace hecate::service {
 
-/** How a request's answer was obtained. */
-enum class Provenance : uint8_t {
-    CacheHit,       ///< decoded from the schedule cache
-    JoinedInFlight, ///< attached to an identical running request
-    FreshRun,       ///< this request ran CEGIS itself
-};
+/** How a request's answer was obtained (the pipeline's provenance). */
+using Provenance = pipeline::Provenance;
 
 /** Short name for reports ("cache" / "joined" / "fresh"). */
-const char* provenanceName(Provenance provenance);
+using pipeline::provenanceName;
 
 /** One synthesis request, self-contained (sources, not references). */
 struct SynthRequest {
@@ -52,6 +50,14 @@ struct SynthRequest {
     std::string traversalSrc;  ///< L_t source; empty = auto-tune
     std::string rootInterface; ///< empty = interface of class 0
     synth::SynthesisConfig config;
+    /**
+     * Optional sink the request's telemetry is absorbed into when the
+     * request resolves: the pipeline's stage spans, the leader's CEGIS
+     * rounds and solver calls, and every counter. Must outlive the
+     * request's future. Null = telemetry summarized only in
+     * SynthOutcome::stats.
+     */
+    obs::Telemetry* telemetry = nullptr;
 };
 
 /** Result of one request, with provenance. */
@@ -64,15 +70,13 @@ struct SynthOutcome {
     uint32_t cegisIterations = 0;   ///< leader's CEGIS rounds
     double seconds = 0.0;           ///< this request's wall time
     /**
-     * Leader's per-phase breakdown (FreshRun only; zero for cache hits
-     * and joiners, whose cost is just decode time). Encode/solve come
-     * from whichever engine ran; verify covers every CEGIS round.
+     * Snapshot of this request's telemetry: every counter
+     * ("ilp.*" / "sat.*" / "plan_cache.*"), plus "encode.seconds",
+     * "solve.seconds" and "verify.seconds" span totals. Zero-cost
+     * provenances (cache hits, joiners) contribute only decode time,
+     * so their stats are empty or near-zero.
      */
-    double encodeSeconds = 0.0;
-    double solveSeconds = 0.0;
-    double verifySeconds = 0.0;
-    size_t planCacheHits = 0;   ///< leader's memoized VisitPlan reuses
-    size_t planCacheMisses = 0; ///< VisitPlans the leader expanded
+    std::map<std::string, double> stats;
     std::string failure;            ///< set when !ok
 };
 
@@ -135,14 +139,6 @@ class SynthService {
     };
 
     SynthOutcome process(const SynthRequest& request);
-    FlightResult runLeader(const SynthRequest& request,
-                           const sem::Grammar& grammar,
-                           sem::InterfaceId root,
-                           std::optional<sched::Skeleton>& skeleton,
-                           SynthOutcome& out);
-    bool materialize(const sem::Grammar& grammar,
-                     std::optional<sched::Skeleton>& skeleton,
-                     const std::string& payload, SynthOutcome& out);
 
     ServiceConfig config_;
     ScheduleCache cache_;

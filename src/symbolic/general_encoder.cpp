@@ -7,7 +7,6 @@
 #include "sched/visit_plan.hpp"
 #include "solver/formula.hpp"
 #include "solver/sat.hpp"
-#include "support/timer.hpp"
 #include "symbolic/sigma.hpp"
 
 namespace hecate::symbolic {
@@ -173,51 +172,53 @@ class GeneralInterpreter {
 std::optional<sched::Schedule>
 synthesizeGeneral(const sched::Skeleton& skeleton,
                   const std::vector<const tree::Tree*>& trees,
-                  GeneralStats* stats, std::vector<size_t>* statesPerStep)
+                  obs::Telemetry& telemetry,
+                  std::vector<size_t>* statesPerStep)
 {
-    Timer encode_timer;
     SigmaSpace sigma = SigmaSpace::build(skeleton);
     FormulaBuilder builder;
-    for (size_t i = 0; i < sigma.size(); ++i)
-        builder.newVar();
-
-    std::vector<BoolId> asserts;
+    solver::Cnf cnf;
     double expanded_states = 0.0;
-    for (const tree::Tree* tree : trees) {
-        sched::VisitPlan plan(skeleton, *tree);
-        GeneralInterpreter interp(plan, sigma, builder, asserts,
-                                  statesPerStep);
-        interp.run();
-        expanded_states += interp.expandedStates_;
-    }
+    {
+        obs::Span encode = telemetry.span("encode", "solver");
+        for (size_t i = 0; i < sigma.size(); ++i)
+            builder.newVar();
 
-    // Auxiliary validity constraints (§4.2): at most one rule per slot,
-    // exactly one slot per rule.
-    for (sched::SlotId s = 0; s < skeleton.slotCount(); ++s) {
-        std::vector<BoolId> vars;
-        for (uint32_t i = sigma.slotRange[s].first;
-             i < sigma.slotRange[s].second; ++i) {
-            vars.push_back(builder.mkVar(i + 1));
+        std::vector<BoolId> asserts;
+        for (const tree::Tree* tree : trees) {
+            sched::VisitPlan plan(skeleton, *tree);
+            GeneralInterpreter interp(plan, sigma, builder, asserts,
+                                      statesPerStep);
+            interp.run();
+            expanded_states += interp.expandedStates_;
         }
-        asserts.push_back(builder.mkAtMostOne(vars));
-    }
-    const sem::Grammar& grammar = skeleton.grammar();
-    for (sem::RuleId rule = 0; rule < grammar.rules().size(); ++rule) {
-        // Rules fixed by eval statements are scheduled outside sigma.
-        const auto& fixed = skeleton.fixedRules(grammar.rule(rule).cls);
-        if (std::find(fixed.begin(), fixed.end(), rule) != fixed.end())
-            continue;
-        std::vector<BoolId> vars;
-        for (uint32_t entry : sigma.ruleEntries[rule])
-            vars.push_back(builder.mkVar(entry + 1));
-        asserts.push_back(builder.mkExactlyOne(vars));
+
+        // Auxiliary validity constraints (§4.2): at most one rule per
+        // slot, exactly one slot per rule.
+        for (sched::SlotId s = 0; s < skeleton.slotCount(); ++s) {
+            std::vector<BoolId> vars;
+            for (uint32_t i = sigma.slotRange[s].first;
+                 i < sigma.slotRange[s].second; ++i) {
+                vars.push_back(builder.mkVar(i + 1));
+            }
+            asserts.push_back(builder.mkAtMostOne(vars));
+        }
+        const sem::Grammar& grammar = skeleton.grammar();
+        for (sem::RuleId rule = 0; rule < grammar.rules().size(); ++rule) {
+            // Rules fixed by eval statements are scheduled outside sigma.
+            const auto& fixed = skeleton.fixedRules(grammar.rule(rule).cls);
+            if (std::find(fixed.begin(), fixed.end(), rule) != fixed.end())
+                continue;
+            std::vector<BoolId> vars;
+            for (uint32_t entry : sigma.ruleEntries[rule])
+                vars.push_back(builder.mkVar(entry + 1));
+            asserts.push_back(builder.mkExactlyOne(vars));
+        }
+
+        cnf = builder.toCnf(builder.mkAndN(asserts));
     }
 
-    BoolId root = builder.mkAndN(asserts);
-    solver::Cnf cnf = builder.toCnf(root);
-    double encode_seconds = encode_timer.seconds();
-
-    Timer solve_timer;
+    obs::Span solve = telemetry.span("solve", "solver");
     solver::SatSolver sat(cnf.numVars);
     bool consistent = true;
     for (const auto& clause : cnf.clauses) {
@@ -227,19 +228,17 @@ synthesizeGeneral(const sched::Skeleton& skeleton,
         }
     }
     bool is_sat = consistent && sat.solve() == solver::SatResult::Sat;
+    solve.end();
 
-    if (stats != nullptr) {
-        stats->sigmaVars = sigma.size();
-        stats->formulaNodes = builder.nodeCount();
-        stats->formulaOps = builder.opCount();
-        stats->expandedStates = expanded_states;
-        stats->cnfVars = cnf.numVars;
-        stats->cnfClauses = cnf.clauses.size();
-        stats->satConflicts = sat.stats().conflicts;
-        stats->satDecisions = sat.stats().decisions;
-        stats->encodeSeconds = encode_seconds;
-        stats->solveSeconds = solve_timer.seconds();
-    }
+    telemetry.set("sat.sigma_vars", static_cast<double>(sigma.size()));
+    telemetry.set("sat.formula_nodes",
+                  static_cast<double>(builder.nodeCount()));
+    telemetry.set("sat.formula_ops", static_cast<double>(builder.opCount()));
+    telemetry.add("sat.expanded_states", expanded_states);
+    telemetry.add("sat.cnf_vars", static_cast<double>(cnf.numVars));
+    telemetry.add("sat.cnf_clauses", static_cast<double>(cnf.clauses.size()));
+    telemetry.add("sat.conflicts", static_cast<double>(sat.stats().conflicts));
+    telemetry.add("sat.decisions", static_cast<double>(sat.stats().decisions));
 
     if (!is_sat)
         return std::nullopt;

@@ -16,36 +16,32 @@
  * state is updated — exactly the time-domain encoding whose symbolic
  * state count grows along the execution (Fig. 9, left). The resulting
  * formula goes through Tseitin CNF into the CDCL SAT solver.
+ *
+ * Measurements flow into an obs::Telemetry sink instead of a nullable
+ * out-param: spans "encode"/"solve" (category "solver") time each
+ * call, and counters under "sat." record the encoding size —
+ * sat.sigma_vars, sat.formula_nodes (unique DAG nodes after
+ * hash-consing), sat.formula_ops, sat.expanded_states (the Fig. 9
+ * symbolic-state count), sat.cnf_vars, sat.cnf_clauses,
+ * sat.conflicts, sat.decisions.
  */
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sched/schedule.hpp"
 #include "tree/tree.hpp"
 
 namespace hecate::symbolic {
-
-/** Measurements of one general-purpose synthesis query. */
-struct GeneralStats {
-    size_t sigmaVars = 0;
-    size_t formulaNodes = 0; ///< unique DAG nodes (after hash-consing)
-    size_t formulaOps = 0;   ///< construction ops (cache hits included)
-    double expandedStates = 0.0; ///< the Fig. 9 symbolic-state count
-    size_t cnfVars = 0;
-    size_t cnfClauses = 0;
-    uint64_t satConflicts = 0;
-    uint64_t satDecisions = 0;
-    double encodeSeconds = 0.0;
-    double solveSeconds = 0.0;
-};
 
 /**
  * Synthesize a schedule for @p skeleton consistent with every tree in
  * @p trees using the general-purpose encoding. Returns std::nullopt
  * when the constraints are unsatisfiable.
  *
+ * @param telemetry sink for encode/solve spans and "sat.*" counters.
  * @param statesPerStep when non-null, receives the cumulative
  *        tree-expanded symbolic state count after each executed
  *        instance (the Fig. 9 series; saturates near SIZE_MAX).
@@ -53,7 +49,7 @@ struct GeneralStats {
 std::optional<sched::Schedule>
 synthesizeGeneral(const sched::Skeleton& skeleton,
                   const std::vector<const tree::Tree*>& trees,
-                  GeneralStats* stats = nullptr,
+                  obs::Telemetry& telemetry = obs::Telemetry::nil(),
                   std::vector<size_t>* statesPerStep = nullptr);
 
 } // namespace hecate::symbolic

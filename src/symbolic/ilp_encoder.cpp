@@ -4,7 +4,6 @@
 
 #include "sched/visit_plan.hpp"
 #include "solver/ilp.hpp"
-#include "support/timer.hpp"
 #include "symbolic/sigma.hpp"
 #include "symbolic/trace.hpp"
 
@@ -12,13 +11,18 @@ namespace hecate::symbolic {
 
 namespace {
 
-/** Encodes one plan's trace program into ILP constraints. */
+/**
+ * Encodes one plan's trace program into ILP constraints. Counts
+ * accumulate locally and flush to the telemetry sink once per run() —
+ * the encode loop is the synthesis hot path and must not take the
+ * sink's lock per constraint.
+ */
 class IlpEncoder {
   public:
     IlpEncoder(const sched::VisitPlan& plan, const SigmaSpace& sigma,
-               solver::IlpSolver& ilp, IlpStats* stats,
+               solver::IlpSolver& ilp, obs::Telemetry& telemetry,
                std::vector<size_t>* statesPerStep)
-        : plan_(plan), sigma_(sigma), ilp_(ilp), stats_(stats),
+        : plan_(plan), sigma_(sigma), ilp_(ilp), telemetry_(telemetry),
           statesPerStep_(statesPerStep)
     {
     }
@@ -27,15 +31,22 @@ class IlpEncoder {
     bool run()
     {
         TraceProgram program = buildTrace(plan_, sigma_);
-        if (stats_ != nullptr)
-            stats_->traceStmts += program.stmts.size();
+        bool ok = true;
         for (const TraceStmt& stmt : program.stmts) {
-            if (!encodeStmt(stmt))
-                return false;
+            if (!encodeStmt(stmt)) {
+                ok = false;
+                break;
+            }
             if (statesPerStep_ != nullptr)
                 statesPerStep_->push_back(cumulativeTerms_);
         }
-        return true;
+        telemetry_.add("ilp.trace_stmts",
+                       static_cast<double>(program.stmts.size()));
+        telemetry_.add("ilp.constraints",
+                       static_cast<double>(constraints_));
+        telemetry_.add("ilp.constraint_terms",
+                       static_cast<double>(cumulativeTerms_));
+        return ok;
     }
 
   private:
@@ -90,10 +101,7 @@ class IlpEncoder {
     void addConstraint(std::vector<solver::LinTerm> terms, bool guarded)
     {
         cumulativeTerms_ += terms.size();
-        if (stats_ != nullptr) {
-            ++stats_->constraints;
-            stats_->constraintTerms += terms.size();
-        }
+        ++constraints_;
         // guarded: sum(writers) - sigma >= 0; fixed: sum(writers) >= 1.
         ilp_.addGe(std::move(terms), guarded ? 0 : 1);
     }
@@ -101,9 +109,10 @@ class IlpEncoder {
     const sched::VisitPlan& plan_;
     const SigmaSpace& sigma_;
     solver::IlpSolver& ilp_;
-    IlpStats* stats_;
+    obs::Telemetry& telemetry_;
     std::vector<size_t>* statesPerStep_;
     size_t cumulativeTerms_ = 0;
+    size_t constraints_ = 0;
 };
 
 } // namespace
@@ -138,47 +147,47 @@ addValidityConstraints(const sched::Skeleton& skeleton,
 
 bool
 encodeTraceConstraints(const sched::VisitPlan& plan, const SigmaSpace& sigma,
-                       solver::IlpSolver& ilp, IlpStats* stats,
+                       solver::IlpSolver& ilp, obs::Telemetry& telemetry,
                        std::vector<size_t>* statesPerStep)
 {
-    IlpEncoder encoder(plan, sigma, ilp, stats, statesPerStep);
+    IlpEncoder encoder(plan, sigma, ilp, telemetry, statesPerStep);
     return encoder.run();
 }
 
 std::optional<sched::Schedule>
 synthesizeIlp(const sched::Skeleton& skeleton,
-              const std::vector<const tree::Tree*>& trees, IlpStats* stats,
-              std::vector<size_t>* statesPerStep)
+              const std::vector<const tree::Tree*>& trees,
+              obs::Telemetry& telemetry, std::vector<size_t>* statesPerStep)
 {
-    Timer encode_timer;
     SigmaSpace sigma = SigmaSpace::build(skeleton);
     solver::IlpSolver ilp;
-    for (size_t i = 0; i < sigma.size(); ++i)
-        ilp.addVar();
-
-    bool feasible = addValidityConstraints(skeleton, sigma, ilp);
-    if (feasible) {
-        for (const tree::Tree* tree : trees) {
-            sched::VisitPlan plan(skeleton, *tree);
-            if (!encodeTraceConstraints(plan, sigma, ilp, stats,
-                                        statesPerStep)) {
-                feasible = false;
-                break;
+    bool feasible;
+    {
+        obs::Span encode = telemetry.span("encode", "solver");
+        for (size_t i = 0; i < sigma.size(); ++i)
+            ilp.addVar();
+        feasible = addValidityConstraints(skeleton, sigma, ilp);
+        if (feasible) {
+            for (const tree::Tree* tree : trees) {
+                sched::VisitPlan plan(skeleton, *tree);
+                if (!encodeTraceConstraints(plan, sigma, ilp, telemetry,
+                                            statesPerStep)) {
+                    feasible = false;
+                    break;
+                }
             }
         }
     }
-    double encode_seconds = encode_timer.seconds();
 
-    Timer solve_timer;
-    bool solved =
-        feasible && ilp.solve() == solver::IlpResult::Feasible;
-
-    if (stats != nullptr) {
-        stats->sigmaVars = sigma.size();
-        stats->branchNodes = ilp.stats().branchNodes;
-        stats->encodeSeconds = encode_seconds;
-        stats->solveSeconds = solve_timer.seconds();
+    bool solved;
+    {
+        obs::Span solve = telemetry.span("solve", "solver");
+        solved = feasible && ilp.solve() == solver::IlpResult::Feasible;
     }
+
+    telemetry.set("ilp.sigma_vars", static_cast<double>(sigma.size()));
+    telemetry.add("ilp.branch_nodes",
+                  static_cast<double>(ilp.stats().branchNodes));
     if (!solved)
         return std::nullopt;
 

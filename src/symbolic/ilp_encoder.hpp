@@ -18,12 +18,19 @@
  * result is solved by the from-scratch 0-1 ILP solver. `parallel`
  * regions enter through the plan's happens-before relation: writers in
  * sibling branches are incomparable and simply drop out of the sum.
+ *
+ * Measurements flow into an obs::Telemetry sink instead of nullable
+ * out-params: spans "encode"/"solve" (category "solver") time each
+ * call, and counters under "ilp." record the encoding size —
+ * ilp.sigma_vars, ilp.constraints, ilp.constraint_terms (the
+ * domain-specific Fig. 9 metric), ilp.trace_stmts, ilp.branch_nodes.
  */
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sched/schedule.hpp"
 #include "sched/visit_plan.hpp"
 #include "symbolic/sigma.hpp"
@@ -35,31 +42,19 @@ class IlpSolver;
 
 namespace hecate::symbolic {
 
-/** Measurements of one domain-specific synthesis query. */
-struct IlpStats {
-    size_t sigmaVars = 0;
-    size_t constraints = 0;
-    size_t constraintTerms = 0; ///< the domain-specific Fig. 9 metric
-    size_t traceStmts = 0;
-    uint64_t branchNodes = 0;
-    uint64_t hintedBranches = 0; ///< warm-started branch decisions
-    uint64_t warmRestarts = 0;   ///< budgeted warm solves that fell back cold
-    double encodeSeconds = 0.0;
-    double solveSeconds = 0.0;
-};
-
 /**
  * Synthesize a schedule for @p skeleton consistent with every tree in
  * @p trees using the domain-specific ILP encoding. Returns std::nullopt
  * when infeasible.
  *
+ * @param telemetry sink for encode/solve spans and "ilp.*" counters.
  * @param statesPerStep when non-null, receives the cumulative
  *        constraint-term count after each trace statement (Fig. 9).
  */
 std::optional<sched::Schedule>
 synthesizeIlp(const sched::Skeleton& skeleton,
               const std::vector<const tree::Tree*>& trees,
-              IlpStats* stats = nullptr,
+              obs::Telemetry& telemetry = obs::Telemetry::nil(),
               std::vector<size_t>* statesPerStep = nullptr);
 
 /**
@@ -80,7 +75,7 @@ bool addValidityConstraints(const sched::Skeleton& skeleton,
  */
 bool encodeTraceConstraints(const sched::VisitPlan& plan,
                             const SigmaSpace& sigma, solver::IlpSolver& ilp,
-                            IlpStats* stats = nullptr,
+                            obs::Telemetry& telemetry = obs::Telemetry::nil(),
                             std::vector<size_t>* statesPerStep = nullptr);
 
 } // namespace hecate::symbolic

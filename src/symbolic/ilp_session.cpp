@@ -1,7 +1,5 @@
 #include "symbolic/ilp_session.hpp"
 
-#include "support/timer.hpp"
-
 namespace hecate::symbolic {
 
 IlpSession::IlpSession(const sched::Skeleton& skeleton)
@@ -13,29 +11,26 @@ IlpSession::IlpSession(const sched::Skeleton& skeleton)
 }
 
 void
-IlpSession::addExample(const sched::VisitPlan& plan, IlpStats* stats)
+IlpSession::addExample(const sched::VisitPlan& plan, obs::Telemetry& telemetry)
 {
     ++examples_;
     if (!feasible_)
         return;
-    Timer timer;
-    if (!encodeTraceConstraints(plan, sigma_, ilp_, stats))
+    obs::Span encode = telemetry.span("encode", "solver");
+    if (!encodeTraceConstraints(plan, sigma_, ilp_, telemetry))
         feasible_ = false;
-    if (stats != nullptr) {
-        stats->sigmaVars = sigma_.size();
-        stats->encodeSeconds += timer.seconds();
-    }
+    encode.end();
+    telemetry.set("ilp.sigma_vars", static_cast<double>(sigma_.size()));
 }
 
 std::optional<sched::Schedule>
-IlpSession::solve(IlpStats* stats)
+IlpSession::solve(obs::Telemetry& telemetry)
 {
-    if (stats != nullptr)
-        stats->sigmaVars = sigma_.size();
+    telemetry.set("ilp.sigma_vars", static_cast<double>(sigma_.size()));
     if (!feasible_)
         return std::nullopt;
 
-    Timer timer;
+    obs::Span solveSpan = telemetry.span("solve", "solver");
     solver::IlpResult result;
     bool warm = warmStart_ && !hints_.empty();
     if (warm) {
@@ -53,10 +48,10 @@ IlpSession::solve(IlpStats* stats)
         ilp_.setPhaseHints({});
         result = ilp_.solve();
     }
-    if (stats != nullptr) {
-        stats->branchNodes += ilp_.stats().branchNodes;
-        stats->hintedBranches += ilp_.stats().hintedBranches;
-    }
+    telemetry.add("ilp.branch_nodes",
+                  static_cast<double>(ilp_.stats().branchNodes));
+    telemetry.add("ilp.hinted_branches",
+                  static_cast<double>(ilp_.stats().hintedBranches));
     if (warm && result == solver::IlpResult::Exhausted) {
         // The previous assignment needed more than a local repair;
         // hints from it (and from its successors, which only drift
@@ -67,13 +62,11 @@ IlpSession::solve(IlpStats* stats)
         warmStart_ = false;
         ilp_.setPhaseHints({});
         result = ilp_.solve();
-        if (stats != nullptr) {
-            stats->branchNodes += ilp_.stats().branchNodes;
-            ++stats->warmRestarts;
-        }
+        telemetry.add("ilp.branch_nodes",
+                      static_cast<double>(ilp_.stats().branchNodes));
+        telemetry.add("ilp.warm_restarts", 1.0);
     }
-    if (stats != nullptr)
-        stats->solveSeconds += timer.seconds();
+    solveSpan.end();
     if (result != solver::IlpResult::Feasible) {
         feasible_ = false; // constraints only accumulate: permanent
         return std::nullopt;

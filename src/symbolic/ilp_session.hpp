@@ -43,17 +43,21 @@ class IlpSession {
 
     /**
      * Encode one more example's constraint block into the persistent
-     * solver. Encode time and constraint counts accumulate into
-     * @p stats when given.
+     * solver. Encode time (span "encode", category "solver") and the
+     * "ilp.*" size counters accumulate into @p telemetry.
      */
-    void addExample(const sched::VisitPlan& plan, IlpStats* stats = nullptr);
+    void addExample(const sched::VisitPlan& plan,
+                    obs::Telemetry& telemetry = obs::Telemetry::nil());
 
     /**
      * Solve the accumulated system, warm-started from the previous
      * feasible assignment. Returns std::nullopt when infeasible (which
-     * is permanent: constraints only ever accumulate).
+     * is permanent: constraints only ever accumulate). Solve time
+     * (span "solve") and ilp.branch_nodes / ilp.hinted_branches /
+     * ilp.warm_restarts accumulate into @p telemetry.
      */
-    std::optional<sched::Schedule> solve(IlpStats* stats = nullptr);
+    std::optional<sched::Schedule>
+    solve(obs::Telemetry& telemetry = obs::Telemetry::nil());
 
     size_t exampleCount() const { return examples_; }
     size_t constraintCount() const { return ilp_.constraintCount(); }

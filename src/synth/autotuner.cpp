@@ -106,7 +106,7 @@ makeSkeleton(const sem::Grammar& grammar, SkeletonStyle style,
 
 AutotuneResult
 autotune(const sem::Grammar& grammar, sem::InterfaceId rootIface,
-         const SynthesisConfig& config)
+         const SynthesisConfig& config, obs::Telemetry& telemetry)
 {
     Timer timer;
     AutotuneResult result;
@@ -119,11 +119,14 @@ autotune(const sem::Grammar& grammar, sem::InterfaceId rootIface,
     };
 
     for (SkeletonStyle style : kOrder) {
+        obs::Span attempt = telemetry.span(
+            "autotune.style", "phase",
+            static_cast<int64_t>(result.skeletonsTried));
         ++result.skeletonsTried;
         sched::Skeleton skeleton = sched::Skeleton::resolve(
             grammar, makeSkeleton(grammar, style));
         SynthesisResult synthesis =
-            synthesize(skeleton, rootIface, {}, config);
+            synthesize(skeleton, rootIface, {}, config, telemetry);
         result.lastSynthesis = std::move(synthesis);
         if (result.lastSynthesis.schedule.has_value()) {
             result.style = style;

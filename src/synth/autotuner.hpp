@@ -48,9 +48,14 @@ struct AutotuneResult {
     SynthesisResult lastSynthesis;
 };
 
-/** Search skeleton styles until synthesis succeeds. */
+/**
+ * Search skeleton styles until synthesis succeeds. Each attempt runs
+ * under an "autotune.style" span on @p telemetry (category "phase",
+ * index = attempt ordinal), with the synthesis spans nested within.
+ */
 AutotuneResult autotune(const sem::Grammar& grammar,
                         sem::InterfaceId rootIface,
-                        const SynthesisConfig& config = {});
+                        const SynthesisConfig& config = {},
+                        obs::Telemetry& telemetry = obs::Telemetry::nil());
 
 } // namespace hecate::synth

@@ -6,6 +6,8 @@
 
 #include "sched/visit_plan.hpp"
 #include "support/timer.hpp"
+#include "symbolic/general_encoder.hpp"
+#include "symbolic/ilp_encoder.hpp"
 #include "symbolic/ilp_session.hpp"
 
 namespace hecate::synth {
@@ -152,7 +154,7 @@ Verifier::Verifier(const sched::Skeleton& skeleton,
 }
 
 VerifyResult
-Verifier::run(const sched::Schedule& schedule)
+Verifier::run(const sched::Schedule& schedule, obs::Telemetry& telemetry)
 {
     VerifyResult result;
     const size_t count = plans_.size();
@@ -183,6 +185,7 @@ Verifier::run(const sched::Schedule& schedule)
     std::atomic<size_t> firstFail{count};
     std::vector<std::string> reasons(count);
     auto worker = [&]() {
+        obs::Span span = telemetry.span("verify.worker", "verify");
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
@@ -227,7 +230,7 @@ verifySchedule(const sched::Skeleton& skeleton,
 SynthesisResult
 synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
            std::vector<tree::Tree> initialExamples,
-           const SynthesisConfig& config)
+           const SynthesisConfig& config, obs::Telemetry& telemetry)
 {
     Timer total_timer;
     SynthesisResult result;
@@ -276,49 +279,24 @@ synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
 
     for (uint32_t round = 0; round < config.maxIterations; ++round) {
         ++result.cegisIterations;
+        obs::Span roundSpan = telemetry.span("cegis.round", "phase", round);
 
         std::optional<sched::Schedule> candidate;
         if (incremental) {
-            symbolic::IlpStats stats;
             for (; encoded < examples.size(); ++encoded)
-                session->addExample(examples[encoded]->plan(), &stats);
-            candidate = session->solve(&stats);
-            result.ilpStats.sigmaVars = stats.sigmaVars;
-            result.ilpStats.constraints += stats.constraints;
-            result.ilpStats.constraintTerms += stats.constraintTerms;
-            result.ilpStats.traceStmts += stats.traceStmts;
-            result.ilpStats.branchNodes += stats.branchNodes;
-            result.ilpStats.hintedBranches += stats.hintedBranches;
-            result.ilpStats.warmRestarts += stats.warmRestarts;
-            result.ilpStats.encodeSeconds += stats.encodeSeconds;
-            result.ilpStats.solveSeconds += stats.solveSeconds;
+                session->addExample(examples[encoded]->plan(), telemetry);
+            candidate = session->solve(telemetry);
         } else {
             std::vector<const tree::Tree*> views;
             views.reserve(examples.size());
             for (const auto& example : examples)
                 views.push_back(&example->tree());
             if (config.engine == Engine::DomainSpecificIlp) {
-                symbolic::IlpStats stats;
-                candidate = symbolic::synthesizeIlp(skeleton, views, &stats);
-                result.ilpStats.sigmaVars = stats.sigmaVars;
-                result.ilpStats.constraints += stats.constraints;
-                result.ilpStats.constraintTerms += stats.constraintTerms;
-                result.ilpStats.traceStmts += stats.traceStmts;
-                result.ilpStats.branchNodes += stats.branchNodes;
-                result.ilpStats.encodeSeconds += stats.encodeSeconds;
-                result.ilpStats.solveSeconds += stats.solveSeconds;
+                candidate = symbolic::synthesizeIlp(skeleton, views,
+                                                    telemetry);
             } else {
-                symbolic::GeneralStats stats;
-                candidate =
-                    symbolic::synthesizeGeneral(skeleton, views, &stats);
-                result.generalStats.sigmaVars = stats.sigmaVars;
-                result.generalStats.formulaNodes += stats.formulaNodes;
-                result.generalStats.cnfVars += stats.cnfVars;
-                result.generalStats.cnfClauses += stats.cnfClauses;
-                result.generalStats.satConflicts += stats.satConflicts;
-                result.generalStats.satDecisions += stats.satDecisions;
-                result.generalStats.encodeSeconds += stats.encodeSeconds;
-                result.generalStats.solveSeconds += stats.solveSeconds;
+                candidate = symbolic::synthesizeGeneral(skeleton, views,
+                                                        telemetry);
             }
         }
 
@@ -328,13 +306,13 @@ synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
             break;
         }
 
-        Timer verify_timer;
+        obs::Span verifySpan = telemetry.span("verify");
         VerifyResult verify =
             config.reuseVerifierState
-                ? verifier->run(*candidate)
+                ? verifier->run(*candidate, telemetry)
                 : verifySchedule(skeleton, *candidate, rootIface,
                                  config.verify, config.seed);
-        result.verifySeconds += verify_timer.seconds();
+        verifySpan.end();
         result.verifiedTrees = verify.checkedTrees;
         if (verify.ok) {
             result.schedule = std::move(candidate);
@@ -349,8 +327,9 @@ synthesize(const sched::Skeleton& skeleton, sem::InterfaceId rootIface,
     if (!result.schedule.has_value() && result.failure.empty())
         result.failure = "CEGIS iteration budget exhausted";
     result.examplesUsed = examples.size();
-    result.planCacheHits = planCache.hits();
-    result.planCacheMisses = planCache.misses();
+    telemetry.add("plan_cache.hits", static_cast<double>(planCache.hits()));
+    telemetry.add("plan_cache.misses",
+                  static_cast<double>(planCache.misses()));
     result.totalSeconds = total_timer.seconds();
     return result;
 }

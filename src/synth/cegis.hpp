@@ -29,11 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sched/plan_cache.hpp"
 #include "sched/schedule.hpp"
 #include "support/thread_pool.hpp"
-#include "symbolic/general_encoder.hpp"
-#include "symbolic/ilp_encoder.hpp"
 #include "tree/enumerate.hpp"
 
 namespace hecate::synth {
@@ -79,18 +78,19 @@ struct VerifyResult {
     std::string reason; ///< human-readable failure description
 };
 
-/** Outcome of a synthesis run. */
+/**
+ * Outcome of a synthesis run. Timing and encoding-size measurements are
+ * not carried here: they flow into the obs::Telemetry sink passed to
+ * synthesize() — per-round "cegis.round" spans, "encode"/"solve" spans,
+ * a "verify" span per round, and the "ilp.*" / "sat.*" /
+ * "plan_cache.*" counters.
+ */
 struct SynthesisResult {
     std::optional<sched::Schedule> schedule;
     uint32_t cegisIterations = 0;
     size_t examplesUsed = 0;
     size_t verifiedTrees = 0;
-    symbolic::GeneralStats generalStats; ///< accumulated (SAT engine)
-    symbolic::IlpStats ilpStats;         ///< accumulated (ILP engine)
-    double verifySeconds = 0.0;          ///< total verification time
     double totalSeconds = 0.0;
-    size_t planCacheHits = 0;    ///< memoized VisitPlan reuses
-    size_t planCacheMisses = 0;  ///< VisitPlans actually expanded
     uint32_t verifyThreadsUsed = 0;
     std::string failure; ///< set when schedule is empty
 };
@@ -136,7 +136,13 @@ class Verifier {
              const tree::EnumConfig& config, uint64_t seed,
              uint32_t threads, sched::PlanCache* planCache = nullptr);
 
-    VerifyResult run(const sched::Schedule& schedule);
+    /**
+     * Verify one schedule. When parallel, each pool worker wraps its
+     * share of the scan in a "verify.worker" span on @p telemetry —
+     * the spans land on the worker threads' tids in the trace.
+     */
+    VerifyResult run(const sched::Schedule& schedule,
+                     obs::Telemetry& telemetry = obs::Telemetry::nil());
 
     /** Trees checked per run: enumerated shapes + random rounds. */
     size_t treeCount() const { return plans_.size(); }
@@ -166,10 +172,16 @@ VerifyResult verifySchedule(const sched::Skeleton& skeleton,
  * @p rootIface. @p initialExamples seeds the synthesizer (the paper's
  * user-provided initial tree); when empty, the two smallest enumerated
  * shapes are used.
+ *
+ * @p telemetry receives one "cegis.round" span per round (category
+ * "phase", index = round), the encoders' "encode"/"solve" spans and
+ * size counters nested within, one "verify" span per round, and the
+ * final plan_cache.hits / plan_cache.misses counters.
  */
 SynthesisResult synthesize(const sched::Skeleton& skeleton,
                            sem::InterfaceId rootIface,
                            std::vector<tree::Tree> initialExamples,
-                           const SynthesisConfig& config = {});
+                           const SynthesisConfig& config = {},
+                           obs::Telemetry& telemetry = obs::Telemetry::nil());
 
 } // namespace hecate::synth

@@ -328,19 +328,23 @@ TEST(Synthesize, ReportsHotPathCounters)
     synth::SynthesisConfig config;
     config.verify.maxDepth = 3;
     config.verifyThreads = 1;
+    obs::Telemetry telemetry;
     synth::SynthesisResult result =
-        synth::synthesize(skeleton, root, {}, config);
+        synth::synthesize(skeleton, root, {}, config, telemetry);
     ASSERT_TRUE(result.schedule.has_value());
     EXPECT_EQ(result.verifyThreadsUsed, 1u);
-    EXPECT_GT(result.planCacheMisses, 0u);
+    EXPECT_GT(telemetry.counter("plan_cache.misses"), 0.0);
     // Every round checks the same memoized verification space, so any
     // multi-round run must hit the cache.
     if (result.cegisIterations > 1) {
-        EXPECT_GT(result.planCacheHits, 0u);
+        EXPECT_GT(telemetry.counter("plan_cache.hits"), 0.0);
     }
-    EXPECT_GT(result.ilpStats.encodeSeconds + result.ilpStats.solveSeconds,
+    EXPECT_GT(telemetry.spanSeconds("encode") + telemetry.spanSeconds("solve"),
               0.0);
-    EXPECT_GE(result.verifySeconds, 0.0);
+    EXPECT_GE(telemetry.spanSeconds("verify"), 0.0);
+    // One "cegis.round" span per reported iteration, each enclosing its
+    // solver spans.
+    EXPECT_EQ(telemetry.spanCount("cegis.round"), result.cegisIterations);
 }
 
 } // namespace

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Telemetry tests: RAII span nesting (same-thread and across threads,
+ * including the parallel verifier's worker spans), counter merge
+ * determinism under absorb(), and golden-schema checks for the Chrome
+ * trace-event and flat stats JSON exporters.
+ */
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/telemetry.hpp"
+#include "synth/cegis.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+using testutil::renderGrammar;
+using testutil::renderSkeleton;
+
+const obs::SpanRecord*
+findSpan(const std::vector<obs::SpanRecord>& spans, const std::string& name)
+{
+    for (const obs::SpanRecord& span : spans) {
+        if (span.name == name)
+            return &span;
+    }
+    return nullptr;
+}
+
+TEST(Telemetry, SpanNestingSameThread)
+{
+    obs::Telemetry telemetry;
+    {
+        obs::Span outer = telemetry.span("outer", "stage");
+        {
+            obs::Span inner = telemetry.span("inner", "solver", 7);
+        }
+    }
+    std::vector<obs::SpanRecord> spans = telemetry.spans();
+    ASSERT_EQ(spans.size(), 2u);
+
+    const obs::SpanRecord* outer = findSpan(spans, "outer");
+    const obs::SpanRecord* inner = findSpan(spans, "inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->parent, 0u);
+    EXPECT_EQ(inner->parent, outer->id);
+    EXPECT_EQ(inner->index, 7);
+    EXPECT_EQ(outer->category, "stage");
+    EXPECT_EQ(inner->category, "solver");
+    EXPECT_EQ(outer->tid, inner->tid);
+}
+
+TEST(Telemetry, SiblingSpansShareAParent)
+{
+    obs::Telemetry telemetry;
+    {
+        obs::Span round = telemetry.span("round", "phase", 0);
+        { obs::Span a = telemetry.span("encode", "solver"); }
+        { obs::Span b = telemetry.span("solve", "solver"); }
+    }
+    std::vector<obs::SpanRecord> spans = telemetry.spans();
+    const obs::SpanRecord* round = findSpan(spans, "round");
+    const obs::SpanRecord* encode = findSpan(spans, "encode");
+    const obs::SpanRecord* solve = findSpan(spans, "solve");
+    ASSERT_NE(round, nullptr);
+    ASSERT_NE(encode, nullptr);
+    ASSERT_NE(solve, nullptr);
+    EXPECT_EQ(encode->parent, round->id);
+    EXPECT_EQ(solve->parent, round->id);
+}
+
+TEST(Telemetry, SpanNestingAcrossThreads)
+{
+    constexpr size_t kThreads = 4;
+    obs::Telemetry telemetry;
+    {
+        obs::Span root = telemetry.span("root", "stage");
+        std::vector<std::thread> workers;
+        for (size_t i = 0; i < kThreads; ++i) {
+            workers.emplace_back([&telemetry, i] {
+                obs::Span outer = telemetry.span(
+                    "worker", "verify", static_cast<int64_t>(i));
+                obs::Span inner = telemetry.span("task", "phase");
+            });
+        }
+        for (std::thread& worker : workers)
+            worker.join();
+    }
+
+    std::vector<obs::SpanRecord> spans = telemetry.spans();
+    ASSERT_EQ(spans.size(), 1 + 2 * kThreads);
+    const obs::SpanRecord* root = findSpan(spans, "root");
+    ASSERT_NE(root, nullptr);
+
+    // Each thread nests privately: its "task" hangs off its own
+    // "worker". Parenting never leaks across threads, so the workers
+    // are roots (the main thread's frame is not theirs to adopt).
+    std::set<uint32_t> workerTids;
+    for (const obs::SpanRecord& span : spans) {
+        if (span.name != "worker")
+            continue;
+        workerTids.insert(span.tid);
+        EXPECT_NE(span.tid, root->tid);
+        EXPECT_EQ(span.parent, 0u);
+        bool found = false;
+        for (const obs::SpanRecord& task : spans) {
+            if (task.name == "task" && task.tid == span.tid &&
+                task.parent == span.id)
+                found = true;
+        }
+        EXPECT_TRUE(found) << "worker " << span.index
+                           << " has no nested task span";
+    }
+    EXPECT_EQ(workerTids.size(), kThreads);
+}
+
+TEST(Telemetry, ParallelVerifyWorkersSpanPerThread)
+{
+    sem::Grammar grammar = renderGrammar();
+    sched::Skeleton skeleton = renderSkeleton(grammar);
+
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
+                                                      config);
+    ASSERT_TRUE(result.schedule.has_value()) << result.failure;
+
+    obs::Telemetry telemetry;
+    synth::Verifier verifier(skeleton, 0, config.verify, config.seed,
+                             /*threads=*/2);
+    ASSERT_TRUE(verifier.run(*result.schedule, telemetry).ok);
+
+    // One span per worker share. The shares land on however many
+    // threads the pool actually dispatches to (a small host may run
+    // both on one), so assert the spans and their categories, not a
+    // distinct-tid count.
+    EXPECT_EQ(telemetry.spanCount("verify.worker"), 2u);
+    for (const obs::SpanRecord& span : telemetry.spans()) {
+        if (span.name != "verify.worker")
+            continue;
+        EXPECT_EQ(span.category, "verify");
+        EXPECT_GT(span.tid, 0u);
+    }
+}
+
+TEST(Telemetry, CounterMergeIsDeterministic)
+{
+    obs::Telemetry a, b;
+    a.add("x", 1.0);
+    a.add("y", 2.0);
+    b.add("x", 10.0);
+    b.add("z", 5.0);
+
+    obs::Telemetry ab, ba;
+    ab.absorb(a);
+    ab.absorb(b);
+    ba.absorb(b);
+    ba.absorb(a);
+
+    EXPECT_EQ(ab.counters(), ba.counters());
+    EXPECT_EQ(ab.counter("x"), 11.0);
+    EXPECT_EQ(ab.counter("y"), 2.0);
+    EXPECT_EQ(ab.counter("z"), 5.0);
+    EXPECT_EQ(ab.statsJson(), ba.statsJson());
+}
+
+TEST(Telemetry, AbsorbCarriesSpansAndDurations)
+{
+    obs::Telemetry parent;
+    obs::Telemetry child;
+    { obs::Span span = child.span("encode", "solver"); }
+    { obs::Span span = child.span("encode", "solver"); }
+
+    parent.absorb(child);
+    EXPECT_EQ(parent.spanCount("encode"), 2u);
+    // Durations are copied verbatim; only start times are rebased.
+    EXPECT_EQ(parent.spanSeconds("encode"), child.spanSeconds("encode"));
+}
+
+TEST(Telemetry, NilSinkRecordsNothing)
+{
+    obs::Telemetry& nil = obs::Telemetry::nil();
+    EXPECT_FALSE(nil.enabled());
+    {
+        obs::Span span = nil.span("ignored", "stage");
+    }
+    nil.add("ignored", 5.0);
+    EXPECT_EQ(nil.counter("ignored"), 0.0);
+    EXPECT_TRUE(nil.spans().empty());
+    EXPECT_TRUE(nil.counters().empty());
+}
+
+TEST(Telemetry, StatsJsonGoldenCountersOnly)
+{
+    // With no spans, the stats export is fully deterministic.
+    obs::Telemetry telemetry;
+    telemetry.add("ilp.constraints", 42.0);
+    telemetry.add("plan_cache.hits", 7.0);
+    telemetry.set("exec.ratio", 2.5);
+
+    EXPECT_EQ(telemetry.statsJson(),
+              "{\n"
+              "  \"counters\": {\n"
+              "    \"exec.ratio\": 2.5,\n"
+              "    \"ilp.constraints\": 42,\n"
+              "    \"plan_cache.hits\": 7\n"
+              "  },\n"
+              "  \"stages\": {\n"
+              "  },\n"
+              "  \"spans\": {\n"
+              "  }\n"
+              "}\n");
+}
+
+TEST(Telemetry, StatsJsonAggregatesSpansAndStages)
+{
+    obs::Telemetry telemetry;
+    { obs::Span span = telemetry.span("parse", "stage"); }
+    { obs::Span span = telemetry.span("encode", "solver"); }
+    { obs::Span span = telemetry.span("encode", "solver"); }
+
+    std::string json = telemetry.statsJson();
+    // "parse" is a stage (and a span); "encode" aggregates only under
+    // spans, with its two runs counted.
+    EXPECT_NE(json.find("\"stages\": {\n    \"parse\": {\"seconds\": "),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"encode\": {\"seconds\": "), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2}"), std::string::npos);
+    EXPECT_EQ(json.find("\"stages\": {\n    \"encode\""),
+              std::string::npos);
+}
+
+TEST(Telemetry, ChromeTraceGoldenSchema)
+{
+    obs::Telemetry telemetry;
+    {
+        obs::Span outer = telemetry.span("synthesize", "stage");
+        obs::Span round = telemetry.span("cegis.round", "phase", 0);
+    }
+    std::string json = telemetry.chromeTraceJson();
+
+    // Envelope.
+    EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u) << json;
+    EXPECT_NE(json.find("], \"displayTimeUnit\": \"ms\"}"),
+              std::string::npos);
+
+    // One complete ("X") event per span, with tid/ts/dur/cat/args.
+    EXPECT_NE(json.find("\"ph\": \"X\", \"pid\": 1, \"tid\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"synthesize\", \"cat\": \"stage\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"cegis.round\", \"cat\": \"phase\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+
+    // The args block carries the span tree: the round's parent is the
+    // stage's id, and its index survives the export.
+    std::vector<obs::SpanRecord> spans = telemetry.spans();
+    const obs::SpanRecord* outer = findSpan(spans, "synthesize");
+    const obs::SpanRecord* round = findSpan(spans, "cegis.round");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(round, nullptr);
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "\"args\": {\"id\": %llu, \"parent\": %llu, "
+                  "\"index\": 0}",
+                  static_cast<unsigned long long>(round->id),
+                  static_cast<unsigned long long>(outer->id));
+    EXPECT_NE(json.find(args), std::string::npos) << json;
+}
+
+TEST(Telemetry, MovedFromSpanDoesNotDoubleRecord)
+{
+    obs::Telemetry telemetry;
+    {
+        obs::Span span = telemetry.span("once", "phase");
+        obs::Span moved = std::move(span);
+        moved.end();
+        moved.end(); // idempotent
+    }
+    EXPECT_EQ(telemetry.spanCount("once"), 1u);
+}
+
+} // namespace
+} // namespace hecate

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Pipeline driver tests. The load-bearing one is differential: for
+ * every bundled grammar, the schedule produced by the staged driver
+ * must be byte-identical (serialized) to the one produced by calling
+ * the synthesis layer directly, i.e. the refactor onto Pipeline
+ * changed the wiring and nothing else. The rest cover the stage
+ * contracts: cache provenance, payload adoption, per-stage telemetry
+ * spans, and argument resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grammars/grammars.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "pipeline/pipeline.hpp"
+#include "service/schedule_cache.hpp"
+#include "support/diagnostics.hpp"
+#include "synth/autotuner.hpp"
+
+namespace hecate {
+namespace {
+
+std::vector<const grammars::Benchmark*>
+allBenchmarks()
+{
+    return {&grammars::binaryTree(), &grammars::fmm(),
+            &grammars::piecewise(),  &grammars::astBench(),
+            &grammars::renderTree(), &grammars::cssFloat(),
+            &grammars::cssMargin(),  &grammars::cssFull()};
+}
+
+synth::SynthesisConfig
+testConfig()
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 64;
+    return config;
+}
+
+TEST(Pipeline, SchedulesMatchDirectSynthesisOnAllBuiltins)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        // The pre-refactor path, stitched by hand: load, resolve the
+        // root, build the skeleton, run CEGIS.
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        ast::TraversalDecl skeletonAst =
+            synth::makeSkeleton(grammar, synth::SkeletonStyle::Sandwich);
+        std::string skeletonSrc = lang::printTraversal(skeletonAst);
+        sched::Skeleton skeleton =
+            sched::Skeleton::resolve(grammar, std::move(skeletonAst));
+        synth::SynthesisResult direct =
+            synth::synthesize(skeleton, root, {}, testConfig());
+        ASSERT_TRUE(direct.schedule.has_value())
+            << bench->name << ": " << direct.failure;
+
+        // The driver, fed the printed form of the same skeleton.
+        pipeline::PipelineOptions options;
+        options.config = testConfig();
+        pipeline::Pipeline pipe(*bench, skeletonSrc, std::move(options));
+        const pipeline::SynthArtifact& staged = pipe.synthesize();
+        ASSERT_TRUE(staged.ok) << bench->name << ": " << staged.failure;
+        ASSERT_TRUE(staged.schedule.has_value());
+
+        EXPECT_EQ(staged.schedule->serialize(), direct.schedule->serialize())
+            << bench->name << ": driver schedule diverged from the "
+            << "direct synthesis path";
+        EXPECT_EQ(staged.provenance, pipeline::Provenance::FreshRun);
+    }
+}
+
+TEST(Pipeline, AutoModeMatchesDirectAutotune)
+{
+    const grammars::Benchmark& bench = grammars::renderTree();
+
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    synth::AutotuneResult direct =
+        synth::autotune(grammar, root, testConfig());
+    ASSERT_TRUE(direct.schedule.has_value());
+
+    pipeline::PipelineOptions options;
+    options.config = testConfig();
+    pipeline::Pipeline pipe(bench, "", std::move(options));
+    const pipeline::SynthArtifact& staged = pipe.synthesize();
+    ASSERT_TRUE(staged.ok) << staged.failure;
+    EXPECT_TRUE(staged.autoTuned);
+    EXPECT_EQ(staged.style, direct.style);
+    EXPECT_EQ(staged.schedule->serialize(), direct.schedule->serialize());
+}
+
+TEST(Pipeline, CacheHitReproducesFreshRunExactly)
+{
+    service::ScheduleCache cache;
+    const grammars::Benchmark& bench = grammars::renderTree();
+
+    pipeline::PipelineOptions fresh_options;
+    fresh_options.config = testConfig();
+    fresh_options.cache = &cache;
+    pipeline::Pipeline fresh(bench, "", std::move(fresh_options));
+    const pipeline::SynthArtifact& first = fresh.synthesize();
+    ASSERT_TRUE(first.ok) << first.failure;
+    EXPECT_EQ(first.provenance, pipeline::Provenance::FreshRun);
+
+    pipeline::PipelineOptions hit_options;
+    hit_options.config = testConfig();
+    hit_options.cache = &cache;
+    pipeline::Pipeline hit(bench, "", std::move(hit_options));
+    const pipeline::SynthArtifact& second = hit.synthesize();
+    ASSERT_TRUE(second.ok) << second.failure;
+    EXPECT_EQ(second.provenance, pipeline::Provenance::CacheHit);
+    EXPECT_EQ(second.schedule->serialize(), first.schedule->serialize());
+    EXPECT_EQ(second.concreteTraversal, first.concreteTraversal);
+}
+
+TEST(Pipeline, AdoptPayloadEntersMidPipeline)
+{
+    const grammars::Benchmark& bench = grammars::renderTree();
+
+    pipeline::PipelineOptions leader_options;
+    leader_options.config = testConfig();
+    pipeline::Pipeline leader(bench, "", std::move(leader_options));
+    const pipeline::SynthArtifact& led = leader.synthesize();
+    ASSERT_TRUE(led.ok);
+    ASSERT_FALSE(led.payload.empty());
+
+    pipeline::PipelineOptions follower_options;
+    follower_options.config = testConfig();
+    pipeline::Pipeline follower(bench, "", std::move(follower_options));
+    const pipeline::SynthArtifact& adopted =
+        follower.adoptPayload(led.payload);
+    ASSERT_TRUE(adopted.ok) << adopted.failure;
+    EXPECT_EQ(adopted.provenance, pipeline::Provenance::JoinedInFlight);
+    EXPECT_EQ(adopted.schedule->serialize(), led.schedule->serialize());
+
+    // The adopted schedule feeds the later stages like a fresh one.
+    (void)follower.plan();
+    (void)follower.compileProgram();
+}
+
+TEST(Pipeline, StagesEmitStageSpans)
+{
+    obs::Telemetry telemetry;
+    pipeline::PipelineOptions options;
+    options.config = testConfig();
+    options.telemetry = &telemetry;
+    pipeline::Pipeline pipe(grammars::renderTree(), "", std::move(options));
+    ASSERT_TRUE(pipe.synthesize().ok);
+    (void)pipe.plan();
+    (void)pipe.compileProgram();
+
+    for (const char* stage :
+         {"parse", "analyze", "synthesize", "plan", "compile"}) {
+        EXPECT_EQ(telemetry.spanCount(stage), 1u) << stage;
+    }
+    bool allStageCategory = true;
+    for (const obs::SpanRecord& span : telemetry.spans()) {
+        if (span.name == "parse" && span.category != "stage")
+            allStageCategory = false;
+    }
+    EXPECT_TRUE(allStageCategory);
+    // The CEGIS rounds land inside the synthesize stage.
+    EXPECT_GE(telemetry.spanCount("cegis.round"), 1u);
+}
+
+TEST(Pipeline, StagesAreMemoized)
+{
+    pipeline::PipelineOptions options;
+    options.config = testConfig();
+    pipeline::Pipeline pipe(grammars::renderTree(), "", std::move(options));
+    const pipeline::SynthArtifact& first = pipe.synthesize();
+    const pipeline::SynthArtifact& again = pipe.synthesize();
+    EXPECT_EQ(&first, &again);
+    const runtime::Program& program = pipe.compileProgram();
+    EXPECT_EQ(&program, &pipe.compileProgram());
+}
+
+TEST(Pipeline, ResolveGrammarArgFindsBuiltins)
+{
+    pipeline::GrammarSource source =
+        pipeline::resolveGrammarArg("builtin:rendertree");
+    EXPECT_FALSE(source.source.empty());
+    EXPECT_FALSE(source.rootInterface.empty());
+    EXPECT_THROW(pipeline::resolveGrammarArg("builtin:nope"), UserError);
+    EXPECT_THROW(pipeline::readTextFile("/nonexistent/grammar.la"),
+                 UserError);
+}
+
+TEST(Pipeline, ParseEngineNameRejectsUnknown)
+{
+    EXPECT_EQ(pipeline::parseEngineName("ilp"),
+              synth::Engine::DomainSpecificIlp);
+    EXPECT_EQ(pipeline::parseEngineName("sat"),
+              synth::Engine::GeneralPurposeSat);
+    EXPECT_THROW(pipeline::parseEngineName("z3"), UserError);
+}
+
+TEST(Pipeline, PlanThrowsAfterFailedSynthesis)
+{
+    // An unsatisfiable round budget forces a failed synthesize();
+    // plan() must then refuse rather than hand out a stale artifact.
+    pipeline::PipelineOptions options;
+    options.config = testConfig();
+    options.config.maxIterations = 0;
+    pipeline::Pipeline pipe(grammars::renderTree(), "", std::move(options));
+    const pipeline::SynthArtifact& artifact = pipe.synthesize();
+    EXPECT_FALSE(artifact.ok);
+    EXPECT_THROW(pipe.plan(), Error);
+}
+
+} // namespace
+} // namespace hecate

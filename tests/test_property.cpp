@@ -16,6 +16,8 @@
 
 #include "exec/interp.hpp"
 #include "grammars/grammars.hpp"
+#include "symbolic/general_encoder.hpp"
+#include "symbolic/ilp_encoder.hpp"
 #include "symbolic/sigma.hpp"
 #include "sched/visit_plan.hpp"
 #include "synth/autotuner.hpp"

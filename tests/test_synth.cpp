@@ -204,13 +204,13 @@ TEST(Synthesis, IlpSolvesRenderExample)
     sched::Skeleton skeleton = renderSkeleton(grammar);
     tree::Tree t = fig2Tree(grammar);
 
-    symbolic::IlpStats stats;
-    auto schedule = symbolic::synthesizeIlp(skeleton, {&t}, &stats);
+    obs::Telemetry telemetry;
+    auto schedule = symbolic::synthesizeIlp(skeleton, {&t}, telemetry);
     ASSERT_TRUE(schedule.has_value());
     EXPECT_TRUE(schedule->coversAllRules(skeleton));
     EXPECT_FALSE(synth::checkScheduleOn(skeleton, *schedule, t).has_value());
-    EXPECT_GT(stats.sigmaVars, 0u);
-    EXPECT_GT(stats.constraints, 0u);
+    EXPECT_GT(telemetry.counter("ilp.sigma_vars"), 0.0);
+    EXPECT_GT(telemetry.counter("ilp.constraints"), 0.0);
 }
 
 TEST(Synthesis, GeneralSolvesRenderExample)
@@ -219,12 +219,12 @@ TEST(Synthesis, GeneralSolvesRenderExample)
     sched::Skeleton skeleton = renderSkeleton(grammar);
     tree::Tree t = fig2Tree(grammar);
 
-    symbolic::GeneralStats stats;
-    auto schedule = symbolic::synthesizeGeneral(skeleton, {&t}, &stats);
+    obs::Telemetry telemetry;
+    auto schedule = symbolic::synthesizeGeneral(skeleton, {&t}, telemetry);
     ASSERT_TRUE(schedule.has_value());
     EXPECT_TRUE(schedule->coversAllRules(skeleton));
     EXPECT_FALSE(synth::checkScheduleOn(skeleton, *schedule, t).has_value());
-    EXPECT_GT(stats.formulaNodes, 0u);
+    EXPECT_GT(telemetry.counter("sat.formula_nodes"), 0.0);
 }
 
 TEST(Synthesis, EncodersAgreeWithSimulatorOnAllAssignments)
@@ -353,10 +353,11 @@ TEST(Synthesis, CegisUsesGeneralEngineToo)
     synth::SynthesisConfig config;
     config.engine = synth::Engine::GeneralPurposeSat;
     config.verify.maxDepth = 3;
-    synth::SynthesisResult result = synth::synthesize(skeleton, 0, {},
-                                                      config);
+    obs::Telemetry telemetry;
+    synth::SynthesisResult result =
+        synth::synthesize(skeleton, 0, {}, config, telemetry);
     ASSERT_TRUE(result.schedule.has_value()) << result.failure;
-    EXPECT_GT(result.generalStats.formulaNodes, 0u);
+    EXPECT_GT(telemetry.counter("sat.formula_nodes"), 0.0);
 }
 
 TEST(Synthesis, PreOrderSkeletonIsInfeasible)
