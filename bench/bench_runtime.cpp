@@ -17,10 +17,16 @@
  * worker counts to show fork-join scaling (real speedups need real
  * cores; the host's count is printed alongside).
  *
+ * A third sweep compares the sweep strategies on the same compiled
+ * program: explicit stack, linear two-pass, and the level-synchronous
+ * segmented engine in scalar, vectorized, and level-parallel form. A
+ * fourth compares executing a batch of trees one by one against one
+ * packed ForestArena execution (single-tree vs forest batching).
+ *
  * Results are printed as tables and written as machine-readable JSON
  * to BENCH_runtime.json (schema: {"quick", "hardware_threads",
- * "single_thread", "parallel"}). --quick shrinks the instance sizes so
- * CI can run it in seconds.
+ * "single_thread", "parallel", "sweeps", "forest"}). --quick shrinks
+ * the instance sizes so CI can run it in seconds.
  */
 
 #include <cstring>
@@ -329,6 +335,150 @@ main(int argc, char** argv)
         }
     }
 
+    // --- Sweep strategies: stack vs linear vs segmented ---------------
+    std::printf("\n== Sweep strategies: stack vs linear vs segmented "
+                "(scalar / simd / level-parallel) ==\n");
+    benchutil::row({"grammar", "nodes", "variant", "workers", "time(s)",
+                    "vs stack", "Mnodes/s"});
+    std::vector<std::string> sweeps_json;
+    struct SweepVariant {
+        const char* name;
+        runtime::SweepStrategy strategy;
+        bool simd;
+        uint32_t workers; ///< 0 = no pool
+    };
+    const SweepVariant sweep_variants[] = {
+        {"stack", runtime::SweepStrategy::Stack, true, 0},
+        {"linear", runtime::SweepStrategy::Linear, true, 0},
+        {"seg-scalar", runtime::SweepStrategy::Segmented, false, 0},
+        {"seg-simd", runtime::SweepStrategy::Segmented, true, 0},
+        {"seg-par2", runtime::SweepStrategy::Segmented, true, 2},
+        {"seg-par4", runtime::SweepStrategy::Segmented, true, 4},
+    };
+    for (BenchGrammar* bg : {render.get(), ast.get()}) {
+        if (!bg->program->sweepable())
+            continue;
+        for (uint32_t nodes : sizes) {
+            runtime::TreeArena arena = makeArena(*bg->seq, nodes);
+            double stack_s = 0.0;
+            for (const SweepVariant& v : sweep_variants) {
+                std::unique_ptr<ThreadPool> pool;
+                runtime::ExecOptions options;
+                options.strategy = v.strategy;
+                options.simd = v.simd;
+                if (v.workers > 0) {
+                    pool = std::make_unique<ThreadPool>(v.workers);
+                    options.pool = pool.get();
+                    options.grain = 8192;
+                }
+                runtime::RuntimeStats stats;
+                double secs = benchutil::measureBest(
+                    [&] {
+                        stats = runtime::execute(*bg->program, arena,
+                                                 options);
+                        benchutil::sink(stats.rulesEvaluated);
+                    },
+                    min_seconds, max_iters, min_iters);
+                if (v.strategy == runtime::SweepStrategy::Stack)
+                    stack_s = secs;
+                double vs_stack = secs > 0 ? stack_s / secs : 0;
+                double mnodes =
+                    secs > 0 ? arena.size() / secs / 1e6 : 0;
+                benchutil::row(
+                    {bg->bench->name, std::to_string(arena.size()),
+                     v.name, std::to_string(v.workers),
+                     benchutil::secs(secs), benchutil::ratio(vs_stack),
+                     benchutil::ratio(mnodes)});
+                sweeps_json.push_back(jsonObject(
+                    {{"grammar", "\"" + bg->bench->name + "\""},
+                     {"nodes", std::to_string(arena.size())},
+                     {"variant", std::string("\"") + v.name + "\""},
+                     {"workers", std::to_string(v.workers)},
+                     {"time_s", jsonNum(secs)},
+                     {"speedup_vs_stack", jsonNum(vs_stack)},
+                     {"nodes_per_sec", jsonNum(
+                          secs > 0 ? arena.size() / secs : 0)},
+                     {"level_waves",
+                      std::to_string(stats.levelWaves)},
+                     {"segment_kernels",
+                      std::to_string(stats.segmentKernels)}}));
+            }
+        }
+    }
+
+    // --- Forest batching: one-by-one vs one packed execution ----------
+    // Swept over per-tree sizes to expose the crossover: batching wins
+    // while per-execution overhead dominates (many small trees) and
+    // loses once a single tree is itself larger than cache (solo runs
+    // are naturally cache-blocked; the packed forest streams the whole
+    // batch through DRAM each wave).
+    const uint32_t forest_batch = quick ? 8 : 64;
+    std::vector<uint32_t> forest_tree_sizes =
+        quick ? std::vector<uint32_t>{200, 2000}
+              : std::vector<uint32_t>{200, 2000, 20000};
+    std::printf("\n== Forest batching: %u trees, one-by-one vs packed "
+                "==\n",
+                forest_batch);
+    benchutil::row({"grammar", "trees", "nodes/tree", "nodes",
+                    "per-tree(s)", "forest(s)", "speedup", "Mnodes/s"});
+    std::vector<std::string> forest_json;
+    for (BenchGrammar* bg : {render.get(), ast.get()}) {
+        const sem::Grammar& grammar = bg->seq->grammar();
+        sem::InterfaceId root = bg->seq->rootInterface();
+        for (uint32_t tree_nodes : forest_tree_sizes) {
+            runtime::GenConfig gen;
+            gen.targetNodes = tree_nodes;
+            gen.seed = 2024;
+
+            std::vector<runtime::TreeArena> trees;
+            for (uint32_t t = 0; t < forest_batch; ++t) {
+                runtime::GenConfig one = gen;
+                one.seed = gen.seed + t;
+                trees.push_back(
+                    runtime::TreeArena::generate(grammar, root, one));
+            }
+            runtime::ForestArena forest = runtime::ForestArena::generate(
+                grammar, root, gen, forest_batch);
+
+            double solo = benchutil::measureBest(
+                [&] {
+                    uint64_t rules = 0;
+                    for (runtime::TreeArena& tree : trees)
+                        rules += runtime::execute(*bg->program, tree)
+                                     .rulesEvaluated;
+                    benchutil::sink(rules);
+                },
+                min_seconds, max_iters, min_iters);
+            double batched = benchutil::measureBest(
+                [&] {
+                    benchutil::sink(
+                        runtime::execute(*bg->program, forest)
+                            .rulesEvaluated);
+                },
+                min_seconds, max_iters, min_iters);
+
+            double speedup = batched > 0 ? solo / batched : 0;
+            double mnodes =
+                batched > 0 ? forest.size() / batched / 1e6 : 0;
+            benchutil::row(
+                {bg->bench->name, std::to_string(forest_batch),
+                 std::to_string(tree_nodes),
+                 std::to_string(forest.size()), benchutil::secs(solo),
+                 benchutil::secs(batched), benchutil::ratio(speedup),
+                 benchutil::ratio(mnodes)});
+            forest_json.push_back(jsonObject(
+                {{"grammar", "\"" + bg->bench->name + "\""},
+                 {"trees", std::to_string(forest_batch)},
+                 {"tree_nodes", std::to_string(tree_nodes)},
+                 {"nodes_total", std::to_string(forest.size())},
+                 {"per_tree_s", jsonNum(solo)},
+                 {"forest_s", jsonNum(batched)},
+                 {"speedup", jsonNum(speedup)},
+                 {"nodes_per_sec",
+                  jsonNum(batched > 0 ? forest.size() / batched : 0)}}));
+        }
+    }
+
     auto join = [](const std::vector<std::string>& items) {
         std::string out;
         for (size_t i = 0; i < items.size(); ++i) {
@@ -343,6 +493,8 @@ main(int argc, char** argv)
          << ",\n  \"hardware_threads\": " << hw_threads
          << ",\n  \"single_thread\": [\n    " << join(single_json)
          << "\n  ],\n  \"parallel\": [\n    " << join(parallel_json)
+         << "\n  ],\n  \"sweeps\": [\n    " << join(sweeps_json)
+         << "\n  ],\n  \"forest\": [\n    " << join(forest_json)
          << "\n  ]\n}\n";
     std::printf("\nwrote BENCH_runtime.json\n");
     return 0;

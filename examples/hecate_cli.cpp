@@ -55,15 +55,23 @@
  *   hecate_cli run GRAMMAR [TRAVERSAL.hec] [--root IFACE]
  *              [--engine ilp|sat] [--depth K] [--cache-dir DIR]
  *              [--tree-size N] [--tree-depth D] [--seed S]
+ *              [--batch-count B] [--strategy NAME] [--no-simd]
  *              [--grain G] [--exec-threads N] [--seq] [--check]
  *              [--trace-out FILE] [--stats-json FILE]
  *
  * --tree-size picks the generated instance's node budget, --tree-depth
  * caps its depth (0 = unbounded), --grain sets the parallel chunk
  * size, and --exec-threads sizes the execution pool (0 = hardware
- * concurrency; --seq forces the sequential executor). --check
- * re-evaluates every output attribute with exec::computeReference and
- * fails on any mismatch.
+ * concurrency; --seq forces the sequential executor). --batch-count
+ * packs B independently generated trees (tree-size nodes each) into
+ * one ForestArena and runs them in a single batched execution.
+ * --strategy picks the sweep engine: auto (default; segmented when the
+ * program is sweepable, else stack), stack (explicit-stack traversal),
+ * linear (node-id order sweeps), or segmented (class-segregated
+ * level-synchronous kernels). --no-simd runs the segmented kernels
+ * through the portable scalar variant. --check re-evaluates every
+ * output attribute (of every tree in the batch) with
+ * exec::computeReference and fails on any mismatch.
  *
  * Exit codes: 0 success, 1 user error (bad input, failed synthesis or
  * check), 2 usage, 3 internal invariant violation, 4 unexpected error.
@@ -74,6 +82,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -103,8 +112,9 @@ usage()
         "   or: hecate_cli run GRAMMAR [TRAVERSAL.hec] [--root IFACE]\n"
         "       [--engine ilp|sat] [--depth K] [--cache-dir DIR]\n"
         "       [--tree-size N] [--tree-depth D] [--seed S]\n"
-        "       [--grain G] [--exec-threads N] [--seq] [--check]\n"
-        "       [--trace-out FILE] [--stats-json FILE]\n");
+        "       [--batch-count B] [--strategy auto|stack|linear|segmented]\n"
+        "       [--no-simd] [--grain G] [--exec-threads N] [--seq]\n"
+        "       [--check] [--trace-out FILE] [--stats-json FILE]\n");
     return 2;
 }
 
@@ -233,6 +243,46 @@ parseRequestLine(const std::string& line,
     if (bare == 0)
         userError("empty request line");
     return request;
+}
+
+/** Parse a --strategy value; throws UserError on unknown names. */
+runtime::SweepStrategy
+parseStrategyName(const std::string& name)
+{
+    if (name == "auto")
+        return runtime::SweepStrategy::Auto;
+    if (name == "stack")
+        return runtime::SweepStrategy::Stack;
+    if (name == "linear")
+        return runtime::SweepStrategy::Linear;
+    if (name == "segmented")
+        return runtime::SweepStrategy::Segmented;
+    userError("unknown sweep strategy '" + name +
+              "' (expected auto, stack, linear or segmented)");
+}
+
+/**
+ * Count output cells of @p arena nodes [begin, end) that disagree with
+ * @p reference (whose node ids are local, i.e. shifted by -begin).
+ */
+uint64_t
+countMismatches(const sem::Grammar& grammar,
+                const runtime::TreeArena& arena, runtime::NodeIdx begin,
+                runtime::NodeIdx end, const tree::Tree& reference)
+{
+    uint64_t mismatches = 0;
+    for (runtime::NodeIdx node = begin; node < end; ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            if (reference.node(node - begin).values[attr] !=
+                arena.value(node, col)) {
+                ++mismatches;
+            }
+        }
+    }
+    return mismatches;
 }
 
 double
@@ -461,6 +511,9 @@ runRun(int argc, char** argv)
     long long grain = 1024;
     long long exec_threads = 0;
     long long seed = 1;
+    long long batch_count = 1;
+    std::string strategy_name = "auto";
+    bool no_simd = false;
     bool sequential = false;
     bool check = false;
 
@@ -480,6 +533,12 @@ runRun(int argc, char** argv)
             grain = std::atoll(argv[++i]);
         } else if (arg == "--exec-threads" && i + 1 < argc) {
             exec_threads = std::atoll(argv[++i]);
+        } else if (arg == "--batch-count" && i + 1 < argc) {
+            batch_count = std::atoll(argv[++i]);
+        } else if (arg == "--strategy" && i + 1 < argc) {
+            strategy_name = argv[++i];
+        } else if (arg == "--no-simd") {
+            no_simd = true;
         } else if (arg == "--seq") {
             sequential = true;
         } else if (arg == "--check") {
@@ -507,6 +566,9 @@ runRun(int argc, char** argv)
                   "(0 = hardware concurrency)");
     if (seed < 0)
         userError("--seed must be non-negative");
+    if (batch_count < 1 || batch_count > (1ll << 20))
+        userError("--batch-count must be between 1 and 2^20");
+    runtime::SweepStrategy strategy = parseStrategyName(strategy_name);
 
     obs::Telemetry telemetry;
     pipeline::GrammarSource source =
@@ -539,29 +601,53 @@ runRun(int argc, char** argv)
                  artifact.seconds * 1e3);
     std::printf("%s", artifact.concreteTraversal.c_str());
 
-    // 2. + 3. + 4. Compile to bytecode, generate the arena, execute.
+    // 2. + 3. + 4. Compile to bytecode, generate the instance(s),
+    // execute (one batched run when --batch-count > 1).
     pipeline::ExecuteRequest request;
     request.gen.targetNodes = static_cast<uint32_t>(tree_size);
     request.gen.maxDepth = static_cast<uint32_t>(tree_depth);
     request.gen.seed = static_cast<uint64_t>(seed);
     request.exec.grain = static_cast<uint32_t>(grain);
+    request.exec.strategy = strategy;
+    if (no_simd)
+        request.exec.simd = false;
+    request.batchCount = static_cast<uint32_t>(batch_count);
     std::unique_ptr<ThreadPool> pool;
     if (!sequential) {
         pool = std::make_unique<ThreadPool>(
             static_cast<size_t>(exec_threads));
         request.exec.pool = pool.get();
     }
-    pipeline::ExecuteArtifact run = pipe.execute(request);
-    const runtime::TreeArena& arena = run.arena;
-    const runtime::RuntimeStats& stats = run.stats;
-    std::fprintf(stderr, "arena: %u nodes, depth %u, built in %.2fms\n",
-                 arena.size(), arena.depth(),
-                 run.generateSeconds * 1e3);
-    double secs = run.executeSeconds;
+
+    runtime::RuntimeStats stats;
+    std::optional<pipeline::ExecuteArtifact> single;
+    std::optional<pipeline::ForestExecuteArtifact> batched;
+    double gen_secs = 0.0;
+    double secs = 0.0;
+    if (batch_count > 1) {
+        batched.emplace(pipe.executeForest(request));
+        stats = batched->stats;
+        gen_secs = batched->generateSeconds;
+        secs = batched->executeSeconds;
+        std::fprintf(stderr,
+                     "forest: %u trees, %u nodes total, built in %.2fms\n",
+                     batched->forest.treeCount(), batched->forest.size(),
+                     gen_secs * 1e3);
+    } else {
+        single.emplace(pipe.execute(request));
+        stats = single->stats;
+        gen_secs = single->generateSeconds;
+        secs = single->executeSeconds;
+        std::fprintf(stderr,
+                     "arena: %u nodes, depth %u, built in %.2fms\n",
+                     single->arena.size(), single->arena.depth(),
+                     gen_secs * 1e3);
+    }
     std::fprintf(stderr,
-                 "run: %s, %zu worker(s), grain %lld\n",
+                 "run: %s, %zu worker(s), grain %lld, strategy %s%s\n",
                  sequential ? "sequential" : "parallel",
-                 pool ? pool->workerCount() : 1, grain);
+                 pool ? pool->workerCount() : 1, grain,
+                 strategy_name.c_str(), no_simd ? ", simd off" : "");
     std::fprintf(stderr,
                  "run: %.2fms | %.1fM nodes/s | %.1fM rules/s\n",
                  secs * 1e3,
@@ -575,24 +661,30 @@ runRun(int argc, char** argv)
                  static_cast<unsigned long long>(stats.parallelRegions),
                  static_cast<unsigned long long>(stats.tasksSpawned),
                  static_cast<unsigned long long>(stats.helpJoinRuns));
+    std::fprintf(stderr,
+                 "run: %llu level waves | %llu segment kernels\n",
+                 static_cast<unsigned long long>(stats.levelWaves),
+                 static_cast<unsigned long long>(stats.segmentKernels));
 
     // 5. Optional differential check against the reference evaluator.
     int exit_code = 0;
     if (check) {
         const sem::Grammar& grammar = pipe.grammar();
-        tree::Tree reference = arena.toTree();
-        exec::computeReference(reference);
         uint64_t mismatches = 0;
-        for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
-            const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
-            const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
-            for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
-                uint32_t col = arena.layout().column(cls.iface, attr);
-                if (reference.node(node).values[attr] !=
-                    arena.value(node, col)) {
-                    ++mismatches;
-                }
+        if (batched) {
+            const runtime::ForestArena& forest = batched->forest;
+            for (uint32_t t = 0; t < forest.treeCount(); ++t) {
+                tree::Tree reference = forest.toTree(t);
+                exec::computeReference(reference);
+                mismatches += countMismatches(
+                    grammar, forest.flat(), forest.treeBegin(t),
+                    forest.treeBegin(t) + forest.treeSize(t), reference);
             }
+        } else {
+            tree::Tree reference = single->arena.toTree();
+            exec::computeReference(reference);
+            mismatches = countMismatches(grammar, single->arena, 0,
+                                         single->arena.size(), reference);
         }
         if (mismatches != 0) {
             std::fprintf(stderr,

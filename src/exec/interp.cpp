@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "sched/visit_plan.hpp"
+#include "support/arith.hpp"
 
 namespace hecate::exec {
 
@@ -63,11 +64,11 @@ class ExprEval {
         int64_t lhs = eval(*expr.args[0]);
         int64_t rhs = eval(*expr.args[1]);
         const std::string& op = expr.op;
-        if (op == "+") return lhs + rhs;
-        if (op == "-") return lhs - rhs;
-        if (op == "*") return lhs * rhs;
-        if (op == "/") return rhs == 0 ? 0 : lhs / rhs;
-        if (op == "%") return rhs == 0 ? 0 : lhs % rhs;
+        if (op == "+") return wrapAdd(lhs, rhs);
+        if (op == "-") return wrapSub(lhs, rhs);
+        if (op == "*") return wrapMul(lhs, rhs);
+        if (op == "/") return wrapDiv(lhs, rhs);
+        if (op == "%") return wrapMod(lhs, rhs);
         if (op == "<") return lhs < rhs ? 1 : 0;
         if (op == "<=") return lhs <= rhs ? 1 : 0;
         if (op == ">") return lhs > rhs ? 1 : 0;
@@ -79,10 +80,8 @@ class ExprEval {
 
     int64_t evalCall(const ast::Expr& expr) const
     {
-        if (expr.op == "abs") {
-            int64_t v = eval(*expr.args[0]);
-            return v < 0 ? -v : v;
-        }
+        if (expr.op == "abs")
+            return wrapAbs(eval(*expr.args[0]));
         int64_t lhs = eval(*expr.args[0]);
         int64_t rhs = eval(*expr.args[1]);
         if (expr.op == "max")
@@ -94,8 +93,8 @@ class ExprEval {
 
     static int64_t combine(const std::string& fn, int64_t acc, int64_t v)
     {
-        if (fn == "add") return acc + v;
-        if (fn == "mul") return acc * v;
+        if (fn == "add") return wrapAdd(acc, v);
+        if (fn == "mul") return wrapMul(acc, v);
         if (fn == "max") return acc > v ? acc : v;
         if (fn == "min") return acc < v ? acc : v;
         internalError("ExprEval: unknown fold function '" + fn + "'");

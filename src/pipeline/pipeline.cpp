@@ -349,9 +349,47 @@ Pipeline::compileProgram()
     return *program_;
 }
 
+/**
+ * Fill in the per-execution knobs a request left defaulted (the
+ * executor's telemetry sink follows the pipeline's) and export one
+ * execution's counters.
+ */
+runtime::ExecOptions
+Pipeline::resolveExecOptions(const ExecuteRequest& request)
+{
+    runtime::ExecOptions exec = request.exec;
+    if (exec.telemetry == nullptr)
+        exec.telemetry = options_.telemetry;
+    return exec;
+}
+
+void
+Pipeline::exportExecCounters(const runtime::RuntimeStats& stats,
+                             uint64_t nodes, double executeSeconds)
+{
+    obs::Telemetry& sink = telemetry();
+    sink.add("exec.node_visits", static_cast<double>(stats.nodeVisits));
+    sink.add("exec.rules_evaluated",
+             static_cast<double>(stats.rulesEvaluated));
+    sink.add("exec.parallel_regions",
+             static_cast<double>(stats.parallelRegions));
+    sink.add("exec.tasks_spawned", static_cast<double>(stats.tasksSpawned));
+    sink.add("exec.help_join_runs", static_cast<double>(stats.helpJoinRuns));
+    sink.add("exec.level_waves", static_cast<double>(stats.levelWaves));
+    sink.add("exec.segment_kernels",
+             static_cast<double>(stats.segmentKernels));
+    if (executeSeconds > 0.0) {
+        sink.set("exec.nodes_per_sec",
+                 static_cast<double>(nodes) / executeSeconds);
+    }
+}
+
 ExecuteArtifact
 Pipeline::execute(const ExecuteRequest& request)
 {
+    if (request.batchCount != 1)
+        userError("Pipeline::execute: batchCount must be 1 (use "
+                  "executeForest for batches)");
     const runtime::Program& program = compileProgram();
     obs::Span stage = telemetry().span("execute", "stage");
 
@@ -365,21 +403,45 @@ Pipeline::execute(const ExecuteRequest& request)
     Timer execute_timer;
     obs::Span run = telemetry().span("arena.execute");
     runtime::RuntimeStats stats =
-        runtime::execute(program, arena, request.exec);
+        runtime::execute(program, arena, resolveExecOptions(request));
     run.end();
 
+    const uint64_t nodes = arena.size();
     ExecuteArtifact artifact(std::move(arena), stats);
     artifact.generateSeconds = generate_seconds;
     artifact.executeSeconds = execute_timer.seconds();
+    exportExecCounters(stats, nodes, artifact.executeSeconds);
+    return artifact;
+}
 
-    obs::Telemetry& sink = telemetry();
-    sink.add("exec.node_visits", static_cast<double>(stats.nodeVisits));
-    sink.add("exec.rules_evaluated",
-             static_cast<double>(stats.rulesEvaluated));
-    sink.add("exec.parallel_regions",
-             static_cast<double>(stats.parallelRegions));
-    sink.add("exec.tasks_spawned", static_cast<double>(stats.tasksSpawned));
-    sink.add("exec.help_join_runs", static_cast<double>(stats.helpJoinRuns));
+ForestExecuteArtifact
+Pipeline::executeForest(const ExecuteRequest& request)
+{
+    if (request.batchCount == 0)
+        userError("Pipeline::executeForest: batchCount must be positive");
+    const runtime::Program& program = compileProgram();
+    obs::Span stage = telemetry().span("execute", "stage");
+
+    Timer generate_timer;
+    obs::Span generate = telemetry().span("forest.generate");
+    runtime::ForestArena forest = runtime::ForestArena::generate(
+        *grammar_, rootInterface(), request.gen, request.batchCount);
+    generate.end();
+    double generate_seconds = generate_timer.seconds();
+
+    Timer execute_timer;
+    obs::Span run = telemetry().span("forest.execute");
+    runtime::RuntimeStats stats =
+        runtime::execute(program, forest, resolveExecOptions(request));
+    run.end();
+
+    const uint64_t nodes = forest.size();
+    ForestExecuteArtifact artifact(std::move(forest), stats);
+    artifact.generateSeconds = generate_seconds;
+    artifact.executeSeconds = execute_timer.seconds();
+    exportExecCounters(stats, nodes, artifact.executeSeconds);
+    telemetry().add("exec.batch_trees",
+                    static_cast<double>(request.batchCount));
     return artifact;
 }
 

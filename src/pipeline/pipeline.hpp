@@ -46,6 +46,7 @@
 #include "obs/telemetry.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/forest.hpp"
 #include "runtime/program.hpp"
 #include "sched/schedule.hpp"
 #include "service/problem_key.hpp"
@@ -146,6 +147,12 @@ struct PlanArtifact {
 struct ExecuteRequest {
     runtime::GenConfig gen;
     runtime::ExecOptions exec; ///< pool=null runs sequentially
+    /**
+     * Trees per batch. execute() requires 1; executeForest() packs
+     * this many independent instances (gen.targetNodes each) into one
+     * ForestArena and runs them in one batched execution.
+     */
+    uint32_t batchCount = 1;
 };
 
 /** Stage 6: the executed instance. */
@@ -157,6 +164,19 @@ struct ExecuteArtifact {
 
     ExecuteArtifact(runtime::TreeArena a, runtime::RuntimeStats s)
         : arena(std::move(a)), stats(s)
+    {
+    }
+};
+
+/** Stage 6, batched: the executed forest. */
+struct ForestExecuteArtifact {
+    runtime::ForestArena forest;
+    runtime::RuntimeStats stats; ///< batch aggregate
+    double generateSeconds = 0.0;
+    double executeSeconds = 0.0;
+
+    ForestExecuteArtifact(runtime::ForestArena f, runtime::RuntimeStats s)
+        : forest(std::move(f)), stats(s)
     {
     }
 };
@@ -214,6 +234,13 @@ class Pipeline {
     /** Generate an arena instance and run the program over it. */
     ExecuteArtifact execute(const ExecuteRequest& request);
 
+    /**
+     * Generate request.batchCount instances, pack them into one
+     * ForestArena, and run the program over the whole batch in one
+     * execution (runtime::execute over the packed view).
+     */
+    ForestExecuteArtifact executeForest(const ExecuteRequest& request);
+
     /** The analyzed grammar (runs analyze). Pinned for this lifetime. */
     const sem::Grammar& grammar();
 
@@ -238,6 +265,13 @@ class Pipeline {
 
     /** Decode a payload into @p artifact; false on version skew. */
     bool materialize(const std::string& payload, SynthArtifact& artifact);
+
+    /** Request exec knobs with pipeline defaults (telemetry) applied. */
+    runtime::ExecOptions resolveExecOptions(const ExecuteRequest& request);
+
+    /** Export one execution's stats as telemetry counters. */
+    void exportExecCounters(const runtime::RuntimeStats& stats,
+                            uint64_t nodes, double executeSeconds);
 
     SynthArtifact runSynthesis();
 

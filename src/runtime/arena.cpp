@@ -76,7 +76,7 @@ class ArenaBuilder {
      *  collection slot of @p node (slots reserved in ChildId order). */
     uint32_t reserveCollection(uint32_t count)
     {
-        TreeArena::CollRange range;
+        CollRange range;
         range.begin = static_cast<uint32_t>(arena_.collElems_.size());
         range.count = count;
         arena_.collRanges_.push_back(range);

@@ -30,6 +30,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,49 @@ namespace hecate::runtime {
 using NodeIdx = uint32_t;
 
 inline constexpr NodeIdx kNone = sem::kInvalidId;
+
+class Layout;
+class LevelSegments;
+
+/** One collection slot's contiguous element range (CSR row). */
+struct CollRange {
+    uint32_t begin = 0;
+    uint32_t count = 0;
+};
+
+/**
+ * Borrowed raw SoA view of an arena — everything the executor and the
+ * sweep kernels touch, as plain pointers. TreeArena and ForestArena
+ * both produce one, so every execution path is written once against
+ * this and runs over single trees and packed forests alike. Columns
+ * are mutable (executions write attribute cells in place); structure
+ * is not. Views are invalidated by destroying or mutating the owning
+ * arena.
+ */
+struct ArenaView {
+    const sem::Grammar* grammar = nullptr;
+    const Layout* layout = nullptr;
+    uint32_t size = 0;   ///< real node count (excludes the zero row)
+    NodeIdx zeroRow = 0; ///< == size; absent-child reads alias it
+    const sem::ClassId* cls = nullptr;
+    const uint32_t* scalarBase = nullptr;
+    const NodeIdx* scalars = nullptr;
+    const uint32_t* collBase = nullptr;
+    const CollRange* collRanges = nullptr;
+    const NodeIdx* collElems = nullptr;
+    int64_t* const* cols = nullptr; ///< raw column bases, by column id
+    const NodeIdx* roots = nullptr; ///< per-tree root indices
+    uint32_t rootCount = 0;
+
+    /** Element range of collection CSR slot @p slot of @p node. */
+    std::pair<const NodeIdx*, const NodeIdx*>
+    collection(NodeIdx node, uint32_t slot) const
+    {
+        const CollRange& range = collRanges[collBase[node] + slot];
+        const NodeIdx* begin = collElems + range.begin;
+        return {begin, begin + range.count};
+    }
+};
 
 /** Flattening metadata for one class: child slot -> CSR slot. */
 struct ClassLayout {
@@ -172,6 +216,20 @@ class TreeArena {
     const uint32_t* scalarBaseData() const { return scalarBase_.data(); }
     const NodeIdx* scalarsData() const { return scalars_.data(); }
     const sem::ClassId* classData() const { return cls_.data(); }
+    const uint32_t* collBaseData() const { return collBase_.data(); }
+    const CollRange* collRangeData() const { return collRanges_.data(); }
+    const NodeIdx* collElemData() const { return collElems_.data(); }
+
+    /** Raw view of this arena (single root = node 0). */
+    ArenaView view();
+
+    /**
+     * Per-level, per-class index segments of this arena, built on
+     * first use and cached (the BFS structure never changes after
+     * build, so the cache is shared freely across copies). This is
+     * what the segmented sweep strategy executes over.
+     */
+    const LevelSegments& levelSegments();
 
     /** Depth of the deepest node (root = 1). */
     uint32_t depth() const;
@@ -184,16 +242,12 @@ class TreeArena {
 
   private:
     friend class ArenaBuilder;
+    friend class ForestArena; ///< pack() assembles a flat arena directly
 
     explicit TreeArena(const sem::Grammar& grammar)
         : grammar_(&grammar), layout_(grammar)
     {
     }
-
-    struct CollRange {
-        uint32_t begin = 0;
-        uint32_t count = 0;
-    };
 
     const sem::Grammar* grammar_;
     Layout layout_;
@@ -205,6 +259,8 @@ class TreeArena {
     std::vector<CollRange> collRanges_;
     std::vector<NodeIdx> collElems_;
     std::vector<std::vector<int64_t>> columns_; ///< [column][node]
+    std::vector<int64_t*> colPtrs_;             ///< view() scratch
+    std::shared_ptr<const LevelSegments> segments_; ///< lazy cache
 };
 
 /**

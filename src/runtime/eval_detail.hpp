@@ -1,0 +1,173 @@
+#pragma once
+
+/**
+ * @file
+ * Internal evaluation helpers shared by the executor's stack worker
+ * and the segmented sweep kernels: the superinstruction binary-op
+ * switch and the generic expression-bytecode loop. Both use the
+ * wrapping int64 helpers (support/arith.hpp) so every execution path
+ * is byte-identical to exec::ExprEval on the full input domain.
+ */
+
+#include "runtime/arena.hpp"
+#include "runtime/program.hpp"
+#include "support/arith.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hecate::runtime::detail {
+
+/** One two-operand op of a specialized eval (interp semantics). */
+inline int64_t
+applyWrap(XOp fn, int64_t x, int64_t y)
+{
+    switch (fn) {
+    case XOp::Add:
+        return wrapAdd(x, y);
+    case XOp::Sub:
+        return wrapSub(x, y);
+    case XOp::Mul:
+        return wrapMul(x, y);
+    case XOp::Div:
+        return wrapDiv(x, y);
+    case XOp::Mod:
+        return wrapMod(x, y);
+    case XOp::Lt:
+        return x < y ? 1 : 0;
+    case XOp::Le:
+        return x <= y ? 1 : 0;
+    case XOp::Gt:
+        return x > y ? 1 : 0;
+    case XOp::Ge:
+        return x >= y ? 1 : 0;
+    case XOp::Eq:
+        return x == y ? 1 : 0;
+    case XOp::Ne:
+        return x != y ? 1 : 0;
+    case XOp::Max2:
+        return x > y ? x : y;
+    case XOp::Min2:
+        return x < y ? x : y;
+    default:
+        internalError("Executor: bad superinstruction op");
+    }
+}
+
+/**
+ * Run expression bytecode from @p pc for @p node. @p stack must hold
+ * at least Program::maxExprStack() slots; @p kids is the node's CSR
+ * scalar block (row 0 = self). Collections (folds) resolve through
+ * @p view.
+ */
+inline int64_t
+evalExpr(const XInst* xcode, uint32_t pc, int64_t* const* cols,
+         const ArenaView& view, NodeIdx node, const NodeIdx* kids,
+         int64_t* stack)
+{
+    int64_t* sp = stack;
+    for (;; ++pc) {
+        const XInst x = xcode[pc];
+        switch (x.op) {
+        case XOp::Const:
+            *sp++ = x.imm;
+            break;
+        case XOp::LoadSelf:
+            *sp++ = cols[x.a][node];
+            break;
+        case XOp::LoadChild:
+            // Absent children alias the always-zero row.
+            *sp++ = cols[x.b][kids[x.a]];
+            break;
+        case XOp::Add:
+            sp[-2] = wrapAdd(sp[-2], sp[-1]);
+            --sp;
+            break;
+        case XOp::Sub:
+            sp[-2] = wrapSub(sp[-2], sp[-1]);
+            --sp;
+            break;
+        case XOp::Mul:
+            sp[-2] = wrapMul(sp[-2], sp[-1]);
+            --sp;
+            break;
+        case XOp::Div:
+            sp[-2] = wrapDiv(sp[-2], sp[-1]);
+            --sp;
+            break;
+        case XOp::Mod:
+            sp[-2] = wrapMod(sp[-2], sp[-1]);
+            --sp;
+            break;
+        case XOp::Lt:
+            sp[-2] = sp[-2] < sp[-1] ? 1 : 0;
+            --sp;
+            break;
+        case XOp::Le:
+            sp[-2] = sp[-2] <= sp[-1] ? 1 : 0;
+            --sp;
+            break;
+        case XOp::Gt:
+            sp[-2] = sp[-2] > sp[-1] ? 1 : 0;
+            --sp;
+            break;
+        case XOp::Ge:
+            sp[-2] = sp[-2] >= sp[-1] ? 1 : 0;
+            --sp;
+            break;
+        case XOp::Eq:
+            sp[-2] = sp[-2] == sp[-1] ? 1 : 0;
+            --sp;
+            break;
+        case XOp::Ne:
+            sp[-2] = sp[-2] != sp[-1] ? 1 : 0;
+            --sp;
+            break;
+        case XOp::Max2:
+            sp[-2] = sp[-2] > sp[-1] ? sp[-2] : sp[-1];
+            --sp;
+            break;
+        case XOp::Min2:
+            sp[-2] = sp[-2] < sp[-1] ? sp[-2] : sp[-1];
+            --sp;
+            break;
+        case XOp::Abs:
+            sp[-1] = wrapAbs(sp[-1]);
+            break;
+        case XOp::Fold: {
+            int64_t acc = sp[-1];
+            auto [beg, end] = view.collection(node, x.a);
+            const int64_t* col = cols[x.b];
+            switch (x.fn) {
+            case FoldFn::Add:
+                for (const NodeIdx* p = beg; p != end; ++p)
+                    acc = wrapAdd(acc, col[*p]);
+                break;
+            case FoldFn::Mul:
+                for (const NodeIdx* p = beg; p != end; ++p)
+                    acc = wrapMul(acc, col[*p]);
+                break;
+            case FoldFn::Max:
+                for (const NodeIdx* p = beg; p != end; ++p)
+                    acc = acc > col[*p] ? acc : col[*p];
+                break;
+            case FoldFn::Min:
+                for (const NodeIdx* p = beg; p != end; ++p)
+                    acc = acc < col[*p] ? acc : col[*p];
+                break;
+            }
+            sp[-1] = acc;
+            break;
+        }
+        case XOp::Jz:
+            if (*--sp == 0)
+                pc = x.a - 1; // ++pc lands on the target
+            break;
+        case XOp::Jmp:
+            pc = x.a - 1;
+            break;
+        case XOp::Done:
+            return sp[-1];
+        }
+    }
+}
+
+} // namespace hecate::runtime::detail

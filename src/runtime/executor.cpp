@@ -6,6 +6,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+#include "runtime/eval_detail.hpp"
+#include "runtime/kernels.hpp"
+#include "runtime/segments.hpp"
+
 namespace hecate::runtime {
 
 namespace {
@@ -13,18 +18,72 @@ namespace {
 /** State shared by every worker of one execute() call. */
 struct SharedCtx {
     const Program* program = nullptr;
-    TreeArena* arena = nullptr;
+    ArenaView view;
     ThreadPool* pool = nullptr;
     size_t grain = 1;
     NodeIdx spawnPrefix = 0;
-    std::vector<int64_t*> cols; ///< raw column bases, by column id
 
     std::atomic<uint64_t> visits{0};
     std::atomic<uint64_t> rules{0};
     std::atomic<uint64_t> regions{0};
     std::atomic<uint64_t> tasks{0};
     std::atomic<uint64_t> helps{0};
+    std::atomic<uint64_t> waves{0};
+    std::atomic<uint64_t> kernels{0};
 };
+
+/**
+ * Help-join barrier used by every forking site: submit @p count tasks
+ * through @p submitOne, then drain the pool's queue from the calling
+ * thread until all of them finished. The caller's thread is always
+ * also a worker, so nested joins on a fixed-size pool cannot deadlock.
+ * The first task failure is captured and rethrown here after the join.
+ */
+template <class SubmitOne>
+void
+forkJoin(SharedCtx& ctx, size_t count, SubmitOne&& submitOne)
+{
+    std::atomic<size_t> pending{count};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    // A task must decrement pending no matter how it exits: the pool
+    // catches task exceptions (record-and-continue), so a throw that
+    // skipped the decrement would hang the drain loop forever. The
+    // first failure is published by the release decrement / acquire
+    // load pair.
+    auto guard = [&](auto&& body) {
+        try {
+            body();
+        } catch (...) {
+            if (!failed.exchange(true))
+                firstError = std::current_exception();
+        }
+        pending.fetch_sub(1, std::memory_order_release);
+    };
+    size_t submitted = 0;
+    try {
+        for (; submitted < count; ++submitted) {
+            submitOne(submitted, guard);
+            ++ctx.tasks;
+        }
+    } catch (...) {
+        // submit itself threw (allocation): account for the tasks that
+        // never made it into the queue, join the rest, rethrow.
+        if (!failed.exchange(true))
+            firstError = std::current_exception();
+        pending.fetch_sub(count - submitted, std::memory_order_release);
+    }
+    uint64_t helps = 0;
+    while (pending.load(std::memory_order_acquire) != 0) {
+        if (ctx.pool->runOne())
+            ++helps;
+        else
+            std::this_thread::yield();
+    }
+    ctx.helps += helps;
+    if (failed.load(std::memory_order_relaxed))
+        std::rethrow_exception(firstError);
+}
 
 /**
  * One traversal worker: an explicit (node, pc) frame stack plus a
@@ -44,12 +103,9 @@ class Worker {
         : ctx_(ctx), code_(ctx.program->code().data()),
           xcode_(ctx.program->exprPool().data()),
           evals_(ctx.program->evals().data()),
-          entry_(ctx.program->entryData()),
-          cols_(ctx.cols.data()),
-          cls_(ctx.arena->classData()),
-          scalarBase_(ctx.arena->scalarBaseData()),
-          scalars_(ctx.arena->scalarsData()),
-          zero_(ctx.arena->zeroRow())
+          entry_(ctx.program->entryData()), cols_(ctx.view.cols),
+          cls_(ctx.view.cls), scalarBase_(ctx.view.scalarBase),
+          scalars_(ctx.view.scalars), zero_(ctx.view.zeroRow)
     {
         xstack_.resize(ctx.program->maxExprStack());
     }
@@ -58,7 +114,6 @@ class Worker {
     {
         ctx_.visits += visits_;
         ctx_.rules += rules_;
-        ctx_.helps += helps_;
     }
 
     void run(NodeIdx root)
@@ -74,10 +129,10 @@ class Worker {
                 const Inst inst = code_[f.pc];
                 ++f.pc;
                 switch (inst.op) {
-                  case Op::Eval:
+                case Op::Eval:
                     evalRun(inst.a, inst.b, f.node, kids);
                     break;
-                  case Op::Recur: {
+                case Op::Recur: {
                     NodeIdx child = kids[inst.a];
                     if (child != zero_) {
                         // Tail elision: a parent whose next op is Ret
@@ -91,14 +146,13 @@ class Worker {
                         ++visits_;
                     }
                     break;
-                  }
-                  case Op::Iterate: {
+                }
+                case Op::Iterate: {
                     // Reverse push: the first element runs first,
                     // before the case's post-loop evals (they sit at
                     // later pcs of the parent frame, which resumes
                     // only when every element subtree is done).
-                    auto [beg, end] =
-                        ctx_.arena->collection(f.node, inst.a);
+                    auto [beg, end] = ctx_.view.collection(f.node, inst.a);
                     if (beg != end) {
                         if (code_[f.pc].op != Op::Ret)
                             stack_.push_back(f); // tail elision (Recur)
@@ -107,8 +161,8 @@ class Worker {
                         live = false;
                     }
                     break;
-                  }
-                  case Op::ParBegin: {
+                }
+                case Op::ParBegin: {
                     branches_.clear();
                     uint32_t pc = f.pc;
                     for (;; ++pc) {
@@ -119,7 +173,7 @@ class Worker {
                                 branches_.push_back(t);
                         } else if (b.op == Op::ParColl) {
                             auto [beg, end] =
-                                ctx_.arena->collection(f.node, b.a);
+                                ctx_.view.collection(f.node, b.a);
                             branches_.insert(branches_.end(), beg, end);
                         } else {
                             break; // ParEnd
@@ -128,13 +182,13 @@ class Worker {
                     f.pc = pc + 1;
                     live = dispatchRegion(f);
                     break;
-                  }
-                  case Op::Ret:
+                }
+                case Op::Ret:
                     live = false;
                     break;
-                  case Op::ParRecur:
-                  case Op::ParColl:
-                  case Op::ParEnd:
+                case Op::ParRecur:
+                case Op::ParColl:
+                case Op::ParEnd:
                     internalError("Executor: region op outside a region");
                 }
             }
@@ -150,10 +204,12 @@ class Worker {
      * guarantees between dependent rule applications is preserved, so
      * the attribute values are identical — but dispatch is a tight
      * loop with streaming column access instead of a frame stack.
+     * Valid for packed forests too: each tree block is itself
+     * BFS-ordered, and rules never reach across trees.
      */
     void runSweep(const SweepCase* sweeps)
     {
-        const NodeIdx count = static_cast<NodeIdx>(ctx_.arena->size());
+        const NodeIdx count = static_cast<NodeIdx>(ctx_.view.size);
         for (NodeIdx node = 0; node < count; ++node) {
             const SweepCase& sc = sweeps[cls_[node]];
             if (sc.preCount != 0)
@@ -192,35 +248,37 @@ class Worker {
                 continue;
             if (spec.kind == EvalKind::Bytecode) {
                 cols_[spec.targetCol][target] =
-                    evalExpr(node, kids, spec.xbegin);
+                    detail::evalExpr(xcode_, spec.xbegin, cols_, ctx_.view,
+                                     node, kids, xstack_.data());
                 ++rules_;
                 continue;
             }
             int64_t v;
             switch (spec.kind) {
-              case EvalKind::Copy:
+            case EvalKind::Copy:
                 v = load(spec.a, kids);
                 break;
-              case EvalKind::Un:
-                v = load(spec.a, kids);
-                v = v < 0 ? -v : v; // Un is always Abs
+            case EvalKind::Un:
+                v = wrapAbs(load(spec.a, kids)); // Un is always Abs
                 break;
-              case EvalKind::Bin:
-                v = apply(spec.fn1, load(spec.a, kids),
-                          load(spec.b, kids));
+            case EvalKind::Bin:
+                v = detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                      load(spec.b, kids));
                 break;
-              case EvalKind::TriL:
-                v = apply(spec.fn2,
-                          apply(spec.fn1, load(spec.a, kids),
-                                load(spec.b, kids)),
-                          load(spec.c, kids));
+            case EvalKind::TriL:
+                v = detail::applyWrap(
+                    spec.fn2,
+                    detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                      load(spec.b, kids)),
+                    load(spec.c, kids));
                 break;
-              case EvalKind::TriR:
-                v = apply(spec.fn2, load(spec.a, kids),
-                          apply(spec.fn1, load(spec.b, kids),
-                                load(spec.c, kids)));
+            case EvalKind::TriR:
+                v = detail::applyWrap(
+                    spec.fn2, load(spec.a, kids),
+                    detail::applyWrap(spec.fn1, load(spec.b, kids),
+                                      load(spec.c, kids)));
                 break;
-              default:
+            default:
                 internalError("Executor: bad eval kind");
             }
             cols_[spec.targetCol][target] = v;
@@ -259,56 +317,20 @@ class Worker {
             return false;
         }
         ++ctx_.regions;
-        std::atomic<size_t> pending{chunkCount};
-        std::atomic<bool> failed{false};
-        std::exception_ptr firstError;
-        // A chunk task must decrement pending no matter how it exits:
-        // the pool catches task exceptions (record-and-continue), so a
-        // throw that skipped the decrement would hang the help-join
-        // loop below forever. The first failure is captured and
-        // rethrown on the forking thread after the join; firstError is
-        // published by the release decrement / acquire join pair.
-        auto runChunk = [this, &pending, &failed, &firstError](
-                            const NodeIdx* beg, const NodeIdx* end) {
-            try {
-                Worker sub(ctx_);
-                for (const NodeIdx* p = beg; p != end; ++p)
-                    sub.run(*p);
-            } catch (...) {
-                if (!failed.exchange(true))
-                    firstError = std::current_exception();
-            }
-            pending.fetch_sub(1, std::memory_order_release);
-        };
-        size_t submitted = 0;
-        try {
-            for (; submitted < chunkCount; ++submitted) {
-                const NodeIdx* beg = branches_.data() + submitted * grain;
-                const NodeIdx* end = branches_.data() +
-                    std::min(branches_.size(), (submitted + 1) * grain);
-                // beg/end stay valid: this frame owns branches_ and
-                // blocks in the help-join loop until pending hits zero.
-                ctx_.pool->submit([runChunk, beg, end] { runChunk(beg, end); });
-                ++ctx_.tasks;
-            }
-        } catch (...) {
-            // submit itself threw (allocation): account for the chunks
-            // that never made it into the queue, join the rest, rethrow.
-            if (!failed.exchange(true))
-                firstError = std::current_exception();
-            pending.fetch_sub(chunkCount - submitted,
-                              std::memory_order_release);
-        }
-        // Help-join: drain the queue instead of blocking, so nested
-        // regions on a fixed-size pool always make progress.
-        while (pending.load(std::memory_order_acquire) != 0) {
-            if (ctx_.pool->runOne())
-                ++helps_;
-            else
-                std::this_thread::yield();
-        }
-        if (failed.load(std::memory_order_relaxed))
-            std::rethrow_exception(firstError);
+        // beg/end stay valid: this frame owns branches_ and blocks in
+        // the help-join until every chunk finished.
+        forkJoin(ctx_, chunkCount, [&](size_t chunk, auto& guard) {
+            const NodeIdx* beg = branches_.data() + chunk * grain;
+            const NodeIdx* end = branches_.data() +
+                std::min(branches_.size(), (chunk + 1) * grain);
+            ctx_.pool->submit([&ctx = ctx_, beg, end, guard] {
+                guard([&] {
+                    Worker sub(ctx);
+                    for (const NodeIdx* p = beg; p != end; ++p)
+                        sub.run(*p);
+                });
+            });
+        });
         return true;
     }
 
@@ -320,112 +342,6 @@ class Worker {
         // Row 0 is the node itself; absent children alias the
         // always-zero row — a single unconditional load either way.
         return cols_[op.col][kids[op.slot]];
-    }
-
-    /** One two-operand op of a specialized eval (interp semantics). */
-    static int64_t apply(XOp fn, int64_t x, int64_t y)
-    {
-        switch (fn) {
-          case XOp::Add: return x + y;
-          case XOp::Sub: return x - y;
-          case XOp::Mul: return x * y;
-          case XOp::Div: return y == 0 ? 0 : x / y;
-          case XOp::Mod: return y == 0 ? 0 : x % y;
-          case XOp::Lt: return x < y ? 1 : 0;
-          case XOp::Le: return x <= y ? 1 : 0;
-          case XOp::Gt: return x > y ? 1 : 0;
-          case XOp::Ge: return x >= y ? 1 : 0;
-          case XOp::Eq: return x == y ? 1 : 0;
-          case XOp::Ne: return x != y ? 1 : 0;
-          case XOp::Max2: return x > y ? x : y;
-          case XOp::Min2: return x < y ? x : y;
-          default:
-            internalError("Executor: bad superinstruction op");
-        }
-    }
-
-    int64_t evalExpr(NodeIdx node, const NodeIdx* kids, uint32_t pc)
-    {
-        const XInst* xcode = xcode_;
-        int64_t* const* cols = cols_;
-        int64_t* sp = xstack_.data();
-        for (;; ++pc) {
-            const XInst x = xcode[pc];
-            switch (x.op) {
-              case XOp::Const:
-                *sp++ = x.imm;
-                break;
-              case XOp::LoadSelf:
-                *sp++ = cols[x.a][node];
-                break;
-              case XOp::LoadChild:
-                // Absent children alias the always-zero row.
-                *sp++ = cols[x.b][kids[x.a]];
-                break;
-              case XOp::Add: sp[-2] = sp[-2] + sp[-1]; --sp; break;
-              case XOp::Sub: sp[-2] = sp[-2] - sp[-1]; --sp; break;
-              case XOp::Mul: sp[-2] = sp[-2] * sp[-1]; --sp; break;
-              case XOp::Div:
-                sp[-2] = sp[-1] == 0 ? 0 : sp[-2] / sp[-1];
-                --sp;
-                break;
-              case XOp::Mod:
-                sp[-2] = sp[-1] == 0 ? 0 : sp[-2] % sp[-1];
-                --sp;
-                break;
-              case XOp::Lt: sp[-2] = sp[-2] < sp[-1] ? 1 : 0; --sp; break;
-              case XOp::Le: sp[-2] = sp[-2] <= sp[-1] ? 1 : 0; --sp; break;
-              case XOp::Gt: sp[-2] = sp[-2] > sp[-1] ? 1 : 0; --sp; break;
-              case XOp::Ge: sp[-2] = sp[-2] >= sp[-1] ? 1 : 0; --sp; break;
-              case XOp::Eq: sp[-2] = sp[-2] == sp[-1] ? 1 : 0; --sp; break;
-              case XOp::Ne: sp[-2] = sp[-2] != sp[-1] ? 1 : 0; --sp; break;
-              case XOp::Max2:
-                sp[-2] = sp[-2] > sp[-1] ? sp[-2] : sp[-1];
-                --sp;
-                break;
-              case XOp::Min2:
-                sp[-2] = sp[-2] < sp[-1] ? sp[-2] : sp[-1];
-                --sp;
-                break;
-              case XOp::Abs:
-                sp[-1] = sp[-1] < 0 ? -sp[-1] : sp[-1];
-                break;
-              case XOp::Fold: {
-                int64_t acc = sp[-1];
-                auto [beg, end] = ctx_.arena->collection(node, x.a);
-                const int64_t* col = cols[x.b];
-                switch (x.fn) {
-                  case FoldFn::Add:
-                    for (const NodeIdx* p = beg; p != end; ++p)
-                        acc += col[*p];
-                    break;
-                  case FoldFn::Mul:
-                    for (const NodeIdx* p = beg; p != end; ++p)
-                        acc *= col[*p];
-                    break;
-                  case FoldFn::Max:
-                    for (const NodeIdx* p = beg; p != end; ++p)
-                        acc = acc > col[*p] ? acc : col[*p];
-                    break;
-                  case FoldFn::Min:
-                    for (const NodeIdx* p = beg; p != end; ++p)
-                        acc = acc < col[*p] ? acc : col[*p];
-                    break;
-                }
-                sp[-1] = acc;
-                break;
-              }
-              case XOp::Jz:
-                if (*--sp == 0)
-                    pc = x.a - 1; // ++pc lands on the target
-                break;
-              case XOp::Jmp:
-                pc = x.a - 1;
-                break;
-              case XOp::Done:
-                return sp[-1];
-            }
-        }
     }
 
     SharedCtx& ctx_;
@@ -444,32 +360,215 @@ class Worker {
     std::vector<int64_t> xstack_;
     uint64_t visits_ = 0;
     uint64_t rules_ = 0;
-    uint64_t helps_ = 0;
 };
+
+/**
+ * Segmented level-synchronous execution. Levels run as waves —
+ * ascending for the pre pass, descending for the post pass — and each
+ * wave dispatches per-(segment, rule) kernels, spec-major. Spec-major
+ * is observationally identical to the linear sweep's node-major order:
+ * within one wave every rule application at node n touches only
+ * {n} ∪ children(n), cells pairwise disjoint from every other
+ * same-level node's, so only the per-node spec order matters — and
+ * that is preserved (see runtime/segments.hpp).
+ */
+class SweepRunner {
+  public:
+    SweepRunner(SharedCtx& ctx, const LevelSegments& segs, bool simd,
+                obs::Telemetry& telemetry)
+        : ctx_(ctx), segs_(segs), simd_(simd), telemetry_(telemetry),
+          evals_(ctx.program->evals().data()),
+          sweeps_(ctx.program->sweepData()),
+          seqStack_(ctx.program->maxExprStack())
+    {
+        kctx_.view = ctx.view;
+        kctx_.xcode = ctx.program->exprPool().data();
+    }
+
+    void run()
+    {
+        {
+            auto span = telemetry_.span("sweep.pre", "runtime");
+            for (uint32_t l = 0; l < segs_.levelCount(); ++l)
+                wave(l, /*pre=*/true);
+        }
+        {
+            auto span = telemetry_.span("sweep.post", "runtime");
+            for (uint32_t l = segs_.levelCount(); l-- > 0;)
+                wave(l, /*pre=*/false);
+        }
+        // Stats parity with the other strategies: one visit per node.
+        ctx_.visits += ctx_.view.size;
+    }
+
+  private:
+    bool waveHasWork(const LevelSegments::Level& lv, bool pre) const
+    {
+        for (uint32_t s = lv.segBegin; s < lv.segEnd; ++s) {
+            const SweepCase& sc = sweeps_[segs_.segments()[s].cls];
+            if ((pre ? sc.preCount : sc.postCount) != 0)
+                return true;
+        }
+        return false;
+    }
+
+    void wave(uint32_t l, bool pre)
+    {
+        const LevelSegments::Level& lv = segs_.level(l);
+        if (!waveHasWork(lv, pre))
+            return;
+        auto span = telemetry_.span(pre ? "wave.pre" : "wave.post",
+                                    "runtime", l);
+        ++ctx_.waves;
+        const uint32_t count = lv.posEnd - lv.posBegin;
+        const size_t grain = ctx_.grain;
+        if (ctx_.pool == nullptr || count < 2 * grain) {
+            runSlice(lv, lv.posBegin, lv.posEnd, pre, seqStack_.data());
+            return;
+        }
+        // Fork the wave's node span by grain; the help-join below is
+        // the per-level barrier the dependency argument requires.
+        const size_t chunkCount = (count + grain - 1) / grain;
+        forkJoin(ctx_, chunkCount, [&](size_t chunk, auto& guard) {
+            const uint32_t posB =
+                lv.posBegin + static_cast<uint32_t>(chunk * grain);
+            const uint32_t posE = static_cast<uint32_t>(
+                std::min<size_t>(lv.posEnd, posB + grain));
+            ctx_.pool->submit([this, &lv, posB, posE, pre, guard] {
+                guard([&] {
+                    std::vector<int64_t> xstack(
+                        ctx_.program->maxExprStack());
+                    runSlice(lv, posB, posE, pre, xstack.data());
+                });
+            });
+        });
+    }
+
+    /**
+     * Run every (segment ∩ [posB, posE), rule) kernel of one wave
+     * chunk. Chunks partition a level by position, so concurrent
+     * slices touch pairwise-disjoint cells.
+     */
+    void runSlice(const LevelSegments::Level& lv, uint32_t posB,
+                  uint32_t posE, bool pre, int64_t* xstack)
+    {
+        uint64_t writes = 0;
+        uint64_t launched = 0;
+        const LevelSegments::Segment* segArr = segs_.segments();
+        const NodeIdx* order = segs_.order();
+        for (uint32_t s = lv.segBegin; s < lv.segEnd; ++s) {
+            const LevelSegments::Segment& seg = segArr[s];
+            const uint32_t b = std::max(seg.posBegin, posB);
+            const uint32_t e = std::min(seg.posBegin + seg.count, posE);
+            if (b >= e)
+                continue;
+            const SweepCase& sc = sweeps_[seg.cls];
+            const uint32_t evBegin = pre ? sc.preBegin : sc.postBegin;
+            const uint32_t evCount = pre ? sc.preCount : sc.postCount;
+            for (uint32_t i = 0; i < evCount; ++i) {
+                const EvalSpec& spec = evals_[evBegin + i];
+                if (seg.contiguous)
+                    writes += detail::runSpecKernel(
+                        kctx_, spec, nullptr,
+                        seg.first + (b - seg.posBegin), e - b, simd_,
+                        xstack);
+                else
+                    writes += detail::runSpecKernel(kctx_, spec, order + b,
+                                                    0, e - b, simd_,
+                                                    xstack);
+                ++launched;
+            }
+        }
+        ctx_.rules += writes;
+        ctx_.kernels += launched;
+    }
+
+    SharedCtx& ctx_;
+    const LevelSegments& segs_;
+    const bool simd_;
+    obs::Telemetry& telemetry_;
+    detail::KernelCtx kctx_;
+    const EvalSpec* evals_;
+    const SweepCase* sweeps_;
+    std::vector<int64_t> seqStack_; ///< sequential-path operand stack
+};
+
+/** Stack-strategy driver: one traversal per root, forked on a pool. */
+void
+runStack(SharedCtx& ctx)
+{
+    const uint32_t rootCount = ctx.view.rootCount;
+    if (ctx.pool == nullptr || rootCount < 2) {
+        Worker worker(ctx);
+        for (uint32_t r = 0; r < rootCount; ++r)
+            worker.run(ctx.view.roots[r]);
+        return;
+    }
+    // A packed forest: every tree is an independent traversal.
+    forkJoin(ctx, rootCount, [&](size_t r, auto& guard) {
+        const NodeIdx root = ctx.view.roots[r];
+        ctx.pool->submit([&ctx, root, guard] {
+            guard([&] {
+                Worker worker(ctx);
+                worker.run(root);
+            });
+        });
+    });
+}
 
 } // namespace
 
+namespace detail {
+
 RuntimeStats
-execute(const Program& program, TreeArena& arena, const ExecOptions& options)
+executeView(const Program& program, const ArenaView& view,
+            const std::function<const LevelSegments&()>& segments,
+            const ExecOptions& options)
 {
-    checkInvariant(&program.grammar() == &arena.grammar(),
-                   "runtime::execute: program and arena grammar mismatch");
+    SweepStrategy strategy = options.strategy;
+    if (strategy == SweepStrategy::Auto)
+        strategy = program.sweepable() ? SweepStrategy::Segmented
+                                       : SweepStrategy::Stack;
+    else if (strategy != SweepStrategy::Stack && !program.sweepable())
+        userError("runtime: the linear and segmented sweep strategies "
+                  "require a sweepable (sandwich-shaped) program; use "
+                  "the stack strategy");
+
+    obs::Telemetry& telemetry =
+        options.telemetry != nullptr ? *options.telemetry
+                                     : obs::Telemetry::nil();
+
     SharedCtx ctx;
     ctx.program = &program;
-    ctx.arena = &arena;
+    ctx.view = view;
     ctx.pool = options.pool;
-    ctx.grain = std::max<uint32_t>(1, options.grain);
-    ctx.spawnPrefix = options.spawnPrefix;
-    ctx.cols.resize(arena.layout().columnCount());
-    for (uint32_t col = 0; col < ctx.cols.size(); ++col)
-        ctx.cols[col] = arena.columnData(col);
+    // Clamp against the arena: a grain above the node count degenerates
+    // to a single chunk, and a spawn prefix above it means "everywhere".
+    ctx.grain = std::max<uint32_t>(
+        1, std::min<uint32_t>(options.grain, std::max<uint32_t>(view.size, 1)));
+    ctx.spawnPrefix = std::min<NodeIdx>(options.spawnPrefix, view.size);
 
-    if (arena.size() != 0) {
-        Worker worker(ctx);
-        if (program.sweepable())
+    if (view.size != 0) {
+        switch (strategy) {
+        case SweepStrategy::Stack: {
+            auto span = telemetry.span("sweep.stack", "runtime");
+            runStack(ctx);
+            break;
+        }
+        case SweepStrategy::Linear: {
+            auto span = telemetry.span("sweep.linear", "runtime");
+            Worker worker(ctx);
             worker.runSweep(program.sweepData());
-        else
-            worker.run(arena.root());
+            break;
+        }
+        case SweepStrategy::Segmented: {
+            SweepRunner runner(ctx, segments(), options.simd, telemetry);
+            runner.run();
+            break;
+        }
+        case SweepStrategy::Auto:
+            internalError("Executor: unresolved Auto strategy");
+        }
     }
 
     RuntimeStats stats;
@@ -478,7 +577,22 @@ execute(const Program& program, TreeArena& arena, const ExecOptions& options)
     stats.parallelRegions = ctx.regions.load();
     stats.tasksSpawned = ctx.tasks.load();
     stats.helpJoinRuns = ctx.helps.load();
+    stats.levelWaves = ctx.waves.load();
+    stats.segmentKernels = ctx.kernels.load();
     return stats;
+}
+
+} // namespace detail
+
+RuntimeStats
+execute(const Program& program, TreeArena& arena, const ExecOptions& options)
+{
+    checkInvariant(&program.grammar() == &arena.grammar(),
+                   "runtime::execute: program and arena grammar mismatch");
+    return detail::executeView(
+        program, arena.view(),
+        [&arena]() -> const LevelSegments& { return arena.levelSegments(); },
+        options);
 }
 
 } // namespace hecate::runtime

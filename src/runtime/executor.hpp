@@ -2,60 +2,104 @@
 
 /**
  * @file
- * Executor: runs a compiled Program over a TreeArena.
+ * Executor: runs a compiled Program over a TreeArena (or a packed
+ * ForestArena, through the shared ArenaView entry).
  *
- * Unlike exec/interp this never uses native recursion — traversal
- * state is an explicit stack of (node, pc) frames, so adversarially
- * deep trees are limited by heap, not by the 8MB thread stack.
+ * Three sweep strategies share one entry point:
  *
- * Sandwich-shaped programs (Program::sweepable) skip the frame stack
- * entirely: the BFS-ordered arena lets their pre-visit eval runs
- * execute as one ascending linear pass over the node array and their
- * post-visit runs as one descending pass, preserving every
- * parent/child dependency of the DFS order with streaming column
- * access. The executor picks this path automatically.
+ *  - Stack: an explicit (node, pc) frame stack — no native recursion,
+ *    so adversarially deep trees are limited by heap, not the 8MB
+ *    thread stack. Works for every program; `parallel` regions fork
+ *    onto the pool (see below).
+ *  - Linear: for sandwich-shaped programs (Program::sweepable), the
+ *    BFS-ordered arena lets the pre-visit eval runs execute as one
+ *    ascending pass over the node array and the post-visit runs as one
+ *    descending pass — the historical sweep path, kept as a
+ *    differential baseline.
+ *  - Segmented: the level-synchronous strategy. The cached
+ *    LevelSegments permutation groups each depth level by class; every
+ *    (segment, rule) pair becomes one class-homogeneous kernel over
+ *    SoA columns (runtime/kernels.hpp), auto-vectorizable and
+ *    branch-free on the hot shapes. Levels run as waves — ascending
+ *    for pre runs, descending for post runs — and each wave's
+ *    contiguous span is chunked onto the ThreadPool with a help-join
+ *    barrier per wave. Why barriers per level suffice is the
+ *    dependency argument in runtime/segments.hpp / DESIGN.md §10.
  *
- * Parallelism: a `parallel` region's branch targets (scalar recurs or
- * a whole collection) are chunked by `grain` and submitted to a
- * ThreadPool; the forking thread then *help-joins* — it runs queued
- * tasks itself (ThreadPool::runOne) until its region's pending count
- * drains. That makes nested fork-join safe on a fixed-size pool: a
- * waiting thread is always also a worker, so the pool cannot deadlock
- * with every worker blocked in a join.
+ * Auto picks Segmented for sweepable programs and Stack otherwise.
  *
- * Narrow regions — statement-form `parallel { recur a; recur b; }`
- * blocks with a handful of branches — never fill a grain-sized chunk,
- * so they fork per branch instead, but only while the region's node
- * index is under `spawnPrefix`: arena ids are BFS-ordered, so a low
- * index means the node sits near the root and each branch is a whole
- * large subtree worth a task (the depth-cutoff idiom of hand-written
- * fork-join code, in O(1) via the index).
+ * Stack-strategy parallelism: a `parallel` region's branch targets
+ * (scalar recurs or a whole collection) are chunked by `grain` and
+ * submitted to a ThreadPool; the forking thread then *help-joins* — it
+ * runs queued tasks itself (ThreadPool::runOne) until its region's
+ * pending count drains. That makes nested fork-join safe on a
+ * fixed-size pool: a waiting thread is always also a worker, so the
+ * pool cannot deadlock with every worker blocked in a join. Narrow
+ * regions — statement-form `parallel { recur a; recur b; }` blocks
+ * with a handful of branches — never fill a grain-sized chunk, so they
+ * fork per branch instead, but only while the region's node index is
+ * under `spawnPrefix`: arena ids are BFS-ordered, so a low index means
+ * the node sits near the root and each branch is a whole large subtree
+ * worth a task (the depth-cutoff idiom of hand-written fork-join code,
+ * in O(1) via the index).
  *
- * Race-freedom is inherited from verification, not re-checked here:
- * a verified schedule only places recurs of *disjoint* subtrees inside
- * a region, and L_a rules read only self/child attributes, so branch
+ * Race-freedom is inherited from verification, not re-checked here: a
+ * verified schedule only places recurs of *disjoint* subtrees inside a
+ * region, and L_a rules read only self/child attributes, so branch
  * executions touch disjoint arena cells (DESIGN.md §7).
  */
 
 #include <cstdint>
+#include <functional>
 
 #include "runtime/arena.hpp"
 #include "runtime/program.hpp"
 #include "support/thread_pool.hpp"
 
+namespace hecate::obs {
+class Telemetry;
+}
+
 namespace hecate::runtime {
+
+/** How execute() traverses the arena. */
+enum class SweepStrategy : uint8_t {
+    Auto,      ///< Segmented when the program is sweepable, else Stack
+    Stack,     ///< explicit-stack traversal (any program)
+    Linear,    ///< two-pass linear sweep (sweepable programs only)
+    Segmented, ///< level-synchronous segment kernels (sweepable only)
+};
 
 /** Execution knobs. */
 struct ExecOptions {
-    /** Pool for `parallel` regions; null runs everything sequentially. */
+    /** Pool for parallel work; null runs everything sequentially. */
     ThreadPool* pool = nullptr;
-    /** Minimum branch targets per parallel task (chunk size). */
+    /**
+     * Minimum work items per pool task: branch targets per chunk
+     * (Stack) or wave nodes per chunk (Segmented). Clamped to the
+     * arena's node count.
+     */
     uint32_t grain = 1024;
     /**
-     * Fork narrow (sub-grain) regions per branch while the region's
-     * BFS node index is below this; 0 never forks them.
+     * Stack strategy: fork narrow (sub-grain) regions per branch while
+     * the region's BFS node index is below this; 0 never forks them.
+     * Clamped to the arena's node count.
      */
     uint32_t spawnPrefix = 1024;
+    SweepStrategy strategy = SweepStrategy::Auto;
+    /**
+     * Segmented strategy: run the auto-vectorized kernel variant. The
+     * scalar variant is compiled alongside either way; building with
+     * -DHECATE_DISABLE_SIMD=ON flips this default so CI can
+     * differentially check both.
+     */
+#ifdef HECATE_DISABLE_SIMD
+    bool simd = false;
+#else
+    bool simd = true;
+#endif
+    /** Optional sink for per-sweep / per-wave spans; null = none. */
+    obs::Telemetry* telemetry = nullptr;
 };
 
 /** Counters from one execution. */
@@ -64,19 +108,37 @@ struct RuntimeStats {
     uint64_t rulesEvaluated = 0;
     /** Parallel regions that actually forked (≥2 chunks + a pool). */
     uint64_t parallelRegions = 0;
-    /** Chunk tasks submitted to the pool. */
+    /** Chunk tasks submitted to the pool (regions, waves, roots). */
     uint64_t tasksSpawned = 0;
     /** Tasks the joining thread ran itself while help-joining. */
     uint64_t helpJoinRuns = 0;
+    /** Level waves executed by the segmented strategy (both passes). */
+    uint64_t levelWaves = 0;
+    /** Segment-kernel launches by the segmented strategy. */
+    uint64_t segmentKernels = 0;
 };
 
 /**
  * Execute @p program over @p arena, writing every computed attribute
  * column in place. The arena must be an instance of the program's
- * grammar. Sequential when options.pool is null; otherwise `parallel`
- * regions fork onto the pool under options.grain.
+ * grammar. Sequential when options.pool is null. Throws UserError when
+ * options.strategy names a sweep strategy the program does not
+ * support.
  */
 RuntimeStats execute(const Program& program, TreeArena& arena,
                      const ExecOptions& options = {});
+
+namespace detail {
+
+/**
+ * Strategy-dispatching entry shared by TreeArena and ForestArena
+ * execution. @p segments is invoked (once) only when the segmented
+ * strategy actually runs, so callers build LevelSegments lazily.
+ */
+RuntimeStats executeView(const Program& program, const ArenaView& view,
+                         const std::function<const LevelSegments&()>& segments,
+                         const ExecOptions& options);
+
+} // namespace detail
 
 } // namespace hecate::runtime

@@ -1,0 +1,181 @@
+#include "runtime/forest.hpp"
+
+#include <algorithm>
+
+#include "runtime/segments.hpp"
+#include "support/rng.hpp"
+
+namespace hecate::runtime {
+
+ForestArena
+ForestArena::pack(const std::vector<TreeArena>& trees)
+{
+    if (trees.empty())
+        userError("ForestArena::pack: empty batch");
+    const sem::Grammar& grammar = trees.front().grammar();
+    for (const TreeArena& tree : trees) {
+        checkInvariant(&tree.grammar() == &grammar,
+                       "ForestArena::pack: mixed grammars in one batch");
+    }
+
+    ForestArena forest(grammar);
+    TreeArena& flat = forest.flat_;
+
+    uint64_t totalNodes = 0;
+    uint64_t totalScalars = 0;
+    uint64_t totalRanges = 0;
+    uint64_t totalElems = 0;
+    for (const TreeArena& tree : trees) {
+        totalNodes += tree.size();
+        totalScalars += tree.scalars_.size();
+        totalRanges += tree.collRanges_.size();
+        totalElems += tree.collElems_.size();
+    }
+    if (totalNodes + 1 >= static_cast<uint64_t>(kNone))
+        userError("ForestArena::pack: batch overflows 32-bit node indices");
+
+    const NodeIdx zeroRow = static_cast<NodeIdx>(totalNodes);
+    flat.cls_.reserve(totalNodes);
+    flat.scalarBase_.reserve(totalNodes);
+    flat.collBase_.reserve(totalNodes);
+    flat.scalars_.reserve(totalScalars);
+    flat.collRanges_.reserve(totalRanges);
+    flat.collElems_.reserve(totalElems);
+    forest.bounds_.reserve(trees.size() + 1);
+
+    // Every column holds all real rows plus the shared zero row.
+    flat.columns_.assign(
+        flat.layout_.columnCount(),
+        std::vector<int64_t>(totalNodes + 1, 0));
+
+    NodeIdx nodeOff = 0;
+    for (const TreeArena& tree : trees) {
+        const uint32_t scalarOff =
+            static_cast<uint32_t>(flat.scalars_.size());
+        const uint32_t rangeOff =
+            static_cast<uint32_t>(flat.collRanges_.size());
+        const uint32_t elemOff =
+            static_cast<uint32_t>(flat.collElems_.size());
+        forest.bounds_.push_back(nodeOff);
+
+        flat.cls_.insert(flat.cls_.end(), tree.cls_.begin(),
+                         tree.cls_.end());
+        for (uint32_t base : tree.scalarBase_)
+            flat.scalarBase_.push_back(base + scalarOff);
+        for (uint32_t base : tree.collBase_)
+            flat.collBase_.push_back(base + rangeOff);
+        // Scalar entries are node ids (self rows and present children)
+        // or the tree's own zero row; both shift into the shared space.
+        const NodeIdx treeZero = tree.zeroRow();
+        for (NodeIdx s : tree.scalars_)
+            flat.scalars_.push_back(s == treeZero ? zeroRow : s + nodeOff);
+        for (const CollRange& range : tree.collRanges_)
+            flat.collRanges_.push_back({range.begin + elemOff, range.count});
+        for (NodeIdx e : tree.collElems_)
+            flat.collElems_.push_back(e + nodeOff);
+
+        // Column copy skips the source's trailing zero row; the shared
+        // one at the end of each packed column is already zero.
+        for (uint32_t col = 0; col < flat.layout_.columnCount(); ++col) {
+            std::copy(tree.columns_[col].begin(),
+                      tree.columns_[col].begin() + tree.size(),
+                      flat.columns_[col].begin() + nodeOff);
+        }
+        nodeOff += tree.size();
+    }
+    forest.bounds_.push_back(nodeOff);
+    return forest;
+}
+
+ForestArena
+ForestArena::generate(const sem::Grammar& grammar, sem::InterfaceId rootIface,
+                      const GenConfig& config, uint32_t treeCount)
+{
+    if (treeCount == 0)
+        userError("ForestArena::generate: treeCount must be positive");
+    std::vector<TreeArena> trees;
+    trees.reserve(treeCount);
+    for (uint32_t t = 0; t < treeCount; ++t) {
+        GenConfig cfg = config;
+        // Independent per-tree streams from one batch seed.
+        cfg.seed = splitmix64(config.seed + 0x9e3779b97f4a7c15ull * (t + 1));
+        trees.push_back(TreeArena::generate(grammar, rootIface, cfg));
+    }
+    return pack(trees);
+}
+
+tree::Tree
+ForestArena::toTree(uint32_t t) const
+{
+    checkInvariant(t < treeCount(), "ForestArena::toTree: bad tree index");
+    const NodeIdx begin = bounds_[t];
+    const NodeIdx end = bounds_[t + 1];
+    const sem::Grammar& g = grammar();
+
+    tree::Tree out(g);
+    for (NodeIdx node = begin; node < end; ++node) {
+        tree::NodeId id = out.addNode(flat_.cls_[node]);
+        checkInvariant(id == node - begin, "ForestArena::toTree: id mismatch");
+    }
+    for (NodeIdx node = begin; node < end; ++node) {
+        const tree::NodeId local = node - begin;
+        const sem::ClassInfo& info = g.cls(flat_.cls_[node]);
+        const ClassLayout& layout = flat_.layout_.cls(flat_.cls_[node]);
+        for (const sem::ChildInfo& child : info.children) {
+            if (child.collection) {
+                auto [b, e] = flat_.collection(
+                    node,
+                    static_cast<uint32_t>(layout.collSlotOf[child.id]));
+                for (const NodeIdx* it = b; it != e; ++it)
+                    out.addElement(local, child.id, *it - begin);
+            } else {
+                NodeIdx target = flat_.scalarChild(
+                    node,
+                    static_cast<uint32_t>(layout.scalarSlotOf[child.id]));
+                if (target != kNone)
+                    out.setScalar(local, child.id, target - begin);
+            }
+        }
+        const sem::InterfaceInfo& iface = g.iface(info.iface);
+        uint32_t base = flat_.layout_.column(info.iface, 0);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr)
+            out.node(local).values[attr] = flat_.columns_[base + attr][node];
+    }
+    out.setRoot(0);
+    return out;
+}
+
+ArenaView
+ForestArena::view()
+{
+    ArenaView v = flat_.view();
+    v.roots = bounds_.data(); // bounds_[t] is tree t's root id
+    v.rootCount = treeCount();
+    return v;
+}
+
+const LevelSegments&
+ForestArena::levelSegments()
+{
+    if (!segments_) {
+        segments_ = std::make_shared<const LevelSegments>(
+            LevelSegments::build(view()));
+    }
+    return *segments_;
+}
+
+RuntimeStats
+execute(const Program& program, ForestArena& forest,
+        const ExecOptions& options)
+{
+    checkInvariant(&program.grammar() == &forest.grammar(),
+                   "runtime::execute: program and forest grammar mismatch");
+    return detail::executeView(
+        program, forest.view(),
+        [&forest]() -> const LevelSegments& {
+            return forest.levelSegments();
+        },
+        options);
+}
+
+} // namespace hecate::runtime

@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * ForestArena: many trees of one grammar packed into a single shared
+ * column set, so one compiled Program executes a whole batch in one
+ * set of sweeps.
+ *
+ * Packing concatenates the per-tree arenas block by block — node ids,
+ * CSR scalar blocks, collection ranges, and attribute columns all
+ * shift by per-tree offsets into one flat TreeArena-shaped store with
+ * a single shared zero row at the end. Each tree block keeps its BFS
+ * order (parents precede children), and no rule ever reaches across
+ * trees, so every execution strategy runs unchanged over the packed
+ * form through the same ArenaView the single-tree path uses — the
+ * only difference is the root list (one root per tree block).
+ *
+ * The payoff is batch amortization: per-execution overheads (strategy
+ * dispatch, wave scheduling, pool barriers) are paid once per forest
+ * instead of once per tree, and the level-synchronous strategy gets
+ * longer segments — level L of *every* tree lands in the same wave,
+ * so segment kernels stream over batch-sized spans. A forest's
+ * LevelSegments are derived from the packed view and cached here,
+ * exactly like TreeArena caches its own.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/arena.hpp"
+#include "runtime/executor.hpp"
+
+namespace hecate::runtime {
+
+/** A batch of same-grammar trees sharing one column set. */
+class ForestArena {
+  public:
+    /** Pack copies of @p trees (all of one grammar) into one forest. */
+    static ForestArena pack(const std::vector<TreeArena>& trees);
+
+    /**
+     * Generate @p treeCount independent random instances (per-tree
+     * node budget @p config.targetNodes; tree t uses a seed derived
+     * from config.seed and t) and pack them.
+     */
+    static ForestArena generate(const sem::Grammar& grammar,
+                                sem::InterfaceId rootIface,
+                                const GenConfig& config, uint32_t treeCount);
+
+    const sem::Grammar& grammar() const { return flat_.grammar(); }
+
+    uint32_t treeCount() const
+    {
+        return static_cast<uint32_t>(bounds_.size()) - 1;
+    }
+    /** Total node count across the batch. */
+    uint32_t size() const { return flat_.size(); }
+
+    /** Global node id of tree @p t's root (its block's first id). */
+    NodeIdx treeBegin(uint32_t t) const { return bounds_[t]; }
+    uint32_t treeSize(uint32_t t) const
+    {
+        return bounds_[t + 1] - bounds_[t];
+    }
+
+    /** Extract tree @p t as a validated tree::Tree (node ids local). */
+    tree::Tree toTree(uint32_t t) const;
+
+    /** The packed flat store (checksums, cell access, clearing). */
+    TreeArena& flat() { return flat_; }
+    const TreeArena& flat() const { return flat_; }
+
+    /** Raw view of the packed batch (one root per tree). */
+    ArenaView view();
+
+    /** Segments of the packed view, built on first use and cached. */
+    const LevelSegments& levelSegments();
+
+  private:
+    explicit ForestArena(const sem::Grammar& grammar) : flat_(grammar) {}
+
+    TreeArena flat_;
+    /** Tree block begin offsets; bounds_[treeCount()] == size(). */
+    std::vector<NodeIdx> bounds_;
+    std::shared_ptr<const LevelSegments> segments_; ///< lazy cache
+};
+
+/**
+ * Execute @p program over every tree of @p forest in one batched run.
+ * Identical semantics to executing each tree separately; stats are the
+ * batch aggregate.
+ */
+RuntimeStats execute(const Program& program, ForestArena& forest,
+                     const ExecOptions& options = {});
+
+} // namespace hecate::runtime

@@ -1,0 +1,25 @@
+#include "runtime/kernels.hpp"
+
+namespace hecate::runtime::detail {
+
+namespace kern_vec {
+uint64_t runSpec(const KernelCtx& ctx, const EvalSpec& spec,
+                 const NodeIdx* order, NodeIdx first, uint32_t count,
+                 int64_t* xstack);
+} // namespace kern_vec
+
+namespace kern_novec {
+uint64_t runSpec(const KernelCtx& ctx, const EvalSpec& spec,
+                 const NodeIdx* order, NodeIdx first, uint32_t count,
+                 int64_t* xstack);
+} // namespace kern_novec
+
+uint64_t
+runSpecKernel(const KernelCtx& ctx, const EvalSpec& spec, const NodeIdx* order,
+              NodeIdx first, uint32_t count, bool simd, int64_t* xstack)
+{
+    return simd ? kern_vec::runSpec(ctx, spec, order, first, count, xstack)
+                : kern_novec::runSpec(ctx, spec, order, first, count, xstack);
+}
+
+} // namespace hecate::runtime::detail

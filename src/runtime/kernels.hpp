@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Class-homogeneous sweep kernels for the segmented execution
+ * strategy: one EvalSpec applied to one LevelSegments segment as a
+ * tight loop over SoA columns, with dispatch (eval kind, operator,
+ * operand shape, target shape) hoisted entirely out of the loop.
+ *
+ * Every kernel exists in two variants compiled side by side from the
+ * same source (kernels_impl.inl): an auto-vectorization-friendly
+ * build and a portable scalar build with the vectorizer disabled.
+ * ExecOptions::simd selects at run time; the HECATE_DISABLE_SIMD
+ * CMake option flips the default so CI can differentially check the
+ * scalar kernels against every other path. Both variants share the
+ * wrapping int64 semantics of support/arith.hpp, so their results are
+ * bit-identical by construction — the flag exists to prove it.
+ */
+
+#include "runtime/arena.hpp"
+#include "runtime/program.hpp"
+
+namespace hecate::runtime::detail {
+
+/** Everything a kernel needs beyond the spec and the node slice. */
+struct KernelCtx {
+    ArenaView view;                ///< columns + CSR structure
+    const XInst* xcode = nullptr;  ///< expression pool (Bytecode kind)
+};
+
+/**
+ * Apply @p spec to a slice of same-class nodes: order[0..count) when
+ * @p order is non-null (a permuted segment), else the contiguous id
+ * range [first, first + count). @p xstack must hold maxExprStack()
+ * slots and be private to the calling thread (Bytecode evals use it).
+ * Returns the number of cells written (vacuous child-target evals
+ * write nothing).
+ */
+uint64_t runSpecKernel(const KernelCtx& ctx, const EvalSpec& spec,
+                       const NodeIdx* order, NodeIdx first, uint32_t count,
+                       bool simd, int64_t* xstack);
+
+} // namespace hecate::runtime::detail

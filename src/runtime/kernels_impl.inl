@@ -1,0 +1,478 @@
+// kernels_impl.inl — the body of one kernel variant.
+//
+// Included exactly once each by kernels_vec.cpp and kernels_scalar.cpp
+// with HECATE_KERNEL_NS (namespace name) and HECATE_SIMD (0/1) set.
+// Everything lives inside the per-variant namespace, so the two
+// translation units share nothing but the types from kernels.hpp; the
+// vectorization difference comes from per-source compile flags (see
+// src/CMakeLists.txt) plus the ivdep hint below.
+//
+// Why `ivdep` is sound here: a kernel runs one EvalSpec over nodes of
+// a single level wave. A self-target spec writes out[n] for distinct
+// ids n and reads rows of {n} ∪ children(n) — the written rows are
+// pairwise distinct and never equal another iteration's read row
+// (children live one level deeper). A child-target spec writes
+// distinct child rows (one parent per node) and reads the parents'
+// level. Either way no loop-carried dependence exists, which is
+// exactly the within-wave independence argument of DESIGN.md §10.
+
+#include "runtime/eval_detail.hpp"
+#include "runtime/kernels.hpp"
+
+#if HECATE_SIMD
+#if defined(__clang__)
+#define HECATE_KERNEL_LOOP                                                     \
+    _Pragma("clang loop vectorize(enable) interleave(enable)")
+#else
+#define HECATE_KERNEL_LOOP _Pragma("GCC ivdep")
+#endif
+#else
+#if defined(__clang__)
+#define HECATE_KERNEL_LOOP _Pragma("clang loop vectorize(disable)")
+#else
+#define HECATE_KERNEL_LOOP
+#endif
+#endif
+
+namespace hecate::runtime::detail {
+namespace HECATE_KERNEL_NS {
+
+namespace {
+
+/**
+ * Blended operand loader. Constants read a dummy row of the target
+ * column at the iterating node's own index — always in-bounds, never
+ * written by any other lane of the same wave — and mask the load out
+ * of the result, so the loop body is branch-free for every operand
+ * shape.
+ */
+struct Ld {
+    const int64_t* col = nullptr;
+    int64_t imm = 0;
+    int64_t mask = 0; ///< -1 selects imm, 0 selects the column read
+    uint32_t slot = 0;
+};
+
+inline Ld
+makeLd(const Operand& op, const ArenaView& v, uint32_t targetCol)
+{
+    Ld l;
+    if (op.slot == Operand::kConst) {
+        l.col = v.cols[targetCol];
+        l.imm = op.imm;
+        l.mask = -1;
+        l.slot = 0;
+    } else {
+        l.col = v.cols[op.col];
+        l.slot = static_cast<uint32_t>(op.slot);
+    }
+    return l;
+}
+
+/** Load in stream form; valid only when slot is 0 or the operand is
+ *  a constant (the `allSelf` gate below guarantees it). */
+inline int64_t
+ldSelf(const Ld& l, NodeIdx n)
+{
+    return (l.imm & l.mask) | (l.col[n] & ~l.mask);
+}
+
+/** Load through the node's CSR scalar block (row 0 = self). */
+inline int64_t
+ldKids(const Ld& l, const NodeIdx* kids)
+{
+    return (l.imm & l.mask) | (l.col[kids[l.slot]] & ~l.mask);
+}
+
+inline bool
+selfish(const Operand& op)
+{
+    return op.slot == Operand::kConst || op.slot == 0;
+}
+
+// ---- operator functors ------------------------------------------------
+
+struct AddF {
+    static int64_t apply(int64_t x, int64_t y) { return wrapAdd(x, y); }
+};
+struct SubF {
+    static int64_t apply(int64_t x, int64_t y) { return wrapSub(x, y); }
+};
+struct MulF {
+    static int64_t apply(int64_t x, int64_t y) { return wrapMul(x, y); }
+};
+struct DivF {
+    static int64_t apply(int64_t x, int64_t y) { return wrapDiv(x, y); }
+};
+struct ModF {
+    static int64_t apply(int64_t x, int64_t y) { return wrapMod(x, y); }
+};
+struct LtF {
+    static int64_t apply(int64_t x, int64_t y) { return x < y ? 1 : 0; }
+};
+struct LeF {
+    static int64_t apply(int64_t x, int64_t y) { return x <= y ? 1 : 0; }
+};
+struct GtF {
+    static int64_t apply(int64_t x, int64_t y) { return x > y ? 1 : 0; }
+};
+struct GeF {
+    static int64_t apply(int64_t x, int64_t y) { return x >= y ? 1 : 0; }
+};
+struct EqF {
+    static int64_t apply(int64_t x, int64_t y) { return x == y ? 1 : 0; }
+};
+struct NeF {
+    static int64_t apply(int64_t x, int64_t y) { return x != y ? 1 : 0; }
+};
+struct Max2F {
+    static int64_t apply(int64_t x, int64_t y) { return x > y ? x : y; }
+};
+struct Min2F {
+    static int64_t apply(int64_t x, int64_t y) { return x < y ? x : y; }
+};
+
+// ---- compute bodies ---------------------------------------------------
+// Each body offers the stream form atSelf(n) (all operands self or
+// const) and the CSR form atKids(n, kids).
+
+struct CopyC {
+    Ld a;
+    int64_t atSelf(NodeIdx n) const { return ldSelf(a, n); }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return ldKids(a, kids);
+    }
+};
+
+struct AbsC {
+    Ld a;
+    int64_t atSelf(NodeIdx n) const { return wrapAbs(ldSelf(a, n)); }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return wrapAbs(ldKids(a, kids));
+    }
+};
+
+template <class F> struct BinC {
+    Ld a, b;
+    int64_t atSelf(NodeIdx n) const
+    {
+        return F::apply(ldSelf(a, n), ldSelf(b, n));
+    }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return F::apply(ldKids(a, kids), ldKids(b, kids));
+    }
+};
+
+template <class F1, class F2, bool Left> struct TriC {
+    Ld a, b, c;
+    static int64_t shape(int64_t x, int64_t y, int64_t z)
+    {
+        if constexpr (Left)
+            return F2::apply(F1::apply(x, y), z);
+        else
+            return F2::apply(x, F1::apply(y, z));
+    }
+    int64_t atSelf(NodeIdx n) const
+    {
+        return shape(ldSelf(a, n), ldSelf(b, n), ldSelf(c, n));
+    }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return shape(ldKids(a, kids), ldKids(b, kids), ldKids(c, kids));
+    }
+};
+
+/** Generic three-operand body for the (fn1, fn2) pairs not worth a
+ *  dedicated instantiation. */
+struct TriGenC {
+    Ld a, b, c;
+    XOp fn1, fn2;
+    bool left;
+    int64_t shape(int64_t x, int64_t y, int64_t z) const
+    {
+        return left ? applyWrap(fn2, applyWrap(fn1, x, y), z)
+                    : applyWrap(fn2, x, applyWrap(fn1, y, z));
+    }
+    int64_t atSelf(NodeIdx n) const
+    {
+        return shape(ldSelf(a, n), ldSelf(b, n), ldSelf(c, n));
+    }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return shape(ldKids(a, kids), ldKids(b, kids), ldKids(c, kids));
+    }
+};
+
+/** Fallback body: run the expression pool (if/fold/deep nestings). */
+struct ByteC {
+    const KernelCtx* k;
+    uint32_t xbegin;
+    int64_t* stack;
+    int64_t atSelf(NodeIdx n) const
+    {
+        return atKids(n, k->view.scalars + k->view.scalarBase[n]);
+    }
+    int64_t atKids(NodeIdx n, const NodeIdx* kids) const
+    {
+        return evalExpr(k->xcode, xbegin, k->view.cols, k->view, n, kids,
+                        stack);
+    }
+};
+
+// ---- loop shapes ------------------------------------------------------
+
+/** Contiguous ids, self target, stream operands: the vector shape. */
+template <class C>
+uint64_t
+streamSelf(int64_t* out, NodeIdx first, uint32_t count, C c)
+{
+    HECATE_KERNEL_LOOP
+    for (uint32_t i = 0; i < count; ++i)
+        out[first + i] = c.atSelf(first + i);
+    return count;
+}
+
+/** Contiguous ids, self target, child operands via the CSR block. */
+template <class C>
+uint64_t
+contigSelf(const ArenaView& v, int64_t* out, NodeIdx first, uint32_t count,
+           C c)
+{
+    const uint32_t* base = v.scalarBase;
+    const NodeIdx* scalars = v.scalars;
+    HECATE_KERNEL_LOOP
+    for (uint32_t i = 0; i < count; ++i) {
+        const NodeIdx n = first + i;
+        out[n] = c.atKids(n, scalars + base[n]);
+    }
+    return count;
+}
+
+/** Permuted segment, self target. */
+template <class C>
+uint64_t
+orderSelf(const ArenaView& v, int64_t* out, const NodeIdx* order,
+          uint32_t count, C c)
+{
+    const uint32_t* base = v.scalarBase;
+    const NodeIdx* scalars = v.scalars;
+    HECATE_KERNEL_LOOP
+    for (uint32_t i = 0; i < count; ++i) {
+        const NodeIdx n = order[i];
+        out[n] = c.atKids(n, scalars + base[n]);
+    }
+    return count;
+}
+
+/** Contiguous ids, child target: skip vacuous (absent-child) evals so
+ *  nothing ever writes the shared zero row. */
+template <class C>
+uint64_t
+contigChild(const ArenaView& v, int64_t* out, uint32_t slot, NodeIdx first,
+            uint32_t count, C c)
+{
+    const uint32_t* base = v.scalarBase;
+    const NodeIdx* scalars = v.scalars;
+    const NodeIdx zero = v.zeroRow;
+    uint64_t writes = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+        const NodeIdx n = first + i;
+        const NodeIdx* kids = scalars + base[n];
+        const NodeIdx t = kids[slot];
+        if (t == zero)
+            continue;
+        out[t] = c.atKids(n, kids);
+        ++writes;
+    }
+    return writes;
+}
+
+/** Permuted segment, child target. */
+template <class C>
+uint64_t
+orderChild(const ArenaView& v, int64_t* out, uint32_t slot,
+           const NodeIdx* order, uint32_t count, C c)
+{
+    const uint32_t* base = v.scalarBase;
+    const NodeIdx* scalars = v.scalars;
+    const NodeIdx zero = v.zeroRow;
+    uint64_t writes = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+        const NodeIdx n = order[i];
+        const NodeIdx* kids = scalars + base[n];
+        const NodeIdx t = kids[slot];
+        if (t == zero)
+            continue;
+        out[t] = c.atKids(n, kids);
+        ++writes;
+    }
+    return writes;
+}
+
+// ---- dispatch ---------------------------------------------------------
+
+template <class C>
+uint64_t
+dispatchSelf(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
+             NodeIdx first, uint32_t count, bool allSelf, C c)
+{
+    int64_t* out = v.cols[spec.targetCol];
+    if (order != nullptr)
+        return orderSelf(v, out, order, count, c);
+    if (allSelf)
+        return streamSelf(out, first, count, c);
+    return contigSelf(v, out, first, count, c);
+}
+
+template <class C>
+uint64_t
+dispatchAny(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
+            NodeIdx first, uint32_t count, bool allSelf, C c)
+{
+    if (spec.targetSlot == 0)
+        return dispatchSelf(v, spec, order, first, count, allSelf, c);
+    int64_t* out = v.cols[spec.targetCol];
+    const uint32_t slot = static_cast<uint32_t>(spec.targetSlot);
+    if (order != nullptr)
+        return orderChild(v, out, slot, order, count, c);
+    return contigChild(v, out, slot, first, count, c);
+}
+
+uint64_t
+runBin(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
+       NodeIdx first, uint32_t count)
+{
+    const Ld a = makeLd(spec.a, v, spec.targetCol);
+    const Ld b = makeLd(spec.b, v, spec.targetCol);
+    const bool s = selfish(spec.a) && selfish(spec.b);
+    switch (spec.fn1) {
+    case XOp::Add:
+        return dispatchAny(v, spec, order, first, count, s, BinC<AddF>{a, b});
+    case XOp::Sub:
+        return dispatchAny(v, spec, order, first, count, s, BinC<SubF>{a, b});
+    case XOp::Mul:
+        return dispatchAny(v, spec, order, first, count, s, BinC<MulF>{a, b});
+    case XOp::Div:
+        return dispatchAny(v, spec, order, first, count, s, BinC<DivF>{a, b});
+    case XOp::Mod:
+        return dispatchAny(v, spec, order, first, count, s, BinC<ModF>{a, b});
+    case XOp::Lt:
+        return dispatchAny(v, spec, order, first, count, s, BinC<LtF>{a, b});
+    case XOp::Le:
+        return dispatchAny(v, spec, order, first, count, s, BinC<LeF>{a, b});
+    case XOp::Gt:
+        return dispatchAny(v, spec, order, first, count, s, BinC<GtF>{a, b});
+    case XOp::Ge:
+        return dispatchAny(v, spec, order, first, count, s, BinC<GeF>{a, b});
+    case XOp::Eq:
+        return dispatchAny(v, spec, order, first, count, s, BinC<EqF>{a, b});
+    case XOp::Ne:
+        return dispatchAny(v, spec, order, first, count, s, BinC<NeF>{a, b});
+    case XOp::Max2:
+        return dispatchAny(v, spec, order, first, count, s, BinC<Max2F>{a, b});
+    case XOp::Min2:
+        return dispatchAny(v, spec, order, first, count, s, BinC<Min2F>{a, b});
+    default:
+        internalError("kernels: bad Bin op");
+    }
+}
+
+template <class F1, bool Left>
+uint64_t
+runTriOuter(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
+            NodeIdx first, uint32_t count, const Ld& a, const Ld& b,
+            const Ld& c, bool s)
+{
+    switch (spec.fn2) {
+    case XOp::Add:
+        return dispatchSelf(v, spec, order, first, count, s,
+                            TriC<F1, AddF, Left>{a, b, c});
+    case XOp::Sub:
+        return dispatchSelf(v, spec, order, first, count, s,
+                            TriC<F1, SubF, Left>{a, b, c});
+    case XOp::Mul:
+        return dispatchSelf(v, spec, order, first, count, s,
+                            TriC<F1, MulF, Left>{a, b, c});
+    case XOp::Max2:
+        return dispatchSelf(v, spec, order, first, count, s,
+                            TriC<F1, Max2F, Left>{a, b, c});
+    case XOp::Min2:
+        return dispatchSelf(v, spec, order, first, count, s,
+                            TriC<F1, Min2F, Left>{a, b, c});
+    default:
+        return dispatchSelf(v, spec, order, first, count, s,
+                            TriGenC{a, b, c, spec.fn1, spec.fn2, Left});
+    }
+}
+
+template <bool Left>
+uint64_t
+runTri(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
+       NodeIdx first, uint32_t count)
+{
+    const Ld a = makeLd(spec.a, v, spec.targetCol);
+    const Ld b = makeLd(spec.b, v, spec.targetCol);
+    const Ld c = makeLd(spec.c, v, spec.targetCol);
+    const bool s = selfish(spec.a) && selfish(spec.b) && selfish(spec.c);
+    if (spec.targetSlot == 0) {
+        // The arithmetic / min-max pairs are the shapes the compiler
+        // actually emits on hot self-target rules; everything else
+        // falls through to the generic body.
+        switch (spec.fn1) {
+        case XOp::Add:
+            return runTriOuter<AddF, Left>(v, spec, order, first, count, a, b,
+                                           c, s);
+        case XOp::Sub:
+            return runTriOuter<SubF, Left>(v, spec, order, first, count, a, b,
+                                           c, s);
+        case XOp::Mul:
+            return runTriOuter<MulF, Left>(v, spec, order, first, count, a, b,
+                                           c, s);
+        case XOp::Max2:
+            return runTriOuter<Max2F, Left>(v, spec, order, first, count, a, b,
+                                            c, s);
+        case XOp::Min2:
+            return runTriOuter<Min2F, Left>(v, spec, order, first, count, a, b,
+                                            c, s);
+        default:
+            break;
+        }
+    }
+    return dispatchAny(v, spec, order, first, count, s,
+                       TriGenC{a, b, c, spec.fn1, spec.fn2, Left});
+}
+
+} // namespace
+
+uint64_t
+runSpec(const KernelCtx& ctx, const EvalSpec& spec, const NodeIdx* order,
+        NodeIdx first, uint32_t count, int64_t* xstack)
+{
+    const ArenaView& v = ctx.view;
+    switch (spec.kind) {
+    case EvalKind::Copy:
+        return dispatchAny(v, spec, order, first, count, selfish(spec.a),
+                           CopyC{makeLd(spec.a, v, spec.targetCol)});
+    case EvalKind::Un: // Un is always Abs
+        return dispatchAny(v, spec, order, first, count, selfish(spec.a),
+                           AbsC{makeLd(spec.a, v, spec.targetCol)});
+    case EvalKind::Bin:
+        return runBin(v, spec, order, first, count);
+    case EvalKind::TriL:
+        return runTri<true>(v, spec, order, first, count);
+    case EvalKind::TriR:
+        return runTri<false>(v, spec, order, first, count);
+    case EvalKind::Bytecode:
+        return dispatchAny(v, spec, order, first, count, false,
+                           ByteC{&ctx, spec.xbegin, xstack});
+    }
+    internalError("kernels: bad eval kind");
+}
+
+} // namespace HECATE_KERNEL_NS
+} // namespace hecate::runtime::detail
+
+#undef HECATE_KERNEL_LOOP

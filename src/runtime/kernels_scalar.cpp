@@ -1,0 +1,7 @@
+// Portable scalar kernel variant. src/CMakeLists.txt compiles this TU
+// with the vectorizer disabled; CI's HECATE_DISABLE_SIMD job runs the
+// whole suite against it to differentially check the vector variant.
+
+#define HECATE_KERNEL_NS kern_novec
+#define HECATE_SIMD 0
+#include "runtime/kernels_impl.inl"

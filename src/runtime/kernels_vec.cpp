@@ -1,0 +1,8 @@
+// Auto-vectorized kernel variant. src/CMakeLists.txt compiles this TU
+// with the vectorizer forced on (and a non-default cost model) so the
+// streaming loop shapes turn into SIMD column sweeps where the target
+// supports it.
+
+#define HECATE_KERNEL_NS kern_vec
+#define HECATE_SIMD 1
+#include "runtime/kernels_impl.inl"

@@ -1,0 +1,184 @@
+#include "runtime/segments.hpp"
+
+#include <algorithm>
+
+namespace hecate::runtime {
+
+namespace {
+
+/**
+ * Minimum average run length before a fragmented (level, class) group
+ * is split into per-run contiguous segments. Below this the per-kernel
+ * dispatch overhead of many tiny segments beats the gather cost of one
+ * permuted segment, so the group stays whole in order()-indexed form.
+ */
+constexpr uint32_t kMinAvgRunLength = 16;
+
+} // namespace
+
+LevelSegments
+LevelSegments::build(const ArenaView& view)
+{
+    LevelSegments out;
+    const uint32_t size = view.size;
+    if (size == 0)
+        return out;
+
+    // Depth of every node: one forward pass settles it, because BFS
+    // ids put every parent before its children (per tree; packed
+    // forests place one root at the start of each tree block). Roots
+    // stay at the vector's initial depth 0.
+    std::vector<uint32_t> depth(size, 0);
+    uint32_t deepest = 0;
+    for (NodeIdx node = 0; node < size; ++node) {
+        const ClassLayout& layout = view.layout->cls(view.cls[node]);
+        const uint32_t next = depth[node] + 1;
+        const NodeIdx* kids = view.scalars + view.scalarBase[node];
+        for (uint32_t s = 1; s <= layout.scalarCount; ++s) {
+            if (kids[s] != view.zeroRow)
+                depth[kids[s]] = next;
+        }
+        for (uint32_t c = 0; c < layout.collCount; ++c) {
+            auto [begin, end] = view.collection(node, c);
+            for (const NodeIdx* it = begin; it != end; ++it)
+                depth[*it] = next;
+        }
+        deepest = std::max(deepest, depth[node]);
+    }
+    const uint32_t levelCount = deepest + 1;
+
+    // Stable two-pass bucketing: nodes by level, then each level by
+    // class — ascending node id within every (level, class) group.
+    // levelStart[l] is level l's first position; the extra final entry
+    // is size, so [levelStart[l], levelStart[l + 1]) is level l's span.
+    std::vector<uint32_t> levelStart(levelCount + 1, 0);
+    for (NodeIdx node = 0; node < size; ++node)
+        ++levelStart[depth[node] + 1];
+    for (uint32_t l = 1; l <= levelCount; ++l)
+        levelStart[l] += levelStart[l - 1];
+    std::vector<NodeIdx> byLevel(size);
+    {
+        std::vector<uint32_t> cursor(levelStart.begin(),
+                                     levelStart.begin() + levelCount);
+        for (NodeIdx node = 0; node < size; ++node)
+            byLevel[cursor[depth[node]]++] = node;
+    }
+
+    const uint32_t classCount =
+        static_cast<uint32_t>(view.grammar->classes().size());
+    out.order_.resize(size);
+    out.levels_.resize(levelCount);
+    std::vector<uint32_t> classPos(classCount + 1);
+    for (uint32_t l = 0; l < levelCount; ++l) {
+        const uint32_t posBegin = levelStart[l];
+        const uint32_t posEnd = levelStart[l + 1];
+        const NodeIdx* levelNodes = byLevel.data() + posBegin;
+        const uint32_t levelCount = posEnd - posBegin;
+
+        std::fill(classPos.begin(), classPos.end(), 0);
+        for (uint32_t i = 0; i < levelCount; ++i)
+            ++classPos[view.cls[levelNodes[i]]];
+        uint32_t at = posBegin;
+        for (uint32_t c = 0; c < classCount; ++c) {
+            uint32_t count = classPos[c];
+            classPos[c] = at;
+            at += count;
+        }
+        std::vector<uint32_t> cursor(classPos.begin(),
+                                     classPos.begin() + classCount);
+        for (uint32_t i = 0; i < levelCount; ++i) {
+            NodeIdx node = levelNodes[i];
+            out.order_[cursor[view.cls[node]]++] = node;
+        }
+
+        Level& level = out.levels_[l];
+        level.posBegin = posBegin;
+        level.posEnd = posEnd;
+        level.segBegin = static_cast<uint32_t>(out.segments_.size());
+        for (uint32_t c = 0; c < classCount; ++c) {
+            const uint32_t groupBegin = classPos[c];
+            const uint32_t groupEnd =
+                c + 1 < classCount ? classPos[c + 1] : posEnd;
+            const uint32_t groupCount = groupEnd - groupBegin;
+            if (groupCount == 0)
+                continue;
+            // Count maximal contiguous id runs inside the group. One
+            // run = one streaming segment; many long runs (a packed
+            // forest's per-tree blocks) become one segment each; badly
+            // fragmented groups stay a single permuted segment.
+            uint32_t runs = 1;
+            for (uint32_t i = groupBegin + 1; i < groupEnd; ++i) {
+                if (out.order_[i] != out.order_[i - 1] + 1)
+                    ++runs;
+            }
+            if (runs == 1 || groupCount / runs >= kMinAvgRunLength) {
+                uint32_t runBegin = groupBegin;
+                for (uint32_t i = groupBegin + 1; i <= groupEnd; ++i) {
+                    if (i == groupEnd ||
+                        out.order_[i] != out.order_[i - 1] + 1) {
+                        Segment seg;
+                        seg.cls = static_cast<sem::ClassId>(c);
+                        seg.posBegin = runBegin;
+                        seg.count = i - runBegin;
+                        seg.first = out.order_[runBegin];
+                        seg.contiguous = true;
+                        out.segments_.push_back(seg);
+                        runBegin = i;
+                    }
+                }
+            } else {
+                Segment seg;
+                seg.cls = static_cast<sem::ClassId>(c);
+                seg.posBegin = groupBegin;
+                seg.count = groupCount;
+                seg.first = out.order_[groupBegin];
+                seg.contiguous = false;
+                out.segments_.push_back(seg);
+            }
+        }
+        level.segEnd = static_cast<uint32_t>(out.segments_.size());
+    }
+    return out;
+}
+
+ArenaView
+TreeArena::view()
+{
+    // colPtrs_ is rebuilt whenever it is stale — in particular after
+    // copying an arena, when cached pointers would still reference the
+    // source's columns.
+    if (colPtrs_.size() != columns_.size() ||
+        (!columns_.empty() && colPtrs_[0] != columns_[0].data())) {
+        colPtrs_.resize(columns_.size());
+        for (size_t col = 0; col < columns_.size(); ++col)
+            colPtrs_[col] = columns_[col].data();
+    }
+    static constexpr NodeIdx kSingleRoot[1] = {0};
+    ArenaView v;
+    v.grammar = grammar_;
+    v.layout = &layout_;
+    v.size = size();
+    v.zeroRow = zeroRow();
+    v.cls = cls_.data();
+    v.scalarBase = scalarBase_.data();
+    v.scalars = scalars_.data();
+    v.collBase = collBase_.data();
+    v.collRanges = collRanges_.data();
+    v.collElems = collElems_.data();
+    v.cols = colPtrs_.data();
+    v.roots = kSingleRoot;
+    v.rootCount = size() == 0 ? 0 : 1;
+    return v;
+}
+
+const LevelSegments&
+TreeArena::levelSegments()
+{
+    if (!segments_) {
+        segments_ = std::make_shared<const LevelSegments>(
+            LevelSegments::build(view()));
+    }
+    return *segments_;
+}
+
+} // namespace hecate::runtime

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * LevelSegments: the class-segregated, level-synchronous index
+ * structure behind the segmented sweep strategy.
+ *
+ * Arena node ids are BFS-ordered, so "all nodes at depth L" is a
+ * contiguous id range per tree, and segregating one level by class is
+ * a stable counting sort — a permutation computable once per arena
+ * and cached with it. The result is, per level, a short list of
+ * class-homogeneous segments; a sandwich sweep then runs as
+ * per-segment kernels (one dispatch per (segment, rule) instead of
+ * per node) in ascending level order for the pre-visit runs and
+ * descending order for the post-visit runs.
+ *
+ * Why per-level barriers suffice (the dependency argument, DESIGN.md
+ * §10): an L_a rule evaluated at node n reads only cells of
+ * {n} ∪ children(n) and writes one cell of that same set. Two
+ * distinct nodes of the *same* level share no such cell — they are
+ * not each other's child (equal depth) and share no child (one
+ * parent per node) — so within one level every rule application
+ * touches pairwise-disjoint cells: segments of a level can run in
+ * any order, spec-major, or concurrently. Every dependency crosses
+ * levels (parent to child or child to parent), and those are
+ * sequenced by running levels in order with a barrier between waves.
+ *
+ * Segments carry a `contiguous` flag: when a (level, class) group is
+ * one unbroken id run (single-class levels; each tree of a packed
+ * forest contributes its own run), kernels stream columns directly
+ * instead of indirecting through the permutation.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/arena.hpp"
+
+namespace hecate::runtime {
+
+/** Per-level, per-class execution segments of one arena (or forest). */
+class LevelSegments {
+  public:
+    /** One class-homogeneous run of same-level nodes. */
+    struct Segment {
+        sem::ClassId cls = 0;
+        uint32_t posBegin = 0;    ///< into order()
+        uint32_t count = 0;
+        NodeIdx first = 0;        ///< starting node id when contiguous
+        bool contiguous = false;  ///< order()[posBegin..] == first..
+    };
+
+    /** One depth level (a barrier-to-barrier wave). */
+    struct Level {
+        uint32_t segBegin = 0; ///< into segments()
+        uint32_t segEnd = 0;
+        uint32_t posBegin = 0; ///< into order(); the wave's node span
+        uint32_t posEnd = 0;
+    };
+
+    /** Derive segments for @p view (roots seed the depth computation). */
+    static LevelSegments build(const ArenaView& view);
+
+    uint32_t levelCount() const
+    {
+        return static_cast<uint32_t>(levels_.size());
+    }
+    const Level& level(uint32_t i) const { return levels_[i]; }
+    const Segment* segments() const { return segments_.data(); }
+
+    /** The stable level-major, class-grouped node permutation. */
+    const NodeIdx* order() const { return order_.data(); }
+
+  private:
+    std::vector<NodeIdx> order_;
+    std::vector<Segment> segments_;
+    std::vector<Level> levels_;
+};
+
+} // namespace hecate::runtime

@@ -35,6 +35,66 @@ SynthService::runNow(const SynthRequest& request)
     return process(request);
 }
 
+BatchOutcome
+SynthService::runBatch(const BatchRequest& request)
+{
+    BatchOutcome out;
+    // Synthesis rides the normal cache / single-flight path, so a
+    // thousand batch requests for one grammar still run CEGIS once.
+    out.synth = process(request.synth);
+    if (!out.synth.ok) {
+        out.failure = out.synth.failure;
+        return out;
+    }
+
+    obs::Telemetry local;
+    try {
+        pipeline::PipelineOptions options;
+        options.config = request.synth.config;
+        options.rootInterface = request.synth.rootInterface;
+        options.cache = &cache_;
+        options.telemetry = &local;
+        pipeline::Pipeline pipe(request.synth.grammarSrc,
+                                request.synth.traversalSrc,
+                                std::move(options));
+
+        pipeline::ExecuteRequest exec;
+        exec.gen = request.gen;
+        exec.exec = request.exec;
+        if (exec.exec.pool == nullptr)
+            exec.exec.pool = &pool_;
+        exec.batchCount = request.batchCount;
+        // The schedule was just published to the cache, so this
+        // resolves from there; wave chunks fork onto the service pool
+        // (help-join keeps nested pool use deadlock-free).
+        pipeline::ForestExecuteArtifact artifact = pipe.executeForest(exec);
+
+        out.stats = artifact.stats;
+        out.nodes = artifact.forest.size();
+        out.checksum = artifact.forest.flat().checksum();
+        out.generateSeconds = artifact.generateSeconds;
+        out.executeSeconds = artifact.executeSeconds;
+        out.ok = true;
+    } catch (const Error& error) {
+        out.ok = false;
+        out.failure = error.what();
+    }
+    if (request.synth.telemetry != nullptr)
+        request.synth.telemetry->absorb(local);
+    return out;
+}
+
+std::future<BatchOutcome>
+SynthService::submitBatch(BatchRequest request)
+{
+    auto promise = std::make_shared<std::promise<BatchOutcome>>();
+    std::future<BatchOutcome> future = promise->get_future();
+    pool_.submit([this, promise, request = std::move(request)]() mutable {
+        promise->set_value(runBatch(request));
+    });
+    return future;
+}
+
 void
 SynthService::drain()
 {

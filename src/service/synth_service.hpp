@@ -80,6 +80,31 @@ struct SynthOutcome {
     std::string failure;            ///< set when !ok
 };
 
+/**
+ * One batched execution request: a synthesis request (served through
+ * the cache / single-flight machinery like any other) plus a forest to
+ * generate and run under the resulting program.
+ */
+struct BatchRequest {
+    SynthRequest synth;
+    runtime::GenConfig gen;        ///< per-tree instance shape
+    runtime::ExecOptions exec;     ///< pool=null uses the service pool
+    uint32_t batchCount = 1;       ///< trees packed into the forest
+};
+
+/** Result of one batched execution. */
+struct BatchOutcome {
+    /** The synthesis half, with its usual provenance. */
+    SynthOutcome synth;
+    bool ok = false;
+    runtime::RuntimeStats stats;   ///< batch-aggregate runtime counters
+    uint64_t nodes = 0;            ///< total nodes across the batch
+    uint64_t checksum = 0;         ///< output-column checksum (forest)
+    double generateSeconds = 0.0;
+    double executeSeconds = 0.0;
+    std::string failure;           ///< set when !ok
+};
+
 /** Service-wide monotonic counters. */
 struct ServiceStats {
     uint64_t requests = 0;
@@ -116,6 +141,18 @@ class SynthService {
 
     /** Run a request synchronously on the calling thread (same path). */
     SynthOutcome runNow(const SynthRequest& request);
+
+    /**
+     * Run a batched execution synchronously: synthesis goes through
+     * the normal cache / single-flight path, then the compiled program
+     * executes a generated ForestArena of request.batchCount trees in
+     * one batched run, forking wave chunks onto the service pool
+     * unless request.exec names its own.
+     */
+    BatchOutcome runBatch(const BatchRequest& request);
+
+    /** Enqueue a batched execution; resolves on a pool worker. */
+    std::future<BatchOutcome> submitBatch(BatchRequest request);
 
     /** Block until every submitted request has resolved. */
     void drain();

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Wrapping int64 arithmetic shared by every evaluator.
+ *
+ * Hecate semantics are "int64 with two's-complement wraparound": the
+ * reference interpreter, the bytecode executor and the vectorized
+ * kernels must produce byte-identical values on the *full* input
+ * domain, including INT64_MIN/INT64_MAX, and the differential tests
+ * run under UBSan with -fno-sanitize-recover. Raw signed +,-,* are
+ * undefined on overflow and INT64_MIN / -1 traps in hardware, so all
+ * evaluators route arithmetic through these helpers: unsigned
+ * arithmetic wraps by definition, and the division corner case is
+ * pinned to the wrapped quotient (INT64_MIN) / remainder (0).
+ */
+
+#include <cstdint>
+
+namespace hecate {
+
+inline int64_t
+wrapAdd(int64_t x, int64_t y)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(x) +
+                                static_cast<uint64_t>(y));
+}
+
+inline int64_t
+wrapSub(int64_t x, int64_t y)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(x) -
+                                static_cast<uint64_t>(y));
+}
+
+inline int64_t
+wrapMul(int64_t x, int64_t y)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(x) *
+                                static_cast<uint64_t>(y));
+}
+
+inline int64_t
+wrapNeg(int64_t x)
+{
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(x));
+}
+
+/** abs with wrapAbs(INT64_MIN) == INT64_MIN (the wrapped negation). */
+inline int64_t
+wrapAbs(int64_t x)
+{
+    return x < 0 ? wrapNeg(x) : x;
+}
+
+/** x / y with x/0 == 0 and INT64_MIN / -1 == INT64_MIN (wrapped). */
+inline int64_t
+wrapDiv(int64_t x, int64_t y)
+{
+    if (y == 0)
+        return 0;
+    if (y == -1)
+        return wrapNeg(x);
+    return x / y;
+}
+
+/** x % y with x%0 == 0 and INT64_MIN % -1 == 0 (wrapped identity). */
+inline int64_t
+wrapMod(int64_t x, int64_t y)
+{
+    if (y == 0)
+        return 0;
+    if (y == -1)
+        return 0;
+    return x % y;
+}
+
+} // namespace hecate

@@ -198,6 +198,38 @@ TEST(Pipeline, ParseEngineNameRejectsUnknown)
     EXPECT_THROW(pipeline::parseEngineName("z3"), UserError);
 }
 
+TEST(Pipeline, ExecuteForestBatchesAndExportsCounters)
+{
+    obs::Telemetry telemetry;
+    pipeline::PipelineOptions options;
+    options.config = testConfig();
+    options.telemetry = &telemetry;
+    pipeline::Pipeline pipe(grammars::renderTree(), "", std::move(options));
+    ASSERT_TRUE(pipe.synthesize().ok);
+
+    pipeline::ExecuteRequest request;
+    request.gen.targetNodes = 400;
+    request.gen.seed = 3;
+    request.batchCount = 6;
+    pipeline::ForestExecuteArtifact batched = pipe.executeForest(request);
+    EXPECT_EQ(batched.forest.treeCount(), 6u);
+    EXPECT_EQ(batched.stats.nodeVisits, batched.forest.size());
+
+    EXPECT_EQ(telemetry.counter("exec.batch_trees"), 6.0);
+    EXPECT_EQ(telemetry.counter("exec.node_visits"),
+              static_cast<double>(batched.stats.nodeVisits));
+    EXPECT_GT(telemetry.counter("exec.level_waves"), 0.0);
+    EXPECT_GT(telemetry.counter("exec.nodes_per_sec"), 0.0);
+    EXPECT_EQ(telemetry.spanCount("forest.generate"), 1u);
+    EXPECT_EQ(telemetry.spanCount("forest.execute"), 1u);
+
+    // execute() refuses batches; executeForest refuses empty ones.
+    pipeline::ExecuteRequest bad = request;
+    EXPECT_THROW(pipe.execute(bad), UserError);
+    bad.batchCount = 0;
+    EXPECT_THROW(pipe.executeForest(bad), UserError);
+}
+
 TEST(Pipeline, PlanThrowsAfterFailedSynthesis)
 {
     // An unsatisfiable round budget forces a failed synthesize();

@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Tests for the level-synchronous sweep engine and forest batching:
+ * segment derivation, strategy equivalence (stack / linear / segmented,
+ * vectorized and scalar, sequential and level-parallel), full-width
+ * input ranges, and ForestArena packing and batched execution.
+ *
+ * Every fixture is named Runtime* so the TSan CI job's
+ * `ctest -R 'Runtime'` filter covers the parallel wave tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "exec/interp.hpp"
+#include "grammars/grammars.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/forest.hpp"
+#include "runtime/segments.hpp"
+#include "synth/autotuner.hpp"
+#include "synth/cegis.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+/** All eight bundled benchmark grammars. */
+std::vector<const grammars::Benchmark*>
+allBenchmarks()
+{
+    std::vector<const grammars::Benchmark*> all =
+        grammars::grafterBenchmarks();
+    for (const grammars::Benchmark* bench : grammars::cssBenchmarks())
+        all.push_back(bench);
+    return all;
+}
+
+synth::SynthesisConfig
+cheapConfig()
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 128;
+    return config;
+}
+
+/** Autotune @p bench and compile the winning schedule. */
+runtime::Program
+compileBenchmark(const sem::Grammar& grammar, sem::InterfaceId root,
+                 const std::string& name)
+{
+    synth::AutotuneResult tuned =
+        synth::autotune(grammar, root, cheapConfig());
+    if (!tuned.schedule.has_value())
+        throw std::runtime_error(name + ": " + tuned.lastSynthesis.failure);
+    return runtime::Program::compile(*tuned.skeleton, *tuned.schedule);
+}
+
+/** Every output cell of @p arena, in node-major order (exact compare). */
+std::vector<int64_t>
+outputCells(const runtime::TreeArena& arena)
+{
+    const sem::Grammar& grammar = arena.grammar();
+    std::vector<int64_t> cells;
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            cells.push_back(arena.value(node, col));
+        }
+    }
+    return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Segment derivation
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeSegments, LevelsPartitionNodesByDepthAndClass)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::renderTree());
+    runtime::GenConfig gen;
+    gen.targetNodes = 20000;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    const runtime::LevelSegments& segs = arena.levelSegments();
+
+    // One level per depth, root alone at level 0.
+    ASSERT_EQ(segs.levelCount(), arena.depth());
+    EXPECT_EQ(segs.level(0).posBegin, 0u);
+    EXPECT_EQ(segs.level(0).posEnd, 1u);
+    EXPECT_EQ(segs.order()[0], 0u);
+
+    // order() is a permutation of all node ids, levels tile it, and
+    // every segment is class-homogeneous; contiguous segments really
+    // are unbroken ascending id runs.
+    std::vector<bool> seen(arena.size(), false);
+    uint32_t pos = 0;
+    for (uint32_t l = 0; l < segs.levelCount(); ++l) {
+        const runtime::LevelSegments::Level& lv = segs.level(l);
+        ASSERT_EQ(lv.posBegin, pos);
+        ASSERT_GT(lv.posEnd, lv.posBegin) << "empty level " << l;
+        pos = lv.posEnd;
+        for (uint32_t s = lv.segBegin; s < lv.segEnd; ++s) {
+            const runtime::LevelSegments::Segment& seg =
+                segs.segments()[s];
+            for (uint32_t i = 0; i < seg.count; ++i) {
+                runtime::NodeIdx node = segs.order()[seg.posBegin + i];
+                ASSERT_LT(node, arena.size());
+                ASSERT_FALSE(seen[node]);
+                seen[node] = true;
+                ASSERT_EQ(arena.classOf(node), seg.cls);
+                if (seg.contiguous) {
+                    ASSERT_EQ(node, seg.first + i);
+                }
+            }
+        }
+    }
+    ASSERT_EQ(pos, arena.size());
+
+    // Parents always sit in an earlier level than their children.
+    std::vector<uint32_t> levelOf(arena.size());
+    for (uint32_t l = 0; l < segs.levelCount(); ++l) {
+        const runtime::LevelSegments::Level& lv = segs.level(l);
+        for (uint32_t p = lv.posBegin; p < lv.posEnd; ++p)
+            levelOf[segs.order()[p]] = l;
+    }
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const runtime::ClassLayout& layout =
+            arena.layout().cls(arena.classOf(node));
+        for (uint32_t s = 0; s < layout.scalarCount; ++s) {
+            runtime::NodeIdx child = arena.scalarChild(node, s);
+            if (child != runtime::kNone) {
+                EXPECT_EQ(levelOf[child], levelOf[node] + 1);
+            }
+        }
+        for (uint32_t c = 0; c < layout.collCount; ++c) {
+            auto [begin, end] = arena.collection(node, c);
+            for (const runtime::NodeIdx* it = begin; it != end; ++it)
+                EXPECT_EQ(levelOf[*it], levelOf[node] + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy equivalence: every sweep engine computes the same cells
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeSweeps, AllStrategiesAgreeOnAllBundledGrammars)
+{
+    size_t sweepableCount = 0;
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench->name);
+
+        runtime::GenConfig gen;
+        gen.targetNodes = 4000;
+        gen.seed = 9;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        tree::Tree pristine = arena.toTree();
+
+        // Ground truth: demand-driven reference evaluation.
+        tree::Tree reference = pristine;
+        exec::computeReference(reference);
+
+        runtime::ExecOptions stack;
+        stack.strategy = runtime::SweepStrategy::Stack;
+        runtime::execute(program, arena, stack);
+        EXPECT_TRUE(runtime::treesEquivalent(arena.toTree(), reference))
+            << bench->name << ": stack diverges from computeReference";
+        const std::vector<int64_t> expected = outputCells(arena);
+
+        if (!program.sweepable())
+            continue;
+        ++sweepableCount;
+
+        ThreadPool pool(4);
+        struct Variant {
+            const char* name;
+            runtime::SweepStrategy strategy;
+            bool simd;
+            bool pooled;
+        };
+        const Variant variants[] = {
+            {"linear", runtime::SweepStrategy::Linear, true, false},
+            {"segmented-simd", runtime::SweepStrategy::Segmented, true,
+             false},
+            {"segmented-scalar", runtime::SweepStrategy::Segmented, false,
+             false},
+            {"segmented-parallel", runtime::SweepStrategy::Segmented, true,
+             true},
+        };
+        for (const Variant& v : variants) {
+            arena.clearOutputs();
+            runtime::ExecOptions options;
+            options.strategy = v.strategy;
+            options.simd = v.simd;
+            if (v.pooled) {
+                options.pool = &pool;
+                options.grain = 64;
+            }
+            runtime::RuntimeStats stats =
+                runtime::execute(program, arena, options);
+            EXPECT_EQ(outputCells(arena), expected)
+                << bench->name << ": " << v.name
+                << " diverges from the stack strategy";
+            if (v.strategy == runtime::SweepStrategy::Segmented) {
+                EXPECT_GT(stats.levelWaves, 0u) << bench->name;
+            }
+        }
+        EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+    }
+    // The bundled grammars overwhelmingly synthesize sandwich-shaped
+    // traversals; the segmented engine must actually be exercised.
+    EXPECT_GE(sweepableCount, 6u);
+}
+
+TEST(RuntimeSweeps, FullWidthInputRanges)
+{
+    // [INT64_MIN, INT64_MAX] inputs drive every overflow edge through
+    // the wrapping kernels: all strategies must still agree cell for
+    // cell (and with the reference interpreter, which wraps the same
+    // way).
+    for (const grammars::Benchmark* bench :
+         {&grammars::binaryTree(), &grammars::fmm()}) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench->name);
+        if (!program.sweepable())
+            continue;
+
+        runtime::GenConfig gen;
+        gen.targetNodes = 3000;
+        gen.seed = 13;
+        gen.inputLo = std::numeric_limits<int64_t>::min();
+        gen.inputHi = std::numeric_limits<int64_t>::max();
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        tree::Tree reference = arena.toTree();
+        exec::computeReference(reference);
+
+        runtime::ExecOptions stack;
+        stack.strategy = runtime::SweepStrategy::Stack;
+        runtime::execute(program, arena, stack);
+        EXPECT_TRUE(runtime::treesEquivalent(arena.toTree(), reference))
+            << bench->name << ": stack diverges on full-width inputs";
+        const std::vector<int64_t> expected = outputCells(arena);
+
+        for (bool simd : {true, false}) {
+            arena.clearOutputs();
+            runtime::ExecOptions options;
+            options.strategy = runtime::SweepStrategy::Segmented;
+            options.simd = simd;
+            runtime::execute(program, arena, options);
+            EXPECT_EQ(outputCells(arena), expected)
+                << bench->name << ": segmented (simd=" << simd
+                << ") diverges on full-width inputs";
+        }
+    }
+}
+
+TEST(RuntimeSweeps, AbsentChildRulesInSegmentedKernels)
+{
+    // FMM's downward rules target optional children. In a segmented
+    // kernel the child-target loop must skip absent slots (which alias
+    // the shared zero row) without writing — a sandwich skeleton makes
+    // the program sweepable so those rules run through the kernels.
+    const char* src = R"(
+traversal fmm {
+    case Box {
+        ??; ??; ??; ??; ??; ??;
+        recur l;
+        recur r;
+        ??; ??; ??; ??; ??; ??;
+    }
+    case Body {
+        ??; ??; ??; ??;
+    }
+    case Sim {
+        ??; ??; ??; ??;
+        recur b;
+        ??; ??; ??; ??;
+    }
+}
+)";
+    sem::Grammar grammar = grammars::load(grammars::fmm());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::fmm());
+    sched::Skeleton skeleton =
+        sched::Skeleton::resolve(grammar, lang::parseTraversal(src));
+    auto result = synth::synthesize(skeleton, root, {}, cheapConfig());
+    ASSERT_TRUE(result.schedule.has_value()) << result.failure;
+    runtime::Program program =
+        runtime::Program::compile(skeleton, *result.schedule);
+    ASSERT_TRUE(program.sweepable());
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 20000;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    tree::Tree reference = arena.toTree();
+    exec::computeReference(reference);
+
+    for (bool simd : {true, false}) {
+        arena.clearOutputs();
+        runtime::ExecOptions options;
+        options.strategy = runtime::SweepStrategy::Segmented;
+        options.simd = simd;
+        runtime::execute(program, arena, options);
+        EXPECT_TRUE(runtime::treesEquivalent(arena.toTree(), reference))
+            << "segmented (simd=" << simd
+            << ") diverges on absent-child rules";
+    }
+}
+
+TEST(RuntimeSweeps, ExplicitSweepOnNonSweepableProgramIsUserError)
+{
+    // A parallel region disqualifies the sandwich shape.
+    sem::Grammar grammar = testutil::vectorRenderGrammar();
+    sched::Skeleton skeleton = sched::Skeleton::resolve(
+        grammar,
+        lang::parseTraversal(testutil::kVectorParallelSymbolicSrc));
+    synth::SynthesisConfig config = cheapConfig();
+    config.verify.maxCollection = 2;
+    auto result = synth::synthesize(skeleton, 0, {}, config);
+    ASSERT_TRUE(result.schedule.has_value());
+    runtime::Program program =
+        runtime::Program::compile(skeleton, *result.schedule);
+    ASSERT_FALSE(program.sweepable());
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 500;
+    runtime::TreeArena arena = runtime::TreeArena::generate(grammar, 0, gen);
+    runtime::ExecOptions options;
+    options.strategy = runtime::SweepStrategy::Segmented;
+    EXPECT_THROW(runtime::execute(program, arena, options), UserError);
+    options.strategy = runtime::SweepStrategy::Linear;
+    EXPECT_THROW(runtime::execute(program, arena, options), UserError);
+    // Auto falls back to the stack strategy silently.
+    options.strategy = runtime::SweepStrategy::Auto;
+    EXPECT_NO_THROW(runtime::execute(program, arena, options));
+}
+
+TEST(RuntimeSweeps, ExecOptionsClampedToArena)
+{
+    // grain/spawnPrefix far beyond the node count (and grain 0) must
+    // clamp instead of degenerating or dividing by zero.
+    sem::Grammar grammar = grammars::load(grammars::binaryTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::binaryTree());
+    runtime::Program program = compileBenchmark(grammar, root, "clamp");
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 300;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    tree::Tree reference = arena.toTree();
+    exec::computeReference(reference);
+
+    ThreadPool pool(2);
+    for (uint32_t grain :
+         {0u, 1u, std::numeric_limits<uint32_t>::max()}) {
+        arena.clearOutputs();
+        runtime::ExecOptions options;
+        options.pool = &pool;
+        options.grain = grain;
+        options.spawnPrefix = std::numeric_limits<uint32_t>::max();
+        runtime::execute(program, arena, options);
+        EXPECT_TRUE(runtime::treesEquivalent(arena.toTree(), reference))
+            << "grain " << grain;
+    }
+    EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+}
+
+// ---------------------------------------------------------------------------
+// Level-parallel waves (the TSan CI job runs these under -R 'Runtime')
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeSweeps, ParallelLevelWavesMatchSequential)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::renderTree());
+    runtime::Program program =
+        compileBenchmark(grammar, root, "RenderTree");
+    ASSERT_TRUE(program.sweepable());
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 60000;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+
+    runtime::ExecOptions seq;
+    seq.strategy = runtime::SweepStrategy::Segmented;
+    runtime::RuntimeStats seqStats =
+        runtime::execute(program, arena, seq);
+    const std::vector<int64_t> expected = outputCells(arena);
+
+    for (size_t workers : {2u, 4u}) {
+        for (uint32_t grain : {64u, 1024u}) {
+            arena.clearOutputs();
+            ThreadPool pool(workers);
+            runtime::ExecOptions options;
+            options.strategy = runtime::SweepStrategy::Segmented;
+            options.pool = &pool;
+            options.grain = grain;
+            runtime::RuntimeStats stats =
+                runtime::execute(program, arena, options);
+            EXPECT_EQ(outputCells(arena), expected)
+                << workers << " workers, grain " << grain;
+            EXPECT_EQ(stats.nodeVisits, seqStats.nodeVisits);
+            EXPECT_EQ(stats.rulesEvaluated, seqStats.rulesEvaluated);
+            EXPECT_EQ(stats.levelWaves, seqStats.levelWaves);
+            EXPECT_GT(stats.tasksSpawned, 0u);
+            EXPECT_EQ(pool.failedTaskCount(), 0u)
+                << pool.lastTaskError();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ForestArena: packing and batched execution
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeForest, PackRoundTripsEveryTree)
+{
+    sem::Grammar grammar = grammars::load(grammars::astBench());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::astBench());
+    std::vector<runtime::TreeArena> trees;
+    for (uint32_t t = 0; t < 5; ++t) {
+        runtime::GenConfig gen;
+        gen.targetNodes = 400 + 100 * t;
+        gen.seed = 100 + t;
+        trees.push_back(runtime::TreeArena::generate(grammar, root, gen));
+    }
+    runtime::ForestArena forest = runtime::ForestArena::pack(trees);
+
+    ASSERT_EQ(forest.treeCount(), trees.size());
+    uint32_t total = 0;
+    for (uint32_t t = 0; t < forest.treeCount(); ++t) {
+        EXPECT_EQ(forest.treeBegin(t), total);
+        EXPECT_EQ(forest.treeSize(t), trees[t].size());
+        total += trees[t].size();
+        tree::Tree rebuilt = forest.toTree(t);
+        rebuilt.validate();
+        EXPECT_TRUE(
+            runtime::treesEquivalent(trees[t].toTree(), rebuilt))
+            << "tree " << t << " changed in packing";
+    }
+    EXPECT_EQ(forest.size(), total);
+}
+
+TEST(RuntimeForest, BatchedExecutionMatchesPerTreeExecution)
+{
+    for (const grammars::Benchmark* bench :
+         {&grammars::binaryTree(), &grammars::renderTree(),
+          &grammars::cssFull()}) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench->name);
+
+        std::vector<runtime::TreeArena> trees;
+        uint64_t totalNodes = 0;
+        for (uint32_t t = 0; t < 8; ++t) {
+            runtime::GenConfig gen;
+            gen.targetNodes = 500;
+            gen.seed = 40 + t;
+            trees.push_back(
+                runtime::TreeArena::generate(grammar, root, gen));
+            totalNodes += trees.back().size();
+        }
+        runtime::ForestArena forest = runtime::ForestArena::pack(trees);
+
+        runtime::RuntimeStats stats =
+            runtime::execute(program, forest);
+        EXPECT_EQ(stats.nodeVisits, totalNodes) << bench->name;
+
+        for (uint32_t t = 0; t < forest.treeCount(); ++t) {
+            runtime::execute(program, trees[t]);
+            EXPECT_TRUE(runtime::treesEquivalent(trees[t].toTree(),
+                                                 forest.toTree(t)))
+                << bench->name << ": batched tree " << t
+                << " diverges from its solo execution";
+        }
+    }
+}
+
+TEST(RuntimeForest, AllStrategiesAgreeOnForests)
+{
+    sem::Grammar grammar = grammars::load(grammars::renderTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::renderTree());
+    runtime::Program program =
+        compileBenchmark(grammar, root, "RenderTree");
+    ASSERT_TRUE(program.sweepable());
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 1500;
+    gen.seed = 5;
+    runtime::ForestArena forest =
+        runtime::ForestArena::generate(grammar, root, gen, 12);
+
+    runtime::ExecOptions stack;
+    stack.strategy = runtime::SweepStrategy::Stack;
+    runtime::execute(program, forest, stack);
+    const std::vector<int64_t> expected = outputCells(forest.flat());
+
+    ThreadPool pool(4);
+    struct Variant {
+        const char* name;
+        runtime::SweepStrategy strategy;
+        bool simd;
+        bool pooled;
+    };
+    const Variant variants[] = {
+        {"linear", runtime::SweepStrategy::Linear, true, false},
+        {"segmented-simd", runtime::SweepStrategy::Segmented, true, false},
+        {"segmented-scalar", runtime::SweepStrategy::Segmented, false,
+         false},
+        {"segmented-parallel", runtime::SweepStrategy::Segmented, true,
+         true},
+        {"stack-parallel", runtime::SweepStrategy::Stack, true, true},
+    };
+    for (const Variant& v : variants) {
+        forest.flat().clearOutputs();
+        runtime::ExecOptions options;
+        options.strategy = v.strategy;
+        options.simd = v.simd;
+        if (v.pooled) {
+            options.pool = &pool;
+            options.grain = 256;
+        }
+        runtime::execute(program, forest, options);
+        EXPECT_EQ(outputCells(forest.flat()), expected)
+            << v.name << " diverges on the packed forest";
+    }
+    EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+}
+
+TEST(RuntimeForest, GenerateIsDeterministicAndSeedsDiffer)
+{
+    sem::Grammar grammar = grammars::load(grammars::binaryTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::binaryTree());
+    runtime::GenConfig gen;
+    gen.targetNodes = 300;
+    gen.seed = 77;
+    runtime::ForestArena a =
+        runtime::ForestArena::generate(grammar, root, gen, 4);
+    runtime::ForestArena b =
+        runtime::ForestArena::generate(grammar, root, gen, 4);
+    ASSERT_EQ(a.treeCount(), 4u);
+    for (uint32_t t = 0; t < 4; ++t) {
+        EXPECT_TRUE(
+            runtime::treesEquivalent(a.toTree(t), b.toTree(t)));
+    }
+    // Distinct per-tree streams: consecutive trees differ.
+    EXPECT_FALSE(runtime::treesEquivalent(a.toTree(0), a.toTree(1)));
+}
+
+TEST(RuntimeForest, PackRejectsEmptyAndMismatchedBatches)
+{
+    EXPECT_THROW(runtime::ForestArena::pack({}), UserError);
+    sem::Grammar grammar = grammars::load(grammars::binaryTree());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::binaryTree());
+    runtime::GenConfig gen;
+    gen.targetNodes = 50;
+    EXPECT_THROW(
+        runtime::ForestArena::generate(grammar, root, gen, 0), UserError);
+}
+
+} // namespace
+} // namespace hecate

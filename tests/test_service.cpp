@@ -456,6 +456,41 @@ traversal layout {
     EXPECT_EQ(svc.cache().size(), 0u);
 }
 
+TEST(SynthService, RunBatchSynthesizesAndExecutesAForest)
+{
+    service::ServiceConfig config;
+    config.workers = 2;
+    service::SynthService svc(config);
+
+    service::BatchRequest batch;
+    batch.synth = renderRequest();
+    batch.gen.targetNodes = 300;
+    batch.gen.seed = 11;
+    batch.batchCount = 5;
+
+    service::BatchOutcome first = svc.runBatch(batch);
+    ASSERT_TRUE(first.ok) << first.failure;
+    EXPECT_TRUE(first.synth.ok);
+    EXPECT_EQ(first.synth.provenance, service::Provenance::FreshRun);
+    EXPECT_GE(first.nodes, 5u * 300u);
+    EXPECT_EQ(first.stats.nodeVisits, first.nodes);
+    EXPECT_GT(first.executeSeconds, 0.0);
+
+    // Same request again: synthesis is served from the cache, and the
+    // deterministic generator reproduces the same forest bit for bit.
+    service::BatchOutcome again = svc.submitBatch(batch).get();
+    ASSERT_TRUE(again.ok) << again.failure;
+    EXPECT_EQ(again.synth.provenance, service::Provenance::CacheHit);
+    EXPECT_EQ(again.nodes, first.nodes);
+    EXPECT_EQ(again.checksum, first.checksum);
+
+    service::BatchRequest bad = batch;
+    bad.synth.grammarSrc = "interface Broken {";
+    service::BatchOutcome failed = svc.runBatch(bad);
+    EXPECT_FALSE(failed.ok);
+    EXPECT_FALSE(failed.failure.empty());
+}
+
 TEST(SynthService, MalformedRequestFailsGracefully)
 {
     service::ServiceConfig config;
