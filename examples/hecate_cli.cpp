@@ -73,11 +73,30 @@
  * output attribute (of every tree in the batch) with
  * exec::computeReference and fails on any mismatch.
  *
+ * Serve mode: run the long-lived daemon speaking the length-prefixed
+ * JSON protocol (README "Serving"):
+ *
+ *   hecate_cli serve [--port P] [--host ADDR] [--threads N]
+ *              [--queue-cap N] [--max-conns N] [--max-frame BYTES]
+ *              [--quota-rps R] [--quota-burst B] [--cache-dir DIR]
+ *              [--trace-out FILE] [--stats-json FILE]
+ *
+ * --threads sizes the request worker pool (0 = hardware concurrency),
+ * --queue-cap bounds the admission queue (overload answers
+ * over_capacity rejections instead of queueing without bound), and
+ * --quota-rps/--quota-burst set the per-client token bucket (0
+ * disables quotas). --cache-dir warm-loads the schedule cache at
+ * startup and persists it on drain. SIGTERM and SIGINT begin a
+ * graceful drain: stop accepting, finish in-flight requests, flush
+ * responses, save the cache, exit 0. --stats-json is written after
+ * the drain (it includes the cache.warm.* startup counters).
+ *
  * Exit codes: 0 success, 1 user error (bad input, failed synthesis or
  * check), 2 usage, 3 internal invariant violation, 4 unexpected error.
  */
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -88,6 +107,7 @@
 
 #include "codegen/cpp_emitter.hpp"
 #include "exec/interp.hpp"
+#include "net/server.hpp"
 #include "pipeline/pipeline.hpp"
 #include "service/synth_service.hpp"
 #include "support/timer.hpp"
@@ -114,7 +134,11 @@ usage()
         "       [--tree-size N] [--tree-depth D] [--seed S]\n"
         "       [--batch-count B] [--strategy auto|stack|linear|segmented]\n"
         "       [--no-simd] [--grain G] [--exec-threads N] [--seq]\n"
-        "       [--check] [--trace-out FILE] [--stats-json FILE]\n");
+        "       [--check] [--trace-out FILE] [--stats-json FILE]\n"
+        "   or: hecate_cli serve [--port P] [--host ADDR] [--threads N]\n"
+        "       [--queue-cap N] [--max-conns N] [--max-frame BYTES]\n"
+        "       [--quota-rps R] [--quota-burst B] [--cache-dir DIR]\n"
+        "       [--trace-out FILE] [--stats-json FILE]\n");
     return 2;
 }
 
@@ -354,7 +378,7 @@ runBatch(int argc, char** argv)
     service::SynthService svc(service_config);
     if (!cache_dir.empty()) {
         service::ScheduleCache::LoadReport report =
-            svc.cache().load(cache_dir);
+            service::warmLoad(svc.cache(), cache_dir, telemetry);
         for (const std::string& diag : report.diagnostics)
             std::fprintf(stderr, "hecate: %s\n", diag.c_str());
         if (report.loaded > 0) {
@@ -576,7 +600,7 @@ runRun(int argc, char** argv)
 
     service::ScheduleCache cache;
     if (!cache_dir.empty())
-        cache.load(cache_dir);
+        service::warmLoad(cache, cache_dir, telemetry);
 
     pipeline::PipelineOptions options;
     options.config = makeSynthConfig(common);
@@ -700,6 +724,120 @@ runRun(int argc, char** argv)
     return exit_code;
 }
 
+/**
+ * The serving daemon's drain hook. requestDrain is async-signal-safe
+ * (an atomic store plus a self-pipe write), so the handler may call it
+ * directly; everything else happens on the server's own threads.
+ */
+net::Server* g_server = nullptr;
+
+extern "C" void
+handleDrainSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestDrain();
+}
+
+int
+runServe(int argc, char** argv)
+{
+    CommonOptions common;
+    net::ServeOptions serve;
+    long long port = 7411;
+    long long threads = 0;
+    long long queue_cap = 512;
+    long long max_conns = 4096;
+    long long max_frame = 4 << 20;
+    double quota_rps = 0.0;
+    double quota_burst = 0.0;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (parseCommonOption(common, argc, argv, i)) {
+            continue;
+        } else if (arg == "--port" && i + 1 < argc) {
+            port = std::atoll(argv[++i]);
+        } else if (arg == "--host" && i + 1 < argc) {
+            serve.host = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoll(argv[++i]);
+        } else if (arg == "--queue-cap" && i + 1 < argc) {
+            queue_cap = std::atoll(argv[++i]);
+        } else if (arg == "--max-conns" && i + 1 < argc) {
+            max_conns = std::atoll(argv[++i]);
+        } else if (arg == "--max-frame" && i + 1 < argc) {
+            max_frame = std::atoll(argv[++i]);
+        } else if (arg == "--quota-rps" && i + 1 < argc) {
+            quota_rps = std::atof(argv[++i]);
+        } else if (arg == "--quota-burst" && i + 1 < argc) {
+            quota_burst = std::atof(argv[++i]);
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            serve.cacheDir = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (port < 0 || port > 65535)
+        userError("--port must be between 0 and 65535 (0 = ephemeral)");
+    if (threads < 0 || threads > 4096)
+        userError("--threads must be between 0 and 4096 "
+                  "(0 = hardware concurrency)");
+    if (queue_cap < 1 || queue_cap > (1ll << 20))
+        userError("--queue-cap must be between 1 and 2^20");
+    if (max_conns < 1 || max_conns > (1ll << 20))
+        userError("--max-conns must be between 1 and 2^20");
+    if (max_frame < 64 ||
+        max_frame > static_cast<long long>(net::kFrameHardLimit))
+        userError("--max-frame must be between 64 and 2^26 bytes");
+    if (quota_rps < 0.0 || quota_burst < 0.0)
+        userError("--quota-rps and --quota-burst must be non-negative");
+
+    serve.port = static_cast<uint16_t>(port);
+    serve.workers = static_cast<size_t>(threads);
+    serve.queueCapacity = static_cast<size_t>(queue_cap);
+    serve.maxConnections = static_cast<size_t>(max_conns);
+    serve.maxFrameBytes = static_cast<uint32_t>(max_frame);
+    serve.quotaRps = quota_rps;
+    serve.quotaBurst = quota_burst;
+    serve.service.workers = static_cast<size_t>(threads);
+
+    obs::Telemetry telemetry;
+    serve.telemetry = &telemetry;
+    const std::string host = serve.host;
+
+    net::Server server(std::move(serve));
+    server.start();
+    g_server = &server;
+    struct sigaction action{};
+    action.sa_handler = handleDrainSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::fprintf(stderr,
+                 "hecate: serving on %s:%u (%.0f cache entries warm, "
+                 "drain with SIGTERM)\n",
+                 host.c_str(), server.port(),
+                 telemetry.counter("cache.warm.entries"));
+    server.waitUntilStopped();
+    g_server = nullptr;
+
+    net::ServerStats stats = server.stats();
+    std::fprintf(stderr,
+                 "serve: %llu admitted | %llu rejected (queue %llu, "
+                 "quota %llu, draining %llu) | %llu responses\n",
+                 static_cast<unsigned long long>(stats.requestsAdmitted),
+                 static_cast<unsigned long long>(stats.rejectedQueueFull +
+                                                 stats.rejectedQuota +
+                                                 stats.rejectedDraining),
+                 static_cast<unsigned long long>(stats.rejectedQueueFull),
+                 static_cast<unsigned long long>(stats.rejectedQuota),
+                 static_cast<unsigned long long>(stats.rejectedDraining),
+                 static_cast<unsigned long long>(stats.responsesSent));
+    exportTelemetry(telemetry, common);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -710,6 +848,8 @@ main(int argc, char** argv)
             return runBatch(argc, argv);
         if (argc >= 2 && std::strcmp(argv[1], "run") == 0)
             return runRun(argc, argv);
+        if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+            return runServe(argc, argv);
         if (argc >= 2 && std::strcmp(argv[1], "synth") == 0)
             return runSingle(2, argc, argv);
         return runSingle(1, argc, argv);

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Minimal client for the hecate serve protocol.
+
+The wire format is a 4-byte big-endian payload length followed by that
+many bytes of UTF-8 JSON, one request object per frame (see README
+"Serving"). This script sends each JSON request given on the command
+line (or one per stdin line with `-`) over a single connection and
+prints one response per line.
+
+Examples:
+
+    # one-off requests
+    serve_client.py --port 7411 '{"op": "ping"}' \
+        '{"op": "synth", "grammar": "builtin:binarytree"}'
+
+    # a session from stdin
+    printf '%s\n%s\n' '{"op": "metrics"}' '{"op": "drain"}' | \
+        serve_client.py --port 7411 -
+
+Exits 0 when every response has "ok": true, 1 otherwise.
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+
+
+def send_frame(sock, payload: bytes) -> None:
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def recv_exact(sock, n: int) -> bytes:
+    data = b""
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        data += chunk
+    return data
+
+
+def recv_frame(sock) -> dict:
+    (length,) = struct.unpack(">I", recv_exact(sock, 4))
+    return json.loads(recv_exact(sock, length))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "requests",
+        nargs="+",
+        help="JSON request objects, or '-' to read one per stdin line",
+    )
+    args = parser.parse_args()
+
+    requests = []
+    for item in args.requests:
+        if item == "-":
+            for line in sys.stdin:
+                line = line.strip()
+                if line:
+                    requests.append(json.loads(line))
+        else:
+            requests.append(json.loads(item))
+
+    all_ok = True
+    with socket.create_connection((args.host, args.port)) as sock:
+        for request in requests:
+            send_frame(sock, json.dumps(request).encode())
+            response = recv_frame(sock)
+            print(json.dumps(response, sort_keys=True))
+            if response.get("ok") is not True:
+                all_ok = False
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#include "net/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::net {
+
+Client::Client(const std::string& host, uint16_t port,
+               uint32_t maxFrameBytes)
+    : maxFrameBytes_(maxFrameBytes)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        userError(std::string("cannot create socket: ") +
+                  std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        userError("invalid server host '" + host + "'");
+    }
+    int rc;
+    do {
+        rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        userError("cannot connect to " + host + ":" +
+                  std::to_string(port) + ": " + std::strerror(err));
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), maxFrameBytes_(other.maxFrameBytes_)
+{
+    other.fd_ = -1;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Client::send(const Json& request)
+{
+    checkInvariant(fd_ >= 0, "Client::send on a closed connection");
+    writeFrame(fd_, request.dump());
+}
+
+std::optional<Json>
+Client::receive()
+{
+    checkInvariant(fd_ >= 0, "Client::receive on a closed connection");
+    std::optional<std::string> payload = readFrame(fd_, maxFrameBytes_);
+    if (!payload.has_value())
+        return std::nullopt;
+    return parseJson(*payload);
+}
+
+Json
+Client::call(const Json& request)
+{
+    send(request);
+    std::optional<Json> response = receive();
+    if (!response.has_value())
+        userError("server closed the connection before responding");
+    return *response;
+}
+
+} // namespace hecate::net

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal blocking client for the serve protocol: connect, send one
+ * length-prefixed JSON request per call(), read frames back. Used by
+ * the tests and bench_serve; the CLI's `serve --probe` also goes
+ * through it. Pipelining is explicit: send() enqueues without waiting,
+ * receive() blocks for the next response frame — bench_serve keeps
+ * hundreds of requests in flight per connection this way.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/json.hpp"
+#include "net/wire.hpp"
+
+namespace hecate::net {
+
+/** One blocking protocol connection. */
+class Client {
+  public:
+    /** Connect to @p host:@p port; throws UserError on failure. */
+    Client(const std::string& host, uint16_t port,
+           uint32_t maxFrameBytes = kFrameHardLimit);
+    ~Client();
+
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&&) = delete;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** Round trip: send @p request, block for one response. */
+    Json call(const Json& request);
+
+    /** Pipelined half: send without waiting for the response. */
+    void send(const Json& request);
+
+    /**
+     * Pipelined half: block for the next response frame; nullopt on
+     * clean server-side close.
+     */
+    std::optional<Json> receive();
+
+    /** Close the connection early (destructor also closes). */
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    uint32_t maxFrameBytes_;
+};
+
+} // namespace hecate::net

@@ -1,0 +1,522 @@
+#include "net/json.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::net {
+
+namespace {
+
+const char*
+kindName(Json::Kind kind)
+{
+    switch (kind) {
+    case Json::Kind::Null:
+        return "null";
+    case Json::Kind::Bool:
+        return "bool";
+    case Json::Kind::Int:
+    case Json::Kind::Double:
+        return "number";
+    case Json::Kind::String:
+        return "string";
+    case Json::Kind::Array:
+        return "array";
+    case Json::Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+typeError(const char* wanted, Json::Kind got)
+{
+    userError(std::string("json: expected ") + wanted + ", got " +
+              kindName(got));
+}
+
+} // namespace
+
+bool
+Json::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        typeError("bool", kind_);
+    return bool_;
+}
+
+int64_t
+Json::asInt() const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    if (kind_ == Kind::Double && std::nearbyint(double_) == double_ &&
+        double_ >= -9.2233720368547758e18 && double_ <= 9.2233720368547758e18)
+        return static_cast<int64_t>(double_);
+    typeError("integer", kind_);
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ == Kind::Double)
+        return double_;
+    typeError("number", kind_);
+}
+
+const std::string&
+Json::asString() const
+{
+    if (kind_ != Kind::String)
+        typeError("string", kind_);
+    return string_;
+}
+
+const JsonArray&
+Json::asArray() const
+{
+    if (kind_ != Kind::Array)
+        typeError("array", kind_);
+    return *array_;
+}
+
+const JsonObject&
+Json::asObject() const
+{
+    if (kind_ != Kind::Object)
+        typeError("object", kind_);
+    return *object_;
+}
+
+const Json&
+Json::at(const std::string& key) const
+{
+    const Json* found = find(key);
+    if (found == nullptr)
+        userError("json: missing field '" + key + "'");
+    return *found;
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = object_->find(key);
+    return it == object_->end() ? nullptr : &it->second;
+}
+
+int64_t
+Json::intOr(const std::string& key, int64_t fallback) const
+{
+    const Json* found = find(key);
+    return found == nullptr ? fallback : found->asInt();
+}
+
+double
+Json::doubleOr(const std::string& key, double fallback) const
+{
+    const Json* found = find(key);
+    return found == nullptr ? fallback : found->asDouble();
+}
+
+bool
+Json::boolOr(const std::string& key, bool fallback) const
+{
+    const Json* found = find(key);
+    return found == nullptr ? fallback : found->asBool();
+}
+
+std::string
+Json::stringOr(const std::string& key, std::string fallback) const
+{
+    const Json* found = find(key);
+    return found == nullptr ? std::move(fallback) : found->asString();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+appendEscaped(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (unsigned char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendValue(std::string& out, const Json& value)
+{
+    switch (value.kind()) {
+    case Json::Kind::Null:
+        out += "null";
+        break;
+    case Json::Kind::Bool:
+        out += value.asBool() ? "true" : "false";
+        break;
+    case Json::Kind::Int:
+        out += std::to_string(value.asInt());
+        break;
+    case Json::Kind::Double: {
+        double d = value.asDouble();
+        if (!std::isfinite(d)) {
+            // JSON has no Inf/NaN; null keeps the document valid.
+            out += "null";
+            break;
+        }
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+        out += buffer;
+        break;
+    }
+    case Json::Kind::String:
+        appendEscaped(out, value.asString());
+        break;
+    case Json::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json& elem : value.asArray()) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendValue(out, elem);
+        }
+        out += ']';
+        break;
+    }
+    case Json::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, elem] : value.asObject()) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendEscaped(out, key);
+            out += ':';
+            appendValue(out, elem);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+} // namespace
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    appendValue(out, *this);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent parser over a string_view with a depth bound. */
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse()
+    {
+        Json value = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing bytes after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& why)
+    {
+        userError("json: " + why + " at byte " + std::to_string(pos_));
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of document");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal)
+            return false;
+        pos_ += literal.size();
+        return true;
+    }
+
+    Json parseValue(int depth)
+    {
+        if (depth > kMaxJsonDepth)
+            fail("nesting too deep");
+        skipWhitespace();
+        char c = peek();
+        switch (c) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"':
+            return Json(parseString());
+        case 't':
+            if (consumeLiteral("true"))
+                return Json(true);
+            fail("invalid literal");
+        case 'f':
+            if (consumeLiteral("false"))
+                return Json(false);
+            fail("invalid literal");
+        case 'n':
+            if (consumeLiteral("null"))
+                return Json(nullptr);
+            fail("invalid literal");
+        default:
+            return parseNumber();
+        }
+    }
+
+    Json parseObject(int depth)
+    {
+        expect('{');
+        JsonObject object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(object));
+        }
+        for (;;) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            object.insert_or_assign(std::move(key), parseValue(depth + 1));
+            skipWhitespace();
+            char next = peek();
+            ++pos_;
+            if (next == '}')
+                return Json(std::move(object));
+            if (next != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json parseArray(int depth)
+    {
+        expect('[');
+        JsonArray array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(array));
+        }
+        for (;;) {
+            array.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            char next = peek();
+            ++pos_;
+            if (next == ']')
+                return Json(std::move(array));
+            if (next != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+            if (c == '"')
+                return out;
+            if (c < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // passed through as two 3-byte sequences — the protocol
+                // carries source text, not arbitrary Unicode).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json parseNumber()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        // Strict JSON: no leading zeros ("01"), which some parsers
+        // silently read as octal or decimal.
+        if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+            fail("leading zeros are not allowed in numbers");
+        }
+        bool isDouble = false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-")
+            fail("invalid number");
+        if (!isDouble) {
+            int64_t value = 0;
+            auto [end, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), value);
+            if (ec == std::errc() && end == token.data() + token.size())
+                return Json(value);
+            // Integer overflow: fall through to double.
+        }
+        std::string buffer(token);
+        errno = 0;
+        char* end = nullptr;
+        double value = std::strtod(buffer.c_str(), &end);
+        if (end != buffer.c_str() + buffer.size() || errno == ERANGE)
+            fail("invalid number");
+        return Json(value);
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace hecate::net

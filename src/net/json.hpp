@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal JSON value model for the serve protocol: parse, build,
+ * serialize. Strict by design — the parser rejects trailing garbage,
+ * unescaped control characters, and nesting deeper than kMaxDepth, so
+ * a malformed client frame turns into one UserError instead of
+ * undefined parser state.
+ *
+ * Numbers keep an integer/double distinction: attribute values are
+ * int64 end to end, and a client-supplied tree must round-trip
+ * full-width inputs without drifting through a double.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hecate::net {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/** std::map: deterministic member order in serialized output. */
+using JsonObject = std::map<std::string, Json>;
+
+/** One JSON value (null / bool / int / double / string / array / object). */
+class Json {
+  public:
+    enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+    Json(int value) : kind_(Kind::Int), int_(value) {}
+    Json(unsigned value) : kind_(Kind::Int), int_(value) {}
+    Json(int64_t value) : kind_(Kind::Int), int_(value) {}
+    Json(uint64_t value) : kind_(Kind::Int), int_(static_cast<int64_t>(value)) {}
+    Json(double value) : kind_(Kind::Double), double_(value) {}
+    Json(const char* value) : kind_(Kind::String), string_(value) {}
+    Json(std::string value) : kind_(Kind::String), string_(std::move(value)) {}
+    Json(JsonArray value)
+        : kind_(Kind::Array), array_(std::make_shared<JsonArray>(std::move(value)))
+    {
+    }
+    Json(JsonObject value)
+        : kind_(Kind::Object),
+          object_(std::make_shared<JsonObject>(std::move(value)))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isNumber() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; each throws UserError on a kind mismatch. */
+    bool asBool() const;
+    int64_t asInt() const;  ///< Double accepted when integral
+    double asDouble() const;
+    const std::string& asString() const;
+    const JsonArray& asArray() const;
+    const JsonObject& asObject() const;
+
+    /** Object member; UserError when absent or not an object. */
+    const Json& at(const std::string& key) const;
+
+    /** Object member or nullptr (nullptr too when not an object). */
+    const Json* find(const std::string& key) const;
+
+    /** Member when present, @p fallback otherwise (for optional knobs). */
+    int64_t intOr(const std::string& key, int64_t fallback) const;
+    double doubleOr(const std::string& key, double fallback) const;
+    bool boolOr(const std::string& key, bool fallback) const;
+    std::string stringOr(const std::string& key, std::string fallback) const;
+
+    /** Compact single-line serialization. */
+    std::string dump() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    // Containers sit behind shared_ptr so a Json is cheap to copy when
+    // fanning a parsed request out to workers (values are never
+    // mutated after parse).
+    std::shared_ptr<JsonArray> array_;
+    std::shared_ptr<JsonObject> object_;
+};
+
+/** Nesting bound enforced by parseJson (arrays + objects combined). */
+inline constexpr int kMaxJsonDepth = 64;
+
+/**
+ * Parse @p text as one JSON document. Throws UserError on any syntax
+ * error, trailing non-whitespace bytes, or nesting past kMaxJsonDepth.
+ */
+Json parseJson(std::string_view text);
+
+} // namespace hecate::net

@@ -1,0 +1,1024 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "exec/interp.hpp"
+#include "pipeline/pipeline.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hecate::net {
+
+namespace {
+
+/** Caps on client-controlled knobs (strict admission validation). */
+constexpr int64_t kMaxTreeSize = int64_t{1} << 31;
+constexpr int64_t kMaxBatchCount = int64_t{1} << 20;
+constexpr int64_t kMaxDepthKnob = 16;
+constexpr size_t kMaxQuotaClients = 65536;
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/**
+ * Decode one client-supplied tree node (recursively) into @p tree.
+ * Schema: {"class": NAME, "inputs": {attr: int, ...},
+ * "children": {name: node | null | [node, ...], ...}}.
+ */
+tree::NodeId
+decodeTreeNode(const sem::Grammar& grammar, tree::Tree& tree,
+               const Json& spec, int depth)
+{
+    if (depth > kMaxJsonDepth)
+        userError("tree: nesting too deep");
+    const std::string& className = spec.at("class").asString();
+    sem::ClassId clsId = grammar.findClass(className);
+    if (clsId == sem::kInvalidId)
+        userError("tree: unknown class '" + className + "'");
+    const sem::ClassInfo& cls = grammar.cls(clsId);
+    const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+
+    tree::NodeId node = tree.addNode(clsId);
+
+    if (const Json* inputs = spec.find("inputs")) {
+        for (const auto& [name, value] : inputs->asObject()) {
+            auto it = iface.attrByName.find(name);
+            if (it == iface.attrByName.end())
+                userError("tree: unknown attribute '" + name +
+                          "' on interface " + iface.name);
+            if (!iface.isInput(it->second))
+                userError("tree: attribute '" + name +
+                          "' is an output (only inputs may be supplied)");
+            tree.setInput(node, it->second, value.asInt());
+        }
+    }
+
+    if (const Json* children = spec.find("children")) {
+        for (const auto& [name, childSpec] : children->asObject()) {
+            auto it = cls.childByName.find(name);
+            if (it == cls.childByName.end())
+                userError("tree: unknown child '" + name + "' on class " +
+                          cls.name);
+            const sem::ChildInfo& info = cls.children[it->second];
+            if (info.collection) {
+                for (const Json& elem : childSpec.asArray()) {
+                    tree.addElement(node, info.id,
+                                    decodeTreeNode(grammar, tree, elem,
+                                                   depth + 1));
+                }
+            } else if (!childSpec.isNull()) {
+                tree.setScalar(node, info.id,
+                               decodeTreeNode(grammar, tree, childSpec,
+                                              depth + 1));
+            }
+        }
+    }
+    return node;
+}
+
+/** Build + validate a whole client-supplied tree. */
+tree::Tree
+decodeTree(const sem::Grammar& grammar, const Json& spec)
+{
+    tree::Tree tree(grammar);
+    tree.setRoot(decodeTreeNode(grammar, tree, spec, 0));
+    tree.validate();
+    return tree;
+}
+
+/** Encode every output attribute of @p arena back to JSON (small trees). */
+Json
+encodeOutputs(const sem::Grammar& grammar, const runtime::TreeArena& arena)
+{
+    JsonArray nodes;
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        JsonObject values;
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            if (iface.isInput(attr))
+                continue;
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            values.emplace(iface.attrs[attr].name,
+                           Json(arena.value(node, col)));
+        }
+        JsonObject entry;
+        entry.emplace("class", Json(cls.name));
+        entry.emplace("outputs", Json(std::move(values)));
+        nodes.push_back(Json(std::move(entry)));
+    }
+    return Json(std::move(nodes));
+}
+
+/** Differential check of @p arena against exec::computeReference. */
+uint64_t
+countMismatches(const sem::Grammar& grammar,
+                const runtime::TreeArena& arena)
+{
+    tree::Tree reference = arena.toTree();
+    reference.clearOutputs();
+    exec::computeReference(reference);
+    uint64_t mismatches = 0;
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            if (reference.node(node).values[attr] !=
+                arena.value(node, col))
+                ++mismatches;
+        }
+    }
+    return mismatches;
+}
+
+Json
+latencyJson(const obs::LatencyHistogram& histogram)
+{
+    JsonObject out;
+    out.emplace("count", Json(histogram.count()));
+    out.emplace("p50_ms", Json(histogram.quantileSeconds(0.50) * 1e3));
+    out.emplace("p99_ms", Json(histogram.quantileSeconds(0.99) * 1e3));
+    return Json(std::move(out));
+}
+
+} // namespace
+
+Server::Server(ServeOptions options) : options_(std::move(options))
+{
+    if (options_.telemetry != nullptr) {
+        telemetry_ = options_.telemetry;
+    } else {
+        ownedTelemetry_ = std::make_unique<obs::Telemetry>();
+        telemetry_ = ownedTelemetry_.get();
+    }
+    if (options_.maxFrameBytes == 0 ||
+        options_.maxFrameBytes > kFrameHardLimit)
+        options_.maxFrameBytes = kFrameHardLimit;
+    if (options_.queueCapacity == 0)
+        options_.queueCapacity = 1;
+    service_ = std::make_unique<service::SynthService>(options_.service);
+}
+
+Server::~Server()
+{
+    requestDrain();
+    waitUntilStopped();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+}
+
+void
+Server::start()
+{
+    checkInvariant(!started_.load(), "Server::start called twice");
+    startTime_ = std::chrono::steady_clock::now();
+
+    if (!options_.cacheDir.empty())
+        service::warmLoad(service_->cache(), options_.cacheDir,
+                          *telemetry_);
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0)
+        userError(std::string("cannot create wake pipe: ") +
+                  std::strerror(errno));
+    wakeRead_ = pipeFds[0];
+    wakeWrite_ = pipeFds[1];
+    setNonBlocking(wakeRead_);
+    setNonBlocking(wakeWrite_);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        userError(std::string("cannot create socket: ") +
+                  std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+        userError("invalid listen host '" + options_.host + "'");
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+        userError("cannot bind " + options_.host + ":" +
+                  std::to_string(options_.port) + ": " +
+                  std::strerror(errno));
+    if (::listen(listenFd_, 512) != 0)
+        userError(std::string("listen failed: ") + std::strerror(errno));
+    setNonBlocking(listenFd_);
+
+    sockaddr_in bound{};
+    socklen_t boundLen = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound),
+                  &boundLen);
+    boundPort_ = ntohs(bound.sin_port);
+
+    size_t workers = options_.workers;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    pollThread_ = std::thread([this] { pollLoop(); });
+    started_.store(true);
+}
+
+void
+Server::requestDrain()
+{
+    draining_.store(true, std::memory_order_relaxed);
+    wakePoll();
+}
+
+void
+Server::wakePoll()
+{
+    if (wakeWrite_ >= 0) {
+        char byte = 'w';
+        // Async-signal-safe; EAGAIN means the pipe already holds a
+        // wake-up, which is all we need.
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+    }
+}
+
+void
+Server::waitUntilStopped()
+{
+    if (pollThread_.joinable())
+        pollThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopWorkers_ = true;
+    }
+    queueCv_.notify_all();
+    for (std::thread& worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    workers_.clear();
+    bool wasStopped = stopped_.exchange(true);
+    if (!wasStopped && started_.load()) {
+        service_->drain();
+        if (!options_.cacheDir.empty()) {
+            size_t written = service_->cache().save(options_.cacheDir);
+            telemetry_->set("cache.persisted.entries",
+                            static_cast<double>(written));
+        }
+    }
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats stats;
+    stats.connectionsAccepted = connectionsAccepted_.load();
+    stats.connectionsClosed = connectionsClosed_.load();
+    stats.framesReceived = framesReceived_.load();
+    stats.requestsAdmitted = requestsAdmitted_.load();
+    stats.rejectedQueueFull = rejectedQueueFull_.load();
+    stats.rejectedQuota = rejectedQuota_.load();
+    stats.rejectedDraining = rejectedDraining_.load();
+    stats.malformedRequests = malformedRequests_.load();
+    stats.protocolErrors = protocolErrors_.load();
+    stats.responsesSent = responsesSent_.load();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stats.queueDepth = queue_.size();
+        stats.inFlight = inFlight_;
+    }
+    return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Poll loop
+// ---------------------------------------------------------------------------
+
+void
+Server::pollLoop()
+{
+    std::chrono::steady_clock::time_point drainStart{};
+    for (;;) {
+        const bool draining = draining_.load(std::memory_order_relaxed);
+        if (draining && listenFd_ >= 0) {
+            // Stop accepting; existing connections finish their work.
+            ::close(listenFd_);
+            listenFd_ = -1;
+            drainStart = std::chrono::steady_clock::now();
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::shared_ptr<Connection>> polled;
+        fds.reserve(connections_.size() + 2);
+        fds.push_back({wakeRead_, POLLIN, 0});
+        if (listenFd_ >= 0)
+            fds.push_back({listenFd_, POLLIN, 0});
+        for (auto& [fd, conn] : connections_) {
+            short events = POLLIN;
+            {
+                std::lock_guard<std::mutex> lock(conn->outMutex);
+                if (!conn->outbuf.empty())
+                    events |= POLLOUT;
+            }
+            fds.push_back({fd, events, 0});
+            polled.push_back(conn);
+        }
+
+        if (draining) {
+            // Drain exit test: no queued or in-flight work and no
+            // unflushed response bytes (or the grace period expired).
+            bool idle;
+            {
+                std::lock_guard<std::mutex> lock(queueMutex_);
+                idle = queue_.empty() && inFlight_ == 0;
+            }
+            bool flushed = true;
+            for (const auto& conn : polled) {
+                std::lock_guard<std::mutex> lock(conn->outMutex);
+                if (!conn->outbuf.empty())
+                    flushed = false;
+            }
+            const bool graceOver =
+                std::chrono::steady_clock::now() - drainStart >
+                std::chrono::milliseconds(options_.drainGraceMs);
+            if ((idle && flushed) || graceOver) {
+                for (const auto& conn : polled)
+                    closeConnection(conn);
+                connections_.clear();
+                return;
+            }
+        }
+
+        int ready = ::poll(fds.data(), fds.size(), 100);
+        if (ready < 0) {
+            if (errno != EINTR) {
+                // Unrecoverable poll failure: fall into the drain path
+                // so queued work still finishes and fds get closed.
+                draining_.store(true, std::memory_order_relaxed);
+            }
+            continue;
+        }
+
+        size_t index = 0;
+        if (fds[index].revents & POLLIN) {
+            char buffer[256];
+            while (::read(wakeRead_, buffer, sizeof(buffer)) > 0) {
+            }
+        }
+        ++index;
+        if (listenFd_ >= 0) {
+            if (fds[index].revents & POLLIN)
+                acceptPending();
+            ++index;
+        }
+        for (size_t i = 0; i < polled.size(); ++i, ++index) {
+            const std::shared_ptr<Connection>& conn = polled[i];
+            short revents = fds[index].revents;
+            if (conn->closed)
+                continue;
+            if (revents & POLLOUT)
+                flushConnection(conn);
+            if (revents & (POLLIN | POLLHUP | POLLERR))
+                readConnection(conn);
+        }
+
+        // Reap closed connections.
+        for (auto it = connections_.begin(); it != connections_.end();) {
+            if (it->second->closed)
+                it = connections_.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+void
+Server::acceptPending()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            return; // EAGAIN or transient error: poll again later
+        if (connections_.size() >= options_.maxConnections) {
+            ::close(fd);
+            continue;
+        }
+        setNonBlocking(fd);
+        setNoDelay(fd);
+        connections_.emplace(
+            fd, std::make_shared<Connection>(fd, options_.maxFrameBytes));
+        ++connectionsAccepted_;
+    }
+}
+
+void
+Server::readConnection(const std::shared_ptr<Connection>& conn)
+{
+    char buffer[64 * 1024];
+    for (;;) {
+        ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+        if (n > 0) {
+            conn->decoder.feed(std::string_view(buffer,
+                                                static_cast<size_t>(n)));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // EOF or hard error: process what we already have, then close.
+        conn->closeAfterFlush = true;
+        break;
+    }
+
+    try {
+        while (std::optional<std::string> payload = conn->decoder.next())
+            handleFrame(conn, *payload);
+    } catch (const UserError& error) {
+        // Invalid frame length: the byte stream cannot be re-synced.
+        // Tell the client why, then drop only this connection.
+        ++protocolErrors_;
+        sendResponse(conn, errorResponse(Json(), "protocol_error",
+                                         error.what()));
+        conn->closeAfterFlush = true;
+    }
+
+    if (conn->closeAfterFlush) {
+        std::lock_guard<std::mutex> lock(conn->outMutex);
+        if (conn->outbuf.empty()) {
+            // Nothing pending: close now (otherwise flush closes it).
+            lockedClose(conn);
+        }
+    }
+}
+
+void
+Server::flushConnection(const std::shared_ptr<Connection>& conn)
+{
+    std::lock_guard<std::mutex> lock(conn->outMutex);
+    while (!conn->outbuf.empty()) {
+        ssize_t n = ::send(conn->fd, conn->outbuf.data(),
+                           conn->outbuf.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            conn->outbuf.erase(0, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        if (n < 0 && errno == EINTR)
+            continue;
+        // Peer went away; drop the rest.
+        conn->outbuf.clear();
+        conn->closeAfterFlush = true;
+        break;
+    }
+    if (conn->outbuf.empty() && conn->closeAfterFlush)
+        lockedClose(conn);
+}
+
+void
+Server::closeConnection(const std::shared_ptr<Connection>& conn)
+{
+    std::lock_guard<std::mutex> lock(conn->outMutex);
+    lockedClose(conn);
+}
+
+void
+Server::lockedClose(const std::shared_ptr<Connection>& conn)
+{
+    if (conn->closed)
+        return;
+    ::close(conn->fd);
+    conn->closed = true;
+    ++connectionsClosed_;
+}
+
+// ---------------------------------------------------------------------------
+// Admission (poll thread)
+// ---------------------------------------------------------------------------
+
+bool
+Server::admitQuota(const std::string& client, uint32_t* retryAfterMs)
+{
+    if (options_.quotaRps <= 0)
+        return true;
+    const double burst = options_.quotaBurst > 0
+                             ? options_.quotaBurst
+                             : std::max(1.0, options_.quotaRps);
+    // Coarse memory bound: a hostile client-id stream must not grow
+    // the quota table forever. Resetting forgives at most one burst.
+    if (quotas_.size() > kMaxQuotaClients)
+        quotas_.clear();
+
+    auto now = std::chrono::steady_clock::now();
+    auto [it, fresh] = quotas_.try_emplace(client);
+    TokenBucket& bucket = it->second;
+    if (fresh) {
+        bucket.tokens = burst;
+        bucket.last = now;
+    } else {
+        double elapsed =
+            std::chrono::duration<double>(now - bucket.last).count();
+        bucket.tokens = std::min(burst,
+                                 bucket.tokens +
+                                     elapsed * options_.quotaRps);
+        bucket.last = now;
+    }
+    if (bucket.tokens >= 1.0) {
+        bucket.tokens -= 1.0;
+        return true;
+    }
+    double waitSeconds = (1.0 - bucket.tokens) / options_.quotaRps;
+    *retryAfterMs =
+        static_cast<uint32_t>(std::max(1.0, waitSeconds * 1e3));
+    return false;
+}
+
+Json
+Server::errorResponse(const Json& request, const std::string& error,
+                      const std::string& detail, uint32_t retryAfterMs)
+{
+    JsonObject out;
+    out.emplace("ok", Json(false));
+    out.emplace("error", Json(error));
+    if (!detail.empty())
+        out.emplace("detail", Json(detail));
+    if (retryAfterMs > 0)
+        out.emplace("retry_after_ms", Json(uint64_t{retryAfterMs}));
+    if (const Json* id = request.find("id"))
+        out.emplace("id", *id);
+    if (const Json* op = request.find("op"))
+        out.emplace("op", *op);
+    return Json(std::move(out));
+}
+
+void
+Server::handleFrame(const std::shared_ptr<Connection>& conn,
+                    const std::string& payload)
+{
+    ++framesReceived_;
+    Json request;
+    try {
+        request = parseJson(payload);
+        if (!request.isObject())
+            userError("request must be a JSON object");
+    } catch (const UserError& error) {
+        // Malformed JSON in a well-formed frame: recoverable — the
+        // frame boundary is intact, so the connection survives.
+        ++malformedRequests_;
+        sendResponse(conn, errorResponse(Json(), "malformed_request",
+                                         error.what()));
+        return;
+    }
+
+    std::string op = request.stringOr("op", "");
+    if (op == "ping") {
+        JsonObject out;
+        out.emplace("ok", Json(true));
+        out.emplace("op", Json("ping"));
+        if (const Json* id = request.find("id"))
+            out.emplace("id", *id);
+        sendResponse(conn, Json(std::move(out)));
+        return;
+    }
+    if (op == "metrics") {
+        Json response = handleMetrics();
+        JsonObject out = response.asObject();
+        if (const Json* id = request.find("id"))
+            out.emplace("id", *id);
+        sendResponse(conn, Json(std::move(out)));
+        return;
+    }
+    if (op == "cache_stats") {
+        Json response = handleCacheStats();
+        JsonObject out = response.asObject();
+        if (const Json* id = request.find("id"))
+            out.emplace("id", *id);
+        sendResponse(conn, Json(std::move(out)));
+        return;
+    }
+    if (op == "drain") {
+        JsonObject out;
+        out.emplace("ok", Json(true));
+        out.emplace("op", Json("drain"));
+        out.emplace("draining", Json(true));
+        if (const Json* id = request.find("id"))
+            out.emplace("id", *id);
+        sendResponse(conn, Json(std::move(out)));
+        requestDrain();
+        return;
+    }
+    if (op != "synth" && op != "run" && op != "batch") {
+        ++malformedRequests_;
+        sendResponse(conn, errorResponse(request, "unknown_op",
+                                         "op '" + op + "'"));
+        return;
+    }
+
+    if (draining_.load(std::memory_order_relaxed)) {
+        ++rejectedDraining_;
+        sendResponse(conn, errorResponse(request, "draining",
+                                         "server is draining"));
+        return;
+    }
+
+    // Admission 1: per-client quota.
+    std::string client = request.stringOr("client", "anon");
+    uint32_t retryAfterMs = 0;
+    if (!admitQuota(client, &retryAfterMs)) {
+        ++rejectedQuota_;
+        telemetry_->add("serve.rejected.quota");
+        sendResponse(conn,
+                     errorResponse(request, "quota_exceeded",
+                                   "client '" + client + "' over quota",
+                                   retryAfterMs));
+        return;
+    }
+
+    // Admission 2: bounded work queue.
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (queue_.size() >= options_.queueCapacity) {
+            ++rejectedQueueFull_;
+            telemetry_->add("serve.rejected.queue");
+            sendResponse(conn,
+                         errorResponse(request, "over_capacity",
+                                       "work queue is full",
+                                       options_.retryAfterMs));
+            return;
+        }
+        queue_.push_back(Job{conn, request, op,
+                             std::chrono::steady_clock::now()});
+    }
+    ++requestsAdmitted_;
+    telemetry_->add("serve.admitted." + op);
+    queueCv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return stopWorkers_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stopWorkers_)
+                    return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+
+        Json response = executeJob(job);
+        double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - job.admitted)
+                .count();
+        if (job.op == "synth")
+            latencySynth_.recordSeconds(seconds);
+        else if (job.op == "run")
+            latencyRun_.recordSeconds(seconds);
+        else
+            latencyBatch_.recordSeconds(seconds);
+        sendResponse(job.conn, response);
+
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            --inFlight_;
+        }
+        wakePoll();
+    }
+}
+
+Json
+Server::executeJob(const Job& job)
+{
+    try {
+        Json result;
+        if (job.op == "synth")
+            result = executeSynth(job.request);
+        else if (job.op == "run")
+            result = executeRun(job.request);
+        else
+            result = executeBatch(job.request);
+        JsonObject out = result.asObject();
+        out.emplace("op", Json(job.op));
+        if (const Json* id = job.request.find("id"))
+            out.emplace("id", *id);
+        return Json(std::move(out));
+    } catch (const Error& error) {
+        return errorResponse(job.request, "request_failed", error.what());
+    } catch (const std::exception& error) {
+        return errorResponse(job.request, "internal_error", error.what());
+    }
+}
+
+service::SynthRequest
+Server::parseSynthFields(const Json& request)
+{
+    service::SynthRequest synth;
+    const std::string grammarArg = request.at("grammar").asString();
+    // "builtin:NAME" names a bundled benchmark; anything else is
+    // inline L_a source (serve mode never touches the server's
+    // filesystem on behalf of a client).
+    if (grammarArg.rfind("builtin:", 0) == 0) {
+        const grammars::Benchmark* builtin =
+            pipeline::findBuiltin(grammarArg.substr(8));
+        if (builtin == nullptr)
+            userError("unknown builtin grammar '" + grammarArg + "'");
+        synth.grammarSrc = builtin->source;
+        synth.rootInterface = builtin->rootInterface;
+    } else {
+        synth.grammarSrc = grammarArg;
+    }
+    synth.traversalSrc = request.stringOr("traversal", "");
+    std::string root = request.stringOr("root", "");
+    if (!root.empty())
+        synth.rootInterface = root;
+
+    int64_t depth = request.intOr("depth", 3);
+    if (depth < 1 || depth > kMaxDepthKnob)
+        userError("depth must be in [1, " +
+                  std::to_string(kMaxDepthKnob) + "]");
+    synth.config.verify.maxDepth = static_cast<uint32_t>(depth);
+    synth.config.engine =
+        pipeline::parseEngineName(request.stringOr("engine", "ilp"));
+    return synth;
+}
+
+Json
+Server::executeSynth(const Json& request)
+{
+    service::SynthRequest synth = parseSynthFields(request);
+    synth.telemetry = telemetry_;
+    service::SynthOutcome outcome = service_->runNow(synth);
+    if (!outcome.ok)
+        return errorResponse(request, "synthesis_failed", outcome.failure);
+    JsonObject out;
+    out.emplace("ok", Json(true));
+    out.emplace("provenance",
+                Json(service::provenanceName(outcome.provenance)));
+    out.emplace("key", Json(outcome.keyDigest));
+    out.emplace("traversal", Json(outcome.concreteTraversal));
+    out.emplace("cegis_iterations", Json(uint64_t{outcome.cegisIterations}));
+    out.emplace("ms", Json(outcome.seconds * 1e3));
+    return Json(std::move(out));
+}
+
+Json
+Server::executeRun(const Json& request)
+{
+    service::SynthRequest synth = parseSynthFields(request);
+    synth.telemetry = telemetry_;
+    service::SynthOutcome outcome = service_->runNow(synth);
+    if (!outcome.ok)
+        return errorResponse(request, "synthesis_failed", outcome.failure);
+
+    // The schedule is now in the cache; a fresh pipeline resolves it
+    // from there and runs the execution stages.
+    obs::Telemetry local;
+    pipeline::PipelineOptions options;
+    options.config = synth.config;
+    options.rootInterface = synth.rootInterface;
+    options.cache = &service_->cache();
+    options.telemetry = &local;
+    pipeline::Pipeline pipe(synth.grammarSrc, synth.traversalSrc,
+                            std::move(options));
+
+    const Json* treeSpec = request.find("tree");
+    runtime::ExecOptions exec;
+    exec.strategy = runtime::SweepStrategy::Auto;
+
+    std::optional<pipeline::ExecuteArtifact> artifact;
+    if (treeSpec != nullptr) {
+        tree::Tree tree = decodeTree(pipe.grammar(), *treeSpec);
+        artifact.emplace(pipe.executeTree(tree, exec));
+    } else {
+        int64_t treeSize = request.intOr("tree_size", 1000);
+        int64_t treeDepth = request.intOr("tree_depth", 0);
+        int64_t seed = request.intOr("seed", 1);
+        if (treeSize < 1 || treeSize > kMaxTreeSize)
+            userError("tree_size out of range");
+        if (treeDepth < 0 || seed < 0)
+            userError("tree_depth and seed must be non-negative");
+        pipeline::ExecuteRequest run;
+        run.gen.targetNodes = static_cast<uint32_t>(treeSize);
+        run.gen.maxDepth = static_cast<uint32_t>(treeDepth);
+        run.gen.seed = static_cast<uint64_t>(seed);
+        run.exec = exec;
+        artifact.emplace(pipe.execute(run));
+    }
+    telemetry_->absorb(local);
+
+    JsonObject out;
+    out.emplace("ok", Json(true));
+    out.emplace("provenance",
+                Json(service::provenanceName(outcome.provenance)));
+    out.emplace("nodes", Json(uint64_t{artifact->arena.size()}));
+    out.emplace("checksum", Json(artifact->arena.checksum()));
+    out.emplace("node_visits", Json(artifact->stats.nodeVisits));
+    out.emplace("rules_evaluated", Json(artifact->stats.rulesEvaluated));
+    out.emplace("generate_ms", Json(artifact->generateSeconds * 1e3));
+    out.emplace("execute_ms", Json(artifact->executeSeconds * 1e3));
+
+    if (request.boolOr("check", false)) {
+        uint64_t mismatches =
+            countMismatches(pipe.grammar(), artifact->arena);
+        out.emplace("check",
+                    Json(mismatches == 0 ? "ok" : "mismatch"));
+        out.emplace("mismatches", Json(mismatches));
+        if (mismatches != 0)
+            out.insert_or_assign("ok", Json(false));
+    }
+    if (treeSpec != nullptr && request.boolOr("return_outputs", false))
+        out.emplace("nodes_out",
+                    encodeOutputs(pipe.grammar(), artifact->arena));
+    return Json(std::move(out));
+}
+
+Json
+Server::executeBatch(const Json& request)
+{
+    service::BatchRequest batch;
+    batch.synth = parseSynthFields(request);
+    batch.synth.telemetry = telemetry_;
+
+    int64_t treeSize = request.intOr("tree_size", 1000);
+    int64_t batchCount = request.intOr("batch_count", 1);
+    int64_t seed = request.intOr("seed", 1);
+    if (treeSize < 1 || treeSize > kMaxTreeSize)
+        userError("tree_size out of range");
+    if (batchCount < 1 || batchCount > kMaxBatchCount)
+        userError("batch_count out of range");
+    if (seed < 0)
+        userError("seed must be non-negative");
+    batch.gen.targetNodes = static_cast<uint32_t>(treeSize);
+    batch.gen.seed = static_cast<uint64_t>(seed);
+    batch.batchCount = static_cast<uint32_t>(batchCount);
+
+    service::BatchOutcome outcome = service_->runBatch(batch);
+    if (!outcome.ok)
+        return errorResponse(request, "batch_failed", outcome.failure);
+    JsonObject out;
+    out.emplace("ok", Json(true));
+    out.emplace("provenance",
+                Json(service::provenanceName(outcome.synth.provenance)));
+    out.emplace("trees", Json(uint64_t{batch.batchCount}));
+    out.emplace("nodes", Json(outcome.nodes));
+    out.emplace("checksum", Json(outcome.checksum));
+    out.emplace("generate_ms", Json(outcome.generateSeconds * 1e3));
+    out.emplace("execute_ms", Json(outcome.executeSeconds * 1e3));
+    return Json(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Inline ops
+// ---------------------------------------------------------------------------
+
+Json
+Server::handleCacheStats()
+{
+    service::ScheduleCache& cache = service_->cache();
+    service::ScheduleCache::Stats stats = cache.stats();
+    JsonObject out;
+    out.emplace("ok", Json(true));
+    out.emplace("op", Json("cache_stats"));
+    out.emplace("entries", Json(uint64_t{cache.size()}));
+    out.emplace("capacity", Json(uint64_t{cache.capacity()}));
+    out.emplace("hits", Json(stats.hits));
+    out.emplace("misses", Json(stats.misses));
+    out.emplace("insertions", Json(stats.insertions));
+    out.emplace("evictions", Json(stats.evictions));
+    return Json(std::move(out));
+}
+
+Json
+Server::handleMetrics()
+{
+    ServerStats snapshot = stats();
+    JsonObject out;
+    out.emplace("ok", Json(true));
+    out.emplace("op", Json("metrics"));
+    out.emplace("draining", Json(draining()));
+    out.emplace(
+        "uptime_s",
+        Json(std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - startTime_)
+                 .count()));
+
+    JsonObject queue;
+    queue.emplace("depth", Json(uint64_t{snapshot.queueDepth}));
+    queue.emplace("capacity", Json(uint64_t{options_.queueCapacity}));
+    queue.emplace("in_flight", Json(uint64_t{snapshot.inFlight}));
+    queue.emplace("workers", Json(uint64_t{workers_.size()}));
+    out.emplace("queue", Json(std::move(queue)));
+
+    JsonObject requests;
+    requests.emplace("admitted", Json(snapshot.requestsAdmitted));
+    requests.emplace("rejected_queue", Json(snapshot.rejectedQueueFull));
+    requests.emplace("rejected_quota", Json(snapshot.rejectedQuota));
+    requests.emplace("rejected_draining", Json(snapshot.rejectedDraining));
+    requests.emplace("malformed", Json(snapshot.malformedRequests));
+    requests.emplace("protocol_errors", Json(snapshot.protocolErrors));
+    requests.emplace("responses", Json(snapshot.responsesSent));
+    out.emplace("requests", Json(std::move(requests)));
+
+    JsonObject connections;
+    connections.emplace("accepted", Json(snapshot.connectionsAccepted));
+    connections.emplace("closed", Json(snapshot.connectionsClosed));
+    connections.emplace(
+        "open", Json(snapshot.connectionsAccepted -
+                     snapshot.connectionsClosed));
+    out.emplace("connections", Json(std::move(connections)));
+
+    service::ScheduleCache& cache = service_->cache();
+    service::ScheduleCache::Stats cacheStats = cache.stats();
+    JsonObject cacheOut;
+    cacheOut.emplace("entries", Json(uint64_t{cache.size()}));
+    cacheOut.emplace("hits", Json(cacheStats.hits));
+    cacheOut.emplace("misses", Json(cacheStats.misses));
+    cacheOut.emplace("warm_entries",
+                     Json(telemetry_->counter("cache.warm.entries")));
+    cacheOut.emplace("warm_ms",
+                     Json(telemetry_->counter("cache.warm.ms")));
+    out.emplace("cache", Json(std::move(cacheOut)));
+
+    service::ServiceStats svc = service_->stats();
+    JsonObject svcOut;
+    svcOut.emplace("requests", Json(svc.requests));
+    svcOut.emplace("cache_hits", Json(svc.cacheHits));
+    svcOut.emplace("joined_in_flight", Json(svc.joinedInFlight));
+    svcOut.emplace("fresh_runs", Json(svc.freshRuns));
+    svcOut.emplace("failures", Json(svc.failures));
+    out.emplace("service", Json(std::move(svcOut)));
+
+    JsonObject latency;
+    latency.emplace("synth", latencyJson(latencySynth_));
+    latency.emplace("run", latencyJson(latencyRun_));
+    latency.emplace("batch", latencyJson(latencyBatch_));
+    out.emplace("latency", Json(std::move(latency)));
+
+    JsonObject counters;
+    for (const auto& [name, value] : telemetry_->counters())
+        counters.emplace(name, Json(value));
+    out.emplace("counters", Json(std::move(counters)));
+    return Json(std::move(out));
+}
+
+void
+Server::sendResponse(const std::shared_ptr<Connection>& conn,
+                     const Json& response)
+{
+    std::string payload = response.dump();
+    bool needWake = false;
+    {
+        std::lock_guard<std::mutex> lock(conn->outMutex);
+        if (conn->closed)
+            return; // connection died while the job ran
+        bool wasEmpty = conn->outbuf.empty();
+        appendFrame(conn->outbuf, payload);
+        needWake = wasEmpty;
+    }
+    ++responsesSent_;
+    if (needWake)
+        wakePoll();
+}
+
+} // namespace hecate::net

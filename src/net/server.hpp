@@ -1,0 +1,256 @@
+#pragma once
+
+/**
+ * @file
+ * Hecate-as-a-service: the long-lived network front end over
+ * service::SynthService + pipeline::Pipeline.
+ *
+ * One poll-based acceptor thread owns the listening socket, every
+ * connection fd, per-connection frame decoding (net/wire.hpp) and all
+ * admission decisions; N worker threads execute admitted requests and
+ * hand serialized responses back through per-connection output
+ * buffers (a self-pipe wakes the poll loop). The protocol is
+ * length-prefixed JSON, one request object per frame — see
+ * README "Serving" for the full request/response schema.
+ *
+ * Admission policy, in order, for the work ops (synth / run / batch):
+ *
+ *  1. per-client token-bucket quota (client id = the request's
+ *     "client" field): over quota -> {"error":"quota_exceeded",
+ *     "retry_after_ms":...} computed from the bucket's refill rate;
+ *  2. bounded work queue: full -> {"error":"over_capacity",
+ *     "retry_after_ms":...}. The queue bound is the server's only
+ *     request memory: admission never buffers unbounded work, so
+ *     overload degrades into cheap rejections, not growth.
+ *
+ * Cheap ops (ping / metrics / cache_stats / drain) are answered
+ * inline on the poll thread — the metrics endpoint stays live even
+ * when every worker is busy and the queue is full.
+ *
+ * Malformed input never tears the server down: an unparseable JSON
+ * payload gets {"error":"malformed_request"} and the connection
+ * lives on; an invalid frame length is unrecoverable for that byte
+ * stream (resync is impossible), so that one connection is closed.
+ *
+ * Shutdown: requestDrain() (async-signal-safe — the CLI's SIGTERM
+ * handler calls it) or a "drain" request stops accepting connections
+ * and admitting work, lets queued + in-flight requests finish,
+ * flushes every response buffer (bounded by drainGraceMs), persists
+ * the schedule cache to cacheDir, then stops the workers.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/json.hpp"
+#include "net/wire.hpp"
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
+#include "service/synth_service.hpp"
+
+namespace hecate::net {
+
+/** Serve-mode knobs. */
+struct ServeOptions {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;          ///< 0 = ephemeral (see Server::port())
+    size_t workers = 0;         ///< request workers; 0 = hardware
+    size_t queueCapacity = 512; ///< admission bound (queued, not in-flight)
+    size_t maxConnections = 4096;
+    uint32_t maxFrameBytes = 4u << 20; ///< per-frame payload cap
+    /**
+     * Per-client token bucket: sustained requests/second and burst
+     * capacity. rps 0 disables quotas; burst 0 defaults to
+     * max(1, rps).
+     */
+    double quotaRps = 0.0;
+    double quotaBurst = 0.0;
+    uint32_t retryAfterMs = 50;    ///< hint in over_capacity rejections
+    uint32_t drainGraceMs = 5000;  ///< max wait for unflushed responses
+    std::string cacheDir;          ///< warm-load at start, persist at drain
+    service::ServiceConfig service; ///< inner SynthService knobs
+    /** Serve-wide telemetry sink; null = server-owned internal sink. */
+    obs::Telemetry* telemetry = nullptr;
+};
+
+/** Monotonic server counters (also exported via the metrics op). */
+struct ServerStats {
+    uint64_t connectionsAccepted = 0;
+    uint64_t connectionsClosed = 0;
+    uint64_t framesReceived = 0;
+    uint64_t requestsAdmitted = 0;
+    uint64_t rejectedQueueFull = 0;
+    uint64_t rejectedQuota = 0;
+    uint64_t rejectedDraining = 0;
+    uint64_t malformedRequests = 0;
+    uint64_t protocolErrors = 0; ///< bad frames (connection dropped)
+    uint64_t responsesSent = 0;
+    size_t queueDepth = 0; ///< snapshot
+    size_t inFlight = 0;   ///< snapshot
+};
+
+/** The serve daemon. start() it, then waitUntilStopped(). */
+class Server {
+  public:
+    explicit Server(ServeOptions options);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Bind, listen, warm-load the cache, spawn the poll thread and
+     * the workers. Throws UserError when the address cannot be bound.
+     */
+    void start();
+
+    /** The bound port (after start; resolves port 0 to the real one). */
+    uint16_t port() const { return boundPort_; }
+
+    /**
+     * Begin graceful drain. Async-signal-safe (an atomic store and a
+     * write() on the self-pipe), so the CLI's SIGTERM handler may call
+     * it directly. Idempotent.
+     */
+    void requestDrain();
+
+    /** Block until the drain has completed and every thread joined. */
+    void waitUntilStopped();
+
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_relaxed);
+    }
+
+    ServerStats stats() const;
+    service::SynthService& service() { return *service_; }
+    obs::Telemetry& telemetry() { return *telemetry_; }
+
+  private:
+    /** One live connection; shared between poll thread and workers. */
+    struct Connection {
+        explicit Connection(int fd, uint32_t maxFrame)
+            : fd(fd), decoder(maxFrame)
+        {
+        }
+
+        int fd;
+        FrameDecoder decoder; ///< poll thread only
+        std::mutex outMutex;
+        std::string outbuf;       ///< pending response bytes
+        bool closed = false;      ///< fd closed; drop late responses
+        bool closeAfterFlush = false;
+    };
+
+    /** One admitted work request. */
+    struct Job {
+        std::shared_ptr<Connection> conn;
+        Json request;
+        std::string op;
+        std::chrono::steady_clock::time_point admitted;
+    };
+
+    /** Client quota state (poll thread only). */
+    struct TokenBucket {
+        double tokens = 0;
+        std::chrono::steady_clock::time_point last;
+    };
+
+    void pollLoop();
+    void workerLoop();
+
+    void acceptPending();
+    void readConnection(const std::shared_ptr<Connection>& conn);
+    void flushConnection(const std::shared_ptr<Connection>& conn);
+    void closeConnection(const std::shared_ptr<Connection>& conn);
+
+    /** Close without taking outMutex (caller holds it). Idempotent. */
+    void lockedClose(const std::shared_ptr<Connection>& conn);
+
+    /** Handle one decoded frame on the poll thread. */
+    void handleFrame(const std::shared_ptr<Connection>& conn,
+                     const std::string& payload);
+
+    /** Quota check; fills @p retryAfterMs on failure. */
+    bool admitQuota(const std::string& client, uint32_t* retryAfterMs);
+
+    /** Serialize + enqueue a response and wake the poll loop. */
+    void sendResponse(const std::shared_ptr<Connection>& conn,
+                      const Json& response);
+
+    /** Build the uniform failure response. */
+    static Json errorResponse(const Json& request, const std::string& error,
+                              const std::string& detail = std::string(),
+                              uint32_t retryAfterMs = 0);
+
+    Json handleMetrics();
+    Json handleCacheStats();
+
+    /** Worker-side execution of one admitted job. */
+    Json executeJob(const Job& job);
+    Json executeSynth(const Json& request);
+    Json executeRun(const Json& request);
+    Json executeBatch(const Json& request);
+
+    /** The synth request the work op's common fields describe. */
+    service::SynthRequest parseSynthFields(const Json& request);
+
+    void wakePoll();
+
+    ServeOptions options_;
+    std::unique_ptr<obs::Telemetry> ownedTelemetry_;
+    obs::Telemetry* telemetry_ = nullptr;
+    std::unique_ptr<service::SynthService> service_;
+
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    uint16_t boundPort_ = 0;
+
+    std::thread pollThread_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopped_{false};
+
+    // Poll-thread-owned connection and quota state.
+    std::map<int, std::shared_ptr<Connection>> connections_;
+    std::map<std::string, TokenBucket> quotas_;
+
+    // Bounded admission queue.
+    mutable std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<Job> queue_;
+    size_t inFlight_ = 0;
+    bool stopWorkers_ = false;
+
+    // Counters (relaxed; exact ordering does not matter for metrics).
+    std::atomic<uint64_t> connectionsAccepted_{0};
+    std::atomic<uint64_t> connectionsClosed_{0};
+    std::atomic<uint64_t> framesReceived_{0};
+    std::atomic<uint64_t> requestsAdmitted_{0};
+    std::atomic<uint64_t> rejectedQueueFull_{0};
+    std::atomic<uint64_t> rejectedQuota_{0};
+    std::atomic<uint64_t> rejectedDraining_{0};
+    std::atomic<uint64_t> malformedRequests_{0};
+    std::atomic<uint64_t> protocolErrors_{0};
+    std::atomic<uint64_t> responsesSent_{0};
+
+    /** Per-op latency histograms (admission -> response enqueued). */
+    obs::LatencyHistogram latencySynth_;
+    obs::LatencyHistogram latencyRun_;
+    obs::LatencyHistogram latencyBatch_;
+
+    std::chrono::steady_clock::time_point startTime_;
+};
+
+} // namespace hecate::net

@@ -1,0 +1,131 @@
+#include "net/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::net {
+
+namespace {
+
+uint32_t
+decodeLength(const char* bytes)
+{
+    return (static_cast<uint32_t>(static_cast<unsigned char>(bytes[0])) << 24) |
+           (static_cast<uint32_t>(static_cast<unsigned char>(bytes[1])) << 16) |
+           (static_cast<uint32_t>(static_cast<unsigned char>(bytes[2])) << 8) |
+           static_cast<uint32_t>(static_cast<unsigned char>(bytes[3]));
+}
+
+void
+encodeLength(char* bytes, uint32_t length)
+{
+    bytes[0] = static_cast<char>((length >> 24) & 0xFF);
+    bytes[1] = static_cast<char>((length >> 16) & 0xFF);
+    bytes[2] = static_cast<char>((length >> 8) & 0xFF);
+    bytes[3] = static_cast<char>(length & 0xFF);
+}
+
+} // namespace
+
+void
+appendFrame(std::string& out, std::string_view payload)
+{
+    if (payload.empty() || payload.size() > kFrameHardLimit)
+        userError("frame payload size out of range");
+    char prefix[4];
+    encodeLength(prefix, static_cast<uint32_t>(payload.size()));
+    out.append(prefix, 4);
+    out.append(payload);
+}
+
+std::optional<std::string>
+FrameDecoder::next()
+{
+    if (buffer_.size() < 4)
+        return std::nullopt;
+    uint32_t length = decodeLength(buffer_.data());
+    if (length == 0 || length > maxPayload_ || length > kFrameHardLimit) {
+        userError("frame length " + std::to_string(length) +
+                  " outside accepted range [1, " +
+                  std::to_string(maxPayload_) + "]");
+    }
+    if (buffer_.size() < 4 + static_cast<size_t>(length))
+        return std::nullopt;
+    std::string payload = buffer_.substr(4, length);
+    buffer_.erase(0, 4 + static_cast<size_t>(length));
+    return payload;
+}
+
+namespace {
+
+void
+writeAll(int fd, const char* data, size_t size)
+{
+    size_t sent = 0;
+    while (sent < size) {
+        ssize_t n = ::write(fd, data + sent, size - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            userError(std::string("socket write failed: ") +
+                      std::strerror(errno));
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+/** Read exactly @p size bytes; false on EOF before the first byte. */
+bool
+readAll(int fd, char* data, size_t size)
+{
+    size_t got = 0;
+    while (got < size) {
+        ssize_t n = ::read(fd, data + got, size - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            userError(std::string("socket read failed: ") +
+                      std::strerror(errno));
+        }
+        if (n == 0) {
+            if (got == 0)
+                return false;
+            userError("connection closed mid-frame");
+        }
+        got += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeFrame(int fd, std::string_view payload)
+{
+    std::string frame;
+    frame.reserve(payload.size() + 4);
+    appendFrame(frame, payload);
+    writeAll(fd, frame.data(), frame.size());
+}
+
+std::optional<std::string>
+readFrame(int fd, uint32_t maxPayload)
+{
+    char prefix[4];
+    if (!readAll(fd, prefix, 4))
+        return std::nullopt;
+    uint32_t length = decodeLength(prefix);
+    if (length == 0 || length > maxPayload || length > kFrameHardLimit)
+        userError("frame length " + std::to_string(length) +
+                  " outside accepted range");
+    std::string payload(length, '\0');
+    if (!readAll(fd, payload.data(), length))
+        userError("connection closed mid-frame");
+    return payload;
+}
+
+} // namespace hecate::net

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * The serve protocol's wire layer: length-prefixed frames.
+ *
+ * A frame is a 4-byte big-endian payload length followed by that many
+ * payload bytes (UTF-8 JSON at the layer above). Length 0 is invalid;
+ * lengths above the receiver's max are a protocol error the receiver
+ * reports before closing that one connection — a hostile or buggy
+ * client must never take the server down or make it buffer unbounded
+ * input.
+ *
+ * FrameDecoder is the incremental, non-blocking half (the server's
+ * poll loop feeds it whatever recv returned); readFrame/writeFrame are
+ * the blocking half used by the in-process client and tests.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hecate::net {
+
+/** Hard ceiling on any frame this build will accept or emit (64 MiB). */
+inline constexpr uint32_t kFrameHardLimit = 64u << 20;
+
+/** Append one frame (length prefix + payload) to @p out. */
+void appendFrame(std::string& out, std::string_view payload);
+
+/** Incremental frame decoder over a growing byte buffer. */
+class FrameDecoder {
+  public:
+    /** @p maxPayload: reject frames longer than this (protocol error). */
+    explicit FrameDecoder(uint32_t maxPayload) : maxPayload_(maxPayload) {}
+
+    /** Append newly received bytes. */
+    void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+    /**
+     * Extract the next complete frame's payload, or nullopt when the
+     * buffer holds only a partial frame. Throws UserError on a frame
+     * that exceeds the payload bound (the caller should answer with a
+     * protocol error and drop the connection: the stream cannot be
+     * resynchronized past a bad length prefix).
+     */
+    std::optional<std::string> next();
+
+    /** Bytes currently buffered (tests / accounting). */
+    size_t buffered() const { return buffer_.size(); }
+
+  private:
+    uint32_t maxPayload_;
+    std::string buffer_;
+};
+
+/**
+ * Blocking helpers over a connected socket fd (client side). Both
+ * retry on EINTR and throw UserError on I/O errors; readFrame returns
+ * nullopt on clean EOF at a frame boundary.
+ */
+void writeFrame(int fd, std::string_view payload);
+std::optional<std::string> readFrame(int fd, uint32_t maxPayload);
+
+} // namespace hecate::net

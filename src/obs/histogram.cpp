@@ -1,0 +1,98 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+
+namespace hecate::obs {
+
+int
+LatencyHistogram::bucketFor(uint64_t micros)
+{
+    // Octave 0 holds [0, 16): values below one full sub-bucket span
+    // index directly. Above that, the octave is the position of the
+    // leading bit and the sub-bucket the next kSubBits bits.
+    constexpr uint64_t kSub = uint64_t{1} << kSubBits;
+    if (micros < kSub)
+        return static_cast<int>(micros);
+    int octave = 63 - std::countl_zero(micros);
+    int sub = static_cast<int>((micros >> (octave - kSubBits)) &
+                               (kSub - 1));
+    int index = ((octave - kSubBits + 1) << kSubBits) + sub;
+    return index < kBuckets ? index : kBuckets - 1;
+}
+
+uint64_t
+LatencyHistogram::bucketUpperBound(int bucket)
+{
+    constexpr uint64_t kSub = uint64_t{1} << kSubBits;
+    if (bucket < static_cast<int>(kSub))
+        return static_cast<uint64_t>(bucket);
+    int octave = (bucket >> kSubBits) + kSubBits - 1;
+    uint64_t sub = static_cast<uint64_t>(bucket) & (kSub - 1);
+    return (kSub + sub + 1) << (octave - kSubBits);
+}
+
+void
+LatencyHistogram::record(uint64_t micros)
+{
+    buckets_[static_cast<size_t>(bucketFor(micros))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+LatencyHistogram::recordSeconds(double seconds)
+{
+    if (seconds < 0)
+        seconds = 0;
+    record(static_cast<uint64_t>(seconds * 1e6));
+}
+
+uint64_t
+LatencyHistogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+LatencyHistogram::quantileMicros(double q) const
+{
+    uint64_t total = count();
+    if (total == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // Rank of the target sample, 1-based; q=1 is the max sample seen.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+    uint64_t seen = 0;
+    int last = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        uint64_t n = buckets_[static_cast<size_t>(i)].load(
+            std::memory_order_relaxed);
+        if (n == 0)
+            continue;
+        last = i;
+        seen += n;
+        if (seen >= rank)
+            return bucketUpperBound(i);
+    }
+    // Counter/bucket updates race benignly; fall back to the highest
+    // occupied bucket.
+    return bucketUpperBound(last);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram& other)
+{
+    for (int i = 0; i < kBuckets; ++i) {
+        uint64_t n = other.buckets_[static_cast<size_t>(i)].load(
+            std::memory_order_relaxed);
+        if (n != 0)
+            buckets_[static_cast<size_t>(i)].fetch_add(
+                n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+}
+
+} // namespace hecate::obs

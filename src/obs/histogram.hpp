@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * A small streaming latency histogram for the serve daemon's live
+ * metrics endpoint: fixed-size log-bucketed counters (HdrHistogram's
+ * octave + sub-bucket scheme, cut down) over microsecond samples.
+ *
+ * record() is wait-free — one relaxed atomic increment into a bucket —
+ * so request workers publish latencies with no shared lock on the hot
+ * path. quantile() scans the 512 buckets; it reads the counters
+ * relaxed, so a quantile taken concurrently with recording is a
+ * point-in-time approximation, which is exactly what a live /metrics
+ * poll wants. Relative bucket error is bounded by the sub-bucket
+ * resolution: ~6% (16 sub-buckets per octave).
+ */
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace hecate::obs {
+
+/** Streaming log-bucketed histogram of non-negative microsecond values. */
+class LatencyHistogram {
+  public:
+    static constexpr int kSubBits = 4; ///< 16 sub-buckets per octave
+    static constexpr int kOctaves = 32; ///< covers up to ~2^32 us (~1.2h)
+    static constexpr int kBuckets = kOctaves << kSubBits;
+
+    /** Record one sample (values are clamped into the covered range). */
+    void record(uint64_t micros);
+
+    /** Record a duration in seconds (negative values clamp to zero). */
+    void recordSeconds(double seconds);
+
+    uint64_t count() const;
+
+    /**
+     * Approximate @p q quantile (0 <= q <= 1) in microseconds: the
+     * upper bound of the bucket holding the rank-q sample; 0 when the
+     * histogram is empty.
+     */
+    uint64_t quantileMicros(double q) const;
+
+    double quantileSeconds(double q) const
+    {
+        return static_cast<double>(quantileMicros(q)) * 1e-6;
+    }
+
+    /** Add @p other's counts into this histogram. */
+    void merge(const LatencyHistogram& other);
+
+  private:
+    static int bucketFor(uint64_t micros);
+    static uint64_t bucketUpperBound(int bucket);
+
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+};
+
+} // namespace hecate::obs

@@ -414,6 +414,38 @@ Pipeline::execute(const ExecuteRequest& request)
     return artifact;
 }
 
+ExecuteArtifact
+Pipeline::executeTree(const tree::Tree& tree,
+                      const runtime::ExecOptions& execOptions)
+{
+    const runtime::Program& program = compileProgram();
+    if (&tree.grammar() != grammar_.get())
+        userError("Pipeline::executeTree: tree was built against a "
+                  "different grammar object");
+    obs::Span stage = telemetry().span("execute", "stage");
+
+    Timer generate_timer;
+    obs::Span flatten = telemetry().span("arena.from_tree");
+    runtime::TreeArena arena = runtime::TreeArena::fromTree(tree);
+    flatten.end();
+    double generate_seconds = generate_timer.seconds();
+
+    ExecuteRequest request;
+    request.exec = execOptions;
+    Timer execute_timer;
+    obs::Span run = telemetry().span("arena.execute");
+    runtime::RuntimeStats stats =
+        runtime::execute(program, arena, resolveExecOptions(request));
+    run.end();
+
+    const uint64_t nodes = arena.size();
+    ExecuteArtifact artifact(std::move(arena), stats);
+    artifact.generateSeconds = generate_seconds;
+    artifact.executeSeconds = execute_timer.seconds();
+    exportExecCounters(stats, nodes, artifact.executeSeconds);
+    return artifact;
+}
+
 ForestExecuteArtifact
 Pipeline::executeForest(const ExecuteRequest& request)
 {

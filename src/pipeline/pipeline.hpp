@@ -235,6 +235,17 @@ class Pipeline {
     ExecuteArtifact execute(const ExecuteRequest& request);
 
     /**
+     * Run the program over a caller-supplied tree instance (the serve
+     * daemon's client-provided trees enter here): flatten @p tree into
+     * an arena and execute. The tree must have been built against this
+     * pipeline's grammar() object — trees parsed from a different
+     * Grammar instance are rejected (UserError), matching the
+     * executor's object-identity rule.
+     */
+    ExecuteArtifact executeTree(const tree::Tree& tree,
+                                const runtime::ExecOptions& exec);
+
+    /**
      * Generate request.batchCount instances, pack them into one
      * ForestArena, and run the program over the whole batch in one
      * execution (runtime::execute over the packed view).

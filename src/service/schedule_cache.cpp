@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/telemetry.hpp"
+#include "support/timer.hpp"
+
 namespace hecate::service {
 
 namespace fs = std::filesystem;
@@ -287,6 +290,21 @@ ScheduleCache::load(const std::string& dir)
         put(key, std::move(blob));
         ++report.loaded;
     }
+    return report;
+}
+
+ScheduleCache::LoadReport
+warmLoad(ScheduleCache& cache, const std::string& dir,
+         obs::Telemetry& telemetry)
+{
+    obs::Span span = telemetry.span("cache.warm", "stage");
+    Timer timer;
+    ScheduleCache::LoadReport report = cache.load(dir);
+    telemetry.add("cache.warm.entries",
+                  static_cast<double>(report.loaded));
+    telemetry.add("cache.warm.skipped",
+                  static_cast<double>(report.skipped));
+    telemetry.set("cache.warm.ms", timer.seconds() * 1e3);
     return report;
 }
 

@@ -32,6 +32,10 @@
 
 #include "service/problem_key.hpp"
 
+namespace hecate::obs {
+class Telemetry;
+}
+
 namespace hecate::service {
 
 /**
@@ -117,5 +121,16 @@ class ScheduleCache {
     size_t perShardCapacity_;
     mutable std::vector<Shard> shards_;
 };
+
+/**
+ * Load @p dir into @p cache under a "cache.warm" telemetry span,
+ * recording `cache.warm.entries`, `cache.warm.skipped` and
+ * `cache.warm.ms` counters — the startup warm-load every long-lived
+ * entry point (CLI batch/run, the serve daemon) reports through
+ * --stats-json.
+ */
+ScheduleCache::LoadReport warmLoad(ScheduleCache& cache,
+                                   const std::string& dir,
+                                   obs::Telemetry& telemetry);
 
 } // namespace hecate::service

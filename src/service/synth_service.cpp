@@ -1,10 +1,28 @@
 #include "service/synth_service.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "support/timer.hpp"
 
 namespace hecate::service {
+
+namespace {
+
+/** what() of the in-flight exception (for catch (...) handlers). */
+std::string
+currentExceptionWhat()
+{
+    try {
+        throw;
+    } catch (const std::exception& error) {
+        return error.what();
+    } catch (...) {
+        return "non-std::exception value";
+    }
+}
+
+} // namespace
 
 SynthService::SynthService(ServiceConfig config)
     : config_(std::move(config)),
@@ -23,8 +41,20 @@ SynthService::submit(SynthRequest request)
 {
     auto promise = std::make_shared<std::promise<SynthOutcome>>();
     std::future<SynthOutcome> future = promise->get_future();
+    // The promise must resolve on every path: if the task escaped with
+    // an exception, the pool's record-and-continue boundary would eat
+    // it and the caller's future would become a broken promise — a
+    // drain() that then waited on it could never report the outcome.
     pool_.submit([this, promise, request = std::move(request)]() mutable {
-        promise->set_value(process(request));
+        try {
+            promise->set_value(process(request));
+        } catch (...) {
+            SynthOutcome out;
+            out.ok = false;
+            out.failure = currentExceptionWhat();
+            ++failures_;
+            promise->set_value(std::move(out));
+        }
     });
     return future;
 }
@@ -75,7 +105,10 @@ SynthService::runBatch(const BatchRequest& request)
         out.generateSeconds = artifact.generateSeconds;
         out.executeSeconds = artifact.executeSeconds;
         out.ok = true;
-    } catch (const Error& error) {
+    } catch (const std::exception& error) {
+        // Not just Error: a parallel wave chunk rethrows whatever its
+        // task threw, and a batch execution failure must resolve the
+        // outcome rather than unwind past the caller's future.
         out.ok = false;
         out.failure = error.what();
     }
@@ -90,7 +123,14 @@ SynthService::submitBatch(BatchRequest request)
     auto promise = std::make_shared<std::promise<BatchOutcome>>();
     std::future<BatchOutcome> future = promise->get_future();
     pool_.submit([this, promise, request = std::move(request)]() mutable {
-        promise->set_value(runBatch(request));
+        try {
+            promise->set_value(runBatch(request));
+        } catch (...) {
+            BatchOutcome out;
+            out.ok = false;
+            out.failure = currentExceptionWhat();
+            promise->set_value(std::move(out));
+        }
     });
     return future;
 }
@@ -213,7 +253,46 @@ SynthService::process(const SynthRequest& request)
         }
 
         // 3. ...or lead: run the synthesizer, publish to followers (the
-        // pipeline itself publishes to the cache on success).
+        // pipeline itself publishes to the cache on success). The
+        // guard makes publication unconditional: if anything on the
+        // leader path throws past the catches below (OOM, a bug, a
+        // throwing test hook), the flight still resolves with a
+        // failure — otherwise every queued duplicate would block on
+        // the flight future forever and drain() would never return.
+        struct FlightPublisher {
+            SynthService* service;
+            std::shared_ptr<Flight> flight;
+            const std::string& canonical;
+            bool done = false;
+
+            void publish(FlightResult result)
+            {
+                if (done)
+                    return;
+                done = true;
+                {
+                    std::lock_guard<std::mutex> lock(
+                        service->flightsMutex_);
+                    service->flights_.erase(canonical);
+                }
+                flight->promise.set_value(std::move(result));
+            }
+
+            ~FlightPublisher()
+            {
+                // Runs during unwinding, so the exception in flight is
+                // not inspectable here (it is not being handled yet).
+                if (!done) {
+                    FlightResult abandoned;
+                    abandoned.ok = false;
+                    abandoned.failure =
+                        "leader abandoned the flight (exception on the "
+                        "leader path)";
+                    publish(std::move(abandoned));
+                }
+            }
+        } publisher{this, flight, key.canonical};
+
         if (config_.onLeaderSynthesis)
             config_.onLeaderSynthesis();
         FlightResult result;
@@ -229,11 +308,7 @@ SynthService::process(const SynthRequest& request)
             result.ok = false;
             result.failure = error.what();
         }
-        {
-            std::lock_guard<std::mutex> lock(flightsMutex_);
-            flights_.erase(key.canonical);
-        }
-        flight->promise.set_value(result);
+        publisher.publish(result);
 
         ++freshRuns_;
         out.provenance = Provenance::FreshRun;
@@ -243,7 +318,9 @@ SynthService::process(const SynthRequest& request)
             out.failure = result.failure;
             ++failures_;
         }
-    } catch (const Error& error) {
+    } catch (const std::exception& error) {
+        // Error and everything else alike: a request must resolve to
+        // an outcome, or drain() could not complete deterministically.
         out.ok = false;
         out.failure = error.what();
         ++failures_;

@@ -154,7 +154,15 @@ class SynthService {
     /** Enqueue a batched execution; resolves on a pool worker. */
     std::future<BatchOutcome> submitBatch(BatchRequest request);
 
-    /** Block until every submitted request has resolved. */
+    /**
+     * Block until every submitted request (including queued batch
+     * jobs) has resolved. Deterministic: every future obtained from
+     * submit/submitBatch is resolved by the time drain returns — task
+     * exceptions become failure outcomes rather than broken promises,
+     * and a leader that dies on any path still publishes a failure to
+     * its queued followers instead of leaving them blocked on the
+     * flight.
+     */
     void drain();
 
     ServiceStats stats() const;

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "service/problem_key.hpp"
 #include "service/schedule_cache.hpp"
 #include "service/synth_service.hpp"
@@ -503,6 +505,143 @@ TEST(SynthService, MalformedRequestFailsGracefully)
     EXPECT_FALSE(outcome.ok);
     EXPECT_FALSE(outcome.failure.empty());
     EXPECT_EQ(svc.stats().failures, 1u);
+}
+
+TEST(SynthService, LeaderCrashResolvesEveryFutureAndDrainReturns)
+{
+    // A leader dying on a non-Error exception (here: injected from the
+    // onLeaderSynthesis hook) must not strand its followers on the
+    // flight or leave broken promises behind — drain() has to return
+    // with every future resolved to a failure outcome.
+    std::atomic<service::SynthService*> svcPtr{nullptr};
+    std::atomic<bool> thrown{false};
+
+    service::ServiceConfig config;
+    config.workers = 4;
+    config.onLeaderSynthesis = [&] {
+        if (thrown.exchange(true))
+            return;
+        // Hold the flight open until at least two duplicates joined,
+        // then die: the RAII publisher must fail them over.
+        auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        service::SynthService* svc = svcPtr.load();
+        while (svc->stats().joinedInFlight < 2 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        throw std::runtime_error("injected leader crash");
+    };
+    service::SynthService svc(config);
+    svcPtr.store(&svc);
+
+    std::vector<std::future<service::SynthOutcome>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(svc.submit(renderRequest()));
+
+    svc.drain(); // must return: no dropped futures, no stuck followers
+
+    size_t crashed = 0, abandoned = 0, recovered = 0;
+    for (auto& future : futures) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        service::SynthOutcome outcome = future.get();
+        if (!outcome.ok) {
+            if (outcome.failure.find("injected leader crash") !=
+                std::string::npos)
+                ++crashed;
+            else if (outcome.failure.find("leader abandoned") !=
+                     std::string::npos)
+                ++abandoned;
+        } else {
+            ++recovered; // raced in after the flight died: fresh run
+        }
+    }
+    EXPECT_EQ(crashed, 1u);
+    EXPECT_GE(abandoned, 2u);
+    EXPECT_EQ(crashed + abandoned + recovered, 4u);
+
+    // The service stays usable: the failed flight was unregistered, so
+    // a retry leads a fresh (now non-throwing) run.
+    service::SynthOutcome retry = svc.runNow(renderRequest());
+    EXPECT_TRUE(retry.ok) << retry.failure;
+}
+
+TEST(SynthService, DrainResolvesQueuedBatchFutures)
+{
+    // drain() with batch jobs still queued behind a slow leader must
+    // resolve every submitBatch future (this used to drop them when a
+    // task escaped with an exception).
+    std::atomic<bool> release{false};
+    service::ServiceConfig config;
+    config.workers = 1;
+    config.onLeaderSynthesis = [&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    service::SynthService svc(config);
+
+    service::BatchRequest batch;
+    batch.synth = renderRequest();
+    batch.gen.targetNodes = 200;
+    batch.batchCount = 2;
+
+    std::vector<std::future<service::BatchOutcome>> futures;
+    for (int i = 0; i < 3; ++i)
+        futures.push_back(svc.submitBatch(batch));
+
+    // One job is in flight (holding the single worker), two are queued.
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        release.store(true);
+    });
+    svc.drain();
+    releaser.join();
+
+    for (auto& future : futures) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        service::BatchOutcome outcome = future.get();
+        EXPECT_TRUE(outcome.ok) << outcome.failure;
+        EXPECT_GE(outcome.nodes, 2u * 200u);
+    }
+    EXPECT_EQ(svc.stats().freshRuns, 1u);
+}
+
+TEST(ScheduleCache, WarmLoadRecordsTelemetryCounters)
+{
+    fs::path dir = fs::temp_directory_path() / "hecate_warmload_test";
+    fs::remove_all(dir);
+
+    // Persist one real entry, then warm-load it into a fresh cache
+    // under a telemetry sink.
+    {
+        service::ServiceConfig config;
+        config.workers = 1;
+        service::SynthService svc(config);
+        ASSERT_TRUE(svc.runNow(renderRequest()).ok);
+        ASSERT_EQ(svc.cache().save(dir.string()), 1u);
+    }
+
+    service::ScheduleCache cache;
+    obs::Telemetry telemetry;
+    service::ScheduleCache::LoadReport report =
+        service::warmLoad(cache, dir.string(), telemetry);
+    EXPECT_EQ(report.loaded, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(telemetry.counter("cache.warm.entries"), 1.0);
+    EXPECT_EQ(telemetry.counter("cache.warm.skipped"), 0.0);
+    EXPECT_GT(telemetry.counter("cache.warm.ms"), 0.0);
+    EXPECT_EQ(telemetry.spanCount("cache.warm"), 1u);
+
+    // Missing directories warm-load to an empty report, not an error.
+    service::ScheduleCache empty;
+    obs::Telemetry telemetry2;
+    report = service::warmLoad(empty, (dir / "missing").string(),
+                               telemetry2);
+    EXPECT_EQ(report.loaded, 0u);
+    EXPECT_EQ(telemetry2.counter("cache.warm.entries"), 0.0);
+    fs::remove_all(dir);
 }
 
 } // namespace
