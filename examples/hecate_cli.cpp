@@ -78,14 +78,18 @@
  *
  *   hecate_cli serve [--port P] [--host ADDR] [--threads N]
  *              [--queue-cap N] [--max-conns N] [--max-frame BYTES]
- *              [--quota-rps R] [--quota-burst B] [--cache-dir DIR]
+ *              [--max-outbuf BYTES] [--quota-rps R] [--quota-burst B]
+ *              [--allow-remote-drain] [--cache-dir DIR]
  *              [--trace-out FILE] [--stats-json FILE]
  *
  * --threads sizes the request worker pool (0 = hardware concurrency),
  * --queue-cap bounds the admission queue (overload answers
  * over_capacity rejections instead of queueing without bound), and
  * --quota-rps/--quota-burst set the per-client token bucket (0
- * disables quotas). --cache-dir warm-loads the schedule cache at
+ * disables quotas). --max-outbuf caps a connection's unflushed
+ * response bytes (reads pause past the cap), and the drain op is
+ * loopback-only unless --allow-remote-drain is given. --cache-dir
+ * warm-loads the schedule cache at
  * startup and persists it on drain. SIGTERM and SIGINT begin a
  * graceful drain: stop accepting, finish in-flight requests, flush
  * responses, save the cache, exit 0. --stats-json is written after
@@ -137,7 +141,8 @@ usage()
         "       [--check] [--trace-out FILE] [--stats-json FILE]\n"
         "   or: hecate_cli serve [--port P] [--host ADDR] [--threads N]\n"
         "       [--queue-cap N] [--max-conns N] [--max-frame BYTES]\n"
-        "       [--quota-rps R] [--quota-burst B] [--cache-dir DIR]\n"
+        "       [--max-outbuf BYTES] [--quota-rps R] [--quota-burst B]\n"
+        "       [--allow-remote-drain] [--cache-dir DIR]\n"
         "       [--trace-out FILE] [--stats-json FILE]\n");
     return 2;
 }
@@ -748,8 +753,10 @@ runServe(int argc, char** argv)
     long long queue_cap = 512;
     long long max_conns = 4096;
     long long max_frame = 4 << 20;
+    long long max_outbuf = 8 << 20;
     double quota_rps = 0.0;
     double quota_burst = 0.0;
+    bool allow_remote_drain = false;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -767,6 +774,10 @@ runServe(int argc, char** argv)
             max_conns = std::atoll(argv[++i]);
         } else if (arg == "--max-frame" && i + 1 < argc) {
             max_frame = std::atoll(argv[++i]);
+        } else if (arg == "--max-outbuf" && i + 1 < argc) {
+            max_outbuf = std::atoll(argv[++i]);
+        } else if (arg == "--allow-remote-drain") {
+            allow_remote_drain = true;
         } else if (arg == "--quota-rps" && i + 1 < argc) {
             quota_rps = std::atof(argv[++i]);
         } else if (arg == "--quota-burst" && i + 1 < argc) {
@@ -789,6 +800,9 @@ runServe(int argc, char** argv)
     if (max_frame < 64 ||
         max_frame > static_cast<long long>(net::kFrameHardLimit))
         userError("--max-frame must be between 64 and 2^26 bytes");
+    if (max_outbuf < max_frame || max_outbuf > (1ll << 30))
+        userError("--max-outbuf must be between --max-frame and 2^30 "
+                  "bytes");
     if (quota_rps < 0.0 || quota_burst < 0.0)
         userError("--quota-rps and --quota-burst must be non-negative");
 
@@ -797,6 +811,8 @@ runServe(int argc, char** argv)
     serve.queueCapacity = static_cast<size_t>(queue_cap);
     serve.maxConnections = static_cast<size_t>(max_conns);
     serve.maxFrameBytes = static_cast<uint32_t>(max_frame);
+    serve.maxOutbufBytes = static_cast<size_t>(max_outbuf);
+    serve.allowRemoteDrain = allow_remote_drain;
     serve.quotaRps = quota_rps;
     serve.quotaBurst = quota_burst;
     serve.service.workers = static_cast<size_t>(threads);
@@ -806,13 +822,17 @@ runServe(int argc, char** argv)
     const std::string host = serve.host;
 
     net::Server server(std::move(serve));
-    server.start();
+    // Install the drain handlers before start(): a signal landing
+    // during the (possibly slow) cache warm-load must already mean
+    // "graceful drain", not the default die-without-persisting. A
+    // pre-start requestDrain just makes start() drain immediately.
     g_server = &server;
     struct sigaction action{};
     action.sa_handler = handleDrainSignal;
     ::sigaction(SIGTERM, &action, nullptr);
     ::sigaction(SIGINT, &action, nullptr);
     ::signal(SIGPIPE, SIG_IGN);
+    server.start();
 
     std::fprintf(stderr,
                  "hecate: serving on %s:%u (%.0f cache entries warm, "

@@ -165,6 +165,12 @@ latencyJson(const obs::LatencyHistogram& histogram)
 
 } // namespace
 
+bool
+isLoopbackIPv4(uint32_t addr)
+{
+    return (addr >> 24) == 127;
+}
+
 Server::Server(ServeOptions options) : options_(std::move(options))
 {
     if (options_.telemetry != nullptr) {
@@ -178,6 +184,8 @@ Server::Server(ServeOptions options) : options_(std::move(options))
         options_.maxFrameBytes = kFrameHardLimit;
     if (options_.queueCapacity == 0)
         options_.queueCapacity = 1;
+    if (options_.maxOutbufBytes == 0)
+        options_.maxOutbufBytes = 8u << 20;
     service_ = std::make_unique<service::SynthService>(options_.service);
 }
 
@@ -309,6 +317,7 @@ Server::stats() const
     stats.malformedRequests = malformedRequests_.load();
     stats.protocolErrors = protocolErrors_.load();
     stats.responsesSent = responsesSent_.load();
+    stats.responsesOversized = responsesOversized_.load();
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         stats.queueDepth = queue_.size();
@@ -341,11 +350,17 @@ Server::pollLoop()
         if (listenFd_ >= 0)
             fds.push_back({listenFd_, POLLIN, 0});
         for (auto& [fd, conn] : connections_) {
-            short events = POLLIN;
+            short events = 0;
             {
                 std::lock_guard<std::mutex> lock(conn->outMutex);
                 if (!conn->outbuf.empty())
                     events |= POLLOUT;
+                // Backpressure: a connection that is not reading its
+                // responses does not get new bytes read either —
+                // its unread requests stay in the kernel buffers.
+                if (!conn->poisoned &&
+                    conn->outbuf.size() <= options_.maxOutbufBytes)
+                    events |= POLLIN;
             }
             fds.push_back({fd, events, 0});
             polled.push_back(conn);
@@ -407,6 +422,11 @@ Server::pollLoop()
                 flushConnection(conn);
             if (revents & (POLLIN | POLLHUP | POLLERR))
                 readConnection(conn);
+            // A flush may have brought the outbuf back under the cap:
+            // resume frames the decoder buffered before reads paused.
+            if (!conn->closed && !conn->poisoned &&
+                outbufBytes(conn) <= options_.maxOutbufBytes)
+                processFrames(conn);
         }
 
         // Reap closed connections.
@@ -423,7 +443,10 @@ void
 Server::acceptPending()
 {
     for (;;) {
-        int fd = ::accept(listenFd_, nullptr, nullptr);
+        sockaddr_in peer{};
+        socklen_t peerLen = sizeof(peer);
+        int fd = ::accept(listenFd_, reinterpret_cast<sockaddr*>(&peer),
+                          &peerLen);
         if (fd < 0)
             return; // EAGAIN or transient error: poll again later
         if (connections_.size() >= options_.maxConnections) {
@@ -432,8 +455,11 @@ Server::acceptPending()
         }
         setNonBlocking(fd);
         setNoDelay(fd);
-        connections_.emplace(
-            fd, std::make_shared<Connection>(fd, options_.maxFrameBytes));
+        auto conn =
+            std::make_shared<Connection>(fd, options_.maxFrameBytes);
+        conn->loopback = peer.sin_family == AF_INET &&
+                         isLoopbackIPv4(ntohl(peer.sin_addr.s_addr));
+        connections_.emplace(fd, std::move(conn));
         ++connectionsAccepted_;
     }
 }
@@ -441,8 +467,18 @@ Server::acceptPending()
 void
 Server::readConnection(const std::shared_ptr<Connection>& conn)
 {
+    if (conn->poisoned)
+        return; // condemned stream: the flush path closes it
     char buffer[64 * 1024];
     for (;;) {
+        // Process frames between recv chunks so the outbuf cap bounds
+        // even a single line-rate burst of pipelined requests: once
+        // the cap is exceeded we stop pulling bytes and leave the
+        // remainder to TCP backpressure.
+        if (!processFrames(conn))
+            return; // protocol error closed the connection
+        if (outbufBytes(conn) > options_.maxOutbufBytes)
+            break;
         ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
         if (n > 0) {
             conn->decoder.feed(std::string_view(buffer,
@@ -458,17 +494,8 @@ Server::readConnection(const std::shared_ptr<Connection>& conn)
         break;
     }
 
-    try {
-        while (std::optional<std::string> payload = conn->decoder.next())
-            handleFrame(conn, *payload);
-    } catch (const UserError& error) {
-        // Invalid frame length: the byte stream cannot be re-synced.
-        // Tell the client why, then drop only this connection.
-        ++protocolErrors_;
-        sendResponse(conn, errorResponse(Json(), "protocol_error",
-                                         error.what()));
-        conn->closeAfterFlush = true;
-    }
+    if (!processFrames(conn))
+        return;
 
     if (conn->closeAfterFlush) {
         std::lock_guard<std::mutex> lock(conn->outMutex);
@@ -477,6 +504,39 @@ Server::readConnection(const std::shared_ptr<Connection>& conn)
             lockedClose(conn);
         }
     }
+}
+
+size_t
+Server::outbufBytes(const std::shared_ptr<Connection>& conn) const
+{
+    std::lock_guard<std::mutex> lock(conn->outMutex);
+    return conn->outbuf.size();
+}
+
+bool
+Server::processFrames(const std::shared_ptr<Connection>& conn)
+{
+    try {
+        while (outbufBytes(conn) <= options_.maxOutbufBytes) {
+            std::optional<std::string> payload = conn->decoder.next();
+            if (!payload.has_value())
+                break;
+            handleFrame(conn, *payload);
+        }
+    } catch (const UserError& error) {
+        // Invalid frame length: the byte stream cannot be re-synced.
+        // Tell the client why, then drop only this connection.
+        ++protocolErrors_;
+        conn->poisoned = true;
+        sendResponse(conn, errorResponse(Json(), "protocol_error",
+                                         error.what()));
+        conn->closeAfterFlush = true;
+        std::lock_guard<std::mutex> lock(conn->outMutex);
+        if (conn->outbuf.empty())
+            lockedClose(conn);
+        return false;
+    }
+    return true;
 }
 
 void
@@ -598,6 +658,22 @@ Server::handleFrame(const std::shared_ptr<Connection>& conn,
         return;
     }
 
+    try {
+        dispatchRequest(conn, request);
+    } catch (const UserError& error) {
+        // Wrongly-typed protocol fields (e.g. {"op": 123}) are just
+        // as recoverable as bad JSON: the frame boundary is intact,
+        // so answer malformed_request and keep the connection.
+        ++malformedRequests_;
+        sendResponse(conn, errorResponse(request, "malformed_request",
+                                         error.what()));
+    }
+}
+
+void
+Server::dispatchRequest(const std::shared_ptr<Connection>& conn,
+                        const Json& request)
+{
     std::string op = request.stringOr("op", "");
     if (op == "ping") {
         JsonObject out;
@@ -625,6 +701,16 @@ Server::handleFrame(const std::shared_ptr<Connection>& conn,
         return;
     }
     if (op == "drain") {
+        if (!conn->loopback && !options_.allowRemoteDrain) {
+            // Shutdown is irreversible; do not hand it to arbitrary
+            // remote peers just because --host exposed the port.
+            sendResponse(conn,
+                         errorResponse(request, "drain_forbidden",
+                                       "drain is restricted to loopback "
+                                       "peers (--allow-remote-drain "
+                                       "overrides)"));
+            return;
+        }
         JsonObject out;
         out.emplace("ok", Json(true));
         out.emplace("op", Json("drain"));
@@ -706,18 +792,33 @@ Server::workerLoop()
             ++inFlight_;
         }
 
-        Json response = executeJob(job);
-        double seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - job.admitted)
-                .count();
-        if (job.op == "synth")
-            latencySynth_.recordSeconds(seconds);
-        else if (job.op == "run")
-            latencyRun_.recordSeconds(seconds);
-        else
-            latencyBatch_.recordSeconds(seconds);
-        sendResponse(job.conn, response);
+        try {
+            Json response = executeJob(job);
+            double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - job.admitted)
+                    .count();
+            if (job.op == "synth")
+                latencySynth_.recordSeconds(seconds);
+            else if (job.op == "run")
+                latencyRun_.recordSeconds(seconds);
+            else
+                latencyBatch_.recordSeconds(seconds);
+            sendResponse(job.conn, response);
+        } catch (const std::exception& error) {
+            // Nothing may escape a worker thread: an uncaught
+            // exception in a std::thread is std::terminate, i.e. one
+            // request taking the whole daemon down. executeJob
+            // converts request failures already; this is the backstop
+            // for the response path itself.
+            try {
+                sendResponse(job.conn,
+                             errorResponse(job.request, "internal_error",
+                                           error.what()));
+            } catch (...) {
+            }
+        } catch (...) {
+        }
 
         {
             std::lock_guard<std::mutex> lock(queueMutex_);
@@ -958,6 +1059,8 @@ Server::handleMetrics()
     requests.emplace("malformed", Json(snapshot.malformedRequests));
     requests.emplace("protocol_errors", Json(snapshot.protocolErrors));
     requests.emplace("responses", Json(snapshot.responsesSent));
+    requests.emplace("responses_oversized",
+                     Json(snapshot.responsesOversized));
     out.emplace("requests", Json(std::move(requests)));
 
     JsonObject connections;
@@ -1007,6 +1110,27 @@ Server::sendResponse(const std::shared_ptr<Connection>& conn,
                      const Json& response)
 {
     std::string payload = response.dump();
+    if (payload.size() > options_.maxFrameBytes) {
+        // A response that cannot fit in one frame (e.g. run with
+        // return_outputs on a tree whose outputs expand past the
+        // cap) must degrade into an error reply, never into an
+        // appendFrame throw on a worker thread.
+        ++responsesOversized_;
+        Json substitute = errorResponse(
+            response, "response_too_large",
+            "serialized response (" + std::to_string(payload.size()) +
+                " bytes) exceeds the " +
+                std::to_string(options_.maxFrameBytes) +
+                "-byte frame cap; raise --max-frame");
+        payload = substitute.dump();
+        if (payload.size() > options_.maxFrameBytes) {
+            // Even the echoed id blew the cap: drop the echo.
+            JsonObject minimal;
+            minimal.emplace("ok", Json(false));
+            minimal.emplace("error", Json("response_too_large"));
+            payload = Json(std::move(minimal)).dump();
+        }
+    }
     bool needWake = false;
     {
         std::lock_guard<std::mutex> lock(conn->outMutex);

@@ -25,10 +25,21 @@
  *
  * Cheap ops (ping / metrics / cache_stats / drain) are answered
  * inline on the poll thread — the metrics endpoint stays live even
- * when every worker is busy and the queue is full.
+ * when every worker is busy and the queue is full. drain is refused
+ * for non-loopback peers unless allowRemoteDrain is set.
+ *
+ * Output is bounded too: while a connection's unflushed response
+ * bytes exceed maxOutbufBytes the poll thread stops reading from it
+ * and stops decoding frames it already buffered, so a client that
+ * pipelines cheap ops without ever reading responses stalls against
+ * TCP backpressure instead of growing the outbuf without bound.
+ * Responses whose serialized form exceeds maxFrameBytes are replaced
+ * by a small {"error":"response_too_large"} reply — an oversized
+ * response must never throw out of a worker thread.
  *
  * Malformed input never tears the server down: an unparseable JSON
- * payload gets {"error":"malformed_request"} and the connection
+ * payload — or a well-formed object with wrongly-typed protocol
+ * fields — gets {"error":"malformed_request"} and the connection
  * lives on; an invalid frame length is unrecoverable for that byte
  * stream (resync is impossible), so that one connection is closed.
  *
@@ -59,6 +70,9 @@
 
 namespace hecate::net {
 
+/** True for 127.0.0.0/8 (@p addr in host byte order). */
+bool isLoopbackIPv4(uint32_t addr);
+
 /** Serve-mode knobs. */
 struct ServeOptions {
     std::string host = "127.0.0.1";
@@ -67,6 +81,15 @@ struct ServeOptions {
     size_t queueCapacity = 512; ///< admission bound (queued, not in-flight)
     size_t maxConnections = 4096;
     uint32_t maxFrameBytes = 4u << 20; ///< per-frame payload cap
+    /**
+     * Per-connection unflushed-output cap: reading (and frame
+     * processing) pauses while a connection's outbuf exceeds this,
+     * so clients that never read responses cannot exhaust memory.
+     * 0 = default (8 MiB).
+     */
+    size_t maxOutbufBytes = 8u << 20;
+    /** Accept the drain op from non-loopback peers. */
+    bool allowRemoteDrain = false;
     /**
      * Per-client token bucket: sustained requests/second and burst
      * capacity. rps 0 disables quotas; burst 0 defaults to
@@ -94,6 +117,7 @@ struct ServerStats {
     uint64_t malformedRequests = 0;
     uint64_t protocolErrors = 0; ///< bad frames (connection dropped)
     uint64_t responsesSent = 0;
+    uint64_t responsesOversized = 0; ///< replaced by response_too_large
     size_t queueDepth = 0; ///< snapshot
     size_t inFlight = 0;   ///< snapshot
 };
@@ -145,10 +169,16 @@ class Server {
 
         int fd;
         FrameDecoder decoder; ///< poll thread only
+        bool loopback = false; ///< peer is 127.0.0.0/8 (gates drain)
         std::mutex outMutex;
         std::string outbuf;       ///< pending response bytes
         bool closed = false;      ///< fd closed; drop late responses
         bool closeAfterFlush = false;
+        /**
+         * Frame stream unrecoverable (bad length): one protocol_error
+         * was sent; never read or decode this connection again.
+         */
+        bool poisoned = false;
     };
 
     /** One admitted work request. */
@@ -176,9 +206,28 @@ class Server {
     /** Close without taking outMutex (caller holds it). Idempotent. */
     void lockedClose(const std::shared_ptr<Connection>& conn);
 
+    /**
+     * Decode + handle buffered frames until none remain or the
+     * connection's outbuf exceeds the cap (leftover frames resume
+     * after a flush). False when a frame-length error closed the
+     * connection. Poll thread only.
+     */
+    bool processFrames(const std::shared_ptr<Connection>& conn);
+
+    /** Unflushed output bytes pending on @p conn. */
+    size_t outbufBytes(const std::shared_ptr<Connection>& conn) const;
+
     /** Handle one decoded frame on the poll thread. */
     void handleFrame(const std::shared_ptr<Connection>& conn,
                      const std::string& payload);
+
+    /**
+     * Dispatch one well-formed request object. UserError thrown here
+     * (e.g. a wrongly-typed "op"/"client" field) is recoverable: the
+     * caller answers malformed_request and the connection survives.
+     */
+    void dispatchRequest(const std::shared_ptr<Connection>& conn,
+                         const Json& request);
 
     /** Quota check; fills @p retryAfterMs on failure. */
     bool admitQuota(const std::string& client, uint32_t* retryAfterMs);
@@ -244,6 +293,7 @@ class Server {
     std::atomic<uint64_t> malformedRequests_{0};
     std::atomic<uint64_t> protocolErrors_{0};
     std::atomic<uint64_t> responsesSent_{0};
+    std::atomic<uint64_t> responsesOversized_{0};
 
     /** Per-op latency histograms (admission -> response enqueued). */
     obs::LatencyHistogram latencySynth_;
