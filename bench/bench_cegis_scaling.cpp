@@ -299,6 +299,7 @@ main(int argc, char** argv)
     };
     std::ofstream json("BENCH_cegis.json");
     json << "{\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"environment\": " << benchutil::environmentJson()
          << ",\n  \"encode_sweep\": [\n    " << join(encode_json)
          << "\n  ],\n  \"verify_sweep\": [\n    " << join(verify_json)
          << "\n  ],\n  \"end_to_end\": [\n    " << join(e2e_json)

@@ -8,9 +8,14 @@
  *    over tree::Tree (name lookups + AST dispatch per rule);
  *  - runtime: the same synthesized schedule compiled to bytecode with
  *    runtime::Program and run over a flattened TreeArena;
- *  - codegen: the hand-written workloads of src/workloads, shaped
- *    exactly like the C++ the codegen emitter produces (the upper
- *    bound the runtime chases).
+ *  - codegen: the REAL emitted TU — the native emitter's C++ for this
+ *    exact (grammar, schedule), compiled out-of-process and executed
+ *    through the dlopen'ed module over the same arena (the upper bound
+ *    the runtime chases, no hand-written proxy);
+ *  - native: the same module reached through the tiered execution
+ *    path (NativeTier acquire + cache lookup per run), with the cold
+ *    compile latency reported as native_compile_s and the warm
+ *    tier-vs-emitted ratio as runtime_vs_native.
  *
  * A second sweep wraps each case's recursive visits in a `parallel`
  * region, re-synthesizes, and runs the parallel executor with growing
@@ -23,13 +28,22 @@
  * fourth compares executing a batch of trees one by one against one
  * packed ForestArena execution (single-tree vs forest batching).
  *
+ * A fifth sweep reports the native artifact cache: cold out-of-process
+ * compile latency per grammar, then a fresh tier against the same
+ * cache directory proving warm starts revive every artifact from disk
+ * (warm_hit_rate) without invoking the compiler.
+ *
  * Results are printed as tables and written as machine-readable JSON
  * to BENCH_runtime.json (schema: {"quick", "hardware_threads",
- * "single_thread", "parallel", "sweeps", "forest"}). --quick shrinks
- * the instance sizes so CI can run it in seconds.
+ * "environment", "single_thread", "parallel", "sweeps", "forest",
+ * "native"}). --quick shrinks the instance sizes so CI can run it in
+ * seconds.
  */
 
+#include <unistd.h>
+
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -45,10 +59,9 @@
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/program.hpp"
+#include "service/native_tier.hpp"
 #include "support/thread_pool.hpp"
 #include "synth/autotuner.hpp"
-#include "workloads/ast_workload.hpp"
-#include "workloads/rendertree.hpp"
 
 using namespace hecate;
 
@@ -127,22 +140,42 @@ struct BenchGrammar {
     // skeleton does not admit a schedule.
     std::unique_ptr<pipeline::Pipeline> par;
     const runtime::Program* parProgram = nullptr;
+
+    // Native: the emitted-and-compiled module for the sequential
+    // schedule (null when no compiler is available) and its cold
+    // out-of-process compile latency.
+    std::shared_ptr<codegen::NativeModule> module;
+    double compileSeconds = 0.0;
 };
 
 std::unique_ptr<BenchGrammar>
-loadBench(const grammars::Benchmark& bench, synth::SkeletonStyle parStyle)
+loadBench(const grammars::Benchmark& bench, synth::SkeletonStyle parStyle,
+          service::NativeTier* tier)
 {
     auto bg = std::make_unique<BenchGrammar>();
     bg->bench = &bench;
 
     pipeline::PipelineOptions options;
     options.config.verify.maxDepth = 3;
+    options.nativeTier = tier;
+    options.tier = service::ExecTier::Native;
     bg->seq = std::make_unique<pipeline::Pipeline>(bench, "", options);
     const pipeline::SynthArtifact& tuned = bg->seq->synthesize();
     checkInvariant(tuned.ok, "bench_runtime: auto-tuning failed");
     bg->skeleton = &bg->seq->skeleton();
     bg->schedule = &*tuned.schedule;
     bg->program = &bg->seq->compileProgram();
+
+    // The real emitted TU, compiled cold: this IS the codegen column.
+    pipeline::NativeArtifact native = bg->seq->compileNative();
+    if (native.ok) {
+        bg->module = native.module;
+        bg->compileSeconds = native.seconds;
+    } else {
+        std::printf("note: native module unavailable for %s (%s); "
+                    "codegen/native columns report 0\n",
+                    bench.name.c_str(), native.failure.c_str());
+    }
 
     ast::TraversalDecl par =
         synth::makeSkeleton(bg->seq->grammar(), parStyle, "par");
@@ -173,32 +206,45 @@ makeArena(pipeline::Pipeline& pipe, uint32_t nodes)
                                         pipe.rootInterface(), gen);
 }
 
-/** Codegen-style fused single-thread pass at @p nodes (0 = none). */
+/**
+ * The emitted-C++ reference: the dlopen'ed module run directly over
+ * the arena view — no tier, no cache lookup, just the machine code the
+ * native emitter + system compiler produced for this exact schedule.
+ */
 double
-codegenSeconds(const BenchGrammar& bg, uint32_t nodes, double min_seconds,
-               int max_iters, int min_iters)
+codegenSeconds(const BenchGrammar& bg, runtime::TreeArena& arena,
+               double min_seconds, int max_iters, int min_iters)
 {
-    if (bg.bench->name == "RenderTree") {
-        workloads::render::DocumentL doc =
-            workloads::render::buildDocumentL(nodes, 2024);
-        return benchutil::measureBest(
-            [&] {
-                workloads::render::runFusedL(doc);
-                benchutil::sink(doc.root->w1);
-            },
-            min_seconds, max_iters, min_iters);
-    }
-    if (bg.bench->name == "AST") {
-        workloads::astw::ProgramL prog =
-            workloads::astw::buildProgramL(nodes, 2024);
-        return benchutil::measureBest(
-            [&] {
-                workloads::astw::runFusedL(prog);
-                benchutil::sink(prog.root->cf);
-            },
-            min_seconds, max_iters, min_iters);
-    }
-    return 0.0;
+    if (bg.module == nullptr)
+        return 0.0;
+    runtime::ArenaView view = arena.view();
+    return benchutil::measureBest(
+        [&] {
+            bg.module->execute(view);
+            benchutil::sink(view.size);
+        },
+        min_seconds, max_iters, min_iters);
+}
+
+/**
+ * The tiered path to the same machine code: every run re-enters the
+ * pipeline's CompileNative stage (memoized module, tier bookkeeping)
+ * and then executes — what a serve-daemon request pays once hot.
+ */
+double
+nativeSeconds(BenchGrammar& bg, runtime::TreeArena& arena,
+              double min_seconds, int max_iters, int min_iters)
+{
+    if (bg.module == nullptr)
+        return 0.0;
+    runtime::ArenaView view = arena.view();
+    return benchutil::measureBest(
+        [&] {
+            pipeline::NativeArtifact native = bg.seq->compileNative();
+            native.module->execute(view);
+            benchutil::sink(view.size);
+        },
+        min_seconds, max_iters, min_iters);
 }
 
 } // namespace
@@ -222,16 +268,31 @@ main(int argc, char** argv)
                                                               1000000};
     std::vector<std::string> single_json, parallel_json;
 
-    std::unique_ptr<BenchGrammar> render =
-        loadBench(grammars::renderTree(), synth::SkeletonStyle::Sandwich);
-    std::unique_ptr<BenchGrammar> ast =
-        loadBench(grammars::astBench(), synth::SkeletonStyle::Sandwich);
+    // One tier with a disk cache for the whole bench: the cold compile
+    // here is what native_compile_s reports; a second tier against the
+    // same directory later proves warm starts skip the compiler.
+    namespace fs = std::filesystem;
+    fs::path native_dir =
+        fs::temp_directory_path() /
+        ("hecate-bench-native-" + std::to_string(::getpid()));
+    fs::remove_all(native_dir);
+    service::NativeTierConfig native_config;
+    native_config.cacheDir = native_dir.string();
+    service::NativeTier native_tier(native_config);
 
-    // --- Single thread: interp vs runtime vs codegen ------------------
-    std::printf("== Single thread: interp vs bytecode runtime vs codegen "
-                "==\n");
+    std::unique_ptr<BenchGrammar> render =
+        loadBench(grammars::renderTree(), synth::SkeletonStyle::Sandwich,
+                  &native_tier);
+    std::unique_ptr<BenchGrammar> ast =
+        loadBench(grammars::astBench(), synth::SkeletonStyle::Sandwich,
+                  &native_tier);
+
+    // --- Single thread: interp vs runtime vs codegen vs native --------
+    std::printf("== Single thread: interp vs bytecode runtime vs emitted "
+                "C++ (direct / tiered) ==\n");
     benchutil::row({"grammar", "nodes", "depth", "interp(s)", "runtime(s)",
-                    "speedup", "codegen(s)", "rt/cg"});
+                    "speedup", "codegen(s)", "rt/cg", "native(s)",
+                    "nat/cg"});
     for (BenchGrammar* bg : {render.get(), ast.get()}) {
         for (uint32_t nodes : sizes) {
             runtime::TreeArena arena = makeArena(*bg->seq, nodes);
@@ -250,16 +311,21 @@ main(int argc, char** argv)
                             .rulesEvaluated);
                 },
                 min_seconds, max_iters, min_iters);
-            double cg =
-                codegenSeconds(*bg, arena.size(), min_seconds, max_iters, min_iters);
+            double cg = codegenSeconds(*bg, arena, min_seconds, max_iters,
+                                       min_iters);
+            double native = nativeSeconds(*bg, arena, min_seconds,
+                                          max_iters, min_iters);
 
             double speedup = rt > 0 ? interp / rt : 0;
             double rt_vs_cg = cg > 0 ? rt / cg : 0;
+            double native_vs_cg = cg > 0 ? native / cg : 0;
             benchutil::row({bg->bench->name, std::to_string(arena.size()),
                             std::to_string(arena.depth()),
                             benchutil::secs(interp), benchutil::secs(rt),
                             benchutil::ratio(speedup), benchutil::secs(cg),
-                            benchutil::ratio(rt_vs_cg)});
+                            benchutil::ratio(rt_vs_cg),
+                            benchutil::secs(native),
+                            benchutil::ratio(native_vs_cg)});
             single_json.push_back(jsonObject(
                 {{"grammar", "\"" + bg->bench->name + "\""},
                  {"nodes", std::to_string(arena.size())},
@@ -268,7 +334,10 @@ main(int argc, char** argv)
                  {"runtime_s", jsonNum(rt)},
                  {"speedup", jsonNum(speedup)},
                  {"codegen_s", jsonNum(cg)},
-                 {"runtime_vs_codegen", jsonNum(rt_vs_cg)}}));
+                 {"runtime_vs_codegen", jsonNum(rt_vs_cg)},
+                 {"native_s", jsonNum(native)},
+                 {"native_compile_s", jsonNum(bg->compileSeconds)},
+                 {"runtime_vs_native", jsonNum(native_vs_cg)}}));
         }
     }
 
@@ -479,6 +548,74 @@ main(int argc, char** argv)
         }
     }
 
+    // --- Native artifact cache: cold compile vs warm revival ----------
+    // A fresh tier pointed at the same cache directory simulates a
+    // process restart: every artifact must come back from disk (a
+    // checksum-validated dlopen) without ever invoking the compiler.
+    std::printf("\n== Native cache: cold compile vs warm disk revival "
+                "==\n");
+    benchutil::row({"grammar", "cold(s)", "warm(s)", "revived"});
+    std::vector<std::string> native_grammar_json;
+    double warm_hit_rate = 0.0;
+    if (native_tier.compilerAvailable()) {
+        service::NativeTier warm_tier(native_config);
+        pipeline::PipelineOptions warm_options;
+        warm_options.config.verify.maxDepth = 3;
+        warm_options.nativeTier = &warm_tier;
+        warm_options.tier = service::ExecTier::Native;
+        for (BenchGrammar* bg : {render.get(), ast.get()}) {
+            pipeline::Pipeline pipe(*bg->bench, "", warm_options);
+            pipe.synthesize();
+            pipe.compileProgram();
+            Timer timer;
+            pipeline::NativeArtifact warm = pipe.compileNative();
+            double warm_s = timer.seconds();
+            benchutil::row({bg->bench->name,
+                            benchutil::secs(bg->compileSeconds),
+                            benchutil::secs(warm_s),
+                            warm.ok ? "yes" : "no"});
+            native_grammar_json.push_back(jsonObject(
+                {{"grammar", "\"" + bg->bench->name + "\""},
+                 {"compile_s", jsonNum(bg->compileSeconds)},
+                 {"warm_acquire_s", jsonNum(warm_s)},
+                 {"revived", warm.ok ? "true" : "false"}}));
+        }
+        service::NativeCache::Stats warm_stats =
+            warm_tier.cache().stats();
+        uint64_t attempts = warm_stats.hits + warm_stats.diskHits +
+                            warm_stats.misses;
+        warm_hit_rate =
+            attempts > 0
+                ? static_cast<double>(warm_stats.diskHits) / attempts
+                : 0.0;
+        std::printf("warm hit rate: %.2f (%llu of %llu acquires from "
+                    "disk, %llu compile(s))\n",
+                    warm_hit_rate,
+                    static_cast<unsigned long long>(warm_stats.diskHits),
+                    static_cast<unsigned long long>(attempts),
+                    static_cast<unsigned long long>(
+                        warm_tier.stats().compiles));
+    } else {
+        std::printf("no usable C++ compiler; native cache sweep "
+                    "skipped\n");
+    }
+    std::string native_json = jsonObject(
+        {{"compiler",
+          "\"" + benchutil::jsonEscape(native_tier.compilerIdentity()) +
+              "\""},
+         {"warm_hit_rate", jsonNum(warm_hit_rate)},
+         {"grammars", "[" + [&] {
+              std::string out;
+              for (size_t i = 0; i < native_grammar_json.size(); ++i) {
+                  if (i > 0)
+                      out += ", ";
+                  out += native_grammar_json[i];
+              }
+              return out;
+          }() + "]"}});
+    native_tier.drain();
+    fs::remove_all(native_dir);
+
     auto join = [](const std::vector<std::string>& items) {
         std::string out;
         for (size_t i = 0; i < items.size(); ++i) {
@@ -491,11 +628,12 @@ main(int argc, char** argv)
     std::ofstream json("BENCH_runtime.json");
     json << "{\n  \"quick\": " << (quick ? "true" : "false")
          << ",\n  \"hardware_threads\": " << hw_threads
+         << ",\n  \"environment\": " << benchutil::environmentJson()
          << ",\n  \"single_thread\": [\n    " << join(single_json)
          << "\n  ],\n  \"parallel\": [\n    " << join(parallel_json)
          << "\n  ],\n  \"sweeps\": [\n    " << join(sweeps_json)
          << "\n  ],\n  \"forest\": [\n    " << join(forest_json)
-         << "\n  ]\n}\n";
+         << "\n  ],\n  \"native\": " << native_json << "\n}\n";
     std::printf("\nwrote BENCH_runtime.json\n");
     return 0;
 }

@@ -418,6 +418,7 @@ main(int argc, char** argv)
     std::ofstream json("BENCH_serve.json");
     json << "{\n  \"quick\": " << (quick ? "true" : "false")
          << ",\n  \"hardware_threads\": " << hw
+         << ",\n  \"environment\": " << benchutil::environmentJson()
          << ",\n  \"connections\": " << kConnections
          << ",\n  \"pipeline_depth\": " << kDepth
          << ",\n  \"concurrent_outstanding\": " << kConnections * kDepth

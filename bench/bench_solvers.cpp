@@ -210,6 +210,7 @@ main(int argc, char** argv)
 
     std::ofstream json("BENCH_solvers.json");
     json << "{\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"environment\": " << benchutil::environmentJson()
          << ",\n  \"cases\": [\n" << json_cases << "\n  ]\n}\n";
     std::printf("\nwrote BENCH_solvers.json\n");
     return 0;

@@ -95,4 +95,50 @@ sink(uint64_t value)
     sinkhole = sinkhole ^ value;
 }
 
+/** Minimal JSON string escaping (quotes and backslashes). */
+inline std::string
+jsonEscape(const std::string& in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * The build environment every committed BENCH_*.json records, so a
+ * number is never compared against one produced by a different
+ * compiler, optimization level, or kernel variant: the compiler that
+ * built this binary (id + version), the optimization flags it was
+ * given (HECATE_BENCH_OPT_FLAGS, injected by bench/CMakeLists.txt),
+ * and whether the SIMD sweep kernels were compiled out.
+ */
+inline std::string
+environmentJson()
+{
+#if defined(__clang__)
+    const std::string compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    const std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+    const std::string compiler = "unknown";
+#endif
+#ifndef HECATE_BENCH_OPT_FLAGS
+#define HECATE_BENCH_OPT_FLAGS "unknown"
+#endif
+#ifdef HECATE_DISABLE_SIMD
+    const bool simd_disabled = true;
+#else
+    const bool simd_disabled = false;
+#endif
+    return "{\"compiler\": \"" + jsonEscape(compiler) +
+           "\", \"opt_flags\": \"" + jsonEscape(HECATE_BENCH_OPT_FLAGS) +
+           "\", \"simd_disabled\": " +
+           (simd_disabled ? "true" : "false") + "}";
+}
+
 } // namespace hecate::benchutil

@@ -57,6 +57,7 @@
  *              [--tree-size N] [--tree-depth D] [--seed S]
  *              [--batch-count B] [--strategy NAME] [--no-simd]
  *              [--grain G] [--exec-threads N] [--seq] [--check]
+ *              [--tier bytecode|native|auto] [--native-cache-dir DIR]
  *              [--trace-out FILE] [--stats-json FILE]
  *
  * --tree-size picks the generated instance's node budget, --tree-depth
@@ -73,6 +74,17 @@
  * output attribute (of every tree in the batch) with
  * exec::computeReference and fails on any mismatch.
  *
+ * --tier picks the execution tier (README "Native tier"): bytecode
+ * (default) interprets the compiled program; native emits a
+ * schedule-specialized C++ TU, drives the system compiler ($HECATE_CXX
+ * / $CXX, else the first of c++/g++/clang++ on $PATH) into a .so, and
+ * executes through it, blocking on the cold compile; auto serves on
+ * bytecode and hot-swaps to native when the background compile lands.
+ * --native-cache-dir persists compiled .so artifacts across runs
+ * (checksummed; corrupt entries are evicted and rebuilt). Without a
+ * usable compiler the run degrades to bytecode with a single stderr
+ * note — it never fails.
+ *
  * Serve mode: run the long-lived daemon speaking the length-prefixed
  * JSON protocol (README "Serving"):
  *
@@ -80,6 +92,7 @@
  *              [--queue-cap N] [--max-conns N] [--max-frame BYTES]
  *              [--max-outbuf BYTES] [--quota-rps R] [--quota-burst B]
  *              [--allow-remote-drain] [--cache-dir DIR]
+ *              [--tier bytecode|native|auto] [--native-cache-dir DIR]
  *              [--trace-out FILE] [--stats-json FILE]
  *
  * --threads sizes the request worker pool (0 = hardware concurrency),
@@ -138,11 +151,14 @@ usage()
         "       [--tree-size N] [--tree-depth D] [--seed S]\n"
         "       [--batch-count B] [--strategy auto|stack|linear|segmented]\n"
         "       [--no-simd] [--grain G] [--exec-threads N] [--seq]\n"
-        "       [--check] [--trace-out FILE] [--stats-json FILE]\n"
+        "       [--check] [--tier bytecode|native|auto]\n"
+        "       [--native-cache-dir DIR]\n"
+        "       [--trace-out FILE] [--stats-json FILE]\n"
         "   or: hecate_cli serve [--port P] [--host ADDR] [--threads N]\n"
         "       [--queue-cap N] [--max-conns N] [--max-frame BYTES]\n"
         "       [--max-outbuf BYTES] [--quota-rps R] [--quota-burst B]\n"
         "       [--allow-remote-drain] [--cache-dir DIR]\n"
+        "       [--tier bytecode|native|auto] [--native-cache-dir DIR]\n"
         "       [--trace-out FILE] [--stats-json FILE]\n");
     return 2;
 }
@@ -272,6 +288,17 @@ parseRequestLine(const std::string& line,
     if (bare == 0)
         userError("empty request line");
     return request;
+}
+
+/** Parse a --tier value; throws UserError on unknown names. */
+service::ExecTier
+parseTierArg(const std::string& name)
+{
+    std::optional<service::ExecTier> tier = service::parseTierName(name);
+    if (!tier)
+        userError("unknown execution tier '" + name +
+                  "' (expected bytecode, native or auto)");
+    return *tier;
 }
 
 /** Parse a --strategy value; throws UserError on unknown names. */
@@ -542,6 +569,8 @@ runRun(int argc, char** argv)
     long long seed = 1;
     long long batch_count = 1;
     std::string strategy_name = "auto";
+    std::string tier_name = "bytecode";
+    std::string native_cache_dir;
     bool no_simd = false;
     bool sequential = false;
     bool check = false;
@@ -552,6 +581,10 @@ runRun(int argc, char** argv)
             continue;
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             cache_dir = argv[++i];
+        } else if (arg == "--tier" && i + 1 < argc) {
+            tier_name = argv[++i];
+        } else if (arg == "--native-cache-dir" && i + 1 < argc) {
+            native_cache_dir = argv[++i];
         } else if (arg == "--tree-size" && i + 1 < argc) {
             tree_size = std::atoll(argv[++i]);
         } else if (arg == "--tree-depth" && i + 1 < argc) {
@@ -598,6 +631,7 @@ runRun(int argc, char** argv)
     if (batch_count < 1 || batch_count > (1ll << 20))
         userError("--batch-count must be between 1 and 2^20");
     runtime::SweepStrategy strategy = parseStrategyName(strategy_name);
+    service::ExecTier tier = parseTierArg(tier_name);
 
     obs::Telemetry telemetry;
     pipeline::GrammarSource source =
@@ -607,12 +641,21 @@ runRun(int argc, char** argv)
     if (!cache_dir.empty())
         service::warmLoad(cache, cache_dir, telemetry);
 
+    // The tier controller must outlive the pipeline (which keeps a
+    // pointer); declared before `pipe` so destruction joins any
+    // background compile after the last execution.
+    service::NativeTierConfig native_config;
+    native_config.cacheDir = native_cache_dir;
+    service::NativeTier native_tier(native_config);
+
     pipeline::PipelineOptions options;
     options.config = makeSynthConfig(common);
     options.rootInterface = common.rootName.empty() ? source.rootInterface
                                                     : common.rootName;
     options.cache = &cache;
     options.telemetry = &telemetry;
+    options.nativeTier = &native_tier;
+    options.tier = tier;
     std::string traversal_src =
         traversal_path.empty() ? std::string()
                                : pipeline::readTextFile(traversal_path);
@@ -694,6 +737,25 @@ runRun(int argc, char** argv)
                  "run: %llu level waves | %llu segment kernels\n",
                  static_cast<unsigned long long>(stats.levelWaves),
                  static_cast<unsigned long long>(stats.segmentKernels));
+    if (tier != service::ExecTier::Bytecode) {
+        native_tier.drain();
+        native_tier.exportCounters(telemetry);
+        service::NativeTierStats native_stats = native_tier.stats();
+        service::NativeCache::Stats native_cache =
+            native_tier.cache().stats();
+        std::fprintf(
+            stderr,
+            "native: tier %s | executed %s | %llu compile(s) "
+            "(%.2fms) | %llu failure(s) | cache %llu hit(s) "
+            "(%llu from disk)\n",
+            service::tierName(tier),
+            telemetry.counter("native.exec") > 0 ? "native" : "bytecode",
+            static_cast<unsigned long long>(native_stats.compiles),
+            native_stats.compileSeconds * 1e3,
+            static_cast<unsigned long long>(native_stats.compileFailures),
+            static_cast<unsigned long long>(native_cache.hits),
+            static_cast<unsigned long long>(native_cache.diskHits));
+    }
 
     // 5. Optional differential check against the reference evaluator.
     int exit_code = 0;
@@ -784,6 +846,10 @@ runServe(int argc, char** argv)
             quota_burst = std::atof(argv[++i]);
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             serve.cacheDir = argv[++i];
+        } else if (arg == "--tier" && i + 1 < argc) {
+            serve.service.tier = parseTierArg(argv[++i]);
+        } else if (arg == "--native-cache-dir" && i + 1 < argc) {
+            serve.service.native.cacheDir = argv[++i];
         } else {
             return usage();
         }

@@ -1,0 +1,86 @@
+#ifndef HECATE_NATIVE_ABI_H
+#define HECATE_NATIVE_ABI_H
+
+/**
+ * @file
+ * The extern-"C" ABI between the Hecate host process and a
+ * schedule-specialized native module (the tiered-execution `.so`
+ * emitted by codegen/native_emitter and built by
+ * codegen/native_compiler).
+ *
+ * The contract is deliberately tiny and data-only: the host passes one
+ * HecateArenaV1 describing the SoA arena (runtime::ArenaView laid out
+ * as plain C), and the module traverses it, writing output attribute
+ * cells through `cols` in place. No Hecate type crosses the boundary —
+ * the emitted TU embeds a byte-identical copy of these structs and
+ * never includes host headers, so a cached `.so` stays loadable across
+ * host rebuilds as long as HECATE_NATIVE_ABI_VERSION matches.
+ *
+ * Exported symbols (C linkage, default visibility):
+ *
+ *   uint32_t    hecate_native_abi_version(void);
+ *       The HECATE_NATIVE_ABI_VERSION the module was emitted against.
+ *       The loader refuses modules whose version differs from its own.
+ *
+ *   const char* hecate_native_fingerprint(void);
+ *       The cache-key digest baked into the module at emission time
+ *       (provenance for debugging and tests).
+ *
+ *   void        hecate_native_execute(const HecateArenaV1* arena);
+ *       Run the specialized traversal over every root of the arena.
+ *       Semantically identical to the bytecode executor: wrapping
+ *       int64 arithmetic, absent-child reads through the zero row,
+ *       writes to absent optional targets skipped entirely.
+ *
+ * Index conventions mirror runtime::ArenaView: node ids are dense
+ * uint32_t in BFS order; node n's scalar-child block starts at
+ * `scalars + scalar_base[n]` with row 0 = n itself and row c+1 =
+ * scalar child slot c; absent children hold `zero_row` (a row every
+ * column keeps at zero). Collection slot s of node n is
+ * `coll_ranges[coll_base[n] + s]`, a (begin, count) range into
+ * `coll_elems`.
+ *
+ * Bump HECATE_NATIVE_ABI_VERSION on ANY change to this file's structs
+ * or symbol contracts — the version participates in the native cache
+ * key, so stale on-disk artifacts are invalidated automatically.
+ */
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define HECATE_NATIVE_ABI_VERSION 1u
+
+/** One collection slot's contiguous element range (CSR row). */
+typedef struct HecateCollRangeV1 {
+    uint32_t begin;
+    uint32_t count;
+} HecateCollRangeV1;
+
+/** Borrowed SoA arena view (runtime::ArenaView as plain C). */
+typedef struct HecateArenaV1 {
+    uint32_t node_count; /**< real nodes (excludes the zero row) */
+    uint32_t zero_row;   /**< == node_count; absent-child sentinel */
+    const uint32_t* cls;         /**< class id, by node */
+    const uint32_t* scalar_base; /**< by node, into scalars */
+    const uint32_t* scalars;     /**< CSR scalar blocks (row 0 = self) */
+    const uint32_t* coll_base;   /**< by node, into coll_ranges */
+    const HecateCollRangeV1* coll_ranges;
+    const uint32_t* coll_elems;
+    int64_t* const* cols; /**< column base pointers, by column id */
+    const uint32_t* roots; /**< per-tree root indices */
+    uint32_t root_count;
+} HecateArenaV1;
+
+/** Entry-symbol names the loader resolves. */
+#define HECATE_NATIVE_SYM_ABI_VERSION "hecate_native_abi_version"
+#define HECATE_NATIVE_SYM_FINGERPRINT "hecate_native_fingerprint"
+#define HECATE_NATIVE_SYM_EXECUTE "hecate_native_execute"
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HECATE_NATIVE_ABI_H */

@@ -1,0 +1,243 @@
+#include "codegen/native_compiler.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace hecate::codegen {
+
+namespace {
+
+constexpr size_t kMaxStderrBytes = 4096;
+
+/** First kMaxStderrBytes of @p path, trailing whitespace trimmed. */
+std::string
+readCapped(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::string out(kMaxStderrBytes, '\0');
+    in.read(out.data(), static_cast<std::streamsize>(out.size()));
+    out.resize(static_cast<size_t>(in.gcount()));
+    while (!out.empty() &&
+           (out.back() == '\n' || out.back() == '\r' || out.back() == ' '))
+        out.pop_back();
+    return out;
+}
+
+/**
+ * Run @p argv (null-terminated) with stdout/stderr redirected to
+ * files. Returns the child's exit status, or -1 when it could not be
+ * spawned / died on a signal (@p error describes why).
+ */
+int
+runTool(const std::vector<std::string>& argv, const std::string& stdoutPath,
+        const std::string& stderrPath, std::string* error)
+{
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv)
+        cargv.push_back(const_cast<char*>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        if (error)
+            *error = std::string("fork failed: ") + std::strerror(errno);
+        return -1;
+    }
+    if (pid == 0) {
+        int out = open(stdoutPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                       0600);
+        int err = open(stderrPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                       0600);
+        int devnull = open("/dev/null", O_RDONLY);
+        if (devnull >= 0)
+            dup2(devnull, STDIN_FILENO);
+        if (out >= 0)
+            dup2(out, STDOUT_FILENO);
+        if (err >= 0)
+            dup2(err, STDERR_FILENO);
+        execvp(cargv[0], cargv.data());
+        // Exec failed; report through the captured stderr channel.
+        std::fprintf(stderr, "exec %s: %s\n", cargv[0],
+                     std::strerror(errno));
+        _exit(127);
+    }
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) {
+            if (error)
+                *error =
+                    std::string("waitpid failed: ") + std::strerror(errno);
+            return -1;
+        }
+    }
+    if (WIFSIGNALED(status)) {
+        if (error)
+            *error = "tool killed by signal " +
+                     std::to_string(WTERMSIG(status));
+        return -1;
+    }
+    return WEXITSTATUS(status);
+}
+
+/** Fresh private directory for one compile attempt; empty on failure. */
+std::string
+makeTempDir(std::string* error)
+{
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base && *base ? base : "/tmp") +
+                       "/hecate-native-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (!mkdtemp(buf.data())) {
+        if (error)
+            *error = std::string("mkdtemp failed: ") + std::strerror(errno);
+        return {};
+    }
+    return std::string(buf.data());
+}
+
+} // namespace
+
+CompilerInfo
+probeCompiler(const std::string& path, std::string* error)
+{
+    std::string dir = makeTempDir(error);
+    if (dir.empty())
+        return {};
+    std::string outPath = dir + "/version.out";
+    std::string errPath = dir + "/version.err";
+    std::string spawnError;
+    int status =
+        runTool({path, "--version"}, outPath, errPath, &spawnError);
+    CompilerInfo info;
+    if (status == 0) {
+        std::string firstLine = readCapped(outPath);
+        size_t eol = firstLine.find('\n');
+        if (eol != std::string::npos)
+            firstLine.resize(eol);
+        info.path = path;
+        info.identity = firstLine.empty() ? path : path + " " + firstLine;
+    } else if (error) {
+        std::string detail = readCapped(errPath);
+        *error = "compiler probe '" + path + " --version' failed";
+        if (!spawnError.empty())
+            *error += ": " + spawnError;
+        if (!detail.empty())
+            *error += ": " + detail;
+    }
+    removeTempDir(dir);
+    return info;
+}
+
+CompilerInfo
+discoverCompiler(std::string* error)
+{
+    for (const char* var : {"HECATE_CXX", "CXX"}) {
+        const char* value = std::getenv(var);
+        if (value && *value) {
+            // An explicit override is authoritative: broken means "no
+            // compiler", never a fallback probe.
+            std::string probeError;
+            CompilerInfo info = probeCompiler(value, &probeError);
+            if (!info.valid() && error)
+                *error = std::string(var) + "=" + value +
+                         " is not a usable compiler (" + probeError + ")";
+            return info;
+        }
+    }
+    std::string lastError;
+    for (const char* candidate : {"c++", "g++", "clang++"}) {
+        CompilerInfo info = probeCompiler(candidate, &lastError);
+        if (info.valid())
+            return info;
+    }
+    if (error)
+        *error = "no C++ compiler found (tried c++, g++, clang++; set "
+                 "CXX or HECATE_CXX): " +
+                 lastError;
+    return {};
+}
+
+CompileResult
+compileNativeTU(const CompilerInfo& compiler, const std::string& tu)
+{
+    CompileResult result;
+    if (!compiler.valid()) {
+        result.error = "no compiler";
+        return result;
+    }
+    std::string dirError;
+    result.tempDir = makeTempDir(&dirError);
+    if (result.tempDir.empty()) {
+        result.error = dirError;
+        return result;
+    }
+    std::string tuPath = result.tempDir + "/module.cpp";
+    std::string soPath = result.tempDir + "/module.so";
+    {
+        std::ofstream out(tuPath, std::ios::binary | std::ios::trunc);
+        out << tu;
+        if (!out) {
+            result.error = "failed to write TU to " + tuPath;
+            return result;
+        }
+    }
+    std::string outPath = result.tempDir + "/compile.out";
+    std::string errPath = result.tempDir + "/compile.err";
+    auto begin = std::chrono::steady_clock::now();
+    std::string spawnError;
+    int status = runTool({compiler.path, "-std=c++17", "-O2", "-fPIC",
+                          "-shared", tuPath, "-o", soPath},
+                         outPath, errPath, &spawnError);
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    if (status != 0) {
+        result.error = "compile failed (" + compiler.path +
+                       (status < 0 ? ", " + spawnError
+                                   : ", exit " + std::to_string(status)) +
+                       ")";
+        std::string detail = readCapped(errPath);
+        if (!detail.empty())
+            result.error += ":\n" + detail;
+        return result;
+    }
+    result.ok = true;
+    result.soPath = soPath;
+    return result;
+}
+
+void
+removeTempDir(const std::string& dir)
+{
+    if (dir.empty() || dir.find("hecate-native-") == std::string::npos)
+        return; // refuse to remove anything we did not create
+    DIR* d = opendir(dir.c_str());
+    if (d) {
+        while (dirent* entry = readdir(d)) {
+            std::string name = entry->d_name;
+            if (name == "." || name == "..")
+                continue;
+            ::unlink((dir + "/" + name).c_str());
+        }
+        closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+} // namespace hecate::codegen

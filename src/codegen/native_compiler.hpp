@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Out-of-process driver for the native tier: discovers a hosted C++
+ * compiler and turns an emitted TU (codegen/native_emitter) into a
+ * shared object in a private temp directory.
+ *
+ * Discovery policy: when `HECATE_CXX` or `CXX` is set in the
+ * environment, that value is used exclusively — a broken override
+ * (e.g. `CXX=/nonexistent`) means "no compiler", never a silent
+ * fallback to something on PATH, so operators can pin or disable the
+ * tier deterministically. With neither set, `c++`, `g++`, `clang++`
+ * are probed in order.
+ *
+ * Every compile attempt gets a fresh mkdtemp directory for its TU and
+ * `.so`, so concurrent attempts (or retries after a crash) never
+ * collide. Compiler stderr is captured into CompileResult::error
+ * (first 4 KiB) on failure; nothing in this file throws for toolchain
+ * problems — a broken compiler must degrade the tier, not the process.
+ */
+
+#include <string>
+
+namespace hecate::codegen {
+
+/** A usable (probed) compiler. */
+struct CompilerInfo {
+    std::string path;     ///< executable (absolute or PATH-resolved)
+    std::string identity; ///< "<path> <version first line>" — cache-key part
+
+    bool valid() const { return !path.empty(); }
+};
+
+/**
+ * Probe @p path by running `<path> --version`. Returns an invalid
+ * CompilerInfo and fills @p error when the tool cannot be run.
+ */
+CompilerInfo probeCompiler(const std::string& path,
+                           std::string* error = nullptr);
+
+/**
+ * Discover the compiler per the policy above. Invalid result + @p
+ * error message when none is usable.
+ */
+CompilerInfo discoverCompiler(std::string* error = nullptr);
+
+/** Outcome of one out-of-process compile attempt. */
+struct CompileResult {
+    bool ok = false;
+    std::string soPath;   ///< built artifact (inside tempDir) when ok
+    std::string tempDir;  ///< per-attempt dir; caller removeTempDir()s
+    double seconds = 0.0; ///< wall-clock compile latency
+    std::string error;    ///< failure reason + compiler stderr (≤ 4 KiB)
+};
+
+/**
+ * Compile @p tu with @p compiler (`-std=c++17 -O2 -fPIC -shared`) into
+ * a fresh temp directory. Never throws for toolchain failures — check
+ * `ok`. The caller owns the temp dir (adopt the `.so` or remove it).
+ */
+CompileResult compileNativeTU(const CompilerInfo& compiler,
+                              const std::string& tu);
+
+/** Best-effort recursive removal of a compile temp dir. */
+void removeTempDir(const std::string& dir);
+
+} // namespace hecate::codegen

@@ -1,0 +1,579 @@
+#include "codegen/native_emitter.hpp"
+
+#include <limits>
+
+#include "codegen/hecate_native_abi.h"
+#include <set>
+#include <vector>
+
+#include "runtime/arena.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hecate::codegen {
+
+namespace {
+
+/**
+ * One lowered action of a class case — the same linearization
+ * runtime::Program::compile produces, with parallel regions flattened
+ * to their sequential equivalent (branch order = inline-dispatch
+ * order; verified schedules make branches data-independent).
+ */
+struct Action {
+    enum class Kind : uint8_t {
+        Eval,      ///< apply one rule
+        Recur,     ///< visit scalar-block row `row` if present
+        VisitColl, ///< visit every element of collection slot `slot`
+    };
+
+    Kind kind;
+    sem::RuleId rule = sem::kInvalidId;
+    uint32_t row = 0;  ///< Recur: scalar-block row (child slot + 1)
+    uint32_t slot = 0; ///< VisitColl: collection CSR slot
+    sem::ChildId child = sem::kInvalidId;
+};
+
+std::string
+lit(int64_t v)
+{
+    // INT64_MIN has no negatable literal spelling.
+    if (v == std::numeric_limits<int64_t>::min())
+        return "(-9223372036854775807LL - 1)";
+    return std::to_string(v) + "LL";
+}
+
+std::string
+wrapCall(const std::string& op)
+{
+    if (op == "+") return "h_add";
+    if (op == "-") return "h_sub";
+    if (op == "*") return "h_mul";
+    if (op == "/") return "h_div";
+    if (op == "%") return "h_mod";
+    return std::string(); // comparison: emitted as a ternary
+}
+
+std::string
+cmpOp(const std::string& op)
+{
+    if (op == "<" || op == "<=" || op == ">" || op == ">=" ||
+        op == "==" || op == "!=")
+        return op;
+    internalError("native emitter: unknown operator '" + op + "'");
+}
+
+std::string
+foldCall(const std::string& fn)
+{
+    if (fn == "add") return "h_add";
+    if (fn == "mul") return "h_mul";
+    if (fn == "max") return "h_max";
+    if (fn == "min") return "h_min";
+    internalError("native emitter: unknown fold function '" + fn + "'");
+}
+
+/** Emits one class's statements against the arena ABI. */
+class CaseEmitter {
+  public:
+    CaseEmitter(const sem::Grammar& grammar, const runtime::Layout& layout,
+                sem::ClassId cls)
+        : grammar_(grammar), layout_(layout), cls_(grammar.cls(cls))
+    {
+    }
+
+    /** Column alias used in the body ("c<id>"), recorded for hoisting. */
+    std::string col(uint32_t id)
+    {
+        usedCols_.insert(id);
+        return "c" + std::to_string(id);
+    }
+
+    uint32_t selfColumn(sem::AttrId attr) const
+    {
+        return layout_.column(cls_.iface, attr);
+    }
+
+    uint32_t childColumn(sem::ChildId child, const std::string& attr) const
+    {
+        const sem::ChildInfo& info = cls_.children[child];
+        return layout_.column(
+            info.iface, grammar_.iface(info.iface).attrByName.at(attr));
+    }
+
+    /** Render one L_a expression in this class's context. */
+    std::string expr(const ast::Expr& e)
+    {
+        switch (e.kind) {
+          case ast::ExprKind::Const:
+            return lit(e.value);
+          case ast::ExprKind::Select: {
+            const ast::Select& sel = e.select;
+            if (sel.isSelf()) {
+                const sem::InterfaceInfo& iface = grammar_.iface(cls_.iface);
+                return col(selfColumn(iface.attrByName.at(sel.attr))) +
+                       "[n]";
+            }
+            sem::ChildId id = cls_.childByName.at(sel.base);
+            int32_t slot = layout_.cls(cls_.id).scalarSlotOf[id];
+            checkInvariant(slot >= 0,
+                           "native emitter: select through a collection");
+            needsKids_ = true;
+            return col(childColumn(id, sel.attr)) + "[k[" +
+                   std::to_string(slot + 1) + "]]";
+          }
+          case ast::ExprKind::Binary: {
+            std::string l = expr(*e.args[0]);
+            std::string r = expr(*e.args[1]);
+            std::string fn = wrapCall(e.op);
+            if (!fn.empty())
+                return fn + "(" + l + ", " + r + ")";
+            return "((" + l + ") " + cmpOp(e.op) + " (" + r +
+                   ") ? (int64_t)1 : (int64_t)0)";
+          }
+          case ast::ExprKind::Call:
+            if (e.op == "abs")
+                return "h_abs(" + expr(*e.args[0]) + ")";
+            if (e.op == "max" || e.op == "min")
+                return "h_" + e.op + "(" + expr(*e.args[0]) + ", " +
+                       expr(*e.args[1]) + ")";
+            internalError("native emitter: unknown function '" + e.op +
+                          "'");
+          case ast::ExprKind::If:
+            // The ternary evaluates exactly one branch, matching the
+            // bytecode JZ/JMP lowering.
+            return "((" + expr(*e.args[0]) + ") != 0 ? (" +
+                   expr(*e.args[1]) + ") : (" + expr(*e.args[2]) + "))";
+          case ast::ExprKind::Fold: {
+            std::string init = expr(*e.args[0]);
+            sem::ChildId id = cls_.childByName.at(e.select.base);
+            int32_t slot = layout_.cls(cls_.id).collSlotOf[id];
+            checkInvariant(slot >= 0,
+                           "native emitter: fold over a scalar child");
+            std::string elemCol = col(childColumn(id, e.select.attr));
+            std::string s = std::to_string(foldCounter_++);
+            std::string acc = "acc" + s;
+            std::string range = "r" + s;
+            std::string i = "i" + s;
+            return "([&]() -> int64_t {\n" + pad_ +
+                   "    int64_t " + acc + " = " + init + ";\n" + pad_ +
+                   "    const HecateCollRangeV1 " + range +
+                   " = a->coll_ranges[a->coll_base[n] + " +
+                   std::to_string(slot) + "];\n" + pad_ +
+                   "    for (uint32_t " + i + " = 0; " + i + " < " +
+                   range + ".count; ++" + i + ")\n" + pad_ + "        " +
+                   acc + " = " + foldCall(e.op) + "(" + acc + ", " +
+                   elemCol + "[a->coll_elems[" + range + ".begin + " + i +
+                   "]]);\n" + pad_ + "    return " + acc + ";\n" + pad_ +
+                   "}())";
+          }
+        }
+        internalError("native emitter: unknown expression kind");
+    }
+
+    /** One rule application (the executor's EvalSpec semantics). */
+    std::string evalStmt(sem::RuleId ruleId)
+    {
+        const sem::RuleInfo& rule = grammar_.rule(ruleId);
+        if (rule.lhsChild == sem::kInvalidId) {
+            std::string target =
+                col(selfColumn(rule.lhs)) + "[n]"; // row 0 = self
+            return pad_ + target + " = " + expr(*rule.decl->rhs) + ";\n";
+        }
+        // Inherited rule: the write is skipped entirely when the
+        // optional target child is absent (the vacuous-eval rule).
+        const sem::ChildInfo& child = cls_.children[rule.lhsChild];
+        int32_t slot = layout_.cls(cls_.id).scalarSlotOf[rule.lhsChild];
+        checkInvariant(slot >= 0,
+                       "native emitter: inherited rule targets a "
+                       "collection");
+        needsKids_ = true;
+        needsZero_ = true;
+        std::string head = pad_ + "{\n" + pad_ + "    const uint32_t t = k[" +
+                           std::to_string(slot + 1) + "];\n" + pad_ +
+                           "    if (t != z)\n";
+        std::string save = pad_;
+        pad_ += "        ";
+        std::string value = expr(*rule.decl->rhs);
+        pad_ = save;
+        return head + pad_ + "        " +
+               col(layout_.column(child.iface, rule.lhs)) + "[t] = " +
+               value + ";\n" + pad_ + "}\n";
+    }
+
+    /** Descend into scalar-block row @p row when the child is present. */
+    std::string recurStmt(uint32_t row, const std::string& dispatch)
+    {
+        needsKids_ = true;
+        needsZero_ = true;
+        return pad_ + "{\n" + pad_ + "    const uint32_t t = k[" +
+               std::to_string(row) + "];\n" + pad_ + "    if (t != z)\n" +
+               pad_ + "        " + dispatch + "(a, t);\n" + pad_ + "}\n";
+    }
+
+    /** Visit every element of collection slot @p slot in order. */
+    std::string visitCollStmt(uint32_t slot, const std::string& dispatch)
+    {
+        std::string s = std::to_string(foldCounter_++);
+        return pad_ + "{\n" + pad_ + "    const HecateCollRangeV1 r" + s +
+               " = a->coll_ranges[a->coll_base[n] + " +
+               std::to_string(slot) + "];\n" + pad_ +
+               "    for (uint32_t i" + s + " = 0; i" + s + " < r" + s +
+               ".count; ++i" + s + ")\n" + pad_ + "        " + dispatch +
+               "(a, a->coll_elems[r" + s + ".begin + i" + s + "]);\n" +
+               pad_ + "}\n";
+    }
+
+    /** Wrap @p body in a function definition with the needed hoists. */
+    std::string function(const std::string& name,
+                         const std::string& body) const
+    {
+        std::string out = "static void " + name +
+                          "(const HecateArenaV1* a, uint32_t n)\n{\n";
+        if (body.empty()) {
+            out += "    (void)a;\n    (void)n;\n}\n\n";
+            return out;
+        }
+        for (uint32_t id : usedCols_)
+            out += "    int64_t* const c" + std::to_string(id) +
+                   " = a->cols[" + std::to_string(id) + "];\n";
+        if (needsKids_)
+            out += "    const uint32_t* const k = a->scalars + "
+                   "a->scalar_base[n];\n";
+        if (needsZero_)
+            out += "    const uint32_t z = a->zero_row;\n";
+        out += body + "}\n\n";
+        return out;
+    }
+
+  private:
+    const sem::Grammar& grammar_;
+    const runtime::Layout& layout_;
+    const sem::ClassInfo& cls_;
+    std::set<uint32_t> usedCols_;
+    bool needsKids_ = false;
+    bool needsZero_ = false;
+    int foldCounter_ = 0;
+    std::string pad_ = "    ";
+};
+
+/**
+ * Linearize one class case exactly as runtime::Program::compile does
+ * (see Compiler::compileStmt): holes vanish, iterate lowers to an
+ * element visit (only when its body recurs) followed by the body's
+ * evals, parallel regions flatten to their branch visits in order.
+ */
+void
+lowerStmt(const sched::Skeleton& skeleton, const sem::ClassInfo& cls,
+          const runtime::ClassLayout& cl, const ast::TStmt& stmt,
+          std::vector<Action>& out)
+{
+    auto scalarRow = [&](const std::string& child) {
+        sem::ChildId id = cls.childByName.at(child);
+        int32_t slot = cl.scalarSlotOf[id];
+        checkInvariant(slot >= 0,
+                       "native emitter: recur on a collection child");
+        Action a;
+        a.kind = Action::Kind::Recur;
+        a.row = static_cast<uint32_t>(slot) + 1;
+        a.child = id;
+        return a;
+    };
+    auto collVisit = [&](const std::string& child) {
+        sem::ChildId id = cls.childByName.at(child);
+        int32_t slot = cl.collSlotOf[id];
+        checkInvariant(slot >= 0,
+                       "native emitter: iterate on a scalar child");
+        Action a;
+        a.kind = Action::Kind::VisitColl;
+        a.slot = static_cast<uint32_t>(slot);
+        a.child = id;
+        return a;
+    };
+
+    switch (stmt.kind) {
+      case ast::TStmtKind::Hole:
+        return; // concrete skeletons are hole-free; empty holes vanish
+      case ast::TStmtKind::Eval:
+        out.push_back({Action::Kind::Eval, skeleton.evalRule(&stmt), 0, 0,
+                       sem::kInvalidId});
+        return;
+      case ast::TStmtKind::Recur:
+        out.push_back(scalarRow(stmt.child));
+        return;
+      case ast::TStmtKind::Iterate: {
+        bool hasRecur = false;
+        for (const auto& body : stmt.body)
+            hasRecur |= body->kind == ast::TStmtKind::Recur;
+        if (hasRecur)
+            out.push_back(collVisit(stmt.child));
+        for (const auto& body : stmt.body) {
+            if (body->kind == ast::TStmtKind::Eval)
+                out.push_back({Action::Kind::Eval,
+                               skeleton.evalRule(body.get()), 0, 0,
+                               sem::kInvalidId});
+        }
+        return;
+      }
+      case ast::TStmtKind::Parallel:
+        if (!stmt.child.empty()) {
+            out.push_back(collVisit(stmt.child));
+        } else {
+            for (const auto& body : stmt.body) {
+                if (body->kind == ast::TStmtKind::Recur)
+                    out.push_back(scalarRow(body->child));
+            }
+        }
+        return;
+    }
+    internalError("native emitter: unknown statement kind");
+}
+
+/** The dispatch expression for descending into @p child's nodes. */
+std::string
+dispatchFor(const sem::ClassInfo& cls, sem::ChildId child)
+{
+    const std::vector<sem::ClassId>& allowed =
+        cls.children[child].allowedClasses;
+    if (allowed.size() == 1)
+        return "visit_c" + std::to_string(allowed[0]); // devirtualized
+    return "visit";
+}
+
+std::string
+prologue(NativeForm form, const std::string& fingerprint)
+{
+    std::string out;
+    out += "// Hecate schedule-specialized native module.\n";
+    out += "// emitter v" + std::to_string(kNativeEmitterVersion) +
+           ", form " + nativeFormName(form) + ", fingerprint " +
+           fingerprint + "\n";
+    out += "// Self-contained: embeds the ABI structs of "
+           "hecate_native_abi.h (v" +
+           std::to_string(HECATE_NATIVE_ABI_VERSION) +
+           ")\n// and the wrapping int64 helpers of support/arith.hpp.\n";
+    out += "#include <stdint.h>\n\n";
+    out += "extern \"C\" {\n"
+           "typedef struct HecateCollRangeV1 {\n"
+           "    uint32_t begin;\n"
+           "    uint32_t count;\n"
+           "} HecateCollRangeV1;\n\n"
+           "typedef struct HecateArenaV1 {\n"
+           "    uint32_t node_count;\n"
+           "    uint32_t zero_row;\n"
+           "    const uint32_t* cls;\n"
+           "    const uint32_t* scalar_base;\n"
+           "    const uint32_t* scalars;\n"
+           "    const uint32_t* coll_base;\n"
+           "    const HecateCollRangeV1* coll_ranges;\n"
+           "    const uint32_t* coll_elems;\n"
+           "    int64_t* const* cols;\n"
+           "    const uint32_t* roots;\n"
+           "    uint32_t root_count;\n"
+           "} HecateArenaV1;\n"
+           "} // extern \"C\"\n\n";
+    out += "namespace {\n"
+           "inline int64_t h_add(int64_t x, int64_t y)\n"
+           "{ return (int64_t)((uint64_t)x + (uint64_t)y); }\n"
+           "inline int64_t h_sub(int64_t x, int64_t y)\n"
+           "{ return (int64_t)((uint64_t)x - (uint64_t)y); }\n"
+           "inline int64_t h_mul(int64_t x, int64_t y)\n"
+           "{ return (int64_t)((uint64_t)x * (uint64_t)y); }\n"
+           "inline int64_t h_neg(int64_t x)\n"
+           "{ return (int64_t)((uint64_t)0 - (uint64_t)x); }\n"
+           "inline int64_t h_abs(int64_t x) { return x < 0 ? h_neg(x) : x; }\n"
+           "inline int64_t h_div(int64_t x, int64_t y)\n"
+           "{\n"
+           "    if (y == 0)\n"
+           "        return 0;\n"
+           "    if (y == -1)\n"
+           "        return h_neg(x);\n"
+           "    return x / y;\n"
+           "}\n"
+           "inline int64_t h_mod(int64_t x, int64_t y)\n"
+           "{\n"
+           "    if (y == 0 || y == -1)\n"
+           "        return 0;\n"
+           "    return x % y;\n"
+           "}\n"
+           "inline int64_t h_max(int64_t x, int64_t y)"
+           " { return x > y ? x : y; }\n"
+           "inline int64_t h_min(int64_t x, int64_t y)"
+           " { return x < y ? x : y; }\n";
+    return out;
+}
+
+std::string
+epilogue(NativeForm form, const std::string& fingerprint,
+         const std::string& executeBody)
+{
+    std::string out;
+    out += "} // namespace\n\n";
+    out += "extern \"C\" uint32_t hecate_native_abi_version(void)\n{\n"
+           "    return " +
+           std::to_string(HECATE_NATIVE_ABI_VERSION) + "u;\n}\n\n";
+    out += "extern \"C\" const char* hecate_native_fingerprint(void)\n{\n"
+           "    return \"" +
+           fingerprint + "\";\n}\n\n";
+    out += "extern \"C\" void hecate_native_execute(const HecateArenaV1* "
+           "a)\n{\n" +
+           executeBody + "}\n";
+    (void)form;
+    return out;
+}
+
+} // namespace
+
+const char*
+nativeFormName(NativeForm form)
+{
+    switch (form) {
+      case NativeForm::Recursive:
+        return "recursive";
+      case NativeForm::Linear:
+        return "linear";
+    }
+    return "?";
+}
+
+NativeForm
+resolveNativeForm(const runtime::Program& program,
+                  runtime::SweepStrategy strategy)
+{
+    switch (strategy) {
+      case runtime::SweepStrategy::Stack:
+        return NativeForm::Recursive;
+      case runtime::SweepStrategy::Linear:
+      case runtime::SweepStrategy::Segmented:
+        if (!program.sweepable())
+            userError("native tier: the linear form requires a sweepable "
+                      "(sandwich-shaped) program; use the stack strategy");
+        return NativeForm::Linear;
+      case runtime::SweepStrategy::Auto:
+        return program.sweepable() ? NativeForm::Linear
+                                   : NativeForm::Recursive;
+    }
+    internalError("native emitter: unknown sweep strategy");
+}
+
+std::string
+emitNativeTU(const sched::Skeleton& concrete, NativeForm form,
+             const std::string& fingerprint)
+{
+    const sem::Grammar& grammar = concrete.grammar();
+    runtime::Layout layout(grammar);
+
+    // Lower every class case to its action list once.
+    std::vector<std::vector<Action>> actions(grammar.classes().size());
+    for (const sem::ClassInfo& cls : grammar.classes()) {
+        for (const auto& stmt : concrete.caseFor(cls.id).stmts)
+            lowerStmt(concrete, cls, layout.cls(cls.id), *stmt,
+                      actions[cls.id]);
+    }
+
+    std::string out = prologue(form, fingerprint);
+    std::string executeBody;
+
+    if (form == NativeForm::Recursive) {
+        // Forward declarations: visit bodies call each other freely.
+        out += "\nstatic void visit(const HecateArenaV1* a, uint32_t n);\n";
+        for (const sem::ClassInfo& cls : grammar.classes())
+            out += "static void visit_c" + std::to_string(cls.id) +
+                   "(const HecateArenaV1* a, uint32_t n);\n";
+        out += "\n";
+        for (const sem::ClassInfo& cls : grammar.classes()) {
+            CaseEmitter emitter(grammar, layout, cls.id);
+            std::string body;
+            for (const Action& action : actions[cls.id]) {
+                switch (action.kind) {
+                  case Action::Kind::Eval:
+                    body += emitter.evalStmt(action.rule);
+                    break;
+                  case Action::Kind::Recur:
+                    body += emitter.recurStmt(
+                        action.row, dispatchFor(cls, action.child));
+                    break;
+                  case Action::Kind::VisitColl:
+                    body += emitter.visitCollStmt(
+                        action.slot, dispatchFor(cls, action.child));
+                    break;
+                }
+            }
+            out += emitter.function("visit_c" + std::to_string(cls.id),
+                                    body);
+        }
+        out += "static void visit(const HecateArenaV1* a, uint32_t n)\n"
+               "{\n    switch (a->cls[n]) {\n";
+        for (const sem::ClassInfo& cls : grammar.classes())
+            out += "    case " + std::to_string(cls.id) + "u:\n" +
+                   "        visit_c" + std::to_string(cls.id) +
+                   "(a, n);\n        break;\n";
+        out += "    default:\n        break;\n    }\n}\n\n";
+        executeBody = "    for (uint32_t r = 0; r < a->root_count; ++r)\n"
+                      "        visit(a, a->roots[r]);\n";
+    } else {
+        // Linear two-pass form (Worker::runSweep): split each case's
+        // eval runs around its child visits. Sweepability (verified by
+        // the caller against the compiled Program) guarantees the
+        // sandwich shape; any eval between visits is a shape bug.
+        std::vector<bool> hasPre(grammar.classes().size(), false);
+        std::vector<bool> hasPost(grammar.classes().size(), false);
+        for (const sem::ClassInfo& cls : grammar.classes()) {
+            CaseEmitter pre(grammar, layout, cls.id);
+            CaseEmitter post(grammar, layout, cls.id);
+            std::string preBody, postBody;
+            bool midSeen = false;
+            for (const Action& action : actions[cls.id]) {
+                if (action.kind != Action::Kind::Eval) {
+                    checkInvariant(postBody.empty(),
+                                   "native emitter: child visit after a "
+                                   "post-visit eval run (not sweepable)");
+                    midSeen = true;
+                    continue; // the sweep passes replace child visits
+                }
+                if (!midSeen)
+                    preBody += pre.evalStmt(action.rule);
+                else
+                    postBody += post.evalStmt(action.rule);
+            }
+            if (!preBody.empty()) {
+                hasPre[cls.id] = true;
+                out += pre.function("pre_c" + std::to_string(cls.id),
+                                    preBody);
+            }
+            if (!postBody.empty()) {
+                hasPost[cls.id] = true;
+                out += post.function("post_c" + std::to_string(cls.id),
+                                     postBody);
+            }
+        }
+        executeBody =
+            "    const uint32_t count = a->node_count;\n"
+            "    for (uint32_t n = 0; n < count; ++n) {\n"
+            "        switch (a->cls[n]) {\n";
+        for (const sem::ClassInfo& cls : grammar.classes()) {
+            if (hasPre[cls.id])
+                executeBody += "        case " + std::to_string(cls.id) +
+                               "u:\n            pre_c" +
+                               std::to_string(cls.id) +
+                               "(a, n);\n            break;\n";
+        }
+        executeBody += "        default:\n            break;\n"
+                       "        }\n    }\n"
+                       "    for (uint32_t n = count; n-- > 0;) {\n"
+                       "        switch (a->cls[n]) {\n";
+        for (const sem::ClassInfo& cls : grammar.classes()) {
+            if (hasPost[cls.id])
+                executeBody += "        case " + std::to_string(cls.id) +
+                               "u:\n            post_c" +
+                               std::to_string(cls.id) +
+                               "(a, n);\n            break;\n";
+        }
+        executeBody += "        default:\n            break;\n"
+                       "        }\n    }\n";
+    }
+
+    out += epilogue(form, fingerprint, executeBody);
+    return out;
+}
+
+} // namespace hecate::codegen

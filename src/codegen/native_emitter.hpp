@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * Native emitter: one concrete (hole-free) traversal skeleton in, one
+ * self-contained C++ translation unit out, specialized to the grammar,
+ * the synthesized schedule, and a traversal form.
+ *
+ * Unlike codegen/cpp_emitter — the paper-style, human-readable
+ * pointer-class rendering — this emitter targets the tiered execution
+ * path: the TU operates directly on the arena's SoA columns through
+ * the extern-"C" ABI of hecate_native_abi.h, embeds its own copy of
+ * the ABI structs and of the wrapping int64 helpers
+ * (support/arith.hpp semantics), and compiles with any hosted C++17
+ * compiler with no include paths at all. Execution is byte-identical
+ * to the bytecode executor on the full input domain: wrapping
+ * arithmetic, absent-child reads aliasing the always-zero row, writes
+ * to absent optional targets skipped, `if` evaluating exactly one
+ * branch, folds running left-to-right in element order.
+ *
+ * Two code shapes exist, mirroring the executor's sweep strategies:
+ *
+ *  - Recursive: per-class visit functions + a class-switch dispatcher,
+ *    statements emitted in the exact order Program::compile lowers
+ *    them (parallel regions run sequentially — branch order is the
+ *    inline-dispatch order, and a verified schedule makes branches
+ *    data-independent anyway).
+ *  - Linear: for sweepable (sandwich-shaped) programs, the two-pass
+ *    form of Worker::runSweep — one ascending pass over the BFS node
+ *    array for the pre-visit eval runs, one descending pass for the
+ *    post-visit runs. Streaming column access, no call tree.
+ *
+ * The emitter version participates in the native cache key: bump
+ * kNativeEmitterVersion whenever emitted code changes shape, so stale
+ * on-disk artifacts are recompiled rather than trusted.
+ */
+
+#include <string>
+
+#include "runtime/executor.hpp"
+#include "runtime/program.hpp"
+#include "sched/schedule.hpp"
+
+namespace hecate::codegen {
+
+/** Bump on any change to the emitted code (cache-key component). */
+inline constexpr uint32_t kNativeEmitterVersion = 1;
+
+/** Code shape of an emitted TU. */
+enum class NativeForm : uint8_t {
+    Recursive, ///< per-class visit functions (any program)
+    Linear,    ///< two-pass linear sweep (sweepable programs only)
+};
+
+/** Stable short name ("recursive" / "linear") — cache-key component. */
+const char* nativeFormName(NativeForm form);
+
+/**
+ * The code shape @p strategy asks for, given @p program:
+ * Stack -> Recursive; Linear / Segmented -> Linear (UserError when the
+ * program is not sweepable); Auto -> Linear when sweepable, else
+ * Recursive.
+ */
+NativeForm resolveNativeForm(const runtime::Program& program,
+                             runtime::SweepStrategy strategy);
+
+/**
+ * Emit the specialized TU for @p concrete (a hole-free skeleton, i.e.
+ * pipeline::Pipeline::plan().concrete) in @p form. @p fingerprint is
+ * baked into the module as hecate_native_fingerprint() — pass the
+ * native cache key's digest.
+ *
+ * Requires @p form == Linear only for programs whose compiled form is
+ * sweepable (callers resolve the form against the compiled Program
+ * first); throws InternalError when the skeleton's shape contradicts
+ * the requested linear form.
+ */
+std::string emitNativeTU(const sched::Skeleton& concrete, NativeForm form,
+                         const std::string& fingerprint);
+
+} // namespace hecate::codegen

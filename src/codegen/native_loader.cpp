@@ -1,0 +1,105 @@
+#include "codegen/native_loader.hpp"
+
+#include <cstddef>
+
+#include <dlfcn.h>
+
+#include "codegen/hecate_native_abi.h"
+#include "support/diagnostics.hpp"
+
+namespace hecate::codegen {
+
+namespace {
+
+// The loader passes runtime::CollRange rows straight through as
+// HecateCollRangeV1 — the ABI struct is the layout contract.
+static_assert(sizeof(HecateCollRangeV1) == sizeof(runtime::CollRange));
+static_assert(offsetof(HecateCollRangeV1, begin) ==
+              offsetof(runtime::CollRange, begin));
+static_assert(offsetof(HecateCollRangeV1, count) ==
+              offsetof(runtime::CollRange, count));
+static_assert(sizeof(sem::ClassId) == sizeof(uint32_t));
+static_assert(sizeof(runtime::NodeIdx) == sizeof(uint32_t));
+
+} // namespace
+
+std::shared_ptr<NativeModule>
+NativeModule::load(const std::string& soPath, std::string* error)
+{
+    dlerror(); // clear any stale state
+    void* handle = dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle) {
+        if (error) {
+            const char* why = dlerror();
+            *error = "dlopen failed: " + std::string(why ? why : soPath);
+        }
+        return nullptr;
+    }
+
+    auto fail = [&](const std::string& message) {
+        if (error)
+            *error = message;
+        dlclose(handle);
+        return nullptr;
+    };
+
+    auto resolve = [&](const char* name) -> void* {
+        dlerror();
+        void* sym = dlsym(handle, name);
+        if (!sym)
+            return nullptr;
+        return sym;
+    };
+
+    void* versionSym = resolve(HECATE_NATIVE_SYM_ABI_VERSION);
+    void* fingerprintSym = resolve(HECATE_NATIVE_SYM_FINGERPRINT);
+    void* executeSym = resolve(HECATE_NATIVE_SYM_EXECUTE);
+    if (!versionSym || !fingerprintSym || !executeSym)
+        return fail("native module " + soPath +
+                    " is missing a required entry symbol");
+
+    uint32_t version =
+        reinterpret_cast<uint32_t (*)(void)>(versionSym)();
+    if (version != HECATE_NATIVE_ABI_VERSION)
+        return fail("native module " + soPath + " speaks ABI v" +
+                    std::to_string(version) + ", host expects v" +
+                    std::to_string(HECATE_NATIVE_ABI_VERSION));
+
+    auto module = std::shared_ptr<NativeModule>(new NativeModule());
+    module->path_ = soPath;
+    module->handle_ = handle;
+    module->fingerprint_ =
+        reinterpret_cast<const char* (*)(void)>(fingerprintSym)();
+    module->execute_ =
+        reinterpret_cast<void (*)(const void*)>(executeSym);
+    return module;
+}
+
+NativeModule::~NativeModule()
+{
+    if (handle_)
+        dlclose(handle_);
+}
+
+void
+NativeModule::execute(const runtime::ArenaView& view) const
+{
+    checkInvariant(execute_ != nullptr,
+                   "native module executed before load");
+    HecateArenaV1 arena;
+    arena.node_count = view.size;
+    arena.zero_row = view.zeroRow;
+    arena.cls = view.cls;
+    arena.scalar_base = view.scalarBase;
+    arena.scalars = view.scalars;
+    arena.coll_base = view.collBase;
+    arena.coll_ranges =
+        reinterpret_cast<const HecateCollRangeV1*>(view.collRanges);
+    arena.coll_elems = view.collElems;
+    arena.cols = view.cols;
+    arena.roots = view.roots;
+    arena.root_count = view.rootCount;
+    execute_(&arena);
+}
+
+} // namespace hecate::codegen

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * RAII wrapper around a dlopen'ed native-tier module. Loading
+ * validates the full entry contract before the module is ever
+ * executed: all three symbols of hecate_native_abi.h must resolve and
+ * `hecate_native_abi_version()` must equal the host's
+ * HECATE_NATIVE_ABI_VERSION — a version skew (stale on-disk artifact
+ * from an older build) is a load error, never a crash.
+ *
+ * execute() marshals a runtime::ArenaView into the plain-C
+ * HecateArenaV1 and calls the module's entry point; the module writes
+ * output attribute cells in place, exactly like the bytecode executor.
+ */
+
+#include <memory>
+#include <string>
+
+#include "runtime/arena.hpp"
+
+namespace hecate::codegen {
+
+/** A loaded, ABI-validated native module (shared, immutable). */
+class NativeModule {
+  public:
+    /**
+     * dlopen @p soPath and resolve + validate the entry symbols.
+     * Returns nullptr and fills @p error on any failure (unloadable
+     * object, missing symbol, ABI version mismatch).
+     */
+    static std::shared_ptr<NativeModule>
+    load(const std::string& soPath, std::string* error = nullptr);
+
+    ~NativeModule();
+
+    NativeModule(const NativeModule&) = delete;
+    NativeModule& operator=(const NativeModule&) = delete;
+
+    const std::string& path() const { return path_; }
+
+    /** The cache-key digest baked in at emission time. */
+    const char* fingerprint() const { return fingerprint_; }
+
+    /** Run the specialized traversal over @p view in place. */
+    void execute(const runtime::ArenaView& view) const;
+
+  private:
+    NativeModule() = default;
+
+    std::string path_;
+    void* handle_ = nullptr;
+    const char* fingerprint_ = "";
+    void (*execute_)(const void* arena) = nullptr;
+};
+
+} // namespace hecate::codegen

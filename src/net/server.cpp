@@ -920,6 +920,8 @@ Server::executeRun(const Json& request)
     options.rootInterface = synth.rootInterface;
     options.cache = &service_->cache();
     options.telemetry = &local;
+    options.nativeTier = &service_->nativeTier();
+    options.tier = service_->tier();
     pipeline::Pipeline pipe(synth.grammarSrc, synth.traversalSrc,
                             std::move(options));
 
@@ -1082,6 +1084,29 @@ Server::handleMetrics()
     cacheOut.emplace("warm_ms",
                      Json(telemetry_->counter("cache.warm.ms")));
     out.emplace("cache", Json(std::move(cacheOut)));
+
+    service::NativeTier& tier = service_->nativeTier();
+    tier.exportCounters(*telemetry_);
+    service::NativeTierStats tierStats = tier.stats();
+    service::NativeCache::Stats nativeCache = tier.cache().stats();
+    JsonObject nativeOut;
+    nativeOut.emplace("tier",
+                      Json(service::tierName(service_->tier())));
+    nativeOut.emplace("compiler_available",
+                      Json(tier.compilerAvailable()));
+    nativeOut.emplace("compiler", Json(tier.compilerIdentity()));
+    nativeOut.emplace("compiles", Json(tierStats.compiles));
+    nativeOut.emplace("compile_failures",
+                      Json(tierStats.compileFailures));
+    nativeOut.emplace("compile_s", Json(tierStats.compileSeconds));
+    nativeOut.emplace("swaps", Json(tierStats.swaps));
+    nativeOut.emplace("pinned_keys", Json(tierStats.pinnedKeys));
+    nativeOut.emplace("cache_hits", Json(nativeCache.hits));
+    nativeOut.emplace("cache_misses", Json(nativeCache.misses));
+    nativeOut.emplace("disk_hits", Json(nativeCache.diskHits));
+    nativeOut.emplace("corrupt_evicted",
+                      Json(nativeCache.corruptEvicted));
+    out.emplace("native", Json(std::move(nativeOut)));
 
     service::ServiceStats svc = service_->stats();
     JsonObject svcOut;

@@ -349,6 +349,66 @@ Pipeline::compileProgram()
     return *program_;
 }
 
+NativeArtifact
+Pipeline::compileNative(runtime::SweepStrategy strategy)
+{
+    const runtime::Program& program = compileProgram();
+    codegen::NativeForm form = codegen::resolveNativeForm(program, strategy);
+    std::optional<NativeArtifact>& memo =
+        native_[static_cast<size_t>(form)];
+    if (memo.has_value())
+        return *memo;
+
+    NativeArtifact artifact;
+    if (options_.nativeTier == nullptr) {
+        artifact.failure = "native tier not configured";
+        return artifact;
+    }
+    obs::Span stage = telemetry().span("compile_native", "stage");
+    Timer timer;
+    const std::string& payload = synthesize().payload;
+    if (options_.tier == service::ExecTier::Native) {
+        std::string error;
+        artifact.module = options_.nativeTier->acquire(
+            problemKey(), payload, plan().concrete, program, strategy,
+            telemetry(), &error);
+        if (artifact.module == nullptr)
+            artifact.failure = error;
+    } else {
+        artifact.module = options_.nativeTier->poll(
+            problemKey(), payload, plan().concrete, program, strategy);
+        if (artifact.module == nullptr)
+            artifact.failure = "native module not resolved yet";
+    }
+    artifact.ok = artifact.module != nullptr;
+    artifact.seconds = timer.seconds();
+    if (!artifact.ok)
+        return artifact; // misses re-poll; only successes memoize
+    memo.emplace(artifact);
+    return artifact;
+}
+
+bool
+Pipeline::tryNativeExecute(const runtime::ArenaView& view,
+                           const ExecuteRequest& request,
+                           runtime::RuntimeStats& stats)
+{
+    if (options_.tier == service::ExecTier::Bytecode ||
+        options_.nativeTier == nullptr)
+        return false;
+    NativeArtifact native = compileNative(request.exec.strategy);
+    obs::Telemetry& sink = telemetry();
+    if (!native.ok) {
+        sink.add("native.fallback");
+        return false;
+    }
+    native.module->execute(view);
+    stats = runtime::RuntimeStats{};
+    stats.nodeVisits = view.size;
+    sink.add("native.exec");
+    return true;
+}
+
 /**
  * Fill in the per-execution knobs a request left defaulted (the
  * executor's telemetry sink follows the pipeline's) and export one
@@ -402,8 +462,9 @@ Pipeline::execute(const ExecuteRequest& request)
 
     Timer execute_timer;
     obs::Span run = telemetry().span("arena.execute");
-    runtime::RuntimeStats stats =
-        runtime::execute(program, arena, resolveExecOptions(request));
+    runtime::RuntimeStats stats;
+    if (!tryNativeExecute(arena.view(), request, stats))
+        stats = runtime::execute(program, arena, resolveExecOptions(request));
     run.end();
 
     const uint64_t nodes = arena.size();
@@ -434,8 +495,9 @@ Pipeline::executeTree(const tree::Tree& tree,
     request.exec = execOptions;
     Timer execute_timer;
     obs::Span run = telemetry().span("arena.execute");
-    runtime::RuntimeStats stats =
-        runtime::execute(program, arena, resolveExecOptions(request));
+    runtime::RuntimeStats stats;
+    if (!tryNativeExecute(arena.view(), request, stats))
+        stats = runtime::execute(program, arena, resolveExecOptions(request));
     run.end();
 
     const uint64_t nodes = arena.size();
@@ -463,8 +525,9 @@ Pipeline::executeForest(const ExecuteRequest& request)
 
     Timer execute_timer;
     obs::Span run = telemetry().span("forest.execute");
-    runtime::RuntimeStats stats =
-        runtime::execute(program, forest, resolveExecOptions(request));
+    runtime::RuntimeStats stats;
+    if (!tryNativeExecute(forest.view(), request, stats))
+        stats = runtime::execute(program, forest, resolveExecOptions(request));
     run.end();
 
     const uint64_t nodes = forest.size();

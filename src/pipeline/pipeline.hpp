@@ -49,6 +49,7 @@
 #include "runtime/forest.hpp"
 #include "runtime/program.hpp"
 #include "sched/schedule.hpp"
+#include "service/native_tier.hpp"
 #include "service/problem_key.hpp"
 #include "service/schedule_cache.hpp"
 #include "synth/autotuner.hpp"
@@ -97,6 +98,13 @@ struct PipelineOptions {
     service::ScheduleCache* cache = nullptr;
     /** Telemetry sink; null = disabled. */
     obs::Telemetry* telemetry = nullptr;
+    /**
+     * Native-tier controller (owns the compiler + NativeCache); null =
+     * bytecode only regardless of `tier`.
+     */
+    service::NativeTier* nativeTier = nullptr;
+    /** Which tier execution runs on (see service::ExecTier). */
+    service::ExecTier tier = service::ExecTier::Bytecode;
 };
 
 /** Stage 1: parsed ASTs. */
@@ -141,6 +149,14 @@ struct PlanArtifact {
         : concreteAst(std::move(ast)), concrete(std::move(skeleton))
     {
     }
+};
+
+/** Stage 5b: the native-tier module for this pipeline's schedule. */
+struct NativeArtifact {
+    bool ok = false; ///< module resolved (cache hit or compile)
+    std::shared_ptr<codegen::NativeModule> module;
+    double seconds = 0.0; ///< this attempt's wall time
+    std::string failure;  ///< why the tier fell back (when !ok)
 };
 
 /** execute() inputs: instance shape + execution knobs. */
@@ -231,6 +247,19 @@ class Pipeline {
     /** Lower the concrete traversal to bytecode. */
     const runtime::Program& compileProgram();
 
+    /**
+     * The CompileNative stage: resolve the native module for this
+     * pipeline's (problem, schedule) and @p strategy's code shape,
+     * through PipelineOptions::nativeTier. Tier Native blocks on the
+     * compile (single-flight across pipelines via the tier); tier Auto
+     * polls — a miss kicks the background build and reports
+     * ok = false, so callers keep executing bytecode and re-enter
+     * the stage to hot-swap once the build lands. Successful modules
+     * are memoized per code shape; misses are re-polled on every call.
+     */
+    NativeArtifact compileNative(runtime::SweepStrategy strategy =
+                                     runtime::SweepStrategy::Auto);
+
     /** Generate an arena instance and run the program over it. */
     ExecuteArtifact execute(const ExecuteRequest& request);
 
@@ -284,6 +313,16 @@ class Pipeline {
     void exportExecCounters(const runtime::RuntimeStats& stats,
                             uint64_t nodes, double executeSeconds);
 
+    /**
+     * Run the native module over @p view when the configured tier
+     * resolves one; false = caller executes bytecode. On success fills
+     * @p stats with the native-path counters (nodeVisits = node count;
+     * rule-level counters are not tracked natively).
+     */
+    bool tryNativeExecute(const runtime::ArenaView& view,
+                          const ExecuteRequest& request,
+                          runtime::RuntimeStats& stats);
+
     SynthArtifact runSynthesis();
 
     std::string grammarSrc_;
@@ -298,6 +337,7 @@ class Pipeline {
     std::optional<SynthArtifact> synth_;
     std::optional<PlanArtifact> plan_;
     std::optional<runtime::Program> program_;
+    std::optional<NativeArtifact> native_[2]; ///< by codegen::NativeForm
 };
 
 } // namespace hecate::pipeline

@@ -1,0 +1,247 @@
+#include "service/native_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hecate::service {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Key derivation
+// ---------------------------------------------------------------------------
+
+ProblemKey
+makeNativeKey(const ProblemKey& problem, const std::string& schedulePayload,
+              const std::string& formName,
+              const std::string& compilerIdentity, uint32_t emitterVersion,
+              uint32_t abiVersion)
+{
+    std::string canonical = "hecnative v1\n";
+    canonical += "emitter " + std::to_string(emitterVersion) + "\n";
+    canonical += "abi " + std::to_string(abiVersion) + "\n";
+    canonical += "form " + formName + "\n";
+    canonical += "compiler " + compilerIdentity + "\n";
+    canonical +=
+        "schedule " + std::to_string(schedulePayload.size()) + "\n";
+    canonical += schedulePayload;
+    canonical += "\nproblem\n";
+    canonical += problem.canonical;
+    return makeKeyFromCanonical(std::move(canonical));
+}
+
+// ---------------------------------------------------------------------------
+// Disk helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kMagicLine = "hecate-native v1";
+
+std::string
+hex16(uint64_t value)
+{
+    static const char* hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+        out[i] = hex[(value >> (60 - 4 * i)) & 0xf];
+    return out;
+}
+
+/** Whole file as bytes; empty optional when unreadable. */
+std::optional<std::string>
+slurp(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in)
+        return std::nullopt;
+    return buffer.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// NativeCache
+// ---------------------------------------------------------------------------
+
+NativeCache::NativeCache(std::string dir, size_t capacity, size_t shards)
+    : dir_(std::move(dir)), capacity_(capacity == 0 ? 1 : capacity),
+      shards_(shards == 0 ? 1 : shards)
+{
+    perShardCapacity_ = (capacity_ + shards_.size() - 1) / shards_.size();
+    if (perShardCapacity_ == 0)
+        perShardCapacity_ = 1;
+}
+
+void
+NativeCache::insertLocked(Shard& shard, const ProblemKey& key,
+                          std::shared_ptr<codegen::NativeModule> module)
+{
+    auto it = shard.index.find(key.canonical);
+    if (it != shard.index.end()) {
+        it->second->module = std::move(module);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front(Entry{key, std::move(module)});
+    shard.index.emplace(key.canonical, shard.lru.begin());
+    ++shard.stats.insertions;
+    while (shard.lru.size() > perShardCapacity_) {
+        // Memory-only eviction: the disk artifact stays, and running
+        // executions keep the module mapped via their shared_ptr.
+        shard.index.erase(shard.lru.back().key.canonical);
+        shard.lru.pop_back();
+        ++shard.stats.evictions;
+    }
+}
+
+std::shared_ptr<codegen::NativeModule>
+NativeCache::loadFromDisk(Shard& shard, const ProblemKey& key)
+{
+    if (dir_.empty())
+        return nullptr;
+    fs::path soPath = fs::path(dir_) / (key.digest() + ".so");
+    fs::path metaPath = fs::path(dir_) / (key.digest() + ".hnm");
+
+    std::error_code ec;
+    if (!fs::exists(metaPath, ec) && !fs::exists(soPath, ec))
+        return nullptr; // clean miss, nothing to evict
+
+    auto corrupt = [&]() -> std::shared_ptr<codegen::NativeModule> {
+        std::error_code ignored;
+        fs::remove(soPath, ignored);
+        fs::remove(metaPath, ignored);
+        ++shard.stats.corruptEvicted;
+        return nullptr;
+    };
+
+    // Validate metadata and checksum the actual bytes BEFORE dlopen —
+    // a truncated or tampered object must never reach the loader.
+    std::optional<std::string> meta = slurp(metaPath);
+    if (!meta)
+        return corrupt();
+    std::istringstream header(*meta);
+    std::string magic, checksum, sizeLine;
+    if (!std::getline(header, magic) || !std::getline(header, checksum) ||
+        !std::getline(header, sizeLine) || magic != kMagicLine)
+        return corrupt();
+    size_t keySize = 0;
+    try {
+        keySize = std::stoul(sizeLine);
+    } catch (const std::exception&) {
+        return corrupt();
+    }
+    const size_t keyStart =
+        magic.size() + 1 + checksum.size() + 1 + sizeLine.size() + 1;
+    if (keyStart + keySize != meta->size() ||
+        meta->compare(keyStart, keySize, key.canonical) != 0)
+        return corrupt(); // digest collision or truncated key
+
+    std::optional<std::string> soBytes = slurp(soPath);
+    if (!soBytes || hex16(fnv1a64(*soBytes)) != checksum)
+        return corrupt();
+
+    std::string loadError;
+    std::shared_ptr<codegen::NativeModule> module =
+        codegen::NativeModule::load(soPath.string(), &loadError);
+    if (!module)
+        return corrupt(); // checksummed but unloadable (e.g. ABI skew)
+    return module;
+}
+
+std::shared_ptr<codegen::NativeModule>
+NativeCache::get(const ProblemKey& key, bool* fromDisk)
+{
+    if (fromDisk)
+        *fromDisk = false;
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key.canonical);
+    if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        ++shard.stats.hits;
+        return it->second->module;
+    }
+    std::shared_ptr<codegen::NativeModule> module =
+        loadFromDisk(shard, key);
+    if (!module) {
+        ++shard.stats.misses;
+        return nullptr;
+    }
+    ++shard.stats.diskHits;
+    insertLocked(shard, key, module);
+    return module;
+}
+
+std::shared_ptr<codegen::NativeModule>
+NativeCache::adopt(const ProblemKey& key, const std::string& soPath,
+                   std::string* error)
+{
+    std::string loadPath = soPath;
+    if (!dir_.empty()) {
+        std::error_code ec;
+        fs::create_directories(dir_, ec);
+        fs::path storedSo = fs::path(dir_) / (key.digest() + ".so");
+        fs::path storedMeta = fs::path(dir_) / (key.digest() + ".hnm");
+        fs::copy_file(soPath, storedSo,
+                      fs::copy_options::overwrite_existing, ec);
+        if (!ec) {
+            std::optional<std::string> bytes = slurp(storedSo);
+            std::ofstream meta(storedMeta,
+                               std::ios::binary | std::ios::trunc);
+            if (bytes && meta) {
+                meta << kMagicLine << '\n'
+                     << hex16(fnv1a64(*bytes)) << '\n'
+                     << key.canonical.size() << '\n'
+                     << key.canonical;
+            }
+            if (bytes && meta)
+                loadPath = storedSo.string();
+        }
+        // Persistence failures degrade to memory-only — the compile
+        // already succeeded, so serve it from the temp path.
+    }
+
+    std::shared_ptr<codegen::NativeModule> module =
+        codegen::NativeModule::load(loadPath, error);
+    if (!module)
+        return nullptr;
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    insertLocked(shard, key, module);
+    return module;
+}
+
+size_t
+NativeCache::size() const
+{
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.lru.size();
+    }
+    return total;
+}
+
+NativeCache::Stats
+NativeCache::stats() const
+{
+    Stats total;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total.hits += shard.stats.hits;
+        total.misses += shard.stats.misses;
+        total.diskHits += shard.stats.diskHits;
+        total.insertions += shard.stats.insertions;
+        total.evictions += shard.stats.evictions;
+        total.corruptEvicted += shard.stats.corruptEvicted;
+    }
+    return total;
+}
+
+} // namespace hecate::service

@@ -1,0 +1,145 @@
+#pragma once
+
+/**
+ * @file
+ * Sharded LRU cache of loaded native-tier modules with a checksummed
+ * on-disk artifact store — ScheduleCache's design applied to `.so`
+ * files, so warm starts skip the out-of-process compile entirely.
+ *
+ * ## Cache key
+ *
+ * A native artifact is only reusable when *everything* that shaped its
+ * machine code matches, so the key (built by makeNativeKey, reusing
+ * the ProblemKey machinery) concatenates:
+ *
+ *  - the synthesis problem's own canonical key (grammar + skeleton +
+ *    config, rename-invariant),
+ *  - the portable schedule blob (which rules run where),
+ *  - the emitted code shape ("recursive" / "linear"),
+ *  - kNativeEmitterVersion and HECATE_NATIVE_ABI_VERSION,
+ *  - the compiler identity string (path + version line).
+ *
+ * Flipping any one component yields a different key and therefore a
+ * recompile — stale artifacts are unreachable by construction.
+ *
+ * ## Disk format
+ *
+ * Two files per entry under the cache dir, named by the key digest:
+ *
+ *     <digest>.so    the shared object as produced by the compiler
+ *     <digest>.hnm   metadata:  hecate-native v1\n
+ *                               <fnv1a64 of .so bytes, 16 hex>\n
+ *                               <byte length of canonical key>\n
+ *                               <canonical key bytes>
+ *
+ * get() validates the metadata (magic, exact canonical key match — the
+ * digest is just a filename, never trusted — and the checksum of the
+ * actual `.so` bytes) BEFORE any dlopen; a truncated or corrupted
+ * entry is deleted and counted in Stats::corruptEvicted, never loaded.
+ * Memory eviction (LRU) does not touch the disk copy — persistence is
+ * the point — and in-flight executions keep evicted modules alive
+ * through their shared_ptr.
+ */
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/native_loader.hpp"
+#include "service/problem_key.hpp"
+
+namespace hecate::service {
+
+/**
+ * Build the native cache key for @p problem executed under
+ * @p schedulePayload (the portable blob), code shape @p formName, and
+ * @p compilerIdentity. @p emitterVersion / @p abiVersion default to
+ * the build's own; tests flip them to prove each component
+ * invalidates.
+ */
+ProblemKey makeNativeKey(const ProblemKey& problem,
+                         const std::string& schedulePayload,
+                         const std::string& formName,
+                         const std::string& compilerIdentity,
+                         uint32_t emitterVersion,
+                         uint32_t abiVersion);
+
+/** Sharded LRU of loaded modules + checksummed on-disk artifacts. */
+class NativeCache {
+  public:
+    /** Monotonic operation counters (aggregated across shards). */
+    struct Stats {
+        uint64_t hits = 0;       ///< in-memory hits
+        uint64_t misses = 0;     ///< neither memory nor disk had it
+        uint64_t diskHits = 0;   ///< revived from a persisted artifact
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;      ///< LRU (memory only)
+        uint64_t corruptEvicted = 0; ///< invalid disk entries deleted
+    };
+
+    /**
+     * @p dir empty = memory-only (no persistence). @p capacity total
+     * loaded modules across @p shards shards.
+     */
+    explicit NativeCache(std::string dir = {}, size_t capacity = 64,
+                         size_t shards = 4);
+
+    /**
+     * Look up a module: memory first (bumps recency), then the disk
+     * store (validated, then dlopen'ed and indexed). @p fromDisk, when
+     * given, reports which level hit.
+     */
+    std::shared_ptr<codegen::NativeModule> get(const ProblemKey& key,
+                                               bool* fromDisk = nullptr);
+
+    /**
+     * Adopt a freshly compiled artifact: persist @p soPath into the
+     * store (when a dir is configured), load it, and index it under
+     * @p key. Returns the loaded module, or nullptr with @p error when
+     * the object cannot be loaded. The caller still owns @p soPath's
+     * temp dir.
+     */
+    std::shared_ptr<codegen::NativeModule>
+    adopt(const ProblemKey& key, const std::string& soPath,
+          std::string* error = nullptr);
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    const std::string& dir() const { return dir_; }
+    Stats stats() const;
+
+  private:
+    struct Entry {
+        ProblemKey key;
+        std::shared_ptr<codegen::NativeModule> module;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; ///< front = most recent
+        std::unordered_map<std::string, std::list<Entry>::iterator> index;
+        mutable Stats stats;
+    };
+
+    Shard& shardFor(const ProblemKey& key)
+    {
+        return shards_[key.hi % shards_.size()];
+    }
+
+    void insertLocked(Shard& shard, const ProblemKey& key,
+                      std::shared_ptr<codegen::NativeModule> module);
+
+    /** Validate + load a persisted entry; deletes it when invalid. */
+    std::shared_ptr<codegen::NativeModule>
+    loadFromDisk(Shard& shard, const ProblemKey& key);
+
+    std::string dir_;
+    size_t capacity_;
+    size_t perShardCapacity_;
+    mutable std::vector<Shard> shards_;
+};
+
+} // namespace hecate::service

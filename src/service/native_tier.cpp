@@ -1,0 +1,334 @@
+#include "service/native_tier.hpp"
+
+#include <cstdio>
+
+#include "codegen/hecate_native_abi.h"
+#include "obs/telemetry.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hecate::service {
+
+const char*
+tierName(ExecTier tier)
+{
+    switch (tier) {
+      case ExecTier::Bytecode:
+        return "bytecode";
+      case ExecTier::Native:
+        return "native";
+      case ExecTier::Auto:
+        return "auto";
+    }
+    return "?";
+}
+
+std::optional<ExecTier>
+parseTierName(std::string_view name)
+{
+    if (name == "bytecode")
+        return ExecTier::Bytecode;
+    if (name == "native")
+        return ExecTier::Native;
+    if (name == "auto")
+        return ExecTier::Auto;
+    return std::nullopt;
+}
+
+NativeTier::NativeTier(NativeTierConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cacheDir, config_.cacheCapacity)
+{
+}
+
+NativeTier::~NativeTier()
+{
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        threads.swap(threads_);
+    }
+    for (std::thread& thread : threads)
+        thread.join();
+}
+
+bool
+NativeTier::ensureCompilerLocked()
+{
+    if (!discovered_) {
+        discovered_ = true;
+        if (!config_.compilerOverride.empty())
+            compiler_ = codegen::probeCompiler(config_.compilerOverride,
+                                               &compilerError_);
+        else
+            compiler_ = codegen::discoverCompiler(&compilerError_);
+        if (!compiler_.valid()) {
+            if (compilerError_.empty())
+                compilerError_ = "no usable compiler";
+            std::fprintf(stderr,
+                         "hecate: native tier disabled, staying on "
+                         "bytecode: %s\n",
+                         compilerError_.c_str());
+        }
+    }
+    return compiler_.valid();
+}
+
+bool
+NativeTier::compilerAvailable()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ensureCompilerLocked();
+}
+
+std::string
+NativeTier::compilerIdentity()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensureCompilerLocked();
+    return compiler_.identity;
+}
+
+std::string
+NativeTier::compilerError()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensureCompilerLocked();
+    return compilerError_;
+}
+
+void
+NativeTier::pinLocked(const std::string& canonical,
+                      const std::string& failure)
+{
+    auto [it, inserted] = pinned_.emplace(canonical, failure);
+    if (inserted) {
+        ++stats_.pinnedKeys;
+        // Log once per key; later requests fail fast and silently.
+        std::fprintf(stderr,
+                     "hecate: native compile failed, key pinned to "
+                     "bytecode: %s\n",
+                     failure.c_str());
+    }
+}
+
+void
+NativeTier::noteServedLocked(const std::string& canonical)
+{
+    if (served_.insert(canonical).second)
+        ++stats_.swaps;
+}
+
+std::shared_ptr<codegen::NativeModule>
+NativeTier::buildModule(const ProblemKey& key, const std::string& tu,
+                        std::string* failure)
+{
+    codegen::CompilerInfo compiler;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        compiler = compiler_;
+    }
+    codegen::CompileResult result = codegen::compileNativeTU(compiler, tu);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.compileSeconds += result.seconds;
+        if (result.ok)
+            ++stats_.compiles;
+        else
+            ++stats_.compileFailures;
+    }
+    if (!result.ok) {
+        *failure = result.error;
+        codegen::removeTempDir(result.tempDir);
+        return nullptr;
+    }
+
+    std::string adoptError;
+    std::shared_ptr<codegen::NativeModule> module =
+        cache_.adopt(key, result.soPath, &adoptError);
+    codegen::removeTempDir(result.tempDir);
+    if (!module)
+        *failure = "load failed: " + adoptError;
+    return module;
+}
+
+std::shared_ptr<codegen::NativeModule>
+NativeTier::acquire(const ProblemKey& problem,
+                    const std::string& schedulePayload,
+                    const sched::Skeleton& concrete,
+                    const runtime::Program& program,
+                    runtime::SweepStrategy strategy,
+                    obs::Telemetry& telemetry, std::string* error)
+{
+    codegen::NativeForm form;
+    try {
+        form = codegen::resolveNativeForm(program, strategy);
+    } catch (const Error& e) {
+        if (error)
+            *error = e.what();
+        return nullptr;
+    }
+
+    ProblemKey key;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!ensureCompilerLocked()) {
+            if (error)
+                *error = compilerError_;
+            return nullptr;
+        }
+        key = makeNativeKey(problem, schedulePayload,
+                            codegen::nativeFormName(form),
+                            compiler_.identity,
+                            codegen::kNativeEmitterVersion,
+                            HECATE_NATIVE_ABI_VERSION);
+        // Join any background build of the same key rather than racing
+        // a second compiler invocation (single-flight).
+        cv_.wait(lock, [&] { return !inFlight_.count(key.canonical); });
+        auto pin = pinned_.find(key.canonical);
+        if (pin != pinned_.end()) {
+            if (error)
+                *error = pin->second;
+            return nullptr;
+        }
+    }
+
+    if (std::shared_ptr<codegen::NativeModule> module = cache_.get(key)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        noteServedLocked(key.canonical);
+        return module;
+    }
+
+    std::string failure;
+    std::shared_ptr<codegen::NativeModule> module;
+    std::string tu;
+    bool emitted = false;
+    try {
+        tu = codegen::emitNativeTU(concrete, form, key.digest());
+        emitted = true;
+    } catch (const Error& e) {
+        failure = std::string("emit failed: ") + e.what();
+    }
+    if (emitted) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inFlight_.insert(key.canonical);
+    }
+    if (emitted) {
+        obs::Span span = telemetry.span("native.compile", "stage");
+        module = buildModule(key, tu, &failure);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (emitted)
+            inFlight_.erase(key.canonical);
+        if (module)
+            noteServedLocked(key.canonical);
+        else
+            pinLocked(key.canonical, failure);
+    }
+    cv_.notify_all();
+    if (!module && error)
+        *error = failure;
+    return module;
+}
+
+std::shared_ptr<codegen::NativeModule>
+NativeTier::poll(const ProblemKey& problem,
+                 const std::string& schedulePayload,
+                 const sched::Skeleton& concrete,
+                 const runtime::Program& program,
+                 runtime::SweepStrategy strategy)
+{
+    codegen::NativeForm form;
+    try {
+        form = codegen::resolveNativeForm(program, strategy);
+    } catch (const Error&) {
+        return nullptr; // shape rejected: this request stays bytecode
+    }
+
+    ProblemKey key;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!ensureCompilerLocked())
+            return nullptr;
+        key = makeNativeKey(problem, schedulePayload,
+                            codegen::nativeFormName(form),
+                            compiler_.identity,
+                            codegen::kNativeEmitterVersion,
+                            HECATE_NATIVE_ABI_VERSION);
+        if (pinned_.count(key.canonical) || inFlight_.count(key.canonical))
+            return nullptr;
+    }
+
+    if (std::shared_ptr<codegen::NativeModule> module = cache_.get(key)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        noteServedLocked(key.canonical);
+        return module;
+    }
+
+    // First miss: emit the TU here (string building, cheap, and it
+    // keeps the skeleton's lifetime out of the thread), then kick the
+    // out-of-process build in the background. This request (and every
+    // one until the build lands) keeps running on bytecode.
+    std::string tu;
+    try {
+        tu = codegen::emitNativeTU(concrete, form, key.digest());
+    } catch (const Error& e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pinLocked(key.canonical, std::string("emit failed: ") + e.what());
+        return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pinned_.count(key.canonical) || inFlight_.count(key.canonical))
+        return nullptr; // raced another poll
+    inFlight_.insert(key.canonical);
+    threads_.emplace_back([this, key, tu = std::move(tu)]() {
+        std::string failure;
+        std::shared_ptr<codegen::NativeModule> module =
+            buildModule(key, tu, &failure);
+        {
+            std::lock_guard<std::mutex> relock(mutex_);
+            inFlight_.erase(key.canonical);
+            if (!module)
+                pinLocked(key.canonical, failure);
+        }
+        cv_.notify_all();
+    });
+    return nullptr;
+}
+
+void
+NativeTier::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return inFlight_.empty(); });
+}
+
+NativeTierStats
+NativeTier::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+NativeTier::exportCounters(obs::Telemetry& telemetry) const
+{
+    NativeTierStats tier = stats();
+    NativeCache::Stats cache = cache_.stats();
+    telemetry.set("native.compile.count",
+                  static_cast<double>(tier.compiles + tier.compileFailures));
+    telemetry.set("native.compile.fail",
+                  static_cast<double>(tier.compileFailures));
+    telemetry.set("native.compile.seconds", tier.compileSeconds);
+    telemetry.set("native.swap", static_cast<double>(tier.swaps));
+    telemetry.set("native.pinned", static_cast<double>(tier.pinnedKeys));
+    telemetry.set("native.cache.hits", static_cast<double>(cache.hits));
+    telemetry.set("native.cache.misses",
+                  static_cast<double>(cache.misses));
+    telemetry.set("native.cache.disk_hits",
+                  static_cast<double>(cache.diskHits));
+    telemetry.set("native.cache.corrupt_evicted",
+                  static_cast<double>(cache.corruptEvicted));
+}
+
+} // namespace hecate::service

@@ -1,0 +1,176 @@
+#pragma once
+
+/**
+ * @file
+ * NativeTier: the tiered-execution controller. One instance owns the
+ * compiler identity, the NativeCache, the background compile threads,
+ * and the per-key failure pins; Pipeline and the serve daemon share it.
+ *
+ * Tier policy (ExecTier):
+ *
+ *  - Bytecode: never consult the tier.
+ *  - Native:   acquire() — block until the module is available (cache
+ *              hit or synchronous compile); fall back to bytecode only
+ *              when the tier is unavailable (no compiler / compile
+ *              failed, with the key pinned so the failure is paid once).
+ *  - Auto:     poll() — serve this request on whatever is ready now;
+ *              a miss kicks a background compile and returns null, so
+ *              requests keep running on bytecode and hot-swap to
+ *              native the first time poll() finds the module resolved
+ *              (counted as a `native.swap`).
+ *
+ * Failure containment (the serve-daemon hardening): compiler discovery
+ * failures and per-key compile failures are recorded, logged to stderr
+ * exactly once, and pin the tier (globally / for that key) to
+ * bytecode. Nothing in this class throws for toolchain problems.
+ */
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "codegen/native_compiler.hpp"
+#include "codegen/native_emitter.hpp"
+#include "service/native_cache.hpp"
+
+namespace hecate::obs {
+class Telemetry;
+}
+
+namespace hecate::service {
+
+/** Which execution tier a request runs on. */
+enum class ExecTier : uint8_t {
+    Bytecode, ///< interpreter only; never compile
+    Native,   ///< block for the native module (bytecode iff unavailable)
+    Auto,     ///< bytecode now, hot-swap to native when it resolves
+};
+
+/** Stable name ("bytecode" / "native" / "auto"). */
+const char* tierName(ExecTier tier);
+
+/** Inverse of tierName; empty optional on unknown input. */
+std::optional<ExecTier> parseTierName(std::string_view name);
+
+/** Construction knobs. */
+struct NativeTierConfig {
+    std::string cacheDir;      ///< empty = in-memory artifacts only
+    size_t cacheCapacity = 64; ///< loaded modules kept in memory
+    /**
+     * Test hook: probe exactly this compiler path instead of the
+     * HECATE_CXX / CXX / PATH discovery.
+     */
+    std::string compilerOverride;
+};
+
+/** Compile / swap counters (cache counters live on the NativeCache). */
+struct NativeTierStats {
+    uint64_t compiles = 0;        ///< successful out-of-process builds
+    uint64_t compileFailures = 0; ///< failed attempts (keys now pinned)
+    double compileSeconds = 0.0;  ///< total wall time across builds
+    uint64_t swaps = 0;           ///< first native serve per key
+    uint64_t pinnedKeys = 0;      ///< keys pinned to bytecode
+};
+
+/** The tiered-execution controller (thread-safe, shared). */
+class NativeTier {
+  public:
+    explicit NativeTier(NativeTierConfig config = {});
+
+    /** Joins every background compile still in flight. */
+    ~NativeTier();
+
+    NativeTier(const NativeTier&) = delete;
+    NativeTier& operator=(const NativeTier&) = delete;
+
+    /**
+     * Whether a usable compiler exists (discovery runs on first call
+     * and is cached; a failure logs once and disables the tier).
+     */
+    bool compilerAvailable();
+
+    /** Identity of the discovered compiler ("" when unavailable). */
+    std::string compilerIdentity();
+
+    /** Discovery failure message ("" when a compiler exists). */
+    std::string compilerError();
+
+    /**
+     * Blocking path (tier = Native): return the module for this
+     * (problem, schedule, form) — from cache, by joining an in-flight
+     * build, or by compiling synchronously. Returns nullptr (and fills
+     * @p error) when the tier is unavailable or the build failed; the
+     * key is then pinned and later calls fail fast.
+     */
+    std::shared_ptr<codegen::NativeModule>
+    acquire(const ProblemKey& problem, const std::string& schedulePayload,
+            const sched::Skeleton& concrete,
+            const runtime::Program& program,
+            runtime::SweepStrategy strategy, obs::Telemetry& telemetry,
+            std::string* error = nullptr);
+
+    /**
+     * Non-blocking path (tier = Auto): the module if it is resolved
+     * right now, else nullptr — kicking a background compile on first
+     * miss. The first non-null return per key counts as a swap.
+     */
+    std::shared_ptr<codegen::NativeModule>
+    poll(const ProblemKey& problem, const std::string& schedulePayload,
+         const sched::Skeleton& concrete, const runtime::Program& program,
+         runtime::SweepStrategy strategy);
+
+    /** Block until no background compile is in flight (tests, bench). */
+    void drain();
+
+    NativeCache& cache() { return cache_; }
+    NativeTierStats stats() const;
+
+    /**
+     * Export tier + cache counters into @p telemetry
+     * ("native.compile.count", "native.compile.fail",
+     * "native.compile.seconds", "native.swap", "native.pinned",
+     * "native.cache.{hits,misses,disk_hits,corrupt_evicted}").
+     */
+    void exportCounters(obs::Telemetry& telemetry) const;
+
+  private:
+    /** Discovery under mutex_; logs once on failure. */
+    bool ensureCompilerLocked();
+
+    /**
+     * Compile + adopt one already-emitted TU; returns nullptr and
+     * fills @p failure on any error. Runs outside mutex_.
+     */
+    std::shared_ptr<codegen::NativeModule>
+    buildModule(const ProblemKey& key, const std::string& tu,
+                std::string* failure);
+
+    /** Record a failure: pin the key, log once. Under mutex_. */
+    void pinLocked(const std::string& canonical,
+                   const std::string& failure);
+
+    /** First native serve of a key counts as the bytecode→native swap. */
+    void noteServedLocked(const std::string& canonical);
+
+    NativeTierConfig config_;
+    NativeCache cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool discovered_ = false;
+    codegen::CompilerInfo compiler_;
+    std::string compilerError_;
+    std::unordered_map<std::string, std::string> pinned_; ///< key -> why
+    std::unordered_set<std::string> inFlight_;  ///< keys compiling now
+    std::unordered_set<std::string> served_;    ///< keys served native
+    std::vector<std::thread> threads_;          ///< background compiles
+    NativeTierStats stats_;
+};
+
+} // namespace hecate::service

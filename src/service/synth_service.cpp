@@ -27,7 +27,7 @@ currentExceptionWhat()
 SynthService::SynthService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cacheCapacity, config_.cacheShards),
-      pool_(config_.workers)
+      nativeTier_(config_.native), pool_(config_.workers)
 {
 }
 
@@ -84,6 +84,8 @@ SynthService::runBatch(const BatchRequest& request)
         options.rootInterface = request.synth.rootInterface;
         options.cache = &cache_;
         options.telemetry = &local;
+        options.nativeTier = &nativeTier_;
+        options.tier = config_.tier;
         pipeline::Pipeline pipe(request.synth.grammarSrc,
                                 request.synth.traversalSrc,
                                 std::move(options));

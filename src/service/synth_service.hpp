@@ -33,6 +33,7 @@
 #include <unordered_map>
 
 #include "pipeline/pipeline.hpp"
+#include "service/native_tier.hpp"
 #include "service/schedule_cache.hpp"
 #include "support/thread_pool.hpp"
 
@@ -119,6 +120,10 @@ struct ServiceConfig {
     size_t workers = 0;        ///< thread pool size; 0 = hardware
     size_t cacheCapacity = 1024;
     size_t cacheShards = 8;
+    /** Which tier batched executions run on (runBatch / submitBatch). */
+    ExecTier tier = ExecTier::Bytecode;
+    /** Native-tier knobs (cache dir, capacity, compiler override). */
+    NativeTierConfig native;
     /**
      * Test hook: run by a leader after it has registered its flight
      * and before it starts CEGIS. Lets tests hold a leader open while
@@ -167,6 +172,8 @@ class SynthService {
 
     ServiceStats stats() const;
     ScheduleCache& cache() { return cache_; }
+    NativeTier& nativeTier() { return nativeTier_; }
+    ExecTier tier() const { return config_.tier; }
     size_t workerCount() const { return pool_.workerCount(); }
 
   private:
@@ -187,6 +194,7 @@ class SynthService {
 
     ServiceConfig config_;
     ScheduleCache cache_;
+    NativeTier nativeTier_;
     std::mutex flightsMutex_;
     std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 

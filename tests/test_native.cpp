@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Native-tier tests. The load-bearing suite is differential: for every
+ * bundled grammar the emitted-and-compiled `.so` must produce exactly
+ * the values of the bytecode interpreter and of computeReference —
+ * single arenas, packed forests, and full-width int64 inputs alike.
+ * The rest covers the artifact-cache contract (every key component
+ * invalidates; corrupted disk entries are evicted, never dlopen'ed)
+ * and the failure containment (a broken compiler degrades to bytecode,
+ * it never throws).
+ *
+ * Every test that needs a real compiler skips when discovery fails, so
+ * the suite stays green on toolchain-less runners; the CI native-tier
+ * job runs it with one guaranteed present.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "codegen/hecate_native_abi.h"
+#include "exec/interp.hpp"
+#include "grammars/grammars.hpp"
+#include "pipeline/pipeline.hpp"
+#include "service/native_cache.hpp"
+#include "service/native_tier.hpp"
+#include "support/diagnostics.hpp"
+
+namespace fs = std::filesystem;
+
+namespace hecate {
+namespace {
+
+std::vector<const grammars::Benchmark*>
+allBenchmarks()
+{
+    return {&grammars::binaryTree(), &grammars::fmm(),
+            &grammars::piecewise(),  &grammars::astBench(),
+            &grammars::renderTree(), &grammars::cssFloat(),
+            &grammars::cssMargin(),  &grammars::cssFull()};
+}
+
+synth::SynthesisConfig
+testConfig()
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 64;
+    return config;
+}
+
+/** Skip the enclosing test unless a real compiler is discoverable. */
+#define REQUIRE_COMPILER(tier)                                            \
+    do {                                                                  \
+        if (!(tier).compilerAvailable())                                  \
+            GTEST_SKIP() << "no usable C++ compiler: "                    \
+                         << (tier).compilerError();                       \
+    } while (0)
+
+/** A fresh directory under the test tmpdir, removed on destruction. */
+struct TempDir {
+    fs::path path;
+
+    explicit TempDir(const std::string& tag)
+    {
+        path = fs::temp_directory_path() /
+               ("hecate-test-" + tag + "-" +
+                std::to_string(::getpid()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/**
+ * One executed run. The artifact's arena points into the pipeline's
+ * heap-pinned grammar, so the pipeline rides along (artifacts must not
+ * outlive their Pipeline).
+ */
+struct PipelineRun {
+    std::unique_ptr<pipeline::Pipeline> pipe;
+    std::optional<pipeline::ExecuteArtifact> artifact;
+
+    runtime::TreeArena& arena() { return artifact->arena; }
+};
+
+/** Execute @p bench through a pipeline on @p tier / @p execTier. */
+PipelineRun
+runOne(const grammars::Benchmark& bench, service::NativeTier* tier,
+       service::ExecTier execTier, obs::Telemetry& telemetry,
+       const runtime::GenConfig& gen)
+{
+    pipeline::PipelineOptions options;
+    options.config = testConfig();
+    options.telemetry = &telemetry;
+    options.nativeTier = tier;
+    options.tier = execTier;
+    PipelineRun run;
+    run.pipe = std::make_unique<pipeline::Pipeline>(bench, "",
+                                                    std::move(options));
+
+    pipeline::ExecuteRequest request;
+    request.gen = gen;
+    run.artifact.emplace(run.pipe->execute(request));
+    return run;
+}
+
+TEST(NativeDifferential, AllBuiltinsMatchReferenceAndBytecode)
+{
+    service::NativeTier tier;
+    REQUIRE_COMPILER(tier);
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 2000;
+    gen.seed = 7;
+
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        obs::Telemetry native_t, bytecode_t;
+        PipelineRun native = runOne(*bench, &tier, service::ExecTier::Native,
+                            native_t, gen);
+        ASSERT_GE(native_t.counter("native.exec"), 1.0)
+            << bench->name << ": native tier did not serve the run";
+
+        // Ground truth 1: the demand-driven reference evaluator over
+        // the same instance (toTree preserves the generated inputs).
+        tree::Tree reference = native.arena().toTree();
+        exec::computeReference(reference);
+        EXPECT_TRUE(
+            runtime::treesEquivalent(native.arena().toTree(), reference))
+            << bench->name << ": native diverges from computeReference";
+
+        // Ground truth 2: the bytecode interpreter over the identical
+        // generated instance (same grammar, schedule and seed).
+        PipelineRun bytecode = runOne(*bench, nullptr,
+                              service::ExecTier::Bytecode, bytecode_t,
+                              gen);
+        EXPECT_EQ(native.arena().checksum(), bytecode.arena().checksum())
+            << bench->name << ": native diverges from bytecode";
+    }
+}
+
+TEST(NativeDifferential, ForestBatchMatchesBytecode)
+{
+    service::NativeTier tier;
+    REQUIRE_COMPILER(tier);
+
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        pipeline::ExecuteRequest request;
+        request.gen.targetNodes = 500;
+        request.gen.seed = 3;
+        request.batchCount = 4;
+
+        obs::Telemetry native_t;
+        pipeline::PipelineOptions native_options;
+        native_options.config = testConfig();
+        native_options.telemetry = &native_t;
+        native_options.nativeTier = &tier;
+        native_options.tier = service::ExecTier::Native;
+        pipeline::Pipeline native_pipe(*bench, "",
+                                       std::move(native_options));
+        pipeline::ForestExecuteArtifact native =
+            native_pipe.executeForest(request);
+        ASSERT_GE(native_t.counter("native.exec"), 1.0) << bench->name;
+
+        pipeline::PipelineOptions bytecode_options;
+        bytecode_options.config = testConfig();
+        pipeline::Pipeline bytecode_pipe(*bench, "",
+                                         std::move(bytecode_options));
+        pipeline::ForestExecuteArtifact bytecode =
+            bytecode_pipe.executeForest(request);
+
+        EXPECT_EQ(native.forest.flat().checksum(),
+                  bytecode.forest.flat().checksum())
+            << bench->name << ": batched native diverges from bytecode";
+    }
+}
+
+TEST(NativeDifferential, FullWidthArithmeticMatchesReference)
+{
+    service::NativeTier tier;
+    REQUIRE_COMPILER(tier);
+
+    // Full-width inputs drive the wrap helpers through overflow,
+    // INT64_MIN division/negation and the div/mod zero cases.
+    runtime::GenConfig gen;
+    gen.targetNodes = 1000;
+    gen.inputLo = INT64_MIN;
+    gen.inputHi = INT64_MAX;
+    gen.seed = 13;
+
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        obs::Telemetry native_t, bytecode_t;
+        PipelineRun native = runOne(*bench, &tier, service::ExecTier::Native,
+                            native_t, gen);
+        ASSERT_GE(native_t.counter("native.exec"), 1.0) << bench->name;
+
+        tree::Tree reference = native.arena().toTree();
+        exec::computeReference(reference);
+        EXPECT_TRUE(
+            runtime::treesEquivalent(native.arena().toTree(), reference))
+            << bench->name
+            << ": full-width native diverges from computeReference";
+
+        PipelineRun bytecode = runOne(*bench, nullptr,
+                              service::ExecTier::Bytecode, bytecode_t,
+                              gen);
+        EXPECT_EQ(native.arena().checksum(), bytecode.arena().checksum())
+            << bench->name
+            << ": full-width native diverges from bytecode";
+    }
+}
+
+TEST(NativeKey, EveryComponentInvalidates)
+{
+    pipeline::Pipeline pipe(grammars::binaryTree(), "", {});
+    const service::ProblemKey& problem = pipe.problemKey();
+
+    const std::string payload = "payload-a";
+    service::ProblemKey base = service::makeNativeKey(
+        problem, payload, "recursive", "g++ 13.2",
+        codegen::kNativeEmitterVersion, HECATE_NATIVE_ABI_VERSION);
+
+    // Flipping any one component must move the key: a stale artifact
+    // built under the old component is unreachable, forcing recompile.
+    service::ProblemKey schedule_flip = service::makeNativeKey(
+        problem, "payload-b", "recursive", "g++ 13.2",
+        codegen::kNativeEmitterVersion, HECATE_NATIVE_ABI_VERSION);
+    service::ProblemKey form_flip = service::makeNativeKey(
+        problem, payload, "linear", "g++ 13.2",
+        codegen::kNativeEmitterVersion, HECATE_NATIVE_ABI_VERSION);
+    service::ProblemKey compiler_flip = service::makeNativeKey(
+        problem, payload, "recursive", "clang++ 17.0",
+        codegen::kNativeEmitterVersion, HECATE_NATIVE_ABI_VERSION);
+    service::ProblemKey emitter_flip = service::makeNativeKey(
+        problem, payload, "recursive", "g++ 13.2",
+        codegen::kNativeEmitterVersion + 1, HECATE_NATIVE_ABI_VERSION);
+    service::ProblemKey abi_flip = service::makeNativeKey(
+        problem, payload, "recursive", "g++ 13.2",
+        codegen::kNativeEmitterVersion, HECATE_NATIVE_ABI_VERSION + 1);
+
+    EXPECT_NE(base.digest(), schedule_flip.digest()) << "schedule hash";
+    EXPECT_NE(base.digest(), form_flip.digest()) << "code shape";
+    EXPECT_NE(base.digest(), compiler_flip.digest()) << "compiler id";
+    EXPECT_NE(base.digest(), emitter_flip.digest()) << "emitter version";
+    EXPECT_NE(base.digest(), abi_flip.digest()) << "ABI version";
+
+    // And a different problem moves it too.
+    pipeline::Pipeline other(grammars::fmm(), "", {});
+    service::ProblemKey problem_flip = service::makeNativeKey(
+        other.problemKey(), payload, "recursive", "g++ 13.2",
+        codegen::kNativeEmitterVersion, HECATE_NATIVE_ABI_VERSION);
+    EXPECT_NE(base.digest(), problem_flip.digest()) << "problem key";
+}
+
+/** The single .so artifact persisted under @p dir. */
+fs::path
+soleArtifact(const fs::path& dir)
+{
+    fs::path found;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".so") {
+            EXPECT_TRUE(found.empty()) << "more than one .so in " << dir;
+            found = entry.path();
+        }
+    }
+    EXPECT_FALSE(found.empty()) << "no persisted .so in " << dir;
+    return found;
+}
+
+/** One cold run against @p dir; returns the tier's stats afterwards. */
+void
+runWithCacheDir(const std::string& dir, service::NativeTierStats* stats,
+                service::NativeCache::Stats* cacheStats)
+{
+    service::NativeTierConfig config;
+    config.cacheDir = dir;
+    service::NativeTier tier(config);
+    REQUIRE_COMPILER(tier);
+
+    obs::Telemetry telemetry;
+    runtime::GenConfig gen;
+    gen.targetNodes = 500;
+    PipelineRun run = runOne(grammars::binaryTree(), &tier,
+                     service::ExecTier::Native, telemetry, gen);
+    ASSERT_GE(telemetry.counter("native.exec"), 1.0);
+
+    tree::Tree reference = run.arena().toTree();
+    exec::computeReference(reference);
+    EXPECT_TRUE(
+        runtime::treesEquivalent(run.arena().toTree(), reference));
+
+    if (stats != nullptr)
+        *stats = tier.stats();
+    if (cacheStats != nullptr)
+        *cacheStats = tier.cache().stats();
+}
+
+TEST(NativeCacheDisk, WarmStartSkipsCompile)
+{
+    TempDir dir("warm");
+    service::NativeTierStats cold, warm;
+    service::NativeCache::Stats coldCache, warmCache;
+
+    runWithCacheDir(dir.path.string(), &cold, &coldCache);
+    if (::testing::Test::IsSkipped())
+        return;
+    EXPECT_EQ(cold.compiles, 1u);
+    EXPECT_EQ(coldCache.diskHits, 0u);
+
+    // A brand-new tier (fresh process in spirit) must revive the
+    // artifact from disk without touching the compiler.
+    runWithCacheDir(dir.path.string(), &warm, &warmCache);
+    EXPECT_EQ(warm.compiles, 0u);
+    EXPECT_EQ(warmCache.diskHits, 1u);
+    EXPECT_EQ(warmCache.corruptEvicted, 0u);
+}
+
+TEST(NativeCacheDisk, TruncatedArtifactEvictedAndRebuilt)
+{
+    TempDir dir("trunc");
+    runWithCacheDir(dir.path.string(), nullptr, nullptr);
+    if (::testing::Test::IsSkipped())
+        return;
+
+    fs::path so = soleArtifact(dir.path);
+    fs::resize_file(so, fs::file_size(so) / 2);
+
+    // The checksum no longer matches: the entry must be deleted and
+    // recompiled, never dlopen'ed.
+    service::NativeTierStats stats;
+    service::NativeCache::Stats cacheStats;
+    runWithCacheDir(dir.path.string(), &stats, &cacheStats);
+    EXPECT_EQ(cacheStats.corruptEvicted, 1u);
+    EXPECT_EQ(cacheStats.diskHits, 0u);
+    EXPECT_EQ(stats.compiles, 1u);
+    EXPECT_TRUE(fs::exists(soleArtifact(dir.path)));
+}
+
+TEST(NativeCacheDisk, FlippedByteEvictedAndRebuilt)
+{
+    TempDir dir("corrupt");
+    runWithCacheDir(dir.path.string(), nullptr, nullptr);
+    if (::testing::Test::IsSkipped())
+        return;
+
+    // Same length, different bytes: only the checksum catches this.
+    fs::path so = soleArtifact(dir.path);
+    std::fstream f(so, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    std::streamoff size = f.tellg();
+    ASSERT_GT(size, 16);
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    f.seekp(size / 2);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.write(&byte, 1);
+    f.close();
+
+    service::NativeTierStats stats;
+    service::NativeCache::Stats cacheStats;
+    runWithCacheDir(dir.path.string(), &stats, &cacheStats);
+    EXPECT_EQ(cacheStats.corruptEvicted, 1u);
+    EXPECT_EQ(stats.compiles, 1u);
+}
+
+TEST(NativeTierFallback, BrokenCompilerDegradesToBytecode)
+{
+    service::NativeTierConfig config;
+    config.compilerOverride = "/nonexistent/hecate-test-cxx";
+    service::NativeTier tier(config);
+
+    EXPECT_FALSE(tier.compilerAvailable());
+    EXPECT_FALSE(tier.compilerError().empty());
+
+    // Requesting the native tier anyway must serve bytecode correctly
+    // — a broken toolchain is a degradation, never a failure.
+    obs::Telemetry telemetry;
+    runtime::GenConfig gen;
+    gen.targetNodes = 500;
+    PipelineRun run = runOne(grammars::binaryTree(), &tier,
+                     service::ExecTier::Native, telemetry, gen);
+    EXPECT_EQ(telemetry.counter("native.exec"), 0.0);
+    EXPECT_GE(telemetry.counter("native.fallback"), 1.0);
+
+    tree::Tree reference = run.arena().toTree();
+    exec::computeReference(reference);
+    EXPECT_TRUE(
+        runtime::treesEquivalent(run.arena().toTree(), reference));
+}
+
+TEST(NativeTierSwap, AutoTierHotSwapsAfterBackgroundCompile)
+{
+    service::NativeTier tier;
+    REQUIRE_COMPILER(tier);
+
+    obs::Telemetry telemetry;
+    pipeline::PipelineOptions options;
+    options.config = testConfig();
+    options.telemetry = &telemetry;
+    options.nativeTier = &tier;
+    options.tier = service::ExecTier::Auto;
+    pipeline::Pipeline pipe(grammars::renderTree(), "",
+                            std::move(options));
+
+    pipeline::ExecuteRequest request;
+    request.gen.targetNodes = 500;
+
+    // First request: the module is not ready, so this serves bytecode
+    // and kicks the background build.
+    pipeline::ExecuteArtifact first = pipe.execute(request);
+    EXPECT_GE(telemetry.counter("native.fallback"), 1.0);
+    EXPECT_EQ(telemetry.counter("native.exec"), 0.0);
+
+    // Once the build lands, the same pipeline hot-swaps: identical
+    // request, same values, native execution.
+    tier.drain();
+    pipeline::ExecuteArtifact second = pipe.execute(request);
+    EXPECT_GE(telemetry.counter("native.exec"), 1.0);
+    EXPECT_EQ(first.arena.checksum(), second.arena.checksum());
+    EXPECT_EQ(tier.stats().swaps, 1u);
+}
+
+} // namespace
+} // namespace hecate
