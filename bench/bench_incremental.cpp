@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Incremental re-evaluation benchmark: the edit-storm load generator.
+ *
+ * For each headline grammar (RenderTree and AST) the bench builds one
+ * large arena, runs the full bytecode executor once as the baseline,
+ * then drives repeated edit rounds, healing the arena after each round
+ * with incr::reexecute instead of a full recompute:
+ *
+ *  - single_subtree: one ReplaceSubtree edit per round, replacement
+ *    ~0.1% of the arena — the headline localized-edit case (DESIGN.md
+ *    §13 targets >=5x over full recompute here);
+ *  - input_burst: eight MutateInput edits per round at random live
+ *    nodes — the dirty-wave / value-cutoff case;
+ *  - mixed_storm: applyRandomEdits' 3:1 mutate:replace mix — the
+ *    serve-daemon `edit` op's traffic shape.
+ *
+ * Every scenario carries a correctness tally: on sampled rounds the
+ * healed arena is compacted and compared cell-for-cell (checksum over
+ * the compacted SoA) against a from-scratch recompute of the same
+ * shape. A mismatch is a hard failure of the bench, not a footnote.
+ *
+ * Results go to BENCH_incremental.json (schema: {"quick",
+ * "hardware_threads", "environment", "grammars": [{"name", "nodes",
+ * "full_ms", "scenarios": [{"name", "rounds", "edits_per_round",
+ * "avg_incr_ms", "p_best_incr_ms", "speedup_vs_full",
+ * "rules_checked", "rules_evaluated", "checked_rounds",
+ * "check_failures"}]}]}). --quick shrinks instances for CI smoke.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "grammars/grammars.hpp"
+#include "incr/edit.hpp"
+#include "incr/plan.hpp"
+#include "incr/reexecute.hpp"
+#include "pipeline/pipeline.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/program.hpp"
+
+using namespace hecate;
+
+namespace {
+
+std::string
+jsonObject(const std::vector<std::pair<std::string, std::string>>& fields)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "\"" + fields[i].first + "\": " + fields[i].second;
+    }
+    return out + "}";
+}
+
+std::string
+jsonNum(double value)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    return buffer;
+}
+
+/** xorshift64* — deterministic node picking without <random>. */
+uint64_t
+nextRand(uint64_t& state)
+{
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+}
+
+/** A live, non-root node of @p arena (bounded scan from a random
+ *  start; edits never orphan more than a fraction of the arena). */
+runtime::NodeIdx
+pickLiveNode(const runtime::TreeArena& arena, uint64_t& rng)
+{
+    for (;;) {
+        runtime::NodeIdx node = static_cast<runtime::NodeIdx>(
+            1 + nextRand(rng) % (arena.size() - 1));
+        if (arena.isLive(node))
+            return node;
+    }
+}
+
+struct ScenarioResult {
+    std::string name;
+    uint32_t rounds = 0;
+    uint32_t editsPerRound = 0;
+    double avgIncrSeconds = 0.0;
+    double bestIncrSeconds = 0.0;
+    uint64_t rulesChecked = 0;
+    uint64_t rulesEvaluated = 0;
+    uint32_t checkedRounds = 0;
+    uint32_t checkFailures = 0;
+};
+
+/**
+ * Compare the incrementally healed @p arena against a from-scratch
+ * recompute of the identical (compacted) shape. Checksum over the
+ * compacted SoA covers every cell of every live node.
+ */
+bool
+differentialOk(const runtime::Program& program,
+               const runtime::TreeArena& arena)
+{
+    runtime::TreeArena healed = arena.compact();
+    runtime::TreeArena scratch = healed;
+    runtime::execute(program, scratch);
+    return healed.checksum() == scratch.checksum();
+}
+
+/**
+ * Drive @p rounds edit rounds over @p arena (mutated in place), each
+ * healed by incr::reexecute, checking the differential on sampled
+ * rounds. @p makeEdits applies this round's edits and returns how many
+ * it applied.
+ */
+template <typename MakeEdits>
+ScenarioResult
+runScenario(const std::string& name, const runtime::Program& program,
+            const incr::IncrPlan& plan, runtime::TreeArena& arena,
+            uint32_t rounds, uint32_t checkEvery, MakeEdits&& makeEdits)
+{
+    ScenarioResult result;
+    result.name = name;
+    result.rounds = rounds;
+    double total = 0.0;
+    for (uint32_t round = 0; round < rounds; ++round) {
+        result.editsPerRound = makeEdits(round);
+        Timer timer;
+        incr::IncrStats stats = incr::reexecute(program, plan, arena);
+        const double seconds = timer.seconds();
+        total += seconds;
+        if (round == 0 || seconds < result.bestIncrSeconds)
+            result.bestIncrSeconds = seconds;
+        result.rulesChecked += stats.rulesChecked;
+        result.rulesEvaluated += stats.rulesEvaluated;
+        if (checkEvery != 0 && round % checkEvery == 0) {
+            ++result.checkedRounds;
+            if (!differentialOk(program, arena))
+                ++result.checkFailures;
+        }
+    }
+    result.avgIncrSeconds = total / rounds;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    const uint32_t target_nodes = quick ? 50000 : 1000000;
+    const uint32_t rounds = quick ? 6 : 40;
+    const uint32_t check_every = quick ? 2 : 8;
+    const uint32_t subtree_nodes = std::max(8u, target_nodes / 1000);
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+
+    std::printf("incremental re-evaluation bench (%s): %u nodes, "
+                "%u rounds per scenario\n",
+                quick ? "quick" : "full", target_nodes, rounds);
+
+    std::vector<std::string> grammar_json;
+    bool all_checks_ok = true;
+
+    const grammars::Benchmark* benches[] = {&grammars::renderTree(),
+                                            &grammars::astBench()};
+    for (const grammars::Benchmark* bench : benches) {
+        pipeline::PipelineOptions options;
+        options.config.verify.maxDepth = 3;
+        auto pipe = std::make_unique<pipeline::Pipeline>(*bench, "",
+                                                         options);
+        const pipeline::SynthArtifact& tuned = pipe->synthesize();
+        checkInvariant(tuned.ok, "bench_incremental: synthesis failed");
+        const runtime::Program& program = pipe->compileProgram();
+        const incr::IncrPlan& plan = pipe->incrPlan();
+
+        runtime::GenConfig gen;
+        gen.targetNodes = target_nodes;
+        gen.seed = 2024;
+        runtime::TreeArena pristine = runtime::TreeArena::generate(
+            pipe->grammar(), pipe->rootInterface(), gen);
+        runtime::execute(program, pristine);
+
+        // Baseline: what every edit round would cost without the
+        // incremental engine.
+        const double full_seconds = benchutil::measureBest(
+            [&] {
+                runtime::TreeArena copy = pristine;
+                runtime::execute(program, copy);
+                benchutil::sink(copy.size());
+            },
+            quick ? 0.0 : 0.5, quick ? 1 : 8, 1);
+
+        std::printf("\n%s: %u nodes, full recompute %.2fms\n",
+                    bench->name.c_str(), pristine.size(),
+                    full_seconds * 1e3);
+
+        std::vector<ScenarioResult> scenarios;
+
+        {
+            runtime::TreeArena arena = pristine;
+            uint64_t rng = 0x5eed0001;
+            scenarios.push_back(runScenario(
+                "single_subtree", program, plan, arena, rounds,
+                check_every, [&](uint32_t round) -> uint32_t {
+                    incr::Edit e;
+                    e.kind = incr::Edit::Kind::ReplaceSubtree;
+                    e.node = pickLiveNode(arena, rng);
+                    e.subtreeNodes = subtree_nodes;
+                    e.seed = 0xace0 + round;
+                    incr::applyEdit(arena, e);
+                    return 1;
+                }));
+        }
+
+        {
+            runtime::TreeArena arena = pristine;
+            uint64_t rng = 0x5eed0002;
+            scenarios.push_back(runScenario(
+                "input_burst", program, plan, arena, rounds, check_every,
+                [&](uint32_t) -> uint32_t {
+                    const uint32_t kBurst = 8;
+                    for (uint32_t i = 0; i < kBurst; ++i) {
+                        incr::Edit e;
+                        e.kind = incr::Edit::Kind::MutateInput;
+                        e.node = pickLiveNode(arena, rng);
+                        const sem::ClassInfo& cls =
+                            pipe->grammar().cls(arena.classOf(e.node));
+                        const sem::InterfaceInfo& iface =
+                            pipe->grammar().iface(cls.iface);
+                        // Inputs precede outputs in declaration order;
+                        // scan for one (every bundled grammar has
+                        // inputs on every interface).
+                        for (sem::AttrId a = 0; a < iface.attrs.size();
+                             ++a) {
+                            if (iface.attrs[a].isInput) {
+                                e.attr = a;
+                                break;
+                            }
+                        }
+                        e.value = static_cast<int64_t>(nextRand(rng) %
+                                                       1024);
+                        incr::applyEdit(arena, e);
+                    }
+                    return kBurst;
+                }));
+        }
+
+        {
+            runtime::TreeArena arena = pristine;
+            scenarios.push_back(runScenario(
+                "mixed_storm", program, plan, arena, rounds, check_every,
+                [&](uint32_t round) -> uint32_t {
+                    return static_cast<uint32_t>(
+                        incr::applyRandomEdits(arena, 6, subtree_nodes,
+                                               0xfade + round * 977)
+                            .size());
+                }));
+        }
+
+        std::vector<std::string> scenario_json;
+        for (const ScenarioResult& s : scenarios) {
+            const double speedup =
+                s.avgIncrSeconds > 0 ? full_seconds / s.avgIncrSeconds
+                                     : 0.0;
+            std::printf("  %-14s %2u edit(s)/round | avg %8.3fms | "
+                        "%8.1fx vs full | checks %u/%u ok\n",
+                        s.name.c_str(), s.editsPerRound,
+                        s.avgIncrSeconds * 1e3, speedup,
+                        s.checkedRounds - s.checkFailures,
+                        s.checkedRounds);
+            if (s.checkFailures != 0)
+                all_checks_ok = false;
+            scenario_json.push_back(jsonObject(
+                {{"name", "\"" + s.name + "\""},
+                 {"rounds", std::to_string(s.rounds)},
+                 {"edits_per_round", std::to_string(s.editsPerRound)},
+                 {"avg_incr_ms", jsonNum(s.avgIncrSeconds * 1e3)},
+                 {"best_incr_ms", jsonNum(s.bestIncrSeconds * 1e3)},
+                 {"speedup_vs_full", jsonNum(speedup)},
+                 {"rules_checked", std::to_string(s.rulesChecked)},
+                 {"rules_evaluated", std::to_string(s.rulesEvaluated)},
+                 {"checked_rounds", std::to_string(s.checkedRounds)},
+                 {"check_failures", std::to_string(s.checkFailures)}}));
+        }
+
+        std::string joined;
+        for (size_t i = 0; i < scenario_json.size(); ++i) {
+            if (i > 0)
+                joined += ", ";
+            joined += scenario_json[i];
+        }
+        grammar_json.push_back(jsonObject(
+            {{"name", "\"" + bench->name + "\""},
+             {"nodes", std::to_string(pristine.size())},
+             {"full_ms", jsonNum(full_seconds * 1e3)},
+             {"scenarios", "[" + joined + "]"}}));
+    }
+
+    auto join = [](const std::vector<std::string>& items) {
+        std::string out;
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i > 0)
+                out += ",\n    ";
+            out += items[i];
+        }
+        return out;
+    };
+    std::ofstream json("BENCH_incremental.json");
+    json << "{\n  \"quick\": " << (quick ? "true" : "false")
+         << ",\n  \"hardware_threads\": " << hw_threads
+         << ",\n  \"environment\": " << benchutil::environmentJson()
+         << ",\n  \"grammars\": [\n    " << join(grammar_json)
+         << "\n  ]\n}\n";
+    std::printf("\nwrote BENCH_incremental.json\n");
+
+    if (!all_checks_ok) {
+        std::printf("FAILED: incremental results diverged from full "
+                    "recompute\n");
+        return 1;
+    }
+    return 0;
+}

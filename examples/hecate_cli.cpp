@@ -58,7 +58,15 @@
  *              [--batch-count B] [--strategy NAME] [--no-simd]
  *              [--grain G] [--exec-threads N] [--seq] [--check]
  *              [--tier bytecode|native|auto] [--native-cache-dir DIR]
+ *              [--edit-storm N] [--edit-size K] [--edit-seed S]
  *              [--trace-out FILE] [--stats-json FILE]
+ *
+ * --edit-storm runs N rounds after the initial execution; each round
+ * applies a burst of random edits (input mutations plus subtree
+ * replacements of about --edit-size nodes, deterministic in
+ * --edit-seed) and heals the arena with an incremental re-execution
+ * (DESIGN.md §13), reporting the per-round time and the speedup over
+ * repeating the full recompute. Requires --batch-count 1.
  *
  * --tree-size picks the generated instance's node budget, --tree-depth
  * caps its depth (0 = unbounded), --grain sets the parallel chunk
@@ -153,6 +161,7 @@ usage()
         "       [--no-simd] [--grain G] [--exec-threads N] [--seq]\n"
         "       [--check] [--tier bytecode|native|auto]\n"
         "       [--native-cache-dir DIR]\n"
+        "       [--edit-storm N] [--edit-size K] [--edit-seed S]\n"
         "       [--trace-out FILE] [--stats-json FILE]\n"
         "   or: hecate_cli serve [--port P] [--host ADDR] [--threads N]\n"
         "       [--queue-cap N] [--max-conns N] [--max-frame BYTES]\n"
@@ -571,6 +580,9 @@ runRun(int argc, char** argv)
     std::string strategy_name = "auto";
     std::string tier_name = "bytecode";
     std::string native_cache_dir;
+    long long edit_storm = 0;
+    long long edit_size = 8;
+    long long edit_seed = 42;
     bool no_simd = false;
     bool sequential = false;
     bool check = false;
@@ -599,6 +611,12 @@ runRun(int argc, char** argv)
             batch_count = std::atoll(argv[++i]);
         } else if (arg == "--strategy" && i + 1 < argc) {
             strategy_name = argv[++i];
+        } else if (arg == "--edit-storm" && i + 1 < argc) {
+            edit_storm = std::atoll(argv[++i]);
+        } else if (arg == "--edit-size" && i + 1 < argc) {
+            edit_size = std::atoll(argv[++i]);
+        } else if (arg == "--edit-seed" && i + 1 < argc) {
+            edit_seed = std::atoll(argv[++i]);
         } else if (arg == "--no-simd") {
             no_simd = true;
         } else if (arg == "--seq") {
@@ -630,6 +648,15 @@ runRun(int argc, char** argv)
         userError("--seed must be non-negative");
     if (batch_count < 1 || batch_count > (1ll << 20))
         userError("--batch-count must be between 1 and 2^20");
+    if (edit_storm < 0 || edit_storm > (1ll << 20))
+        userError("--edit-storm must be between 0 and 2^20");
+    if (edit_size < 1 || edit_size > (1ll << 20))
+        userError("--edit-size must be between 1 and 2^20");
+    if (edit_seed < 0)
+        userError("--edit-seed must be non-negative");
+    if (edit_storm > 0 && batch_count > 1)
+        userError("--edit-storm requires --batch-count 1 (structural "
+                  "edits are not supported on packed forests)");
     runtime::SweepStrategy strategy = parseStrategyName(strategy_name);
     service::ExecTier tier = parseTierArg(tier_name);
 
@@ -757,7 +784,56 @@ runRun(int argc, char** argv)
             static_cast<unsigned long long>(native_cache.diskHits));
     }
 
-    // 5. Optional differential check against the reference evaluator.
+    // 5. Optional edit storm: repeated random edit bursts, each healed
+    // by an incremental re-execution instead of a full recompute. The
+    // per-round speedup estimate divides the measured full-execute time
+    // by the average incremental round; --check afterwards validates
+    // the final (post-storm) cells against the reference evaluator.
+    if (edit_storm > 0) {
+        constexpr uint32_t kEditsPerRound = 4;
+        incr::IncrOptions incr_options;
+        incr_options.pool = request.exec.pool;
+        incr_options.grain = request.exec.grain;
+        uint64_t total_edits = 0;
+        uint64_t rules_checked = 0;
+        uint64_t rules_evaluated = 0;
+        uint64_t wave_rounds = 0;
+        double incr_secs = 0.0;
+        for (long long round = 0; round < edit_storm; ++round) {
+            std::vector<incr::Edit> edits = incr::applyRandomEdits(
+                single->arena, kEditsPerRound,
+                static_cast<uint32_t>(edit_size),
+                static_cast<uint64_t>(edit_seed) + 0x9e3779b9ull * round);
+            total_edits += edits.size();
+            Timer timer;
+            incr::IncrStats round_stats =
+                pipe.reexecute(single->arena, incr_options);
+            incr_secs += timer.seconds();
+            rules_checked += round_stats.rulesChecked;
+            rules_evaluated += round_stats.rulesEvaluated;
+            wave_rounds += round_stats.usedWave ? 1 : 0;
+        }
+        const double avg_ms =
+            incr_secs / static_cast<double>(edit_storm) * 1e3;
+        std::fprintf(stderr,
+                     "edit-storm: %lld round(s), %llu edit(s), "
+                     "%.2fms total | %.3fms/round | %llu wave run(s)\n",
+                     edit_storm,
+                     static_cast<unsigned long long>(total_edits),
+                     incr_secs * 1e3, avg_ms,
+                     static_cast<unsigned long long>(wave_rounds));
+        std::fprintf(
+            stderr,
+            "edit-storm: %llu rules checked | %llu re-evaluated | "
+            "%.1fx vs full recompute\n",
+            static_cast<unsigned long long>(rules_checked),
+            static_cast<unsigned long long>(rules_evaluated),
+            incr_secs > 0
+                ? secs * static_cast<double>(edit_storm) / incr_secs
+                : 0.0);
+    }
+
+    // 6. Optional differential check against the reference evaluator.
     int exit_code = 0;
     if (check) {
         const sem::Grammar& grammar = pipe.grammar();
@@ -771,6 +847,14 @@ runRun(int argc, char** argv)
                     grammar, forest.flat(), forest.treeBegin(t),
                     forest.treeBegin(t) + forest.treeSize(t), reference);
             }
+        } else if (edit_storm > 0) {
+            // Structural edits orphan rows in place; node ids only line
+            // up with toTree()'s output after compaction.
+            runtime::TreeArena compacted = single->arena.compact();
+            tree::Tree reference = compacted.toTree();
+            exec::computeReference(reference);
+            mismatches = countMismatches(grammar, compacted, 0,
+                                         compacted.size(), reference);
         } else {
             tree::Tree reference = single->arena.toTree();
             exec::computeReference(reference);

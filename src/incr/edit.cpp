@@ -1,0 +1,99 @@
+#include "incr/edit.hpp"
+
+#include <algorithm>
+
+#include "runtime/edit_state.hpp"
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+
+namespace hecate::incr {
+
+using runtime::EditState;
+using runtime::GenConfig;
+using runtime::kNone;
+using runtime::NodeIdx;
+using runtime::TreeArena;
+
+runtime::NodeIdx
+applyEdit(TreeArena& arena, const Edit& edit)
+{
+    if (edit.kind == Edit::Kind::MutateInput) {
+        arena.mutateInput(edit.node, edit.attr, edit.value);
+        return edit.node;
+    }
+
+    const sem::Grammar& grammar = arena.grammar();
+    const sem::InterfaceId iface =
+        grammar.cls(arena.classOf(edit.node)).iface;
+    GenConfig config;
+    config.targetNodes = std::max(1u, edit.subtreeNodes);
+    config.seed = edit.seed;
+    // The parent edge may admit only some implementers of the child's
+    // interface; generation picks freely among them, so retry derived
+    // seeds until an admitted root class comes up.
+    for (uint32_t attempt = 0;; ++attempt) {
+        config.seed = edit.seed + 0x9e3779b97f4a7c15ull * attempt;
+        TreeArena replacement = TreeArena::generate(grammar, iface, config);
+        try {
+            return arena.replaceSubtree(edit.node, replacement);
+        } catch (const UserError&) {
+            if (attempt >= 16)
+                throw;
+        }
+    }
+}
+
+std::vector<Edit>
+applyRandomEdits(TreeArena& arena, uint32_t count, uint32_t subtreeNodes,
+                 uint64_t seed)
+{
+    const sem::Grammar& grammar = arena.grammar();
+    Rng rng(splitmix64(seed));
+    std::vector<Edit> edits;
+    edits.reserve(count);
+
+    for (uint32_t i = 0; i < count; ++i) {
+        const bool wantSubtree = arena.size() >= 3 && rng.below(4) == 0;
+        bool applied = false;
+        for (uint32_t attempt = 0; attempt < 64 && !applied; ++attempt) {
+            const NodeIdx node =
+                static_cast<NodeIdx>(rng.below(arena.size()));
+            if (!arena.isLive(node))
+                continue;
+            Edit edit;
+            edit.node = node;
+            if (wantSubtree) {
+                // Roots cannot be replaced; anything else can (the
+                // admitted-class retry lives in applyEdit).
+                const EditState* es = arena.edits();
+                const bool isRoot =
+                    es ? es->parent[node] == kNone : node == 0;
+                if (isRoot)
+                    continue;
+                edit.kind = Edit::Kind::ReplaceSubtree;
+                edit.subtreeNodes = std::max(1u, subtreeNodes);
+                edit.seed = rng.next();
+            } else {
+                const sem::ClassInfo& info =
+                    grammar.cls(arena.classOf(node));
+                const sem::InterfaceInfo& ifc = grammar.iface(info.iface);
+                std::vector<sem::AttrId> inputs;
+                for (sem::AttrId a = 0; a < ifc.attrs.size(); ++a) {
+                    if (ifc.isInput(a))
+                        inputs.push_back(a);
+                }
+                if (inputs.empty())
+                    continue; // interface has no inputs; redraw the node
+                edit.kind = Edit::Kind::MutateInput;
+                edit.attr = inputs[rng.below(inputs.size())];
+                edit.value = static_cast<int64_t>(rng.below(10007)) - 5003;
+            }
+            applyEdit(arena, edit);
+            edits.push_back(edit);
+            applied = true;
+        }
+    }
+    return edits;
+}
+
+} // namespace hecate::incr

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Edit: a serializable description of one tree mutation — the unit the
+ * CLI edit-storm driver, the serve daemon's `edit` op, and the
+ * randomized differential tests all share. Applying an Edit goes
+ * through the TreeArena edit API (runtime/arena_edit.cpp), which does
+ * the actual dirty marking; replacement subtrees are generated
+ * deterministically from the edit's seed, so two arenas given the same
+ * Edit sequence end up cell-identical.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/arena.hpp"
+
+namespace hecate::incr {
+
+struct Edit {
+    enum class Kind : uint8_t { MutateInput, ReplaceSubtree };
+
+    Kind kind = Kind::MutateInput;
+    runtime::NodeIdx node = 0;
+    /** MutateInput: attribute id within the node's interface. */
+    sem::AttrId attr = 0;
+    /** MutateInput: the new value. */
+    int64_t value = 0;
+    /** ReplaceSubtree: generated replacement's node budget. */
+    uint32_t subtreeNodes = 8;
+    /** ReplaceSubtree: generation seed (deterministic replacements). */
+    uint64_t seed = 1;
+};
+
+/**
+ * Apply @p edit to @p arena. ReplaceSubtree edits generate the
+ * replacement from the edit's seed (retrying derived seeds when the
+ * parent edge restricts the admissible root classes) and return the
+ * new subtree root; MutateInput edits return the mutated node.
+ */
+runtime::NodeIdx applyEdit(runtime::TreeArena& arena, const Edit& edit);
+
+/**
+ * Draw @p count random valid edits (mostly input mutations, ~1 in 4
+ * subtree replacements of roughly @p subtreeNodes nodes) and apply
+ * them to @p arena as they are drawn — each edit is validated against
+ * the shape the previous ones produced. Deterministic in @p seed.
+ * Returns the applied list so a differential copy (taken *before* the
+ * call) can replay it via applyEdit.
+ */
+std::vector<Edit> applyRandomEdits(runtime::TreeArena& arena, uint32_t count,
+                                   uint32_t subtreeNodes, uint64_t seed);
+
+} // namespace hecate::incr

@@ -1,0 +1,124 @@
+#include "incr/plan.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::incr {
+
+using runtime::EvalKind;
+using runtime::EvalSpec;
+using runtime::Operand;
+using runtime::XInst;
+using runtime::XOp;
+
+namespace {
+
+/** Collects one spec's reads with small-vector dedup. */
+struct Collector {
+    std::vector<ReadRef>& reads;
+    std::vector<CollReadRef>& collReads;
+    uint32_t begin;
+    uint32_t collBegin;
+
+    void scalar(int32_t slot, uint32_t col)
+    {
+        for (uint32_t i = begin; i < reads.size(); ++i) {
+            if (reads[i].slot == slot && reads[i].col == col)
+                return;
+        }
+        reads.push_back({slot, col});
+    }
+
+    void operand(const Operand& op)
+    {
+        if (op.slot != Operand::kConst)
+            scalar(op.slot, op.col);
+    }
+
+    void coll(uint32_t collSlot, uint32_t col)
+    {
+        for (uint32_t i = collBegin; i < collReads.size(); ++i) {
+            if (collReads[i].collSlot == collSlot &&
+                collReads[i].col == col)
+                return;
+        }
+        collReads.push_back({collSlot, col});
+    }
+};
+
+} // namespace
+
+IncrPlan
+IncrPlan::build(const runtime::Program& program)
+{
+    IncrPlan plan;
+    const std::vector<XInst>& xcode = program.exprPool();
+    plan.specs_.reserve(program.evals().size());
+
+    for (const EvalSpec& spec : program.evals()) {
+        Collector c{plan.reads_, plan.collReads_,
+                    static_cast<uint32_t>(plan.reads_.size()),
+                    static_cast<uint32_t>(plan.collReads_.size())};
+        switch (spec.kind) {
+        case EvalKind::Copy:
+        case EvalKind::Un:
+            c.operand(spec.a);
+            break;
+        case EvalKind::Bin:
+            c.operand(spec.a);
+            c.operand(spec.b);
+            break;
+        case EvalKind::TriL:
+        case EvalKind::TriR:
+            c.operand(spec.a);
+            c.operand(spec.b);
+            c.operand(spec.c);
+            break;
+        case EvalKind::Bytecode: {
+            // Linear scan of the expression window. Jump targets are
+            // absolute pool indices; an early Done (an `if` arm's
+            // exit) must not stop the scan while instructions past
+            // the furthest known target remain — those are the other
+            // arms, whose reads count too.
+            uint32_t pc = spec.xbegin;
+            uint32_t maxTarget = pc;
+            for (;; ++pc) {
+                checkInvariant(pc < xcode.size(),
+                               "IncrPlan: expression scan ran off the pool");
+                const XInst& x = xcode[pc];
+                switch (x.op) {
+                case XOp::LoadSelf:
+                    c.scalar(0, x.a);
+                    break;
+                case XOp::LoadChild:
+                    c.scalar(static_cast<int32_t>(x.a), x.b);
+                    break;
+                case XOp::Fold:
+                    c.coll(x.a, x.b);
+                    break;
+                case XOp::Jz:
+                case XOp::Jmp:
+                    maxTarget = std::max(maxTarget, x.a);
+                    break;
+                default:
+                    break;
+                }
+                if (x.op == XOp::Done && pc >= maxTarget)
+                    break;
+            }
+            break;
+        }
+        }
+        SpecReads sr;
+        sr.begin = c.begin;
+        sr.count = static_cast<uint32_t>(plan.reads_.size()) - c.begin;
+        sr.collBegin = c.collBegin;
+        sr.collCount =
+            static_cast<uint32_t>(plan.collReads_.size()) - c.collBegin;
+        plan.specs_.push_back(sr);
+    }
+    return plan;
+}
+
+} // namespace hecate::incr

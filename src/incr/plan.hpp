@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * IncrPlan: the per-rule read sets the incremental invalidator needs,
+ * extracted once from a compiled Program.
+ *
+ * The full executor never asks *what* a rule reads — it just runs the
+ * superinstruction or bytecode. Incremental re-execution inverts the
+ * question: a rule application must re-run iff one of its read cells
+ * (or its own target cell, which covers virgin nodes that never held a
+ * computed value) is dirty. Because L_a rules read only self and child
+ * attributes, every read is expressible as (scalar-block row, column)
+ * — row 0 is the node itself, row c + 1 its scalar child slot c — plus
+ * (collection slot, column) pairs for folds. Both are recovered
+ * directly from the compiled EvalSpecs: superinstruction operands name
+ * their cells outright, and Bytecode specs are scanned over their
+ * expression window (tracking the furthest jump target, so `if` arms
+ * past an early Done are still covered — a conservative
+ * over-approximation is safe, an under-approximation is not).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/program.hpp"
+
+namespace hecate::incr {
+
+/** One scalar read: column @c col of scalar-block row @c slot. */
+struct ReadRef {
+    int32_t slot = 0;
+    uint32_t col = 0;
+};
+
+/** One fold read: column @c col of every element of collection slot. */
+struct CollReadRef {
+    uint32_t collSlot = 0;
+    uint32_t col = 0;
+};
+
+/** Read-set window of one EvalSpec (indices into the flat arrays). */
+struct SpecReads {
+    uint32_t begin = 0;
+    uint32_t count = 0;
+    uint32_t collBegin = 0;
+    uint32_t collCount = 0;
+};
+
+/** Immutable per-program read-set table, indexed like Program::evals(). */
+class IncrPlan {
+  public:
+    static IncrPlan build(const runtime::Program& program);
+
+    const SpecReads& reads(uint32_t spec) const { return specs_[spec]; }
+    const ReadRef* readData() const { return reads_.data(); }
+    const CollReadRef* collData() const { return collReads_.data(); }
+
+  private:
+    std::vector<SpecReads> specs_;
+    std::vector<ReadRef> reads_;
+    std::vector<CollReadRef> collReads_;
+};
+
+} // namespace hecate::incr

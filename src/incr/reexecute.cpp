@@ -1,0 +1,756 @@
+#include "incr/reexecute.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "runtime/edit_state.hpp"
+#include "runtime/eval_detail.hpp"
+#include "support/arith.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hecate::incr {
+
+using runtime::ArenaView;
+using runtime::EditState;
+using runtime::EvalKind;
+using runtime::EvalSpec;
+using runtime::Inst;
+using runtime::kNone;
+using runtime::NodeIdx;
+using runtime::Op;
+using runtime::Operand;
+using runtime::Program;
+using runtime::SweepCase;
+using runtime::XInst;
+
+namespace {
+
+/** State shared by every worker of one reexecute() call. */
+struct IncrCtx {
+    const Program* program = nullptr;
+    const IncrPlan* plan = nullptr;
+    ArenaView view;
+    EditState* es = nullptr;
+    ThreadPool* pool = nullptr;
+    size_t grain = 1;
+    NodeIdx spawnPrefix = 0;
+
+    // Hot dirt pointers, hoisted out of EditState's nested vectors.
+    std::vector<uint8_t*> dirtCols; ///< per column, sized zeroRow + 1
+    uint8_t* nodeDirt = nullptr;
+    uint8_t* virgin = nullptr;
+    const uint8_t* live = nullptr;
+    const NodeIdx* parent = nullptr;
+    const uint32_t* depth = nullptr;
+
+    /** Serializes appends to the EditState undo lists. */
+    std::mutex recordMutex;
+
+    std::atomic<uint64_t> visits{0};
+    std::atomic<uint64_t> checked{0};
+    std::atomic<uint64_t> evaluated{0};
+    std::atomic<uint64_t> dirtied{0};
+    std::atomic<uint64_t> tasks{0};
+    std::atomic<uint64_t> waves{0};
+
+    bool isLive(NodeIdx n) const { return live == nullptr || live[n]; }
+};
+
+/**
+ * Help-join barrier, same contract as the executor's: submit @p count
+ * tasks, drain the pool from the calling thread until all finished,
+ * rethrow the first failure. (The executor's copy is file-local to
+ * executor.cpp; the duplication buys zero coupling to its SharedCtx.)
+ */
+template <class SubmitOne>
+void
+forkJoin(IncrCtx& ctx, size_t count, SubmitOne&& submitOne)
+{
+    std::atomic<size_t> pending{count};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    auto guard = [&](auto&& body) {
+        try {
+            body();
+        } catch (...) {
+            if (!failed.exchange(true))
+                firstError = std::current_exception();
+        }
+        pending.fetch_sub(1, std::memory_order_release);
+    };
+    size_t submitted = 0;
+    try {
+        for (; submitted < count; ++submitted) {
+            submitOne(submitted, guard);
+            ++ctx.tasks;
+        }
+    } catch (...) {
+        if (!failed.exchange(true))
+            firstError = std::current_exception();
+        pending.fetch_sub(count - submitted, std::memory_order_release);
+    }
+    while (pending.load(std::memory_order_acquire) != 0) {
+        if (!ctx.pool->runOne())
+            std::this_thread::yield();
+    }
+    if (failed.load(std::memory_order_relaxed))
+        std::rethrow_exception(firstError);
+}
+
+/**
+ * Worker-local dirty marking. The dirty *bytes* are written in place —
+ * concurrent workers only ever touch disjoint cells (the same
+ * disjointness argument the parallel executor rests on), so the bytes
+ * race-free — but the EditState undo lists are shared, so flips are
+ * buffered locally and appended under the ctx mutex on flush.
+ */
+class DirtRecorder {
+  public:
+    explicit DirtRecorder(IncrCtx& ctx) : ctx_(ctx) {}
+    ~DirtRecorder() { flush(); }
+
+    /** Marks (col, node) dirty; returns true on a fresh node flip. */
+    void markCell(uint32_t col, NodeIdx node)
+    {
+        if (ctx_.dirtCols[col][node] == 0) {
+            ctx_.dirtCols[col][node] = 1;
+            cells_.push_back((static_cast<uint64_t>(col) << 32) | node);
+        }
+        if (ctx_.nodeDirt[node] == 0) {
+            ctx_.nodeDirt[node] = 1;
+            nodes_.push_back(node);
+        }
+    }
+
+    void flush()
+    {
+        if (cells_.empty() && nodes_.empty())
+            return;
+        std::lock_guard<std::mutex> lock(ctx_.recordMutex);
+        ctx_.es->dirtyCells.insert(ctx_.es->dirtyCells.end(), cells_.begin(),
+                                   cells_.end());
+        ctx_.es->dirtyNodes.insert(ctx_.es->dirtyNodes.end(), nodes_.begin(),
+                                   nodes_.end());
+        cells_.clear();
+        nodes_.clear();
+    }
+
+  private:
+    IncrCtx& ctx_;
+    std::vector<uint64_t> cells_;
+    std::vector<NodeIdx> nodes_;
+};
+
+/**
+ * The per-application core both strategies share: decide whether one
+ * EvalSpec instance at @p node must re-run (any read cell dirty, or
+ * the target itself dirty/virgin — the latter covers constant-RHS
+ * rules at appended nodes), recompute it if so, and propagate dirt
+ * only on a value change (early cutoff). OnDirty is invoked with the
+ * *owning node* of every freshly changed cell; the stack walk passes a
+ * no-op (its descent filter reads the dirt bytes directly), the wave
+ * walk enqueues readers.
+ */
+class SpecRunner {
+  public:
+    SpecRunner(IncrCtx& ctx, DirtRecorder& rec)
+        : ctx_(ctx), rec_(rec), evals_(ctx.program->evals().data()),
+          xcode_(ctx.program->exprPool().data()),
+          reads_(ctx.plan->readData()), collReads_(ctx.plan->collData()),
+          cols_(ctx.view.cols), zero_(ctx.view.zeroRow)
+    {
+        xstack_.resize(ctx.program->maxExprStack());
+    }
+
+    ~SpecRunner()
+    {
+        ctx_.checked += checked_;
+        ctx_.evaluated += evaluated_;
+        ctx_.dirtied += dirtied_;
+    }
+
+    bool cellDirty(uint32_t col, NodeIdx row) const
+    {
+        // Byte arrays are sized to the row capacity (zeroRow + 1), so
+        // absent-child reads through the zero row need no branch: the
+        // zero row's bytes are never set.
+        return (ctx_.virgin[row] | ctx_.dirtCols[col][row]) != 0;
+    }
+
+    template <class OnDirty>
+    void runSpec(uint32_t specIdx, NodeIdx node, const NodeIdx* kids,
+                 OnDirty&& onDirty)
+    {
+        const EvalSpec& spec = evals_[specIdx];
+        const NodeIdx target = kids[spec.targetSlot];
+        if (target == zero_)
+            return;
+        ++checked_;
+        bool need = cellDirty(spec.targetCol, target);
+        if (!need) {
+            const SpecReads& sr = ctx_.plan->reads(specIdx);
+            const ReadRef* r = reads_ + sr.begin;
+            for (uint32_t i = 0; i < sr.count && !need; ++i)
+                need = cellDirty(r[i].col, kids[r[i].slot]);
+            const CollReadRef* cr = collReads_ + sr.collBegin;
+            for (uint32_t i = 0; i < sr.collCount && !need; ++i) {
+                auto [beg, end] =
+                    ctx_.view.collection(node, cr[i].collSlot);
+                for (const NodeIdx* p = beg; p != end && !need; ++p)
+                    need = cellDirty(cr[i].col, *p);
+            }
+        }
+        if (!need)
+            return;
+        ++evaluated_;
+        const int64_t v = specValue(spec, node, kids);
+        int64_t& cell = cols_[spec.targetCol][target];
+        if (cell == v)
+            return; // early cutoff: dirt stops here
+        cell = v;
+        ++dirtied_;
+        rec_.markCell(spec.targetCol, target);
+        onDirty(target);
+    }
+
+    template <class OnDirty>
+    void runSpecRange(uint32_t begin, uint32_t count, NodeIdx node,
+                      const NodeIdx* kids, OnDirty&& onDirty)
+    {
+        for (uint32_t i = 0; i < count; ++i)
+            runSpec(begin + i, node, kids, onDirty);
+    }
+
+  private:
+    /** Mirrors Worker::evalRun's value computation, without the write. */
+    int64_t specValue(const EvalSpec& spec, NodeIdx node,
+                      const NodeIdx* kids)
+    {
+        switch (spec.kind) {
+        case EvalKind::Bytecode:
+            return runtime::detail::evalExpr(xcode_, spec.xbegin, cols_,
+                                             ctx_.view, node, kids,
+                                             xstack_.data());
+        case EvalKind::Copy:
+            return load(spec.a, kids);
+        case EvalKind::Un:
+            return wrapAbs(load(spec.a, kids)); // Un is always Abs
+        case EvalKind::Bin:
+            return runtime::detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                              load(spec.b, kids));
+        case EvalKind::TriL:
+            return runtime::detail::applyWrap(
+                spec.fn2,
+                runtime::detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                           load(spec.b, kids)),
+                load(spec.c, kids));
+        case EvalKind::TriR:
+            return runtime::detail::applyWrap(
+                spec.fn2, load(spec.a, kids),
+                runtime::detail::applyWrap(spec.fn1, load(spec.b, kids),
+                                           load(spec.c, kids)));
+        }
+        internalError("incr: bad eval kind");
+    }
+
+    int64_t load(const Operand& op, const NodeIdx* kids) const
+    {
+        if (op.slot == Operand::kConst)
+            return op.imm;
+        return cols_[op.col][kids[op.slot]];
+    }
+
+    IncrCtx& ctx_;
+    DirtRecorder& rec_;
+    const EvalSpec* evals_;
+    const XInst* xcode_;
+    const ReadRef* reads_;
+    const CollReadRef* collReads_;
+    int64_t* const* cols_;
+    const NodeIdx zero_;
+    std::vector<int64_t> xstack_;
+    uint64_t checked_ = 0;
+    uint64_t evaluated_ = 0;
+    uint64_t dirtied_ = 0;
+};
+
+/**
+ * Stack strategy: replay the program's own traversal, but descend only
+ * into *active* subtrees — spine nodes (edit seeds and their
+ * ancestors), dirty nodes (an inherited write just changed one of
+ * their cells, same thread, before the descent check), and virgin
+ * nodes. Everything else is provably clean: dirt reaches a rule only
+ * through self/child reads, the spine covers every ancestor of a seed,
+ * and a parent's writes into a child precede the child's visit in the
+ * verified schedule. The dispatch loop is a faithful copy of the
+ * executor Worker's (tail elision, in-place descent, reverse pushes,
+ * region forking) with the activity filter at every descent site and
+ * the incremental run condition at every eval.
+ */
+class StackWorker {
+  public:
+    StackWorker(IncrCtx& ctx, const uint8_t* spine)
+        : ctx_(ctx), spine_(spine), rec_(ctx), specs_(ctx, rec_),
+          code_(ctx.program->code().data()),
+          entry_(ctx.program->entryData()), cls_(ctx.view.cls),
+          scalarBase_(ctx.view.scalarBase), scalars_(ctx.view.scalars),
+          zero_(ctx.view.zeroRow)
+    {
+    }
+
+    ~StackWorker() { ctx_.visits += visits_; }
+
+    bool active(NodeIdx n) const
+    {
+        return (spine_[n] | ctx_.nodeDirt[n] | ctx_.virgin[n]) != 0;
+    }
+
+    void run(NodeIdx root)
+    {
+        stack_.clear();
+        pushFrame(root);
+        auto noEnqueue = [](NodeIdx) {};
+        while (!stack_.empty()) {
+            Frame f = stack_.back();
+            stack_.pop_back();
+            const NodeIdx* kids = scalars_ + scalarBase_[f.node];
+            bool live = true;
+            while (live) {
+                const Inst inst = code_[f.pc];
+                ++f.pc;
+                switch (inst.op) {
+                case Op::Eval:
+                    specs_.runSpecRange(inst.a, inst.b, f.node, kids,
+                                        noEnqueue);
+                    break;
+                case Op::Recur: {
+                    NodeIdx child = kids[inst.a];
+                    if (child != zero_ && active(child)) {
+                        if (code_[f.pc].op != Op::Ret)
+                            stack_.push_back(f);
+                        f = {child, entry_[cls_[child]]};
+                        kids = scalars_ + scalarBase_[child];
+                        ++visits_;
+                    }
+                    break;
+                }
+                case Op::Iterate: {
+                    auto [beg, end] = ctx_.view.collection(f.node, inst.a);
+                    branches_.clear();
+                    for (const NodeIdx* p = beg; p != end; ++p) {
+                        if (active(*p))
+                            branches_.push_back(*p);
+                    }
+                    if (!branches_.empty()) {
+                        if (code_[f.pc].op != Op::Ret)
+                            stack_.push_back(f);
+                        for (auto it = branches_.rbegin();
+                             it != branches_.rend(); ++it)
+                            pushFrame(*it);
+                        live = false;
+                    }
+                    break;
+                }
+                case Op::ParBegin: {
+                    branches_.clear();
+                    uint32_t pc = f.pc;
+                    for (;; ++pc) {
+                        const Inst b = code_[pc];
+                        if (b.op == Op::ParRecur) {
+                            NodeIdx t = kids[b.a];
+                            if (t != zero_ && active(t))
+                                branches_.push_back(t);
+                        } else if (b.op == Op::ParColl) {
+                            auto [beg, end] =
+                                ctx_.view.collection(f.node, b.a);
+                            for (const NodeIdx* p = beg; p != end; ++p) {
+                                if (active(*p))
+                                    branches_.push_back(*p);
+                            }
+                        } else {
+                            break; // ParEnd
+                        }
+                    }
+                    f.pc = pc + 1;
+                    live = branches_.empty() || dispatchRegion(f);
+                    break;
+                }
+                case Op::Ret:
+                    live = false;
+                    break;
+                case Op::ParRecur:
+                case Op::ParColl:
+                case Op::ParEnd:
+                    internalError("incr: region op outside a region");
+                }
+            }
+        }
+    }
+
+  private:
+    struct Frame {
+        NodeIdx node;
+        uint32_t pc;
+    };
+
+    void pushFrame(NodeIdx node)
+    {
+        stack_.push_back({node, entry_[cls_[node]]});
+        ++visits_;
+    }
+
+    bool dispatchRegion(const Frame& f)
+    {
+        size_t grain = ctx_.grain;
+        size_t chunkCount = (branches_.size() + grain - 1) / grain;
+        if (chunkCount <= 1 && branches_.size() >= 2 &&
+            ctx_.pool != nullptr && f.node < ctx_.spawnPrefix) {
+            grain = 1;
+            chunkCount = branches_.size();
+        }
+        if (ctx_.pool == nullptr || chunkCount <= 1) {
+            if (code_[f.pc].op != Op::Ret)
+                stack_.push_back(f);
+            for (auto it = branches_.rbegin(); it != branches_.rend(); ++it)
+                pushFrame(*it);
+            return false;
+        }
+        forkJoin(ctx_, chunkCount, [&](size_t chunk, auto& guard) {
+            const NodeIdx* beg = branches_.data() + chunk * grain;
+            const NodeIdx* end = branches_.data() +
+                std::min(branches_.size(), (chunk + 1) * grain);
+            ctx_.pool->submit(
+                [&ctx = ctx_, spine = spine_, beg, end, guard] {
+                    guard([&] {
+                        StackWorker sub(ctx, spine);
+                        for (const NodeIdx* p = beg; p != end; ++p)
+                            sub.run(*p);
+                    });
+                });
+        });
+        return true;
+    }
+
+    IncrCtx& ctx_;
+    const uint8_t* spine_;
+    DirtRecorder rec_;
+    SpecRunner specs_;
+    const Inst* code_;
+    const uint32_t* entry_;
+    const sem::ClassId* cls_;
+    const uint32_t* scalarBase_;
+    const NodeIdx* scalars_;
+    const NodeIdx zero_;
+    std::vector<Frame> stack_;
+    std::vector<NodeIdx> branches_;
+    uint64_t visits_ = 0;
+};
+
+/**
+ * Wave strategy (sweepable programs): the segmented sweep's
+ * level-synchronous order, restricted to candidate nodes. Candidates
+ * live in per-depth lists with a once-per-phase stamp; the pre pass
+ * runs levels ascending, the post pass descending, and every dirtying
+ * write enqueues exactly the nodes whose rules could read the changed
+ * cell — the cell's own node and its parent (L_a). During the pre
+ * pass a write can reach a *deeper* node (an inherited write into a
+ * child), whose own pre wave is still ahead; during the post pass
+ * every reachable reader sits at the current level (runs in spec
+ * order on this very node) or above (a later, shallower wave), so
+ * enqueueing the parent suffices. Wide waves chunk onto the pool with
+ * the executor's per-level barrier argument; enqueues from parallel
+ * chunks are deferred and replayed after the join.
+ */
+class WaveRunner {
+  public:
+    explicit WaveRunner(IncrCtx& ctx)
+        : ctx_(ctx), rec_(ctx), specs_(ctx, rec_),
+          sweeps_(ctx.program->sweepData()), cls_(ctx.view.cls),
+          scalarBase_(ctx.view.scalarBase), scalars_(ctx.view.scalars)
+    {
+        const uint32_t levels = ctx_.es->maxDepth + 1;
+        pre_.resize(levels);
+        post_.resize(levels);
+        preQ_.assign(ctx_.view.size, 0);
+        postQ_.assign(ctx_.view.size, 0);
+    }
+
+    void enqueuePre(NodeIdx n)
+    {
+        if (!ctx_.isLive(n) || preQ_[n])
+            return;
+        preQ_[n] = 1;
+        pre_[ctx_.depth[n]].push_back(n);
+    }
+
+    void enqueuePost(NodeIdx n)
+    {
+        if (!ctx_.isLive(n) || postQ_[n])
+            return;
+        postQ_[n] = 1;
+        post_[ctx_.depth[n]].push_back(n);
+    }
+
+    void seed()
+    {
+        for (NodeIdx s : ctx_.es->seeds) {
+            if (!ctx_.isLive(s))
+                continue; // a later edit orphaned this region
+            enqueuePre(s);
+            enqueuePost(s);
+            const NodeIdx p = ctx_.parent[s];
+            if (p != kNone) {
+                // Parent rules may read the seed's cells (inputs in
+                // the pre pass, outputs in the post pass).
+                enqueuePre(p);
+                enqueuePost(p);
+            }
+        }
+        for (const auto& [b, e] : ctx_.es->virginRanges) {
+            for (NodeIdx n = b; n < e; ++n) {
+                if (!ctx_.isLive(n))
+                    continue;
+                enqueuePre(n);
+                enqueuePost(n);
+            }
+        }
+    }
+
+    void run()
+    {
+        seed();
+        pre_phase_ = true;
+        // Deeper lists may grow while a level runs (inherited writes
+        // enqueue children); same-level growth is impossible — a pre
+        // write targets self (already stamped) or a child one level
+        // down — so swapping the wave out before running it is safe.
+        for (uint32_t l = 0; l < pre_.size(); ++l) {
+            curLevel_ = l;
+            runWave(pre_[l], /*pre=*/true);
+        }
+        pre_phase_ = false;
+        for (uint32_t l = static_cast<uint32_t>(post_.size()); l-- > 0;) {
+            curLevel_ = l;
+            runWave(post_[l], /*pre=*/false);
+        }
+    }
+
+  private:
+    /**
+     * A cell of @p m changed. Pre pass: m's own rules may read it (its
+     * pre wave is ahead only when m sits deeper than the current
+     * level; its post wave is always ahead), and so may its parent's
+     * (post pass). Post pass: only the parent's still-ahead post wave
+     * can read it (a deeper node's waves are all done, and a write
+     * into one would have been a schedule violation).
+     */
+    void onDirty(NodeIdx m)
+    {
+        if (pre_phase_) {
+            if (ctx_.depth[m] > curLevel_)
+                enqueuePre(m);
+            enqueuePost(m);
+        }
+        const NodeIdx p = ctx_.parent[m];
+        if (p != kNone)
+            enqueuePost(p);
+    }
+
+    void runNode(SpecRunner& specs, NodeIdx n, bool pre,
+                 std::vector<NodeIdx>* deferred)
+    {
+        const SweepCase& sc = sweeps_[cls_[n]];
+        const uint32_t begin = pre ? sc.preBegin : sc.postBegin;
+        const uint32_t count = pre ? sc.preCount : sc.postCount;
+        if (count == 0)
+            return;
+        const NodeIdx* kids = scalars_ + scalarBase_[n];
+        if (deferred != nullptr) {
+            specs.runSpecRange(begin, count, n, kids,
+                               [&](NodeIdx m) { deferred->push_back(m); });
+        } else {
+            specs.runSpecRange(begin, count, n, kids,
+                               [&](NodeIdx m) { onDirty(m); });
+        }
+    }
+
+    void runWave(std::vector<NodeIdx>& list, bool pre)
+    {
+        if (list.empty())
+            return;
+        std::vector<NodeIdx> wave;
+        wave.swap(list);
+        ++ctx_.waves;
+        ctx_.visits += wave.size();
+        const size_t grain = ctx_.grain;
+        if (ctx_.pool == nullptr || wave.size() < 2 * grain) {
+            for (NodeIdx n : wave)
+                runNode(specs_, n, pre, nullptr);
+            return;
+        }
+        // Parallel chunks: same-wave nodes touch pairwise-disjoint
+        // cells, so the spec runs race-free; enqueues are deferred to
+        // per-chunk buffers and replayed after the barrier (the queue
+        // vectors are not thread-safe).
+        const size_t chunkCount = (wave.size() + grain - 1) / grain;
+        std::vector<std::vector<NodeIdx>> deferred(chunkCount);
+        forkJoin(ctx_, chunkCount, [&](size_t chunk, auto& guard) {
+            const size_t b = chunk * grain;
+            const size_t e = std::min(wave.size(), b + grain);
+            std::vector<NodeIdx>* out = &deferred[chunk];
+            ctx_.pool->submit([this, &wave, b, e, pre, out, guard] {
+                guard([&] {
+                    DirtRecorder rec(ctx_);
+                    SpecRunner specs(ctx_, rec);
+                    for (size_t i = b; i < e; ++i)
+                        runNode(specs, wave[i], pre, out);
+                });
+            });
+        });
+        for (const auto& chunk : deferred) {
+            for (NodeIdx m : chunk)
+                onDirty(m);
+        }
+    }
+
+    IncrCtx& ctx_;
+    DirtRecorder rec_;
+    SpecRunner specs_;
+    const SweepCase* sweeps_;
+    const sem::ClassId* cls_;
+    const uint32_t* scalarBase_;
+    const NodeIdx* scalars_;
+    std::vector<std::vector<NodeIdx>> pre_;
+    std::vector<std::vector<NodeIdx>> post_;
+    std::vector<uint8_t> preQ_;
+    std::vector<uint8_t> postQ_;
+    bool pre_phase_ = true;
+    uint32_t curLevel_ = 0;
+};
+
+IncrStats
+runIncremental(const Program& program, const IncrPlan& plan,
+               const ArenaView& view, EditState& es,
+               const IncrOptions& options)
+{
+    IncrStats stats;
+    stats.editsApplied = es.editsApplied;
+    stats.seeds = es.seeds.size();
+    stats.virginNodes = es.virginCount();
+
+    IncrStrategy strategy = options.strategy;
+    if (strategy == IncrStrategy::Auto) {
+        // A narrow frontier (the common single-edit case) touches few
+        // nodes per level, so wave setup (two stamp arrays over the
+        // arena) dwarfs the walk; go level-synchronous only when the
+        // frontier is wide enough to fill waves.
+        const uint64_t frontier =
+            es.seeds.size() + stats.virginNodes + es.dirtyNodes.size();
+        strategy = program.sweepable() && frontier > 2048
+                       ? IncrStrategy::Wave
+                       : IncrStrategy::Stack;
+    } else if (strategy == IncrStrategy::Wave && !program.sweepable()) {
+        userError("incr: the wave strategy requires a sweepable "
+                  "(sandwich-shaped) program; use the stack strategy");
+    }
+
+    obs::Telemetry& telemetry = options.telemetry != nullptr
+                                    ? *options.telemetry
+                                    : obs::Telemetry::nil();
+
+    IncrCtx ctx;
+    ctx.program = &program;
+    ctx.plan = &plan;
+    ctx.view = view;
+    ctx.es = &es;
+    ctx.pool = options.pool;
+    ctx.grain = std::max<uint32_t>(
+        1,
+        std::min<uint32_t>(options.grain, std::max<uint32_t>(view.size, 1)));
+    ctx.spawnPrefix = std::min<NodeIdx>(options.spawnPrefix, view.size);
+    ctx.dirtCols.resize(es.dirty.size());
+    for (size_t col = 0; col < es.dirty.size(); ++col)
+        ctx.dirtCols[col] = es.dirty[col].data();
+    ctx.nodeDirt = es.nodeDirt.data();
+    ctx.virgin = es.virgin.data();
+    ctx.live = es.structural ? es.live.data() : nullptr;
+    ctx.parent = es.parent.data();
+    ctx.depth = es.depth.data();
+
+    if (strategy == IncrStrategy::Wave) {
+        auto span = telemetry.span("incr.wave", "incr");
+        stats.usedWave = true;
+        WaveRunner runner(ctx);
+        runner.run();
+    } else {
+        auto span = telemetry.span("incr.stack", "incr");
+        // The spine: every seed and every ancestor of one. Parents of
+        // dirty nodes must run (they read child cells), and the walk
+        // can only reach them from a root, so the whole ancestor chain
+        // is active.
+        std::vector<uint8_t> spine(view.size, 0);
+        for (NodeIdx s : ctx.es->seeds) {
+            if (!ctx.isLive(s))
+                continue;
+            for (NodeIdx p = s; p != kNone && !spine[p]; p = ctx.parent[p])
+                spine[p] = 1;
+        }
+        StackWorker worker(ctx, spine.data());
+        for (uint32_t r = 0; r < view.rootCount; ++r) {
+            const NodeIdx root = view.roots[r];
+            if (worker.active(root))
+                worker.run(root);
+        }
+    }
+
+    stats.nodesVisited = ctx.visits;
+    stats.rulesChecked = ctx.checked;
+    stats.rulesEvaluated = ctx.evaluated;
+    stats.cellsDirtied = ctx.dirtied;
+    stats.levelWaves = ctx.waves;
+    stats.tasksSpawned = ctx.tasks;
+    return stats;
+}
+
+} // namespace
+
+IncrStats
+reexecute(const Program& program, const IncrPlan& plan,
+          runtime::TreeArena& arena, const IncrOptions& options)
+{
+    checkInvariant(&arena.grammar() == &program.grammar(),
+                   "incr: program compiled for a different grammar");
+    EditState* es = arena.edits();
+    if (es == nullptr || !es->hasPendingDirt())
+        return {};
+    IncrStats stats =
+        runIncremental(program, plan, arena.view(), *es, options);
+    arena.clearDirt();
+    return stats;
+}
+
+IncrStats
+reexecute(const Program& program, const IncrPlan& plan,
+          runtime::ForestArena& forest, const IncrOptions& options)
+{
+    runtime::TreeArena& flat = forest.flat();
+    checkInvariant(&flat.grammar() == &program.grammar(),
+                   "incr: program compiled for a different grammar");
+    EditState* es = flat.edits();
+    if (es == nullptr || !es->hasPendingDirt())
+        return {};
+    if (es->structural)
+        userError("incr: structural edits on a packed forest are not "
+                  "supported; edit the source tree and repack");
+    IncrStats stats =
+        runIncremental(program, plan, forest.view(), *es, options);
+    flat.clearDirt();
+    return stats;
+}
+
+} // namespace hecate::incr

@@ -1,0 +1,99 @@
+#pragma once
+
+/**
+ * @file
+ * incr::reexecute — schedule-ordered partial re-execution after tree
+ * edits.
+ *
+ * The full executor recomputes every attribute cell; after a handful
+ * of edits, almost all of that work reproduces values that are already
+ * correct. reexecute() re-runs rule applications *in the schedule's
+ * own order* but only where dirt can reach, with value-change early
+ * cutoff (a re-run whose result equals the stored value propagates no
+ * further). Correctness rests on two facts: (1) re-running a subset of
+ * the full schedule in schedule order, where the subset contains every
+ * application with a dirty read (or a virgin/dirty target), reproduces
+ * the full run's fixpoint by induction over the schedule's total
+ * order; and (2) L_a locality — a rule reads only self and child cells
+ * — bounds dirt propagation to the parent/child edges the two walk
+ * strategies follow:
+ *
+ *  - Stack: descend from the roots along the spine (edit seeds plus
+ *    their ancestors) and into any subtree whose root is marked dirty
+ *    or virgin, replaying the program's traversal ops. `parallel`
+ *    regions still fork onto the pool.
+ *  - Wave: for sweepable programs, a segmented-sweep analogue — per
+ *    depth level, pre candidates run in ascending waves and post
+ *    candidates in descending waves, and every dirtying write enqueues
+ *    exactly the nodes whose rules could read it (itself, its parent,
+ *    and — during the pre pass — the written child). Wide waves chunk
+ *    onto the pool with the same per-level barrier argument as the
+ *    full segmented strategy.
+ *
+ * Both paths are validated differentially against full recompute on
+ * every bundled grammar (tests/test_incr.cpp). Dirt is consumed: a
+ * successful reexecute() clears the arena's pending edit state.
+ */
+
+#include <cstdint>
+
+#include "incr/plan.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/forest.hpp"
+
+namespace hecate::obs {
+class Telemetry;
+}
+
+namespace hecate::incr {
+
+/** How reexecute() walks the dirty region. */
+enum class IncrStrategy : uint8_t {
+    Auto,  ///< Wave for sweepable programs with wide frontiers, else Stack
+    Stack, ///< spine-guided traversal replay (any program)
+    Wave,  ///< level-synchronous dirty waves (sweepable programs only)
+};
+
+/** Knobs; defaults mirror runtime::ExecOptions. */
+struct IncrOptions {
+    ThreadPool* pool = nullptr;
+    uint32_t grain = 1024;
+    uint32_t spawnPrefix = 1024;
+    IncrStrategy strategy = IncrStrategy::Auto;
+    obs::Telemetry* telemetry = nullptr;
+};
+
+/** Counters from one incremental re-execution. */
+struct IncrStats {
+    uint64_t editsApplied = 0;  ///< edits pending when the run started
+    uint64_t seeds = 0;         ///< edit seed nodes
+    uint64_t virginNodes = 0;   ///< appended (never-computed) nodes
+    uint64_t nodesVisited = 0;  ///< nodes the dirty walk reached
+    uint64_t rulesChecked = 0;  ///< rule applications whose reads were scanned
+    uint64_t rulesEvaluated = 0; ///< rule applications actually re-run
+    uint64_t cellsDirtied = 0;  ///< cells whose value changed during the run
+    uint64_t levelWaves = 0;    ///< waves executed (Wave strategy)
+    uint64_t tasksSpawned = 0;  ///< pool tasks (regions + wave chunks)
+    bool usedWave = false;
+};
+
+/**
+ * Re-evaluate @p arena's dirty region under @p program. The arena must
+ * previously have been fully executed with the same program (outputs
+ * at non-dirty cells are trusted). No-op when no edits are pending.
+ * Throws UserError when options.strategy names Wave for a
+ * non-sweepable program. Clears the arena's pending dirt on success.
+ */
+IncrStats reexecute(const runtime::Program& program, const IncrPlan& plan,
+                    runtime::TreeArena& arena, const IncrOptions& options = {});
+
+/**
+ * Forest overload: input mutations only (structural edits would break
+ * the packed tree blocks and are rejected). Per-tree isolation falls
+ * out of the walk: dirt never crosses tree-block boundaries.
+ */
+IncrStats reexecute(const runtime::Program& program, const IncrPlan& plan,
+                    runtime::ForestArena& forest,
+                    const IncrOptions& options = {});
+
+} // namespace hecate::incr

@@ -14,7 +14,9 @@
 
 #include "exec/interp.hpp"
 #include "pipeline/pipeline.hpp"
+#include "service/prewarm_index.hpp"
 #include "support/diagnostics.hpp"
+#include "support/timer.hpp"
 
 namespace hecate::net {
 
@@ -257,6 +259,25 @@ Server::start()
     for (size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
     pollThread_ = std::thread([this] { pollLoop(); });
+
+    // Under --tier auto, first requests run on bytecode until poll()
+    // resolves their module; pre-loading the persisted artifact store
+    // off the request path lets warm keys hot-swap to native on their
+    // very first poll. Background thread: startup must not wait on
+    // dlopen of an arbitrary number of artifacts.
+    if (service_->tier() == service::ExecTier::Auto &&
+        !service_->nativeTier().cache().dir().empty()) {
+        prewarmThread_ = std::thread([this] {
+            service::PrewarmReport report = service::prewarmNativeCache(
+                service_->nativeTier().cache(), telemetry_);
+            if (report.loaded > 0 || report.skipped > 0)
+                std::fprintf(stderr,
+                             "serve: prewarmed %zu native module(s) "
+                             "in %.1fms (%zu skipped)\n",
+                             report.loaded, report.seconds * 1e3,
+                             report.skipped);
+        });
+    }
     started_.store(true);
 }
 
@@ -281,6 +302,8 @@ Server::wakePoll()
 void
 Server::waitUntilStopped()
 {
+    if (prewarmThread_.joinable())
+        prewarmThread_.join();
     if (pollThread_.joinable())
         pollThread_.join();
     {
@@ -721,7 +744,8 @@ Server::dispatchRequest(const std::shared_ptr<Connection>& conn,
         requestDrain();
         return;
     }
-    if (op != "synth" && op != "run" && op != "batch") {
+    if (op != "synth" && op != "run" && op != "batch" && op != "edit" &&
+        op != "reexec") {
         ++malformedRequests_;
         sendResponse(conn, errorResponse(request, "unknown_op",
                                          "op '" + op + "'"));
@@ -800,10 +824,10 @@ Server::workerLoop()
                     .count();
             if (job.op == "synth")
                 latencySynth_.recordSeconds(seconds);
-            else if (job.op == "run")
-                latencyRun_.recordSeconds(seconds);
-            else
+            else if (job.op == "batch")
                 latencyBatch_.recordSeconds(seconds);
+            else // run / edit / reexec share the run histogram
+                latencyRun_.recordSeconds(seconds);
             sendResponse(job.conn, response);
         } catch (const std::exception& error) {
             // Nothing may escape a worker thread: an uncaught
@@ -837,6 +861,10 @@ Server::executeJob(const Job& job)
             result = executeSynth(job.request);
         else if (job.op == "run")
             result = executeRun(job.request);
+        else if (job.op == "edit")
+            result = executeEdit(job.request);
+        else if (job.op == "reexec")
+            result = executeReexec(job.request);
         else
             result = executeBatch(job.request);
         JsonObject out = result.asObject();
@@ -914,16 +942,19 @@ Server::executeRun(const Json& request)
 
     // The schedule is now in the cache; a fresh pipeline resolves it
     // from there and runs the execution stages.
+    const std::string session = request.stringOr("session", "");
     obs::Telemetry local;
     pipeline::PipelineOptions options;
     options.config = synth.config;
     options.rootInterface = synth.rootInterface;
     options.cache = &service_->cache();
-    options.telemetry = &local;
+    // A pinned pipeline outlives this request, so it must not point at
+    // the stack-scoped sink; the shared server sink is mutex-guarded.
+    options.telemetry = session.empty() ? &local : telemetry_;
     options.nativeTier = &service_->nativeTier();
     options.tier = service_->tier();
-    pipeline::Pipeline pipe(synth.grammarSrc, synth.traversalSrc,
-                            std::move(options));
+    auto pipe = std::make_unique<pipeline::Pipeline>(
+        synth.grammarSrc, synth.traversalSrc, std::move(options));
 
     const Json* treeSpec = request.find("tree");
     runtime::ExecOptions exec;
@@ -931,8 +962,8 @@ Server::executeRun(const Json& request)
 
     std::optional<pipeline::ExecuteArtifact> artifact;
     if (treeSpec != nullptr) {
-        tree::Tree tree = decodeTree(pipe.grammar(), *treeSpec);
-        artifact.emplace(pipe.executeTree(tree, exec));
+        tree::Tree tree = decodeTree(pipe->grammar(), *treeSpec);
+        artifact.emplace(pipe->executeTree(tree, exec));
     } else {
         int64_t treeSize = request.intOr("tree_size", 1000);
         int64_t treeDepth = request.intOr("tree_depth", 0);
@@ -946,9 +977,10 @@ Server::executeRun(const Json& request)
         run.gen.maxDepth = static_cast<uint32_t>(treeDepth);
         run.gen.seed = static_cast<uint64_t>(seed);
         run.exec = exec;
-        artifact.emplace(pipe.execute(run));
+        artifact.emplace(pipe->execute(run));
     }
-    telemetry_->absorb(local);
+    if (session.empty())
+        telemetry_->absorb(local);
 
     JsonObject out;
     out.emplace("ok", Json(true));
@@ -963,7 +995,7 @@ Server::executeRun(const Json& request)
 
     if (request.boolOr("check", false)) {
         uint64_t mismatches =
-            countMismatches(pipe.grammar(), artifact->arena);
+            countMismatches(pipe->grammar(), artifact->arena);
         out.emplace("check",
                     Json(mismatches == 0 ? "ok" : "mismatch"));
         out.emplace("mismatches", Json(mismatches));
@@ -972,7 +1004,180 @@ Server::executeRun(const Json& request)
     }
     if (treeSpec != nullptr && request.boolOr("return_outputs", false))
         out.emplace("nodes_out",
-                    encodeOutputs(pipe.grammar(), artifact->arena));
+                    encodeOutputs(pipe->grammar(), artifact->arena));
+
+    if (!session.empty()) {
+        auto pinned = std::make_shared<PinnedSession>();
+        pinned->pipe = std::move(pipe);
+        pinned->arena = std::make_unique<runtime::TreeArena>(
+            std::move(artifact->arena));
+        pinSession(sessionKey(request), std::move(pinned));
+        out.emplace("session", Json(session));
+    }
+    return Json(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Pinned sessions: edit + reexec
+// ---------------------------------------------------------------------------
+
+std::string
+Server::sessionKey(const Json& request)
+{
+    // Sessions are namespaced per client so one client cannot edit
+    // another's pinned arena by guessing a session name.
+    return request.stringOr("client", "anon") + '\x1f' +
+           request.stringOr("session", "");
+}
+
+std::shared_ptr<Server::PinnedSession>
+Server::findSession(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    auto it = sessions_.find(key);
+    if (it == sessions_.end())
+        return nullptr;
+    it->second->lastUsed = ++sessionTick_;
+    return it->second;
+}
+
+void
+Server::pinSession(const std::string& key,
+                   std::shared_ptr<PinnedSession> session)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    session->lastUsed = ++sessionTick_;
+    auto [it, inserted] = sessions_.insert_or_assign(key,
+                                                     std::move(session));
+    (void)it;
+    if (inserted)
+        ++sessionsCreated_;
+    while (sessions_.size() > std::max<size_t>(1, options_.maxSessions)) {
+        auto victim = sessions_.begin();
+        for (auto walk = sessions_.begin(); walk != sessions_.end(); ++walk)
+            if (walk->second->lastUsed < victim->second->lastUsed)
+                victim = walk;
+        if (victim->first == key)
+            break; // never evict the entry we just pinned
+        sessions_.erase(victim);
+        ++sessionsEvicted_;
+    }
+}
+
+Json
+Server::executeEdit(const Json& request)
+{
+    const std::string session = request.stringOr("session", "");
+    if (session.empty())
+        userError("edit requires a 'session' field");
+    std::shared_ptr<PinnedSession> pinned = findSession(sessionKey(request));
+    if (pinned == nullptr)
+        return errorResponse(request, "unknown_session",
+                             "no pinned arena for session '" + session +
+                                 "' (run with \"session\" first)");
+
+    const Json* editsField = request.find("edits");
+    if (editsField == nullptr || !editsField->isArray())
+        userError("edit requires an 'edits' array");
+    std::vector<incr::Edit> edits;
+    for (const Json& item : editsField->asArray()) {
+        incr::Edit e;
+        const std::string kind = item.stringOr("kind", "mutate");
+        int64_t node = item.intOr("node", -1);
+        if (node < 0)
+            userError("edit: 'node' must be a non-negative node index");
+        e.node = static_cast<runtime::NodeIdx>(node);
+        if (kind == "mutate") {
+            e.kind = incr::Edit::Kind::MutateInput;
+            int64_t attr = item.intOr("attr", 0);
+            if (attr < 0)
+                userError("edit: 'attr' must be a non-negative "
+                          "attribute id");
+            e.attr = static_cast<sem::AttrId>(attr);
+            e.value = item.intOr("value", 0);
+        } else if (kind == "replace") {
+            e.kind = incr::Edit::Kind::ReplaceSubtree;
+            int64_t nodes = item.intOr("subtree_nodes", 8);
+            if (nodes < 1 || nodes > kMaxTreeSize)
+                userError("edit: 'subtree_nodes' out of range");
+            e.subtreeNodes = static_cast<uint32_t>(nodes);
+            int64_t seed = item.intOr("seed", 1);
+            if (seed < 0)
+                userError("edit: 'seed' must be non-negative");
+            e.seed = static_cast<uint64_t>(seed);
+        } else {
+            userError("edit: unknown kind '" + kind +
+                      "' (expected 'mutate' or 'replace')");
+        }
+        edits.push_back(e);
+    }
+
+    std::lock_guard<std::mutex> lock(pinned->mutex);
+    uint64_t applied = pinned->pipe->edit(*pinned->arena, edits);
+    JsonObject out;
+    out.emplace("ok", Json(true));
+    out.emplace("session", Json(session));
+    out.emplace("edits", Json(applied));
+    out.emplace("nodes", Json(uint64_t{pinned->arena->size()}));
+    return Json(std::move(out));
+}
+
+Json
+Server::executeReexec(const Json& request)
+{
+    const std::string session = request.stringOr("session", "");
+    if (session.empty())
+        userError("reexec requires a 'session' field");
+    std::shared_ptr<PinnedSession> pinned = findSession(sessionKey(request));
+    if (pinned == nullptr)
+        return errorResponse(request, "unknown_session",
+                             "no pinned arena for session '" + session +
+                                 "' (run with \"session\" first)");
+
+    incr::IncrOptions incrOptions;
+    const std::string strategy = request.stringOr("strategy", "auto");
+    if (strategy == "auto")
+        incrOptions.strategy = incr::IncrStrategy::Auto;
+    else if (strategy == "stack")
+        incrOptions.strategy = incr::IncrStrategy::Stack;
+    else if (strategy == "wave")
+        incrOptions.strategy = incr::IncrStrategy::Wave;
+    else
+        userError("reexec: unknown strategy '" + strategy +
+                  "' (expected 'auto', 'stack' or 'wave')");
+
+    std::lock_guard<std::mutex> lock(pinned->mutex);
+    Timer timer;
+    incr::IncrStats stats =
+        pinned->pipe->reexecute(*pinned->arena, incrOptions);
+    const double seconds = timer.seconds();
+
+    JsonObject out;
+    out.emplace("ok", Json(true));
+    out.emplace("session", Json(session));
+    out.emplace("nodes", Json(uint64_t{pinned->arena->size()}));
+    out.emplace("checksum", Json(pinned->arena->checksum()));
+    out.emplace("edits_applied", Json(stats.editsApplied));
+    out.emplace("seeds", Json(stats.seeds));
+    out.emplace("virgin_nodes", Json(stats.virginNodes));
+    out.emplace("nodes_visited", Json(stats.nodesVisited));
+    out.emplace("rules_checked", Json(stats.rulesChecked));
+    out.emplace("rules_evaluated", Json(stats.rulesEvaluated));
+    out.emplace("cells_dirtied", Json(stats.cellsDirtied));
+    out.emplace("level_waves", Json(stats.levelWaves));
+    out.emplace("walk", Json(stats.usedWave ? "wave" : "stack"));
+    out.emplace("reexec_ms", Json(seconds * 1e3));
+
+    if (request.boolOr("check", false)) {
+        // Structural edits orphan rows in place, so the differential
+        // reference only lines up against the compacted arena.
+        uint64_t mismatches = countMismatches(
+            pinned->pipe->grammar(), pinned->arena->compact());
+        out.emplace("check", Json(mismatches == 0 ? "ok" : "mismatch"));
+        out.emplace("mismatches", Json(mismatches));
+        if (mismatches != 0)
+            out.insert_or_assign("ok", Json(false));
+    }
     return Json(std::move(out));
 }
 
@@ -1107,6 +1312,16 @@ Server::handleMetrics()
     nativeOut.emplace("corrupt_evicted",
                       Json(nativeCache.corruptEvicted));
     out.emplace("native", Json(std::move(nativeOut)));
+
+    JsonObject sessionsOut;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessionsOut.emplace("active", Json(uint64_t{sessions_.size()}));
+    }
+    sessionsOut.emplace("capacity", Json(uint64_t{options_.maxSessions}));
+    sessionsOut.emplace("created", Json(sessionsCreated_.load()));
+    sessionsOut.emplace("evicted", Json(sessionsEvicted_.load()));
+    out.emplace("sessions", Json(std::move(sessionsOut)));
 
     service::ServiceStats svc = service_->stats();
     JsonObject svcOut;

@@ -13,7 +13,8 @@
  * length-prefixed JSON, one request object per frame — see
  * README "Serving" for the full request/response schema.
  *
- * Admission policy, in order, for the work ops (synth / run / batch):
+ * Admission policy, in order, for the work ops (synth / run / batch /
+ * edit / reexec):
  *
  *  1. per-client token-bucket quota (client id = the request's
  *     "client" field): over quota -> {"error":"quota_exceeded",
@@ -22,6 +23,13 @@
  *     "retry_after_ms":...}. The queue bound is the server's only
  *     request memory: admission never buffers unbounded work, so
  *     overload degrades into cheap rejections, not growth.
+ *
+ * A run request carrying a "session" field pins its pipeline and
+ * executed arena server-side (bounded LRU table, ServeOptions::
+ * maxSessions); subsequent `edit` ops mutate the pinned tree through
+ * the incremental edit API and `reexec` heals it with a partial
+ * re-execution (src/incr/) instead of a full recompute. Both are
+ * quota-accounted and queue-bounded exactly like `run`.
  *
  * Cheap ops (ping / metrics / cache_stats / drain) are answered
  * inline on the poll thread — the metrics endpoint stays live even
@@ -68,6 +76,13 @@
 #include "obs/telemetry.hpp"
 #include "service/synth_service.hpp"
 
+namespace hecate::pipeline {
+class Pipeline;
+}
+namespace hecate::runtime {
+class TreeArena;
+}
+
 namespace hecate::net {
 
 /** True for 127.0.0.0/8 (@p addr in host byte order). */
@@ -99,6 +114,14 @@ struct ServeOptions {
     double quotaBurst = 0.0;
     uint32_t retryAfterMs = 50;    ///< hint in over_capacity rejections
     uint32_t drainGraceMs = 5000;  ///< max wait for unflushed responses
+    /**
+     * Bound on pinned arena sessions (run requests carrying a
+     * "session" field keep their arena server-side for later `edit` /
+     * `reexec` ops). The least-recently-used session is evicted when
+     * the table is full; an in-flight op keeps its evicted session
+     * alive until it completes.
+     */
+    size_t maxSessions = 16;
     std::string cacheDir;          ///< warm-load at start, persist at drain
     service::ServiceConfig service; ///< inner SynthService knobs
     /** Serve-wide telemetry sink; null = server-owned internal sink. */
@@ -245,10 +268,32 @@ class Server {
     Json handleCacheStats();
 
     /** Worker-side execution of one admitted job. */
+    /**
+     * One client-pinned arena: the pipeline that compiled its program
+     * (and incremental plan) plus the executed arena, kept server-side
+     * so `edit` / `reexec` requests can mutate and incrementally heal
+     * it across round trips. `mutex` serializes ops on one session;
+     * the table lock (sessionsMutex_) is never held across an op.
+     */
+    struct PinnedSession {
+        std::mutex mutex;
+        std::unique_ptr<pipeline::Pipeline> pipe;
+        std::unique_ptr<runtime::TreeArena> arena;
+        uint64_t lastUsed = 0; ///< LRU tick (under sessionsMutex_)
+    };
+
     Json executeJob(const Job& job);
     Json executeSynth(const Json& request);
     Json executeRun(const Json& request);
     Json executeBatch(const Json& request);
+    Json executeEdit(const Json& request);
+    Json executeReexec(const Json& request);
+
+    /** Session key for @p request ("client" + "session" fields). */
+    static std::string sessionKey(const Json& request);
+    std::shared_ptr<PinnedSession> findSession(const std::string& key);
+    void pinSession(const std::string& key,
+                    std::shared_ptr<PinnedSession> session);
 
     /** The synth request the work op's common fields describe. */
     service::SynthRequest parseSynthFields(const Json& request);
@@ -266,6 +311,7 @@ class Server {
     uint16_t boundPort_ = 0;
 
     std::thread pollThread_;
+    std::thread prewarmThread_; ///< --tier auto native-cache prewarm
     std::vector<std::thread> workers_;
     std::atomic<bool> started_{false};
     std::atomic<bool> draining_{false};
@@ -274,6 +320,14 @@ class Server {
     // Poll-thread-owned connection and quota state.
     std::map<int, std::shared_ptr<Connection>> connections_;
     std::map<std::string, TokenBucket> quotas_;
+
+    // Pinned arena sessions (see PinnedSession). Guarded by
+    // sessionsMutex_; individual sessions carry their own mutex.
+    std::mutex sessionsMutex_;
+    std::map<std::string, std::shared_ptr<PinnedSession>> sessions_;
+    uint64_t sessionTick_ = 0;
+    std::atomic<uint64_t> sessionsCreated_{0};
+    std::atomic<uint64_t> sessionsEvicted_{0};
 
     // Bounded admission queue.
     mutable std::mutex queueMutex_;

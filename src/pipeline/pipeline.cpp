@@ -349,6 +349,66 @@ Pipeline::compileProgram()
     return *program_;
 }
 
+const incr::IncrPlan&
+Pipeline::incrPlan()
+{
+    if (incrPlan_.has_value())
+        return *incrPlan_;
+    const runtime::Program& program = compileProgram();
+    obs::Span stage = telemetry().span("incr-plan", "stage");
+    incrPlan_.emplace(incr::IncrPlan::build(program));
+    return *incrPlan_;
+}
+
+uint64_t
+Pipeline::edit(runtime::TreeArena& arena, const std::vector<incr::Edit>& edits)
+{
+    checkInvariant(&arena.grammar() == grammar_.get(),
+                   "Pipeline::edit: arena belongs to another grammar");
+    obs::Span stage = telemetry().span("edit", "stage");
+    Timer timer;
+    for (const incr::Edit& e : edits)
+        incr::applyEdit(arena, e);
+    obs::Telemetry& sink = telemetry();
+    sink.add("incr.edits", static_cast<double>(edits.size()));
+    sink.add("incr.edit_seconds", timer.seconds());
+    return edits.size();
+}
+
+incr::IncrStats
+Pipeline::reexecute(runtime::TreeArena& arena, incr::IncrOptions options)
+{
+    checkInvariant(&arena.grammar() == grammar_.get(),
+                   "Pipeline::reexecute: arena belongs to another grammar");
+    const runtime::Program& program = compileProgram();
+    const incr::IncrPlan& plan = incrPlan();
+    obs::Span stage = telemetry().span("reexecute", "stage");
+    if (options.telemetry == nullptr)
+        options.telemetry = options_.telemetry;
+    Timer timer;
+    incr::IncrStats stats = incr::reexecute(program, plan, arena, options);
+    const double seconds = timer.seconds();
+
+    obs::Telemetry& sink = telemetry();
+    sink.add("incr.reexecutes", 1.0);
+    sink.add("incr.edits_consumed", static_cast<double>(stats.editsApplied));
+    sink.add("incr.seeds", static_cast<double>(stats.seeds));
+    sink.add("incr.virgin_nodes", static_cast<double>(stats.virginNodes));
+    sink.add("incr.nodes_visited", static_cast<double>(stats.nodesVisited));
+    sink.add("incr.rules_checked", static_cast<double>(stats.rulesChecked));
+    sink.add("incr.rules_evaluated",
+             static_cast<double>(stats.rulesEvaluated));
+    sink.add("incr.cells_dirtied", static_cast<double>(stats.cellsDirtied));
+    sink.add("incr.level_waves", static_cast<double>(stats.levelWaves));
+    sink.add("incr.tasks_spawned", static_cast<double>(stats.tasksSpawned));
+    sink.add(stats.usedWave ? "incr.wave_runs" : "incr.stack_runs", 1.0);
+    if (seconds > 0.0) {
+        sink.set("incr.rules_per_sec",
+                 static_cast<double>(stats.rulesChecked) / seconds);
+    }
+    return stats;
+}
+
 NativeArtifact
 Pipeline::compileNative(runtime::SweepStrategy strategy)
 {

@@ -42,6 +42,8 @@
 #include <string>
 
 #include "grammars/grammars.hpp"
+#include "incr/edit.hpp"
+#include "incr/reexecute.hpp"
 #include "lang/ast.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/arena.hpp"
@@ -281,6 +283,31 @@ class Pipeline {
      */
     ForestExecuteArtifact executeForest(const ExecuteRequest& request);
 
+    /**
+     * The compiled program's per-rule read sets (runs compileProgram).
+     * Built once and memoized; both incremental stages consume it.
+     */
+    const incr::IncrPlan& incrPlan();
+
+    /**
+     * The Edit stage: apply @p edits to @p arena in order under an
+     * "edit" span, marking dirt for a later reexecute(). The arena
+     * must belong to this pipeline's grammar — arenas from execute()
+     * qualify. Returns the number of edits applied and exports
+     * `incr.edits` / `incr.edit_seconds` counters.
+     */
+    uint64_t edit(runtime::TreeArena& arena,
+                  const std::vector<incr::Edit>& edits);
+
+    /**
+     * The Reexecute stage: partially re-evaluate @p arena's dirty
+     * region with this pipeline's program under a "reexecute" span
+     * (see incr::reexecute). Telemetry defaults to the pipeline's
+     * sink; `incr.*` counters report frontier size and walk effort.
+     */
+    incr::IncrStats reexecute(runtime::TreeArena& arena,
+                              incr::IncrOptions options = {});
+
     /** The analyzed grammar (runs analyze). Pinned for this lifetime. */
     const sem::Grammar& grammar();
 
@@ -337,6 +364,7 @@ class Pipeline {
     std::optional<SynthArtifact> synth_;
     std::optional<PlanArtifact> plan_;
     std::optional<runtime::Program> program_;
+    std::optional<incr::IncrPlan> incrPlan_;
     std::optional<NativeArtifact> native_[2]; ///< by codegen::NativeForm
 };
 

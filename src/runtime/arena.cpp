@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <deque>
 
+#include "runtime/edit_state.hpp"
+
 namespace hecate::runtime {
+
+// Out of line for the unique_ptr<EditState> member; copies deep-copy
+// the edit bookkeeping so an edited arena's duplicate stays edited.
+TreeArena::TreeArena(const sem::Grammar& grammar)
+    : grammar_(&grammar), layout_(grammar)
+{
+}
+
+TreeArena::~TreeArena() = default;
+TreeArena::TreeArena(TreeArena&&) noexcept = default;
+TreeArena& TreeArena::operator=(TreeArena&&) noexcept = default;
+
+TreeArena::TreeArena(const TreeArena& other)
+    : grammar_(other.grammar_), layout_(other.layout_), cls_(other.cls_),
+      scalarBase_(other.scalarBase_), collBase_(other.collBase_),
+      scalars_(other.scalars_), collRanges_(other.collRanges_),
+      collElems_(other.collElems_), columns_(other.columns_),
+      segments_(other.segments_), zeroRow_(other.zeroRow_),
+      edits_(other.edits_ ? std::make_unique<EditState>(*other.edits_)
+                          : nullptr)
+{
+    // colPtrs_ left empty: view() rebuilds it against our columns.
+}
+
+TreeArena&
+TreeArena::operator=(const TreeArena& other)
+{
+    if (this != &other) {
+        TreeArena copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
 
 // ---------------------------------------------------------------------------
 // Layout
@@ -104,6 +139,7 @@ class ArenaBuilder {
             if (s == kNone)
                 s = zeroRow;
         }
+        arena_.zeroRow_ = zeroRow;
         arena_.columns_.assign(
             arena_.layout_.columnCount(),
             std::vector<int64_t>(arena_.cls_.size() + 1, 0));
@@ -361,6 +397,8 @@ TreeArena::generate(const sem::Grammar& grammar, sem::InterfaceId rootIface,
 tree::Tree
 TreeArena::toTree() const
 {
+    if (edited())
+        return compact().toTree();
     tree::Tree out(*grammar_);
     for (NodeIdx node = 0; node < size(); ++node) {
         tree::NodeId id = out.addNode(cls_[node]);
@@ -415,7 +453,8 @@ TreeArena::depth() const
             for (const NodeIdx* it = begin; it != end; ++it)
                 depth[*it] = depth[node] + 1;
         }
-        deepest = std::max(deepest, depth[node]);
+        if (isLive(node))
+            deepest = std::max(deepest, depth[node]);
     }
     return deepest;
 }
@@ -432,17 +471,85 @@ TreeArena::clearOutputs()
 uint64_t
 TreeArena::checksum() const
 {
-    // Real rows only: the hidden zero row is not part of the instance
-    // and must not leak in.
+    // Real live rows only: the hidden zero row is not part of the
+    // instance, and orphaned rows hold stale garbage after edits.
     uint64_t sum = 0;
     for (uint32_t col = 0; col < layout_.columnCount(); ++col) {
         if (layout_.columnIsInput(col))
             continue;
         const std::vector<int64_t>& column = columns_[col];
-        for (NodeIdx node = 0; node < size(); ++node)
-            sum += splitmix64(static_cast<uint64_t>(column[node]) + col);
+        for (NodeIdx node = 0; node < size(); ++node) {
+            if (isLive(node))
+                sum += splitmix64(static_cast<uint64_t>(column[node]) + col);
+        }
     }
     return sum;
+}
+
+TreeArena
+TreeArena::compact() const
+{
+    if (!edited())
+        return *this;
+
+    TreeArena out(*grammar_);
+    ArenaBuilder builder(out);
+
+    // BFS over the live structure, exactly like fromTree: indices are
+    // assigned at discovery, structure rows appended at dequeue, so
+    // the numbering depends only on the live shape — two arenas that
+    // received the same edits compact to cell-identical arenas.
+    std::vector<NodeIdx> newIdx(size(), kNone);
+    std::deque<NodeIdx> queue;
+    NodeIdx next = 0;
+    newIdx[0] = next++;
+    queue.push_back(0);
+    while (!queue.empty()) {
+        const NodeIdx old = queue.front();
+        queue.pop_front();
+        const sem::ClassInfo& info = grammar_->cls(cls_[old]);
+        const ClassLayout& layout = layout_.cls(cls_[old]);
+        const NodeIdx idx = builder.beginNode(cls_[old]);
+        for (const sem::ChildInfo& child : info.children) {
+            if (child.collection) {
+                auto [begin, end] = collection(
+                    old,
+                    static_cast<uint32_t>(layout.collSlotOf[child.id]));
+                const uint32_t rangeBegin = builder.reserveCollection(
+                    static_cast<uint32_t>(end - begin));
+                for (uint32_t i = 0; begin + i != end; ++i) {
+                    newIdx[begin[i]] = next++;
+                    builder.setElement(rangeBegin, i, newIdx[begin[i]]);
+                    queue.push_back(begin[i]);
+                }
+            } else {
+                const NodeIdx c = scalarChild(
+                    old,
+                    static_cast<uint32_t>(layout.scalarSlotOf[child.id]));
+                if (c != kNone) {
+                    newIdx[c] = next++;
+                    builder.setScalar(
+                        idx,
+                        static_cast<uint32_t>(layout.scalarSlotOf[child.id]),
+                        newIdx[c]);
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    builder.allocateColumns();
+
+    for (NodeIdx old = 0; old < size(); ++old) {
+        if (newIdx[old] == kNone)
+            continue;
+        const sem::ClassInfo& info = grammar_->cls(cls_[old]);
+        const sem::InterfaceInfo& iface = grammar_->iface(info.iface);
+        const uint32_t base = layout_.column(info.iface, 0);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr)
+            out.columns_[base + attr][newIdx[old]] =
+                columns_[base + attr][old];
+    }
+    return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -47,6 +47,7 @@ inline constexpr NodeIdx kNone = sem::kInvalidId;
 
 class Layout;
 class LevelSegments;
+struct EditState;
 
 /** One collection slot's contiguous element range (CSR row). */
 struct CollRange {
@@ -67,7 +68,7 @@ struct ArenaView {
     const sem::Grammar* grammar = nullptr;
     const Layout* layout = nullptr;
     uint32_t size = 0;   ///< real node count (excludes the zero row)
-    NodeIdx zeroRow = 0; ///< == size; absent-child reads alias it
+    NodeIdx zeroRow = 0; ///< >= size; absent-child reads alias it
     const sem::ClassId* cls = nullptr;
     const uint32_t* scalarBase = nullptr;
     const NodeIdx* scalars = nullptr;
@@ -157,9 +158,17 @@ class TreeArena {
 
     /**
      * Rebuild a validated tree::Tree; node ids equal arena indices and
-     * every attribute cell (inputs and outputs) is copied back.
+     * every attribute cell (inputs and outputs) is copied back. After
+     * structural edits the arena is compacted first (orphans dropped),
+     * so node ids equal *compacted* indices instead.
      */
     tree::Tree toTree() const;
+
+    ~TreeArena();
+    TreeArena(TreeArena&&) noexcept;
+    TreeArena& operator=(TreeArena&&) noexcept;
+    TreeArena(const TreeArena&);
+    TreeArena& operator=(const TreeArena&);
 
     const sem::Grammar& grammar() const { return *grammar_; }
     const Layout& layout() const { return layout_; }
@@ -181,8 +190,11 @@ class TreeArena {
      * column keeps at zero — so child attribute loads never branch on
      * presence. Only reads alias it: the executor skips writes whose
      * target child is absent, so parallel workers never share a cell.
+     * Equals size() for freshly built arenas; replaceSubtree may push
+     * it further out to leave append headroom (rows in between are
+     * slack for future appends).
      */
-    NodeIdx zeroRow() const { return size(); }
+    NodeIdx zeroRow() const { return zeroRow_; }
 
     /** Element range of collection CSR slot @p slot. */
     std::pair<const NodeIdx*, const NodeIdx*>
@@ -237,17 +249,75 @@ class TreeArena {
     /** Zero every output column (inputs preserved). */
     void clearOutputs();
 
-    /** Order-independent checksum over output columns (bench sink). */
+    /** Order-independent checksum over output columns (bench sink).
+     *  After structural edits, orphaned rows are excluded. */
     uint64_t checksum() const;
 
+    // --- in-place edit API (incr subsystem) ----------------------------
+
+    /**
+     * Overwrite one input attribute cell of a live node. @p attr is
+     * the attribute id within the node's interface. A no-op when the
+     * value is unchanged; otherwise the cell's dirty bit is set and
+     * the node becomes a re-evaluation seed.
+     */
+    void mutateInput(NodeIdx node, sem::AttrId attr, int64_t value);
+
+    /**
+     * Replace the subtree rooted at live non-root @p target with a
+     * copy of @p replacement (an unedited arena of the same grammar
+     * object whose root class the parent edge admits). The new nodes
+     * are appended at the end — BFS order is preserved because every
+     * edge, including the repointed parent edge, points forward — and
+     * the old subtree is orphaned in place until compact(). Returns
+     * the new subtree root's index.
+     */
+    NodeIdx replaceSubtree(NodeIdx target, const TreeArena& replacement);
+
+    /** False only for rows orphaned by replaceSubtree. */
+    bool isLive(NodeIdx node) const;
+
+    /** Node count minus orphaned rows. */
+    uint32_t liveCount() const;
+
+    /** Whether structural edits left orphaned rows behind. */
+    bool edited() const;
+
+    /**
+     * Rebuild a fresh orphan-free arena (BFS renumbering from the
+     * root, inputs and outputs both copied). The numbering depends
+     * only on the live structure, so two arenas that received the
+     * same edit sequence compact to cell-identical arenas regardless
+     * of how their outputs were computed.
+     */
+    TreeArena compact() const;
+
+    /** Edit bookkeeping; null until the first edit. */
+    const EditState* edits() const { return edits_.get(); }
+    EditState* edits() { return edits_.get(); }
+
+    /** Materialize edit bookkeeping (reverse edges, live set, dirt). */
+    EditState& ensureEditState();
+
+    /** Reset all dirt (dirty bits, virgin marks, seeds) in O(touched). */
+    void clearDirt();
+
   private:
+    /**
+     * Relocate the zero row so at least @p needRows real rows fit:
+     * stale zero markers in the CSR arrays are rewritten first (a
+     * future append may claim the old zero row's index), then every
+     * column and per-cell byte array grows to the new capacity.
+     */
+    void growRows(uint64_t needRows);
+
+
     friend class ArenaBuilder;
     friend class ForestArena; ///< pack() assembles a flat arena directly
 
-    explicit TreeArena(const sem::Grammar& grammar)
-        : grammar_(&grammar), layout_(grammar)
-    {
-    }
+    // Out of line: inline member construction would instantiate the
+    // unique_ptr<EditState> destructor against the incomplete type.
+    explicit TreeArena(const sem::Grammar& grammar);
 
     const sem::Grammar* grammar_;
     Layout layout_;
@@ -261,6 +331,8 @@ class TreeArena {
     std::vector<std::vector<int64_t>> columns_; ///< [column][node]
     std::vector<int64_t*> colPtrs_;             ///< view() scratch
     std::shared_ptr<const LevelSegments> segments_; ///< lazy cache
+    NodeIdx zeroRow_ = 0; ///< always-zero row index; >= size()
+    std::unique_ptr<EditState> edits_; ///< null until the first edit
 };
 
 /**

@@ -1,0 +1,350 @@
+#include <algorithm>
+#include <deque>
+
+#include "runtime/arena.hpp"
+#include "runtime/edit_state.hpp"
+#include "support/diagnostics.hpp"
+
+/**
+ * @file
+ * TreeArena in-place edit API: mutate-input and replace-subtree
+ * operations that keep the SoA/CSR invariants the executors rely on
+ * (BFS edge direction, branchless zero-row aliasing, per-tree block
+ * order) while recording exactly which cells may have changed — the
+ * input the incr subsystem's invalidator consumes.
+ */
+
+namespace hecate::runtime {
+
+bool
+TreeArena::isLive(NodeIdx node) const
+{
+    return !edits_ || !edits_->structural || edits_->live[node] != 0;
+}
+
+uint32_t
+TreeArena::liveCount() const
+{
+    return edits_ && edits_->structural ? edits_->liveCount : size();
+}
+
+bool
+TreeArena::edited() const
+{
+    return edits_ && edits_->structural;
+}
+
+EditState&
+TreeArena::ensureEditState()
+{
+    if (edits_)
+        return *edits_;
+    auto es = std::make_unique<EditState>();
+    const uint32_t n = size();
+    const uint32_t rows = zeroRow_ + 1;
+
+    es->live.assign(n, 1);
+    es->liveCount = n;
+    es->parent.assign(n, kNone);
+    es->parentEdge.assign(n, EditState::kNoEdge);
+    es->depth.assign(n, 0);
+    // One forward pass settles parents and depths: BFS ids put every
+    // parent before its children. Nodes no edge reaches (the root of
+    // a single tree; every tree root of a packed forest) keep the
+    // defaults above.
+    for (NodeIdx node = 0; node < n; ++node) {
+        const ClassLayout& layout = layout_.cls(cls_[node]);
+        const uint32_t base = scalarBase_[node];
+        const uint32_t next = es->depth[node] + 1;
+        for (uint32_t s = 1; s <= layout.scalarCount; ++s) {
+            const NodeIdx c = scalars_[base + s];
+            if (c < n) {
+                es->parent[c] = node;
+                es->parentEdge[c] = base + s;
+                es->depth[c] = next;
+            }
+        }
+        for (uint32_t slot = 0; slot < layout.collCount; ++slot) {
+            const CollRange& range = collRanges_[collBase_[node] + slot];
+            for (uint32_t i = 0; i < range.count; ++i) {
+                const NodeIdx c = collElems_[range.begin + i];
+                es->parent[c] = node;
+                es->parentEdge[c] = (range.begin + i) | EditState::kCollEdge;
+                es->depth[c] = next;
+            }
+        }
+        es->maxDepth = std::max(es->maxDepth, es->depth[node]);
+    }
+
+    es->dirty.assign(layout_.columnCount(),
+                     std::vector<uint8_t>(rows, 0));
+    es->nodeDirt.assign(rows, 0);
+    es->virgin.assign(rows, 0);
+
+    edits_ = std::move(es);
+    return *edits_;
+}
+
+void
+TreeArena::growRows(uint64_t needRows)
+{
+    const NodeIdx oldZero = zeroRow_;
+    const uint64_t target = needRows + needRows / 2 + 1024;
+    if (target + 1 >= static_cast<uint64_t>(kNone))
+        userError("TreeArena: edit grows past 32-bit node indices");
+    const NodeIdx newZero = static_cast<NodeIdx>(target);
+
+    // Rewrite stale zero markers BEFORE any append: a future node may
+    // claim index oldZero, and a leftover alias would silently read
+    // that node's cells as "absent child".
+    for (NodeIdx& s : scalars_) {
+        if (s == oldZero)
+            s = newZero;
+    }
+    for (auto& column : columns_)
+        column.resize(newZero + 1, 0);
+    if (edits_) {
+        for (auto& bits : edits_->dirty)
+            bits.resize(newZero + 1, 0);
+        edits_->nodeDirt.resize(newZero + 1, 0);
+        edits_->virgin.resize(newZero + 1, 0);
+    }
+    zeroRow_ = newZero;
+    colPtrs_.clear(); // column bases moved; view() must rebuild
+}
+
+void
+TreeArena::mutateInput(NodeIdx node, sem::AttrId attr, int64_t value)
+{
+    if (node >= size())
+        userError("TreeArena::mutateInput: node out of range");
+    if (!isLive(node))
+        userError("TreeArena::mutateInput: node was orphaned by an earlier "
+                  "replaceSubtree");
+    const sem::ClassInfo& info = grammar_->cls(cls_[node]);
+    const sem::InterfaceInfo& iface = grammar_->iface(info.iface);
+    if (attr >= iface.attrs.size())
+        userError("TreeArena::mutateInput: attribute out of range for the "
+                  "node's interface");
+    if (!iface.isInput(attr))
+        userError("TreeArena::mutateInput: attribute '" +
+                  iface.attrs[attr].name + "' is computed, not an input");
+    const uint32_t col = layout_.column(info.iface, attr);
+    if (columns_[col][node] == value)
+        return; // unchanged: not an edit at all
+    EditState& es = ensureEditState();
+    columns_[col][node] = value;
+    if (!es.dirty[col][node]) {
+        es.dirty[col][node] = 1;
+        es.dirtyCells.push_back((static_cast<uint64_t>(col) << 32) | node);
+    }
+    if (!es.nodeDirt[node]) {
+        es.nodeDirt[node] = 1;
+        es.dirtyNodes.push_back(node);
+    }
+    es.seeds.push_back(node);
+    ++es.editsApplied;
+}
+
+namespace {
+
+/** The child declaration a parent edge instantiates. */
+const sem::ChildInfo&
+edgeChildDecl(const sem::Grammar& grammar, const Layout& layout,
+              const std::vector<uint32_t>& scalarBase,
+              const std::vector<uint32_t>& collBase,
+              const std::vector<CollRange>& collRanges,
+              sem::ClassId parentCls, NodeIdx parent, uint32_t edge)
+{
+    const sem::ClassInfo& info = grammar.cls(parentCls);
+    const ClassLayout& cl = layout.cls(parentCls);
+    if (edge & EditState::kCollEdge) {
+        const uint32_t elem = edge & ~EditState::kCollEdge;
+        for (const sem::ChildInfo& child : info.children) {
+            if (!child.collection)
+                continue;
+            const CollRange& range =
+                collRanges[collBase[parent] +
+                           static_cast<uint32_t>(cl.collSlotOf[child.id])];
+            if (elem >= range.begin && elem < range.begin + range.count)
+                return child;
+        }
+    } else {
+        const int32_t slot =
+            static_cast<int32_t>(edge - (scalarBase[parent] + 1));
+        for (const sem::ChildInfo& child : info.children) {
+            if (!child.collection && cl.scalarSlotOf[child.id] == slot)
+                return child;
+        }
+    }
+    internalError("TreeArena: parent edge resolves to no child decl");
+}
+
+} // namespace
+
+NodeIdx
+TreeArena::replaceSubtree(NodeIdx target, const TreeArena& replacement)
+{
+    if (target >= size())
+        userError("TreeArena::replaceSubtree: node out of range");
+    if (&replacement.grammar() != grammar_)
+        userError("TreeArena::replaceSubtree: replacement built from a "
+                  "different grammar");
+    if (replacement.size() == 0)
+        userError("TreeArena::replaceSubtree: empty replacement");
+    if (replacement.edits_ && (replacement.edited() ||
+                               replacement.edits_->hasPendingDirt()))
+        userError("TreeArena::replaceSubtree: replacement has edits; "
+                  "compact() it first");
+    if (!isLive(target))
+        userError("TreeArena::replaceSubtree: node was orphaned by an "
+                  "earlier replaceSubtree");
+
+    EditState& es = ensureEditState();
+    const NodeIdx parent = es.parent[target];
+    if (parent == kNone)
+        userError("TreeArena::replaceSubtree: cannot replace a root");
+    const uint32_t edge = es.parentEdge[target];
+    const sem::ChildInfo& decl =
+        edgeChildDecl(*grammar_, layout_, scalarBase_, collBase_,
+                      collRanges_, cls_[parent], parent, edge);
+    const sem::ClassId rcls = replacement.cls_[0];
+    if (std::find(decl.allowedClasses.begin(), decl.allowedClasses.end(),
+                  rcls) == decl.allowedClasses.end()) {
+        userError("TreeArena::replaceSubtree: replacement root class '" +
+                  grammar_->cls(rcls).name + "' is not admitted by child '" +
+                  decl.name + "'");
+    }
+
+    const uint32_t k = replacement.size();
+    const uint64_t newSize = static_cast<uint64_t>(size()) + k;
+    if (newSize > zeroRow_)
+        growRows(newSize);
+
+    const NodeIdx off = size();
+    const uint32_t scalarOff = static_cast<uint32_t>(scalars_.size());
+    const uint32_t rangeOff = static_cast<uint32_t>(collRanges_.size());
+    const uint32_t elemOff = static_cast<uint32_t>(collElems_.size());
+    const NodeIdx rzero = replacement.zeroRow_;
+
+    // Append the replacement block, rebased: node ids shift by off,
+    // CSR bases by this arena's current array sizes, and the
+    // replacement's absent markers map onto our zero row.
+    cls_.insert(cls_.end(), replacement.cls_.begin(), replacement.cls_.end());
+    for (uint32_t base : replacement.scalarBase_)
+        scalarBase_.push_back(base + scalarOff);
+    for (uint32_t base : replacement.collBase_)
+        collBase_.push_back(base + rangeOff);
+    for (NodeIdx s : replacement.scalars_)
+        scalars_.push_back(s == rzero ? zeroRow_ : s + off);
+    for (const CollRange& range : replacement.collRanges_)
+        collRanges_.push_back({range.begin + elemOff, range.count});
+    for (NodeIdx e : replacement.collElems_)
+        collElems_.push_back(e + off);
+    for (uint32_t col = 0; col < layout_.columnCount(); ++col) {
+        std::copy(replacement.columns_[col].begin(),
+                  replacement.columns_[col].begin() + k,
+                  columns_[col].begin() + off);
+    }
+
+    // Extend the structural bookkeeping. The new root takes over the
+    // old subtree's attachment point; interior edges are settled by
+    // one forward pass over the appended block (its children are all
+    // appended nodes too).
+    const NodeIdx end = static_cast<NodeIdx>(newSize);
+    es.live.resize(end, 1);
+    es.parent.resize(end, kNone);
+    es.parentEdge.resize(end, EditState::kNoEdge);
+    es.depth.resize(end, 0);
+    es.parent[off] = parent;
+    es.parentEdge[off] = edge;
+    es.depth[off] = es.depth[target];
+    for (NodeIdx node = off; node < end; ++node) {
+        const ClassLayout& layout = layout_.cls(cls_[node]);
+        const uint32_t base = scalarBase_[node];
+        const uint32_t next = es.depth[node] + 1;
+        for (uint32_t s = 1; s <= layout.scalarCount; ++s) {
+            const NodeIdx c = scalars_[base + s];
+            if (c != zeroRow_) {
+                es.parent[c] = node;
+                es.parentEdge[c] = base + s;
+                es.depth[c] = next;
+            }
+        }
+        for (uint32_t slot = 0; slot < layout.collCount; ++slot) {
+            const CollRange& range = collRanges_[collBase_[node] + slot];
+            for (uint32_t i = 0; i < range.count; ++i) {
+                const NodeIdx c = collElems_[range.begin + i];
+                es.parent[c] = node;
+                es.parentEdge[c] = (range.begin + i) | EditState::kCollEdge;
+                es.depth[c] = next;
+            }
+        }
+        es.maxDepth = std::max(es.maxDepth, es.depth[node]);
+    }
+
+    // Orphan the old subtree in place (cells keep stale garbage; every
+    // consumer skips dead rows), then point the parent edge at the new
+    // root.
+    std::vector<NodeIdx> stack{target};
+    while (!stack.empty()) {
+        const NodeIdx node = stack.back();
+        stack.pop_back();
+        es.live[node] = 0;
+        --es.liveCount;
+        const ClassLayout& layout = layout_.cls(cls_[node]);
+        const uint32_t base = scalarBase_[node];
+        for (uint32_t s = 1; s <= layout.scalarCount; ++s) {
+            const NodeIdx c = scalars_[base + s];
+            if (c != zeroRow_)
+                stack.push_back(c);
+        }
+        for (uint32_t slot = 0; slot < layout.collCount; ++slot) {
+            const CollRange& range = collRanges_[collBase_[node] + slot];
+            for (uint32_t i = 0; i < range.count; ++i)
+                stack.push_back(collElems_[range.begin + i]);
+        }
+    }
+    es.parent[target] = kNone;
+    es.parentEdge[target] = EditState::kNoEdge;
+    if (edge & EditState::kCollEdge)
+        collElems_[edge & ~EditState::kCollEdge] = off;
+    else
+        scalars_[edge] = off;
+
+    es.liveCount += k;
+    std::fill(es.virgin.begin() + off, es.virgin.begin() + end, 1);
+    es.virginRanges.emplace_back(off, end);
+    es.seeds.push_back(off);
+    es.structural = true;
+    ++es.editsApplied;
+
+    segments_.reset(); // level structure changed
+    colPtrs_.clear();  // columns may have been reallocated by growRows
+    return off;
+}
+
+void
+TreeArena::clearDirt()
+{
+    if (!edits_)
+        return;
+    EditState& es = *edits_;
+    for (uint64_t cell : es.dirtyCells)
+        es.dirty[cell >> 32][static_cast<NodeIdx>(cell)] = 0;
+    for (NodeIdx node : es.dirtyNodes)
+        es.nodeDirt[node] = 0;
+    for (const auto& [begin, end] : es.virginRanges) {
+        std::fill(es.virgin.begin() + begin, es.virgin.begin() + end, 0);
+        for (auto& bits : es.dirty)
+            std::fill(bits.begin() + begin, bits.begin() + end, 0);
+        std::fill(es.nodeDirt.begin() + begin, es.nodeDirt.begin() + end, 0);
+    }
+    es.dirtyCells.clear();
+    es.dirtyNodes.clear();
+    es.virginRanges.clear();
+    es.seeds.clear();
+    es.editsApplied = 0;
+}
+
+} // namespace hecate::runtime

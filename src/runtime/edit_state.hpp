@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * EditState: the bookkeeping a TreeArena grows the first time it is
+ * edited in place (incr subsystem). A freshly built arena carries no
+ * edit state at all — the structures below are materialized lazily by
+ * the first mutateInput/replaceSubtree call and then maintained
+ * incrementally, so the zero-edit hot path pays nothing.
+ *
+ * Two kinds of state live here:
+ *
+ *  - *Structural* state, persistent once created: reverse edges
+ *    (parent + the CSR cell the parent uses to reference the node),
+ *    per-node depth, and the live set. replaceSubtree appends the new
+ *    subtree at the end of the arena (BFS order is preserved because
+ *    every edge, including the repointed parent edge, keeps pointing
+ *    forward) and orphans the old one in place; orphans stay dead
+ *    until compact() rebuilds a fresh arena.
+ *
+ *  - *Dirt* state, cleared after every incr::reexecute: per-column
+ *    dirty bytes over value-changed cells, a per-node any-dirty byte,
+ *    a virgin byte per appended node (every cell of a virgin node is
+ *    unknown — treating them as all-dirty makes early cutoff sound at
+ *    nodes that never held a computed value), the edit seed list the
+ *    invalidator grows its frontier from, and exact undo lists so
+ *    clearing costs O(touched), not O(arena).
+ *
+ * The per-cell byte arrays are sized to the arena's row capacity
+ * (zeroRow + 1) rather than its node count, so reads through the
+ * always-zero row need no bounds branch: the zero row's bytes are
+ * never set, exactly like its column cells are never written.
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sem/grammar.hpp"
+
+namespace hecate::runtime {
+
+using NodeIdx = uint32_t;
+
+struct EditState {
+    /** parentEdge_ flag: the edge index addresses collElems_, not scalars_. */
+    static constexpr uint32_t kCollEdge = 0x80000000u;
+    /** parentEdge_ sentinel for roots and orphan subtree roots. */
+    static constexpr uint32_t kNoEdge = 0xffffffffu;
+
+    // --- structural state (persists until compact) ---------------------
+    std::vector<uint8_t> live;       ///< by node; 1 = reachable from a root
+    uint32_t liveCount = 0;
+    std::vector<NodeIdx> parent;     ///< by node; kNone for roots/orphans
+    std::vector<uint32_t> parentEdge; ///< scalars_/collElems_ index (kCollEdge)
+    std::vector<uint32_t> depth;     ///< by node; roots at 0
+    uint32_t maxDepth = 0;           ///< max over all nodes ever seen
+    bool structural = false;         ///< orphans/appended nodes exist
+
+    // --- dirt state (cleared by TreeArena::clearDirt) ------------------
+    std::vector<std::vector<uint8_t>> dirty; ///< [column][row capacity]
+    std::vector<uint64_t> dirtyCells;        ///< (col << 32) | node, exact undo
+    std::vector<uint8_t> nodeDirt;           ///< by row capacity; any dirty cell
+    std::vector<NodeIdx> dirtyNodes;         ///< exact undo for nodeDirt
+    std::vector<uint8_t> virgin;             ///< by row capacity; appended node
+    std::vector<std::pair<NodeIdx, NodeIdx>> virginRanges; ///< [begin, end)
+    std::vector<NodeIdx> seeds; ///< edit roots since the last clear
+    uint64_t editsApplied = 0;  ///< edits since the last clear
+
+    uint64_t virginCount() const
+    {
+        uint64_t n = 0;
+        for (const auto& [b, e] : virginRanges)
+            n += e - b;
+        return n;
+    }
+
+    bool hasPendingDirt() const
+    {
+        return !seeds.empty() || !dirtyCells.empty() || !virginRanges.empty();
+    }
+
+    /** True when @p node's @p col cell may differ from its pre-edit value. */
+    bool cellDirty(uint32_t col, NodeIdx node) const
+    {
+        return (virgin[node] | dirty[col][node]) != 0;
+    }
+};
+
+} // namespace hecate::runtime

@@ -526,10 +526,34 @@ executeView(const Program& program, const ArenaView& view,
             const ExecOptions& options)
 {
     SweepStrategy strategy = options.strategy;
-    if (strategy == SweepStrategy::Auto)
-        strategy = program.sweepable() ? SweepStrategy::Segmented
-                                       : SweepStrategy::Stack;
-    else if (strategy != SweepStrategy::Stack && !program.sweepable())
+    if (strategy == SweepStrategy::Auto) {
+        if (!program.sweepable()) {
+            strategy = SweepStrategy::Stack;
+        } else {
+            // Sweepability alone is necessary, not sufficient. The
+            // segmented sweep is spec-major — each rule makes its own
+            // pass over a wave — so it pays off only when (a) most
+            // specs are vectorizable superinstructions (Bytecode specs
+            // drop to the per-node expression interpreter and the
+            // extra passes are pure overhead: every bundled grammar
+            // above ~1/3 Bytecode share measures 1.3-2x *slower*
+            // segmented at 200k-1M nodes, every one below ~1/4
+            // measures 2-4x faster), and (b) waves are wide enough to
+            // amortize the per-level barrier (a list-shaped tree
+            // degenerates to size-1 waves). The segments are cached on
+            // the arena, so consulting them here is O(1) after the
+            // first execution.
+            constexpr double kMaxAutoBytecodeShare = 0.30;
+            constexpr double kMinAutoWaveWidth = 64.0;
+            const LevelSegments::Stats& shape = segments().stats();
+            const bool branchy =
+                program.bytecodeShare() > kMaxAutoBytecodeShare;
+            const bool narrow = shape.avgLevelWidth < kMinAutoWaveWidth &&
+                                shape.nodes >= 2 * kMinAutoWaveWidth;
+            strategy = branchy || narrow ? SweepStrategy::Stack
+                                         : SweepStrategy::Segmented;
+        }
+    } else if (strategy != SweepStrategy::Stack && !program.sweepable())
         userError("runtime: the linear and segmented sweep strategies "
                   "require a sweepable (sandwich-shaped) program; use "
                   "the stack strategy");

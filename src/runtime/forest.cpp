@@ -16,6 +16,9 @@ ForestArena::pack(const std::vector<TreeArena>& trees)
     for (const TreeArena& tree : trees) {
         checkInvariant(&tree.grammar() == &grammar,
                        "ForestArena::pack: mixed grammars in one batch");
+        if (tree.edited())
+            userError("ForestArena::pack: tree carries structural edits; "
+                      "compact() it first");
     }
 
     ForestArena forest(grammar);
@@ -35,6 +38,7 @@ ForestArena::pack(const std::vector<TreeArena>& trees)
         userError("ForestArena::pack: batch overflows 32-bit node indices");
 
     const NodeIdx zeroRow = static_cast<NodeIdx>(totalNodes);
+    flat.zeroRow_ = zeroRow;
     flat.cls_.reserve(totalNodes);
     flat.scalarBase_.reserve(totalNodes);
     flat.collBase_.reserve(totalNodes);

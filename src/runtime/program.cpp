@@ -498,6 +498,13 @@ Program::compile(const sched::Skeleton& skeleton,
     Compiler compiler(program, skeleton, schedule, layout);
     for (const sem::ClassInfo& cls : skeleton.grammar().classes())
         compiler.compileCase(cls.id);
+    if (!program.evals_.empty()) {
+        size_t bytecode = 0;
+        for (const EvalSpec& spec : program.evals_)
+            bytecode += spec.kind == EvalKind::Bytecode;
+        program.bytecodeShare_ =
+            static_cast<double>(bytecode) / program.evals_.size();
+    }
     return program;
 }
 

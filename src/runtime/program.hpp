@@ -181,6 +181,17 @@ class Program {
     /** Per-class sweep summaries, by ClassId (valid iff sweepable). */
     const SweepCase* sweepData() const { return sweeps_.data(); }
 
+    /**
+     * Fraction of EvalSpecs lowered as general Bytecode rather than a
+     * specialized superinstruction. Bytecode specs carry control flow
+     * and folds the segmented kernels cannot vectorize — they run the
+     * expression interpreter per node — so a high share predicts the
+     * spec-major segmented sweep losing to the node-major stack walk
+     * (measured: every bundled grammar above ~1/3 share runs 1.3-2x
+     * slower segmented; every one below ~1/4 runs 2-4x faster).
+     */
+    double bytecodeShare() const { return bytecodeShare_; }
+
     /** Human-readable listing (debugging / tests). */
     std::string disassemble() const;
 
@@ -197,6 +208,7 @@ class Program {
     std::vector<SweepCase> sweeps_; ///< by ClassId
     bool sweepable_ = false;
     uint32_t maxExprStack_ = 1;
+    double bytecodeShare_ = 0.0;
 };
 
 } // namespace hecate::runtime

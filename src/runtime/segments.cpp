@@ -138,6 +138,23 @@ LevelSegments::build(const ArenaView& view)
         }
         level.segEnd = static_cast<uint32_t>(out.segments_.size());
     }
+
+    Stats& st = out.stats_;
+    st.levels = levelCount;
+    st.nodes = size;
+    st.segments = static_cast<uint32_t>(out.segments_.size());
+    for (uint32_t l = 0; l < levelCount; ++l) {
+        st.maxLevelWidth = std::max(
+            st.maxLevelWidth, levelStart[l + 1] - levelStart[l]);
+    }
+    for (const Segment& seg : out.segments_) {
+        if (seg.contiguous)
+            st.contiguousNodes += seg.count;
+    }
+    st.avgSegmentLength =
+        st.segments == 0 ? 0.0
+                         : static_cast<double>(size) / st.segments;
+    st.avgLevelWidth = static_cast<double>(size) / levelCount;
     return out;
 }
 

@@ -58,8 +58,31 @@ class LevelSegments {
         uint32_t posEnd = 0;
     };
 
+    /**
+     * Shape summary, computed once during build. The segmented
+     * strategy's win over the stack walk depends on these: it needs
+     * wide waves (parallel work per barrier) made of long streaming
+     * runs (kernel dispatch amortized over contiguous column spans).
+     * Narrow or fragmented levels pay per-level barrier and per-kernel
+     * dispatch overhead that a cache-friendly DFS walk never sees.
+     */
+    struct Stats {
+        uint32_t levels = 0;
+        uint32_t nodes = 0;
+        uint32_t segments = 0;
+        uint32_t maxLevelWidth = 0;
+        /** Nodes inside contiguous (streaming) segments. */
+        uint32_t contiguousNodes = 0;
+        /** Mean nodes per segment (kernel dispatch amortization). */
+        double avgSegmentLength = 0.0;
+        /** Mean nodes per level (wave width). */
+        double avgLevelWidth = 0.0;
+    };
+
     /** Derive segments for @p view (roots seed the depth computation). */
     static LevelSegments build(const ArenaView& view);
+
+    const Stats& stats() const { return stats_; }
 
     uint32_t levelCount() const
     {
@@ -75,6 +98,7 @@ class LevelSegments {
     std::vector<NodeIdx> order_;
     std::vector<Segment> segments_;
     std::vector<Level> levels_;
+    Stats stats_;
 };
 
 } // namespace hecate::runtime

@@ -1,0 +1,103 @@
+#include "service/prewarm_index.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "service/native_cache.hpp"
+#include "support/timer.hpp"
+
+namespace hecate::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagicLine = "hecate-native v1";
+
+/**
+ * Extract the canonical cache key from one `.hnm` metadata file
+ * (format: magic line, checksum line, key-length line, key bytes).
+ * Empty optional when the file is unreadable or malformed — the entry
+ * is left for NativeCache::get() to validate and delete properly.
+ */
+std::optional<std::string>
+readCanonicalKey(const fs::path& metaPath)
+{
+    std::ifstream in(metaPath, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in)
+        return std::nullopt;
+    const std::string meta = buffer.str();
+
+    std::istringstream header(meta);
+    std::string magic, checksum, sizeLine;
+    if (!std::getline(header, magic) || !std::getline(header, checksum) ||
+        !std::getline(header, sizeLine) || magic != kMagicLine)
+        return std::nullopt;
+    size_t keyLen = 0;
+    try {
+        keyLen = static_cast<size_t>(std::stoull(sizeLine));
+    } catch (...) {
+        return std::nullopt;
+    }
+    const size_t headerBytes =
+        magic.size() + 1 + checksum.size() + 1 + sizeLine.size() + 1;
+    if (meta.size() < headerBytes + keyLen)
+        return std::nullopt;
+    return meta.substr(headerBytes, keyLen);
+}
+
+} // namespace
+
+PrewarmReport
+prewarmNativeCache(NativeCache& cache, obs::Telemetry* telemetry)
+{
+    PrewarmReport report;
+    if (cache.dir().empty())
+        return report;
+    Timer timer;
+
+    // Collect first, load second: loading dlopen()s and mutates the
+    // LRU, and directory iteration should not interleave with the
+    // deletions get() performs on corrupt entries.
+    std::vector<std::string> keys;
+    std::error_code ec;
+    for (fs::directory_iterator it(cache.dir(), ec), end;
+         !ec && it != end; it.increment(ec)) {
+        const fs::path& path = it->path();
+        if (path.extension() != ".hnm")
+            continue;
+        ++report.scanned;
+        if (std::optional<std::string> canonical = readCanonicalKey(path))
+            keys.push_back(std::move(*canonical));
+        else
+            ++report.skipped;
+    }
+
+    for (std::string& canonical : keys) {
+        ProblemKey key = makeKeyFromCanonical(std::move(canonical));
+        if (cache.get(key) != nullptr)
+            ++report.loaded;
+        else
+            ++report.skipped;
+    }
+
+    report.seconds = timer.seconds();
+    if (telemetry != nullptr) {
+        telemetry->add("native.prewarm.entries",
+                       static_cast<double>(report.loaded));
+        telemetry->add("native.prewarm.skipped",
+                       static_cast<double>(report.skipped));
+        telemetry->add("native.prewarm.ms", report.seconds * 1e3);
+    }
+    return report;
+}
+
+} // namespace hecate::service

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Native-tier cache prewarm: scan a NativeCache's on-disk artifact
+ * store and pull every valid entry into the in-memory LRU up front.
+ *
+ * Under `--tier auto` the first request for a (problem, schedule) pair
+ * runs on bytecode while poll() resolves the module — even when a
+ * previous daemon run already persisted the compiled `.so`, because
+ * the disk index is only consulted on the first miss. Prewarming at
+ * daemon startup moves that validation + dlopen work off the request
+ * path: the serve daemon spawns this scan on a background thread, so
+ * by the time real traffic arrives, warm keys hot-swap to native on
+ * their very first poll.
+ *
+ * Each `<digest>.hnm` metadata file embeds the full canonical cache
+ * key, so the scan reconstructs keys without re-deriving them from
+ * grammars; NativeCache::get() then does its usual validation
+ * (checksum, exact key match) and deletes corrupt entries.
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace hecate::obs {
+class Telemetry;
+}
+
+namespace hecate::service {
+
+class NativeCache;
+
+/** What one prewarm scan did. */
+struct PrewarmReport {
+    size_t scanned = 0; ///< metadata files visited
+    size_t loaded = 0;  ///< modules now resident in memory
+    size_t skipped = 0; ///< unreadable / corrupt (deleted by get())
+    double seconds = 0.0;
+};
+
+/**
+ * Scan @p cache's disk store and load every valid artifact into the
+ * in-memory LRU. No-op (all-zero report) when the cache has no disk
+ * dir. When @p telemetry is non-null, records `native.prewarm.entries`,
+ * `native.prewarm.skipped` and `native.prewarm.ms`. Never throws:
+ * filesystem errors just leave entries unloaded.
+ */
+PrewarmReport prewarmNativeCache(NativeCache& cache,
+                                 obs::Telemetry* telemetry);
+
+} // namespace hecate::service

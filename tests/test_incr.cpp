@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the incremental re-evaluation engine: the TreeArena edit
+ * API (mutate-input, replace-subtree, compaction), dirty-state
+ * bookkeeping, and incr::reexecute's two walk strategies — validated
+ * differentially against full recompute on every bundled grammar.
+ *
+ * The differential harness is the core: apply a random edit sequence
+ * to arena A and replay the identical sequence on a copy B (Edit
+ * replacements are seed-deterministic, so A and B evolve
+ * cell-identically), then reexecute A incrementally, recompute B from
+ * scratch, and require byte-identical output cells after compaction
+ * (compaction renumbers deterministically, so dead rows drop out of
+ * the comparison).
+ *
+ * Fixtures are named Incr* so the TSan CI job's filter covers the
+ * parallel dirty-wave cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "grammars/grammars.hpp"
+#include "incr/edit.hpp"
+#include "incr/reexecute.hpp"
+#include "runtime/edit_state.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/forest.hpp"
+#include "support/diagnostics.hpp"
+#include "support/thread_pool.hpp"
+#include "synth/autotuner.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+/** All eight bundled benchmark grammars. */
+std::vector<const grammars::Benchmark*>
+allBenchmarks()
+{
+    std::vector<const grammars::Benchmark*> all =
+        grammars::grafterBenchmarks();
+    for (const grammars::Benchmark* bench : grammars::cssBenchmarks())
+        all.push_back(bench);
+    return all;
+}
+
+synth::SynthesisConfig
+cheapConfig()
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 128;
+    return config;
+}
+
+/** Autotune @p bench and compile the winning schedule. */
+runtime::Program
+compileBenchmark(const sem::Grammar& grammar, sem::InterfaceId root,
+                 const std::string& name)
+{
+    synth::AutotuneResult tuned =
+        synth::autotune(grammar, root, cheapConfig());
+    if (!tuned.schedule.has_value())
+        throw std::runtime_error(name + ": " + tuned.lastSynthesis.failure);
+    return runtime::Program::compile(*tuned.skeleton, *tuned.schedule);
+}
+
+/** Every attribute cell of @p arena, node-major (exact compare). */
+std::vector<int64_t>
+allCells(const runtime::TreeArena& arena)
+{
+    const sem::Grammar& grammar = arena.grammar();
+    std::vector<int64_t> cells;
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            cells.push_back(arena.value(node, col));
+        }
+    }
+    return cells;
+}
+
+/**
+ * Run @p rounds rounds of {random edits on A + identical replay on a
+ * copy B, incremental reexecute of A, full recompute of B, compare}.
+ * A accumulates structural edits across rounds (appended blocks,
+ * orphans), which is exactly the long-session shape the engine must
+ * survive.
+ */
+void
+runDifferential(const grammars::Benchmark& bench, incr::IncrStrategy strategy,
+                ThreadPool* pool, uint32_t editsPerRound = 6,
+                uint32_t rounds = 4)
+{
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::Program program = compileBenchmark(grammar, root, bench.name);
+    if (strategy == incr::IncrStrategy::Wave && !program.sweepable())
+        return; // wave applies to sandwich-shaped programs only
+    incr::IncrPlan plan = incr::IncrPlan::build(program);
+
+    runtime::GenConfig config;
+    config.targetNodes = 1500;
+    config.seed = 0xfeed;
+    runtime::TreeArena a = runtime::TreeArena::generate(grammar, root, config);
+    runtime::execute(program, a, {});
+
+    incr::IncrOptions options;
+    options.strategy = strategy;
+    options.pool = pool;
+    if (pool != nullptr) {
+        options.grain = 16;
+        options.spawnPrefix = 1u << 20;
+    }
+
+    for (uint32_t round = 0; round < rounds; ++round) {
+        runtime::TreeArena b = a; // deep copy, edit state included
+        std::vector<incr::Edit> edits = incr::applyRandomEdits(
+            a, editsPerRound, /*subtreeNodes=*/8,
+            /*seed=*/0xabc0 + round * 977);
+        for (const incr::Edit& edit : edits)
+            incr::applyEdit(b, edit);
+
+        incr::IncrStats stats = incr::reexecute(program, plan, a, options);
+        if (!edits.empty()) {
+            EXPECT_GT(stats.rulesChecked, 0u) << bench.name;
+            EXPECT_FALSE(a.edits()->hasPendingDirt()) << bench.name;
+        }
+
+        runtime::TreeArena full = b.compact();
+        runtime::execute(program, full, {});
+        // Deterministic compaction: identical edit histories renumber
+        // identically, so the cell vectors align index for index.
+        EXPECT_EQ(allCells(a.compact()), allCells(full))
+            << bench.name << " round " << round;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TreeArena edit API
+// ---------------------------------------------------------------------------
+
+const grammars::Benchmark&
+firstBenchmark()
+{
+    return *grammars::grafterBenchmarks().front();
+}
+
+TEST(IncrEditApi, MutateInputMarksDirtAndChangesCell)
+{
+    const grammars::Benchmark& bench = firstBenchmark();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::GenConfig config;
+    config.targetNodes = 200;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, config);
+    ASSERT_EQ(arena.edits(), nullptr);
+
+    // Find a node with an input attribute.
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            if (!iface.isInput(attr))
+                continue;
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            int64_t before = arena.value(node, col);
+            arena.mutateInput(node, attr, before + 41);
+            ASSERT_NE(arena.edits(), nullptr);
+            EXPECT_EQ(arena.value(node, col), before + 41);
+            EXPECT_TRUE(arena.edits()->cellDirty(col, node));
+            EXPECT_TRUE(arena.edits()->hasPendingDirt());
+            EXPECT_FALSE(arena.edited()); // no structural change
+            // Same-value writes are no-ops: clear, rewrite, still clean.
+            arena.clearDirt();
+            EXPECT_FALSE(arena.edits()->hasPendingDirt());
+            arena.mutateInput(node, attr, before + 41);
+            EXPECT_FALSE(arena.edits()->hasPendingDirt());
+            return;
+        }
+    }
+    GTEST_SKIP() << "grammar has no input attributes";
+}
+
+TEST(IncrEditApi, ReplaceSubtreeOrphansOldRegionAndAppendsVirgin)
+{
+    const grammars::Benchmark& bench = firstBenchmark();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::GenConfig config;
+    config.targetNodes = 300;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, config);
+    const uint32_t sizeBefore = arena.size();
+
+    incr::Edit edit;
+    edit.kind = incr::Edit::Kind::ReplaceSubtree;
+    edit.node = sizeBefore / 2;
+    edit.subtreeNodes = 12;
+    edit.seed = 7;
+    runtime::NodeIdx added = incr::applyEdit(arena, edit);
+
+    EXPECT_GE(added, sizeBefore); // appended block
+    EXPECT_GT(arena.size(), sizeBefore);
+    EXPECT_TRUE(arena.edited());
+    EXPECT_FALSE(arena.isLive(edit.node));
+    EXPECT_TRUE(arena.isLive(added));
+    EXPECT_LT(arena.liveCount(), arena.size());
+    EXPECT_GT(arena.edits()->virginCount(), 0u);
+
+    // Compaction drops the orphans and yields a valid tree again.
+    runtime::TreeArena packed = arena.compact();
+    EXPECT_EQ(packed.size(), arena.liveCount());
+    EXPECT_FALSE(packed.edited());
+    tree::Tree round = packed.toTree(); // validates structure
+    EXPECT_EQ(round.size(), packed.size());
+}
+
+TEST(IncrEditApi, InvalidEditsAreRejected)
+{
+    const grammars::Benchmark& bench = firstBenchmark();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::GenConfig config;
+    config.targetNodes = 100;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, config);
+
+    // The root cannot be replaced.
+    runtime::TreeArena repl =
+        runtime::TreeArena::generate(grammar, root, config);
+    EXPECT_THROW(arena.replaceSubtree(0, repl), UserError);
+    // Out-of-range node.
+    EXPECT_THROW(arena.mutateInput(arena.size() + 7, 0, 1), UserError);
+}
+
+// ---------------------------------------------------------------------------
+// Differential validation, all grammars, both strategies
+// ---------------------------------------------------------------------------
+
+TEST(IncrDifferential, StackMatchesFullRecomputeOnAllGrammars)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks())
+        runDifferential(*bench, incr::IncrStrategy::Stack, nullptr);
+}
+
+TEST(IncrDifferential, WaveMatchesFullRecomputeOnAllGrammars)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks())
+        runDifferential(*bench, incr::IncrStrategy::Wave, nullptr);
+}
+
+TEST(IncrDifferential, AutoMatchesFullRecomputeOnAllGrammars)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks())
+        runDifferential(*bench, incr::IncrStrategy::Auto, nullptr);
+}
+
+TEST(IncrDifferential, WaveOnUnsweepableProgramIsRejected)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench->name);
+        if (program.sweepable())
+            continue;
+        incr::IncrPlan plan = incr::IncrPlan::build(program);
+        runtime::GenConfig config;
+        config.targetNodes = 100;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, config);
+        runtime::execute(program, arena, {});
+        incr::applyRandomEdits(arena, 2, 8, 5);
+        incr::IncrOptions options;
+        options.strategy = incr::IncrStrategy::Wave;
+        EXPECT_THROW(incr::reexecute(program, plan, arena, options),
+                     UserError);
+        return; // one unsweepable program suffices
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel walks (covered by the TSan CI filter via the Incr* name)
+// ---------------------------------------------------------------------------
+
+TEST(IncrParallel, StackAndWaveUnderThreadPool)
+{
+    ThreadPool pool(4);
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        runDifferential(*bench, incr::IncrStrategy::Stack, &pool,
+                        /*editsPerRound=*/10, /*rounds=*/2);
+        runDifferential(*bench, incr::IncrStrategy::Wave, &pool,
+                        /*editsPerRound=*/10, /*rounds=*/2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forest overload
+// ---------------------------------------------------------------------------
+
+TEST(IncrForest, PerTreeIsolationAndDifferentialEquality)
+{
+    const grammars::Benchmark& bench = firstBenchmark();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::Program program = compileBenchmark(grammar, root, bench.name);
+    incr::IncrPlan plan = incr::IncrPlan::build(program);
+
+    runtime::GenConfig config;
+    config.targetNodes = 300;
+    config.seed = 11;
+    runtime::ForestArena forest = runtime::ForestArena::generate(
+        grammar, root, config, /*treeCount=*/4);
+    runtime::execute(program, forest, {});
+
+    // Mutate inputs confined to tree 1.
+    runtime::TreeArena& flat = forest.flat();
+    const runtime::NodeIdx begin = forest.treeBegin(1);
+    const runtime::NodeIdx end = begin + forest.treeSize(1);
+    std::vector<int64_t> before = allCells(flat);
+    uint32_t mutated = 0;
+    for (runtime::NodeIdx node = begin; node < end && mutated < 5; ++node) {
+        const sem::ClassInfo& cls = grammar.cls(flat.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            if (!iface.isInput(attr))
+                continue;
+            uint32_t col = flat.layout().column(cls.iface, attr);
+            flat.mutateInput(node, attr, flat.value(node, col) + 13);
+            ++mutated;
+            break;
+        }
+    }
+    ASSERT_GT(mutated, 0u);
+
+    incr::IncrStats stats = incr::reexecute(program, plan, forest, {});
+    EXPECT_GT(stats.rulesEvaluated, 0u);
+
+    // Differential: full recompute of the whole batch must agree.
+    runtime::ForestArena shadow = forest; // post-edit cells, pre-stats
+    runtime::execute(program, shadow, {});
+    std::vector<int64_t> incremental = allCells(forest.flat());
+    EXPECT_EQ(incremental, allCells(shadow.flat()));
+
+    // Isolation: cells outside tree 1 are untouched byte for byte.
+    const sem::ClassInfo* grammarCls = nullptr;
+    (void)grammarCls;
+    std::vector<int64_t> after = incremental;
+    size_t idx = 0;
+    for (runtime::NodeIdx node = 0; node < flat.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(flat.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size();
+             ++attr, ++idx) {
+            if (node < begin || node >= end) {
+                EXPECT_EQ(after[idx], before[idx]) << "node " << node;
+            }
+        }
+    }
+}
+
+TEST(IncrForest, StructuralEditsAreRejected)
+{
+    const grammars::Benchmark& bench = firstBenchmark();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::Program program = compileBenchmark(grammar, root, bench.name);
+    incr::IncrPlan plan = incr::IncrPlan::build(program);
+
+    runtime::GenConfig config;
+    config.targetNodes = 120;
+    runtime::ForestArena forest =
+        runtime::ForestArena::generate(grammar, root, config, 2);
+    runtime::execute(program, forest, {});
+
+    incr::Edit edit;
+    edit.kind = incr::Edit::Kind::ReplaceSubtree;
+    edit.node = forest.treeBegin(1) + 1; // interior node of tree 1
+    edit.subtreeNodes = 6;
+    incr::applyEdit(forest.flat(), edit);
+    EXPECT_THROW(incr::reexecute(program, plan, forest, {}), UserError);
+}
+
+} // namespace
+} // namespace hecate

@@ -28,6 +28,7 @@
 #include "pipeline/pipeline.hpp"
 #include "service/native_cache.hpp"
 #include "service/native_tier.hpp"
+#include "service/prewarm_index.hpp"
 #include "support/diagnostics.hpp"
 
 namespace fs = std::filesystem;
@@ -318,6 +319,35 @@ TEST(NativeCacheDisk, WarmStartSkipsCompile)
     EXPECT_EQ(warm.compiles, 0u);
     EXPECT_EQ(warmCache.diskHits, 1u);
     EXPECT_EQ(warmCache.corruptEvicted, 0u);
+}
+
+TEST(NativeCacheDisk, PrewarmLoadsPersistedArtifactsUpFront)
+{
+    TempDir dir("prewarm");
+    runWithCacheDir(dir.path.string(), nullptr, nullptr);
+    if (::testing::Test::IsSkipped())
+        return;
+
+    // A fresh cache over the same dir (new daemon in spirit): the
+    // prewarm scan revives the artifact before any request needs it.
+    service::NativeCache cache(dir.path.string());
+    obs::Telemetry telemetry;
+    service::PrewarmReport report =
+        service::prewarmNativeCache(cache, &telemetry);
+    EXPECT_EQ(report.scanned, 1u);
+    EXPECT_EQ(report.loaded, 1u);
+    EXPECT_EQ(report.skipped, 0u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+    EXPECT_EQ(telemetry.counter("native.prewarm.entries"), 1.0);
+    EXPECT_GE(telemetry.counter("native.prewarm.ms"), 0.0);
+
+    // Memory-only caches have nothing to prewarm.
+    service::NativeCache memoryOnly;
+    service::PrewarmReport empty =
+        service::prewarmNativeCache(memoryOnly, nullptr);
+    EXPECT_EQ(empty.scanned, 0u);
+    EXPECT_EQ(empty.loaded, 0u);
 }
 
 TEST(NativeCacheDisk, TruncatedArtifactEvictedAndRebuilt)

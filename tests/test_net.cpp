@@ -316,6 +316,82 @@ TEST(NetServer, RunExecutesClientSuppliedTree)
     server.waitUntilStopped();
 }
 
+TEST(NetServer, SessionPinnedEditAndReexec)
+{
+    net::Server server(testOptions());
+    server.start();
+    net::Client client("127.0.0.1", server.port());
+
+    // Pin a generated arena server-side under (client, session).
+    JsonObject run;
+    run.emplace("op", Json("run"));
+    run.emplace("id", Json(int64_t{1}));
+    run.emplace("client", Json("alice"));
+    run.emplace("session", Json("s1"));
+    run.emplace("grammar", Json(testutil::kRenderGrammarSrc));
+    run.emplace("traversal", Json(testutil::kSymbolicLayoutSrc));
+    run.emplace("tree_size", Json(int64_t{2000}));
+    Json ran = client.call(Json(run));
+    ASSERT_TRUE(ran.at("ok").asBool()) << ran.dump();
+    EXPECT_EQ(ran.at("session").asString(), "s1");
+    const int64_t nodesBefore = ran.at("nodes").asInt();
+
+    // Edit the pinned tree: one input mutation (w0 is attr id 0), one
+    // subtree replacement.
+    Json edited = client.call(net::parseJson(R"({
+        "op": "edit", "client": "alice", "session": "s1",
+        "edits": [
+            {"kind": "mutate", "node": 3, "attr": 0, "value": 1234},
+            {"kind": "replace", "node": 5, "subtree_nodes": 12,
+             "seed": 9}
+        ]
+    })"));
+    ASSERT_TRUE(edited.at("ok").asBool()) << edited.dump();
+    EXPECT_EQ(edited.at("edits").asInt(), 2);
+    EXPECT_GT(edited.at("nodes").asInt(), nodesBefore);
+
+    // Heal incrementally; the differential check recomputes from
+    // scratch and compares every cell.
+    Json healed = client.call(net::parseJson(R"({
+        "op": "reexec", "client": "alice", "session": "s1",
+        "check": true
+    })"));
+    ASSERT_TRUE(healed.at("ok").asBool()) << healed.dump();
+    EXPECT_EQ(healed.at("edits_applied").asInt(), 2);
+    EXPECT_EQ(healed.at("check").asString(), "ok");
+    EXPECT_EQ(healed.at("mismatches").asInt(), 0);
+    EXPECT_GT(healed.at("rules_checked").asInt(), 0);
+
+    // A second reexec has nothing to do.
+    Json idle = client.call(net::parseJson(R"({
+        "op": "reexec", "client": "alice", "session": "s1"
+    })"));
+    ASSERT_TRUE(idle.at("ok").asBool()) << idle.dump();
+    EXPECT_EQ(idle.at("edits_applied").asInt(), 0);
+
+    // Sessions are namespaced per client: bob cannot reach alice's.
+    Json foreign = client.call(net::parseJson(R"({
+        "op": "reexec", "client": "bob", "session": "s1"
+    })"));
+    EXPECT_FALSE(foreign.at("ok").asBool());
+    EXPECT_EQ(foreign.at("error").asString(), "unknown_session");
+
+    Json missing = client.call(net::parseJson(R"({
+        "op": "edit", "client": "alice", "session": "nope",
+        "edits": []
+    })"));
+    EXPECT_FALSE(missing.at("ok").asBool());
+    EXPECT_EQ(missing.at("error").asString(), "unknown_session");
+
+    Json metrics = client.call(net::parseJson(R"({"op": "metrics"})"));
+    ASSERT_TRUE(metrics.at("ok").asBool());
+    EXPECT_EQ(metrics.at("sessions").at("active").asInt(), 1);
+    EXPECT_EQ(metrics.at("sessions").at("created").asInt(), 1);
+
+    server.requestDrain();
+    server.waitUntilStopped();
+}
+
 TEST(NetServer, GeneratedTreeRunAndBatchMatchService)
 {
     net::Server server(testOptions());

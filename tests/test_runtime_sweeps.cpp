@@ -350,6 +350,65 @@ TEST(RuntimeSweeps, ExplicitSweepOnNonSweepableProgramIsUserError)
     EXPECT_NO_THROW(runtime::execute(program, arena, options));
 }
 
+TEST(RuntimeSweeps, AutoConsultsBytecodeShareAndWaveWidth)
+{
+    // Sweepable is necessary but not sufficient for the segmented
+    // strategy: Auto must keep bytecode-heavy programs (the AST and
+    // CSS grammars, whose conditional rules defeat kernel
+    // vectorization) on the stack walk, and send superinstruction
+    // programs (RenderTree) to the segmented engine. levelWaves > 0
+    // iff the segmented strategy actually ran.
+    struct Case {
+        const grammars::Benchmark* bench;
+        bool expectSegmented;
+    };
+    const Case cases[] = {
+        {&grammars::renderTree(), true},
+        {&grammars::astBench(), false},
+    };
+    for (const Case& c : cases) {
+        sem::Grammar grammar = grammars::load(*c.bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *c.bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, c.bench->name);
+        ASSERT_TRUE(program.sweepable()) << c.bench->name;
+        runtime::GenConfig gen;
+        gen.targetNodes = 20000;
+        gen.seed = 5;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        runtime::RuntimeStats stats = runtime::execute(program, arena, {});
+        if (c.expectSegmented) {
+            EXPECT_GT(stats.levelWaves, 0u) << c.bench->name;
+        } else {
+            EXPECT_EQ(stats.levelWaves, 0u) << c.bench->name;
+        }
+    }
+    // A chain-shaped arena (every wave one node wide) must fall back
+    // to the stack walk even for a superinstruction-only program.
+    {
+        const grammars::Benchmark& bench = grammars::renderTree();
+        sem::Grammar grammar = grammars::load(bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench.name);
+        runtime::GenConfig gen;
+        gen.targetNodes = 3000;
+        gen.maxCollection = 1; // degenerate, list-like fanout
+        gen.seed = 5;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        const runtime::LevelSegments::Stats& shape =
+            arena.levelSegments().stats();
+        runtime::RuntimeStats stats = runtime::execute(program, arena, {});
+        if (shape.avgLevelWidth < 64.0) {
+            EXPECT_EQ(stats.levelWaves, 0u);
+        } else {
+            EXPECT_GT(stats.levelWaves, 0u);
+        }
+    }
+}
+
 TEST(RuntimeSweeps, ExecOptionsClampedToArena)
 {
     // grain/spawnPrefix far beyond the node count (and grain 0) must
