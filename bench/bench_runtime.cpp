@@ -23,8 +23,11 @@
  * cores; the host's count is printed alongside).
  *
  * A third sweep compares the sweep strategies on the same compiled
- * program: explicit stack, linear two-pass, and the level-synchronous
- * segmented engine in scalar, vectorized, and level-parallel form. A
+ * program: explicit stack, linear two-pass, the level-synchronous
+ * segmented engine in scalar, vectorized, and level-parallel form,
+ * the tile scheduler (cache-sized subtree blocks with work stealing,
+ * sequential and with 2/4 workers), and Auto — each row carries a
+ * `selection` column (strategy/reason) proving what actually ran. A
  * fourth compares executing a batch of trees one by one against one
  * packed ForestArena execution (single-tree vs forest batching).
  *
@@ -59,6 +62,8 @@
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/program.hpp"
+#include "runtime/segments.hpp"
+#include "runtime/tiles.hpp"
 #include "service/native_tier.hpp"
 #include "support/thread_pool.hpp"
 #include "synth/autotuner.hpp"
@@ -404,11 +409,11 @@ main(int argc, char** argv)
         }
     }
 
-    // --- Sweep strategies: stack vs linear vs segmented ---------------
-    std::printf("\n== Sweep strategies: stack vs linear vs segmented "
-                "(scalar / simd / level-parallel) ==\n");
+    // --- Sweep strategies: stack vs linear vs segmented vs tiled ------
+    std::printf("\n== Sweep strategies: stack vs linear vs segmented vs "
+                "tiled (scalar / simd / parallel) ==\n");
     benchutil::row({"grammar", "nodes", "variant", "workers", "time(s)",
-                    "vs stack", "Mnodes/s"});
+                    "vs stack", "Mnodes/s", "selection"});
     std::vector<std::string> sweeps_json;
     struct SweepVariant {
         const char* name;
@@ -423,12 +428,22 @@ main(int argc, char** argv)
         {"seg-simd", runtime::SweepStrategy::Segmented, true, 0},
         {"seg-par2", runtime::SweepStrategy::Segmented, true, 2},
         {"seg-par4", runtime::SweepStrategy::Segmented, true, 4},
+        {"tiled", runtime::SweepStrategy::Tiled, true, 0},
+        {"tiled-par2", runtime::SweepStrategy::Tiled, true, 2},
+        {"tiled-par4", runtime::SweepStrategy::Tiled, true, 4},
+        {"auto", runtime::SweepStrategy::Auto, true, 0},
     };
     for (BenchGrammar* bg : {render.get(), ast.get()}) {
         if (!bg->program->sweepable())
             continue;
         for (uint32_t nodes : sizes) {
             runtime::TreeArena arena = makeArena(*bg->seq, nodes);
+            // Warm the lazily-built per-arena structures so
+            // single-iteration --quick rows time execution, not the
+            // one-time derived-structure construction (full runs
+            // amortize it out through best-of-N anyway).
+            arena.levelSegments();
+            arena.tileGraph();
             double stack_s = 0.0;
             for (const SweepVariant& v : sweep_variants) {
                 std::unique_ptr<ThreadPool> pool;
@@ -453,11 +468,18 @@ main(int argc, char** argv)
                 double vs_stack = secs > 0 ? stack_s / secs : 0;
                 double mnodes =
                     secs > 0 ? arena.size() / secs / 1e6 : 0;
+                // What actually ran and why — for explicit variants the
+                // reason is "explicit"; for auto it proves which engine
+                // the measured-stats selector picked on this instance.
+                const std::string selection =
+                    std::string(runtime::sweepStrategyName(
+                        stats.strategy)) +
+                    "/" + runtime::strategyReasonName(stats.selection);
                 benchutil::row(
                     {bg->bench->name, std::to_string(arena.size()),
                      v.name, std::to_string(v.workers),
                      benchutil::secs(secs), benchutil::ratio(vs_stack),
-                     benchutil::ratio(mnodes)});
+                     benchutil::ratio(mnodes), selection});
                 sweeps_json.push_back(jsonObject(
                     {{"grammar", "\"" + bg->bench->name + "\""},
                      {"nodes", std::to_string(arena.size())},
@@ -470,7 +492,11 @@ main(int argc, char** argv)
                      {"level_waves",
                       std::to_string(stats.levelWaves)},
                      {"segment_kernels",
-                      std::to_string(stats.segmentKernels)}}));
+                      std::to_string(stats.segmentKernels)},
+                     {"tiles", std::to_string(stats.tilesExecuted)},
+                     {"tile_steals",
+                      std::to_string(stats.tileSteals)},
+                     {"selection", "\"" + selection + "\""}}));
             }
         }
     }

@@ -56,7 +56,8 @@
  *              [--engine ilp|sat] [--depth K] [--cache-dir DIR]
  *              [--tree-size N] [--tree-depth D] [--seed S]
  *              [--batch-count B] [--strategy NAME] [--no-simd]
- *              [--grain G] [--exec-threads N] [--seq] [--check]
+ *              [--grain G] [--exec-threads N] [--tile-bytes B]
+ *              [--seq] [--check]
  *              [--tier bytecode|native|auto] [--native-cache-dir DIR]
  *              [--edit-storm N] [--edit-size K] [--edit-seed S]
  *              [--trace-out FILE] [--stats-json FILE]
@@ -74,11 +75,15 @@
  * concurrency; --seq forces the sequential executor). --batch-count
  * packs B independently generated trees (tree-size nodes each) into
  * one ForestArena and runs them in a single batched execution.
- * --strategy picks the sweep engine: auto (default; segmented when the
- * program is sweepable, else stack), stack (explicit-stack traversal),
- * linear (node-id order sweeps), or segmented (class-segregated
- * level-synchronous kernels). --no-simd runs the segmented kernels
- * through the portable scalar variant. --check re-evaluates every
+ * --strategy picks the sweep engine: auto (default; measured-stats
+ * selection between the four engines, recorded in the stats line and
+ * exec.select.* counters), stack (explicit-stack traversal), linear
+ * (node-id order sweeps), segmented (class-segregated
+ * level-synchronous kernels), or tiled (cache-sized subtree blocks on
+ * the work-stealing tile scheduler; --tile-bytes overrides the
+ * per-tile footprint budget, 0 = L2-sized default). --no-simd runs
+ * the segmented and tiled kernels through the portable scalar
+ * variant. --check re-evaluates every
  * output attribute (of every tree in the batch) with
  * exec::computeReference and fails on any mismatch.
  *
@@ -97,6 +102,7 @@
  * JSON protocol (README "Serving"):
  *
  *   hecate_cli serve [--port P] [--host ADDR] [--threads N]
+ *              [--exec-threads N]
  *              [--queue-cap N] [--max-conns N] [--max-frame BYTES]
  *              [--max-outbuf BYTES] [--quota-rps R] [--quota-burst B]
  *              [--allow-remote-drain] [--cache-dir DIR]
@@ -104,6 +110,9 @@
  *              [--trace-out FILE] [--stats-json FILE]
  *
  * --threads sizes the request worker pool (0 = hardware concurrency),
+ * --exec-threads caps per-request execution parallelism (0 = auto:
+ * hardware threads / request workers, so a saturated daemon never
+ * oversubscribes; the metrics op reports the effective value),
  * --queue-cap bounds the admission queue (overload answers
  * over_capacity rejections instead of queueing without bound), and
  * --quota-rps/--quota-burst set the per-client token bucket (0
@@ -157,13 +166,16 @@ usage()
         "   or: hecate_cli run GRAMMAR [TRAVERSAL.hec] [--root IFACE]\n"
         "       [--engine ilp|sat] [--depth K] [--cache-dir DIR]\n"
         "       [--tree-size N] [--tree-depth D] [--seed S]\n"
-        "       [--batch-count B] [--strategy auto|stack|linear|segmented]\n"
-        "       [--no-simd] [--grain G] [--exec-threads N] [--seq]\n"
+        "       [--batch-count B]\n"
+        "       [--strategy auto|stack|linear|segmented|tiled]\n"
+        "       [--no-simd] [--grain G] [--exec-threads N]\n"
+        "       [--tile-bytes B] [--seq]\n"
         "       [--check] [--tier bytecode|native|auto]\n"
         "       [--native-cache-dir DIR]\n"
         "       [--edit-storm N] [--edit-size K] [--edit-seed S]\n"
         "       [--trace-out FILE] [--stats-json FILE]\n"
         "   or: hecate_cli serve [--port P] [--host ADDR] [--threads N]\n"
+        "       [--exec-threads N]\n"
         "       [--queue-cap N] [--max-conns N] [--max-frame BYTES]\n"
         "       [--max-outbuf BYTES] [--quota-rps R] [--quota-burst B]\n"
         "       [--allow-remote-drain] [--cache-dir DIR]\n"
@@ -322,8 +334,10 @@ parseStrategyName(const std::string& name)
         return runtime::SweepStrategy::Linear;
     if (name == "segmented")
         return runtime::SweepStrategy::Segmented;
+    if (name == "tiled")
+        return runtime::SweepStrategy::Tiled;
     userError("unknown sweep strategy '" + name +
-              "' (expected auto, stack, linear or segmented)");
+              "' (expected auto, stack, linear, segmented or tiled)");
 }
 
 /**
@@ -575,6 +589,7 @@ runRun(int argc, char** argv)
     long long tree_depth = 0;
     long long grain = 1024;
     long long exec_threads = 0;
+    long long tile_bytes = 0;
     long long seed = 1;
     long long batch_count = 1;
     std::string strategy_name = "auto";
@@ -607,6 +622,8 @@ runRun(int argc, char** argv)
             grain = std::atoll(argv[++i]);
         } else if (arg == "--exec-threads" && i + 1 < argc) {
             exec_threads = std::atoll(argv[++i]);
+        } else if (arg == "--tile-bytes" && i + 1 < argc) {
+            tile_bytes = std::atoll(argv[++i]);
         } else if (arg == "--batch-count" && i + 1 < argc) {
             batch_count = std::atoll(argv[++i]);
         } else if (arg == "--strategy" && i + 1 < argc) {
@@ -644,6 +661,9 @@ runRun(int argc, char** argv)
     if (exec_threads < 0 || exec_threads > 4096)
         userError("--exec-threads must be between 0 and 4096 "
                   "(0 = hardware concurrency)");
+    if (tile_bytes < 0 || tile_bytes > (1ll << 32))
+        userError("--tile-bytes must be between 0 and 2^32 "
+                  "(0 = default L2-sized budget)");
     if (seed < 0)
         userError("--seed must be non-negative");
     if (batch_count < 1 || batch_count > (1ll << 20))
@@ -708,6 +728,7 @@ runRun(int argc, char** argv)
     request.gen.seed = static_cast<uint64_t>(seed);
     request.exec.grain = static_cast<uint32_t>(grain);
     request.exec.strategy = strategy;
+    request.exec.tileBytes = static_cast<uint64_t>(tile_bytes);
     if (no_simd)
         request.exec.simd = false;
     request.batchCount = static_cast<uint32_t>(batch_count);
@@ -761,9 +782,15 @@ runRun(int argc, char** argv)
                  static_cast<unsigned long long>(stats.tasksSpawned),
                  static_cast<unsigned long long>(stats.helpJoinRuns));
     std::fprintf(stderr,
-                 "run: %llu level waves | %llu segment kernels\n",
+                 "run: %llu level waves | %llu segment kernels | "
+                 "%llu tiles | %llu tile steals\n",
                  static_cast<unsigned long long>(stats.levelWaves),
-                 static_cast<unsigned long long>(stats.segmentKernels));
+                 static_cast<unsigned long long>(stats.segmentKernels),
+                 static_cast<unsigned long long>(stats.tilesExecuted),
+                 static_cast<unsigned long long>(stats.tileSteals));
+    std::fprintf(stderr, "run: strategy %s (%s)\n",
+                 runtime::sweepStrategyName(stats.strategy),
+                 runtime::strategyReasonName(stats.selection));
     if (tier != service::ExecTier::Bytecode) {
         native_tier.drain();
         native_tier.exportCounters(telemetry);
@@ -896,6 +923,7 @@ runServe(int argc, char** argv)
     net::ServeOptions serve;
     long long port = 7411;
     long long threads = 0;
+    long long exec_threads = 0;
     long long queue_cap = 512;
     long long max_conns = 4096;
     long long max_frame = 4 << 20;
@@ -914,6 +942,8 @@ runServe(int argc, char** argv)
             serve.host = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = std::atoll(argv[++i]);
+        } else if (arg == "--exec-threads" && i + 1 < argc) {
+            exec_threads = std::atoll(argv[++i]);
         } else if (arg == "--queue-cap" && i + 1 < argc) {
             queue_cap = std::atoll(argv[++i]);
         } else if (arg == "--max-conns" && i + 1 < argc) {
@@ -943,6 +973,9 @@ runServe(int argc, char** argv)
     if (threads < 0 || threads > 4096)
         userError("--threads must be between 0 and 4096 "
                   "(0 = hardware concurrency)");
+    if (exec_threads < 0 || exec_threads > 4096)
+        userError("--exec-threads must be between 0 and 4096 "
+                  "(0 = auto: hardware threads / request workers)");
     if (queue_cap < 1 || queue_cap > (1ll << 20))
         userError("--queue-cap must be between 1 and 2^20");
     if (max_conns < 1 || max_conns > (1ll << 20))
@@ -958,6 +991,7 @@ runServe(int argc, char** argv)
 
     serve.port = static_cast<uint16_t>(port);
     serve.workers = static_cast<size_t>(threads);
+    serve.execThreads = static_cast<uint32_t>(exec_threads);
     serve.queueCapacity = static_cast<size_t>(queue_cap);
     serve.maxConnections = static_cast<size_t>(max_conns);
     serve.maxFrameBytes = static_cast<uint32_t>(max_frame);

@@ -444,6 +444,7 @@ resolveNativeForm(const runtime::Program& program,
         return NativeForm::Recursive;
       case runtime::SweepStrategy::Linear:
       case runtime::SweepStrategy::Segmented:
+      case runtime::SweepStrategy::Tiled:
         if (!program.sweepable())
             userError("native tier: the linear form requires a sweepable "
                       "(sandwich-shaped) program; use the stack strategy");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "obs/telemetry.hpp"
 #include "runtime/edit_state.hpp"
 #include "runtime/eval_detail.hpp"
+#include "runtime/steal.hpp"
 #include "support/arith.hpp"
 #include "support/diagnostics.hpp"
 
@@ -25,6 +27,8 @@ using runtime::NodeIdx;
 using runtime::Op;
 using runtime::Operand;
 using runtime::Program;
+using runtime::StealDeques;
+using runtime::StealTask;
 using runtime::SweepCase;
 using runtime::XInst;
 
@@ -37,6 +41,10 @@ struct IncrCtx {
     ArenaView view;
     EditState* es = nullptr;
     ThreadPool* pool = nullptr;
+    /** Stack-strategy region substrate; set while the walk is live. */
+    StealDeques* deques = nullptr;
+    /** Stack strategy: seed-ancestor activity mask (see below). */
+    const uint8_t* spine = nullptr;
     size_t grain = 1;
     NodeIdx spawnPrefix = 0;
 
@@ -62,45 +70,23 @@ struct IncrCtx {
 };
 
 /**
- * Help-join barrier, same contract as the executor's: submit @p count
- * tasks, drain the pool from the calling thread until all finished,
- * rethrow the first failure. (The executor's copy is file-local to
- * executor.cpp; the duplication buys zero coupling to its SharedCtx.)
+ * Thrown by a region dispatch whose chunks were drained unrun because
+ * another task already failed (StealDeques failure semantics): unwinds
+ * this walk so the recorded first error surfaces at the join root.
  */
-template <class SubmitOne>
-void
-forkJoin(IncrCtx& ctx, size_t count, SubmitOne&& submitOne)
-{
-    std::atomic<size_t> pending{count};
-    std::atomic<bool> failed{false};
-    std::exception_ptr firstError;
-    auto guard = [&](auto&& body) {
-        try {
-            body();
-        } catch (...) {
-            if (!failed.exchange(true))
-                firstError = std::current_exception();
-        }
-        pending.fetch_sub(1, std::memory_order_release);
-    };
-    size_t submitted = 0;
-    try {
-        for (; submitted < count; ++submitted) {
-            submitOne(submitted, guard);
-            ++ctx.tasks;
-        }
-    } catch (...) {
-        if (!failed.exchange(true))
-            firstError = std::current_exception();
-        pending.fetch_sub(count - submitted, std::memory_order_release);
-    }
-    while (pending.load(std::memory_order_acquire) != 0) {
-        if (!ctx.pool->runOne())
-            std::this_thread::yield();
-    }
-    if (failed.load(std::memory_order_relaxed))
-        std::rethrow_exception(firstError);
-}
+struct RegionAborted {};
+
+/** Decrements a join counter however the owning task exits. */
+class JoinGuard {
+  public:
+    explicit JoinGuard(std::atomic<uint32_t>* join) : join_(join) {}
+    ~JoinGuard() { join_->fetch_sub(1, std::memory_order_release); }
+    JoinGuard(const JoinGuard&) = delete;
+    JoinGuard& operator=(const JoinGuard&) = delete;
+
+  private:
+    std::atomic<uint32_t>* join_;
+};
 
 /**
  * Worker-local dirty marking. The dirty *bytes* are written in place —
@@ -294,8 +280,9 @@ class SpecRunner {
  */
 class StackWorker {
   public:
-    StackWorker(IncrCtx& ctx, const uint8_t* spine)
-        : ctx_(ctx), spine_(spine), rec_(ctx), specs_(ctx, rec_),
+    StackWorker(IncrCtx& ctx, const uint8_t* spine, uint32_t slot = 0)
+        : ctx_(ctx), slot_(slot), spine_(spine), rec_(ctx),
+          specs_(ctx, rec_),
           code_(ctx.program->code().data()),
           entry_(ctx.program->entryData()), cls_(ctx.view.cls),
           scalarBase_(ctx.view.scalarBase), scalars_(ctx.view.scalars),
@@ -409,34 +396,42 @@ class StackWorker {
         size_t grain = ctx_.grain;
         size_t chunkCount = (branches_.size() + grain - 1) / grain;
         if (chunkCount <= 1 && branches_.size() >= 2 &&
-            ctx_.pool != nullptr && f.node < ctx_.spawnPrefix) {
+            ctx_.deques != nullptr && f.node < ctx_.spawnPrefix) {
             grain = 1;
             chunkCount = branches_.size();
         }
-        if (ctx_.pool == nullptr || chunkCount <= 1) {
+        if (ctx_.deques == nullptr || chunkCount <= 1) {
             if (code_[f.pc].op != Op::Ret)
                 stack_.push_back(f);
             for (auto it = branches_.rbegin(); it != branches_.rend(); ++it)
                 pushFrame(*it);
             return false;
         }
-        forkJoin(ctx_, chunkCount, [&](size_t chunk, auto& guard) {
-            const NodeIdx* beg = branches_.data() + chunk * grain;
-            const NodeIdx* end = branches_.data() +
-                std::min(branches_.size(), (chunk + 1) * grain);
-            ctx_.pool->submit(
-                [&ctx = ctx_, spine = spine_, beg, end, guard] {
-                    guard([&] {
-                        StackWorker sub(ctx, spine);
-                        for (const NodeIdx* p = beg; p != end; ++p)
-                            sub.run(*p);
-                    });
-                });
+        // Same protocol as the executor's Worker: chunks go to this
+        // worker's own deque, the join is driven from here, and a
+        // failure elsewhere that drained our chunks aborts the walk.
+        ctx_.tasks += chunkCount;
+        std::atomic<uint32_t> join{static_cast<uint32_t>(chunkCount)};
+        for (size_t chunk = chunkCount; chunk-- > 0;) {
+            const size_t b = chunk * grain;
+            const size_t e = std::min(branches_.size(), b + grain);
+            ctx_.deques->push(
+                slot_,
+                StealTask{
+                    reinterpret_cast<uint64_t>(branches_.data() + b),
+                    static_cast<uint64_t>(e - b),
+                    reinterpret_cast<uint64_t>(&join)});
+        }
+        ctx_.deques->drive(slot_, [&join] {
+            return join.load(std::memory_order_acquire) == 0;
         });
+        if (join.load(std::memory_order_acquire) != 0)
+            throw RegionAborted{};
         return true;
     }
 
     IncrCtx& ctx_;
+    const uint32_t slot_; ///< this worker's steal-deque slot
     const uint8_t* spine_;
     DirtRecorder rec_;
     SpecRunner specs_;
@@ -523,6 +518,25 @@ class WaveRunner {
 
     void run()
     {
+        // One steal-deque instance serves every wave of the run; the
+        // per-wave members below are set before each wave's chunks are
+        // pushed and stay fixed until its join drains (the per-wave
+        // barrier the enqueue logic requires).
+        std::unique_ptr<StealDeques> deques;
+        if (ctx_.pool != nullptr && ctx_.pool->workerCount() != 0) {
+            deques = std::make_unique<StealDeques>(
+                ctx_.pool,
+                [this](const StealTask& task, uint32_t) {
+                    JoinGuard guard(&waveJoin_);
+                    DirtRecorder rec(ctx_);
+                    SpecRunner specs(ctx_, rec);
+                    std::vector<NodeIdx>* out =
+                        &(*waveDeferred_)[task.a];
+                    for (uint64_t i = task.b; i < task.c; ++i)
+                        runNode(specs, waveData_[i], wavePre_, out);
+                });
+            deques_ = deques.get();
+        }
         seed();
         pre_phase_ = true;
         // Deeper lists may grow while a level runs (inherited writes
@@ -538,6 +552,7 @@ class WaveRunner {
             curLevel_ = l;
             runWave(post_[l], /*pre=*/false);
         }
+        deques_ = nullptr;
     }
 
   private:
@@ -588,30 +603,32 @@ class WaveRunner {
         ++ctx_.waves;
         ctx_.visits += wave.size();
         const size_t grain = ctx_.grain;
-        if (ctx_.pool == nullptr || wave.size() < 2 * grain) {
+        if (deques_ == nullptr || wave.size() < 2 * grain) {
             for (NodeIdx n : wave)
                 runNode(specs_, n, pre, nullptr);
             return;
         }
-        // Parallel chunks: same-wave nodes touch pairwise-disjoint
-        // cells, so the spec runs race-free; enqueues are deferred to
-        // per-chunk buffers and replayed after the barrier (the queue
-        // vectors are not thread-safe).
+        // Parallel chunks on the steal deques: same-wave nodes touch
+        // pairwise-disjoint cells, so the spec runs race-free;
+        // enqueues are deferred to per-chunk buffers and replayed
+        // after the join (the queue vectors are not thread-safe).
         const size_t chunkCount = (wave.size() + grain - 1) / grain;
         std::vector<std::vector<NodeIdx>> deferred(chunkCount);
-        forkJoin(ctx_, chunkCount, [&](size_t chunk, auto& guard) {
+        waveData_ = wave.data();
+        wavePre_ = pre;
+        waveDeferred_ = &deferred;
+        waveJoin_.store(static_cast<uint32_t>(chunkCount),
+                        std::memory_order_relaxed);
+        ctx_.tasks += chunkCount;
+        for (size_t chunk = chunkCount; chunk-- > 0;) {
             const size_t b = chunk * grain;
             const size_t e = std::min(wave.size(), b + grain);
-            std::vector<NodeIdx>* out = &deferred[chunk];
-            ctx_.pool->submit([this, &wave, b, e, pre, out, guard] {
-                guard([&] {
-                    DirtRecorder rec(ctx_);
-                    SpecRunner specs(ctx_, rec);
-                    for (size_t i = b; i < e; ++i)
-                        runNode(specs, wave[i], pre, out);
-                });
-            });
+            deques_->push(0, StealTask{chunk, b, e});
+        }
+        deques_->drive(0, [this] {
+            return waveJoin_.load(std::memory_order_acquire) == 0;
         });
+        deques_->rethrowIfFailed();
         for (const auto& chunk : deferred) {
             for (NodeIdx m : chunk)
                 onDirty(m);
@@ -631,6 +648,13 @@ class WaveRunner {
     std::vector<uint8_t> postQ_;
     bool pre_phase_ = true;
     uint32_t curLevel_ = 0;
+    // Live-wave chunk state for the steal-deque runner; valid from the
+    // pushes of one wave until its join drains.
+    StealDeques* deques_ = nullptr;
+    const NodeIdx* waveData_ = nullptr;
+    bool wavePre_ = true;
+    std::vector<std::vector<NodeIdx>>* waveDeferred_ = nullptr;
+    std::atomic<uint32_t> waveJoin_{0};
 };
 
 IncrStats
@@ -700,12 +724,56 @@ runIncremental(const Program& program, const IncrPlan& plan,
             for (NodeIdx p = s; p != kNone && !spine[p]; p = ctx.parent[p])
                 spine[p] = 1;
         }
-        StackWorker worker(ctx, spine.data());
-        for (uint32_t r = 0; r < view.rootCount; ++r) {
-            const NodeIdx root = view.roots[r];
-            if (worker.active(root))
-                worker.run(root);
+        ctx.spine = spine.data();
+        if (ctx.pool != nullptr && ctx.pool->workerCount() != 0) {
+            // Same substrate as the executor's stack strategy: one
+            // StealDeques instance, tasks decode {roots, count, join}
+            // and run a fresh StackWorker bound to the executing slot.
+            StealDeques deques(
+                ctx.pool, [&ctx](const StealTask& task, uint32_t slot) {
+                    const NodeIdx* beg =
+                        reinterpret_cast<const NodeIdx*>(task.a);
+                    const uint32_t count = static_cast<uint32_t>(task.b);
+                    auto* join =
+                        reinterpret_cast<std::atomic<uint32_t>*>(task.c);
+                    JoinGuard guard(join);
+                    StackWorker worker(ctx, ctx.spine, slot);
+                    for (uint32_t i = 0; i < count; ++i)
+                        worker.run(beg[i]);
+                });
+            ctx.deques = &deques;
+            std::vector<NodeIdx> active;
+            {
+                StackWorker probe(ctx, ctx.spine);
+                for (uint32_t r = 0; r < view.rootCount; ++r) {
+                    const NodeIdx root = view.roots[r];
+                    if (probe.active(root))
+                        active.push_back(root);
+                }
+            }
+            std::atomic<uint32_t> rootJoin{
+                static_cast<uint32_t>(active.size())};
+            ctx.tasks += active.size();
+            for (size_t r = active.size(); r-- > 0;) {
+                deques.push(
+                    0, StealTask{
+                           reinterpret_cast<uint64_t>(active.data() + r),
+                           1, reinterpret_cast<uint64_t>(&rootJoin)});
+            }
+            deques.drive(0, [&rootJoin] {
+                return rootJoin.load(std::memory_order_acquire) == 0;
+            });
+            ctx.deques = nullptr;
+            deques.rethrowIfFailed();
+        } else {
+            StackWorker worker(ctx, spine.data());
+            for (uint32_t r = 0; r < view.rootCount; ++r) {
+                const NodeIdx root = view.roots[r];
+                if (worker.active(root))
+                    worker.run(root);
+            }
         }
+        ctx.spine = nullptr;
     }
 
     stats.nodesVisited = ctx.visits;

@@ -14,6 +14,8 @@
 
 #include "exec/interp.hpp"
 #include "pipeline/pipeline.hpp"
+#include "runtime/executor.hpp"
+#include "support/thread_pool.hpp"
 #include "service/prewarm_index.hpp"
 #include "support/diagnostics.hpp"
 #include "support/timer.hpp"
@@ -255,6 +257,20 @@ Server::start()
         if (workers == 0)
             workers = 1;
     }
+    // Nested-parallelism cap: each request worker may drive a parallel
+    // tree execution, so exec threads default to the machine's share
+    // per worker. The pool holds the extra threads (the request worker
+    // itself is execution thread #1).
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    execThreadsEffective_ =
+        options_.execThreads != 0
+            ? options_.execThreads
+            : static_cast<uint32_t>(std::max<size_t>(1, hw / workers));
+    if (execThreadsEffective_ > 1)
+        execPool_ =
+            std::make_unique<ThreadPool>(execThreadsEffective_ - 1);
     workers_.reserve(workers);
     for (size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -959,6 +975,7 @@ Server::executeRun(const Json& request)
     const Json* treeSpec = request.find("tree");
     runtime::ExecOptions exec;
     exec.strategy = runtime::SweepStrategy::Auto;
+    exec.pool = execPool_.get();
 
     std::optional<pipeline::ExecuteArtifact> artifact;
     if (treeSpec != nullptr) {
@@ -1135,6 +1152,7 @@ Server::executeReexec(const Json& request)
                                  "' (run with \"session\" first)");
 
     incr::IncrOptions incrOptions;
+    incrOptions.pool = execPool_.get();
     const std::string strategy = request.stringOr("strategy", "auto");
     if (strategy == "auto")
         incrOptions.strategy = incr::IncrStrategy::Auto;
@@ -1312,6 +1330,32 @@ Server::handleMetrics()
     nativeOut.emplace("corrupt_evicted",
                       Json(nativeCache.corruptEvicted));
     out.emplace("native", Json(std::move(nativeOut)));
+
+    // Execution-side parallelism and strategy-selection provenance:
+    // which sweep strategies actually ran and why Auto picked them
+    // (counters fed by Pipeline::exportExecCounters).
+    JsonObject execOut;
+    execOut.emplace("exec_threads", Json(uint64_t{execThreadsEffective_}));
+    JsonObject strategyOut;
+    for (const char* name : {"stack", "linear", "segmented", "tiled"}) {
+        strategyOut.emplace(
+            name, Json(telemetry_->counter(std::string("exec.strategy.") +
+                                           name)));
+    }
+    execOut.emplace("strategy", Json(std::move(strategyOut)));
+    JsonObject selectOut;
+    for (const char* reason :
+         {"explicit", "not-sweepable", "narrow-levels", "bytecode-heavy",
+          "cache-resident", "large-tree"}) {
+        selectOut.emplace(
+            reason, Json(telemetry_->counter(std::string("exec.select.") +
+                                             reason)));
+    }
+    execOut.emplace("selection", Json(std::move(selectOut)));
+    execOut.emplace("tiles", Json(telemetry_->counter("exec.tiles")));
+    execOut.emplace("tile_steals",
+                    Json(telemetry_->counter("exec.tile_steals")));
+    out.emplace("exec", Json(std::move(execOut)));
 
     JsonObject sessionsOut;
     {

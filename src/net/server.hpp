@@ -82,6 +82,9 @@ class Pipeline;
 namespace hecate::runtime {
 class TreeArena;
 }
+namespace hecate {
+class ThreadPool;
+}
 
 namespace hecate::net {
 
@@ -93,6 +96,17 @@ struct ServeOptions {
     std::string host = "127.0.0.1";
     uint16_t port = 0;          ///< 0 = ephemeral (see Server::port())
     size_t workers = 0;         ///< request workers; 0 = hardware
+    /**
+     * Execution threads per in-flight request (nested parallelism
+     * cap): run/reexec ops route tree execution through a shared
+     * thread pool of execThreads - 1 extra workers, so total
+     * execution-side threads stay bounded at roughly workers *
+     * execThreads even when every request worker is busy. 0 = auto =
+     * max(1, hardware_threads / request workers) — a fully loaded
+     * daemon never oversubscribes the machine, while a mostly-idle
+     * wide machine still parallelizes individual requests.
+     */
+    uint32_t execThreads = 0;
     size_t queueCapacity = 512; ///< admission bound (queued, not in-flight)
     size_t maxConnections = 4096;
     uint32_t maxFrameBytes = 4u << 20; ///< per-frame payload cap
@@ -313,6 +327,15 @@ class Server {
     std::thread pollThread_;
     std::thread prewarmThread_; ///< --tier auto native-cache prewarm
     std::vector<std::thread> workers_;
+    /**
+     * Shared execution pool for run/reexec tree walks (see
+     * ServeOptions::execThreads). One pool for the whole daemon, not
+     * one per request worker: concurrent requests steal from the same
+     * deques and serialize gracefully instead of multiplying threads.
+     * Null when the effective exec-thread count is 1.
+     */
+    std::unique_ptr<ThreadPool> execPool_;
+    uint32_t execThreadsEffective_ = 1;
     std::atomic<bool> started_{false};
     std::atomic<bool> draining_{false};
     std::atomic<bool> stopped_{false};

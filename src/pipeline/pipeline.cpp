@@ -498,6 +498,16 @@ Pipeline::exportExecCounters(const runtime::RuntimeStats& stats,
     sink.add("exec.level_waves", static_cast<double>(stats.levelWaves));
     sink.add("exec.segment_kernels",
              static_cast<double>(stats.segmentKernels));
+    sink.add("exec.tiles", static_cast<double>(stats.tilesExecuted));
+    sink.add("exec.tile_steals", static_cast<double>(stats.tileSteals));
+    // Strategy-selection provenance: which strategy actually ran and
+    // why Auto (or an explicit request) picked it.
+    sink.add(std::string("exec.strategy.") +
+                 runtime::sweepStrategyName(stats.strategy),
+             1.0);
+    sink.add(std::string("exec.select.") +
+                 runtime::strategyReasonName(stats.selection),
+             1.0);
     if (executeSeconds > 0.0) {
         sink.set("exec.nodes_per_sec",
                  static_cast<double>(nodes) / executeSeconds);

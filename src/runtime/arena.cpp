@@ -23,7 +23,8 @@ TreeArena::TreeArena(const TreeArena& other)
       scalarBase_(other.scalarBase_), collBase_(other.collBase_),
       scalars_(other.scalars_), collRanges_(other.collRanges_),
       collElems_(other.collElems_), columns_(other.columns_),
-      segments_(other.segments_), zeroRow_(other.zeroRow_),
+      segments_(other.segments_), tiles_(other.tiles_),
+      tilesBytes_(other.tilesBytes_), zeroRow_(other.zeroRow_),
       edits_(other.edits_ ? std::make_unique<EditState>(*other.edits_)
                           : nullptr)
 {

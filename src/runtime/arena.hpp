@@ -47,6 +47,7 @@ inline constexpr NodeIdx kNone = sem::kInvalidId;
 
 class Layout;
 class LevelSegments;
+class TileGraph;
 struct EditState;
 
 /** One collection slot's contiguous element range (CSR row). */
@@ -243,6 +244,14 @@ class TreeArena {
      */
     const LevelSegments& levelSegments();
 
+    /**
+     * Cache-sized subtree blocking of this arena (runtime/tiles.hpp),
+     * built on first use for @p tileBytes (0 = kDefaultTileBytes) and
+     * cached like levelSegments(); rebuilt when a different byte
+     * budget is requested. Structural edits invalidate the cache.
+     */
+    const TileGraph& tileGraph(uint64_t tileBytes = 0);
+
     /** Depth of the deepest node (root = 1). */
     uint32_t depth() const;
 
@@ -331,6 +340,8 @@ class TreeArena {
     std::vector<std::vector<int64_t>> columns_; ///< [column][node]
     std::vector<int64_t*> colPtrs_;             ///< view() scratch
     std::shared_ptr<const LevelSegments> segments_; ///< lazy cache
+    std::shared_ptr<const TileGraph> tiles_;        ///< lazy cache
+    uint64_t tilesBytes_ = 0; ///< budget tiles_ was built for
     NodeIdx zeroRow_ = 0; ///< always-zero row index; >= size()
     std::unique_ptr<EditState> edits_; ///< null until the first edit
 };

@@ -320,6 +320,7 @@ TreeArena::replaceSubtree(NodeIdx target, const TreeArena& replacement)
     ++es.editsApplied;
 
     segments_.reset(); // level structure changed
+    tiles_.reset();    // subtree blocking changed with it
     colPtrs_.clear();  // columns may have been reallocated by growRows
     return off;
 }

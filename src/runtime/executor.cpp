@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -10,16 +11,30 @@
 #include "runtime/eval_detail.hpp"
 #include "runtime/kernels.hpp"
 #include "runtime/segments.hpp"
+#include "runtime/steal.hpp"
+#include "runtime/tiles.hpp"
 
 namespace hecate::runtime {
 
 namespace {
+
+/**
+ * Auto-selection thresholds. Spec-major kernels lose once too many
+ * specs drop to the per-node expression interpreter (every bundled
+ * grammar above ~1/3 Bytecode share measures slower segmented than
+ * stack at 200k-1M nodes, every one below ~1/4 measures 2-4x faster),
+ * and level waves must be wide enough to amortize their barrier.
+ */
+constexpr double kMaxAutoBytecodeShare = 0.30;
+constexpr double kMinAutoWaveWidth = 64.0;
 
 /** State shared by every worker of one execute() call. */
 struct SharedCtx {
     const Program* program = nullptr;
     ArenaView view;
     ThreadPool* pool = nullptr;
+    /** Stack-strategy region substrate; set while runStack is live. */
+    StealDeques* deques = nullptr;
     size_t grain = 1;
     NodeIdx spawnPrefix = 0;
 
@@ -30,6 +45,27 @@ struct SharedCtx {
     std::atomic<uint64_t> helps{0};
     std::atomic<uint64_t> waves{0};
     std::atomic<uint64_t> kernels{0};
+    std::atomic<uint64_t> tiles{0};
+    std::atomic<uint64_t> steals{0};
+};
+
+/**
+ * Thrown by a region dispatch whose chunks were drained unrun because
+ * another task already failed: unwinds this traversal so the recorded
+ * first error surfaces at the join root. Never escapes the executor.
+ */
+struct RegionAborted {};
+
+/** Decrements a join counter however the owning task exits. */
+class JoinGuard {
+  public:
+    explicit JoinGuard(std::atomic<uint32_t>* join) : join_(join) {}
+    ~JoinGuard() { join_->fetch_sub(1, std::memory_order_release); }
+    JoinGuard(const JoinGuard&) = delete;
+    JoinGuard& operator=(const JoinGuard&) = delete;
+
+  private:
+    std::atomic<uint32_t>* join_;
 };
 
 /**
@@ -99,8 +135,8 @@ forkJoin(SharedCtx& ctx, size_t count, SubmitOne&& submitOne)
  */
 class Worker {
   public:
-    explicit Worker(SharedCtx& ctx)
-        : ctx_(ctx), code_(ctx.program->code().data()),
+    explicit Worker(SharedCtx& ctx, uint32_t slot = 0)
+        : ctx_(ctx), slot_(slot), code_(ctx.program->code().data()),
           xcode_(ctx.program->exprPool().data()),
           evals_(ctx.program->evals().data()),
           entry_(ctx.program->entryData()), cols_(ctx.view.cols),
@@ -225,6 +261,37 @@ class Worker {
         }
     }
 
+    /**
+     * Node-major pre pass over an explicit span — the tiled strategy's
+     * in-tile sweep mode. @p nodes must be parent-before-child ordered
+     * (ascending arena ids within a tile are, by BFS numbering).
+     */
+    void runSpanPre(const NodeIdx* nodes, uint32_t count,
+                    const SweepCase* sweeps)
+    {
+        for (uint32_t i = 0; i < count; ++i) {
+            const NodeIdx node = nodes[i];
+            const SweepCase& sc = sweeps[cls_[node]];
+            if (sc.preCount != 0)
+                evalRun(sc.preBegin, sc.preCount, node,
+                        scalars_ + scalarBase_[node]);
+        }
+    }
+
+    /** Node-major post pass: @p nodes walked in reverse. */
+    void runSpanPost(const NodeIdx* nodes, uint32_t count,
+                     const SweepCase* sweeps)
+    {
+        for (uint32_t i = count; i-- > 0;) {
+            const NodeIdx node = nodes[i];
+            const SweepCase& sc = sweeps[cls_[node]];
+            if (sc.postCount != 0)
+                evalRun(sc.postBegin, sc.postCount, node,
+                        scalars_ + scalarBase_[node]);
+            ++visits_;
+        }
+    }
+
   private:
     struct Frame {
         NodeIdx node;
@@ -302,14 +369,14 @@ class Worker {
         size_t grain = ctx_.grain;
         size_t chunkCount = (branches_.size() + grain - 1) / grain;
         if (chunkCount <= 1 && branches_.size() >= 2 &&
-            ctx_.pool != nullptr && f.node < ctx_.spawnPrefix) {
+            ctx_.deques != nullptr && f.node < ctx_.spawnPrefix) {
             // Narrow region near the root (BFS ids are a depth proxy):
             // each branch is a whole large subtree, so fork per branch
             // even though they never fill a grain-sized chunk.
             grain = 1;
             chunkCount = branches_.size();
         }
-        if (ctx_.pool == nullptr || chunkCount <= 1) {
+        if (ctx_.deques == nullptr || chunkCount <= 1) {
             if (code_[f.pc].op != Op::Ret)
                 stack_.push_back(f); // resumes after the branch subtrees
             for (auto it = branches_.rbegin(); it != branches_.rend(); ++it)
@@ -317,20 +384,31 @@ class Worker {
             return false;
         }
         ++ctx_.regions;
-        // beg/end stay valid: this frame owns branches_ and blocks in
-        // the help-join until every chunk finished.
-        forkJoin(ctx_, chunkCount, [&](size_t chunk, auto& guard) {
-            const NodeIdx* beg = branches_.data() + chunk * grain;
-            const NodeIdx* end = branches_.data() +
-                std::min(branches_.size(), (chunk + 1) * grain);
-            ctx_.pool->submit([&ctx = ctx_, beg, end, guard] {
-                guard([&] {
-                    Worker sub(ctx);
-                    for (const NodeIdx* p = beg; p != end; ++p)
-                        sub.run(*p);
-                });
-            });
+        ctx_.tasks += chunkCount;
+        // Chunks go to this worker's own deque (reversed, so LIFO pops
+        // run them left to right): they stay here — and cache-warm —
+        // unless another worker actually runs dry and steals from the
+        // front. branches_/join stay valid: this frame drives the join
+        // to completion before its stack frame unwinds.
+        std::atomic<uint32_t> join{static_cast<uint32_t>(chunkCount)};
+        for (size_t chunk = chunkCount; chunk-- > 0;) {
+            const size_t b = chunk * grain;
+            const size_t e = std::min(branches_.size(), b + grain);
+            ctx_.deques->push(
+                slot_,
+                StealTask{
+                    reinterpret_cast<uint64_t>(branches_.data() + b),
+                    static_cast<uint64_t>(e - b),
+                    reinterpret_cast<uint64_t>(&join)});
+        }
+        ctx_.deques->drive(slot_, [&join] {
+            return join.load(std::memory_order_acquire) == 0;
         });
+        if (join.load(std::memory_order_acquire) != 0) {
+            // A failure elsewhere drained our chunks unrun; unwind
+            // this traversal (the first error is already recorded).
+            throw RegionAborted{};
+        }
         return true;
     }
 
@@ -345,6 +423,7 @@ class Worker {
     }
 
     SharedCtx& ctx_;
+    const uint32_t slot_; ///< this worker's steal-deque slot
     // Hot-path views, hoisted once per worker.
     const Inst* code_;
     const XInst* xcode_;
@@ -493,70 +572,262 @@ class SweepRunner {
     std::vector<int64_t> seqStack_; ///< sequential-path operand stack
 };
 
-/** Stack-strategy driver: one traversal per root, forked on a pool. */
+/**
+ * Stack-strategy driver. Sequential runs walk every root on one
+ * Worker; with a pool, roots and `parallel` regions share one
+ * StealDeques instance — each task runs a chunk of traversal roots on
+ * a fresh Worker bound to the executing slot, and the pushing side
+ * joins by driving its own deque (see Worker::dispatchRegion).
+ */
 void
 runStack(SharedCtx& ctx)
 {
     const uint32_t rootCount = ctx.view.rootCount;
-    if (ctx.pool == nullptr || rootCount < 2) {
+    if (ctx.pool == nullptr || ctx.pool->workerCount() == 0) {
         Worker worker(ctx);
         for (uint32_t r = 0; r < rootCount; ++r)
             worker.run(ctx.view.roots[r]);
         return;
     }
-    // A packed forest: every tree is an independent traversal.
-    forkJoin(ctx, rootCount, [&](size_t r, auto& guard) {
-        const NodeIdx root = ctx.view.roots[r];
-        ctx.pool->submit([&ctx, root, guard] {
-            guard([&] {
-                Worker worker(ctx);
-                worker.run(root);
-            });
+    StealDeques deques(
+        ctx.pool, [&ctx](const StealTask& task, uint32_t slot) {
+            const NodeIdx* beg =
+                reinterpret_cast<const NodeIdx*>(task.a);
+            const uint32_t count = static_cast<uint32_t>(task.b);
+            auto* join =
+                reinterpret_cast<std::atomic<uint32_t>*>(task.c);
+            JoinGuard guard(join);
+            Worker worker(ctx, slot);
+            for (uint32_t i = 0; i < count; ++i)
+                worker.run(beg[i]);
         });
+    ctx.deques = &deques;
+    // One task per root (a packed forest's trees are independent
+    // traversals); a single-root tree is one task that immediately
+    // fans out through its regions.
+    std::atomic<uint32_t> rootJoin{rootCount};
+    ctx.tasks += rootCount;
+    for (uint32_t r = rootCount; r-- > 0;) {
+        deques.push(0, StealTask{
+                           reinterpret_cast<uint64_t>(ctx.view.roots + r),
+                           1, reinterpret_cast<uint64_t>(&rootJoin)});
+    }
+    deques.drive(0, [&rootJoin] {
+        return rootJoin.load(std::memory_order_acquire) == 0;
     });
+    ctx.deques = nullptr;
+    ctx.steals += deques.steals();
+    deques.rethrowIfFailed();
 }
 
+/**
+ * Tiled execution (see runtime/tiles.hpp and the strategy overview in
+ * executor.hpp): tiles run barrier-free on the TileScheduler, fusing
+ * the pre and post passes per cache-sized block. In-tile work is
+ * either the segmented strategy's class kernels over the tile's local
+ * (level, segment) groups, or a node-major two-sweep over the tile
+ * span for bytecode-heavy programs where spec-major dispatch loses.
+ */
+class TileRunner {
+  public:
+    TileRunner(SharedCtx& ctx, const TileGraph& graph, bool simd,
+               bool kernels)
+        : ctx_(ctx), graph_(graph), simd_(simd), kernels_(kernels),
+          evals_(ctx.program->evals().data()),
+          sweeps_(ctx.program->sweepData())
+    {
+        kctx_.view = ctx.view;
+        kctx_.xcode = ctx.program->exprPool().data();
+        const uint32_t slots =
+            1 + (ctx.pool != nullptr
+                     ? static_cast<uint32_t>(ctx.pool->workerCount())
+                     : 0);
+        if (kernels_) {
+            xstacks_.resize(slots);
+            for (auto& stack : xstacks_)
+                stack.resize(ctx.program->maxExprStack());
+        } else {
+            workers_.reserve(slots);
+            for (uint32_t s = 0; s < slots; ++s)
+                workers_.push_back(std::make_unique<Worker>(ctx_, s));
+        }
+    }
+
+    void run()
+    {
+        TileScheduler::Stats st = TileScheduler::run(
+            graph_, ctx_.pool,
+            [this](uint32_t t, uint32_t slot) { runTile(t, slot, true); },
+            [this](uint32_t t, uint32_t slot) {
+                runTile(t, slot, false);
+            });
+        ctx_.tiles += st.tiles;
+        ctx_.steals += st.steals;
+        if (kernels_) {
+            // Stats parity with the other strategies: one visit per
+            // node (sweep-mode Workers count their own visits).
+            ctx_.visits += graph_.stats().nodes;
+        }
+    }
+
+  private:
+    void runTile(uint32_t t, uint32_t slot, bool pre)
+    {
+        const TileGraph::Tile& tile = graph_.tile(t);
+        if (!kernels_) {
+            Worker& worker = *workers_[slot];
+            if (pre)
+                worker.runSpanPre(graph_.nodes() + tile.nodeBegin,
+                                  tile.nodeCount(), sweeps_);
+            else
+                worker.runSpanPost(graph_.nodes() + tile.nodeBegin,
+                                   tile.nodeCount(), sweeps_);
+            return;
+        }
+        // Kernel mode: the tile's local levels ascending for pre,
+        // descending for post — the same wave order the segmented
+        // strategy runs, restricted to one cache-resident block.
+        uint64_t writes = 0;
+        uint64_t launched = 0;
+        int64_t* xstack = xstacks_[slot].data();
+        for (uint32_t l = tile.levelBegin; l < tile.levelEnd; ++l) {
+            const uint32_t level =
+                pre ? l : tile.levelEnd - 1 - (l - tile.levelBegin);
+            const TileGraph::Level& lv = graph_.level(level);
+            for (uint32_t s = lv.segBegin; s < lv.segEnd; ++s) {
+                const TileGraph::Segment& seg = graph_.segments()[s];
+                const SweepCase& sc = sweeps_[seg.cls];
+                const uint32_t evBegin = pre ? sc.preBegin : sc.postBegin;
+                const uint32_t evCount = pre ? sc.preCount : sc.postCount;
+                for (uint32_t i = 0; i < evCount; ++i) {
+                    const EvalSpec& spec = evals_[evBegin + i];
+                    if (seg.contiguous)
+                        writes += detail::runSpecKernel(
+                            kctx_, spec, nullptr, seg.first, seg.count,
+                            simd_, xstack);
+                    else
+                        writes += detail::runSpecKernel(
+                            kctx_, spec,
+                            graph_.order() + seg.posBegin, 0, seg.count,
+                            simd_, xstack);
+                    ++launched;
+                }
+            }
+        }
+        ctx_.rules += writes;
+        ctx_.kernels += launched;
+    }
+
+    SharedCtx& ctx_;
+    const TileGraph& graph_;
+    const bool simd_;
+    const bool kernels_;
+    const EvalSpec* evals_;
+    const SweepCase* sweeps_;
+    detail::KernelCtx kctx_;
+    std::vector<std::vector<int64_t>> xstacks_;     ///< kernel mode
+    std::vector<std::unique_ptr<Worker>> workers_;  ///< sweep mode
+};
+
 } // namespace
+
+const char*
+sweepStrategyName(SweepStrategy strategy)
+{
+    switch (strategy) {
+    case SweepStrategy::Auto:
+        return "auto";
+    case SweepStrategy::Stack:
+        return "stack";
+    case SweepStrategy::Linear:
+        return "linear";
+    case SweepStrategy::Segmented:
+        return "segmented";
+    case SweepStrategy::Tiled:
+        return "tiled";
+    }
+    return "unknown";
+}
+
+const char*
+strategyReasonName(StrategyReason reason)
+{
+    switch (reason) {
+    case StrategyReason::Explicit:
+        return "explicit";
+    case StrategyReason::NotSweepable:
+        return "not-sweepable";
+    case StrategyReason::NarrowLevels:
+        return "narrow-levels";
+    case StrategyReason::BytecodeHeavy:
+        return "bytecode-heavy";
+    case StrategyReason::CacheResident:
+        return "cache-resident";
+    case StrategyReason::LargeTree:
+        return "large-tree";
+    }
+    return "unknown";
+}
 
 namespace detail {
 
 RuntimeStats
 executeView(const Program& program, const ArenaView& view,
             const std::function<const LevelSegments&()>& segments,
+            const std::function<const TileGraph&(uint64_t)>& tiles,
             const ExecOptions& options)
 {
     SweepStrategy strategy = options.strategy;
+    StrategyReason reason = StrategyReason::Explicit;
+    const uint64_t tileBudget =
+        options.tileBytes != 0 ? options.tileBytes : kDefaultTileBytes;
+    const bool branchy =
+        program.bytecodeShare() > kMaxAutoBytecodeShare;
     if (strategy == SweepStrategy::Auto) {
+        // Measured-shape selection; every exit records its reason in
+        // RuntimeStats::selection. Sweepability alone is necessary,
+        // not sufficient:
+        //  - bytecode-heavy programs defeat spec-major kernels (each
+        //    Bytecode spec drops to the per-node expression
+        //    interpreter, so per-rule passes are pure overhead) —
+        //    Stack wins regardless of size;
+        //  - narrow levels (list-shaped trees) degenerate waves to a
+        //    handful of nodes and the per-level overhead dominates;
+        //  - kernel-friendly arenas whose whole column footprint is
+        //    cache-scale (kAutoSegmentedFootprintBytes) stay resident
+        //    across level-major passes — Segmented streams them
+        //    without tiling overhead;
+        //  - past that window, the level-major passes run at DRAM
+        //    bandwidth, so Tiled's fused cache-sized blocks win.
+        // The consulted structures are cached on the arena, so this is
+        // O(1) after the first execution.
         if (!program.sweepable()) {
             strategy = SweepStrategy::Stack;
+            reason = StrategyReason::NotSweepable;
         } else {
-            // Sweepability alone is necessary, not sufficient. The
-            // segmented sweep is spec-major — each rule makes its own
-            // pass over a wave — so it pays off only when (a) most
-            // specs are vectorizable superinstructions (Bytecode specs
-            // drop to the per-node expression interpreter and the
-            // extra passes are pure overhead: every bundled grammar
-            // above ~1/3 Bytecode share measures 1.3-2x *slower*
-            // segmented at 200k-1M nodes, every one below ~1/4
-            // measures 2-4x faster), and (b) waves are wide enough to
-            // amortize the per-level barrier (a list-shaped tree
-            // degenerates to size-1 waves). The segments are cached on
-            // the arena, so consulting them here is O(1) after the
-            // first execution.
-            constexpr double kMaxAutoBytecodeShare = 0.30;
-            constexpr double kMinAutoWaveWidth = 64.0;
             const LevelSegments::Stats& shape = segments().stats();
-            const bool branchy =
-                program.bytecodeShare() > kMaxAutoBytecodeShare;
             const bool narrow = shape.avgLevelWidth < kMinAutoWaveWidth &&
                                 shape.nodes >= 2 * kMinAutoWaveWidth;
-            strategy = branchy || narrow ? SweepStrategy::Stack
-                                         : SweepStrategy::Segmented;
+            const uint64_t footprint =
+                static_cast<uint64_t>(view.size) * tileBytesPerNode(view);
+            if (narrow) {
+                strategy = SweepStrategy::Stack;
+                reason = StrategyReason::NarrowLevels;
+            } else if (branchy) {
+                strategy = SweepStrategy::Stack;
+                reason = StrategyReason::BytecodeHeavy;
+            } else if (footprint <= kAutoSegmentedFootprintBytes) {
+                strategy = SweepStrategy::Segmented;
+                reason = StrategyReason::CacheResident;
+            } else {
+                strategy = SweepStrategy::Tiled;
+                reason = StrategyReason::LargeTree;
+            }
         }
     } else if (strategy != SweepStrategy::Stack && !program.sweepable())
-        userError("runtime: the linear and segmented sweep strategies "
-                  "require a sweepable (sandwich-shaped) program; use "
-                  "the stack strategy");
+        userError("runtime: the linear, segmented, and tiled sweep "
+                  "strategies require a sweepable (sandwich-shaped) "
+                  "program; use the stack strategy");
 
     obs::Telemetry& telemetry =
         options.telemetry != nullptr ? *options.telemetry
@@ -590,12 +861,24 @@ executeView(const Program& program, const ArenaView& view,
             runner.run();
             break;
         }
+        case SweepStrategy::Tiled: {
+            auto span = telemetry.span("sweep.tiled", "runtime");
+            const bool kernelsMode =
+                options.tileExec == TileExec::Kernels ||
+                (options.tileExec == TileExec::Auto && !branchy);
+            TileRunner runner(ctx, tiles(tileBudget), options.simd,
+                              kernelsMode);
+            runner.run();
+            break;
+        }
         case SweepStrategy::Auto:
             internalError("Executor: unresolved Auto strategy");
         }
     }
 
     RuntimeStats stats;
+    stats.strategy = strategy;
+    stats.selection = reason;
     stats.nodeVisits = ctx.visits.load();
     stats.rulesEvaluated = ctx.rules.load();
     stats.parallelRegions = ctx.regions.load();
@@ -603,6 +886,8 @@ executeView(const Program& program, const ArenaView& view,
     stats.helpJoinRuns = ctx.helps.load();
     stats.levelWaves = ctx.waves.load();
     stats.segmentKernels = ctx.kernels.load();
+    stats.tilesExecuted = ctx.tiles.load();
+    stats.tileSteals = ctx.steals.load();
     return stats;
 }
 
@@ -616,6 +901,9 @@ execute(const Program& program, TreeArena& arena, const ExecOptions& options)
     return detail::executeView(
         program, arena.view(),
         [&arena]() -> const LevelSegments& { return arena.levelSegments(); },
+        [&arena](uint64_t tileBytes) -> const TileGraph& {
+            return arena.tileGraph(tileBytes);
+        },
         options);
 }
 

@@ -5,12 +5,12 @@
  * Executor: runs a compiled Program over a TreeArena (or a packed
  * ForestArena, through the shared ArenaView entry).
  *
- * Three sweep strategies share one entry point:
+ * Four sweep strategies share one entry point:
  *
  *  - Stack: an explicit (node, pc) frame stack — no native recursion,
  *    so adversarially deep trees are limited by heap, not the 8MB
  *    thread stack. Works for every program; `parallel` regions fork
- *    onto the pool (see below).
+ *    onto the work-stealing deques (see below).
  *  - Linear: for sandwich-shaped programs (Program::sweepable), the
  *    BFS-ordered arena lets the pre-visit eval runs execute as one
  *    ascending pass over the node array and the post-visit runs as one
@@ -25,21 +25,37 @@
  *    contiguous span is chunked onto the ThreadPool with a help-join
  *    barrier per wave. Why barriers per level suffice is the
  *    dependency argument in runtime/segments.hpp / DESIGN.md §10.
+ *    Kept as the explicit barrier-per-level baseline.
+ *  - Tiled: the cache-blocked strategy (runtime/tiles.hpp). The arena
+ *    is partitioned into subtree tiles whose column footprint fits
+ *    L2; the pre and post passes fuse per tile — both touch a tile's
+ *    cells within one cache residency — and tiles execute barrier-free
+ *    on the work-stealing TileScheduler (runtime/steal.hpp). Each
+ *    tile's local levels reuse the same class-homogeneous kernels the
+ *    segmented strategy runs (TileExec::Kernels), or, for
+ *    bytecode-heavy programs where spec-major kernels lose, a
+ *    node-major linear two-sweep over the tile span
+ *    (TileExec::Sweep).
  *
- * Auto picks Segmented for sweepable programs and Stack otherwise.
+ * Auto measures instead of guessing: it consults the program's
+ * bytecode share and the cached LevelSegments::Stats / tile shape and
+ * records which rule fired in RuntimeStats::selection (see
+ * StrategyReason; surfaced as exec.strategy / exec.select.* counters).
  *
  * Stack-strategy parallelism: a `parallel` region's branch targets
  * (scalar recurs or a whole collection) are chunked by `grain` and
- * submitted to a ThreadPool; the forking thread then *help-joins* — it
- * runs queued tasks itself (ThreadPool::runOne) until its region's
- * pending count drains. That makes nested fork-join safe on a
- * fixed-size pool: a waiting thread is always also a worker, so the
- * pool cannot deadlock with every worker blocked in a join. Narrow
- * regions — statement-form `parallel { recur a; recur b; }` blocks
- * with a handful of branches — never fill a grain-sized chunk, so they
- * fork per branch instead, but only while the region's node index is
- * under `spawnPrefix`: arena ids are BFS-ordered, so a low index means
- * the node sits near the root and each branch is a whole large subtree
+ * pushed onto the forking worker's own steal deque; the forking thread
+ * then drives its deque — running its own chunks, or stealing — until
+ * the region's join count drains. A waiting thread is always also a
+ * worker, so nested regions on a fixed-size pool cannot deadlock, and
+ * chunks stay with the worker that produced them unless another worker
+ * actually runs dry (work-first principle; the old implementation
+ * bounced every chunk through one global pool queue). Narrow regions —
+ * statement-form `parallel { recur a; recur b; }` blocks with a
+ * handful of branches — never fill a grain-sized chunk, so they fork
+ * per branch instead, but only while the region's node index is under
+ * `spawnPrefix`: arena ids are BFS-ordered, so a low index means the
+ * node sits near the root and each branch is a whole large subtree
  * worth a task (the depth-cutoff idiom of hand-written fork-join code,
  * in O(1) via the index).
  *
@@ -64,11 +80,47 @@ namespace hecate::runtime {
 
 /** How execute() traverses the arena. */
 enum class SweepStrategy : uint8_t {
-    Auto,      ///< Segmented when the program is sweepable, else Stack
+    Auto,      ///< measured-stats selection; see StrategyReason
     Stack,     ///< explicit-stack traversal (any program)
     Linear,    ///< two-pass linear sweep (sweepable programs only)
     Segmented, ///< level-synchronous segment kernels (sweepable only)
+    Tiled,     ///< cache-blocked work-stealing tiles (sweepable only)
 };
+
+/** How the tiled strategy executes inside one tile. */
+enum class TileExec : uint8_t {
+    Auto,    ///< Kernels, or Sweep when the program is bytecode-heavy
+    Kernels, ///< per-(tile level, segment, rule) class kernels
+    Sweep,   ///< node-major linear two-sweep over the tile span
+};
+
+/**
+ * Why Auto resolved to RuntimeStats::strategy — the provenance record
+ * behind exec.select.* counters and the bench `selection` column.
+ */
+enum class StrategyReason : uint8_t {
+    Explicit,      ///< caller named the strategy; Auto never ran
+    NotSweepable,  ///< Stack: program is not sandwich-shaped
+    NarrowLevels,  ///< Stack: avg level width too small for waves
+    BytecodeHeavy, ///< bytecode share defeats spec-major kernels
+    CacheResident, ///< Segmented: whole arena is cache-scale
+    LargeTree,     ///< Tiled: footprint exceeds the cache-scale pivot
+};
+
+/**
+ * Auto's Segmented-vs-Tiled pivot: while the whole column footprint
+ * stays within a couple of L2 slices, whole-level kernels are
+ * cache-resident and the segmented sweep's lower dispatch overhead
+ * wins; past it, Tiled's fused cache-sized blocks win. The measured
+ * crossover on the bundled grammars sits between the 20k-node rows
+ * (~2 MiB footprint, segmented 3.6x vs tiled 1.7x over stack) and the
+ * 100k rows (~10 MiB, tiled 5.1x vs segmented 3.8x).
+ */
+inline constexpr uint64_t kAutoSegmentedFootprintBytes = 4u << 20;
+
+/** Stable lowercase names ("tiled", "large-tree") for stats/CLI. */
+const char* sweepStrategyName(SweepStrategy strategy);
+const char* strategyReasonName(StrategyReason reason);
 
 /** Execution knobs. */
 struct ExecOptions {
@@ -88,6 +140,13 @@ struct ExecOptions {
     uint32_t spawnPrefix = 1024;
     SweepStrategy strategy = SweepStrategy::Auto;
     /**
+     * Tiled strategy: per-tile column-footprint budget in bytes;
+     * 0 uses kDefaultTileBytes (runtime/tiles.hpp).
+     */
+    uint64_t tileBytes = 0;
+    /** Tiled strategy: in-tile execution mode. */
+    TileExec tileExec = TileExec::Auto;
+    /**
      * Segmented strategy: run the auto-vectorized kernel variant. The
      * scalar variant is compiled alongside either way; building with
      * -DHECATE_DISABLE_SIMD=ON flips this default so CI can
@@ -104,6 +163,10 @@ struct ExecOptions {
 
 /** Counters from one execution. */
 struct RuntimeStats {
+    /** The strategy that actually ran (Auto resolved). */
+    SweepStrategy strategy = SweepStrategy::Auto;
+    /** Why it was chosen; Explicit unless Auto resolved it. */
+    StrategyReason selection = StrategyReason::Explicit;
     uint64_t nodeVisits = 0;
     uint64_t rulesEvaluated = 0;
     /** Parallel regions that actually forked (≥2 chunks + a pool). */
@@ -114,8 +177,12 @@ struct RuntimeStats {
     uint64_t helpJoinRuns = 0;
     /** Level waves executed by the segmented strategy (both passes). */
     uint64_t levelWaves = 0;
-    /** Segment-kernel launches by the segmented strategy. */
+    /** Segment-kernel launches (segmented and tiled strategies). */
     uint64_t segmentKernels = 0;
+    /** Tiles executed by the tiled strategy. */
+    uint64_t tilesExecuted = 0;
+    /** Tile tasks that migrated between workers via stealing. */
+    uint64_t tileSteals = 0;
 };
 
 /**
@@ -132,12 +199,16 @@ namespace detail {
 
 /**
  * Strategy-dispatching entry shared by TreeArena and ForestArena
- * execution. @p segments is invoked (once) only when the segmented
- * strategy actually runs, so callers build LevelSegments lazily.
+ * execution. @p segments / @p tiles are invoked only when the
+ * corresponding structure is actually consulted, so callers build
+ * LevelSegments and TileGraphs lazily (and cache them arena-side).
+ * The tiles provider receives the resolved byte budget.
  */
-RuntimeStats executeView(const Program& program, const ArenaView& view,
-                         const std::function<const LevelSegments&()>& segments,
-                         const ExecOptions& options);
+RuntimeStats
+executeView(const Program& program, const ArenaView& view,
+            const std::function<const LevelSegments&()>& segments,
+            const std::function<const TileGraph&(uint64_t)>& tiles,
+            const ExecOptions& options);
 
 } // namespace detail
 

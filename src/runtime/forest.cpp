@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/segments.hpp"
+#include "runtime/tiles.hpp"
 #include "support/rng.hpp"
 
 namespace hecate::runtime {
@@ -168,6 +169,19 @@ ForestArena::levelSegments()
     return *segments_;
 }
 
+const TileGraph&
+ForestArena::tileGraph(uint64_t tileBytes)
+{
+    if (tileBytes == 0)
+        tileBytes = kDefaultTileBytes;
+    if (!tiles_ || tilesBytes_ != tileBytes) {
+        tiles_ = std::make_shared<const TileGraph>(
+            TileGraph::build(view(), tileBytes));
+        tilesBytes_ = tileBytes;
+    }
+    return *tiles_;
+}
+
 RuntimeStats
 execute(const Program& program, ForestArena& forest,
         const ExecOptions& options)
@@ -178,6 +192,9 @@ execute(const Program& program, ForestArena& forest,
         program, forest.view(),
         [&forest]() -> const LevelSegments& {
             return forest.levelSegments();
+        },
+        [&forest](uint64_t tileBytes) -> const TileGraph& {
+            return forest.tileGraph(tileBytes);
         },
         options);
 }

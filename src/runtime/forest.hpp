@@ -76,6 +76,9 @@ class ForestArena {
     /** Segments of the packed view, built on first use and cached. */
     const LevelSegments& levelSegments();
 
+    /** Tile blocking of the packed view; cached like levelSegments(). */
+    const TileGraph& tileGraph(uint64_t tileBytes = 0);
+
   private:
     explicit ForestArena(const sem::Grammar& grammar) : flat_(grammar) {}
 
@@ -83,6 +86,8 @@ class ForestArena {
     /** Tree block begin offsets; bounds_[treeCount()] == size(). */
     std::vector<NodeIdx> bounds_;
     std::shared_ptr<const LevelSegments> segments_; ///< lazy cache
+    std::shared_ptr<const TileGraph> tiles_;        ///< lazy cache
+    uint64_t tilesBytes_ = 0; ///< budget tiles_ was built for
 };
 
 /**

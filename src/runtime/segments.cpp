@@ -16,6 +16,48 @@ constexpr uint32_t kMinAvgRunLength = 16;
 
 } // namespace
 
+void
+LevelSegments::appendClassSegments(const NodeIdx* order, uint32_t groupBegin,
+                                   uint32_t groupEnd, sem::ClassId cls,
+                                   std::vector<Segment>& out)
+{
+    const uint32_t groupCount = groupEnd - groupBegin;
+    if (groupCount == 0)
+        return;
+    // Count maximal contiguous id runs inside the group. One run = one
+    // streaming segment; many long runs (a packed forest's per-tree
+    // blocks) become one segment each; badly fragmented groups stay a
+    // single permuted segment.
+    uint32_t runs = 1;
+    for (uint32_t i = groupBegin + 1; i < groupEnd; ++i) {
+        if (order[i] != order[i - 1] + 1)
+            ++runs;
+    }
+    if (runs == 1 || groupCount / runs >= kMinAvgRunLength) {
+        uint32_t runBegin = groupBegin;
+        for (uint32_t i = groupBegin + 1; i <= groupEnd; ++i) {
+            if (i == groupEnd || order[i] != order[i - 1] + 1) {
+                Segment seg;
+                seg.cls = cls;
+                seg.posBegin = runBegin;
+                seg.count = i - runBegin;
+                seg.first = order[runBegin];
+                seg.contiguous = true;
+                out.push_back(seg);
+                runBegin = i;
+            }
+        }
+    } else {
+        Segment seg;
+        seg.cls = cls;
+        seg.posBegin = groupBegin;
+        seg.count = groupCount;
+        seg.first = order[groupBegin];
+        seg.contiguous = false;
+        out.push_back(seg);
+    }
+}
+
 LevelSegments
 LevelSegments::build(const ArenaView& view)
 {
@@ -99,42 +141,9 @@ LevelSegments::build(const ArenaView& view)
             const uint32_t groupBegin = classPos[c];
             const uint32_t groupEnd =
                 c + 1 < classCount ? classPos[c + 1] : posEnd;
-            const uint32_t groupCount = groupEnd - groupBegin;
-            if (groupCount == 0)
-                continue;
-            // Count maximal contiguous id runs inside the group. One
-            // run = one streaming segment; many long runs (a packed
-            // forest's per-tree blocks) become one segment each; badly
-            // fragmented groups stay a single permuted segment.
-            uint32_t runs = 1;
-            for (uint32_t i = groupBegin + 1; i < groupEnd; ++i) {
-                if (out.order_[i] != out.order_[i - 1] + 1)
-                    ++runs;
-            }
-            if (runs == 1 || groupCount / runs >= kMinAvgRunLength) {
-                uint32_t runBegin = groupBegin;
-                for (uint32_t i = groupBegin + 1; i <= groupEnd; ++i) {
-                    if (i == groupEnd ||
-                        out.order_[i] != out.order_[i - 1] + 1) {
-                        Segment seg;
-                        seg.cls = static_cast<sem::ClassId>(c);
-                        seg.posBegin = runBegin;
-                        seg.count = i - runBegin;
-                        seg.first = out.order_[runBegin];
-                        seg.contiguous = true;
-                        out.segments_.push_back(seg);
-                        runBegin = i;
-                    }
-                }
-            } else {
-                Segment seg;
-                seg.cls = static_cast<sem::ClassId>(c);
-                seg.posBegin = groupBegin;
-                seg.count = groupCount;
-                seg.first = out.order_[groupBegin];
-                seg.contiguous = false;
-                out.segments_.push_back(seg);
-            }
+            appendClassSegments(out.order_.data(), groupBegin, groupEnd,
+                                static_cast<sem::ClassId>(c),
+                                out.segments_);
         }
         level.segEnd = static_cast<uint32_t>(out.segments_.size());
     }

@@ -82,6 +82,19 @@ class LevelSegments {
     /** Derive segments for @p view (roots seed the depth computation). */
     static LevelSegments build(const ArenaView& view);
 
+    /**
+     * Split one class-homogeneous group order[groupBegin, groupEnd)
+     * into segments, promoting the group to per-run streaming form
+     * when its maximal contiguous id runs are long enough to amortize
+     * kernel dispatch. Shared by the level-major builder here and the
+     * per-tile builder (runtime/tiles.hpp), so both execution paths
+     * feed the same kernels the same segment shapes.
+     */
+    static void appendClassSegments(const NodeIdx* order,
+                                    uint32_t groupBegin, uint32_t groupEnd,
+                                    sem::ClassId cls,
+                                    std::vector<Segment>& out);
+
     const Stats& stats() const { return stats_; }
 
     uint32_t levelCount() const

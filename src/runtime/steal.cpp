@@ -1,0 +1,292 @@
+#include "runtime/steal.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/tiles.hpp"
+
+namespace hecate::runtime {
+
+namespace {
+
+/** Yields before the idle loop falls back to sleeping. */
+constexpr uint32_t kSpinYields = 64;
+constexpr std::chrono::microseconds kIdleSleep{50};
+
+} // namespace
+
+StealDeques::StealDeques(ThreadPool* pool, Runner runner)
+    : pool_(pool), runner_(std::move(runner))
+{
+    const uint32_t slots =
+        1 + (pool_ ? static_cast<uint32_t>(pool_->workerCount()) : 0);
+    slots_.reserve(slots);
+    for (uint32_t s = 0; s < slots; ++s)
+        slots_.push_back(std::make_unique<Slot>());
+    // One driver task per pool-backed slot. Drivers live until stop_:
+    // they service their slot's deque and steal across slots, so a
+    // long-lived StealDeques occupies the pool. Uses are scoped (one
+    // per execute call); on a shared pool a second StealDeques still
+    // progresses because its calling thread drives slot 0 itself.
+    for (uint32_t s = 1; s < slots; ++s) {
+        pool_->submit([this, s] { driverLoop(s); });
+        ++driversSubmitted_;
+    }
+}
+
+StealDeques::~StealDeques()
+{
+    stop_.store(true, std::memory_order_release);
+    // Drivers may still sit unstarted in the pool queue; help the pool
+    // drain so each runs (and immediately exits, stop_ being set).
+    while (driversExited_.load(std::memory_order_acquire) <
+           driversSubmitted_) {
+        if (pool_ && pool_->runOne())
+            continue;
+        std::this_thread::yield();
+    }
+}
+
+void
+StealDeques::push(uint32_t slot, const StealTask& task)
+{
+    if (failed_.load(std::memory_order_acquire))
+        return;
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    Slot& s = *slots_[slot];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.tasks.push_back(task);
+    s.approx.store(static_cast<uint32_t>(s.tasks.size()),
+                   std::memory_order_relaxed);
+}
+
+bool
+StealDeques::takeOwn(uint32_t slot, StealTask& out)
+{
+    Slot& s = *slots_[slot];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.tasks.empty())
+        return false;
+    out = s.tasks.back();
+    s.tasks.pop_back();
+    s.approx.store(static_cast<uint32_t>(s.tasks.size()),
+                   std::memory_order_relaxed);
+    return true;
+}
+
+bool
+StealDeques::stealTask(uint32_t thief, StealTask& out)
+{
+    const uint32_t n = slotCount();
+    for (uint32_t i = 1; i < n; ++i) {
+        const uint32_t victim = (thief + i) % n;
+        Slot& v = *slots_[victim];
+        if (v.approx.load(std::memory_order_relaxed) == 0)
+            continue;
+        StealTask moved[1];
+        std::vector<StealTask> rest;
+        {
+            std::lock_guard<std::mutex> lock(v.mutex);
+            const size_t have = v.tasks.size();
+            if (have == 0)
+                continue;
+            // Steal the oldest half from the front: the oldest tasks
+            // are the highest remaining subtrees, so one steal moves
+            // the largest block of work a victim can spare.
+            const size_t take = (have + 1) / 2;
+            moved[0] = v.tasks.front();
+            v.tasks.pop_front();
+            rest.reserve(take - 1);
+            for (size_t k = 1; k < take; ++k) {
+                rest.push_back(v.tasks.front());
+                v.tasks.pop_front();
+            }
+            v.approx.store(static_cast<uint32_t>(v.tasks.size()),
+                           std::memory_order_relaxed);
+            steals_.fetch_add(take, std::memory_order_relaxed);
+        }
+        if (!rest.empty()) {
+            Slot& mine = *slots_[thief];
+            std::lock_guard<std::mutex> lock(mine.mutex);
+            for (const StealTask& t : rest)
+                mine.tasks.push_back(t);
+            mine.approx.store(static_cast<uint32_t>(mine.tasks.size()),
+                              std::memory_order_relaxed);
+        }
+        out = moved[0];
+        return true;
+    }
+    return false;
+}
+
+bool
+StealDeques::runTask(uint32_t slot)
+{
+    StealTask task;
+    if (!takeOwn(slot, task) && !stealTask(slot, task))
+        return false;
+    if (!failed_.load(std::memory_order_acquire)) {
+        try {
+            runner_(task, slot);
+            executed_.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+            recordFailure();
+        }
+    }
+    // Dropped-after-failure tasks still count down, so drive()'s
+    // failure exit (outstanding == 0) is reachable.
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+}
+
+void
+StealDeques::drive(uint32_t slot, const std::function<bool()>& done)
+{
+    uint32_t idle = 0;
+    for (;;) {
+        if (done())
+            return;
+        if (failed_.load(std::memory_order_acquire) &&
+            outstanding_.load(std::memory_order_acquire) == 0)
+            return;
+        if (runTask(slot)) {
+            idle = 0;
+            continue;
+        }
+        // Do NOT help via pool->runOne() here: the pool queue holds
+        // our own driver loops, and running one inline would not
+        // return until stop_ — long after this join completes.
+        if (++idle < kSpinYields)
+            std::this_thread::yield();
+        else
+            std::this_thread::sleep_for(kIdleSleep);
+    }
+}
+
+void
+StealDeques::driverLoop(uint32_t slot)
+{
+    uint32_t idle = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (runTask(slot)) {
+            idle = 0;
+            continue;
+        }
+        if (++idle < kSpinYields)
+            std::this_thread::yield();
+        else
+            std::this_thread::sleep_for(kIdleSleep);
+    }
+    driversExited_.fetch_add(1, std::memory_order_release);
+}
+
+void
+StealDeques::recordFailure() noexcept
+{
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (!error_)
+        error_ = std::current_exception();
+    failed_.store(true, std::memory_order_release);
+}
+
+void
+StealDeques::rethrowIfFailed()
+{
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        err = error_;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+TileScheduler::Stats
+TileScheduler::run(const TileGraph& graph, ThreadPool* pool,
+                   const TileFn& pre, const TileFn& post)
+{
+    Stats st;
+    const uint32_t tiles = graph.tileCount();
+    st.tiles = tiles;
+    if (tiles == 0)
+        return st;
+
+    if (!pool || pool->workerCount() == 0 || tiles == 1) {
+        // Sequential: explicit-stack DFS over the tile tree. The
+        // (tile, postPhase) stack bounds memory by the tile-tree
+        // depth; recursion would not (a degenerate chain of tiles is
+        // as deep as nodes / nodesPerTile).
+        std::vector<std::pair<uint32_t, bool>> stack;
+        for (uint32_t r = graph.rootTileCount(); r-- > 0;)
+            stack.emplace_back(r, false);
+        while (!stack.empty()) {
+            const auto [t, postPhase] = stack.back();
+            stack.pop_back();
+            if (postPhase) {
+                post(t, 0);
+                continue;
+            }
+            pre(t, 0);
+            stack.emplace_back(t, true);
+            const TileGraph::Tile& tile = graph.tile(t);
+            for (uint32_t c = tile.childEnd; c-- > tile.childBegin;)
+                stack.emplace_back(c, false);
+        }
+        return st;
+    }
+
+    // Parallel: one StealTask per tile. pending[t] counts t's
+    // un-posted child tiles; the worker that completes the last child
+    // bubbles the parent's post. postsRemaining reaching zero is the
+    // (barrier-free) termination condition.
+    std::vector<std::atomic<uint32_t>> pending(tiles);
+    for (uint32_t t = 0; t < tiles; ++t) {
+        pending[t].store(graph.tile(t).childCount(),
+                         std::memory_order_relaxed);
+    }
+    std::atomic<uint32_t> postsRemaining{tiles};
+
+    StealDeques* dequesPtr = nullptr;
+    StealDeques deques(
+        pool, [&](const StealTask& task, uint32_t slot) {
+            const uint32_t t = static_cast<uint32_t>(task.a);
+            pre(t, slot);
+            const TileGraph::Tile& tile = graph.tile(t);
+            // Reversed push + LIFO pop = first child next on this
+            // worker: depth-first descent into still-warm data, while
+            // the remaining children sit at the deque front for
+            // thieves.
+            for (uint32_t c = tile.childEnd; c-- > tile.childBegin;)
+                dequesPtr->push(slot, StealTask{c, 0, 0});
+            if (tile.childCount() != 0)
+                return;
+            // Leaf: post it, then bubble posts up the parent chain as
+            // long as we just retired the last child. Iterative on
+            // purpose — a chain of tiles is far deeper than any safe
+            // recursion budget.
+            uint32_t cur = t;
+            for (;;) {
+                post(cur, slot);
+                postsRemaining.fetch_sub(1, std::memory_order_release);
+                const uint32_t parent = graph.tile(cur).parent;
+                if (parent == kNoTile)
+                    break;
+                if (pending[parent].fetch_sub(
+                        1, std::memory_order_acq_rel) != 1)
+                    break;
+                cur = parent;
+            }
+        });
+    dequesPtr = &deques;
+
+    for (uint32_t r = 0; r < graph.rootTileCount(); ++r)
+        deques.push(0, StealTask{r, 0, 0});
+    deques.drive(0, [&] {
+        return postsRemaining.load(std::memory_order_acquire) == 0;
+    });
+    st.steals = deques.steals();
+    deques.rethrowIfFailed();
+    return st;
+}
+
+} // namespace hecate::runtime

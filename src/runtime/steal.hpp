@@ -1,0 +1,163 @@
+#pragma once
+
+/**
+ * @file
+ * Work-stealing execution substrate for the runtime: per-worker task
+ * deques with steal-half balancing (StealDeques), and the tile-tree
+ * scheduler built on top of them (TileScheduler).
+ *
+ * The pre-existing fork-join helper in the executor pushes every chunk
+ * through one global pool queue and joins with a per-region barrier;
+ * at scale the queue lock and the barrier dominate. StealDeques keeps
+ * each worker's work in its own deque: owners push and pop at the back
+ * (LIFO — the task just produced is the one whose data is still in
+ * cache), idle workers steal the *oldest half* of a victim's deque
+ * from the front (the oldest tasks sit highest in the tree, so one
+ * steal migrates the biggest available piece of work and further
+ * stealing stays rare).
+ *
+ * Failure semantics: the first exception thrown by a task is captured;
+ * after that, pushes become no-ops and queued tasks are drained
+ * without running. Every drive() loop also exits once the failure has
+ * drained, so join conditions that can no longer be reached do not
+ * hang. rethrowIfFailed() surfaces the first error to the caller.
+ *
+ * The scheduler half (TileScheduler) runs a TileGraph without any
+ * global barrier. Race-freedom argument (DESIGN.md §14): pre(T) runs
+ * before T's child tiles are pushed, so every tile-root dependency
+ * (parent's pre before child-root's pre) is sequenced by the deque
+ * happens-before of push → pop/steal; post(T) runs only after an
+ * acq_rel countdown of T's children confirms their posts, giving
+ * post(child) → post(parent); and two sibling subtrees share no
+ * nodes, so concurrently running tiles write disjoint cells.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace hecate::runtime {
+
+class TileGraph;
+
+/** One unit of stealable work; meaning is owned by the runner. */
+struct StealTask {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint64_t c = 0;
+};
+
+/**
+ * Per-worker task deques over an optional ThreadPool. Slot 0 belongs
+ * to the calling thread; slots 1..workerCount() are serviced by
+ * driver tasks submitted to the pool. With no pool the calling thread
+ * drives everything through slot 0.
+ */
+class StealDeques {
+  public:
+    /** Runs one task; the slot identifies the executing worker. */
+    using Runner = std::function<void(const StealTask&, uint32_t slot)>;
+
+    StealDeques(ThreadPool* pool, Runner runner);
+    ~StealDeques();
+
+    StealDeques(const StealDeques&) = delete;
+    StealDeques& operator=(const StealDeques&) = delete;
+
+    uint32_t slotCount() const
+    {
+        return static_cast<uint32_t>(slots_.size());
+    }
+
+    /**
+     * Enqueue @p task on @p slot's deque (callers push to the slot
+     * they are running on). No-op once a task has failed.
+     */
+    void push(uint32_t slot, const StealTask& task);
+
+    /**
+     * Run tasks on @p slot — own deque first, stealing when empty —
+     * until @p done returns true, or a failure has occurred and every
+     * outstanding task has drained. Re-entrant per slot: a task may
+     * push subtasks and drive a nested join condition.
+     */
+    void drive(uint32_t slot, const std::function<bool()>& done);
+
+    bool failed() const
+    {
+        return failed_.load(std::memory_order_acquire);
+    }
+
+    /** Rethrow the first captured task error, if any. */
+    void rethrowIfFailed();
+
+    uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+    uint64_t executed() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Slot {
+        std::mutex mutex;
+        std::deque<StealTask> tasks;
+        /** Lock-free victim pre-screen; exact size is under mutex. */
+        std::atomic<uint32_t> approx{0};
+    };
+
+    bool runTask(uint32_t slot);
+    bool takeOwn(uint32_t slot, StealTask& out);
+    bool stealTask(uint32_t thief, StealTask& out);
+    void recordFailure() noexcept;
+    void driverLoop(uint32_t slot);
+
+    ThreadPool* pool_;
+    Runner runner_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::atomic<uint64_t> outstanding_{0};
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> executed_{0};
+    std::atomic<bool> failed_{false};
+    std::atomic<bool> stop_{false};
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+    uint32_t driversSubmitted_ = 0;
+    std::atomic<uint32_t> driversExited_{0};
+};
+
+/**
+ * Barrier-free tile-tree execution: pre(T) before any descendant work,
+ * post(T) after every child tile has posted, depth-first descent on
+ * the owning worker for cache locality, steal-half across workers for
+ * balance. See the file comment for the race-freedom argument.
+ */
+class TileScheduler {
+  public:
+    struct Stats {
+        uint64_t tiles = 0;
+        uint64_t steals = 0;
+    };
+
+    /** Callback per tile; the slot selects per-worker scratch state. */
+    using TileFn = std::function<void(uint32_t tile, uint32_t slot)>;
+
+    /**
+     * Execute @p graph: @p pre descending, @p post ascending. Runs on
+     * the calling thread alone when @p pool is null or has no workers.
+     * Throws the first error raised by a callback.
+     */
+    static Stats run(const TileGraph& graph, ThreadPool* pool,
+                     const TileFn& pre, const TileFn& post);
+};
+
+} // namespace hecate::runtime

@@ -1,0 +1,256 @@
+#include "runtime/tiles.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace hecate::runtime {
+
+namespace {
+
+/** Tiles below this are all dispatch overhead; above size they clamp. */
+constexpr uint32_t kMinTileNodes = 4;
+
+} // namespace
+
+// Deliberately conservative: overestimating shrinks tiles, and
+// slightly-too-small tiles cost far less than tiles that thrash L2.
+uint64_t
+tileBytesPerNode(const ArenaView& view)
+{
+    return 8ull * view.layout->columnCount() + 24;
+}
+
+TileGraph
+TileGraph::build(const ArenaView& view, uint64_t tileBytes)
+{
+    if (tileBytes == 0)
+        tileBytes = kDefaultTileBytes;
+    TileGraph out;
+    out.stats_.tileBytes = tileBytes;
+    const uint32_t size = view.size;
+    if (size == 0)
+        return out;
+
+    const uint64_t bytesPerNode = tileBytesPerNode(view);
+    const uint32_t cap = static_cast<uint32_t>(std::clamp<uint64_t>(
+        tileBytes / bytesPerNode, kMinTileNodes, size));
+    out.stats_.bytesPerNode = bytesPerNode;
+    out.stats_.nodesPerTile = cap;
+
+    // Exact subtree node counts, one reverse pass: arena ids are BFS
+    // so every child id exceeds its parent's. Spill packing below uses
+    // these to merge frontier subtrees into cap-sized tiles instead of
+    // emitting one fringe-sized tile per frontier node.
+    std::vector<uint32_t> subtree(size, 1);
+    for (uint32_t n = size; n-- > 0;) {
+        const ClassLayout& layout = view.layout->cls(view.cls[n]);
+        const NodeIdx* kids = view.scalars + view.scalarBase[n];
+        for (uint32_t s = 1; s <= layout.scalarCount; ++s) {
+            if (kids[s] != view.zeroRow)
+                subtree[n] += subtree[kids[s]];
+        }
+        for (uint32_t c = 0; c < layout.collCount; ++c) {
+            auto [begin, end] = view.collection(n, c);
+            for (const NodeIdx* it = begin; it != end; ++it)
+                subtree[n] += subtree[*it];
+        }
+    }
+
+    // Pending tiles; a pending entry's index IS its tile id, so tiles
+    // are numbered in BFS order over the tile tree and one tile's
+    // children occupy a contiguous id range. Each entry owns a span of
+    // pendingRoots: the subtree roots the tile grows from.
+    struct Pending {
+        uint32_t rootsBegin;
+        uint32_t rootsEnd;
+        uint32_t parent;
+    };
+    std::vector<NodeIdx> pendingRoots;
+    pendingRoots.reserve(view.rootCount + size / cap + 1);
+    std::vector<Pending> queue;
+    queue.reserve(view.rootCount + size / cap + 1);
+    for (uint32_t r = 0; r < view.rootCount; ++r) {
+        pendingRoots.push_back(view.roots[r]);
+        queue.push_back({r, r + 1, kNoTile});
+    }
+    out.rootTiles_ = view.rootCount;
+
+    out.nodes_.reserve(size);
+    std::vector<uint32_t> depth(size, 0);
+    std::vector<NodeIdx> local; // per-tile BFS work list
+    std::vector<NodeIdx> spill; // frontier left over when the cap hits
+
+    for (uint32_t t = 0; t < queue.size(); ++t) {
+        const Pending pending = queue[t]; // by value: queue reallocates
+        Tile tile;
+        tile.root = pendingRoots[pending.rootsBegin];
+        tile.rootCount = pending.rootsEnd - pending.rootsBegin;
+        tile.parent = pending.parent;
+        tile.nodeBegin = static_cast<uint32_t>(out.nodes_.size());
+
+        // Arena roots start at the init depth 0; spilled roots were
+        // stamped when their parent tile discovered them.
+        local.assign(pendingRoots.begin() + pending.rootsBegin,
+                     pendingRoots.begin() + pending.rootsEnd);
+        spill.clear();
+        size_t head = 0;
+        uint32_t collected = 0;
+        while (head < local.size()) {
+            const NodeIdx n = local[head++];
+            if (collected >= cap) {
+                // The tile is full: every frontier node already
+                // discovered (its parent is in this tile) roots one of
+                // this tile's child tiles.
+                spill.push_back(n);
+                continue;
+            }
+            out.nodes_.push_back(n);
+            ++collected;
+            const uint32_t next = depth[n] + 1;
+            const ClassLayout& layout = view.layout->cls(view.cls[n]);
+            const NodeIdx* kids = view.scalars + view.scalarBase[n];
+            for (uint32_t s = 1; s <= layout.scalarCount; ++s) {
+                if (kids[s] != view.zeroRow) {
+                    depth[kids[s]] = next;
+                    local.push_back(kids[s]);
+                }
+            }
+            for (uint32_t c = 0; c < layout.collCount; ++c) {
+                auto [begin, end] = view.collection(n, c);
+                for (const NodeIdx* it = begin; it != end; ++it) {
+                    depth[*it] = next;
+                    local.push_back(*it);
+                }
+            }
+        }
+        tile.nodeEnd = static_cast<uint32_t>(out.nodes_.size());
+
+        // Pack consecutive frontier subtrees into child tiles until
+        // each approaches the cap. Without packing, the fringe of a
+        // bushy tree degenerates into thousands of few-node tiles
+        // (frontier width is proportional to tile size) and dispatch
+        // overhead swamps the locality win. An oversized subtree gets
+        // a group of its own and spills again recursively.
+        tile.childBegin = static_cast<uint32_t>(queue.size());
+        uint32_t groupBegin = static_cast<uint32_t>(pendingRoots.size());
+        uint64_t groupNodes = 0;
+        for (const NodeIdx n : spill) {
+            if (groupNodes > 0 && groupNodes + subtree[n] > cap) {
+                queue.push_back(
+                    {groupBegin,
+                     static_cast<uint32_t>(pendingRoots.size()), t});
+                groupBegin = static_cast<uint32_t>(pendingRoots.size());
+                groupNodes = 0;
+            }
+            pendingRoots.push_back(n);
+            groupNodes += subtree[n];
+        }
+        if (groupNodes > 0)
+            queue.push_back(
+                {groupBegin, static_cast<uint32_t>(pendingRoots.size()),
+                 t});
+        tile.childEnd = static_cast<uint32_t>(queue.size());
+
+        // Ascending id order doubles as ascending depth order (arena
+        // ids are BFS within each tree), so the sorted span is valid
+        // for a node-major two-sweep and groups local levels into
+        // contiguous runs for the kernel path below.
+        std::sort(out.nodes_.begin() + tile.nodeBegin,
+                  out.nodes_.begin() + tile.nodeEnd);
+        out.tiles_.push_back(tile);
+    }
+    checkInvariant(out.nodes_.size() <= size,
+                   "TileGraph: node collected twice");
+
+    // Per-tile local levels and class-homogeneous segments over the
+    // tile-major, level-major, class-grouped order_ permutation.
+    const uint32_t classCount =
+        static_cast<uint32_t>(view.grammar->classes().size());
+    out.order_.resize(out.nodes_.size());
+    std::vector<uint32_t> classPos(classCount + 1);
+    std::vector<uint32_t> cursor(classCount);
+    for (Tile& tile : out.tiles_) {
+        tile.levelBegin = static_cast<uint32_t>(out.levels_.size());
+        uint32_t i = tile.nodeBegin;
+        while (i < tile.nodeEnd) {
+            const uint32_t d = depth[out.nodes_[i]];
+            uint32_t j = i;
+            while (j < tile.nodeEnd && depth[out.nodes_[j]] == d)
+                ++j;
+            // Stable counting sort of the level run [i, j) by class;
+            // ascending id within each (level, class) group.
+            std::fill(classPos.begin(), classPos.end(), 0);
+            for (uint32_t k = i; k < j; ++k)
+                ++classPos[view.cls[out.nodes_[k]]];
+            uint32_t at = i;
+            for (uint32_t c = 0; c < classCount; ++c) {
+                const uint32_t count = classPos[c];
+                classPos[c] = at;
+                at += count;
+            }
+            std::copy(classPos.begin(), classPos.begin() + classCount,
+                      cursor.begin());
+            for (uint32_t k = i; k < j; ++k) {
+                const NodeIdx node = out.nodes_[k];
+                out.order_[cursor[view.cls[node]]++] = node;
+            }
+            Level level;
+            level.segBegin = static_cast<uint32_t>(out.segments_.size());
+            for (uint32_t c = 0; c < classCount; ++c) {
+                const uint32_t groupEnd =
+                    c + 1 < classCount ? classPos[c + 1] : j;
+                LevelSegments::appendClassSegments(
+                    out.order_.data(), classPos[c], groupEnd,
+                    static_cast<sem::ClassId>(c), out.segments_);
+            }
+            level.segEnd = static_cast<uint32_t>(out.segments_.size());
+            out.levels_.push_back(level);
+            i = j;
+        }
+        tile.levelEnd = static_cast<uint32_t>(out.levels_.size());
+    }
+
+    Stats& st = out.stats_;
+    st.tiles = static_cast<uint32_t>(out.tiles_.size());
+    st.nodes = static_cast<uint32_t>(out.nodes_.size());
+    uint32_t fanoutSum = 0;
+    uint32_t branches = 0;
+    for (const Tile& tile : out.tiles_) {
+        st.maxTileNodes = std::max(st.maxTileNodes, tile.nodeCount());
+        if (tile.childCount() == 0) {
+            ++st.leafTiles;
+        } else {
+            fanoutSum += tile.childCount();
+            ++branches;
+        }
+    }
+    st.avgTileNodes =
+        st.tiles == 0 ? 0.0 : static_cast<double>(st.nodes) / st.tiles;
+    st.avgFanout =
+        branches == 0 ? 0.0 : static_cast<double>(fanoutSum) / branches;
+    // Tile-tree depth: tiles are numbered in BFS order, so a parent's
+    // depth is final before its children are visited.
+    std::vector<uint32_t> tdepth(out.tiles_.size(), 1);
+    for (uint32_t t = 0; t < out.tiles_.size(); ++t) {
+        if (out.tiles_[t].parent != kNoTile)
+            tdepth[t] = tdepth[out.tiles_[t].parent] + 1;
+        st.tileTreeDepth = std::max(st.tileTreeDepth, tdepth[t]);
+    }
+    return out;
+}
+
+const TileGraph&
+TreeArena::tileGraph(uint64_t tileBytes)
+{
+    if (tileBytes == 0)
+        tileBytes = kDefaultTileBytes;
+    if (!tiles_ || tilesBytes_ != tileBytes) {
+        tiles_ = std::make_shared<const TileGraph>(
+            TileGraph::build(view(), tileBytes));
+        tilesBytes_ = tileBytes;
+    }
+    return *tiles_;
+}
+
+} // namespace hecate::runtime

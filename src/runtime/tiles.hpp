@@ -1,0 +1,180 @@
+#pragma once
+
+/**
+ * @file
+ * TileGraph: cache-sized subtree blocking of a TreeArena (or packed
+ * ForestArena), the index structure behind the tiled sweep strategy.
+ *
+ * The level-synchronous strategy streams every attribute column over
+ * the whole arena once per wave, so past a few hundred thousand nodes
+ * each wave runs at DRAM bandwidth and the per-level barrier throttles
+ * parallel scaling. Tiling restores temporal locality: the arena is
+ * partitioned into blocks of whole-subtree *prefixes* sized so one
+ * block's column footprint fits the L2 cache, and execution fuses the
+ * pre and post passes per block — a tile's cells are touched by both
+ * passes within a single cache residency instead of two full streams.
+ *
+ * Construction (BFS over the tile tree, BFS within each tile):
+ *
+ *  - a queue of pending tiles is seeded with the arena's tree roots,
+ *    one tile per root;
+ *  - each tile collects nodes breadth-first from its root set until
+ *    the per-tile node budget (derived from the byte budget and the
+ *    arena's column count) is reached;
+ *  - the frontier left over is packed into child tiles: consecutive
+ *    frontier subtrees merge into one child tile until their exact
+ *    subtree node counts (one O(N) reverse pass, ids are BFS) reach
+ *    the budget. Packing matters: one-tile-per-frontier-node
+ *    degenerates on bushy trees, whose frontier width is proportional
+ *    to tile size, into thousands of few-node fringe tiles.
+ *
+ * The resulting invariants, which both the scheduler's correctness
+ * argument and the tests lean on:
+ *
+ *  - every node reachable from a root lies in exactly one tile;
+ *  - a tile's nodes form a forest of connected subtree prefixes: every
+ *    node's parent is either in the same tile, or (for the tile's
+ *    rootCount roots) in the tile's parent tile;
+ *  - every cross-tile edge goes from a node of tile T to a root node
+ *    of a child tile of T (so the tiles themselves form a
+ *    tree/forest, stored in CSR form with contiguous child id ranges);
+ *  - within a tile, nodes() is ascending by arena id, which by the
+ *    arena's BFS numbering is also ascending by depth — so a linear
+ *    two-sweep over the span is dependency-correct;
+ *  - order() additionally groups each tile level by class, feeding the
+ *    same class-homogeneous kernels the segmented strategy uses, one
+ *    (tile, segment) launch at a time (segment shapes come from
+ *    LevelSegments::appendClassSegments, so streaming promotion is
+ *    identical across strategies).
+ *
+ * Like LevelSegments, a TileGraph depends only on the arena's
+ * structure, never on attribute values: it is built once per (arena,
+ * tile byte budget) and cached on the arena; structural edits
+ * (replaceSubtree) invalidate the cache, value edits (mutateInput) do
+ * not. Orphaned rows left behind by structural edits are unreachable
+ * from the roots and belong to no tile.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/segments.hpp"
+
+namespace hecate::runtime {
+
+/** Tile id sentinel: a root tile has no parent tile. */
+inline constexpr uint32_t kNoTile = 0xffffffffu;
+
+/**
+ * Default per-tile column-footprint budget. A quarter of a typical L2
+ * slice: the fused pre+post passes keep a tile's columns plus its
+ * child-tile root rows resident, so leaving headroom beats filling L2
+ * exactly — and on bushy trees a larger cap pushes the spill frontier
+ * into the small-subtree fringe, shattering the graph into many tiny
+ * tiles (measured: 1M-node RenderTree yields 1.7k tiles at 512KiB but
+ * 13k at 4MiB and runs ~40% slower).
+ */
+inline constexpr uint64_t kDefaultTileBytes = 1u << 19;
+
+/**
+ * Estimated resident bytes per node during a fused pre+post pass: one
+ * int64 cell per attribute column plus the CSR structure the kernels
+ * chase. Shared by TileGraph::build (per-tile node cap) and the Auto
+ * strategy selector (whole-arena footprint vs the tile budget), so
+ * "fits one tile" means the same thing in both places.
+ */
+uint64_t tileBytesPerNode(const ArenaView& view);
+
+/** Subtree-block partition of one arena view; see file comment. */
+class TileGraph {
+  public:
+    using Segment = LevelSegments::Segment;
+
+    /** One local depth level of one tile (a span of segments()). */
+    struct Level {
+        uint32_t segBegin = 0; ///< into segments()
+        uint32_t segEnd = 0;
+    };
+
+    struct Tile {
+        NodeIdx root = 0;          ///< first of the tile's root nodes
+        /**
+         * Number of subtree roots the tile grew from — the nodes whose
+         * parent lies in the parent tile (1 for a root tile). Spill
+         * packing merges sibling frontier subtrees, so interior tiles
+         * are generally multi-rooted forests.
+         */
+        uint32_t rootCount = 1;
+        uint32_t parent = kNoTile; ///< parent tile id
+        uint32_t nodeBegin = 0;    ///< into nodes(); ascending ids
+        uint32_t nodeEnd = 0;
+        uint32_t levelBegin = 0;   ///< into levels()
+        uint32_t levelEnd = 0;
+        /**
+         * Child tile ids form the contiguous range
+         * [childBegin, childEnd): tiles are numbered in BFS order over
+         * the tile tree, and a tile's children are enqueued together.
+         */
+        uint32_t childBegin = 0;
+        uint32_t childEnd = 0;
+
+        uint32_t nodeCount() const { return nodeEnd - nodeBegin; }
+        uint32_t childCount() const { return childEnd - childBegin; }
+    };
+
+    /** Shape summary; the Auto strategy selector consults this. */
+    struct Stats {
+        uint32_t tiles = 0;
+        uint32_t nodes = 0;
+        uint32_t leafTiles = 0;
+        uint32_t maxTileNodes = 0;
+        /** Levels of the tile tree (1 = everything fit in root tiles). */
+        uint32_t tileTreeDepth = 0;
+        double avgTileNodes = 0.0;
+        /** Mean child tiles per non-leaf tile (steal-side parallelism). */
+        double avgFanout = 0.0;
+        /** The byte budget the partition was built for. */
+        uint64_t tileBytes = 0;
+        /** Estimated column + CSR bytes per node used for the budget. */
+        uint64_t bytesPerNode = 0;
+        /** Node cap per tile derived from the two above. */
+        uint32_t nodesPerTile = 0;
+    };
+
+    /**
+     * Partition @p view into tiles of roughly @p tileBytes column
+     * footprint each (0 uses kDefaultTileBytes). Only nodes reachable
+     * from view.roots are covered.
+     */
+    static TileGraph build(const ArenaView& view, uint64_t tileBytes);
+
+    const Stats& stats() const { return stats_; }
+
+    uint32_t tileCount() const
+    {
+        return static_cast<uint32_t>(tiles_.size());
+    }
+    const Tile& tile(uint32_t t) const { return tiles_[t]; }
+    const Level& level(uint32_t l) const { return levels_[l]; }
+    const Segment* segments() const { return segments_.data(); }
+
+    /** Tile-major node list, ascending by id within each tile. */
+    const NodeIdx* nodes() const { return nodes_.data(); }
+
+    /** Tile-major, level-major, class-grouped node permutation. */
+    const NodeIdx* order() const { return order_.data(); }
+
+    /** Root tiles are ids [0, rootTileCount()). */
+    uint32_t rootTileCount() const { return rootTiles_; }
+
+  private:
+    std::vector<Tile> tiles_;
+    std::vector<Level> levels_;
+    std::vector<Segment> segments_;
+    std::vector<NodeIdx> nodes_;
+    std::vector<NodeIdx> order_;
+    Stats stats_;
+    uint32_t rootTiles_ = 0;
+};
+
+} // namespace hecate::runtime

@@ -19,6 +19,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/forest.hpp"
 #include "runtime/segments.hpp"
+#include "runtime/tiles.hpp"
 #include "synth/autotuner.hpp"
 #include "synth/cegis.hpp"
 #include "testutil.hpp"
@@ -352,37 +353,57 @@ TEST(RuntimeSweeps, ExplicitSweepOnNonSweepableProgramIsUserError)
 
 TEST(RuntimeSweeps, AutoConsultsBytecodeShareAndWaveWidth)
 {
-    // Sweepable is necessary but not sufficient for the segmented
-    // strategy: Auto must keep bytecode-heavy programs (the AST and
+    // Sweepable is necessary but not sufficient for the kernel
+    // strategies: Auto must keep bytecode-heavy programs (the AST and
     // CSS grammars, whose conditional rules defeat kernel
     // vectorization) on the stack walk, and send superinstruction
-    // programs (RenderTree) to the segmented engine. levelWaves > 0
-    // iff the segmented strategy actually ran.
-    struct Case {
-        const grammars::Benchmark* bench;
-        bool expectSegmented;
-    };
-    const Case cases[] = {
-        {&grammars::renderTree(), true},
-        {&grammars::astBench(), false},
-    };
-    for (const Case& c : cases) {
-        sem::Grammar grammar = grammars::load(*c.bench);
-        sem::InterfaceId root = grammars::rootInterface(grammar, *c.bench);
+    // programs (RenderTree) to a kernel engine — Segmented while the
+    // whole arena is cache-scale, Tiled beyond it. Every resolution
+    // must record its provenance in stats.selection.
+    {
+        const grammars::Benchmark& bench = grammars::renderTree();
+        sem::Grammar grammar = grammars::load(bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, bench);
         runtime::Program program =
-            compileBenchmark(grammar, root, c.bench->name);
-        ASSERT_TRUE(program.sweepable()) << c.bench->name;
+            compileBenchmark(grammar, root, bench.name);
+        ASSERT_TRUE(program.sweepable());
+        runtime::GenConfig gen;
+        gen.targetNodes = 20000;
+        gen.seed = 5;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        const uint64_t footprint =
+            static_cast<uint64_t>(arena.size()) *
+            runtime::tileBytesPerNode(arena.view());
+        runtime::RuntimeStats stats = runtime::execute(program, arena, {});
+        if (footprint <= runtime::kAutoSegmentedFootprintBytes) {
+            EXPECT_EQ(stats.strategy, runtime::SweepStrategy::Segmented);
+            EXPECT_EQ(stats.selection,
+                      runtime::StrategyReason::CacheResident);
+            EXPECT_GT(stats.levelWaves, 0u);
+        } else {
+            EXPECT_EQ(stats.strategy, runtime::SweepStrategy::Tiled);
+            EXPECT_EQ(stats.selection, runtime::StrategyReason::LargeTree);
+            EXPECT_GT(stats.tilesExecuted, 0u);
+        }
+    }
+    {
+        const grammars::Benchmark& bench = grammars::astBench();
+        sem::Grammar grammar = grammars::load(bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench.name);
+        ASSERT_TRUE(program.sweepable());
         runtime::GenConfig gen;
         gen.targetNodes = 20000;
         gen.seed = 5;
         runtime::TreeArena arena =
             runtime::TreeArena::generate(grammar, root, gen);
         runtime::RuntimeStats stats = runtime::execute(program, arena, {});
-        if (c.expectSegmented) {
-            EXPECT_GT(stats.levelWaves, 0u) << c.bench->name;
-        } else {
-            EXPECT_EQ(stats.levelWaves, 0u) << c.bench->name;
-        }
+        EXPECT_EQ(stats.strategy, runtime::SweepStrategy::Stack);
+        EXPECT_EQ(stats.selection, runtime::StrategyReason::BytecodeHeavy);
+        EXPECT_EQ(stats.levelWaves, 0u);
+        EXPECT_EQ(stats.tilesExecuted, 0u);
     }
     // A chain-shaped arena (every wave one node wide) must fall back
     // to the stack walk even for a superinstruction-only program.
@@ -402,10 +423,29 @@ TEST(RuntimeSweeps, AutoConsultsBytecodeShareAndWaveWidth)
             arena.levelSegments().stats();
         runtime::RuntimeStats stats = runtime::execute(program, arena, {});
         if (shape.avgLevelWidth < 64.0) {
-            EXPECT_EQ(stats.levelWaves, 0u);
+            EXPECT_EQ(stats.strategy, runtime::SweepStrategy::Stack);
+            EXPECT_EQ(stats.selection,
+                      runtime::StrategyReason::NarrowLevels);
         } else {
-            EXPECT_GT(stats.levelWaves, 0u);
+            EXPECT_NE(stats.strategy, runtime::SweepStrategy::Stack);
         }
+    }
+    // An explicitly named strategy records Explicit provenance.
+    {
+        sem::Grammar grammar = grammars::load(grammars::binaryTree());
+        sem::InterfaceId root =
+            grammars::rootInterface(grammar, grammars::binaryTree());
+        runtime::Program program = compileBenchmark(grammar, root, "expl");
+        runtime::GenConfig gen;
+        gen.targetNodes = 2000;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        runtime::ExecOptions options;
+        options.strategy = runtime::SweepStrategy::Stack;
+        runtime::RuntimeStats stats =
+            runtime::execute(program, arena, options);
+        EXPECT_EQ(stats.strategy, runtime::SweepStrategy::Stack);
+        EXPECT_EQ(stats.selection, runtime::StrategyReason::Explicit);
     }
 }
 

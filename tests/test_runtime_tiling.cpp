@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests for tile-based parallel execution: TileGraph construction
+ * invariants, tiled-strategy differentials against the demand-driven
+ * reference on every bundled grammar (kernel and sweep in-tile modes,
+ * sequential and stolen), a steal-heavy deep-tree case for the race
+ * detector, tiled execution composed with incremental re-execution,
+ * and the arena-side cache/invalidation contract.
+ *
+ * Every fixture is named Tiling* so the TSan CI job's
+ * `ctest -R '...|Tiling'` filter covers the work-stealing paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/interp.hpp"
+#include "grammars/grammars.hpp"
+#include "incr/edit.hpp"
+#include "incr/plan.hpp"
+#include "incr/reexecute.hpp"
+#include "runtime/edit_state.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/segments.hpp"
+#include "runtime/tiles.hpp"
+#include "synth/autotuner.hpp"
+#include "testutil.hpp"
+
+namespace hecate {
+namespace {
+
+/** All eight bundled benchmark grammars. */
+std::vector<const grammars::Benchmark*>
+allBenchmarks()
+{
+    std::vector<const grammars::Benchmark*> all =
+        grammars::grafterBenchmarks();
+    for (const grammars::Benchmark* bench : grammars::cssBenchmarks())
+        all.push_back(bench);
+    return all;
+}
+
+synth::SynthesisConfig
+cheapConfig()
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 128;
+    return config;
+}
+
+/** Autotune @p bench and compile the winning schedule. */
+runtime::Program
+compileBenchmark(const sem::Grammar& grammar, sem::InterfaceId root,
+                 const std::string& name)
+{
+    synth::AutotuneResult tuned =
+        synth::autotune(grammar, root, cheapConfig());
+    if (!tuned.schedule.has_value())
+        throw std::runtime_error(name + ": " + tuned.lastSynthesis.failure);
+    return runtime::Program::compile(*tuned.skeleton, *tuned.schedule);
+}
+
+/** Every output cell of @p arena, in node-major order (exact compare). */
+std::vector<int64_t>
+outputCells(const runtime::TreeArena& arena)
+{
+    const sem::Grammar& grammar = arena.grammar();
+    std::vector<int64_t> cells;
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            cells.push_back(arena.value(node, col));
+        }
+    }
+    return cells;
+}
+
+/** parent[n] for every node reachable from the arena root(s). */
+std::vector<runtime::NodeIdx>
+parentMap(runtime::TreeArena& arena)
+{
+    std::vector<runtime::NodeIdx> parent(arena.size(), runtime::kNone);
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const runtime::ClassLayout& layout =
+            arena.layout().cls(arena.classOf(node));
+        for (uint32_t s = 0; s < layout.scalarCount; ++s) {
+            runtime::NodeIdx child = arena.scalarChild(node, s);
+            if (child != runtime::kNone)
+                parent[child] = node;
+        }
+        for (uint32_t c = 0; c < layout.collCount; ++c) {
+            auto [begin, end] = arena.collection(node, c);
+            for (const runtime::NodeIdx* it = begin; it != end; ++it)
+                parent[*it] = node;
+        }
+    }
+    return parent;
+}
+
+// ---------------------------------------------------------------------------
+// TileGraph construction invariants
+// ---------------------------------------------------------------------------
+
+TEST(TilingGraph, InvariantsHoldOnAllGrammarsWithSmallTiles)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::GenConfig gen;
+        gen.targetNodes = 4000;
+        gen.seed = 31;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        // A tiny budget forces a deep multi-tile graph even on 4k
+        // nodes, exercising spill, numbering and per-tile segments.
+        const runtime::TileGraph& tiles = arena.tileGraph(4096);
+        const std::vector<runtime::NodeIdx> parent = parentMap(arena);
+
+        // Every node lands in exactly one tile (a fresh arena has no
+        // orphans, so coverage is total), and tile spans are sorted.
+        ASSERT_GT(tiles.tileCount(), 1u) << bench->name;
+        EXPECT_EQ(tiles.rootTileCount(), 1u) << bench->name;
+        EXPECT_EQ(tiles.stats().nodes, arena.size()) << bench->name;
+        std::vector<uint32_t> tileOf(arena.size(), runtime::kNoTile);
+        for (uint32_t t = 0; t < tiles.tileCount(); ++t) {
+            const runtime::TileGraph::Tile& tile = tiles.tile(t);
+            ASSERT_LT(tile.nodeBegin, tile.nodeEnd) << bench->name;
+            for (uint32_t i = tile.nodeBegin; i < tile.nodeEnd; ++i) {
+                runtime::NodeIdx node = tiles.nodes()[i];
+                ASSERT_LT(node, arena.size());
+                ASSERT_EQ(tileOf[node], runtime::kNoTile)
+                    << bench->name << ": node " << node << " in two tiles";
+                tileOf[node] = t;
+                if (i > tile.nodeBegin) {
+                    EXPECT_LT(tiles.nodes()[i - 1], node)
+                        << bench->name << ": tile span not id-sorted";
+                }
+            }
+        }
+        for (runtime::NodeIdx node = 0; node < arena.size(); ++node)
+            EXPECT_NE(tileOf[node], runtime::kNoTile) << bench->name;
+
+        // Tile-tree edges mirror tree edges: every node's parent is in
+        // the same tile, except the tile's rootCount roots, whose
+        // parents all live in the tile's parent tile. Child tile id
+        // ranges are contiguous and tile the non-root ids exactly once
+        // (BFS numbering).
+        std::vector<uint32_t> childSeen(tiles.tileCount(), 0);
+        for (uint32_t t = 0; t < tiles.tileCount(); ++t) {
+            const runtime::TileGraph::Tile& tile = tiles.tile(t);
+            uint32_t rootsSeen = 0;
+            for (uint32_t i = tile.nodeBegin; i < tile.nodeEnd; ++i) {
+                runtime::NodeIdx node = tiles.nodes()[i];
+                if (parent[node] != runtime::kNone &&
+                    tileOf[parent[node]] == t)
+                    continue; // interior node
+                ++rootsSeen;
+                if (tile.parent == runtime::kNoTile) {
+                    EXPECT_EQ(parent[node], runtime::kNone)
+                        << bench->name << ": root tile's root has parent";
+                } else {
+                    ASSERT_NE(parent[node], runtime::kNone) << bench->name;
+                    EXPECT_EQ(tileOf[parent[node]], tile.parent)
+                        << bench->name << ": root's parent escaped the "
+                        << "parent tile";
+                }
+            }
+            EXPECT_EQ(rootsSeen, tile.rootCount) << bench->name;
+            EXPECT_EQ(tileOf[tile.root], t) << bench->name;
+            if (tile.parent == runtime::kNoTile) {
+                EXPECT_LT(t, tiles.rootTileCount()) << bench->name;
+            }
+            for (uint32_t c = tile.childBegin; c < tile.childEnd; ++c) {
+                ASSERT_LT(c, tiles.tileCount());
+                EXPECT_EQ(tiles.tile(c).parent, t) << bench->name;
+                ++childSeen[c];
+            }
+        }
+        for (uint32_t t = tiles.rootTileCount(); t < tiles.tileCount(); ++t)
+            EXPECT_EQ(childSeen[t], 1u) << bench->name;
+
+        // Per-tile levels slice the node span; segments over order()
+        // are class-homogeneous, and contiguous ones are unbroken
+        // ascending runs. Each tile's order() positions are a
+        // permutation of its node span.
+        for (uint32_t t = 0; t < tiles.tileCount(); ++t) {
+            const runtime::TileGraph::Tile& tile = tiles.tile(t);
+            ASSERT_LE(tile.levelBegin, tile.levelEnd);
+            uint32_t covered = 0;
+            for (uint32_t l = tile.levelBegin; l < tile.levelEnd; ++l) {
+                const runtime::TileGraph::Level& level = tiles.level(l);
+                for (uint32_t s = level.segBegin; s < level.segEnd; ++s) {
+                    const runtime::TileGraph::Segment& seg =
+                        tiles.segments()[s];
+                    for (uint32_t i = 0; i < seg.count; ++i) {
+                        runtime::NodeIdx node =
+                            tiles.order()[seg.posBegin + i];
+                        EXPECT_EQ(arena.classOf(node), seg.cls);
+                        EXPECT_EQ(tileOf[node], t)
+                            << bench->name << ": segment crosses tiles";
+                        if (seg.contiguous) {
+                            EXPECT_EQ(node, seg.first + i);
+                        }
+                        ++covered;
+                    }
+                }
+            }
+            EXPECT_EQ(covered, tile.nodeCount()) << bench->name;
+        }
+    }
+}
+
+TEST(TilingGraph, SingleTileWhenBudgetSwallowsTheArena)
+{
+    const grammars::Benchmark& bench = *allBenchmarks().front();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::GenConfig gen;
+    gen.targetNodes = 500;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    const runtime::TileGraph& tiles = arena.tileGraph(1ull << 30);
+    EXPECT_EQ(tiles.tileCount(), 1u);
+    EXPECT_EQ(tiles.tile(0).nodeCount(), arena.size());
+    EXPECT_EQ(tiles.stats().tileTreeDepth, 1u);
+    EXPECT_EQ(tiles.tile(0).childCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: tiled execution matches the reference everywhere
+// ---------------------------------------------------------------------------
+
+TEST(TilingStrategy, TiledMatchesReferenceOnAllGrammars)
+{
+    size_t sweepableCount = 0;
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench->name);
+        if (!program.sweepable())
+            continue;
+        ++sweepableCount;
+
+        runtime::GenConfig gen;
+        gen.targetNodes = 4000;
+        gen.seed = 77;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+        tree::Tree reference = arena.toTree();
+        exec::computeReference(reference);
+
+        runtime::ExecOptions stack;
+        stack.strategy = runtime::SweepStrategy::Stack;
+        runtime::execute(program, arena, stack);
+        ASSERT_TRUE(runtime::treesEquivalent(arena.toTree(), reference))
+            << bench->name << ": stack diverges from computeReference";
+        const std::vector<int64_t> expected = outputCells(arena);
+
+        ThreadPool pool(4);
+        struct Variant {
+            const char* name;
+            runtime::TileExec mode;
+            bool simd;
+            bool pooled;
+        };
+        const Variant variants[] = {
+            {"kernels-seq", runtime::TileExec::Kernels, true, false},
+            {"kernels-scalar", runtime::TileExec::Kernels, false, false},
+            {"kernels-par", runtime::TileExec::Kernels, true, true},
+            {"sweep-seq", runtime::TileExec::Sweep, true, false},
+            {"sweep-par", runtime::TileExec::Sweep, true, true},
+        };
+        for (const Variant& v : variants) {
+            arena.clearOutputs();
+            runtime::ExecOptions options;
+            options.strategy = runtime::SweepStrategy::Tiled;
+            options.tileExec = v.mode;
+            options.simd = v.simd;
+            options.tileBytes = 8192; // many tiles even at 4k nodes
+            if (v.pooled)
+                options.pool = &pool;
+            runtime::RuntimeStats stats =
+                runtime::execute(program, arena, options);
+            EXPECT_EQ(outputCells(arena), expected)
+                << bench->name << ": tiled " << v.name
+                << " diverges from the stack strategy";
+            EXPECT_GT(stats.tilesExecuted, 1u)
+                << bench->name << ": " << v.name;
+            EXPECT_EQ(stats.strategy, runtime::SweepStrategy::Tiled);
+            EXPECT_EQ(stats.selection, runtime::StrategyReason::Explicit);
+        }
+        EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+    }
+    EXPECT_GT(sweepableCount, 0u);
+}
+
+// Deep, narrow trees make the tile tree a long chain of small tiles:
+// the worst case for the scheduler (every push is immediately
+// stealable, post-countdowns bubble through long parent chains). Run
+// under 8 workers; TSan (the CI Tiling filter) checks the orderings.
+TEST(TilingStrategy, StealHeavyDeepTreeWithEightWorkers)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench->name);
+        if (!program.sweepable())
+            continue;
+
+        runtime::GenConfig gen;
+        gen.targetNodes = 20000;
+        gen.maxCollection = 2; // skewed: deep spine, light fanout
+        gen.seed = 5151;
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+
+        runtime::ExecOptions stack;
+        stack.strategy = runtime::SweepStrategy::Stack;
+        runtime::execute(program, arena, stack);
+        const std::vector<int64_t> expected = outputCells(arena);
+
+        ThreadPool pool(8);
+        for (runtime::TileExec mode :
+             {runtime::TileExec::Kernels, runtime::TileExec::Sweep}) {
+            arena.clearOutputs();
+            runtime::ExecOptions options;
+            options.strategy = runtime::SweepStrategy::Tiled;
+            options.tileExec = mode;
+            options.tileBytes = 2048;
+            options.pool = &pool;
+            runtime::RuntimeStats stats =
+                runtime::execute(program, arena, options);
+            EXPECT_EQ(outputCells(arena), expected) << bench->name;
+            EXPECT_GT(stats.tilesExecuted, 8u) << bench->name;
+        }
+        EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+        break; // one grammar is enough for the race-hunting config
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiled execution composed with incremental re-execution
+// ---------------------------------------------------------------------------
+
+TEST(TilingIncr, TiledRunsThenDirtyWavesMatchFullRecompute)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileBenchmark(grammar, root, bench->name);
+        if (!program.sweepable())
+            continue;
+        incr::IncrPlan plan = incr::IncrPlan::build(program);
+
+        runtime::GenConfig gen;
+        gen.targetNodes = 1500;
+        gen.seed = 0xbeef;
+        runtime::TreeArena a =
+            runtime::TreeArena::generate(grammar, root, gen);
+
+        ThreadPool pool(4);
+        runtime::ExecOptions exec;
+        exec.strategy = runtime::SweepStrategy::Tiled;
+        exec.tileBytes = 8192;
+        exec.pool = &pool;
+        runtime::execute(program, a, exec);
+
+        incr::IncrOptions incrOptions;
+        incrOptions.strategy = incr::IncrStrategy::Wave;
+        incrOptions.pool = &pool;
+        incrOptions.grain = 16;
+
+        for (uint32_t round = 0; round < 3; ++round) {
+            runtime::TreeArena b = a; // deep copy, edit state included
+            std::vector<incr::Edit> edits = incr::applyRandomEdits(
+                a, /*count=*/6, /*subtreeNodes=*/8,
+                /*seed=*/0x7700 + round * 131);
+            for (const incr::Edit& edit : edits)
+                incr::applyEdit(b, edit);
+
+            incr::reexecute(program, plan, a, incrOptions);
+            EXPECT_FALSE(a.edits()->hasPendingDirt()) << bench->name;
+
+            runtime::TreeArena full = b.compact();
+            runtime::execute(program, full, exec);
+            EXPECT_EQ(outputCells(a.compact()), outputCells(full))
+                << bench->name << " round " << round;
+        }
+        EXPECT_EQ(pool.failedTaskCount(), 0u) << pool.lastTaskError();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arena-side cache and invalidation
+// ---------------------------------------------------------------------------
+
+TEST(TilingCache, CachedSharedAndInvalidatedWithTheArena)
+{
+    const grammars::Benchmark& bench = *allBenchmarks().front();
+    sem::Grammar grammar = grammars::load(bench);
+    sem::InterfaceId root = grammars::rootInterface(grammar, bench);
+    runtime::Program program = compileBenchmark(grammar, root, bench.name);
+    runtime::GenConfig gen;
+    gen.targetNodes = 1200;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    runtime::execute(program, arena, {});
+
+    // Same budget: cached object. Different budget: rebuilt.
+    const runtime::TileGraph* first = &arena.tileGraph(4096);
+    EXPECT_EQ(first, &arena.tileGraph(4096));
+    const runtime::TileGraph* resized = &arena.tileGraph(16384);
+    EXPECT_NE(first, resized);
+    EXPECT_EQ(resized->stats().tileBytes, 16384u);
+
+    // Copies share the cache (structure-identical arenas).
+    runtime::TreeArena copy = arena;
+    EXPECT_EQ(&copy.tileGraph(16384), resized);
+
+    // Value edits keep the structure: no invalidation.
+    incr::Edit mutate;
+    mutate.kind = incr::Edit::Kind::MutateInput;
+    mutate.node = 1;
+    mutate.attr = 0;
+    mutate.value = 999;
+    incr::applyEdit(arena, mutate);
+    EXPECT_EQ(&arena.tileGraph(16384), resized);
+
+    // Structural edits orphan rows in place: the graph must be
+    // rebuilt, and the rebuild covers only root-reachable nodes.
+    incr::Edit replace;
+    replace.kind = incr::Edit::Kind::ReplaceSubtree;
+    replace.node = 1;
+    replace.subtreeNodes = 16;
+    replace.seed = 3;
+    incr::applyEdit(arena, replace);
+    const runtime::TileGraph& rebuilt = arena.tileGraph(16384);
+    EXPECT_NE(&rebuilt, resized);
+    EXPECT_LT(rebuilt.stats().nodes, arena.size())
+        << "orphaned rows must not appear in the rebuilt tile graph";
+
+    // A compacted arena starts fresh and covers everything again.
+    runtime::TreeArena packed = arena.compact();
+    EXPECT_EQ(packed.tileGraph(16384).stats().nodes, packed.size());
+}
+
+} // namespace
+} // namespace hecate
