@@ -27,7 +27,10 @@
  * segmented engine in scalar, vectorized, and level-parallel form,
  * the tile scheduler (cache-sized subtree blocks with work stealing,
  * sequential and with 2/4 workers), and Auto — each row carries a
- * `selection` column (strategy/reason) proving what actually ran. A
+ * `selection` column (strategy/reason) proving what actually ran, plus
+ * strip-engine counters (strips / pred_ops / fallback_nodes). The
+ * seg-interp and tiled-interp variants force the node-major expression
+ * interpreter so the strip engine's win is measured, not assumed. A
  * fourth compares executing a batch of trees one by one against one
  * packed ForestArena execution (single-tree vs forest batching).
  *
@@ -420,14 +423,19 @@ main(int argc, char** argv)
         runtime::SweepStrategy strategy;
         bool simd;
         uint32_t workers; ///< 0 = no pool
+        runtime::ExprEngine engine = runtime::ExprEngine::Auto;
     };
     const SweepVariant sweep_variants[] = {
         {"stack", runtime::SweepStrategy::Stack, true, 0},
         {"linear", runtime::SweepStrategy::Linear, true, 0},
         {"seg-scalar", runtime::SweepStrategy::Segmented, false, 0},
+        {"seg-interp", runtime::SweepStrategy::Segmented, true, 0,
+         runtime::ExprEngine::Interp},
         {"seg-simd", runtime::SweepStrategy::Segmented, true, 0},
         {"seg-par2", runtime::SweepStrategy::Segmented, true, 2},
         {"seg-par4", runtime::SweepStrategy::Segmented, true, 4},
+        {"tiled-interp", runtime::SweepStrategy::Tiled, true, 0,
+         runtime::ExprEngine::Interp},
         {"tiled", runtime::SweepStrategy::Tiled, true, 0},
         {"tiled-par2", runtime::SweepStrategy::Tiled, true, 2},
         {"tiled-par4", runtime::SweepStrategy::Tiled, true, 4},
@@ -450,6 +458,7 @@ main(int argc, char** argv)
                 runtime::ExecOptions options;
                 options.strategy = v.strategy;
                 options.simd = v.simd;
+                options.exprEngine = v.engine;
                 if (v.workers > 0) {
                     pool = std::make_unique<ThreadPool>(v.workers);
                     options.pool = pool.get();
@@ -496,6 +505,11 @@ main(int argc, char** argv)
                      {"tiles", std::to_string(stats.tilesExecuted)},
                      {"tile_steals",
                       std::to_string(stats.tileSteals)},
+                     {"strips", std::to_string(stats.stripsRun)},
+                     {"pred_ops",
+                      std::to_string(stats.predicatedOps)},
+                     {"fallback_nodes",
+                      std::to_string(stats.fallbackNodes)},
                      {"selection", "\"" + selection + "\""}}));
             }
         }

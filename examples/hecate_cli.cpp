@@ -56,6 +56,7 @@
  *              [--engine ilp|sat] [--depth K] [--cache-dir DIR]
  *              [--tree-size N] [--tree-depth D] [--seed S]
  *              [--batch-count B] [--strategy NAME] [--no-simd]
+ *              [--expr-engine auto|strip|interp]
  *              [--grain G] [--exec-threads N] [--tile-bytes B]
  *              [--seq] [--check]
  *              [--tier bytecode|native|auto] [--native-cache-dir DIR]
@@ -83,7 +84,11 @@
  * the work-stealing tile scheduler; --tile-bytes overrides the
  * per-tile footprint budget, 0 = L2-sized default). --no-simd runs
  * the segmented and tiled kernels through the portable scalar
- * variant. --check re-evaluates every
+ * variant. --expr-engine picks how residual-bytecode rules execute
+ * inside those kernels: auto/strip run register-form expressions
+ * strip-mined across the segment (predicated, vectorizable), interp
+ * forces the node-major stack interpreter — the differential
+ * baseline. --check re-evaluates every
  * output attribute (of every tree in the batch) with
  * exec::computeReference and fails on any mismatch.
  *
@@ -168,7 +173,8 @@ usage()
         "       [--tree-size N] [--tree-depth D] [--seed S]\n"
         "       [--batch-count B]\n"
         "       [--strategy auto|stack|linear|segmented|tiled]\n"
-        "       [--no-simd] [--grain G] [--exec-threads N]\n"
+        "       [--no-simd] [--expr-engine auto|strip|interp]\n"
+        "       [--grain G] [--exec-threads N]\n"
         "       [--tile-bytes B] [--seq]\n"
         "       [--check] [--tier bytecode|native|auto]\n"
         "       [--native-cache-dir DIR]\n"
@@ -338,6 +344,20 @@ parseStrategyName(const std::string& name)
         return runtime::SweepStrategy::Tiled;
     userError("unknown sweep strategy '" + name +
               "' (expected auto, stack, linear, segmented or tiled)");
+}
+
+/** Parse an --expr-engine value; throws UserError on unknown names. */
+runtime::ExprEngine
+parseExprEngineName(const std::string& name)
+{
+    if (name == "auto")
+        return runtime::ExprEngine::Auto;
+    if (name == "strip")
+        return runtime::ExprEngine::Strip;
+    if (name == "interp")
+        return runtime::ExprEngine::Interp;
+    userError("unknown expression engine '" + name +
+              "' (expected auto, strip or interp)");
 }
 
 /**
@@ -593,6 +613,7 @@ runRun(int argc, char** argv)
     long long seed = 1;
     long long batch_count = 1;
     std::string strategy_name = "auto";
+    std::string expr_engine_name = "auto";
     std::string tier_name = "bytecode";
     std::string native_cache_dir;
     long long edit_storm = 0;
@@ -628,6 +649,8 @@ runRun(int argc, char** argv)
             batch_count = std::atoll(argv[++i]);
         } else if (arg == "--strategy" && i + 1 < argc) {
             strategy_name = argv[++i];
+        } else if (arg == "--expr-engine" && i + 1 < argc) {
+            expr_engine_name = argv[++i];
         } else if (arg == "--edit-storm" && i + 1 < argc) {
             edit_storm = std::atoll(argv[++i]);
         } else if (arg == "--edit-size" && i + 1 < argc) {
@@ -678,6 +701,7 @@ runRun(int argc, char** argv)
         userError("--edit-storm requires --batch-count 1 (structural "
                   "edits are not supported on packed forests)");
     runtime::SweepStrategy strategy = parseStrategyName(strategy_name);
+    runtime::ExprEngine expr_engine = parseExprEngineName(expr_engine_name);
     service::ExecTier tier = parseTierArg(tier_name);
 
     obs::Telemetry telemetry;
@@ -728,6 +752,7 @@ runRun(int argc, char** argv)
     request.gen.seed = static_cast<uint64_t>(seed);
     request.exec.grain = static_cast<uint32_t>(grain);
     request.exec.strategy = strategy;
+    request.exec.exprEngine = expr_engine;
     request.exec.tileBytes = static_cast<uint64_t>(tile_bytes);
     if (no_simd)
         request.exec.simd = false;
@@ -788,6 +813,12 @@ runRun(int argc, char** argv)
                  static_cast<unsigned long long>(stats.segmentKernels),
                  static_cast<unsigned long long>(stats.tilesExecuted),
                  static_cast<unsigned long long>(stats.tileSteals));
+    std::fprintf(stderr,
+                 "run: %llu strips | %llu predicated ops | "
+                 "%llu fallback nodes\n",
+                 static_cast<unsigned long long>(stats.stripsRun),
+                 static_cast<unsigned long long>(stats.predicatedOps),
+                 static_cast<unsigned long long>(stats.fallbackNodes));
     std::fprintf(stderr, "run: strategy %s (%s)\n",
                  runtime::sweepStrategyName(stats.strategy),
                  runtime::strategyReasonName(stats.selection));

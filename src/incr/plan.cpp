@@ -75,6 +75,14 @@ IncrPlan::build(const runtime::Program& program)
             c.operand(spec.b);
             c.operand(spec.c);
             break;
+        case EvalKind::QuadL:
+        case EvalKind::QuadB:
+        case EvalKind::CmpSel:
+            c.operand(spec.a);
+            c.operand(spec.b);
+            c.operand(spec.c);
+            c.operand(spec.d);
+            break;
         case EvalKind::Bytecode: {
             // Linear scan of the expression window. Jump targets are
             // absolute pool indices; an early Done (an `if` arm's

@@ -240,6 +240,29 @@ class SpecRunner {
                 spec.fn2, load(spec.a, kids),
                 runtime::detail::applyWrap(spec.fn1, load(spec.b, kids),
                                            load(spec.c, kids)));
+        case EvalKind::QuadL:
+            return runtime::detail::applyWrap(
+                spec.fn3,
+                runtime::detail::applyWrap(
+                    spec.fn2,
+                    runtime::detail::applyWrap(spec.fn1,
+                                               load(spec.a, kids),
+                                               load(spec.b, kids)),
+                    load(spec.c, kids)),
+                load(spec.d, kids));
+        case EvalKind::QuadB:
+            return runtime::detail::applyWrap(
+                spec.fn3,
+                runtime::detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                           load(spec.b, kids)),
+                runtime::detail::applyWrap(spec.fn2, load(spec.c, kids),
+                                           load(spec.d, kids)));
+        case EvalKind::CmpSel:
+            return runtime::detail::applyWrap(spec.fn1,
+                                              load(spec.a, kids),
+                                              load(spec.b, kids)) != 0
+                       ? load(spec.c, kids)
+                       : load(spec.d, kids);
         }
         internalError("incr: bad eval kind");
     }

@@ -1346,7 +1346,7 @@ Server::handleMetrics()
     JsonObject selectOut;
     for (const char* reason :
          {"explicit", "not-sweepable", "narrow-levels", "bytecode-heavy",
-          "cache-resident", "large-tree"}) {
+          "cache-resident", "large-tree", "strip-convertible"}) {
         selectOut.emplace(
             reason, Json(telemetry_->counter(std::string("exec.select.") +
                                              reason)));
@@ -1355,6 +1355,11 @@ Server::handleMetrics()
     execOut.emplace("tiles", Json(telemetry_->counter("exec.tiles")));
     execOut.emplace("tile_steals",
                     Json(telemetry_->counter("exec.tile_steals")));
+    execOut.emplace("strips", Json(telemetry_->counter("exec.strips")));
+    execOut.emplace("pred_ops",
+                    Json(telemetry_->counter("exec.pred_ops")));
+    execOut.emplace("fallback_nodes",
+                    Json(telemetry_->counter("exec.fallback_nodes")));
     out.emplace("exec", Json(std::move(execOut)));
 
     JsonObject sessionsOut;

@@ -500,6 +500,12 @@ Pipeline::exportExecCounters(const runtime::RuntimeStats& stats,
              static_cast<double>(stats.segmentKernels));
     sink.add("exec.tiles", static_cast<double>(stats.tilesExecuted));
     sink.add("exec.tile_steals", static_cast<double>(stats.tileSteals));
+    // Strip-engine counters: register-form strip loops run, predicated
+    // lane-ops applied, and nodes the interpreter fallback caught.
+    sink.add("exec.strips", static_cast<double>(stats.stripsRun));
+    sink.add("exec.pred_ops", static_cast<double>(stats.predicatedOps));
+    sink.add("exec.fallback_nodes",
+             static_cast<double>(stats.fallbackNodes));
     // Strategy-selection provenance: which strategy actually ran and
     // why Auto (or an explicit request) picked it.
     sink.add(std::string("exec.strategy.") +

@@ -47,7 +47,23 @@ struct SharedCtx {
     std::atomic<uint64_t> kernels{0};
     std::atomic<uint64_t> tiles{0};
     std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> strips{0};
+    std::atomic<uint64_t> predOps{0};
+    std::atomic<uint64_t> fallback{0};
+    std::atomic<uint64_t> kindEvals[kEvalKindCount] = {};
 };
+
+/** Drain a kernel scratch's strip counters into the shared totals. */
+inline void
+drainScratch(SharedCtx& ctx, detail::ExprScratch& sc)
+{
+    ctx.strips += sc.strips;
+    ctx.predOps += sc.predOps;
+    ctx.fallback += sc.fallbackNodes;
+    sc.strips = 0;
+    sc.predOps = 0;
+    sc.fallbackNodes = 0;
+}
 
 /**
  * Thrown by a region dispatch whose chunks were drained unrun because
@@ -150,6 +166,10 @@ class Worker {
     {
         ctx_.visits += visits_;
         ctx_.rules += rules_;
+        for (uint32_t k = 0; k < kEvalKindCount; ++k)
+            if (kinds_[k] != 0)
+                ctx_.kindEvals[k] += kinds_[k];
+        ctx_.fallback += fallback_;
     }
 
     void run(NodeIdx root)
@@ -318,6 +338,8 @@ class Worker {
                     detail::evalExpr(xcode_, spec.xbegin, cols_, ctx_.view,
                                      node, kids, xstack_.data());
                 ++rules_;
+                ++kinds_[static_cast<uint32_t>(EvalKind::Bytecode)];
+                ++fallback_;
                 continue;
             }
             int64_t v;
@@ -345,11 +367,36 @@ class Worker {
                     detail::applyWrap(spec.fn1, load(spec.b, kids),
                                       load(spec.c, kids)));
                 break;
+            case EvalKind::QuadL:
+                v = detail::applyWrap(
+                    spec.fn3,
+                    detail::applyWrap(
+                        spec.fn2,
+                        detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                          load(spec.b, kids)),
+                        load(spec.c, kids)),
+                    load(spec.d, kids));
+                break;
+            case EvalKind::QuadB:
+                v = detail::applyWrap(
+                    spec.fn3,
+                    detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                      load(spec.b, kids)),
+                    detail::applyWrap(spec.fn2, load(spec.c, kids),
+                                      load(spec.d, kids)));
+                break;
+            case EvalKind::CmpSel:
+                v = detail::applyWrap(spec.fn1, load(spec.a, kids),
+                                      load(spec.b, kids)) != 0
+                        ? load(spec.c, kids)
+                        : load(spec.d, kids);
+                break;
             default:
                 internalError("Executor: bad eval kind");
             }
             cols_[spec.targetCol][target] = v;
             ++rules_;
+            ++kinds_[static_cast<uint32_t>(spec.kind)];
         }
     }
 
@@ -439,6 +486,8 @@ class Worker {
     std::vector<int64_t> xstack_;
     uint64_t visits_ = 0;
     uint64_t rules_ = 0;
+    uint64_t kinds_[kEvalKindCount] = {};
+    uint64_t fallback_ = 0; ///< Bytecode evals (always interpreted here)
 };
 
 /**
@@ -454,14 +503,20 @@ class Worker {
 class SweepRunner {
   public:
     SweepRunner(SharedCtx& ctx, const LevelSegments& segs, bool simd,
-                obs::Telemetry& telemetry)
-        : ctx_(ctx), segs_(segs), simd_(simd), telemetry_(telemetry),
-          evals_(ctx.program->evals().data()),
+                bool strip, obs::Telemetry& telemetry)
+        : ctx_(ctx), segs_(segs), simd_(simd), strip_(strip),
+          telemetry_(telemetry), evals_(ctx.program->evals().data()),
           sweeps_(ctx.program->sweepData()),
-          seqStack_(ctx.program->maxExprStack())
+          seqStack_(ctx.program->maxExprStack()),
+          seqRegs_(static_cast<size_t>(ctx.program->maxRegCount()) *
+                   kStripWidth)
     {
         kctx_.view = ctx.view;
         kctx_.xcode = ctx.program->exprPool().data();
+        kctx_.rcode = ctx.program->regPool().data();
+        seqScratch_.xstack = seqStack_.data();
+        seqScratch_.regs = seqRegs_.data();
+        seqScratch_.strip = strip_;
     }
 
     void run()
@@ -502,7 +557,7 @@ class SweepRunner {
         const uint32_t count = lv.posEnd - lv.posBegin;
         const size_t grain = ctx_.grain;
         if (ctx_.pool == nullptr || count < 2 * grain) {
-            runSlice(lv, lv.posBegin, lv.posEnd, pre, seqStack_.data());
+            runSlice(lv, lv.posBegin, lv.posEnd, pre, seqScratch_);
             return;
         }
         // Fork the wave's node span by grain; the help-join below is
@@ -517,7 +572,15 @@ class SweepRunner {
                 guard([&] {
                     std::vector<int64_t> xstack(
                         ctx_.program->maxExprStack());
-                    runSlice(lv, posB, posE, pre, xstack.data());
+                    std::vector<int64_t> regs(
+                        static_cast<size_t>(
+                            ctx_.program->maxRegCount()) *
+                        kStripWidth);
+                    detail::ExprScratch sc;
+                    sc.xstack = xstack.data();
+                    sc.regs = regs.data();
+                    sc.strip = strip_;
+                    runSlice(lv, posB, posE, pre, sc);
                 });
             });
         });
@@ -529,7 +592,7 @@ class SweepRunner {
      * slices touch pairwise-disjoint cells.
      */
     void runSlice(const LevelSegments::Level& lv, uint32_t posB,
-                  uint32_t posE, bool pre, int64_t* xstack)
+                  uint32_t posE, bool pre, detail::ExprScratch& scratch)
     {
         uint64_t writes = 0;
         uint64_t launched = 0;
@@ -550,26 +613,30 @@ class SweepRunner {
                     writes += detail::runSpecKernel(
                         kctx_, spec, nullptr,
                         seg.first + (b - seg.posBegin), e - b, simd_,
-                        xstack);
+                        scratch);
                 else
                     writes += detail::runSpecKernel(kctx_, spec, order + b,
                                                     0, e - b, simd_,
-                                                    xstack);
+                                                    scratch);
                 ++launched;
             }
         }
         ctx_.rules += writes;
         ctx_.kernels += launched;
+        drainScratch(ctx_, scratch);
     }
 
     SharedCtx& ctx_;
     const LevelSegments& segs_;
     const bool simd_;
+    const bool strip_; ///< strip-mine converted Bytecode specs
     obs::Telemetry& telemetry_;
     detail::KernelCtx kctx_;
     const EvalSpec* evals_;
     const SweepCase* sweeps_;
     std::vector<int64_t> seqStack_; ///< sequential-path operand stack
+    std::vector<int64_t> seqRegs_;  ///< sequential-path register file
+    detail::ExprScratch seqScratch_;
 };
 
 /**
@@ -631,21 +698,31 @@ runStack(SharedCtx& ctx)
 class TileRunner {
   public:
     TileRunner(SharedCtx& ctx, const TileGraph& graph, bool simd,
-               bool kernels)
+               bool strip, bool kernels)
         : ctx_(ctx), graph_(graph), simd_(simd), kernels_(kernels),
           evals_(ctx.program->evals().data()),
           sweeps_(ctx.program->sweepData())
     {
         kctx_.view = ctx.view;
         kctx_.xcode = ctx.program->exprPool().data();
+        kctx_.rcode = ctx.program->regPool().data();
         const uint32_t slots =
             1 + (ctx.pool != nullptr
                      ? static_cast<uint32_t>(ctx.pool->workerCount())
                      : 0);
         if (kernels_) {
             xstacks_.resize(slots);
-            for (auto& stack : xstacks_)
-                stack.resize(ctx.program->maxExprStack());
+            regfiles_.resize(slots);
+            scratch_.resize(slots);
+            for (uint32_t s = 0; s < slots; ++s) {
+                xstacks_[s].resize(ctx.program->maxExprStack());
+                regfiles_[s].resize(
+                    static_cast<size_t>(ctx.program->maxRegCount()) *
+                    kStripWidth);
+                scratch_[s].xstack = xstacks_[s].data();
+                scratch_[s].regs = regfiles_[s].data();
+                scratch_[s].strip = strip;
+            }
         } else {
             workers_.reserve(slots);
             for (uint32_t s = 0; s < slots; ++s)
@@ -689,7 +766,7 @@ class TileRunner {
         // strategy runs, restricted to one cache-resident block.
         uint64_t writes = 0;
         uint64_t launched = 0;
-        int64_t* xstack = xstacks_[slot].data();
+        detail::ExprScratch& scratch = scratch_[slot];
         for (uint32_t l = tile.levelBegin; l < tile.levelEnd; ++l) {
             const uint32_t level =
                 pre ? l : tile.levelEnd - 1 - (l - tile.levelBegin);
@@ -704,18 +781,19 @@ class TileRunner {
                     if (seg.contiguous)
                         writes += detail::runSpecKernel(
                             kctx_, spec, nullptr, seg.first, seg.count,
-                            simd_, xstack);
+                            simd_, scratch);
                     else
                         writes += detail::runSpecKernel(
                             kctx_, spec,
                             graph_.order() + seg.posBegin, 0, seg.count,
-                            simd_, xstack);
+                            simd_, scratch);
                     ++launched;
                 }
             }
         }
         ctx_.rules += writes;
         ctx_.kernels += launched;
+        drainScratch(ctx_, scratch);
     }
 
     SharedCtx& ctx_;
@@ -726,6 +804,8 @@ class TileRunner {
     const SweepCase* sweeps_;
     detail::KernelCtx kctx_;
     std::vector<std::vector<int64_t>> xstacks_;     ///< kernel mode
+    std::vector<std::vector<int64_t>> regfiles_;    ///< kernel mode
+    std::vector<detail::ExprScratch> scratch_;      ///< by slot
     std::vector<std::unique_ptr<Worker>> workers_;  ///< sweep mode
 };
 
@@ -765,6 +845,8 @@ strategyReasonName(StrategyReason reason)
         return "cache-resident";
     case StrategyReason::LargeTree:
         return "large-tree";
+    case StrategyReason::StripConvertible:
+        return "strip-convertible";
     }
     return "unknown";
 }
@@ -781,7 +863,18 @@ executeView(const Program& program, const ArenaView& view,
     StrategyReason reason = StrategyReason::Explicit;
     const uint64_t tileBudget =
         options.tileBytes != 0 ? options.tileBytes : kDefaultTileBytes;
-    const bool branchy =
+    // With the strip engine on, a Bytecode spec that converted to
+    // register form runs as vectorizable strip loops inside the
+    // kernels — only the residual (inconvertible) share still predicts
+    // spec-major strategies losing to the stack walk.
+    const bool stripOn = options.exprEngine != ExprEngine::Interp;
+    const double residualShare = stripOn ? program.stripResidualShare()
+                                         : program.bytecodeShare();
+    const bool branchy = residualShare > kMaxAutoBytecodeShare;
+    // Kernels chosen *because* the strip engine rescued a program the
+    // share heuristic would otherwise have sent to the stack walk.
+    const bool stripRescued =
+        stripOn && !branchy &&
         program.bytecodeShare() > kMaxAutoBytecodeShare;
     if (strategy == SweepStrategy::Auto) {
         // Measured-shape selection; every exit records its reason in
@@ -818,10 +911,12 @@ executeView(const Program& program, const ArenaView& view,
                 reason = StrategyReason::BytecodeHeavy;
             } else if (footprint <= kAutoSegmentedFootprintBytes) {
                 strategy = SweepStrategy::Segmented;
-                reason = StrategyReason::CacheResident;
+                reason = stripRescued ? StrategyReason::StripConvertible
+                                      : StrategyReason::CacheResident;
             } else {
                 strategy = SweepStrategy::Tiled;
-                reason = StrategyReason::LargeTree;
+                reason = stripRescued ? StrategyReason::StripConvertible
+                                      : StrategyReason::LargeTree;
             }
         }
     } else if (strategy != SweepStrategy::Stack && !program.sweepable())
@@ -857,7 +952,8 @@ executeView(const Program& program, const ArenaView& view,
             break;
         }
         case SweepStrategy::Segmented: {
-            SweepRunner runner(ctx, segments(), options.simd, telemetry);
+            SweepRunner runner(ctx, segments(), options.simd, stripOn,
+                               telemetry);
             runner.run();
             break;
         }
@@ -867,7 +963,7 @@ executeView(const Program& program, const ArenaView& view,
                 options.tileExec == TileExec::Kernels ||
                 (options.tileExec == TileExec::Auto && !branchy);
             TileRunner runner(ctx, tiles(tileBudget), options.simd,
-                              kernelsMode);
+                              stripOn, kernelsMode);
             runner.run();
             break;
         }
@@ -888,6 +984,11 @@ executeView(const Program& program, const ArenaView& view,
     stats.segmentKernels = ctx.kernels.load();
     stats.tilesExecuted = ctx.tiles.load();
     stats.tileSteals = ctx.steals.load();
+    stats.stripsRun = ctx.strips.load();
+    stats.predicatedOps = ctx.predOps.load();
+    stats.fallbackNodes = ctx.fallback.load();
+    for (uint32_t k = 0; k < kEvalKindCount; ++k)
+        stats.evalsByKind[k] = ctx.kindEvals[k].load();
     return stats;
 }
 

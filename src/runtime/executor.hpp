@@ -105,6 +105,12 @@ enum class StrategyReason : uint8_t {
     BytecodeHeavy, ///< bytecode share defeats spec-major kernels
     CacheResident, ///< Segmented: whole arena is cache-scale
     LargeTree,     ///< Tiled: footprint exceeds the cache-scale pivot
+    /**
+     * Kernels chosen *despite* a heavy bytecode share: the strip
+     * engine converted enough of the pool to register form that the
+     * residual interpreter share no longer predicts kernels losing.
+     */
+    StripConvertible,
 };
 
 /**
@@ -147,6 +153,14 @@ struct ExecOptions {
     /** Tiled strategy: in-tile execution mode. */
     TileExec tileExec = TileExec::Auto;
     /**
+     * How Bytecode evals execute inside segment/tile kernels: Auto and
+     * Strip run converted expressions strip-mined over the register
+     * scratchpad (inconvertible ones still interpret); Interp forces
+     * the node-major stack interpreter everywhere — the differential
+     * baseline, and what the Auto strategy selector assumes when set.
+     */
+    ExprEngine exprEngine = ExprEngine::Auto;
+    /**
      * Segmented strategy: run the auto-vectorized kernel variant. The
      * scalar variant is compiled alongside either way; building with
      * -DHECATE_DISABLE_SIMD=ON flips this default so CI can
@@ -183,6 +197,15 @@ struct RuntimeStats {
     uint64_t tilesExecuted = 0;
     /** Tile tasks that migrated between workers via stealing. */
     uint64_t tileSteals = 0;
+    /** Strip loops the register-form expression engine executed. */
+    uint64_t stripsRun = 0;
+    /** Predicated lane-ops (SELECT blends × lanes) applied by strips. */
+    uint64_t predicatedOps = 0;
+    /** Bytecode-eval nodes that fell back to the stack interpreter. */
+    uint64_t fallbackNodes = 0;
+    /** Rule evaluations by superinstruction kind (Stack/Linear only;
+     *  index with static_cast<uint32_t>(EvalKind)). */
+    uint64_t evalsByKind[kEvalKindCount] = {};
 };
 
 /**

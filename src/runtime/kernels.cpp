@@ -5,21 +5,22 @@ namespace hecate::runtime::detail {
 namespace kern_vec {
 uint64_t runSpec(const KernelCtx& ctx, const EvalSpec& spec,
                  const NodeIdx* order, NodeIdx first, uint32_t count,
-                 int64_t* xstack);
+                 ExprScratch& scratch);
 } // namespace kern_vec
 
 namespace kern_novec {
 uint64_t runSpec(const KernelCtx& ctx, const EvalSpec& spec,
                  const NodeIdx* order, NodeIdx first, uint32_t count,
-                 int64_t* xstack);
+                 ExprScratch& scratch);
 } // namespace kern_novec
 
 uint64_t
 runSpecKernel(const KernelCtx& ctx, const EvalSpec& spec, const NodeIdx* order,
-              NodeIdx first, uint32_t count, bool simd, int64_t* xstack)
+              NodeIdx first, uint32_t count, bool simd, ExprScratch& scratch)
 {
-    return simd ? kern_vec::runSpec(ctx, spec, order, first, count, xstack)
-                : kern_novec::runSpec(ctx, spec, order, first, count, xstack);
+    return simd ? kern_vec::runSpec(ctx, spec, order, first, count, scratch)
+                : kern_novec::runSpec(ctx, spec, order, first, count,
+                                      scratch);
 }
 
 } // namespace hecate::runtime::detail

@@ -26,18 +26,36 @@ namespace hecate::runtime::detail {
 struct KernelCtx {
     ArenaView view;                ///< columns + CSR structure
     const XInst* xcode = nullptr;  ///< expression pool (Bytecode kind)
+    const RInst* rcode = nullptr;  ///< register-form pool (strip engine)
+};
+
+/**
+ * Per-thread expression scratch and counters. One instance per worker
+ * slot: the operand stack serves the node-major interpreter fallback,
+ * the register scratchpad holds the strip engine's column-major
+ * maxRegCount() × kStripWidth lane file, and the counters accumulate
+ * strip-engine telemetry the caller drains into RuntimeStats.
+ */
+struct ExprScratch {
+    int64_t* xstack = nullptr; ///< maxExprStack() slots
+    int64_t* regs = nullptr;   ///< maxRegCount() * kStripWidth lanes
+    bool strip = true;         ///< run register-form strips when present
+    uint64_t strips = 0;       ///< strip loops executed
+    uint64_t predOps = 0;      ///< predicated (SELECT) lane-ops applied
+    uint64_t fallbackNodes = 0; ///< nodes run on the interpreter fallback
 };
 
 /**
  * Apply @p spec to a slice of same-class nodes: order[0..count) when
  * @p order is non-null (a permuted segment), else the contiguous id
- * range [first, first + count). @p xstack must hold maxExprStack()
- * slots and be private to the calling thread (Bytecode evals use it).
- * Returns the number of cells written (vacuous child-target evals
- * write nothing).
+ * range [first, first + count). @p scratch must be private to the
+ * calling thread; Bytecode evals run strip-mined over its register
+ * scratchpad when the spec converted (EvalSpec::rcount != 0 and
+ * scratch.strip), else per node on its operand stack. Returns the
+ * number of cells written (vacuous child-target evals write nothing).
  */
 uint64_t runSpecKernel(const KernelCtx& ctx, const EvalSpec& spec,
                        const NodeIdx* order, NodeIdx first, uint32_t count,
-                       bool simd, int64_t* xstack);
+                       bool simd, ExprScratch& scratch);
 
 } // namespace hecate::runtime::detail

@@ -16,6 +16,8 @@
 // level. Either way no loop-carried dependence exists, which is
 // exactly the within-wave independence argument of DESIGN.md §10.
 
+#include <algorithm>
+
 #include "runtime/eval_detail.hpp"
 #include "runtime/kernels.hpp"
 
@@ -203,6 +205,88 @@ struct TriGenC {
     int64_t atKids(NodeIdx, const NodeIdx* kids) const
     {
         return shape(ldKids(a, kids), ldKids(b, kids), ldKids(c, kids));
+    }
+};
+
+/** Four-leaf shapes: left chain f3(f2(f1(a,b),c),d) or balanced
+ *  f3(f1(a,b), f2(c,d)). */
+template <class F1, class F2, class F3, bool Balanced> struct QuadC {
+    Ld a, b, c, d;
+    static int64_t shape(int64_t w, int64_t x, int64_t y, int64_t z)
+    {
+        if constexpr (Balanced)
+            return F3::apply(F1::apply(w, x), F2::apply(y, z));
+        else
+            return F3::apply(F2::apply(F1::apply(w, x), y), z);
+    }
+    int64_t atSelf(NodeIdx n) const
+    {
+        return shape(ldSelf(a, n), ldSelf(b, n), ldSelf(c, n),
+                     ldSelf(d, n));
+    }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return shape(ldKids(a, kids), ldKids(b, kids), ldKids(c, kids),
+                     ldKids(d, kids));
+    }
+};
+
+/** Generic four-operand body for (fn1, fn2, fn3) triples not worth a
+ *  dedicated instantiation. */
+struct QuadGenC {
+    Ld a, b, c, d;
+    XOp fn1, fn2, fn3;
+    bool balanced;
+    int64_t shape(int64_t w, int64_t x, int64_t y, int64_t z) const
+    {
+        if (balanced)
+            return applyWrap(fn3, applyWrap(fn1, w, x),
+                             applyWrap(fn2, y, z));
+        return applyWrap(fn3, applyWrap(fn2, applyWrap(fn1, w, x), y), z);
+    }
+    int64_t atSelf(NodeIdx n) const
+    {
+        return shape(ldSelf(a, n), ldSelf(b, n), ldSelf(c, n),
+                     ldSelf(d, n));
+    }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return shape(ldKids(a, kids), ldKids(b, kids), ldKids(c, kids),
+                     ldKids(d, kids));
+    }
+};
+
+/** cmp + select: fn(a, b) ? c : d — the branch-free `if` lowering. */
+template <class F> struct CmpSelC {
+    Ld a, b, c, d;
+    int64_t atSelf(NodeIdx n) const
+    {
+        return F::apply(ldSelf(a, n), ldSelf(b, n)) != 0 ? ldSelf(c, n)
+                                                         : ldSelf(d, n);
+    }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return F::apply(ldKids(a, kids), ldKids(b, kids)) != 0
+                   ? ldKids(c, kids)
+                   : ldKids(d, kids);
+    }
+};
+
+/** Generic condition op for CmpSel (max/min/arith conditions). */
+struct CmpSelGenC {
+    Ld a, b, c, d;
+    XOp fn1;
+    int64_t atSelf(NodeIdx n) const
+    {
+        return applyWrap(fn1, ldSelf(a, n), ldSelf(b, n)) != 0
+                   ? ldSelf(c, n)
+                   : ldSelf(d, n);
+    }
+    int64_t atKids(NodeIdx, const NodeIdx* kids) const
+    {
+        return applyWrap(fn1, ldKids(a, kids), ldKids(b, kids)) != 0
+                   ? ldKids(c, kids)
+                   : ldKids(d, kids);
     }
 };
 
@@ -445,11 +529,307 @@ runTri(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
                        TriGenC{a, b, c, spec.fn1, spec.fn2, Left});
 }
 
+template <bool Balanced>
+uint64_t
+runQuad(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
+        NodeIdx first, uint32_t count)
+{
+    const Ld a = makeLd(spec.a, v, spec.targetCol);
+    const Ld b = makeLd(spec.b, v, spec.targetCol);
+    const Ld c = makeLd(spec.c, v, spec.targetCol);
+    const Ld d = makeLd(spec.d, v, spec.targetCol);
+    const bool s = selfish(spec.a) && selfish(spec.b) && selfish(spec.c) &&
+                   selfish(spec.d);
+    // Homogeneous reductions (long + / * / max / min chains) are the
+    // shapes the AST-style grammars actually produce; mixed triples go
+    // through the generic body.
+    if (spec.fn1 == spec.fn2 && spec.fn2 == spec.fn3) {
+        switch (spec.fn1) {
+        case XOp::Add:
+            return dispatchAny(v, spec, order, first, count, s,
+                               QuadC<AddF, AddF, AddF, Balanced>{a, b, c, d});
+        case XOp::Mul:
+            return dispatchAny(v, spec, order, first, count, s,
+                               QuadC<MulF, MulF, MulF, Balanced>{a, b, c, d});
+        case XOp::Max2:
+            return dispatchAny(
+                v, spec, order, first, count, s,
+                QuadC<Max2F, Max2F, Max2F, Balanced>{a, b, c, d});
+        case XOp::Min2:
+            return dispatchAny(
+                v, spec, order, first, count, s,
+                QuadC<Min2F, Min2F, Min2F, Balanced>{a, b, c, d});
+        default:
+            break;
+        }
+    }
+    return dispatchAny(
+        v, spec, order, first, count, s,
+        QuadGenC{a, b, c, d, spec.fn1, spec.fn2, spec.fn3, Balanced});
+}
+
+uint64_t
+runCmpSel(const ArenaView& v, const EvalSpec& spec, const NodeIdx* order,
+          NodeIdx first, uint32_t count)
+{
+    const Ld a = makeLd(spec.a, v, spec.targetCol);
+    const Ld b = makeLd(spec.b, v, spec.targetCol);
+    const Ld c = makeLd(spec.c, v, spec.targetCol);
+    const Ld d = makeLd(spec.d, v, spec.targetCol);
+    const bool s = selfish(spec.a) && selfish(spec.b) && selfish(spec.c) &&
+                   selfish(spec.d);
+    switch (spec.fn1) {
+    case XOp::Lt:
+        return dispatchAny(v, spec, order, first, count, s,
+                           CmpSelC<LtF>{a, b, c, d});
+    case XOp::Le:
+        return dispatchAny(v, spec, order, first, count, s,
+                           CmpSelC<LeF>{a, b, c, d});
+    case XOp::Gt:
+        return dispatchAny(v, spec, order, first, count, s,
+                           CmpSelC<GtF>{a, b, c, d});
+    case XOp::Ge:
+        return dispatchAny(v, spec, order, first, count, s,
+                           CmpSelC<GeF>{a, b, c, d});
+    case XOp::Eq:
+        return dispatchAny(v, spec, order, first, count, s,
+                           CmpSelC<EqF>{a, b, c, d});
+    case XOp::Ne:
+        return dispatchAny(v, spec, order, first, count, s,
+                           CmpSelC<NeF>{a, b, c, d});
+    default:
+        return dispatchAny(v, spec, order, first, count, s,
+                           CmpSelGenC{a, b, c, d, spec.fn1});
+    }
+}
+
+// ---- strip engine -----------------------------------------------------
+// The register-form executor: one IR op applied across a whole strip of
+// lanes before the next (loop interchange over the node-major
+// interpreter), registers laid out column-major as regCount rows of
+// kStripWidth lanes in the caller's scratchpad. Every arithmetic op is
+// total and the loads are pure, so a predicated lane computes exactly
+// the values the interpreter would have computed down whichever arm the
+// SELECT keeps — and the values it would not have computed are simply
+// discarded, never observable.
+
+/** Element-wise register op; dst may alias either source (same lane). */
+template <class F>
+inline void
+stripBin(int64_t* dst, const int64_t* x, const int64_t* y, uint32_t w)
+{
+    HECATE_KERNEL_LOOP
+    for (uint32_t i = 0; i < w; ++i)
+        dst[i] = F::apply(x[i], y[i]);
+}
+
+uint64_t
+runStrip(const KernelCtx& ctx, const EvalSpec& spec, const NodeIdx* order,
+         NodeIdx first, uint32_t count, ExprScratch& sc)
+{
+    const ArenaView& v = ctx.view;
+    const RInst* rc = ctx.rcode + spec.rbegin;
+    const uint32_t rn = spec.rcount;
+    int64_t* out = v.cols[spec.targetCol];
+    const uint32_t* base = v.scalarBase;
+    const NodeIdx* scalars = v.scalars;
+    const NodeIdx zero = v.zeroRow;
+    const bool contig = order == nullptr;
+    uint64_t writes = 0;
+    for (uint32_t strip = 0; strip < count; strip += kStripWidth) {
+        const uint32_t w = std::min(kStripWidth, count - strip);
+        const NodeIdx n0 = first + strip;
+        NodeIdx nodes[kStripWidth];
+        if (contig) {
+            for (uint32_t i = 0; i < w; ++i)
+                nodes[i] = n0 + i;
+        } else {
+            for (uint32_t i = 0; i < w; ++i)
+                nodes[i] = order[strip + i];
+        }
+        for (uint32_t k = 0; k < rn; ++k) {
+            const RInst& ri = rc[k];
+            int64_t* dst = sc.regs + ri.d * kStripWidth;
+            switch (ri.op) {
+            case ROp::Const: {
+                const int64_t imm = ri.imm;
+                HECATE_KERNEL_LOOP
+                for (uint32_t i = 0; i < w; ++i)
+                    dst[i] = imm;
+                break;
+            }
+            case ROp::LoadSelf: {
+                const int64_t* col = v.cols[ri.col];
+                if (contig) {
+                    HECATE_KERNEL_LOOP
+                    for (uint32_t i = 0; i < w; ++i)
+                        dst[i] = col[n0 + i];
+                } else {
+                    for (uint32_t i = 0; i < w; ++i)
+                        dst[i] = col[nodes[i]];
+                }
+                break;
+            }
+            case ROp::LoadChild: {
+                // Absent children alias the zero row, which holds 0 in
+                // every column — the gather needs no branch.
+                const int64_t* col = v.cols[ri.col];
+                const uint32_t slot = ri.slot;
+                for (uint32_t i = 0; i < w; ++i)
+                    dst[i] = col[scalars[base[nodes[i]] + slot]];
+                break;
+            }
+            case ROp::Add:
+                stripBin<AddF>(dst, sc.regs + ri.a * kStripWidth,
+                               sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Sub:
+                stripBin<SubF>(dst, sc.regs + ri.a * kStripWidth,
+                               sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Mul:
+                stripBin<MulF>(dst, sc.regs + ri.a * kStripWidth,
+                               sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Div:
+                stripBin<DivF>(dst, sc.regs + ri.a * kStripWidth,
+                               sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Mod:
+                stripBin<ModF>(dst, sc.regs + ri.a * kStripWidth,
+                               sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Lt:
+                stripBin<LtF>(dst, sc.regs + ri.a * kStripWidth,
+                              sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Le:
+                stripBin<LeF>(dst, sc.regs + ri.a * kStripWidth,
+                              sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Gt:
+                stripBin<GtF>(dst, sc.regs + ri.a * kStripWidth,
+                              sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Ge:
+                stripBin<GeF>(dst, sc.regs + ri.a * kStripWidth,
+                              sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Eq:
+                stripBin<EqF>(dst, sc.regs + ri.a * kStripWidth,
+                              sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Ne:
+                stripBin<NeF>(dst, sc.regs + ri.a * kStripWidth,
+                              sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Max2:
+                stripBin<Max2F>(dst, sc.regs + ri.a * kStripWidth,
+                                sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Min2:
+                stripBin<Min2F>(dst, sc.regs + ri.a * kStripWidth,
+                                sc.regs + ri.b * kStripWidth, w);
+                break;
+            case ROp::Abs: {
+                const int64_t* x = sc.regs + ri.a * kStripWidth;
+                HECATE_KERNEL_LOOP
+                for (uint32_t i = 0; i < w; ++i)
+                    dst[i] = wrapAbs(x[i]);
+                break;
+            }
+            case ROp::Select: {
+                const int64_t* cnd = sc.regs + ri.a * kStripWidth;
+                const int64_t* tv = sc.regs + ri.b * kStripWidth;
+                const int64_t* ev = sc.regs + ri.c * kStripWidth;
+                HECATE_KERNEL_LOOP
+                for (uint32_t i = 0; i < w; ++i)
+                    dst[i] = cnd[i] != 0 ? tv[i] : ev[i];
+                break;
+            }
+            case ROp::Fold: {
+                // The one divergent op: element counts vary per lane, so
+                // each lane runs its own reduction (combiner hoisted).
+                const int64_t* col = v.cols[ri.col];
+                const int64_t* init = sc.regs + ri.a * kStripWidth;
+                const uint32_t slot = ri.slot;
+                switch (ri.fn) {
+                case FoldFn::Add:
+                    for (uint32_t i = 0; i < w; ++i) {
+                        int64_t acc = init[i];
+                        auto [beg, end] = v.collection(nodes[i], slot);
+                        for (const NodeIdx* p = beg; p != end; ++p)
+                            acc = wrapAdd(acc, col[*p]);
+                        dst[i] = acc;
+                    }
+                    break;
+                case FoldFn::Mul:
+                    for (uint32_t i = 0; i < w; ++i) {
+                        int64_t acc = init[i];
+                        auto [beg, end] = v.collection(nodes[i], slot);
+                        for (const NodeIdx* p = beg; p != end; ++p)
+                            acc = wrapMul(acc, col[*p]);
+                        dst[i] = acc;
+                    }
+                    break;
+                case FoldFn::Max:
+                    for (uint32_t i = 0; i < w; ++i) {
+                        int64_t acc = init[i];
+                        auto [beg, end] = v.collection(nodes[i], slot);
+                        for (const NodeIdx* p = beg; p != end; ++p)
+                            acc = acc > col[*p] ? acc : col[*p];
+                        dst[i] = acc;
+                    }
+                    break;
+                case FoldFn::Min:
+                    for (uint32_t i = 0; i < w; ++i) {
+                        int64_t acc = init[i];
+                        auto [beg, end] = v.collection(nodes[i], slot);
+                        for (const NodeIdx* p = beg; p != end; ++p)
+                            acc = acc < col[*p] ? acc : col[*p];
+                        dst[i] = acc;
+                    }
+                    break;
+                }
+                break;
+            }
+            }
+        }
+        // Writeback from register 0 — the only masked step: vacuous
+        // child-target lanes (absent child) skip their store, exactly
+        // like the node-major loops above.
+        const int64_t* res = sc.regs;
+        if (spec.targetSlot == 0) {
+            if (contig) {
+                HECATE_KERNEL_LOOP
+                for (uint32_t i = 0; i < w; ++i)
+                    out[n0 + i] = res[i];
+            } else {
+                for (uint32_t i = 0; i < w; ++i)
+                    out[nodes[i]] = res[i];
+            }
+            writes += w;
+        } else {
+            const uint32_t slot = static_cast<uint32_t>(spec.targetSlot);
+            for (uint32_t i = 0; i < w; ++i) {
+                const NodeIdx t = scalars[base[nodes[i]] + slot];
+                if (t == zero)
+                    continue;
+                out[t] = res[i];
+                ++writes;
+            }
+        }
+        ++sc.strips;
+    }
+    sc.predOps += static_cast<uint64_t>(spec.predOps) * count;
+    return writes;
+}
+
 } // namespace
 
 uint64_t
 runSpec(const KernelCtx& ctx, const EvalSpec& spec, const NodeIdx* order,
-        NodeIdx first, uint32_t count, int64_t* xstack)
+        NodeIdx first, uint32_t count, ExprScratch& sc)
 {
     const ArenaView& v = ctx.view;
     switch (spec.kind) {
@@ -465,9 +845,18 @@ runSpec(const KernelCtx& ctx, const EvalSpec& spec, const NodeIdx* order,
         return runTri<true>(v, spec, order, first, count);
     case EvalKind::TriR:
         return runTri<false>(v, spec, order, first, count);
+    case EvalKind::QuadL:
+        return runQuad<false>(v, spec, order, first, count);
+    case EvalKind::QuadB:
+        return runQuad<true>(v, spec, order, first, count);
+    case EvalKind::CmpSel:
+        return runCmpSel(v, spec, order, first, count);
     case EvalKind::Bytecode:
+        if (spec.rcount != 0 && sc.strip)
+            return runStrip(ctx, spec, order, first, count, sc);
+        sc.fallbackNodes += count;
         return dispatchAny(v, spec, order, first, count, false,
-                           ByteC{&ctx, spec.xbegin, xstack});
+                           ByteC{&ctx, spec.xbegin, sc.xstack});
     }
     internalError("kernels: bad eval kind");
 }

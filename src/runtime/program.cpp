@@ -59,6 +59,29 @@ foldFn(const std::string& fn)
     internalError("Program: unknown fold function '" + fn + "'");
 }
 
+/** Register-form opcode of a two-operand stack opcode. */
+ROp
+regOpOf(XOp op)
+{
+    switch (op) {
+    case XOp::Add: return ROp::Add;
+    case XOp::Sub: return ROp::Sub;
+    case XOp::Mul: return ROp::Mul;
+    case XOp::Div: return ROp::Div;
+    case XOp::Mod: return ROp::Mod;
+    case XOp::Lt: return ROp::Lt;
+    case XOp::Le: return ROp::Le;
+    case XOp::Gt: return ROp::Gt;
+    case XOp::Ge: return ROp::Ge;
+    case XOp::Eq: return ROp::Eq;
+    case XOp::Ne: return ROp::Ne;
+    case XOp::Max2: return ROp::Max2;
+    case XOp::Min2: return ROp::Min2;
+    default:
+        internalError("Program: no register form for stack op");
+    }
+}
+
 } // namespace
 
 /** Compilation context: one class case being lowered. */
@@ -274,6 +297,24 @@ class Compiler {
         p_.maxExprStack_ =
             std::max(p_.maxExprStack_, exprDepth(*rule.decl->rhs));
         specialize(spec, *rule.decl->rhs);
+        if (spec.kind == EvalKind::Bytecode) {
+            // Lower the residual-Bytecode expression to register form
+            // so the strip engine can run it data-parallel; an
+            // overflowing expression keeps rcount == 0 and stays on
+            // the node-major interpreter.
+            std::vector<RInst> window;
+            uint32_t regs = 0;
+            uint32_t preds = 0;
+            if (lowerExpr(*rule.decl->rhs, 0, window, regs, preds)) {
+                spec.rbegin = static_cast<uint32_t>(p_.rcode_.size());
+                spec.rcount = static_cast<uint32_t>(window.size());
+                spec.regCount = regs;
+                spec.predOps = preds;
+                p_.rcode_.insert(p_.rcode_.end(), window.begin(),
+                                 window.end());
+                p_.maxRegCount_ = std::max(p_.maxRegCount_, regs);
+            }
+        }
         // Extend the preceding eval run instead of dispatching anew.
         if (!p_.code_.empty() && p_.code_.back().op == Op::Eval &&
             p_.code_.back().a + p_.code_.back().b == p_.evals_.size()) {
@@ -348,6 +389,27 @@ class Compiler {
             }
             return;
         }
+        // A side-effect-free `if` whose condition is one two-operand op
+        // of leaves and whose arms are leaves becomes cmp + select —
+        // branch-free straight-line code, no strip engine needed.
+        if (rhs.kind == ast::ExprKind::If) {
+            auto cmp = binOf(*rhs.args[0]);
+            if (!cmp.has_value())
+                return;
+            auto ca = leafOperand(*rhs.args[0]->args[0]);
+            auto cb = leafOperand(*rhs.args[0]->args[1]);
+            auto tv = leafOperand(*rhs.args[1]);
+            auto ev = leafOperand(*rhs.args[2]);
+            if (ca && cb && tv && ev) {
+                spec.kind = EvalKind::CmpSel;
+                spec.fn1 = *cmp;
+                spec.a = *ca;
+                spec.b = *cb;
+                spec.c = *tv;
+                spec.d = *ev;
+            }
+            return;
+        }
         auto outer = binOf(rhs);
         if (!outer.has_value())
             return;
@@ -373,6 +435,27 @@ class Compiler {
                 spec.a = *ia;
                 spec.b = *ib;
                 spec.c = *ra;
+                return;
+            }
+            // One level deeper on the left: the 4-leaf chain
+            // fn3(fn2(fn1(a, b), c), d) that left-associative `+`
+            // parses produce (e.g. x0 + c0.v + c1.v + c2.v).
+            if (ib) {
+                auto inner2 = binOf(*l.args[0]);
+                if (!inner2.has_value())
+                    return;
+                auto ja = leafOperand(*l.args[0]->args[0]);
+                auto jb = leafOperand(*l.args[0]->args[1]);
+                if (ja && jb) {
+                    spec.kind = EvalKind::QuadL;
+                    spec.fn1 = *inner2;
+                    spec.fn2 = *inner;
+                    spec.fn3 = *outer;
+                    spec.a = *ja;
+                    spec.b = *jb;
+                    spec.c = *ib;
+                    spec.d = *ra;
+                }
             }
             return;
         }
@@ -389,7 +472,122 @@ class Compiler {
                 spec.b = *ia;
                 spec.c = *ib;
             }
+            return;
         }
+        // Neither side is a leaf: the balanced 4-leaf tree
+        // fn3(fn1(a, b), fn2(c, d)).
+        auto li = binOf(l), ri = binOf(r);
+        if (!li.has_value() || !ri.has_value())
+            return;
+        auto ia = leafOperand(*l.args[0]), ib = leafOperand(*l.args[1]);
+        auto ic = leafOperand(*r.args[0]), id = leafOperand(*r.args[1]);
+        if (ia && ib && ic && id) {
+            spec.kind = EvalKind::QuadB;
+            spec.fn1 = *li;
+            spec.fn2 = *ri;
+            spec.fn3 = *outer;
+            spec.a = *ia;
+            spec.b = *ib;
+            spec.c = *ic;
+            spec.d = *id;
+        }
+    }
+
+    /**
+     * Lower @p expr into register form, targeting register @p dst.
+     * Stack-discipline allocation: a subexpression at operand depth d
+     * lands in register d, an `if` evaluates its condition and both
+     * arms into d, d+1, d+2 and blends with SELECT (sound because
+     * expressions are pure and every op is total — see ROp). Returns
+     * false when the expression needs more than kMaxStripRegs
+     * registers; @p out is scratch the caller discards on failure.
+     */
+    bool lowerExpr(const ast::Expr& expr, uint32_t dst,
+                   std::vector<RInst>& out, uint32_t& regCount,
+                   uint32_t& predOps) const
+    {
+        if (dst >= kMaxStripRegs)
+            return false;
+        regCount = std::max(regCount, dst + 1);
+        const uint8_t d = static_cast<uint8_t>(dst);
+        switch (expr.kind) {
+          case ast::ExprKind::Const:
+            out.push_back(
+                {ROp::Const, FoldFn::Add, d, 0, 0, 0, 0, 0, expr.value});
+            return true;
+          case ast::ExprKind::Select: {
+            const ast::Select& sel = expr.select;
+            if (sel.isSelf()) {
+                const sem::InterfaceInfo& iface =
+                    grammar_.iface(clsInfo().iface);
+                uint32_t col = layout_.column(
+                    clsInfo().iface, iface.attrByName.at(sel.attr));
+                out.push_back(
+                    {ROp::LoadSelf, FoldFn::Add, d, 0, 0, 0, 0, col, 0});
+                return true;
+            }
+            sem::ChildId id = clsInfo().childByName.at(sel.base);
+            int32_t slot = layout_.cls(cls_).scalarSlotOf[id];
+            if (slot < 0)
+                return false; // collection select: interpreter only
+            const sem::ChildInfo& child = clsInfo().children[id];
+            uint32_t col = layout_.column(
+                child.iface,
+                grammar_.iface(child.iface).attrByName.at(sel.attr));
+            out.push_back({ROp::LoadChild, FoldFn::Add, d, 0, 0, 0,
+                           static_cast<uint32_t>(slot) + 1, col, 0});
+            return true;
+          }
+          case ast::ExprKind::Binary:
+            if (!lowerExpr(*expr.args[0], dst, out, regCount, predOps) ||
+                !lowerExpr(*expr.args[1], dst + 1, out, regCount, predOps))
+                return false;
+            out.push_back({regOpOf(binaryOp(expr.op)), FoldFn::Add, d, d,
+                           static_cast<uint8_t>(d + 1), 0, 0, 0, 0});
+            return true;
+          case ast::ExprKind::Call:
+            if (expr.op == "abs") {
+                if (!lowerExpr(*expr.args[0], dst, out, regCount, predOps))
+                    return false;
+                out.push_back(
+                    {ROp::Abs, FoldFn::Add, d, d, 0, 0, 0, 0, 0});
+                return true;
+            }
+            if (!lowerExpr(*expr.args[0], dst, out, regCount, predOps) ||
+                !lowerExpr(*expr.args[1], dst + 1, out, regCount, predOps))
+                return false;
+            out.push_back({expr.op == "max" ? ROp::Max2 : ROp::Min2,
+                           FoldFn::Add, d, d, static_cast<uint8_t>(d + 1),
+                           0, 0, 0, 0});
+            return true;
+          case ast::ExprKind::If:
+            if (!lowerExpr(*expr.args[0], dst, out, regCount, predOps) ||
+                !lowerExpr(*expr.args[1], dst + 1, out, regCount,
+                           predOps) ||
+                !lowerExpr(*expr.args[2], dst + 2, out, regCount, predOps))
+                return false;
+            out.push_back({ROp::Select, FoldFn::Add, d, d,
+                           static_cast<uint8_t>(d + 1),
+                           static_cast<uint8_t>(d + 2), 0, 0, 0});
+            ++predOps;
+            return true;
+          case ast::ExprKind::Fold: {
+            if (!lowerExpr(*expr.args[0], dst, out, regCount, predOps))
+                return false;
+            sem::ChildId id = clsInfo().childByName.at(expr.select.base);
+            const sem::ChildInfo& child = clsInfo().children[id];
+            int32_t slot = layout_.cls(cls_).collSlotOf[id];
+            checkInvariant(slot >= 0, "Program: fold over a scalar child");
+            uint32_t col = layout_.column(
+                child.iface,
+                grammar_.iface(child.iface).attrByName.at(
+                    expr.select.attr));
+            out.push_back({ROp::Fold, foldFn(expr.op), d, d, 0, 0,
+                           static_cast<uint32_t>(slot), col, 0});
+            return true;
+          }
+        }
+        internalError("Program: unknown expression kind");
     }
 
     void emitExpr(const ast::Expr& expr)
@@ -500,13 +698,64 @@ Program::compile(const sched::Skeleton& skeleton,
         compiler.compileCase(cls.id);
     if (!program.evals_.empty()) {
         size_t bytecode = 0;
-        for (const EvalSpec& spec : program.evals_)
-            bytecode += spec.kind == EvalKind::Bytecode;
+        size_t residual = 0;
+        for (const EvalSpec& spec : program.evals_) {
+            ++program.kindCounts_[static_cast<uint32_t>(spec.kind)];
+            if (spec.kind == EvalKind::Bytecode) {
+                ++bytecode;
+                residual += spec.rcount == 0;
+            }
+        }
         program.bytecodeShare_ =
             static_cast<double>(bytecode) / program.evals_.size();
+        program.stripResidualShare_ =
+            static_cast<double>(residual) / program.evals_.size();
     }
     return program;
 }
+
+namespace {
+
+const char*
+ropName(ROp op)
+{
+    switch (op) {
+      case ROp::Const: return "const";
+      case ROp::LoadSelf: return "ldself";
+      case ROp::LoadChild: return "ldchild";
+      case ROp::Add: return "add";
+      case ROp::Sub: return "sub";
+      case ROp::Mul: return "mul";
+      case ROp::Div: return "div";
+      case ROp::Mod: return "mod";
+      case ROp::Lt: return "lt";
+      case ROp::Le: return "le";
+      case ROp::Gt: return "gt";
+      case ROp::Ge: return "ge";
+      case ROp::Eq: return "eq";
+      case ROp::Ne: return "ne";
+      case ROp::Max2: return "max";
+      case ROp::Min2: return "min";
+      case ROp::Abs: return "abs";
+      case ROp::Select: return "select";
+      case ROp::Fold: return "fold";
+    }
+    return "?";
+}
+
+const char*
+foldName(FoldFn fn)
+{
+    switch (fn) {
+      case FoldFn::Add: return "add";
+      case FoldFn::Mul: return "mul";
+      case FoldFn::Max: return "max";
+      case FoldFn::Min: return "min";
+    }
+    return "?";
+}
+
+} // namespace
 
 std::string
 Program::disassemble() const
@@ -524,6 +773,52 @@ Program::disassemble() const
         }
         return "?";
     };
+    // The register-form listing of one Bytecode spec, printed next to
+    // the stack form: register file size, predication (mask) count,
+    // strip width, then one 3-address line per instruction.
+    auto regForm = [this](const EvalSpec& spec) {
+        if (spec.rcount == 0)
+            return std::string("    ; r-form: none (interpreter)\n");
+        std::string out = "    ; r-form: regs=" +
+                          std::to_string(spec.regCount) +
+                          " masks=" + std::to_string(spec.predOps) +
+                          " strip=" + std::to_string(kStripWidth) + "\n";
+        for (uint32_t i = spec.rbegin; i < spec.rbegin + spec.rcount;
+             ++i) {
+            const RInst& r = rcode_[i];
+            out += "    ;   r" + std::to_string(r.d) + " = ";
+            switch (r.op) {
+              case ROp::Const:
+                out += "const " + std::to_string(r.imm);
+                break;
+              case ROp::LoadSelf:
+                out += "ldself col" + std::to_string(r.col);
+                break;
+              case ROp::LoadChild:
+                out += "ldchild row" + std::to_string(r.slot) + " col" +
+                       std::to_string(r.col);
+                break;
+              case ROp::Abs:
+                out += "abs r" + std::to_string(r.a);
+                break;
+              case ROp::Select:
+                out += "select r" + std::to_string(r.a) + " ? r" +
+                       std::to_string(r.b) + " : r" + std::to_string(r.c);
+                break;
+              case ROp::Fold:
+                out += std::string("fold ") + foldName(r.fn) + " init r" +
+                       std::to_string(r.a) + " coll" +
+                       std::to_string(r.slot) + " col" +
+                       std::to_string(r.col);
+                break;
+              default:
+                out += std::string(ropName(r.op)) + " r" +
+                       std::to_string(r.a) + ", r" + std::to_string(r.b);
+            }
+            out += "\n";
+        }
+        return out;
+    };
     std::string out;
     for (const sem::ClassInfo& cls : grammar_->classes()) {
         out += "case " + cls.name + ":  ; entry " +
@@ -532,8 +827,9 @@ Program::disassemble() const
             const Inst& inst = code_[pc];
             out += "  " + std::to_string(pc) + ": " + opName(inst.op);
             if (inst.op == Op::Eval) {
-                static const char* kindNames[] = {"bytecode", "copy", "un",
-                                                  "bin", "tri", "tri"};
+                static const char* kindNames[] = {
+                    "bytecode", "copy", "un",   "bin",   "tri",
+                    "tri",      "quad", "quad", "cmpsel"};
                 for (uint32_t i = inst.a; i < inst.a + inst.b; ++i)
                     out += " " + grammar_->ruleName(evals_[i].rule) + " [" +
                            kindNames[static_cast<int>(evals_[i].kind)] +
@@ -543,6 +839,11 @@ Program::disassemble() const
                 out += " slot " + std::to_string(inst.a);
             }
             out += "\n";
+            if (inst.op == Op::Eval) {
+                for (uint32_t i = inst.a; i < inst.a + inst.b; ++i)
+                    if (evals_[i].kind == EvalKind::Bytecode)
+                        out += regForm(evals_[i]);
+            }
             if (inst.op == Op::Ret)
                 break;
         }

@@ -88,6 +88,71 @@ struct XInst {
     int64_t imm = 0;
 };
 
+/**
+ * Register-form expression opcodes: the stack machine's control flow
+ * rewritten into predication. An `if` becomes both arms evaluated into
+ * registers plus one SELECT blend — sound because L_a expressions are
+ * pure and every arithmetic op is total on int64 (wrapDiv/wrapMod
+ * define x/0 == x%0 == 0), so the not-taken arm computes a value that
+ * is simply discarded, never a trap. A fold stays a data-dependent
+ * loop, executed per lane inside a strip (the one divergent op).
+ */
+enum class ROp : uint8_t {
+    Const,     ///< r[d] = imm
+    LoadSelf,  ///< r[d] = column col of the current node
+    LoadChild, ///< r[d] = column col of scalar-block row slot (absent -> 0)
+    Add, Sub, Mul, Div, Mod,          ///< r[d] = r[a] op r[b] (wrapping)
+    Lt, Le, Gt, Ge, Eq, Ne,           ///< r[d] = r[a] cmp r[b] ? 1 : 0
+    Max2, Min2,                       ///< r[d] = max/min(r[a], r[b])
+    Abs,       ///< r[d] = |r[a]| (wrapping at INT64_MIN)
+    Select,    ///< r[d] = r[a] != 0 ? r[b] : r[c] — the predication blend
+    Fold,      ///< r[d] = fold(fn, init r[a], column col over coll slot)
+};
+
+/**
+ * One register-form instruction: 3-address ops over a bounded virtual
+ * register file (register indices fit in a byte; kMaxStripRegs bounds
+ * the file). The strip executor runs each instruction across a whole
+ * strip of lanes before the next — loop interchange over the node-
+ * major interpreter — with registers laid out column-major as
+ * regCount × strip-width rows.
+ */
+struct RInst {
+    ROp op = ROp::Const;
+    FoldFn fn = FoldFn::Add; ///< Fold combiner
+    uint8_t d = 0;           ///< destination register
+    uint8_t a = 0;           ///< operand registers
+    uint8_t b = 0;
+    uint8_t c = 0;
+    uint32_t slot = 0;       ///< LoadChild scalar row / Fold coll slot
+    uint32_t col = 0;        ///< LoadSelf / LoadChild / Fold column
+    int64_t imm = 0;         ///< Const value
+};
+
+/**
+ * Virtual register file bound. Stack-discipline allocation means the
+ * register count equals the expression's operand-stack depth (plus the
+ * two extra arm registers per `if`), so 16 covers every bundled
+ * grammar with headroom; an expression deeper than this stays on the
+ * node-major interpreter (EvalSpec::rcount == 0).
+ */
+inline constexpr uint32_t kMaxStripRegs = 16;
+
+/**
+ * Lanes per strip: enough rows that the per-instruction loop amortizes
+ * its setup and the autovectorizer sees full vectors at any width,
+ * while the whole scratchpad (kMaxStripRegs × 64 × 8 B = 8 KiB) stays
+ * L1-resident.
+ */
+inline constexpr uint32_t kStripWidth = 64;
+
+/** How Bytecode EvalSpecs execute inside the segment/tile kernels. */
+enum class ExprEngine : uint8_t {
+    Auto,   ///< strip-mined register form when convertible, else interp
+    Strip,  ///< same as Auto (the fallback still guards inconvertible)
+    Interp, ///< always the node-major stack interpreter
+};
+
 /** Leaf operand of a specialized eval: a constant or one column read. */
 struct Operand {
     static constexpr int32_t kConst = -2;
@@ -111,7 +176,13 @@ enum class EvalKind : uint8_t {
     Bin,      ///< fn1(a, b)
     TriL,     ///< fn2(fn1(a, b), c)
     TriR,     ///< fn2(a, fn1(b, c))
+    QuadL,    ///< fn3(fn2(fn1(a, b), c), d) — left-assoc 4-leaf chain
+    QuadB,    ///< fn3(fn1(a, b), fn2(c, d)) — balanced 4-leaf tree
+    CmpSel,   ///< fn1(a, b) ? c : d — side-effect-free shallow `if`
 };
+
+/** Number of EvalKind values (per-kind RuntimeStats counters). */
+inline constexpr uint32_t kEvalKindCount = 9;
 
 /** One lowered rule application. */
 struct EvalSpec {
@@ -121,8 +192,19 @@ struct EvalSpec {
     sem::RuleId rule = sem::kInvalidId; ///< provenance
     EvalKind kind = EvalKind::Bytecode;
     XOp fn1 = XOp::Done;      ///< inner op of the specialized shape
-    XOp fn2 = XOp::Done;      ///< outer op (TriL / TriR)
-    Operand a, b, c;
+    XOp fn2 = XOp::Done;      ///< outer op (TriL / TriR / Quad middle)
+    XOp fn3 = XOp::Done;      ///< outermost op (Quad shapes)
+    Operand a, b, c, d;
+    /**
+     * Register-form window into Program::regPool() for Bytecode specs:
+     * rcount == 0 means the expression did not convert (register file
+     * overflow) and stays on the node-major interpreter. The result of
+     * the window is always register 0.
+     */
+    uint32_t rbegin = 0;
+    uint32_t rcount = 0;
+    uint32_t regCount = 0; ///< registers the window touches
+    uint32_t predOps = 0;  ///< SELECT blends per evaluation (telemetry)
 };
 
 /**
@@ -161,8 +243,14 @@ class Program {
     const std::vector<XInst>& exprPool() const { return xcode_; }
     const std::vector<EvalSpec>& evals() const { return evals_; }
 
+    /** Register-form IR pool (EvalSpec::rbegin windows point here). */
+    const std::vector<RInst>& regPool() const { return rcode_; }
+
     /** Deepest operand stack any expression needs. */
     uint32_t maxExprStack() const { return maxExprStack_; }
+
+    /** Widest virtual register file any converted expression needs. */
+    uint32_t maxRegCount() const { return maxRegCount_; }
 
     /**
      * Whether every case is sandwich-shaped — at most one eval run,
@@ -192,6 +280,23 @@ class Program {
      */
     double bytecodeShare() const { return bytecodeShare_; }
 
+    /**
+     * Fraction of EvalSpecs that would run the per-node interpreter
+     * even with the strip engine on: Bytecode specs whose expression
+     * did not convert to register form. This — not bytecodeShare() —
+     * is what Auto consults when the strip engine is enabled: a
+     * convertible Bytecode spec runs as vectorizable strip loops, so
+     * only the residual share still predicts kernel strategies losing
+     * to the stack walk.
+     */
+    double stripResidualShare() const { return stripResidualShare_; }
+
+    /** Static spec count per EvalKind (disassembly / telemetry). */
+    uint32_t kindCount(EvalKind kind) const
+    {
+        return kindCounts_[static_cast<uint32_t>(kind)];
+    }
+
     /** Human-readable listing (debugging / tests). */
     std::string disassemble() const;
 
@@ -204,11 +309,15 @@ class Program {
     std::vector<uint32_t> entry_; ///< by ClassId
     std::vector<Inst> code_;
     std::vector<XInst> xcode_;
+    std::vector<RInst> rcode_;
     std::vector<EvalSpec> evals_;
     std::vector<SweepCase> sweeps_; ///< by ClassId
     bool sweepable_ = false;
     uint32_t maxExprStack_ = 1;
+    uint32_t maxRegCount_ = 0;
     double bytecodeShare_ = 0.0;
+    double stripResidualShare_ = 0.0;
+    uint32_t kindCounts_[kEvalKindCount] = {};
 };
 
 } // namespace hecate::runtime

@@ -388,22 +388,37 @@ TEST(RuntimeSweeps, AutoConsultsBytecodeShareAndWaveWidth)
         }
     }
     {
+        // AST's long add chains used to force the stack walk via the
+        // bytecode-share rule. The Quad superinstructions absorb its
+        // 4-leaf chains and the strip engine converts the residual to
+        // register form, so Auto now keeps it on a kernel strategy —
+        // with zero interpreter-fallback nodes.
         const grammars::Benchmark& bench = grammars::astBench();
         sem::Grammar grammar = grammars::load(bench);
         sem::InterfaceId root = grammars::rootInterface(grammar, bench);
         runtime::Program program =
             compileBenchmark(grammar, root, bench.name);
         ASSERT_TRUE(program.sweepable());
+        EXPECT_GT(program.kindCount(runtime::EvalKind::QuadL), 0u);
+        EXPECT_EQ(program.stripResidualShare(), 0.0);
         runtime::GenConfig gen;
         gen.targetNodes = 20000;
         gen.seed = 5;
         runtime::TreeArena arena =
             runtime::TreeArena::generate(grammar, root, gen);
         runtime::RuntimeStats stats = runtime::execute(program, arena, {});
-        EXPECT_EQ(stats.strategy, runtime::SweepStrategy::Stack);
-        EXPECT_EQ(stats.selection, runtime::StrategyReason::BytecodeHeavy);
-        EXPECT_EQ(stats.levelWaves, 0u);
-        EXPECT_EQ(stats.tilesExecuted, 0u);
+        EXPECT_NE(stats.strategy, runtime::SweepStrategy::Stack);
+        EXPECT_NE(stats.selection, runtime::StrategyReason::BytecodeHeavy);
+        EXPECT_GT(stats.stripsRun, 0u);
+        EXPECT_EQ(stats.fallbackNodes, 0u);
+        // Forcing the node-major interpreter turns every strip back
+        // into per-node fallback evaluation.
+        runtime::ExecOptions interp;
+        interp.exprEngine = runtime::ExprEngine::Interp;
+        runtime::RuntimeStats istats =
+            runtime::execute(program, arena, interp);
+        EXPECT_EQ(istats.stripsRun, 0u);
+        EXPECT_GT(istats.fallbackNodes, 0u);
     }
     // A chain-shaped arena (every wave one node wide) must fall back
     // to the stack walk even for a superinstruction-only program.

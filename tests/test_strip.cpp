@@ -1,0 +1,566 @@
+/**
+ * @file
+ * Tests for the strip-mined register-form expression engine: stack →
+ * register lowering (including the overflow fallback), the r-form
+ * disassembly listing, the Quad/CmpSel superinstructions, predicated
+ * `if` execution, strip-vs-interpreter differentials over every
+ * bundled grammar on full-width inputs, and the Auto selector's
+ * strip-convertible provenance.
+ *
+ * Every fixture is named Runtime* so the TSan CI job's
+ * `ctest -R 'Runtime'` filter covers the pooled tiled×strip test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "grammars/grammars.hpp"
+#include "lang/parser.hpp"
+#include "runtime/executor.hpp"
+#include "sem/grammar.hpp"
+#include "support/thread_pool.hpp"
+#include "synth/autotuner.hpp"
+
+namespace hecate {
+namespace {
+
+/** All eight bundled benchmark grammars. */
+std::vector<const grammars::Benchmark*>
+allBenchmarks()
+{
+    std::vector<const grammars::Benchmark*> all =
+        grammars::grafterBenchmarks();
+    for (const grammars::Benchmark* bench : grammars::cssBenchmarks())
+        all.push_back(bench);
+    return all;
+}
+
+synth::SynthesisConfig
+cheapConfig()
+{
+    synth::SynthesisConfig config;
+    config.verify.maxDepth = 3;
+    config.verify.limit = 128;
+    return config;
+}
+
+/** Autotune @p grammar from @p root and compile the winning schedule. */
+runtime::Program
+compileGrammar(const sem::Grammar& grammar, sem::InterfaceId root,
+               const std::string& name)
+{
+    synth::AutotuneResult tuned =
+        synth::autotune(grammar, root, cheapConfig());
+    if (!tuned.schedule.has_value())
+        throw std::runtime_error(name + ": " + tuned.lastSynthesis.failure);
+    return runtime::Program::compile(*tuned.skeleton, *tuned.schedule);
+}
+
+/** Every output cell of @p arena, in node-major order (exact compare). */
+std::vector<int64_t>
+outputCells(const runtime::TreeArena& arena)
+{
+    const sem::Grammar& grammar = arena.grammar();
+    std::vector<int64_t> cells;
+    for (runtime::NodeIdx node = 0; node < arena.size(); ++node) {
+        const sem::ClassInfo& cls = grammar.cls(arena.classOf(node));
+        const sem::InterfaceInfo& iface = grammar.iface(cls.iface);
+        for (sem::AttrId attr = 0; attr < iface.attrs.size(); ++attr) {
+            uint32_t col = arena.layout().column(cls.iface, attr);
+            cells.push_back(arena.value(node, col));
+        }
+    }
+    return cells;
+}
+
+/**
+ * A binary-shaped grammar whose single Bytecode rule is a predicated
+ * `if` with non-leaf arms: too deep for the CmpSel superinstruction,
+ * so it lowers to register form with one SELECT blend. Both arms
+ * divide/mod by an input, so strip execution evaluates the not-taken
+ * arm on every lane — the predication-soundness case (wrapDiv/wrapMod
+ * make x/0 == x%0 == 0 instead of trapping).
+ */
+const char* kPredicatedGrammarSrc = R"(
+interface V {
+    input a, b, c : int;
+    output o : int;
+}
+class Node : V {
+    children {
+        l : Optional[V];
+        r : Optional[V];
+    }
+    rules {
+        self.o := if self.a < self.b then self.a / self.c
+                                     else self.a % self.c;
+    }
+}
+)";
+
+/**
+ * A shallow, side-effect-free `if` over leaf operands: the CmpSel
+ * superinstruction shape (cmp + select, no strip engine involved).
+ */
+const char* kCmpSelGrammarSrc = R"(
+interface V {
+    input a, b, c, d : int;
+    output o, p : int;
+}
+class Node : V {
+    children {
+        l : Optional[V];
+        r : Optional[V];
+    }
+    rules {
+        self.o := if self.a < self.b then self.c else self.d;
+        self.p := self.a + self.b;
+    }
+}
+)";
+
+/**
+ * Five-leaf chains stay Bytecode (the Quad superinstructions stop at
+ * four leaves) but convert to register form with two registers, so
+ * bytecodeShare() > 0.30 while stripResidualShare() == 0 — the
+ * strip-rescue shape the Auto selector's StripConvertible arm exists
+ * for.
+ */
+const char* kChainGrammarSrc = R"(
+interface N {
+    input a, b, c, d, e : int;
+    output o, p : int;
+}
+class Fork : N {
+    children {
+        l : Optional[N];
+        r : Optional[N];
+    }
+    rules {
+        self.o := self.a + self.b + self.c + self.d + self.e;
+        self.p := l.o + r.o;
+    }
+}
+class Tip : N {
+    rules {
+        self.o := self.a + self.b + self.c + self.d + self.e;
+        self.p := self.a;
+    }
+}
+)";
+
+sem::Grammar
+parseCustom(const char* src)
+{
+    return sem::Grammar::analyze(lang::parseGrammar(src));
+}
+
+// ---------------------------------------------------------------------------
+// Register lowering
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeStrip, LoweringIsConsistentOnBundledGrammars)
+{
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileGrammar(grammar, root, bench->name);
+
+        // Kind counters partition the spec list.
+        uint64_t kinds = 0;
+        for (uint32_t k = 0; k < runtime::kEvalKindCount; ++k)
+            kinds += program.kindCount(static_cast<runtime::EvalKind>(k));
+        EXPECT_EQ(kinds, program.evals().size()) << bench->name;
+
+        // Converted Bytecode specs can only shrink the share Auto
+        // consults, never grow it.
+        EXPECT_LE(program.stripResidualShare(), program.bytecodeShare())
+            << bench->name;
+
+        for (const runtime::EvalSpec& spec : program.evals()) {
+            if (spec.kind != runtime::EvalKind::Bytecode) {
+                // Superinstructions never carry a register window.
+                EXPECT_EQ(spec.rcount, 0u) << bench->name;
+                continue;
+            }
+            if (spec.rcount == 0)
+                continue; // stays on the interpreter
+            EXPECT_GE(spec.regCount, 1u) << bench->name;
+            EXPECT_LE(spec.regCount, runtime::kMaxStripRegs)
+                << bench->name;
+            EXPECT_LE(spec.regCount, program.maxRegCount()) << bench->name;
+            ASSERT_LE(spec.rbegin + spec.rcount,
+                      program.regPool().size())
+                << bench->name;
+            // The window's result is always register 0, written last.
+            const runtime::RInst& last =
+                program.regPool()[spec.rbegin + spec.rcount - 1];
+            EXPECT_EQ(last.d, 0) << bench->name;
+        }
+    }
+}
+
+TEST(RuntimeStrip, PredicatedIfLowersToSelect)
+{
+    sem::Grammar grammar = parseCustom(kPredicatedGrammarSrc);
+    runtime::Program program =
+        compileGrammar(grammar, grammar.findInterface("V"), "predicated");
+
+    ASSERT_EQ(program.kindCount(runtime::EvalKind::Bytecode), 1u);
+    const runtime::EvalSpec* spec = nullptr;
+    for (const runtime::EvalSpec& s : program.evals())
+        if (s.kind == runtime::EvalKind::Bytecode)
+            spec = &s;
+    ASSERT_NE(spec, nullptr);
+
+    // cond in r0/r1, then-arm in r1/r2, else-arm in r2/r3, one blend:
+    // 6 loads + lt + div + mod + select.
+    EXPECT_EQ(spec->rcount, 10u);
+    EXPECT_EQ(spec->regCount, 4u);
+    EXPECT_EQ(spec->predOps, 1u);
+    EXPECT_EQ(program.maxRegCount(), 4u);
+    EXPECT_EQ(program.stripResidualShare(), 0.0);
+}
+
+TEST(RuntimeStrip, DisassemblyListsRegisterForm)
+{
+    sem::Grammar grammar = parseCustom(kPredicatedGrammarSrc);
+    runtime::Program program =
+        compileGrammar(grammar, grammar.findInterface("V"), "predicated");
+
+    const std::string listing = program.disassemble();
+    EXPECT_NE(listing.find("; r-form: regs=4 masks=1 strip=64"),
+              std::string::npos)
+        << listing;
+    EXPECT_NE(listing.find("r0 = lt r0, r1"), std::string::npos)
+        << listing;
+    EXPECT_NE(listing.find("r1 = div r1, r2"), std::string::npos)
+        << listing;
+    EXPECT_NE(listing.find("r2 = mod r2, r3"), std::string::npos)
+        << listing;
+    EXPECT_NE(listing.find("r0 = select r0 ? r1 : r2"), std::string::npos)
+        << listing;
+}
+
+TEST(RuntimeStrip, DeepExpressionFallsBackToInterpreter)
+{
+    // Right-nested chains grow one register per level (the left
+    // operand of every pending add stays live), so 17 levels overflow
+    // the 16-register file and the expression must stay on the
+    // node-major interpreter.
+    std::string nest = "self.a";
+    for (int i = 0; i < 17; ++i)
+        nest = "self.a + (" + nest + ")";
+    std::string src = R"(
+interface D {
+    input a : int;
+    output o : int;
+}
+class Node : D {
+    children {
+        l : Optional[D];
+        r : Optional[D];
+    }
+    rules {
+        self.o := )" + nest + R"(;
+    }
+}
+)";
+    sem::Grammar grammar = parseCustom(src.c_str());
+    runtime::Program program =
+        compileGrammar(grammar, grammar.findInterface("D"), "deep");
+
+    ASSERT_EQ(program.kindCount(runtime::EvalKind::Bytecode), 1u);
+    for (const runtime::EvalSpec& spec : program.evals())
+        EXPECT_EQ(spec.rcount, 0u);
+    EXPECT_GT(program.stripResidualShare(), 0.0);
+    EXPECT_EQ(program.stripResidualShare(), program.bytecodeShare());
+    EXPECT_NE(program.disassemble().find("; r-form: none (interpreter)"),
+              std::string::npos);
+
+    // Strip mode must notice per node, fall back, and still agree.
+    ASSERT_TRUE(program.sweepable());
+    runtime::GenConfig gen;
+    gen.targetNodes = 3000;
+    gen.seed = 0x5eed;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, grammar.findInterface("D"),
+                                     gen);
+    runtime::ExecOptions interp;
+    interp.strategy = runtime::SweepStrategy::Segmented;
+    interp.exprEngine = runtime::ExprEngine::Interp;
+    runtime::execute(program, arena, interp);
+    const std::vector<int64_t> expected = outputCells(arena);
+
+    arena.clearOutputs();
+    runtime::ExecOptions strip;
+    strip.strategy = runtime::SweepStrategy::Segmented;
+    strip.exprEngine = runtime::ExprEngine::Strip;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, strip);
+    EXPECT_EQ(outputCells(arena), expected);
+    EXPECT_EQ(stats.stripsRun, 0u);
+    EXPECT_GT(stats.fallbackNodes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Superinstructions
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeStrip, CmpSelSuperinstructionMatchesAndCounts)
+{
+    sem::Grammar grammar = parseCustom(kCmpSelGrammarSrc);
+    runtime::Program program =
+        compileGrammar(grammar, grammar.findInterface("V"), "cmpsel");
+
+    // The shallow `if` specializes away from Bytecode entirely.
+    EXPECT_EQ(program.kindCount(runtime::EvalKind::CmpSel), 1u);
+    EXPECT_EQ(program.kindCount(runtime::EvalKind::Bin), 1u);
+    EXPECT_EQ(program.bytecodeShare(), 0.0);
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 3000;
+    gen.seed = 0xc0de;
+    gen.inputLo = std::numeric_limits<int64_t>::min();
+    gen.inputHi = std::numeric_limits<int64_t>::max();
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, grammar.findInterface("V"),
+                                     gen);
+
+    runtime::ExecOptions stack;
+    stack.strategy = runtime::SweepStrategy::Stack;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, stack);
+    const uint32_t kind =
+        static_cast<uint32_t>(runtime::EvalKind::CmpSel);
+    EXPECT_EQ(stats.evalsByKind[kind], arena.size());
+    const std::vector<int64_t> expected = outputCells(arena);
+
+    // The branch-free kernel form agrees with the stack walk.
+    ASSERT_TRUE(program.sweepable());
+    arena.clearOutputs();
+    runtime::ExecOptions seg;
+    seg.strategy = runtime::SweepStrategy::Segmented;
+    runtime::execute(program, arena, seg);
+    EXPECT_EQ(outputCells(arena), expected);
+}
+
+TEST(RuntimeStrip, QuadKindsCountPerEvaluation)
+{
+    // The AST grammar's 4-leaf chains lower to QuadL; the stack walk
+    // tallies one per (node, rule) evaluation.
+    sem::Grammar grammar = grammars::load(grammars::astBench());
+    sem::InterfaceId root =
+        grammars::rootInterface(grammar, grammars::astBench());
+    runtime::Program program = compileGrammar(grammar, root, "ast");
+    ASSERT_GT(program.kindCount(runtime::EvalKind::QuadL), 0u);
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 2000;
+    gen.seed = 0xa57;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, root, gen);
+    runtime::ExecOptions stack;
+    stack.strategy = runtime::SweepStrategy::Stack;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, stack);
+    const uint32_t quad = static_cast<uint32_t>(runtime::EvalKind::QuadL);
+    EXPECT_GT(stats.evalsByKind[quad], 0u);
+
+    uint64_t byKind = 0;
+    for (uint32_t k = 0; k < runtime::kEvalKindCount; ++k)
+        byKind += stats.evalsByKind[k];
+    EXPECT_EQ(byKind, stats.rulesEvaluated);
+}
+
+// ---------------------------------------------------------------------------
+// Differential execution
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeStrip, DifferentialAllBundledGrammarsFullWidth)
+{
+    // Strip-mined register execution vs. the node-major interpreter on
+    // every bundled grammar, with inputs spanning all of int64 so the
+    // wrapping arithmetic edge cases (INT64_MIN / -1, shifts through
+    // zero) are actually exercised, and generated trees whose absent
+    // optional children read the arena's zero row.
+    uint64_t totalStrips = 0;
+    for (const grammars::Benchmark* bench : allBenchmarks()) {
+        sem::Grammar grammar = grammars::load(*bench);
+        sem::InterfaceId root = grammars::rootInterface(grammar, *bench);
+        runtime::Program program =
+            compileGrammar(grammar, root, bench->name);
+        ASSERT_TRUE(program.sweepable()) << bench->name;
+
+        runtime::GenConfig gen;
+        gen.targetNodes = 5000;
+        gen.seed = 0xd1ff;
+        gen.inputLo = std::numeric_limits<int64_t>::min();
+        gen.inputHi = std::numeric_limits<int64_t>::max();
+        runtime::TreeArena arena =
+            runtime::TreeArena::generate(grammar, root, gen);
+
+        runtime::ExecOptions interp;
+        interp.strategy = runtime::SweepStrategy::Segmented;
+        interp.exprEngine = runtime::ExprEngine::Interp;
+        runtime::RuntimeStats interpStats =
+            runtime::execute(program, arena, interp);
+        EXPECT_EQ(interpStats.stripsRun, 0u) << bench->name;
+        const std::vector<int64_t> expected = outputCells(arena);
+
+        arena.clearOutputs();
+        runtime::ExecOptions strip;
+        strip.strategy = runtime::SweepStrategy::Segmented;
+        strip.exprEngine = runtime::ExprEngine::Strip;
+        runtime::RuntimeStats stripStats =
+            runtime::execute(program, arena, strip);
+        EXPECT_EQ(outputCells(arena), expected)
+            << bench->name << ": strip diverges from interpreter";
+        EXPECT_LE(stripStats.fallbackNodes, interpStats.fallbackNodes)
+            << bench->name;
+        totalStrips += stripStats.stripsRun;
+
+        arena.clearOutputs();
+        runtime::ExecOptions tiled;
+        tiled.strategy = runtime::SweepStrategy::Tiled;
+        tiled.tileExec = runtime::TileExec::Kernels;
+        tiled.tileBytes = 4096;
+        runtime::execute(program, arena, tiled);
+        EXPECT_EQ(outputCells(arena), expected)
+            << bench->name << ": tiled strip diverges from interpreter";
+    }
+    // At least one bundled grammar must actually have run strips, or
+    // this differential tests nothing.
+    EXPECT_GT(totalStrips, 0u);
+}
+
+TEST(RuntimeStrip, PredicationEvaluatesBothArmsSoundly)
+{
+    // Inputs confined to {0, 1} force real mask mixes per strip and
+    // guarantee divisions by zero in whichever arm is not taken — the
+    // strip engine evaluates it anyway and must discard it, matching
+    // the interpreter that never evaluates it at all.
+    sem::Grammar grammar = parseCustom(kPredicatedGrammarSrc);
+    runtime::Program program =
+        compileGrammar(grammar, grammar.findInterface("V"), "predicated");
+    ASSERT_TRUE(program.sweepable());
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 4000;
+    gen.seed = 0x01;
+    gen.inputLo = 0;
+    gen.inputHi = 1;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, grammar.findInterface("V"),
+                                     gen);
+
+    runtime::ExecOptions interp;
+    interp.strategy = runtime::SweepStrategy::Segmented;
+    interp.exprEngine = runtime::ExprEngine::Interp;
+    runtime::RuntimeStats interpStats =
+        runtime::execute(program, arena, interp);
+    EXPECT_EQ(interpStats.predicatedOps, 0u);
+    const std::vector<int64_t> expected = outputCells(arena);
+
+    arena.clearOutputs();
+    runtime::ExecOptions strip;
+    strip.strategy = runtime::SweepStrategy::Segmented;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, strip);
+    EXPECT_EQ(outputCells(arena), expected);
+    EXPECT_GT(stats.stripsRun, 0u);
+    EXPECT_EQ(stats.fallbackNodes, 0u);
+    // One SELECT per node evaluation.
+    EXPECT_EQ(stats.predicatedOps, arena.size());
+}
+
+TEST(RuntimeStrip, TiledStripPooledMatchesSequential)
+{
+    // Work-stealing tiles running strip kernels in parallel: the
+    // scratchpads are per-worker-slot, so a data race here is a bug in
+    // the slot plumbing. Runs under the TSan CI job via the Runtime
+    // fixture filter.
+    sem::Grammar grammar = parseCustom(kPredicatedGrammarSrc);
+    runtime::Program program =
+        compileGrammar(grammar, grammar.findInterface("V"), "predicated");
+    ASSERT_TRUE(program.sweepable());
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 30000;
+    gen.seed = 0x7164;
+    gen.inputLo = std::numeric_limits<int64_t>::min();
+    gen.inputHi = std::numeric_limits<int64_t>::max();
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, grammar.findInterface("V"),
+                                     gen);
+
+    runtime::ExecOptions interp;
+    interp.strategy = runtime::SweepStrategy::Segmented;
+    interp.exprEngine = runtime::ExprEngine::Interp;
+    runtime::execute(program, arena, interp);
+    const std::vector<int64_t> expected = outputCells(arena);
+
+    ThreadPool pool(4);
+    arena.clearOutputs();
+    runtime::ExecOptions tiled;
+    tiled.strategy = runtime::SweepStrategy::Tiled;
+    tiled.tileExec = runtime::TileExec::Kernels;
+    tiled.tileBytes = 8192;
+    tiled.pool = &pool;
+    runtime::RuntimeStats stats = runtime::execute(program, arena, tiled);
+    EXPECT_EQ(outputCells(arena), expected);
+    EXPECT_GT(stats.stripsRun, 0u);
+    EXPECT_GT(stats.tilesExecuted, 1u);
+    EXPECT_EQ(stats.fallbackNodes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Auto selection provenance
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeStrip, AutoRescuesConvertibleBytecodeHeavyPrograms)
+{
+    sem::Grammar grammar = parseCustom(kChainGrammarSrc);
+    runtime::Program program =
+        compileGrammar(grammar, grammar.findInterface("N"), "chains");
+
+    // Half the specs are Bytecode (the 5-leaf chains), all convert.
+    EXPECT_EQ(program.kindCount(runtime::EvalKind::Bytecode), 2u);
+    EXPECT_GT(program.bytecodeShare(), 0.30);
+    EXPECT_EQ(program.stripResidualShare(), 0.0);
+    ASSERT_TRUE(program.sweepable());
+
+    runtime::GenConfig gen;
+    gen.targetNodes = 20000;
+    gen.seed = 0xce9a;
+    runtime::TreeArena arena =
+        runtime::TreeArena::generate(grammar, grammar.findInterface("N"),
+                                     gen);
+
+    // With the strip engine assumed off, the share heuristic sends the
+    // program to the stack walk.
+    runtime::ExecOptions interp;
+    interp.exprEngine = runtime::ExprEngine::Interp;
+    runtime::RuntimeStats interpStats =
+        runtime::execute(program, arena, interp);
+    EXPECT_EQ(interpStats.strategy, runtime::SweepStrategy::Stack);
+    EXPECT_EQ(interpStats.selection,
+              runtime::StrategyReason::BytecodeHeavy);
+    EXPECT_EQ(interpStats.stripsRun, 0u);
+    const std::vector<int64_t> expected = outputCells(arena);
+
+    // Default (strip on): the residual share is zero, so Auto picks a
+    // kernel strategy and records the strip-convertible provenance.
+    arena.clearOutputs();
+    runtime::RuntimeStats stats = runtime::execute(program, arena);
+    EXPECT_NE(stats.strategy, runtime::SweepStrategy::Stack);
+    EXPECT_EQ(stats.selection, runtime::StrategyReason::StripConvertible);
+    EXPECT_GT(stats.stripsRun, 0u);
+    EXPECT_EQ(stats.fallbackNodes, 0u);
+    EXPECT_EQ(outputCells(arena), expected);
+}
+
+} // namespace
+} // namespace hecate
